@@ -1,0 +1,163 @@
+(* Command-line runner for the paper-reproduction experiments.
+
+   Each subcommand regenerates one table or figure from the paper (plus
+   the ablations and the scale extension), printing the same rows/series
+   the paper reports, optionally exporting CSVs for external plotting. *)
+
+open Cmdliner
+open Speedlight_experiments
+
+let fmt = Format.std_formatter
+
+let quick_arg =
+  let doc = "Run a reduced-size version of the experiment (faster, noisier)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the simulation." in
+  Arg.(value & opt (some int) None & info [ "seed"; "s" ] ~doc)
+
+let csv_arg =
+  let doc = "Also write the results as CSV files into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~doc ~docv:"DIR")
+
+let ensure_dir = function
+  | None -> None
+  | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      Some d
+
+let timed name f =
+  let t0 = Sys.time () in
+  f ();
+  Format.fprintf fmt "@.[%s done in %.1fs cpu]@." name (Sys.time () -. t0)
+
+let run_fig9 quick seed csv =
+  timed "fig9" (fun () ->
+      let r = Fig9.run ~quick ?seed () in
+      Fig9.print fmt r;
+      Option.iter (fun dir -> Export.fig9 ~dir r) (ensure_dir csv))
+
+let run_fig10 quick seed csv =
+  timed "fig10" (fun () ->
+      let r = Fig10.run ~quick ?seed () in
+      Fig10.print fmt r;
+      Option.iter (fun dir -> Export.fig10 ~dir r) (ensure_dir csv))
+
+let run_fig11 quick seed csv =
+  timed "fig11" (fun () ->
+      let r = Fig11.run ~quick ?seed () in
+      Fig11.print fmt r;
+      Option.iter (fun dir -> Export.fig11 ~dir r) (ensure_dir csv))
+
+let run_fig12 quick seed csv app =
+  timed "fig12" (fun () ->
+      let r =
+        match app with
+        | Some a -> [ Fig12.run_app ~quick ?seed a ]
+        | None -> Fig12.run ~quick ?seed ()
+      in
+      Fig12.print fmt r;
+      Option.iter (fun dir -> Export.fig12 ~dir r) (ensure_dir csv))
+
+let run_fig13 quick seed csv =
+  timed "fig13" (fun () ->
+      let r = Fig13.run ~quick ?seed () in
+      Fig13.print fmt r;
+      Option.iter (fun dir -> Export.fig13 ~dir r) (ensure_dir csv))
+
+let run_table1 csv =
+  let r = Table1.run () in
+  Table1.print fmt r;
+  Option.iter (fun dir -> Export.table1 ~dir r) (ensure_dir csv)
+
+let run_ablations quick seed =
+  timed "ablations" (fun () ->
+      Ablations.print_initiator fmt (Ablations.run_initiator ~quick ?seed ());
+      Ablations.print_notifications fmt (Ablations.run_notifications ~quick ?seed ());
+      Ablations.print_marker_overhead fmt (Ablations.run_marker_overhead ()))
+
+let run_scale quick seed csv =
+  timed "scale" (fun () ->
+      let r = Scale.run ~quick ?seed () in
+      Scale.print fmt r;
+      Option.iter (fun dir -> Export.scale ~dir r) (ensure_dir csv))
+
+let fig9_cmd =
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Synchronization CDFs: snapshots vs polling (Figure 9)")
+    Term.(const run_fig9 $ quick_arg $ seed_arg $ csv_arg)
+
+let fig10_cmd =
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"Max sustained snapshot rate vs ports (Figure 10)")
+    Term.(const run_fig10 $ quick_arg $ seed_arg $ csv_arg)
+
+let fig11_cmd =
+  Cmd.v
+    (Cmd.info "fig11" ~doc:"Synchronization at scale, Monte-Carlo (Figure 11)")
+    Term.(const run_fig11 $ quick_arg $ seed_arg $ csv_arg)
+
+let fig12_cmd =
+  let app_arg =
+    let doc = "Only run one workload: hadoop, graphx or memcache." in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("hadoop", Fig12.Hadoop); ("graphx", Fig12.Graphx);
+                  ("memcache", Fig12.Memcache) ]))
+          None
+      & info [ "app" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fig12" ~doc:"Load-balance evaluation: ECMP vs flowlet (Figure 12)")
+    Term.(const run_fig12 $ quick_arg $ seed_arg $ csv_arg $ app_arg)
+
+let fig13_cmd =
+  Cmd.v
+    (Cmd.info "fig13" ~doc:"Synchronized-traffic correlation matrices (Figure 13)")
+    Term.(const run_fig13 $ quick_arg $ seed_arg $ csv_arg)
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Tofino resource-usage model (Table 1)")
+    Term.(const run_table1 $ csv_arg)
+
+let ablations_cmd =
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Design ablations: initiators, notification volume")
+    Term.(const run_ablations $ quick_arg $ seed_arg)
+
+let scale_cmd =
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Extension: real-protocol sync on fat trees vs Fig.11 prediction")
+    Term.(const run_scale $ quick_arg $ seed_arg $ csv_arg)
+
+let all_cmd =
+  let run quick seed csv =
+    run_table1 csv;
+    run_fig9 quick seed csv;
+    run_fig10 quick seed csv;
+    run_fig11 quick seed csv;
+    run_fig12 quick seed csv None;
+    run_fig13 quick seed csv;
+    run_ablations quick seed;
+    run_scale quick seed csv
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every table/figure reproduction in sequence")
+    Term.(const run $ quick_arg $ seed_arg $ csv_arg)
+
+let () =
+  let doc = "Speedlight (Synchronized Network Snapshots, SIGCOMM'18) reproduction" in
+  let info = Cmd.info "speedlight" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
+            ablations_cmd; scale_cmd; all_cmd;
+          ]))

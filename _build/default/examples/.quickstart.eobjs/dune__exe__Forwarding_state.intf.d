@@ -1,0 +1,1 @@
+examples/forwarding_state.mli:

@@ -1,0 +1,75 @@
+(* Tracking one (elephant) flow consistently across the whole network.
+
+   The snapshot primitive works for any line-rate state (§3); here each
+   unit runs a count-min sketch over all flows and snapshots the point
+   estimate of one tracked flow. The continuous Monitor API takes a
+   snapshot every 10 ms, giving a live, causally consistent view of where
+   the flow's packets have been — with channel state, the per-wire
+   conservation law holds for the tracked flow alone.
+
+   Run with: dune exec examples/flow_tracking.exe *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+
+let tracked_flow = 424_242
+
+let () =
+  let ls =
+    Topology.leaf_spine
+      ~host_link:{ Topology.bandwidth_bps = 1e9; latency = Time.us 1 }
+      ~fabric_link:{ Topology.bandwidth_bps = 4e9; latency = Time.us 1 }
+      ()
+  in
+  let cfg = Config.default |> Config.with_counter (Config.Sketch_flow tracked_flow) in
+  let net = Net.create ~cfg ls.Topology.topo in
+  let engine = Net.engine net in
+  let h = ls.Topology.host_of_server in
+
+  (* The elephant: h0 -> h5 (cross-leaf), plus enough background noise
+     that the sketch actually has something to disambiguate. *)
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let send ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size () in
+  Traffic.send_flow ~engine ~rng ~send ~src:h.(0) ~dst:h.(5) ~flow_id:tracked_flow
+    ~n_pkts:3_000 ~pkt_size:1500 ~gap:(Dist.exponential ~mean:60_000.) ();
+  Apps.Uniform.run ~engine ~rng ~send ~fids ~hosts:(Array.to_list h)
+    ~rate_pps:3_000. ~pkt_size:800 ~until:(Time.ms 200);
+
+  ignore (Engine.schedule engine ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net));
+
+  (* Live monitoring: snapshot every 10 ms, print the flow's footprint as
+     each snapshot completes. *)
+  let print_footprint (snap : Observer.snapshot) =
+    let at_unit uid =
+      match Unit_id.Map.find_opt uid snap.Observer.reports with
+      | Some r -> Option.value ~default:nan (Report.consistent_value r)
+      | None -> nan
+    in
+    (* The elephant enters at leaf0's host port for h0 and exits at leaf1's
+       host port for h5; count it at both edges plus whatever is buffered
+       in between. *)
+    let src_sw, src_port = Topology.host_attachment ls.Topology.topo ~host:h.(0) in
+    let dst_sw, dst_port = Topology.host_attachment ls.Topology.topo ~host:h.(5) in
+    let entered = at_unit (Unit_id.ingress ~switch:src_sw ~port:src_port) in
+    let exited = at_unit (Unit_id.egress ~switch:dst_sw ~port:dst_port) in
+    Printf.printf
+      "t=%-10s snapshot %-3d  entered=%-6.0f exited=%-6.0f in transit=%.0f\n"
+      (Time.to_string (Net.now net))
+      snap.Observer.sid entered exited (entered -. exited)
+  in
+  let mon =
+    Monitor.start net ~period:(Time.ms 10) ~history:32 ~on_snapshot:print_footprint ()
+  in
+  Engine.run_until engine (Time.ms 220);
+  Monitor.stop mon;
+  Engine.run_until engine (Time.ms 300);
+  Printf.printf
+    "\n%d snapshots taken, %d skipped for pacing; every line above is a causally\n\
+     consistent cut: 'in transit' is packets genuinely inside the network, not an\n\
+     artifact of reading two counters at different times.\n"
+    (Monitor.taken mon) (Monitor.skipped mon)

@@ -1,0 +1,73 @@
+(* Partial deployment (§10): only the leaf (ToR) switches are
+   snapshot-enabled; the spines forward snapshot headers untouched. The
+   snapshot then covers the participating devices and the logical channels
+   between them — leaf-to-leaf through the legacy spines — and causal
+   consistency is preserved.
+
+   Run with: dune exec examples/partial_deployment.exe *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+
+let () =
+  let ls =
+    Topology.leaf_spine
+      ~host_link:{ Topology.bandwidth_bps = 1e9; latency = Time.us 1 }
+      ~fabric_link:{ Topology.bandwidth_bps = 4e9; latency = Time.us 1 }
+      ()
+  in
+  let cfg =
+    {
+      (Config.default |> Config.with_variant Snapshot_unit.variant_wraparound) with
+      (* The spines run no snapshot logic at all. *)
+      Config.snapshot_disabled_switches = ls.Topology.spine_switches;
+    }
+  in
+  let net = Net.create ~cfg ls.Topology.topo in
+  let engine = Net.engine net in
+  Apps.Uniform.run ~engine ~rng:(Net.fresh_rng net)
+    ~send:(fun ~src ~dst ~size ~flow_id -> Net.send net ~flow_id ~src ~dst ~size ())
+    ~fids:(Traffic.flow_ids ())
+    ~hosts:(Array.to_list ls.Topology.host_of_server)
+    ~rate_pps:5_000. ~pkt_size:1200 ~until:(Time.ms 300);
+
+  let sid = ref 0 in
+  ignore (Engine.schedule engine ~at:(Time.ms 60) (fun () -> sid := Net.take_snapshot net ()));
+  Engine.run_until engine (Time.ms 400);
+
+  (match Net.result net ~sid:!sid with
+  | Some snap ->
+      Printf.printf
+        "snapshot %d with spines NOT snapshot-enabled: complete=%b consistent=%b\n"
+        snap.Observer.sid snap.Observer.complete snap.Observer.consistent;
+      Printf.printf "reports: %d (leaf units only; a full deployment reports 28)\n\n"
+        (Unit_id.Map.cardinal snap.Observer.reports);
+      Unit_id.Map.iter
+        (fun uid (r : Report.t) ->
+          Printf.printf "  %-10s count=%.0f\n" (Unit_id.to_string uid)
+            (Option.value ~default:nan r.Report.value))
+        snap.Observer.reports
+  | None -> print_endline "snapshot missing");
+
+  (* The proof that markers traverse the legacy spines: the leaves'
+     uplink ingress units advanced their snapshot IDs even though their
+     physical neighbors (the spines) never stamped a packet — the IDs were
+     piggybacked end-to-end from the other leaf. *)
+  print_endline "\nsnapshot IDs piggybacked across the legacy spines:";
+  List.iter
+    (fun leaf ->
+      List.iter
+        (fun p ->
+          let u = Net.unit_of net (Unit_id.ingress ~switch:leaf ~port:p) in
+          Printf.printf "  leaf s%d uplink p%d ingress: snapshot id %d\n" leaf p
+            (Snapshot_unit.current_ghost_sid u))
+        (List.assoc leaf ls.Topology.uplink_ports))
+    ls.Topology.leaf_switches;
+  Printf.printf "  (spines forwarded %d packets without touching a header)\n"
+    (List.fold_left
+       (fun acc s -> acc + Switch.total_forwarded (Net.switch net s))
+       0 ls.Topology.spine_switches)

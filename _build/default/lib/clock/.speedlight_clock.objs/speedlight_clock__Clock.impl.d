@@ -1,0 +1,1 @@
+lib/clock/clock.ml: Speedlight_sim Time

@@ -1,0 +1,1 @@
+lib/clock/clock.mli: Speedlight_sim Time

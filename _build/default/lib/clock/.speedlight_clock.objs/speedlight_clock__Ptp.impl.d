@@ -1,0 +1,1 @@
+lib/clock/ptp.ml: Clock Dist Engine Float Rng Speedlight_sim Time

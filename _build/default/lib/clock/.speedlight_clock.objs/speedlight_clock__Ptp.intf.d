@@ -1,0 +1,1 @@
+lib/clock/ptp.mli: Clock Dist Engine Rng Speedlight_sim Time

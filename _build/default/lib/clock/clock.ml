@@ -1,0 +1,31 @@
+open Speedlight_sim
+
+type t = {
+  mutable offset_ns : float;
+  mutable drift_ppm : float;
+  mutable last_sync : Time.t;
+}
+
+let create ?(offset_ns = 0.) ?(drift_ppm = 0.) () =
+  { offset_ns; drift_ppm; last_sync = Time.zero }
+
+let error_at t ~true_time =
+  let elapsed = float_of_int (Time.sub true_time t.last_sync) in
+  t.offset_ns +. (t.drift_ppm *. 1e-6 *. elapsed)
+
+let read t ~true_time = Time.add true_time (Time.of_ns_float (error_at t ~true_time))
+
+let true_time_of_local t ~local =
+  (* Solve local = T + offset + drift*(T - last_sync) for T. *)
+  let d = t.drift_ppm *. 1e-6 in
+  let num =
+    float_of_int local -. t.offset_ns +. (d *. float_of_int t.last_sync)
+  in
+  Time.of_ns_float (num /. (1.0 +. d))
+
+let apply_correction t ~true_time ~residual_ns =
+  t.offset_ns <- residual_ns;
+  t.last_sync <- true_time
+
+let set_drift_ppm t ppm = t.drift_ppm <- ppm
+let drift_ppm t = t.drift_ppm

@@ -1,0 +1,38 @@
+(** Drifting local clocks.
+
+    Each switch control plane owns a local clock that differs from true
+    (simulation) time by a slowly varying offset plus frequency drift. A
+    synchronization protocol (see {!Ptp}) periodically re-estimates the
+    offset, leaving a residual error. *)
+
+open Speedlight_sim
+
+type t
+
+val create :
+  ?offset_ns:float ->
+  ?drift_ppm:float ->
+  unit ->
+  t
+(** [create ~offset_ns ~drift_ppm ()] builds a clock whose reading at true
+    time [T] is [T + offset_ns + drift_ppm * 1e-6 * (T - last_sync)]. *)
+
+val read : t -> true_time:Time.t -> Time.t
+(** Local reading at a given true time. *)
+
+val true_time_of_local : t -> local:Time.t -> Time.t
+(** Inverse of {!read}: the true time at which this clock will show
+    [local]. Used to schedule "fire at local time X" events on the
+    simulator's true-time axis. *)
+
+val error_at : t -> true_time:Time.t -> float
+(** Signed clock error (local - true) in nanoseconds at a true time. *)
+
+val apply_correction : t -> true_time:Time.t -> residual_ns:float -> unit
+(** A synchronization round at [true_time]: the absolute offset is replaced
+    by [residual_ns] (the leftover estimation error) and drift starts
+    accumulating from this instant again. *)
+
+val set_drift_ppm : t -> float -> unit
+
+val drift_ppm : t -> float

@@ -1,0 +1,50 @@
+(** A PTP (IEEE 1588) synchronization model.
+
+    Speedlight relies on ptp4l/phc2sys to synchronize switch control-plane
+    clocks; the observed snapshot drift is then the sum of the residual PTP
+    error, OS scheduling jitter of the initiation thread, and the
+    CPU→data-plane command latency. This module captures those three terms
+    as distributions (testbed-calibrated defaults) and drives the periodic
+    re-synchronization of a set of {!Clock.t}s inside a simulation. *)
+
+open Speedlight_sim
+
+type profile = {
+  residual : Dist.t;
+      (** signed residual offset after a sync round, ns (per-clock) *)
+  drift_ppm : Dist.t;  (** per-clock frequency error, parts-per-million *)
+  sync_interval : Time.t;  (** time between sync rounds *)
+  sched_jitter : Dist.t;
+      (** non-negative OS scheduling delay of the initiation thread, ns *)
+  init_latency : Dist.t;
+      (** non-negative CPU→ASIC initiation command latency, ns *)
+}
+
+val default_profile : profile
+(** Calibrated so a 4-switch testbed reproduces the paper's Fig. 9
+    synchronization numbers (median ≈ 6.4 µs, max ≈ 22–27 µs) and Fig. 11's
+    large-network extrapolation stays under 100 µs:
+    residual ~ N(0, 0.5 µs), drift ~ N(0, 1 ppm), 125 ms sync interval,
+    scheduling jitter ~ lognormal(mean 5 µs, cv 0.65) — the heavy tail,
+    initiation latency ~ lognormal(mean 2 µs, cv 0.1). *)
+
+type t
+(** A running PTP domain: a set of clocks being kept in sync. *)
+
+val create : ?profile:profile -> rng:Rng.t -> Engine.t -> t
+
+val profile : t -> profile
+
+val attach : t -> Clock.t -> unit
+(** Register a clock with the domain. Its drift is (re)drawn from the
+    profile and periodic corrections are scheduled on the engine. *)
+
+val initiation_delay : t -> rng:Rng.t -> Time.t
+(** One sample of scheduling jitter + CPU→ASIC latency: the lag between a
+    control plane deciding to initiate and the data plane executing it. *)
+
+val sample_initiation_error : profile -> rng:Rng.t -> float
+(** For Monte-Carlo studies (Fig. 11): one sample of the total signed
+    initiation-time error of a single switch, in ns — residual clock error
+    plus scheduling jitter plus initiation latency (the last two are
+    one-sided). *)

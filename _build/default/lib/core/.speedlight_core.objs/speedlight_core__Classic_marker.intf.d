@@ -1,0 +1,1 @@
+lib/core/classic_marker.mli:

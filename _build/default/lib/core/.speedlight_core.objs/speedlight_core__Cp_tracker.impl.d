@@ -1,0 +1,1 @@
+lib/core/cp_tracker.ml: Array Hashtbl List Notification Report Snapshot_unit Speedlight_dataplane Speedlight_sim Stdlib Time Unit_id Wrap

@@ -1,0 +1,1 @@
+lib/core/cp_tracker.mli: Notification Report Snapshot_unit Speedlight_dataplane Speedlight_sim Time Unit_id

@@ -1,0 +1,1 @@
+lib/core/ideal_unit.mli:

@@ -1,0 +1,1 @@
+lib/core/observer.ml: Engine Hashtbl List Option Report Speedlight_dataplane Speedlight_sim Time Unit_id

@@ -1,0 +1,1 @@
+lib/core/observer.mli: Engine Report Speedlight_dataplane Speedlight_sim Time Unit_id

@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Printf Speedlight_dataplane Speedlight_sim Time Unit_id

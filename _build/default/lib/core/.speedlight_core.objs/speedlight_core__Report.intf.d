@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Speedlight_dataplane Speedlight_sim Time Unit_id

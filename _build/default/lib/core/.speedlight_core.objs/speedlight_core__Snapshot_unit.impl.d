@@ -1,0 +1,1 @@
+lib/core/snapshot_unit.ml: Array Counter Notification Packet Snapshot_header Speedlight_dataplane Stdlib Unit_id Wrap

@@ -1,0 +1,1 @@
+lib/core/snapshot_unit.mli: Counter Notification Packet Speedlight_dataplane Speedlight_sim Time Unit_id

@@ -1,0 +1,66 @@
+type t = {
+  n_in : int;
+  n_out : int;
+  mutable recorded_state : float option;
+  recording : bool array;  (* per incoming channel *)
+  channel : float array;
+  mutable markers_seen : int;
+  mutable markers_sent : int;
+}
+
+let create ~n_in ~n_out =
+  if n_in < 0 || n_out < 0 then invalid_arg "Classic_marker.create";
+  {
+    n_in;
+    n_out;
+    recorded_state = None;
+    recording = Array.make (Stdlib.max n_in 1) false;
+    channel = Array.make (Stdlib.max n_in 1) 0.;
+    markers_seen = 0;
+    markers_sent = 0;
+  }
+
+let emit_markers t ~send_marker =
+  for c = 0 to t.n_out - 1 do
+    t.markers_sent <- t.markers_sent + 1;
+    send_marker ~out_channel_:c
+  done
+
+let record t ~state ~send_marker =
+  if t.recorded_state = None then begin
+    t.recorded_state <- Some state;
+    Array.fill t.recording 0 t.n_in true;
+    emit_markers t ~send_marker
+  end
+
+let initiate t ~state ~send_marker = record t ~state ~send_marker
+
+let on_packet t ~in_channel_ ~contribution =
+  if in_channel_ < 0 || in_channel_ >= t.n_in then
+    invalid_arg "Classic_marker.on_packet: bad channel";
+  if t.recorded_state <> None && t.recording.(in_channel_) then
+    t.channel.(in_channel_) <- t.channel.(in_channel_) +. contribution
+
+let on_marker t ~in_channel_ ~state ~send_marker =
+  if in_channel_ < 0 || in_channel_ >= t.n_in then
+    invalid_arg "Classic_marker.on_marker: bad channel";
+  record t ~state ~send_marker;
+  if t.recording.(in_channel_) then begin
+    (* FIFO: nothing sent pre-snapshot can still be in flight behind the
+       marker, so the channel's record is final. *)
+    t.recording.(in_channel_) <- false;
+    t.markers_seen <- t.markers_seen + 1
+  end
+
+let recorded t = t.recorded_state <> None
+let complete t = recorded t && t.markers_seen >= t.n_in
+let state t = t.recorded_state
+let channel_state t c = t.channel.(c)
+let markers_sent t = t.markers_sent
+
+let reset t =
+  t.recorded_state <- None;
+  Array.fill t.recording 0 (Array.length t.recording) false;
+  Array.fill t.channel 0 (Array.length t.channel) 0.;
+  t.markers_seen <- 0;
+  t.markers_sent <- 0

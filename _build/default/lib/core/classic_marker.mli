@@ -1,0 +1,50 @@
+(** The original Chandy–Lamport snapshot (1985), with dedicated marker
+    messages — implemented as a baseline to contrast with Speedlight's
+    piggybacking design.
+
+    One node per processing unit, FIFO channels, a single snapshot at a
+    time. On initiation (or on the first marker), a node records its local
+    state and emits a marker on {e every} outgoing channel; it records
+    in-flight channel state on each incoming channel from its own snapshot
+    point until that channel's marker arrives.
+
+    Contrast with Speedlight (§3–4 of the paper): markers cost one extra
+    message per directed channel per snapshot and support only one
+    outstanding snapshot; piggybacked IDs cost a few header bits on every
+    packet, support concurrent initiators and unlimited consecutive
+    snapshots, and survive marker (packet) loss because every subsequent
+    packet re-carries the ID. The {!Ablations}-style comparison in the
+    bench quantifies the message overhead. *)
+
+type t
+
+val create : n_in:int -> n_out:int -> t
+(** A node with [n_in] incoming and [n_out] outgoing FIFO channels. *)
+
+val initiate : t -> state:float -> send_marker:(out_channel_:int -> unit) -> unit
+(** Locally initiate: record [state] and emit a marker on every outgoing
+    channel. No-op if the node already snapshotted. *)
+
+val on_packet : t -> in_channel_:int -> contribution:float -> unit
+(** A regular message arrives: accumulated into the channel's recorded
+    state iff the node has snapshotted and the channel's marker has not
+    yet arrived. *)
+
+val on_marker :
+  t -> in_channel_:int -> state:float -> send_marker:(out_channel_:int -> unit) -> unit
+(** A marker arrives on an incoming channel: triggers the local snapshot
+    (recording [state]) if it hasn't happened, and closes that channel's
+    recording. *)
+
+val recorded : t -> bool
+(** Has the node recorded its local state? *)
+
+val complete : t -> bool
+(** Have all incoming channels' markers arrived? *)
+
+val state : t -> float option
+val channel_state : t -> int -> float
+(** Recorded in-flight contribution of one incoming channel. *)
+
+val markers_sent : t -> int
+val reset : t -> unit

@@ -1,0 +1,63 @@
+type t = {
+  n_neighbors : int;
+  channel_state : bool;
+  mutable sid : int;
+  mutable state : float;
+  snaps : (int, float) Hashtbl.t;  (* sid -> saved local state *)
+  channels : (int, float) Hashtbl.t;  (* sid -> accumulated channel state *)
+  last_seen_arr : int array;
+}
+
+let create ~n_neighbors ~channel_state =
+  if n_neighbors <= 0 then invalid_arg "Ideal_unit.create: need at least one neighbor";
+  {
+    n_neighbors;
+    channel_state;
+    sid = 0;
+    state = 0.;
+    snaps = Hashtbl.create 64;
+    channels = Hashtbl.create 64;
+    last_seen_arr = Array.make n_neighbors 0;
+  }
+
+let sid t = t.sid
+let state t = t.state
+let set_state t v = t.state <- v
+
+let save_snapshots t ~upto =
+  (* "for i <- sid + 1 to pkt.sid do snaps[i] <- state" *)
+  for i = t.sid + 1 to upto do
+    Hashtbl.replace t.snaps i t.state
+  done;
+  t.sid <- upto
+
+let add_channel t ~sid ~contribution =
+  let cur = Option.value ~default:0. (Hashtbl.find_opt t.channels sid) in
+  Hashtbl.replace t.channels sid (cur +. contribution)
+
+let on_receive t ~sender ~pkt_sid ~contribution =
+  if pkt_sid > t.sid then save_snapshots t ~upto:pkt_sid
+  else if pkt_sid < t.sid && t.channel_state then
+    (* In-flight packet: contributes to every snapshot it straddles. *)
+    for i = pkt_sid + 1 to t.sid do
+      add_channel t ~sid:i ~contribution
+    done;
+  if t.channel_state then begin
+    if sender < 0 || sender >= t.n_neighbors then
+      invalid_arg "Ideal_unit.on_receive: bad sender index";
+    if pkt_sid > t.last_seen_arr.(sender) then t.last_seen_arr.(sender) <- pkt_sid
+  end;
+  t.sid
+
+let initiate t ~sid = if sid > t.sid then save_snapshots t ~upto:sid
+
+let snapshot_value t ~sid = Hashtbl.find_opt t.snaps sid
+
+let channel_state_of t ~sid =
+  Option.value ~default:0. (Hashtbl.find_opt t.channels sid)
+
+let last_seen t = Array.copy t.last_seen_arr
+
+let finished_through t =
+  if t.channel_state then Array.fold_left Stdlib.min t.last_seen_arr.(0) t.last_seen_arr
+  else t.sid

@@ -1,0 +1,52 @@
+(** The idealized per-processing-unit snapshot protocol — Figure 3 of the
+    paper, verbatim.
+
+    Unbounded snapshot IDs, unbounded snapshot storage, and the ability to
+    loop through every intermediate ID — everything real ASICs cannot do.
+    This module is the executable specification: property tests run the
+    hardware-constrained {!Snapshot_unit} against it and check that
+    wherever Speedlight reports a snapshot {e consistent}, its value
+    matches this reference. *)
+
+type t
+
+val create : n_neighbors:int -> channel_state:bool -> t
+(** [n_neighbors] counts upstream neighbors (channel indices
+    [0 .. n_neighbors-1]). *)
+
+val sid : t -> int
+(** Current snapshot ID; starts at 0. *)
+
+val state : t -> float
+val set_state : t -> float -> unit
+(** The local state targeted by the snapshot (managed separately from the
+    protocol, cf. "Update state" in Fig. 3). *)
+
+val on_receive : t -> sender:int -> pkt_sid:int -> contribution:float -> int
+(** Process an incoming packet carrying snapshot ID [pkt_sid] from
+    upstream neighbor [sender]; [contribution] is the packet's
+    metric-specific channel-state contribution (e.g. 1.0 for a packet
+    count). Implements [onReceiveCS] (or [onReceiveNoCS] when created with
+    [channel_state:false], in which case [sender]/[contribution] are
+    ignored for channel bookkeeping). Returns the snapshot ID the packet
+    must carry onward (the unit's current ID). The caller is responsible
+    for updating {!state} to reflect the packet {e after} this call, per
+    the "Update state" step. *)
+
+val initiate : t -> sid:int -> unit
+(** Multi-initiator entry point: bump the local ID to [sid] (no-op if not
+    newer), saving state into the intervening snapshots. *)
+
+val snapshot_value : t -> sid:int -> float option
+(** The recorded local state for snapshot [sid], if taken. *)
+
+val channel_state_of : t -> sid:int -> float
+(** Accumulated in-flight contributions recorded for snapshot [sid]. *)
+
+val last_seen : t -> int array
+(** Copy of the last-seen array (channel-state mode only; all zeros
+    otherwise). *)
+
+val finished_through : t -> int
+(** Greatest snapshot ID this unit is finished with: with channel state,
+    [min last_seen]; without, the current ID. *)

@@ -1,0 +1,174 @@
+open Speedlight_sim
+open Speedlight_dataplane
+
+type device = {
+  device_id : int;
+  units : Unit_id.t list;
+  initiate : sid:int -> fire_at:Time.t -> unit;
+  resend : sid:int -> unit;
+}
+
+type snapshot = {
+  sid : int;
+  reports : Report.t Unit_id.Map.t;
+  complete : bool;
+  consistent : bool;
+  timed_out : int list;
+}
+
+type pending = {
+  p_sid : int;
+  mutable p_reports : Report.t Unit_id.Map.t;
+  mutable p_missing : Unit_id.Set.t;
+  mutable p_retries : int;
+  mutable p_excluded : int list;
+  mutable p_done : bool;
+  p_expected_devices : device list;
+}
+
+type t = {
+  engine : Engine.t;
+  lead_time : Time.t;
+  retry_timeout : Time.t;
+  max_retries : int;
+  max_outstanding : int;
+  mutable devices : device list;
+  mutable next_sid : int;
+  mutable unit_owner : int Unit_id.Map.t;  (* unit -> device *)
+  pending : (int, pending) Hashtbl.t;
+  finished : (int, snapshot) Hashtbl.t;
+  mutable callbacks : (snapshot -> unit) list;
+  mutable retries : int;
+}
+
+let create ~engine ?(lead_time = Time.ms 1) ?(retry_timeout = Time.ms 50)
+    ?(max_retries = 5) ?(max_outstanding = 8) () =
+  {
+    engine;
+    lead_time;
+    retry_timeout;
+    max_retries;
+    max_outstanding;
+    devices = [];
+    next_sid = 1;
+    unit_owner = Unit_id.Map.empty;
+    pending = Hashtbl.create 32;
+    finished = Hashtbl.create 256;
+    callbacks = [];
+    retries = 0;
+  }
+
+let register_device t d =
+  t.devices <- d :: t.devices;
+  List.iter (fun u -> t.unit_owner <- Unit_id.Map.add u d.device_id t.unit_owner) d.units
+
+let on_complete t f = t.callbacks <- f :: t.callbacks
+
+let to_snapshot p =
+  let consistent =
+    p.p_excluded = []
+    && Unit_id.Map.for_all (fun _ (r : Report.t) -> r.consistent) p.p_reports
+  in
+  {
+    sid = p.p_sid;
+    reports = p.p_reports;
+    complete = Unit_id.Set.is_empty p.p_missing && p.p_excluded = [];
+    consistent;
+    timed_out = p.p_excluded;
+  }
+
+let finish t p =
+  if not p.p_done then begin
+    p.p_done <- true;
+    Hashtbl.remove t.pending p.p_sid;
+    let snap = to_snapshot p in
+    Hashtbl.replace t.finished p.p_sid snap;
+    List.iter (fun f -> f snap) (List.rev t.callbacks)
+  end
+
+let rec arm_retry t p =
+  ignore
+    (Engine.schedule_after t.engine ~delay:t.retry_timeout (fun () ->
+         if not p.p_done then begin
+           if not (Unit_id.Set.is_empty p.p_missing) then begin
+             if p.p_retries < t.max_retries then begin
+               p.p_retries <- p.p_retries + 1;
+               t.retries <- t.retries + 1;
+               (* Re-initiate only on devices that still owe reports. *)
+               let owing d =
+                 List.exists (fun u -> Unit_id.Set.mem u p.p_missing) d.units
+               in
+               List.iter
+                 (fun d -> if owing d then d.resend ~sid:p.p_sid)
+                 p.p_expected_devices;
+               arm_retry t p
+             end
+             else begin
+               (* Give up on unresponsive devices: exclude them (§6, "If a
+                  device fails, it may timeout and be excluded"). *)
+               let dead =
+                 List.filter
+                   (fun d -> List.exists (fun u -> Unit_id.Set.mem u p.p_missing) d.units)
+                   p.p_expected_devices
+               in
+               p.p_excluded <- List.map (fun d -> d.device_id) dead;
+               p.p_missing <- Unit_id.Set.empty;
+               finish t p
+             end
+           end
+         end))
+
+let take_snapshot t ?at () =
+  if Hashtbl.length t.pending >= t.max_outstanding then
+    failwith "Observer.take_snapshot: too many outstanding snapshots (pacing)";
+  if t.devices = [] then failwith "Observer.take_snapshot: no registered devices";
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let fire_at =
+    match at with Some a -> a | None -> Time.add (Engine.now t.engine) t.lead_time
+  in
+  let missing =
+    List.fold_left
+      (fun acc d -> List.fold_left (fun acc u -> Unit_id.Set.add u acc) acc d.units)
+      Unit_id.Set.empty t.devices
+  in
+  let p =
+    {
+      p_sid = sid;
+      p_reports = Unit_id.Map.empty;
+      p_missing = missing;
+      p_retries = 0;
+      p_excluded = [];
+      p_done = false;
+      p_expected_devices = t.devices;
+    }
+  in
+  Hashtbl.replace t.pending sid p;
+  List.iter (fun d -> d.initiate ~sid ~fire_at) t.devices;
+  (* First retry check fires one timeout after the scheduled execution. *)
+  ignore
+    (Engine.schedule t.engine ~at:fire_at (fun () -> arm_retry t p));
+  sid
+
+let on_report t (r : Report.t) =
+  match Hashtbl.find_opt t.pending r.sid with
+  | None ->
+      (* Spurious: unknown sid (pre-registration jump-ahead, or a repeat
+         for an already-finished snapshot). Ignored by design. *)
+      ()
+  | Some p ->
+      if Unit_id.Set.mem r.unit_id p.p_missing then begin
+        p.p_missing <- Unit_id.Set.remove r.unit_id p.p_missing;
+        p.p_reports <- Unit_id.Map.add r.unit_id r p.p_reports;
+        if Unit_id.Set.is_empty p.p_missing then finish t p
+      end
+
+let result t ~sid =
+  match Hashtbl.find_opt t.finished sid with
+  | Some s -> Some s
+  | None -> Option.map to_snapshot (Hashtbl.find_opt t.pending sid)
+
+let completed t ~sid = Hashtbl.mem t.finished sid
+let outstanding t = Hashtbl.length t.pending
+let last_sid t = t.next_sid - 1
+let retries_sent t = t.retries

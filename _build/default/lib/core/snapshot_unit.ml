@@ -1,0 +1,236 @@
+open Speedlight_dataplane
+
+type config = {
+  channel_state : bool;
+  wraparound : bool;
+  max_sid : int;
+  slot_count : int;
+}
+
+let default_config =
+  { channel_state = true; wraparound = true; max_sid = 255; slot_count = 256 }
+
+let variant_packet_count =
+  { channel_state = false; wraparound = false; max_sid = 255; slot_count = 1024 }
+
+let variant_wraparound =
+  { channel_state = false; wraparound = true; max_sid = 255; slot_count = 256 }
+
+let variant_channel_state =
+  { channel_state = true; wraparound = true; max_sid = 255; slot_count = 256 }
+
+type slot = {
+  mutable ghost : int;  (* unwrapped sid the slot holds *)
+  mutable written : bool;
+  mutable value : float;
+  mutable channel : float;
+}
+
+type t = {
+  uid : Unit_id.t;
+  cfg : config;
+  n_neighbors : int;
+  counter : Counter.t;
+  notify : Notification.t -> unit;
+  slots : slot array;
+  mutable sid : int;  (* wrapped *)
+  mutable ghost_sid : int;  (* unbounded *)
+  last_seen_arr : int array;  (* wrapped; index 0 = CPU; empty w/o chnl state *)
+  ghost_last_seen : int array;
+  neighbor_traffic : int array;  (* data packets seen per upstream channel *)
+  mutable fifo_violations : int;
+  mutable notifications : int;
+}
+
+let create ~id ~cfg ~n_neighbors ~counter ~notify =
+  if n_neighbors < 1 then invalid_arg "Snapshot_unit.create: need >= 1 neighbor";
+  if cfg.wraparound && cfg.max_sid < 3 then
+    invalid_arg "Snapshot_unit.create: max_sid must be >= 3";
+  let nslots = if cfg.wraparound then cfg.max_sid + 1 else cfg.slot_count in
+  let ls_size = if cfg.channel_state then n_neighbors else 0 in
+  {
+    uid = id;
+    cfg;
+    n_neighbors;
+    counter;
+    notify;
+    slots =
+      Array.init nslots (fun _ ->
+          { ghost = 0; written = false; value = 0.; channel = 0. });
+    sid = 0;
+    ghost_sid = 0;
+    last_seen_arr = Array.make (Stdlib.max ls_size 1) 0;
+    ghost_last_seen = Array.make (Stdlib.max ls_size 1) 0;
+    neighbor_traffic = Array.make n_neighbors 0;
+    fifo_violations = 0;
+    notifications = 0;
+  }
+
+let id t = t.uid
+let cfg t = t.cfg
+let counter t = t.counter
+let current_sid t = t.sid
+let current_ghost_sid t = t.ghost_sid
+let last_seen t = if t.cfg.channel_state then Array.copy t.last_seen_arr else [||]
+let fifo_violations t = t.fifo_violations
+let notifications_sent t = t.notifications
+
+let slot_index t ghost = ghost mod Array.length t.slots
+
+let wrap_of t ghost =
+  if t.cfg.wraparound then Wrap.wrap ~max_sid:t.cfg.max_sid ghost else ghost
+
+(* Compare a wrapped id [w] against a wrapped reference [r], using only
+   hardware-available information. *)
+let order_ids t w r =
+  if t.cfg.wraparound then Wrap.compare_ids ~max_sid:t.cfg.max_sid w r
+  else if w > r then Wrap.Newer
+  else if w < r then Wrap.Older
+  else Wrap.Equal
+
+let unwrap_vs t ~reference w =
+  if t.cfg.wraparound then Wrap.unwrap ~max_sid:t.cfg.max_sid ~reference w else w
+
+let emit t ~now ~former_sid ~neighbor ~former_ls ~new_ls =
+  t.notifications <- t.notifications + 1;
+  t.notify
+    {
+      Notification.unit_id = t.uid;
+      former_sid;
+      new_sid = t.sid;
+      neighbor;
+      former_last_seen = former_ls;
+      new_last_seen = new_ls;
+      dp_time = now;
+      ghost_sid = t.ghost_sid;
+    }
+
+(* Save local state for a newly begun snapshot: the single register write
+   the hardware performs on an ID advance. Skipped intermediate IDs get no
+   slot of their own — the control plane masks them (Fig. 7). *)
+let advance t ~now ~new_ghost =
+  let s = t.slots.(slot_index t new_ghost) in
+  s.ghost <- new_ghost;
+  s.written <- true;
+  s.value <- t.counter.Counter.read ~now;
+  s.channel <- 0.;
+  t.ghost_sid <- new_ghost;
+  t.sid <- wrap_of t new_ghost
+
+(* In-flight packet: its contribution belongs to every snapshot it
+   straddles, but one register update is all we get — it goes to the
+   current snapshot's slot. Straddled older snapshots were already marked
+   inconsistent by the control plane when the ID advanced past them. *)
+let add_in_flight t ~contribution =
+  if t.ghost_sid > 0 then begin
+    let s = t.slots.(slot_index t t.ghost_sid) in
+    if s.written && s.ghost = t.ghost_sid then s.channel <- s.channel +. contribution
+  end
+
+(* Record the snapshot ID carried by a packet from [neighbor] into the
+   Last Seen array. FIFO channels only move it forward; a regression is
+   counted as a violation and ignored. Returns (former, new) on change. *)
+let update_last_seen t ~neighbor ~pkt_wrapped =
+  if not t.cfg.channel_state then None
+  else begin
+    if neighbor < 0 || neighbor >= t.n_neighbors then
+      invalid_arg "Snapshot_unit: bad neighbor index";
+    let former = t.last_seen_arr.(neighbor) in
+    match order_ids t pkt_wrapped former with
+    | Wrap.Newer ->
+        t.ghost_last_seen.(neighbor) <-
+          unwrap_vs t ~reference:t.ghost_last_seen.(neighbor) pkt_wrapped;
+        t.last_seen_arr.(neighbor) <- pkt_wrapped;
+        Some (former, pkt_wrapped)
+    | Wrap.Equal -> None
+    | Wrap.Older ->
+        t.fifo_violations <- t.fifo_violations + 1;
+        None
+  end
+
+(* Core snapshot logic, shared by data packets and initiations (Figs. 4/5):
+   compare the carried ID to the local ID, advance / record in-flight
+   contribution accordingly, update Last Seen, notify the CPU of any
+   progress. *)
+let snapshot_logic t ~now ~neighbor ~pkt_wrapped ~contribution ~is_initiation =
+  let former_sid = t.sid in
+  let sid_changed =
+    match order_ids t pkt_wrapped t.sid with
+    | Wrap.Newer ->
+        let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
+        advance t ~now ~new_ghost;
+        true
+    | Wrap.Older ->
+        (* Initiations are never treated as in-flight traffic (§6). *)
+        if t.cfg.channel_state && not is_initiation then add_in_flight t ~contribution;
+        false
+    | Wrap.Equal -> false
+  in
+  let ls_change = update_last_seen t ~neighbor ~pkt_wrapped in
+  if sid_changed || ls_change <> None then begin
+    let former_ls, new_ls =
+      match ls_change with
+      | Some (f, n) -> (Some f, Some n)
+      | None -> (None, None)
+    in
+    let neighbor = if ls_change = None then None else Some neighbor in
+    emit t ~now ~former_sid ~neighbor ~former_ls ~new_ls
+  end
+
+let process_packet t ~now (pkt : Packet.t) =
+  match pkt.snap with
+  | None ->
+      (* Packet from a snapshot-oblivious neighbor (e.g. a host): counter
+         update only; attach a header at the current ID so downstream units
+         see consistent markers. It carries no upstream snapshot
+         information (its channel's completion is excluded by the control
+         plane, §6 "Ensuring liveness"). *)
+      t.counter.Counter.update ~now pkt;
+      pkt.snap <-
+        Some (Snapshot_header.data ~sid:t.sid ~channel:0 ~ghost_sid:t.ghost_sid)
+  | Some hdr ->
+      (match hdr.ptype with
+      | Snapshot_header.Initiation ->
+          invalid_arg "Snapshot_unit.process_packet: initiations use process_initiation"
+      | Snapshot_header.Data -> ());
+      if hdr.channel >= 0 && hdr.channel < t.n_neighbors then
+        t.neighbor_traffic.(hdr.channel) <- t.neighbor_traffic.(hdr.channel) + 1;
+      let contribution = t.counter.Counter.channel_contribution pkt in
+      (* Snapshot logic runs against the state as of *before* this packet
+         (Fig. 3 line 13 updates state after the snapshot steps): a packet
+         that itself advances the ID is post-snapshot everywhere. *)
+      snapshot_logic t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid ~contribution
+        ~is_initiation:false;
+      t.counter.Counter.update ~now pkt;
+      (* Rewrite: the packet now belongs to this unit's current epoch. *)
+      hdr.sid <- t.sid;
+      hdr.ghost_sid <- t.ghost_sid
+
+let process_initiation t ~now ~sid ~ghost_sid =
+  ignore ghost_sid;
+  snapshot_logic t ~now ~neighbor:0 ~pkt_wrapped:sid ~contribution:0.
+    ~is_initiation:true
+
+type slot_read = { value : float option; channel : float }
+
+let read_slot t ~ghost_sid =
+  let s = t.slots.(slot_index t ghost_sid) in
+  if s.written && s.ghost = ghost_sid then { value = Some s.value; channel = s.channel }
+  else { value = None; channel = 0. }
+
+let neighbor_traffic t = Array.copy t.neighbor_traffic
+
+let reset t =
+  t.sid <- 0;
+  t.ghost_sid <- 0;
+  Array.fill t.last_seen_arr 0 (Array.length t.last_seen_arr) 0;
+  Array.fill t.ghost_last_seen 0 (Array.length t.ghost_last_seen) 0;
+  Array.fill t.neighbor_traffic 0 (Array.length t.neighbor_traffic) 0;
+  Array.iter
+    (fun s ->
+      s.ghost <- 0;
+      s.written <- false;
+      s.value <- 0.;
+      s.channel <- 0.)
+    t.slots;
+  t.counter.Counter.reset ()

@@ -1,0 +1,102 @@
+(** The Speedlight data-plane processing unit (Figures 4 and 5).
+
+    This is the hardware-constrained realization of {!Ideal_unit}: bounded
+    snapshot-ID space with optional wraparound, a fixed ring of snapshot
+    slots, and — critically — no ability to loop over intermediate IDs at
+    line rate. When the packet ID and local ID differ by more than 1, the
+    unit performs the single register update the hardware can afford and
+    relies on the control plane ({!Cp_tracker}) to mark skipped snapshots
+    inconsistent (with channel state) or to infer their values (without).
+
+    Neighbor indexing convention: index 0 is always the control plane
+    (whose Last Seen entry participates only in rollover bookkeeping, never
+    in completion); data channels use indices >= 1, assigned by the switch
+    that owns the unit. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+
+type config = {
+  channel_state : bool;  (** collect in-flight contributions + Last Seen *)
+  wraparound : bool;  (** bounded ID space with rollover (§5.3) *)
+  max_sid : int;  (** largest wrapped ID; modulus is [max_sid + 1] *)
+  slot_count : int;  (** snapshot-value ring size when not wrapping *)
+}
+
+val default_config : config
+(** channel state on, wraparound on, [max_sid = 255], 256 slots. *)
+
+val variant_packet_count : config
+(** Table 1 "Packet Count" column: no wraparound, no channel state. *)
+
+val variant_wraparound : config
+(** Table 1 "+ Wrap Around": wraparound, no channel state. *)
+
+val variant_channel_state : config
+(** Table 1 "+ Chnl. State": wraparound and channel state. *)
+
+type t
+
+val create :
+  id:Unit_id.t ->
+  cfg:config ->
+  n_neighbors:int ->
+  counter:Counter.t ->
+  notify:(Notification.t -> unit) ->
+  t
+(** [n_neighbors] includes the control plane at index 0, so a unit with one
+    physical upstream passes 2. *)
+
+val id : t -> Unit_id.t
+val cfg : t -> config
+val counter : t -> Counter.t
+
+val current_sid : t -> int
+(** Wrapped current snapshot ID (what the register holds). *)
+
+val current_ghost_sid : t -> int
+(** Unbounded counterpart (instrumentation / control-plane view). *)
+
+val last_seen : t -> int array
+(** Wrapped Last Seen array copy (index 0 = control plane). Empty when
+    channel state is disabled. *)
+
+val process_packet : t -> now:Time.t -> Packet.t -> unit
+(** Run the full pipeline on a data packet: update the target counter,
+    execute the snapshot logic against the packet's header (attaching one
+    at the unit's current ID if the packet arrived from a non-enabled
+    neighbor), rewrite the header to the current ID, and emit notifications
+    as needed. Headerless packets update only the counter and get a header
+    attached; they carry no upstream snapshot information. *)
+
+val process_initiation : t -> now:Time.t -> sid:int -> ghost_sid:int -> unit
+(** Handle a control-plane initiation (or an initiation forwarded from the
+    ingress unit of the same port): snapshot logic only — the counter
+    update stage is skipped and the packet is never treated as in-flight
+    (§6, "Synchronized snapshot initiation"). *)
+
+type slot_read = {
+  value : float option;
+      (** recorded local state; [None] when the slot does not hold this
+          snapshot (never written, or overwritten after ring reuse) —
+          the "value is uninitialized" case of Fig. 7 *)
+  channel : float;  (** accumulated in-flight contributions *)
+}
+
+val read_slot : t -> ghost_sid:int -> slot_read
+(** Control-plane register read of one snapshot slot. *)
+
+val neighbor_traffic : t -> int array
+(** Data packets observed per upstream channel since creation/reset — the
+    evidence an operator uses to identify non-utilized upstream neighbors
+    for exclusion (§6 "Ensuring liveness"). Index 0 (control plane) is
+    always 0. *)
+
+val fifo_violations : t -> int
+(** Count of packets whose carried ID regressed relative to the channel's
+    Last Seen — impossible on FIFO channels, counted defensively. *)
+
+val notifications_sent : t -> int
+
+val reset : t -> unit
+(** Re-initialize all protocol state to zero (node attachment, §6). *)

@@ -1,0 +1,34 @@
+let modulus ~max_sid =
+  if max_sid < 3 then invalid_arg "Wrap.modulus: max_sid must be >= 3";
+  max_sid + 1
+
+let wrap ~max_sid x =
+  let m = modulus ~max_sid in
+  ((x mod m) + m) mod m
+
+let forward_distance ~max_sid ~from_ ~to_ =
+  let m = modulus ~max_sid in
+  (((to_ - from_) mod m) + m) mod m
+
+type order = Newer | Equal | Older
+
+let compare_ids ~max_sid a b =
+  let m = modulus ~max_sid in
+  let d = forward_distance ~max_sid ~from_:b ~to_:a in
+  if d = 0 then Equal else if d <= m / 2 then Newer else Older
+
+let unwrap ~max_sid ~reference w =
+  let m = modulus ~max_sid in
+  let base = reference - (reference mod m) in
+  (* Candidates congruent to w near the reference. *)
+  let c0 = base + (w mod m) in
+  let candidates = [ c0 - m; c0; c0 + m ] in
+  let half = m / 2 in
+  let fits u = u - reference > -half && u - reference <= m - half in
+  let rec pick = function
+    | [] -> c0 (* unreachable for valid input; degrade gracefully *)
+    | u :: rest -> if fits u then u else pick rest
+  in
+  Stdlib.max 0 (pick candidates)
+
+let max_skew ~max_sid = (modulus ~max_sid - 1) / 2

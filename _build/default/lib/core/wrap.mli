@@ -1,0 +1,44 @@
+(** Snapshot-ID wraparound arithmetic (§5.3).
+
+    The data plane stores snapshot IDs in a bounded space [\[0, max_sid\]]
+    ([modulus] = [max_sid + 1] distinct values) and must still decide
+    whether a packet's ID is newer than, older than, or equal to the local
+    ID. We use half-window modular comparison: [a] is newer than [b] iff
+    the forward distance from [b] to [a] is in [\[1, modulus/2\]].
+
+    Soundness window: comparisons are exact as long as the true (unwrapped)
+    difference between any two IDs in the system is strictly less than
+    half the modulus, i.e. at most [(modulus - 1) / 2]. The paper states the weaker requirement that no ID is
+    ever "lapped" (difference <= max_sid - 1) and relies on the Last Seen
+    array as a reference; pairwise comparison alone cannot disambiguate
+    beyond the half window, so Speedlight's observers must pace initiations
+    anyway — ours enforce the half-window bound, and the property tests
+    check wrapped decisions against unbounded ghost IDs within it. *)
+
+val modulus : max_sid:int -> int
+(** [max_sid + 1]. [max_sid] must be at least 3. *)
+
+val wrap : max_sid:int -> int -> int
+(** Reduce an unbounded ID into the wrapped space. *)
+
+val forward_distance : max_sid:int -> from_:int -> to_:int -> int
+(** [(to_ - from_) mod modulus], in [\[0, modulus)]. *)
+
+type order = Newer | Equal | Older
+
+val compare_ids : max_sid:int -> int -> int -> order
+(** [compare_ids ~max_sid a b]: is wrapped ID [a] newer/equal/older than
+    wrapped ID [b] under the half-window rule? *)
+
+val unwrap : max_sid:int -> reference:int -> int -> int
+(** [unwrap ~max_sid ~reference w] is the unbounded ID congruent to [w]
+    (mod modulus) lying in the half-open window
+    [(reference - modulus/2, reference + ceil(modulus/2)]] around the
+    unbounded [reference]. Exact whenever the true value is within half a
+    modulus of [reference]. Result is clamped to be >= 0. *)
+
+val max_skew : max_sid:int -> int
+(** The largest unwrapped ID difference the comparison logic tolerates:
+    [(modulus - 1) / 2] (at exactly half the modulus the direction is
+    ambiguous). Observers must not let outstanding snapshots exceed
+    this. *)

@@ -1,0 +1,1 @@
+lib/dataplane/counter.ml: Ewma Float Packet Printf Register Sketch Speedlight_sim Speedlight_stats Time

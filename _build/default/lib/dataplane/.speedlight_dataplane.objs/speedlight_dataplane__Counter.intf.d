@@ -1,0 +1,1 @@
+lib/dataplane/counter.mli: Packet Sketch Speedlight_sim Time

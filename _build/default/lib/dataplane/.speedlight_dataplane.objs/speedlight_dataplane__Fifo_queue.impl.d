@@ -1,0 +1,1 @@
+lib/dataplane/fifo_queue.ml: Array Queue

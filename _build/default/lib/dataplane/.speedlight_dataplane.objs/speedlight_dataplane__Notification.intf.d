@@ -1,0 +1,1 @@
+lib/dataplane/notification.mli: Format Speedlight_sim Time Unit_id

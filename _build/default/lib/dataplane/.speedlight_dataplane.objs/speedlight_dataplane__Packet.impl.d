@@ -1,0 +1,1 @@
+lib/dataplane/packet.ml: Format Snapshot_header Speedlight_sim Time

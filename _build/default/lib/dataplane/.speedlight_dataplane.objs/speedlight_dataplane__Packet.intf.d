@@ -1,0 +1,1 @@
+lib/dataplane/packet.mli: Format Snapshot_header Speedlight_sim Time

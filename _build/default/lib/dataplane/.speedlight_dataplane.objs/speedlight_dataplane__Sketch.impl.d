@@ -1,0 +1,1 @@
+lib/dataplane/sketch.ml: Array List Printf Register Stdlib

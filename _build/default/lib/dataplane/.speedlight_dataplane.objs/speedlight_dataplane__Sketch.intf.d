@@ -1,0 +1,1 @@
+lib/dataplane/sketch.mli:

@@ -1,0 +1,1 @@
+lib/dataplane/snapshot_header.mli: Format

@@ -1,0 +1,1 @@
+lib/dataplane/unit_id.ml: Format Int Map Set

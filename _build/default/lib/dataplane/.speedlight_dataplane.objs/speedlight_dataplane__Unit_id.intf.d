@@ -1,0 +1,1 @@
+lib/dataplane/unit_id.mli: Format Map Set

@@ -1,0 +1,128 @@
+open Speedlight_sim
+open Speedlight_stats
+
+type t = {
+  kind : string;
+  update : now:Time.t -> Packet.t -> unit;
+  read : now:Time.t -> float;
+  channel_contribution : Packet.t -> float;
+  reset : unit -> unit;
+}
+
+let packet_count () =
+  let reg = Register.create ~name:"pkt_count" ~size:1 in
+  {
+    kind = "pkt_count";
+    update = (fun ~now:_ _ -> ignore (Register.read_modify_write reg 0 (fun v -> v + 1)));
+    read = (fun ~now:_ -> float_of_int (Register.read reg 0));
+    channel_contribution = (fun _ -> 1.);
+    reset = (fun () -> Register.reset reg);
+  }
+
+let byte_count () =
+  let reg = Register.create ~name:"byte_count" ~size:1 in
+  {
+    kind = "byte_count";
+    update =
+      (fun ~now:_ (pkt : Packet.t) ->
+        ignore (Register.read_modify_write reg 0 (fun v -> v + pkt.size)));
+    read = (fun ~now:_ -> float_of_int (Register.read reg 0));
+    channel_contribution = (fun (pkt : Packet.t) -> float_of_int pkt.size);
+    reset = (fun () -> Register.reset reg);
+  }
+
+let queue_depth ~read_depth =
+  {
+    kind = "queue_depth";
+    update = (fun ~now:_ _ -> ());
+    read = (fun ~now:_ -> float_of_int (read_depth ()));
+    channel_contribution = (fun _ -> 0.);
+    reset = (fun () -> ());
+  }
+
+let ewma_interarrival () =
+  let ew = Ewma.Two_phase.create () in
+  {
+    kind = "ewma_interarrival";
+    update = (fun ~now _ -> Ewma.Two_phase.on_packet ew ~now);
+    read = (fun ~now:_ -> Ewma.Two_phase.value ew);
+    channel_contribution = (fun _ -> 0.);
+    reset = (fun () -> Ewma.Two_phase.reset ew);
+  }
+
+let ewma_rate ?(bin = Time.ms 1) ?(decay = 0.5) () =
+  if bin <= 0 then invalid_arg "Counter.ewma_rate: bin must be positive";
+  let bin_s = Time.to_sec bin in
+  let bin_start = ref 0 in
+  let count = ref 0 in
+  let ewma = ref 0. in
+  (* Hardware registers hold integers: the EWMA's resolution is one packet
+     per bin. Reads quantize accordingly, so a quiet port reads exactly
+     zero once the EWMA decays below half a packet per bin instead of
+     leaking an ever-decaying "time since last burst" signal. *)
+  let quantum = 1. /. bin_s in
+  (* Fold every bin that has fully elapsed by [now] into the EWMA; idle
+     bins contribute a rate of zero, so the value decays on a quiet port. *)
+  let advance_to now =
+    while now >= !bin_start + bin do
+      let rate = float_of_int !count /. bin_s in
+      ewma := (decay *. rate) +. ((1. -. decay) *. !ewma);
+      count := 0;
+      bin_start := !bin_start + bin
+    done
+  in
+  {
+    kind = "ewma_rate";
+    update =
+      (fun ~now _ ->
+        advance_to now;
+        incr count);
+    read =
+      (fun ~now ->
+        advance_to now;
+        Float.round (!ewma /. quantum) *. quantum);
+    channel_contribution = (fun _ -> 0.);
+    reset =
+      (fun () ->
+        bin_start := 0;
+        count := 0;
+        ewma := 0.);
+  }
+
+let sketch_flow ?sketch ~tracked_flow () =
+  let sk = match sketch with Some s -> s | None -> Sketch.create () in
+  {
+    kind = Printf.sprintf "sketch_flow(%d)" tracked_flow;
+    update =
+      (fun ~now:_ (pkt : Packet.t) -> Sketch.update sk ~flow_id:pkt.flow_id 1);
+    read = (fun ~now:_ -> float_of_int (Sketch.query sk ~flow_id:tracked_flow));
+    channel_contribution =
+      (fun (pkt : Packet.t) -> if pkt.flow_id = tracked_flow then 1. else 0.);
+    reset = (fun () -> Sketch.reset sk);
+  }
+
+let constant v =
+  {
+    kind = "constant";
+    update = (fun ~now:_ _ -> ());
+    read = (fun ~now:_ -> v);
+    channel_contribution = (fun _ -> 0.);
+    reset = (fun () -> ());
+  }
+
+let forwarding_version () =
+  let reg = Register.create ~name:"fib_version" ~size:1 in
+  let current = ref 0 in
+  let counter =
+    {
+      kind = "fib_version";
+      update = (fun ~now:_ _ -> Register.write reg 0 !current);
+      read = (fun ~now:_ -> float_of_int (Register.read reg 0));
+      channel_contribution = (fun _ -> 0.);
+      reset =
+        (fun () ->
+          current := 0;
+          Register.reset reg);
+    }
+  in
+  (counter, fun v -> current := v)

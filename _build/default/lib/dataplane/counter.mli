@@ -1,0 +1,60 @@
+(** Snapshot targets: the local state a processing unit measures.
+
+    The snapshot primitive is agnostic to the measured value — "any value
+    accessible at line rate" (§3). A counter bundles:
+    - an update applied to every forwarded packet,
+    - a read of the current value (what gets saved into a snapshot slot),
+    - the metric-specific channel-state contribution of an in-flight packet
+      (§4.2: e.g. +1 per packet for a network-wide packet count; 0 for
+      instantaneous metrics like queue depth where channel state is
+      meaningless). *)
+
+open Speedlight_sim
+
+type t = {
+  kind : string;  (** e.g. "pkt_count"; used in reports *)
+  update : now:Time.t -> Packet.t -> unit;
+  read : now:Time.t -> float;
+  channel_contribution : Packet.t -> float;
+  reset : unit -> unit;
+}
+
+val packet_count : unit -> t
+(** Per-unit packet counter; channel contribution 1 per in-flight packet. *)
+
+val byte_count : unit -> t
+(** Per-unit byte counter; channel contribution = packet size. *)
+
+val queue_depth : read_depth:(unit -> int) -> t
+(** Instantaneous queue depth sampled from the attached egress queue; no
+    channel state. *)
+
+val ewma_interarrival : unit -> t
+(** The paper's two-phase EWMA of packet interarrival time (§8); no channel
+    state. Value is in nanoseconds. *)
+
+val ewma_rate : ?bin:Time.t -> ?decay:float -> unit -> t
+(** EWMA of packet rate (packets per second) — the Fig. 13 metric.
+    Arrivals are accumulated into fixed time bins ([bin], default 1 ms);
+    on every bin boundary the EWMA folds in the finished bin's rate with
+    factor [decay] (default 0.5), so an idle port decays toward zero
+    instead of holding its last value. Reads fold in any bins that have
+    elapsed since the last packet and quantize to whole packets-per-bin
+    (integer registers), so a long-quiet port reads exactly zero. No
+    channel state. *)
+
+val sketch_flow : ?sketch:Sketch.t -> tracked_flow:int -> unit -> t
+(** A count-min sketch over all flows, exposing the tracked flow's point
+    estimate as the snapshot value — a consistent network-wide view of one
+    (elephant) flow's footprint. Channel contribution is 1 for packets of
+    the tracked flow, 0 otherwise, so channel-state snapshots account for
+    its in-flight packets exactly. *)
+
+val constant : float -> t
+(** A counter that never changes — handy in unit tests. *)
+
+val forwarding_version : unit -> t * (int -> unit)
+(** §10 "Measuring Forwarding State": the control plane tags FIB versions;
+    passing packets store the version ID into unit state. Returns the
+    counter and a setter invoked by the control plane when it installs a
+    new FIB version. *)

@@ -1,0 +1,47 @@
+type 'a t = {
+  queues : 'a Queue.t array;
+  capacity : int;
+  mutable total : int;
+  mutable dropped : int;
+}
+
+let create ?(cos_levels = 1) ~capacity () =
+  if cos_levels <= 0 then invalid_arg "Fifo_queue.create: cos_levels must be positive";
+  if capacity <= 0 then invalid_arg "Fifo_queue.create: capacity must be positive";
+  {
+    queues = Array.init cos_levels (fun _ -> Queue.create ());
+    capacity;
+    total = 0;
+    dropped = 0;
+  }
+
+let push t ~cos x =
+  if cos < 0 || cos >= Array.length t.queues then
+    invalid_arg "Fifo_queue.push: bad CoS level";
+  if t.total >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.push x t.queues.(cos);
+    t.total <- t.total + 1;
+    true
+  end
+
+let pop t =
+  (* Highest CoS index = highest priority. *)
+  let rec scan i =
+    if i < 0 then None
+    else if Queue.is_empty t.queues.(i) then scan (i - 1)
+    else begin
+      t.total <- t.total - 1;
+      Some (i, Queue.pop t.queues.(i))
+    end
+  in
+  scan (Array.length t.queues - 1)
+
+let depth t = t.total
+let depth_cos t cos = Queue.length t.queues.(cos)
+let drops t = t.dropped
+let is_empty t = t.total = 0
+let cos_levels t = Array.length t.queues

@@ -1,0 +1,30 @@
+(** A bounded FIFO egress queue with CoS sub-queues.
+
+    Models the output queue in front of an egress processing unit: bounded
+    capacity (tail drop), per-CoS FIFO ordering, strict-priority service
+    across CoS levels (higher CoS served first — this is exactly the
+    non-FIFO interleaving across service classes that the paper's system
+    model allows, while each class stays FIFO). *)
+
+type 'a t
+
+val create : ?cos_levels:int -> capacity:int -> unit -> 'a t
+(** [capacity] bounds the {e total} number of queued packets. *)
+
+val push : 'a t -> cos:int -> 'a -> bool
+(** Enqueue; returns [false] (tail drop) when full. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Dequeue from the highest-priority non-empty CoS queue; returns the CoS
+    level and element. *)
+
+val depth : 'a t -> int
+(** Total packets queued. *)
+
+val depth_cos : 'a t -> int -> int
+
+val drops : 'a t -> int
+(** Cumulative tail drops. *)
+
+val is_empty : 'a t -> bool
+val cos_levels : 'a t -> int

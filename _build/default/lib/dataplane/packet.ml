@@ -1,0 +1,40 @@
+open Speedlight_sim
+
+type t = {
+  uid : int;
+  flow_id : int;
+  src_host : int;
+  dst_host : int;
+  size : int;
+  cos : int;
+  created : Time.t;
+  mutable snap : Snapshot_header.t option;
+}
+
+let create ~uid ~flow_id ~src_host ~dst_host ~size ?(cos = 0) ~created () =
+  { uid; flow_id; src_host; dst_host; size; cos; created; snap = None }
+
+let wire_size ~with_channel_state t =
+  match t.snap with
+  | None -> t.size
+  | Some _ -> t.size + Snapshot_header.overhead_bytes with_channel_state
+
+let pp fmt t =
+  Format.fprintf fmt "pkt#%d flow=%d %d->%d %dB%a" t.uid t.flow_id t.src_host
+    t.dst_host t.size
+    (fun fmt -> function
+      | None -> Format.fprintf fmt ""
+      | Some h -> Format.fprintf fmt " %a" Snapshot_header.pp h)
+    t.snap
+
+module Gen = struct
+  type packet = t
+  type t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let next_uid t =
+    let u = t.next in
+    t.next <- u + 1;
+    u
+end

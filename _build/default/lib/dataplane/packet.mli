@@ -1,0 +1,45 @@
+(** Simulated packets.
+
+    A packet is a mutable record threaded through the network: hosts create
+    them, the edge switch attaches a snapshot header, processing units
+    rewrite the header, and the last snapshot-enabled device strips it. *)
+
+open Speedlight_sim
+
+type t = {
+  uid : int;  (** globally unique, for tracing *)
+  flow_id : int;  (** flow identifier (hashed for ECMP) *)
+  src_host : int;
+  dst_host : int;
+  size : int;  (** bytes, payload + base headers *)
+  cos : int;  (** class of service, selects the CoS sub-channel *)
+  created : Time.t;
+  mutable snap : Snapshot_header.t option;  (** Speedlight header, if any *)
+}
+
+val create :
+  uid:int ->
+  flow_id:int ->
+  src_host:int ->
+  dst_host:int ->
+  size:int ->
+  ?cos:int ->
+  created:Time.t ->
+  unit ->
+  t
+
+val wire_size : with_channel_state:bool -> t -> int
+(** Size on the wire including the snapshot header overhead when one is
+    attached. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Gen : sig
+  (** A uid source for packet creation. *)
+
+  type packet = t
+  type t
+
+  val create : unit -> t
+  val next_uid : t -> int
+end

@@ -1,0 +1,30 @@
+type t = { name : string; cells : int array; mutable accesses : int }
+
+let create ~name ~size =
+  if size <= 0 then invalid_arg "Register.create: size must be positive";
+  { name; cells = Array.make size 0; accesses = 0 }
+
+let name t = t.name
+let size t = Array.length t.cells
+
+let read t i =
+  t.accesses <- t.accesses + 1;
+  t.cells.(i)
+
+let write t i v =
+  t.accesses <- t.accesses + 1;
+  t.cells.(i) <- v
+
+let read_modify_write t i f =
+  t.accesses <- t.accesses + 1;
+  let old = t.cells.(i) in
+  t.cells.(i) <- f old;
+  old
+
+let fill t v =
+  Array.fill t.cells 0 (Array.length t.cells) v;
+  t.accesses <- t.accesses + 1
+
+let reset t = fill t 0
+let access_count t = t.accesses
+let to_array t = Array.copy t.cells

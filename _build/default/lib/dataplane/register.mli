@@ -1,0 +1,35 @@
+(** Register arrays — the stateful memory of a programmable ASIC.
+
+    Speedlight's per-unit protocol state (snapshot ID, snapshot values,
+    last-seen array) and its counters live in register arrays manipulated
+    by stateful ALUs. We model them as fixed-size integer arrays with
+    explicit read/write/read-modify-write operations so that (a) state is
+    confined to what hardware could hold and (b) accesses can be counted
+    for the resource model. *)
+
+type t
+
+val create : name:string -> size:int -> t
+(** A register array of [size] cells initialised to 0. *)
+
+val name : t -> string
+val size : t -> int
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+
+val read_modify_write : t -> int -> (int -> int) -> int
+(** Atomic update of one cell; returns the {e former} value (what a
+    stateful ALU exports to the packet). *)
+
+val fill : t -> int -> unit
+(** Set every cell (control-plane initialisation). *)
+
+val reset : t -> unit
+(** Zero all cells. *)
+
+val access_count : t -> int
+(** Number of read/write operations performed (resource accounting). *)
+
+val to_array : t -> int array
+(** Snapshot of contents (copies; control-plane register reads). *)

@@ -1,0 +1,48 @@
+type t = {
+  rows : Register.t array;
+  width : int;
+  mutable total : int;
+}
+
+(* Per-row hash: SplitMix-style finalizer with a distinct odd multiplier
+   seed per row — cheap enough for a match-action stage. *)
+let hash ~row ~width key =
+  let k = key * ((2 * row) + 0x9E3779B1) in
+  let k = k lxor (k lsr 16) in
+  let k = k * 0x85EBCA6B in
+  let k = k lxor (k lsr 13) in
+  let k = k * 0xC2B2AE35 in
+  (k lxor (k lsr 16)) land max_int mod width
+
+let create ?(depth = 4) ?(width = 1024) () =
+  if depth <= 0 || width <= 0 then invalid_arg "Sketch.create";
+  {
+    rows =
+      Array.init depth (fun i ->
+          Register.create ~name:(Printf.sprintf "cms_row%d" i) ~size:width);
+    width;
+    total = 0;
+  }
+
+let update t ~flow_id count =
+  if count < 0 then invalid_arg "Sketch.update: negative count";
+  Array.iteri
+    (fun row reg ->
+      let idx = hash ~row ~width:t.width flow_id in
+      ignore (Register.read_modify_write reg idx (fun v -> v + count)))
+    t.rows;
+  t.total <- t.total + count
+
+let query t ~flow_id =
+  Array.to_list t.rows
+  |> List.mapi (fun row reg -> Register.read reg (hash ~row ~width:t.width flow_id))
+  |> List.fold_left Stdlib.min max_int
+
+let total t = t.total
+
+let reset t =
+  Array.iter Register.reset t.rows;
+  t.total <- 0
+
+let depth t = Array.length t.rows
+let width t = t.width

@@ -1,0 +1,16 @@
+type packet_type = Data | Initiation
+
+type t = {
+  ptype : packet_type;
+  mutable sid : int;
+  mutable channel : int;
+  mutable ghost_sid : int;
+}
+
+let data ~sid ~channel ~ghost_sid = { ptype = Data; sid; channel; ghost_sid }
+let initiation ~sid ~ghost_sid = { ptype = Initiation; sid; channel = 0; ghost_sid }
+let overhead_bytes with_channel_state = if with_channel_state then 8 else 4
+
+let pp fmt t =
+  let ty = match t.ptype with Data -> "data" | Initiation -> "init" in
+  Format.fprintf fmt "{%s sid=%d chan=%d}" ty t.sid t.channel

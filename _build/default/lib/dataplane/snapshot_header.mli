@@ -1,0 +1,34 @@
+(** The Speedlight packet header (§5.1).
+
+    Added by the first snapshot-enabled router and removed before delivery
+    to hosts. Fields:
+    - {b packet type}: regular data traffic vs. a control-plane initiation
+      message;
+    - {b snapshot ID}: the epoch from which the packet was sent, rewritten
+      at each processing unit to the unit's current ID;
+    - {b channel ID}: identifies the upstream neighbor at the {e receiving}
+      unit (only needed when channel state is collected).
+
+    The [ghost_sid] field is simulation-only instrumentation: the unbounded
+    (never-wrapped) snapshot ID corresponding to [sid]. The protocol logic
+    never reads it; property tests use it to check that wraparound
+    arithmetic reconstructs it exactly. *)
+
+type packet_type = Data | Initiation
+
+type t = {
+  ptype : packet_type;
+  mutable sid : int;  (** wrapped snapshot ID, in [\[0, max_sid\]] *)
+  mutable channel : int;  (** upstream-neighbor index at the receiver *)
+  mutable ghost_sid : int;  (** unbounded ID (instrumentation only) *)
+}
+
+val data : sid:int -> channel:int -> ghost_sid:int -> t
+val initiation : sid:int -> ghost_sid:int -> t
+
+val overhead_bytes : bool -> int
+(** Wire overhead of the header: [overhead_bytes with_channel_state] is 4
+    bytes without channel state (type + ID) and 8 with (adds channel ID),
+    mirroring the prototype's IP-option encoding. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type dir = Ingress | Egress
+
+type t = { switch : int; port : int; dir : dir }
+
+let ingress ~switch ~port = { switch; port; dir = Ingress }
+let egress ~switch ~port = { switch; port; dir = Egress }
+
+let dir_int = function Ingress -> 0 | Egress -> 1
+
+let compare a b =
+  match Int.compare a.switch b.switch with
+  | 0 -> (
+      match Int.compare a.port b.port with
+      | 0 -> Int.compare (dir_int a.dir) (dir_int b.dir)
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash t = (t.switch * 8191) + (t.port * 2) + dir_int t.dir
+
+let pp fmt t =
+  Format.fprintf fmt "s%d/p%d/%s" t.switch t.port
+    (match t.dir with Ingress -> "in" | Egress -> "out")
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,19 @@
+(** Identity of a processing unit.
+
+    The fundamental building block of the snapshot system model (§4.1): a
+    per-port, per-direction packet processing unit. *)
+
+type dir = Ingress | Egress
+
+type t = { switch : int; port : int; dir : dir }
+
+val ingress : switch:int -> port:int -> t
+val egress : switch:int -> port:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

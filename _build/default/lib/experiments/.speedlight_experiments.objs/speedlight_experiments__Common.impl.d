@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Config Engine Format List Net Observer Report Speedlight_core Speedlight_dataplane Speedlight_net Speedlight_sim Speedlight_topology Stdlib String Time Topology Unit_id

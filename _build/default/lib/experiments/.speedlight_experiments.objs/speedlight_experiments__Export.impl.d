@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Cdf Fig10 Fig11 Fig12 Fig13 Fig9 Filename Fun List Printf Resource_model Scale Speedlight_dataplane Speedlight_resources Speedlight_stats String Table1

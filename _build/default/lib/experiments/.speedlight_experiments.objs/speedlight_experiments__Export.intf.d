@@ -1,0 +1,1 @@
+lib/experiments/export.mli: Fig10 Fig11 Fig12 Fig13 Fig9 Scale Speedlight_stats Table1

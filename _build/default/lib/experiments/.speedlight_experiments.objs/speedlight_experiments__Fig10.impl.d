@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Chart Common Config Control_plane Engine Format List Net Snapshot_unit Speedlight_core Speedlight_net Speedlight_sim Speedlight_stats Speedlight_topology Time Topology

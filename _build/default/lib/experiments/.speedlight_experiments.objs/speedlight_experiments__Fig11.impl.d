@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Chart Common Descriptive Dist Float Format List Ptp Rng Speedlight_clock Speedlight_sim Speedlight_stats Stdlib

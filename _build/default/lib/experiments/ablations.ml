@@ -1,0 +1,192 @@
+open Speedlight_sim
+open Speedlight_stats
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+
+type initiator_result = {
+  multi_sync : Cdf.t;
+  single_sync : Cdf.t;
+  single_unreached : int;
+}
+
+let setup ~seed =
+  let cfg =
+    Config.default
+    |> Config.with_variant Snapshot_unit.variant_wraparound
+    |> Config.with_seed seed
+  in
+  let ls, net = Common.make_testbed ~scaled:false ~cfg () in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng ~send:(Common.sender net) ~fids
+    ~hosts ~rate_pps:10_000. ~pkt_size:1500 ~until:(Time.sec 1);
+  (ls, net)
+
+let run_initiator ?(quick = false) ?(seed = 21) () =
+  let count = Common.quick_scale ~quick 40 in
+  let interval = Time.ms 8 in
+  (* Multi-initiator: the normal observer path. *)
+  let _, net_multi = setup ~seed in
+  let sids =
+    Common.take_snapshots net_multi ~start:(Time.ms 20) ~interval ~count
+      ~run_until:(Time.add (Time.ms 40) (count * interval))
+  in
+  let multi =
+    List.filter_map
+      (fun sid -> Option.map Time.to_us (Net.sync_spread net_multi ~sid))
+      sids
+  in
+  (* Single initiator: only switch 0's control plane fires; everything else
+     advances by piggybacking on data traffic. *)
+  let _, net_single = setup ~seed:(seed + 1) in
+  let engine = Net.engine net_single in
+  let cp0 = Net.control_plane net_single 0 in
+  for i = 1 to count do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 20) ((i - 1) * interval))
+         (fun () ->
+           Control_plane.schedule_initiation cp0 ~sid:i
+             ~fire_at_local:(Time.add (Engine.now engine) (Time.ms 1))))
+  done;
+  Engine.run_until engine (Time.add (Time.ms 40) (count * interval));
+  let single =
+    List.filter_map
+      (fun sid -> Option.map Time.to_us (Net.sync_spread net_single ~sid))
+      (List.init count (fun i -> i + 1))
+  in
+  (* Units that never advanced to the last snapshot: unreachable by
+     piggybacking (e.g. host-facing ingress units on other switches). *)
+  let unreached =
+    List.length
+      (List.filter
+         (fun uid ->
+           Snapshot_unit.current_ghost_sid (Net.unit_of net_single uid) < count)
+         (Net.all_unit_ids net_single))
+  in
+  {
+    multi_sync = Cdf.of_samples (Array.of_list multi);
+    single_sync = Cdf.of_samples (Array.of_list single);
+    single_unreached = unreached;
+  }
+
+type notif_result = {
+  no_cs_per_snapshot : float;
+  with_cs_per_snapshot : float;
+}
+
+let notifications_per_snapshot ~variant ~quick ~seed =
+  let cfg =
+    Config.default
+    |> Config.with_variant variant
+    |> Config.with_seed seed
+  in
+  let ls, net = Common.make_testbed ~scaled:false ~cfg () in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  let count = Common.quick_scale ~quick 40 in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng ~send:(Common.sender net) ~fids
+    ~hosts ~rate_pps:60_000. ~pkt_size:1500
+    ~until:(Time.add (Time.ms 40) (count * Time.ms 8));
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 15) (fun () ->
+         Net.auto_exclude_idle net));
+  let _ =
+    Common.take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 8) ~count
+      ~run_until:(Time.add (Time.ms 140) (count * Time.ms 8))
+  in
+  let total =
+    List.fold_left
+      (fun acc s -> acc + Control_plane.notifications_received (Net.control_plane net s))
+      0
+      (List.init (Topology.n_switches (Net.topology net)) (fun s -> s))
+  in
+  float_of_int total /. float_of_int count
+
+let run_notifications ?(quick = false) ?(seed = 22) () =
+  {
+    no_cs_per_snapshot =
+      notifications_per_snapshot ~variant:Snapshot_unit.variant_wraparound ~quick
+        ~seed;
+    with_cs_per_snapshot =
+      notifications_per_snapshot ~variant:Snapshot_unit.variant_channel_state
+        ~quick ~seed:(seed + 1);
+  }
+
+type marker_overhead = {
+  directed_channels : int;
+  marker_bytes_per_snapshot : int;
+  header_bytes_per_packet : int;
+  breakeven_pkts_per_snapshot : float;
+}
+
+let marker_size = 64 (* a minimum-size Ethernet frame *)
+
+let run_marker_overhead ?(channel_state = true) () =
+  let ls = Topology.leaf_spine () in
+  let topo = ls.Topology.topo in
+  (* Directed channels of the processing-unit graph (SS4.1): one internal
+     channel from every connected ingress to every other connected egress
+     of the same switch, plus one per direction of every physical wire. *)
+  let internal = ref 0 and wires = ref 0 in
+  for s = 0 to Topology.n_switches topo - 1 do
+    let connected = ref 0 in
+    for p = 0 to Topology.ports topo s - 1 do
+      match Topology.peer_of topo ~switch:s ~port:p with
+      | Some (Topology.Switch_port _) ->
+          incr connected;
+          incr wires
+      | Some (Topology.Host_port _) -> incr connected
+      | None -> ()
+    done;
+    internal := !internal + (!connected * (!connected - 1))
+  done;
+  let directed_channels = !internal + !wires in
+  let header = Speedlight_dataplane.Snapshot_header.overhead_bytes channel_state in
+  {
+    directed_channels;
+    marker_bytes_per_snapshot = directed_channels * marker_size;
+    header_bytes_per_packet = header;
+    breakeven_pkts_per_snapshot =
+      float_of_int (directed_channels * marker_size) /. float_of_int header;
+  }
+
+let print_initiator fmt r =
+  Common.pp_header fmt "Ablation: multi-initiator vs single-initiator snapshots";
+  Cdf.pp_series ~unit_label:"us" fmt
+    [ ("Multi (Speedlight)", r.multi_sync); ("Single initiator", r.single_sync) ];
+  Format.fprintf fmt "@.%s@."
+    (Chart.plot_cdfs ~x_scale:Chart.Log10 ~x_label:"sync spread (us, log)"
+       [ ("multi-initiator", r.multi_sync); ("single initiator", r.single_sync) ]);
+  Format.fprintf fmt
+    "@.median sync: multi %.1fus vs single %.1fus (%.0fx worse); units never reached by single: %d@."
+    (Cdf.median r.multi_sync) (Cdf.median r.single_sync)
+    (Cdf.median r.single_sync /. Float.max 0.001 (Cdf.median r.multi_sync))
+    r.single_unreached
+
+let print_notifications fmt r =
+  Common.pp_header fmt "Ablation: control-plane notification volume per snapshot";
+  Format.fprintf fmt
+    "no channel state: %.1f notifications/snapshot; with channel state: %.1f (%.1fx)@."
+    r.no_cs_per_snapshot r.with_cs_per_snapshot
+    (r.with_cs_per_snapshot /. Float.max 0.001 r.no_cs_per_snapshot)
+
+let print_marker_overhead fmt r =
+  Common.pp_header fmt
+    "Ablation: classic Chandy-Lamport markers vs Speedlight piggybacking";
+  Format.fprintf fmt
+    "testbed processing-unit graph: %d directed channels@." r.directed_channels;
+  Format.fprintf fmt
+    "classic markers: %d B of dedicated messages per snapshot (one 64 B marker/channel)@."
+    r.marker_bytes_per_snapshot;
+  Format.fprintf fmt "Speedlight: %d B header on every data packet, 0 extra messages@."
+    r.header_bytes_per_packet;
+  Format.fprintf fmt
+    "byte-count breakeven: %.0f packets/snapshot — below that piggybacking is strictly cheaper;@."
+    r.breakeven_pkts_per_snapshot;
+  Format.fprintf fmt
+    "either way only piggybacking survives marker loss and concurrent initiators (SS4.2)@." 

@@ -1,0 +1,50 @@
+(** Ablation studies for the design decisions DESIGN.md calls out.
+
+    These do not reproduce a specific paper figure; they quantify why
+    Speedlight is built the way it is:
+
+    - {b multi- vs single-initiator}: §6 argues snapshots must start at
+      every device simultaneously. The ablation initiates at one switch
+      only and lets piggybacking spread the snapshot, measuring the
+      synchronization penalty and how many units the snapshot never
+      reaches (host-facing ingress units have no marked upstream).
+    - {b channel-state cost}: notification volume per snapshot with and
+      without channel state — the control-plane load the feature adds. *)
+
+open Speedlight_stats
+
+type initiator_result = {
+  multi_sync : Cdf.t;  (** sync spread, µs, all-device initiation *)
+  single_sync : Cdf.t;  (** sync spread, µs, one initiating switch *)
+  single_unreached : int;  (** units the single-initiator snapshot misses *)
+}
+
+val run_initiator : ?quick:bool -> ?seed:int -> unit -> initiator_result
+
+type notif_result = {
+  no_cs_per_snapshot : float;  (** notifications per snapshot, no chnl *)
+  with_cs_per_snapshot : float;
+}
+
+val run_notifications : ?quick:bool -> ?seed:int -> unit -> notif_result
+
+type marker_overhead = {
+  directed_channels : int;
+      (** processing-unit channels in the testbed (internal + wire) *)
+  marker_bytes_per_snapshot : int;
+      (** classic Chandy–Lamport: one 64 B marker per directed channel *)
+  header_bytes_per_packet : int;  (** Speedlight piggyback header *)
+  breakeven_pkts_per_snapshot : float;
+      (** traffic volume per snapshot at which piggybacking starts costing
+          more wire bytes than markers — below it piggybacking is strictly
+          cheaper, and it additionally tolerates loss and concurrent
+          initiators *)
+}
+
+val run_marker_overhead : ?channel_state:bool -> unit -> marker_overhead
+(** Compare the classic marker-based snapshot's message overhead with
+    Speedlight's piggybacking on the paper's testbed topology. *)
+
+val print_initiator : Format.formatter -> initiator_result -> unit
+val print_notifications : Format.formatter -> notif_result -> unit
+val print_marker_overhead : Format.formatter -> marker_overhead -> unit

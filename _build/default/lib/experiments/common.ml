@@ -1,0 +1,55 @@
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+
+let testbed_links ~scaled =
+  if scaled then
+    ( { Topology.bandwidth_bps = 1e9; latency = Time.us 1 },
+      { Topology.bandwidth_bps = 4e9; latency = Time.us 1 } )
+  else
+    ( { Topology.bandwidth_bps = 25e9; latency = Time.us 1 },
+      { Topology.bandwidth_bps = 100e9; latency = Time.us 1 } )
+
+let make_testbed ?(scaled = true) ?(cfg = Config.default) () =
+  let host_link, fabric_link = testbed_links ~scaled in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  let net = Net.create ~cfg ls.Topology.topo in
+  (ls, net)
+
+let sender net ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size ()
+
+let take_snapshots net ~start ~interval ~count ~run_until =
+  let engine = Net.engine net in
+  let sids = ref [] in
+  for i = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add start (i * interval))
+         (fun () -> sids := Net.take_snapshot net () :: !sids))
+  done;
+  Engine.run_until engine run_until;
+  List.rev !sids
+
+let snapshot_value (snap : Observer.snapshot) uid =
+  match Unit_id.Map.find_opt uid snap.Observer.reports with
+  | Some r -> Report.consistent_value r
+  | None -> None
+
+let uplink_egress_units (ls : Topology.leaf_spine) =
+  List.map
+    (fun (leaf, ports) ->
+      (leaf, List.map (fun p -> Unit_id.egress ~switch:leaf ~port:p) ports))
+    ls.Topology.uplink_ports
+
+let all_egress_units net =
+  List.filter
+    (fun (u : Unit_id.t) -> u.Unit_id.dir = Unit_id.Egress)
+    (Net.all_unit_ids net)
+
+let quick_scale ~quick n = if quick then Stdlib.max 5 (n / 4) else n
+
+let pp_header fmt title =
+  let bar = String.make 72 '=' in
+  Format.fprintf fmt "%s@.%s@.%s@." bar title bar

@@ -1,0 +1,45 @@
+(** Shared plumbing for the paper-reproduction experiments. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+
+val testbed_links : scaled:bool -> Topology.link_spec * Topology.link_spec
+(** [(host, fabric)] link specs. [scaled:false] is the real testbed
+    (25/100 GbE); [scaled:true] runs links at 1/4 Gbps so packet-level
+    workload simulations stay tractable (see EXPERIMENTS.md, "time
+    scaling"). *)
+
+val make_testbed :
+  ?scaled:bool -> ?cfg:Config.t -> unit -> Topology.leaf_spine * Net.t
+(** The paper's 4-virtual-switch, 6-server leaf–spine testbed (Fig. 8). *)
+
+val sender : Net.t -> Speedlight_workload.Traffic.send
+(** Adapter from the workload generators to {!Net.send}. *)
+
+val take_snapshots :
+  Net.t ->
+  start:Time.t ->
+  interval:Time.t ->
+  count:int ->
+  run_until:Time.t ->
+  int list
+(** Schedule [count] snapshots at fixed intervals, run the simulation to
+    [run_until], and return the snapshot IDs in order. *)
+
+val snapshot_value : Observer.snapshot -> Unit_id.t -> float option
+(** Consistent value of one unit in an assembled snapshot. *)
+
+val uplink_egress_units : Topology.leaf_spine -> (int * Unit_id.t list) list
+(** Per leaf switch, the egress units of its spine-facing ports — the
+    units Fig. 12 compares. *)
+
+val all_egress_units : Net.t -> Unit_id.t list
+
+val quick_scale : quick:bool -> int -> int
+(** Shrink an iteration count in quick mode (divides by 4, min 5). *)
+
+val pp_header : Format.formatter -> string -> unit
+(** Section banner used by the harness output. *)

@@ -1,0 +1,143 @@
+open Speedlight_stats
+open Speedlight_resources
+
+let quote field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let write_rows ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," (List.map quote header));
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map quote row));
+          output_char oc '\n')
+        rows)
+
+let f = Printf.sprintf "%.6g"
+
+let cdfs ~path series =
+  let rows =
+    List.concat_map
+      (fun (name, cdf) ->
+        List.map (fun (v, p) -> [ name; f v; f p ]) (Cdf.points cdf))
+      series
+  in
+  write_rows ~path ~header:[ "series"; "value"; "cumulative_probability" ] rows
+
+let ( / ) = Filename.concat
+
+let fig9 ~dir (r : Fig9.result) =
+  cdfs ~path:(dir / "fig9_synchronization_cdf.csv")
+    [
+      ("switch_state", r.Fig9.no_cs);
+      ("switch_plus_channel_state", r.Fig9.with_cs);
+      ("polling", r.Fig9.polling);
+    ]
+
+let fig10 ~dir (r : Fig10.result) =
+  write_rows
+    ~path:(dir / "fig10_max_rate.csv")
+    ~header:[ "ports"; "max_rate_hz" ]
+    (List.map
+       (fun p -> [ string_of_int p.Fig10.ports; f p.Fig10.max_rate_hz ])
+       r)
+
+let fig11 ~dir (r : Fig11.result) =
+  write_rows
+    ~path:(dir / "fig11_sync_vs_routers.csv")
+    ~header:[ "routers"; "avg_sync_us"; "p99_sync_us" ]
+    (List.map
+       (fun p ->
+         [ string_of_int p.Fig11.routers; f p.Fig11.avg_sync_us; f p.Fig11.p99_sync_us ])
+       r)
+
+let fig12 ~dir (r : Fig12.result) =
+  List.iter
+    (fun (a : Fig12.app_result) ->
+      let name = String.lowercase_ascii (Fig12.app_name a.Fig12.app) in
+      cdfs
+        ~path:(dir / Printf.sprintf "fig12_%s_stddev_cdf.csv" name)
+        [
+          ("ecmp_snapshots", a.Fig12.ecmp_snap);
+          ("ecmp_polling", a.Fig12.ecmp_poll);
+          ("flowlet_snapshots", a.Fig12.flowlet_snap);
+          ("flowlet_polling", a.Fig12.flowlet_poll);
+        ])
+    r
+
+let matrix_rows (m : Fig13.matrix) =
+  let n = Array.length m.Fig13.units in
+  let rows = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        rows :=
+          [
+            Speedlight_dataplane.Unit_id.to_string m.Fig13.units.(i);
+            Speedlight_dataplane.Unit_id.to_string m.Fig13.units.(j);
+            f m.Fig13.rho.(i).(j);
+            (if m.Fig13.significant.(i).(j) then "1" else "0");
+          ]
+          :: !rows
+    done
+  done;
+  List.rev !rows
+
+let fig13 ~dir (r : Fig13.result) =
+  write_rows
+    ~path:(dir / "fig13_snapshot_correlations.csv")
+    ~header:[ "port_a"; "port_b"; "rho"; "significant" ]
+    (matrix_rows r.Fig13.snap);
+  write_rows
+    ~path:(dir / "fig13_polling_correlations.csv")
+    ~header:[ "port_a"; "port_b"; "rho"; "significant" ]
+    (matrix_rows r.Fig13.poll)
+
+let table1 ~dir (r : Table1.result) =
+  write_rows
+    ~path:(dir / "table1_resources.csv")
+    ~header:
+      [
+        "variant"; "ports"; "stateless_alus"; "stateful_alus"; "logical_tables";
+        "gateways"; "stages"; "sram_kb"; "tcam_kb";
+      ]
+    (List.concat_map
+       (fun (row : Table1.row) ->
+         let mk ports (u : Resource_model.usage) =
+           [
+             Resource_model.variant_name row.Table1.variant;
+             string_of_int ports;
+             string_of_int u.Resource_model.stateless_alus;
+             string_of_int u.Resource_model.stateful_alus;
+             string_of_int u.Resource_model.logical_table_ids;
+             string_of_int u.Resource_model.gateways;
+             string_of_int u.Resource_model.stages;
+             f u.Resource_model.sram_kb;
+             f u.Resource_model.tcam_kb;
+           ]
+         in
+         [ mk 64 row.Table1.usage_64; mk 14 row.Table1.usage_14 ])
+       r)
+
+let scale ~dir (r : Scale.result) =
+  write_rows
+    ~path:(dir / "scale_fat_tree_validation.csv")
+    ~header:
+      [ "k"; "switches"; "units"; "measured_avg_us"; "measured_max_us"; "predicted_avg_us" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.Scale.k;
+           string_of_int p.Scale.switches;
+           string_of_int p.Scale.units;
+           f p.Scale.measured_avg_us;
+           f p.Scale.measured_max_us;
+           f p.Scale.predicted_avg_us;
+         ])
+       r)

@@ -1,0 +1,22 @@
+(** CSV export of experiment results, for external plotting.
+
+    Every writer creates (or truncates) one file per table/figure with a
+    header row; values are plain decimal. The CLI exposes these through
+    the [--csv DIR] option. *)
+
+val write_rows :
+  path:string -> header:string list -> string list list -> unit
+(** Low-level writer; raises [Sys_error] on I/O failure. Fields containing
+    commas or quotes are quoted per RFC 4180. *)
+
+val cdfs : path:string -> (string * Speedlight_stats.Cdf.t) list -> unit
+(** Columns: [series, value, cumulative_probability] — one row per sample
+    point of each named ECDF. *)
+
+val fig9 : dir:string -> Fig9.result -> unit
+val fig10 : dir:string -> Fig10.result -> unit
+val fig11 : dir:string -> Fig11.result -> unit
+val fig12 : dir:string -> Fig12.result -> unit
+val fig13 : dir:string -> Fig13.result -> unit
+val table1 : dir:string -> Table1.result -> unit
+val scale : dir:string -> Scale.result -> unit

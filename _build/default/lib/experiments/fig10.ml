@@ -1,0 +1,83 @@
+open Speedlight_sim
+open Speedlight_stats
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+
+type point = { ports : int; max_rate_hz : float }
+type result = point list
+
+(* Build a single snapshot-enabled switch with [ports] host-facing ports.
+   Without channel state no traffic is needed: every unit advances (and
+   notifies) on the control-plane initiation alone. *)
+let make_switch ~ports ~seed =
+  let b = Topology.Builder.create () in
+  let sw = Topology.Builder.add_switch b ~n_ports:ports in
+  for p = 0 to ports - 1 do
+    let h = Topology.Builder.add_host b in
+    Topology.Builder.attach_host b ~host:h ~switch:sw ~port:p
+  done;
+  let topo = Topology.Builder.build b in
+  let cfg =
+    Config.default
+    |> Config.with_variant Snapshot_unit.variant_wraparound
+    |> Config.with_seed seed
+  in
+  Net.create ~cfg topo
+
+(* Drive initiations directly at the switch control plane at a fixed rate
+   for [duration]; sustained iff the notification socket never dropped. *)
+let sustainable ~ports ~rate_hz ~seed =
+  let net = make_switch ~ports ~seed in
+  let engine = Net.engine net in
+  let cp = Net.control_plane net 0 in
+  let interval_ns = 1e9 /. rate_hz in
+  let duration = Time.ms 1500 in
+  let n = int_of_float (Time.to_sec duration *. rate_hz) in
+  for i = 1 to n do
+    Control_plane.schedule_initiation cp ~sid:i
+      ~fire_at_local:(Time.of_ns_float (float_of_int i *. interval_ns))
+  done;
+  (* Let the service queue drain fully before judging. *)
+  Engine.run_until engine (Time.add duration (Time.sec 2));
+  Control_plane.notif_drops cp = 0
+
+(* Binary search the highest sustainable rate. The service-rate bound
+   gives the bracket: 1 / (2 * ports * notify_proc_time). *)
+let max_rate ~ports ~seed ~iters =
+  let lo = ref 1.0 and hi = ref 4000.0 in
+  for i = 0 to iters - 1 do
+    let mid = sqrt (!lo *. !hi) (* geometric: rates span decades *) in
+    if sustainable ~ports ~rate_hz:mid ~seed:(seed + i) then lo := mid else hi := mid
+  done;
+  !lo
+
+let run ?(quick = false) ?(seed = 10) () =
+  let iters = if quick then 7 else 11 in
+  List.map
+    (fun ports -> { ports; max_rate_hz = max_rate ~ports ~seed ~iters })
+    [ 4; 8; 16; 32; 64 ]
+
+let print fmt r =
+  Common.pp_header fmt
+    "Figure 10: max sustained snapshot rate (Hz) vs ports/router (no chnl state)";
+  Format.fprintf fmt "%12s %18s@." "ports" "max rate (Hz)";
+  List.iter
+    (fun p -> Format.fprintf fmt "%12d %18.0f@." p.ports p.max_rate_hz)
+    r;
+  Format.fprintf fmt "@.%s@."
+    (Chart.plot_xy ~x_scale:Chart.Log10 ~y_scale:Chart.Log10
+       ~x_label:"ports/router (log)" ~y_label:"max rate (Hz, log)"
+       [
+         ( "max sustained rate",
+           Array.of_list
+             (List.map (fun p -> (float_of_int p.ports, p.max_rate_hz)) r) );
+       ]);
+  let at64 =
+    match List.find_opt (fun p -> p.ports = 64) r with
+    | Some p -> p.max_rate_hz
+    | None -> nan
+  in
+  Format.fprintf fmt
+    "@.paper: >70 snapshots/s at 64 ports, ~1/ports scaling; measured at 64 ports: %.0f Hz@."
+    at64

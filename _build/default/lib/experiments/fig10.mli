@@ -1,0 +1,19 @@
+(** Figure 10: maximum sustained snapshot rate vs. ports per router.
+
+    A single switch takes snapshots at a fixed interval; frequencies that
+    are too high build up the control plane's notification queue until it
+    drops. The plot reports the highest frequency without drops for port
+    counts 4–64 (no channel state). The bottleneck is the unoptimized
+    control plane's per-notification processing latency, not the ASIC–CPU
+    channel — exactly as modeled. Paper: > 70 snapshots/s at 64 ports. *)
+
+type point = {
+  ports : int;
+  max_rate_hz : float;  (** highest drop-free sustained rate found *)
+}
+
+type result = point list
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,36 @@
+(** Figure 12: evaluating load balancing with snapshots vs. polling.
+
+    For each workload (Hadoop, GraphX, Memcache) and each load-balancing
+    policy (flow-hash ECMP, flowlet switching), the testbed snapshots an
+    EWMA of packet interarrival time on every uplink port and computes the
+    standard deviation across the uplinks of each leaf switch — the
+    "how balanced is the network *right now*" metric. The same statistic
+    computed from asynchronous polling sweeps is the baseline.
+
+    Paper's qualitative results: (a) Hadoop — flowlets improve balance
+    substantially, but polling shows little-to-no gain; (b) GraphX —
+    polling consistently underestimates the imbalance; (c) Memcache — the
+    workload is very even and polling *overestimates* the imbalance. *)
+
+open Speedlight_stats
+
+type app = Hadoop | Graphx | Memcache
+
+val app_name : app -> string
+
+type app_result = {
+  app : app;
+  ecmp_snap : Cdf.t;  (** stddev of uplink EWMA interarrival, µs *)
+  ecmp_poll : Cdf.t;
+  flowlet_snap : Cdf.t;
+  flowlet_poll : Cdf.t;
+}
+
+type result = app_result list
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+(** Runs all 3 workloads x 2 policies (6 simulations). *)
+
+val run_app : ?quick:bool -> ?seed:int -> app -> app_result
+
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,93 @@
+open Speedlight_sim
+open Speedlight_stats
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+
+type result = { no_cs : Cdf.t; with_cs : Cdf.t; polling : Cdf.t }
+
+(* One measurement campaign for a given protocol variant: dense uniform
+   traffic (the testbed ran its workloads at line rate on 25 GbE, so every
+   utilized channel sees packets within microseconds), snapshots well
+   spaced so the control planes keep up, sync read from notification
+   timestamps. *)
+let run_variant ~variant ~quick ~seed =
+  let cfg =
+    Config.default
+    |> Config.with_variant variant
+    |> Config.with_counter Config.Packet_count
+    |> Config.with_seed seed
+  in
+  let ls, net = Common.make_testbed ~scaled:false ~cfg () in
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  let rate = if quick then 40_000. else 250_000. in
+  let count = if quick then 20 else 100 in
+  let interval = Time.ms 6 in
+  let t_end = Time.add (Time.ms 30) (count * interval) in
+  Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
+    ~rate_pps:rate ~pkt_size:1500 ~until:t_end;
+  ignore
+    (Engine.schedule engine ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net));
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 20) ~interval ~count
+      ~run_until:(Time.add t_end (Time.ms 100))
+  in
+  let samples =
+    List.filter_map
+      (fun sid ->
+        match Net.result net ~sid with
+        | Some snap when snap.Observer.complete ->
+            Option.map Time.to_us (Net.sync_spread net ~sid)
+        | Some _ | None -> None)
+      sids
+  in
+  Cdf.of_samples (Array.of_list samples)
+
+(* The polling baseline: repeated full sweeps of every processing unit; the
+   measurement is the spread between the first and last poll of a sweep. *)
+let run_polling ~quick ~seed =
+  let cfg = Config.default |> Config.with_seed seed in
+  let _ls, net = Common.make_testbed ~scaled:false ~cfg () in
+  let rng = Net.fresh_rng net in
+  let rounds = if quick then 30 else 100 in
+  let samples =
+    List.init rounds (fun _ ->
+        let r = Polling.poll_round_sync net ~rng () in
+        Time.to_us (Polling.spread r))
+  in
+  Cdf.of_samples (Array.of_list samples)
+
+let run ?(quick = false) ?(seed = 9) () =
+  {
+    no_cs = run_variant ~variant:Snapshot_unit.variant_wraparound ~quick ~seed;
+    with_cs = run_variant ~variant:Snapshot_unit.variant_channel_state ~quick
+        ~seed:(seed + 1);
+    polling = run_polling ~quick ~seed:(seed + 2);
+  }
+
+let print fmt r =
+  Common.pp_header fmt
+    "Figure 9: CDF of measurement synchronization (us) - snapshots vs polling";
+  Cdf.pp_series ~unit_label:"us" fmt
+    [
+      ("Switch State", r.no_cs);
+      ("Switch+Chnl State", r.with_cs);
+      ("Polling", r.polling);
+    ];
+  Format.fprintf fmt "@.%s@."
+    (Chart.plot_cdfs ~x_scale:Chart.Log10 ~x_label:"synchronization (us, log)"
+       [
+         ("no chnl state", r.no_cs);
+         ("chnl state", r.with_cs);
+         ("polling", r.polling);
+       ]);
+  Format.fprintf fmt
+    "@.paper: snapshot median ~6.4us, max 22us (no chnl) / 27us (chnl); polling median 2.6ms@.";
+  Format.fprintf fmt
+    "measured: no-chnl median %.1fus max %.1fus | chnl median %.1fus max %.1fus | polling median %.0fus@."
+    (Cdf.median r.no_cs) (Cdf.max r.no_cs) (Cdf.median r.with_cs)
+    (Cdf.max r.with_cs) (Cdf.median r.polling)

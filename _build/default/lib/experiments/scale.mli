@@ -1,0 +1,24 @@
+(** Extension: end-to-end validation of Fig. 11's methodology.
+
+    Fig. 11 extrapolates synchronization to large networks with a
+    Monte-Carlo simulation over testbed-measured latency distributions.
+    This experiment cross-checks that methodology at sizes we *can* run
+    end-to-end: it deploys the full protocol (real initiations, clocks,
+    piggybacking, notifications) on k-ary fat trees and compares the
+    measured synchronization of real snapshots against the Monte-Carlo
+    prediction for the same device count. Agreement here is evidence the
+    Fig. 11 extrapolation is sound. *)
+
+type point = {
+  k : int;  (** fat-tree arity *)
+  switches : int;
+  units : int;
+  measured_avg_us : float;  (** real-protocol average sync spread *)
+  measured_max_us : float;
+  predicted_avg_us : float;  (** Fig. 11-style Monte-Carlo, same size *)
+}
+
+type result = point list
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

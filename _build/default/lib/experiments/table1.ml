@@ -1,0 +1,29 @@
+open Speedlight_resources
+
+type row = {
+  variant : Resource_model.variant;
+  usage_64 : Resource_model.usage;
+  usage_14 : Resource_model.usage;
+}
+
+type result = row list
+
+let run ?quick:_ () =
+  List.map
+    (fun v ->
+      {
+        variant = v;
+        usage_64 = Resource_model.usage v ~ports:64;
+        usage_14 = Resource_model.usage v ~ports:14;
+      })
+    Resource_model.all_variants
+
+let print fmt rows =
+  Common.pp_header fmt "Table 1: Speedlight data-plane resource usage (64 ports)";
+  Resource_model.pp_table fmt ~ports:64;
+  let cs = List.find (fun r -> r.variant = Resource_model.Channel_state) rows in
+  Format.fprintf fmt
+    "@.14-port wraparound+channel-state config (Section 7.1): %.0f KB SRAM, %.0f KB TCAM (paper: 638 / 90)@."
+    cs.usage_14.Resource_model.sram_kb cs.usage_14.Resource_model.tcam_kb;
+  Format.fprintf fmt
+    "paper anchors (64 ports): SRAM 606/671/770 KB, TCAM 42/59/244 KB, <25%% of any chip resource@."

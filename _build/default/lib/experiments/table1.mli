@@ -1,0 +1,18 @@
+(** Table 1: Speedlight data-plane resource usage on the Tofino.
+
+    Rendered from the analytic {!Speedlight_resources.Resource_model},
+    which is anchored to the paper's published numbers (see its
+    documentation). Also prints the §7.1 14-port configuration. *)
+
+open Speedlight_resources
+
+type row = {
+  variant : Resource_model.variant;
+  usage_64 : Resource_model.usage;
+  usage_14 : Resource_model.usage;
+}
+
+type result = row list
+
+val run : ?quick:bool -> unit -> result
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/net/config.ml: Printf Ptp Routing Snapshot_unit Speedlight_clock Speedlight_core Speedlight_sim Speedlight_topology Time

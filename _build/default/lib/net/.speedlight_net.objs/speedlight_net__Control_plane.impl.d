@@ -1,0 +1,1 @@
+lib/net/control_plane.ml: Clock Config Cp_tracker Dist Engine Float List Notification Ptp Queue Rng Snapshot_unit Speedlight_clock Speedlight_core Speedlight_dataplane Speedlight_sim Stdlib Time Wrap

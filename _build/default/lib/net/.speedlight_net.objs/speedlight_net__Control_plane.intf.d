@@ -1,0 +1,1 @@
+lib/net/control_plane.mli: Clock Config Cp_tracker Engine Notification Report Rng Speedlight_clock Speedlight_core Speedlight_dataplane Speedlight_sim Time

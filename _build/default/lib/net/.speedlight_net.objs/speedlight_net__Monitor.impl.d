@@ -1,0 +1,1 @@
+lib/net/monitor.ml: Array Engine Hashtbl List Net Observer Report Speedlight_core Speedlight_dataplane Speedlight_sim Time

@@ -1,0 +1,1 @@
+lib/net/monitor.mli: Net Observer Speedlight_core Speedlight_dataplane Speedlight_sim

@@ -1,0 +1,1 @@
+lib/net/net.mli: Config Control_plane Engine Observer Packet Rng Routing Snapshot_unit Speedlight_core Speedlight_dataplane Speedlight_sim Speedlight_topology Switch Time Topology Unit_id

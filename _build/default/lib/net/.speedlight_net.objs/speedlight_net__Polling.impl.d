@@ -1,0 +1,1 @@
+lib/net/polling.ml: Array Dist Engine Float List Net Rng Speedlight_dataplane Speedlight_sim Time Unit_id

@@ -1,0 +1,1 @@
+lib/net/polling.mli: Dist Net Rng Speedlight_dataplane Speedlight_sim Time Unit_id

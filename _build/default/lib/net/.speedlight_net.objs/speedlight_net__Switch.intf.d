@@ -1,0 +1,1 @@
+lib/net/switch.mli: Config Engine Notification Packet Rng Routing Snapshot_unit Speedlight_core Speedlight_dataplane Speedlight_sim Speedlight_topology Topology Unit_id

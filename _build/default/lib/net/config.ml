@@ -1,0 +1,74 @@
+open Speedlight_sim
+open Speedlight_clock
+open Speedlight_core
+open Speedlight_topology
+
+type counter_kind =
+  | Packet_count
+  | Byte_count
+  | Queue_depth
+  | Ewma_interarrival
+  | Ewma_rate of int
+  | Fib_version
+  | Sketch_flow of int
+
+let counter_kind_name = function
+  | Packet_count -> "pkt_count"
+  | Byte_count -> "byte_count"
+  | Queue_depth -> "queue_depth"
+  | Ewma_interarrival -> "ewma_interarrival"
+  | Ewma_rate w -> Printf.sprintf "ewma_rate(%d)" w
+  | Fib_version -> "fib_version"
+  | Sketch_flow f -> Printf.sprintf "sketch_flow(%d)" f
+
+type t = {
+  unit_cfg : Snapshot_unit.config;
+  counter : counter_kind;
+  lb_policy : Routing.policy;
+  cos_levels : int;
+  used_cos : int list;
+  queue_capacity : int;
+  switch_latency : Time.t;
+  notify_latency : Time.t;
+  notify_drop_prob : float;
+  notify_proc_time : Time.t;
+  notify_queue_capacity : int;
+  init_drop_prob : float;
+  report_latency : Time.t;
+  ptp : Ptp.profile;
+  cp_poll_interval : Time.t option;
+  observer_lead_time : Time.t;
+  observer_retry_timeout : Time.t;
+  observer_max_retries : int;
+  snapshot_disabled_switches : int list;
+  seed : int;
+}
+
+let default =
+  {
+    unit_cfg = Snapshot_unit.variant_channel_state;
+    counter = Packet_count;
+    lb_policy = Routing.Ecmp;
+    cos_levels = 1;
+    used_cos = [ 0 ];
+    queue_capacity = 256;
+    switch_latency = Time.ns 500;
+    notify_latency = Time.us 5;
+    notify_drop_prob = 0.;
+    notify_proc_time = Time.us 110;
+    notify_queue_capacity = 512;
+    init_drop_prob = 0.;
+    report_latency = Time.us 50;
+    ptp = Ptp.default_profile;
+    cp_poll_interval = None;
+    observer_lead_time = Time.ms 1;
+    observer_retry_timeout = Time.ms 50;
+    observer_max_retries = 5;
+    snapshot_disabled_switches = [];
+    seed = 42;
+  }
+
+let with_variant unit_cfg t = { t with unit_cfg }
+let with_counter counter t = { t with counter }
+let with_policy lb_policy t = { t with lb_policy }
+let with_seed seed t = { t with seed }

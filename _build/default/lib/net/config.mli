@@ -1,0 +1,57 @@
+(** Configuration of a simulated Speedlight deployment. *)
+
+open Speedlight_sim
+open Speedlight_clock
+open Speedlight_core
+open Speedlight_topology
+
+type counter_kind =
+  | Packet_count
+  | Byte_count
+  | Queue_depth  (** egress units read their port queue; ingress units 0 *)
+  | Ewma_interarrival  (** the paper's two-phase EWMA (§8) *)
+  | Ewma_rate of int  (** EWMA of packet rate, bin width in µs (Fig. 13) *)
+  | Fib_version  (** forwarding-state snapshots (§10) *)
+  | Sketch_flow of int
+      (** count-min sketch of all flows; snapshot value = the given flow's
+          point estimate (sketch-based telemetry as snapshot target, §9) *)
+
+val counter_kind_name : counter_kind -> string
+
+type t = {
+  unit_cfg : Snapshot_unit.config;  (** protocol variant *)
+  counter : counter_kind;  (** what each unit snapshots *)
+  lb_policy : Routing.policy;
+  cos_levels : int;  (** CoS sub-channels per internal connection *)
+  used_cos : int list;
+      (** CoS levels that actually carry traffic; unused sub-channels are
+          removed from completion consideration (§6) *)
+  queue_capacity : int;  (** egress queue size, packets *)
+  switch_latency : Time.t;  (** ingress->egress pipeline traversal *)
+  notify_latency : Time.t;  (** data plane -> CPU DMA latency *)
+  notify_drop_prob : float;  (** loss on the DP->CPU channel *)
+  notify_proc_time : Time.t;
+      (** control-plane service time per notification — the unoptimized-CP
+          bottleneck behind Fig. 10 (~110 µs reproduces ">70 snapshots/s at
+          64 ports") *)
+  notify_queue_capacity : int;  (** socket receive buffer, notifications *)
+  init_drop_prob : float;  (** loss of CPU->ingress initiation messages *)
+  report_latency : Time.t;  (** control plane -> observer shipping *)
+  ptp : Ptp.profile;
+  cp_poll_interval : Time.t option;
+      (** proactive register polling period ([None] = disabled) *)
+  observer_lead_time : Time.t;  (** how far ahead snapshots are scheduled *)
+  observer_retry_timeout : Time.t;
+  observer_max_retries : int;
+  snapshot_disabled_switches : int list;  (** partial deployment (§10) *)
+  seed : int;
+}
+
+val default : t
+(** Channel-state + wraparound variant, packet counters, ECMP, calibrated
+    latency model (see DESIGN.md §6). *)
+
+val with_variant : Snapshot_unit.config -> t -> t
+val with_counter : counter_kind -> t -> t
+val with_policy : Routing.policy -> t -> t
+val with_seed : int -> t -> t

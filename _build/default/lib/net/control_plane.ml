@@ -1,0 +1,143 @@
+open Speedlight_sim
+open Speedlight_clock
+open Speedlight_dataplane
+open Speedlight_core
+
+type t = {
+  switch_id : int;
+  engine : Engine.t;
+  rng : Rng.t;
+  cfg : Config.t;
+  clk : Clock.t;
+  tracker : Cp_tracker.t;
+  inject : port:int -> sid_wrapped:int -> ghost_sid:int -> unit;
+  flood : unit -> unit;
+  ports : int list;
+  queue : Notification.t Queue.t;
+  mutable servicing : bool;
+  mutable drops : int;
+  mutable peak : int;
+  mutable received : int;
+}
+
+let wrap_sid (cfg : Config.t) sid =
+  if cfg.unit_cfg.Snapshot_unit.wraparound then
+    Wrap.wrap ~max_sid:cfg.unit_cfg.Snapshot_unit.max_sid sid
+  else sid
+
+let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~to_observer =
+  let report r =
+    ignore
+      (Engine.schedule_after engine ~delay:cfg.Config.report_latency (fun () ->
+           to_observer r))
+  in
+  let tracker =
+    Cp_tracker.create
+      ~channel_state:cfg.Config.unit_cfg.Snapshot_unit.channel_state
+      ~max_sid:cfg.Config.unit_cfg.Snapshot_unit.max_sid
+      ~wraparound:cfg.Config.unit_cfg.Snapshot_unit.wraparound ~units ~report ()
+  in
+  let t =
+    {
+      switch_id;
+      engine;
+      rng;
+      cfg;
+      clk = clock;
+      tracker;
+      inject;
+      flood;
+      ports;
+      queue = Queue.create ();
+      servicing = false;
+      drops = 0;
+      peak = 0;
+      received = 0;
+    }
+  in
+  (match cfg.Config.cp_poll_interval with
+  | None -> ()
+  | Some interval ->
+      let rec tick () =
+        ignore
+          (Engine.schedule_after engine ~delay:interval (fun () ->
+               Cp_tracker.poll tracker ~now:(Engine.now engine);
+               tick ()))
+      in
+      tick ());
+  t
+
+let clock t = t.clk
+let tracker t = t.tracker
+
+(* Service one notification every [notify_proc_time]: this finite rate is
+   what caps the sustainable snapshot frequency (Fig. 10). *)
+let rec service t =
+  match Queue.take_opt t.queue with
+  | None -> t.servicing <- false
+  | Some n ->
+      t.servicing <- true;
+      ignore
+        (Engine.schedule_after t.engine ~delay:t.cfg.Config.notify_proc_time
+           (fun () ->
+             Cp_tracker.on_notify t.tracker ~now:(Engine.now t.engine) n;
+             service t))
+
+let deliver_notification t n =
+  t.received <- t.received + 1;
+  if Queue.length t.queue >= t.cfg.Config.notify_queue_capacity then
+    t.drops <- t.drops + 1
+  else begin
+    Queue.push n t.queue;
+    t.peak <- Stdlib.max t.peak (Queue.length t.queue);
+    if not t.servicing then service t
+  end
+
+let broadcast_initiation t ~sid =
+  let wrapped = wrap_sid t.cfg sid in
+  List.iter
+    (fun port ->
+      (* One CPU->ASIC command per port, each with its own latency draw. *)
+      let delay =
+        Time.of_ns_float
+          (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.init_latency t.rng))
+      in
+      ignore
+        (Engine.schedule_after t.engine ~delay (fun () ->
+             if not (Rng.bernoulli t.rng t.cfg.Config.init_drop_prob) then
+               t.inject ~port ~sid_wrapped:wrapped ~ghost_sid:sid)))
+    t.ports
+
+let schedule_initiation t ~sid ~fire_at_local =
+  (* Convert the agreed local-clock deadline to true simulation time, then
+     add the OS scheduling jitter of the initiation thread. *)
+  let true_fire = Clock.true_time_of_local t.clk ~local:fire_at_local in
+  let jitter =
+    Time.of_ns_float
+      (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
+  in
+  let at = Time.max (Engine.now t.engine) (Time.add true_fire jitter) in
+  ignore (Engine.schedule t.engine ~at (fun () -> broadcast_initiation t ~sid))
+
+let resend_initiation t ~sid =
+  let jitter =
+    Time.of_ns_float
+      (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
+  in
+  ignore
+    (Engine.schedule_after t.engine ~delay:jitter (fun () ->
+         broadcast_initiation t ~sid;
+         (* Also force marker propagation over idle channels so snapshots
+            gated on Last Seen can complete without waiting for traffic.
+            The flood runs after the re-broadcast initiations have reached
+            the data plane, so markers carry the new snapshot ID. *)
+         ignore
+           (Engine.schedule_after t.engine ~delay:(Time.us 50) (fun () ->
+                t.flood ()))))
+
+let flood_markers t = t.flood ()
+
+let notif_drops t = t.drops
+let notif_queue_depth t = Queue.length t.queue
+let notif_queue_peak t = t.peak
+let notifications_received t = t.received

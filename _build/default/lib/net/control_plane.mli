@@ -1,0 +1,58 @@
+(** The per-switch control plane (§6, §7.2).
+
+    Owns the switch's PTP-disciplined clock, the Fig. 7 tracker, a bounded
+    notification socket serviced at a finite per-notification rate (the
+    unoptimized-CP bottleneck of Fig. 10), initiation scheduling, resends,
+    optional proactive register polling, and shipping of finalized reports
+    to the snapshot observer. *)
+
+open Speedlight_sim
+open Speedlight_clock
+open Speedlight_dataplane
+open Speedlight_core
+
+type t
+
+val create :
+  switch_id:int ->
+  engine:Engine.t ->
+  rng:Rng.t ->
+  cfg:Config.t ->
+  clock:Clock.t ->
+  units:Cp_tracker.unit_spec list ->
+  inject:(port:int -> sid_wrapped:int -> ghost_sid:int -> unit) ->
+  flood:(unit -> unit) ->
+  ports:int list ->
+  to_observer:(Report.t -> unit) ->
+  t
+(** [inject] pushes an initiation into the data plane of one port (subject
+    to the initiation drop probability); [to_observer] is invoked after the
+    report shipping latency. *)
+
+val clock : t -> Clock.t
+val tracker : t -> Cp_tracker.t
+
+val deliver_notification : t -> Notification.t -> unit
+(** A notification arrives on the DP→CPU channel: queued in the socket
+    buffer (dropped when full) and serviced at [notify_proc_time] per
+    item. *)
+
+val schedule_initiation : t -> sid:int -> fire_at_local:Time.t -> unit
+(** Execute the snapshot initiation when the local clock reads
+    [fire_at_local]: broadcast an initiation to every connected port's
+    ingress unit (Fig. 6, path 3), with per-port CPU→ASIC latency. *)
+
+val resend_initiation : t -> sid:int -> unit
+(** Immediately re-broadcast (liveness): safe because outdated and
+    duplicate initiations are ignored by the data plane. *)
+
+val flood_markers : t -> unit
+(** Trigger a marker broadcast sweep of the switch (also done on every
+    initiation resend). *)
+
+val notif_drops : t -> int
+(** Notifications lost to socket-buffer overflow. *)
+
+val notif_queue_depth : t -> int
+val notif_queue_peak : t -> int
+val notifications_received : t -> int

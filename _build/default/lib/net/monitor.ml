@@ -1,0 +1,81 @@
+open Speedlight_sim
+open Speedlight_core
+
+type t = {
+  net : Net.t;
+  period : Time.t;
+  history_bound : int;
+  on_snapshot : Observer.snapshot -> unit;
+  mutable hist : Observer.snapshot list;  (* newest first *)
+  mutable hist_len : int;
+  mutable taken : int;
+  mutable skipped : int;
+  mutable running : bool;
+}
+
+let record t snap =
+  t.hist <- snap :: t.hist;
+  t.hist_len <- t.hist_len + 1;
+  if t.hist_len > t.history_bound then begin
+    (* Drop the oldest entry. *)
+    t.hist <- List.filteri (fun i _ -> i < t.history_bound) t.hist;
+    t.hist_len <- t.history_bound
+  end;
+  t.on_snapshot snap
+
+let start net ~period ?(history = 128) ?(on_snapshot = fun _ -> ()) () =
+  if period <= 0 then invalid_arg "Monitor.start: period must be positive";
+  let t =
+    {
+      net;
+      period;
+      history_bound = history;
+      on_snapshot;
+      hist = [];
+      hist_len = 0;
+      taken = 0;
+      skipped = 0;
+      running = true;
+    }
+  in
+  let engine = Net.engine net in
+  let obs = Net.observer net in
+  let mine = Hashtbl.create 64 in
+  Observer.on_complete obs (fun snap ->
+      if Hashtbl.mem mine snap.Observer.sid then begin
+        Hashtbl.remove mine snap.Observer.sid;
+        record t snap
+      end);
+  let rec tick () =
+    if t.running then
+      ignore
+        (Engine.schedule_after engine ~delay:period (fun () ->
+             if t.running then begin
+               (* Respect wraparound pacing: skip rather than crash when
+                  too many snapshots are still outstanding. *)
+               (try
+                  let sid = Net.take_snapshot t.net () in
+                  Hashtbl.replace mine sid ();
+                  t.taken <- t.taken + 1
+                with Failure _ -> t.skipped <- t.skipped + 1);
+               tick ()
+             end))
+  in
+  tick ();
+  t
+
+let stop t = t.running <- false
+let history t = List.rev t.hist
+let taken t = t.taken
+let skipped t = t.skipped
+
+let series t uid =
+  let values =
+    List.filter_map
+      (fun (snap : Observer.snapshot) ->
+        match Speedlight_dataplane.Unit_id.Map.find_opt uid snap.Observer.reports with
+        | Some r -> Report.consistent_value r
+        | None -> None)
+      (history t)
+  in
+  Array.of_list values

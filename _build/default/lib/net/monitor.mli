@@ -1,0 +1,40 @@
+(** Continuous monitoring: a periodic snapshot stream.
+
+    The operator-facing mode of the system: take a synchronized snapshot
+    every [period], deliver each completed snapshot to a callback, keep a
+    bounded history, and respect wraparound pacing automatically (if the
+    observer's outstanding window is full, a tick is skipped rather than
+    violating the ID-skew bound — skips are counted). Every experiment in
+    the paper's §8 is a loop of this shape. *)
+
+open Speedlight_core
+
+type t
+
+val start :
+  Net.t ->
+  period:Speedlight_sim.Time.t ->
+  ?history:int ->
+  ?on_snapshot:(Observer.snapshot -> unit) ->
+  unit ->
+  t
+(** Begin snapshotting every [period] (first snapshot after one period).
+    [history] bounds the retained completed snapshots (default 128). *)
+
+val stop : t -> unit
+(** Stop scheduling new snapshots (outstanding ones still complete). *)
+
+val history : t -> Observer.snapshot list
+(** Completed snapshots, oldest first, up to the history bound. *)
+
+val taken : t -> int
+(** Snapshots initiated so far. *)
+
+val skipped : t -> int
+(** Ticks skipped because the pacing window was full — if this grows, the
+    period is shorter than the network's completion latency. *)
+
+val series : t -> Speedlight_dataplane.Unit_id.t -> float array
+(** The time series of one unit's consistent values across the retained
+    history (incomplete/inconsistent entries are skipped). This is the
+    input shape the Fig. 13 correlation analysis consumes. *)

@@ -1,0 +1,316 @@
+open Speedlight_sim
+open Speedlight_clock
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+
+type nic = { mutable busy_until : Time.t }
+
+type t = {
+  engine : Engine.t;
+  master_rng : Rng.t;
+  topo : Topology.t;
+  routing : Routing.t;
+  cfg : Config.t;
+  switches : Switch.t array;
+  cps : Control_plane.t array;
+  obs : Observer.t;
+  ptp : Ptp.t;
+  pktgen : Packet.Gen.t;
+  nics : nic array;
+  mutable deliver_cbs : (host:int -> Packet.t -> unit) list;
+  mutable delivered : int;
+  mutable next_flow : int;
+}
+
+(* Which internal (in_port -> out_port) channels the routing configuration
+   can actually exercise, per switch. Unused channels never carry snapshot
+   markers and must be excluded from completion consideration (§6). *)
+let compute_utilized topo routing =
+  let n_sw = Topology.n_switches topo in
+  let tbl = Array.init n_sw (fun _ -> Hashtbl.create 64) in
+  let in_ports = Array.make n_sw [] in
+  for dst = 0 to Topology.n_hosts topo - 1 do
+    (* Ports through which traffic headed to [dst] can enter each switch. *)
+    Array.fill in_ports 0 n_sw [];
+    for s = 0 to n_sw - 1 do
+      for p = 0 to Topology.ports topo s - 1 do
+        match Topology.peer_of topo ~switch:s ~port:p with
+        | Some (Topology.Host_port h) when h <> dst ->
+            in_ports.(s) <- p :: in_ports.(s)
+        | Some (Topology.Switch_port (s', p')) ->
+            let outs = Routing.candidates routing ~switch:s' ~dst_host:dst in
+            if Array.exists (fun q -> q = p') outs then
+              in_ports.(s) <- p :: in_ports.(s)
+        | Some (Topology.Host_port _) | None -> ()
+      done
+    done;
+    for s = 0 to n_sw - 1 do
+      let outs = Routing.candidates routing ~switch:s ~dst_host:dst in
+      Array.iter
+        (fun out ->
+          List.iter
+            (fun inp -> if inp <> out then Hashtbl.replace tbl.(s) (inp, out) ())
+            in_ports.(s))
+        outs
+    done
+  done;
+  tbl
+
+let dp_access_of unit_ =
+  {
+    Cp_tracker.read_slot = (fun ~ghost_sid -> Snapshot_unit.read_slot unit_ ~ghost_sid);
+    read_sid = (fun () -> Snapshot_unit.current_sid unit_);
+    read_last_seen = (fun () -> Snapshot_unit.last_seen unit_);
+  }
+
+let create ?(cfg = Config.default) topo =
+  let engine = Engine.create () in
+  let master_rng = Rng.create cfg.Config.seed in
+  let routing = Routing.compute topo in
+  let n_sw = Topology.n_switches topo in
+  let disabled = cfg.Config.snapshot_disabled_switches in
+  let enabled s = not (List.mem s disabled) in
+  let pktgen = Packet.Gen.create () in
+  let switches = Array.make n_sw (Obj.magic 0) in
+  let cps = Array.make n_sw (Obj.magic 0) in
+  let obs =
+    Observer.create ~engine ~lead_time:cfg.Config.observer_lead_time
+      ~retry_timeout:cfg.Config.observer_retry_timeout
+      ~max_retries:cfg.Config.observer_max_retries ()
+  in
+  let ptp = Ptp.create ~profile:cfg.Config.ptp ~rng:(Rng.split master_rng) engine in
+  let nics = Array.init (Topology.n_hosts topo) (fun _ -> { busy_until = Time.zero }) in
+  let t =
+    {
+      engine;
+      master_rng;
+      topo;
+      routing;
+      cfg;
+      switches;
+      cps;
+      obs;
+      ptp;
+      pktgen;
+      nics;
+      deliver_cbs = [];
+      delivered = 0;
+      next_flow = 1;
+    }
+  in
+  let utilized = compute_utilized topo routing in
+  (* Data planes. *)
+  for s = 0 to n_sw - 1 do
+    let notify n =
+      (* DP -> CPU channel: latency plus possible loss. *)
+      if not (Rng.bernoulli t.master_rng cfg.Config.notify_drop_prob) then
+        ignore
+          (Engine.schedule_after engine ~delay:cfg.Config.notify_latency (fun () ->
+               Control_plane.deliver_notification t.cps.(s) n))
+    in
+    let to_wire ~peer pkt =
+      match peer with
+      | Topology.Switch_port (s', p') -> Switch.receive t.switches.(s') ~port:p' pkt
+      | Topology.Host_port h ->
+          t.delivered <- t.delivered + 1;
+          List.iter (fun f -> f ~host:h pkt) t.deliver_cbs
+    in
+    switches.(s) <-
+      Switch.create ~id:s ~engine ~rng:(Rng.split master_rng) ~cfg ~topo ~routing
+        ~pktgen ~notify ~to_wire ~enabled:(enabled s)
+  done;
+  (* Control planes (only for snapshot-enabled switches' protocol duties,
+     but every switch gets one so clocks/polling stay uniform). *)
+  for s = 0 to n_sw - 1 do
+    let clock = Clock.create () in
+    Ptp.attach ptp clock;
+    let ports = Switch.connected_ports switches.(s) in
+    let cos_levels = cfg.Config.cos_levels in
+    let specs =
+      List.concat_map
+        (fun p ->
+          let ing = Switch.ingress_unit switches.(s) ~port:p in
+          let egr = Switch.egress_unit switches.(s) ~port:p in
+          (* Ingress: single external neighbor at index 1; excluded unless
+             the upstream is a snapshot-enabled switch whose routing can
+             send traffic this way. *)
+          let ingress_excl =
+            match Topology.peer_of topo ~switch:s ~port:p with
+            | Some (Topology.Switch_port (s', p')) when enabled s' ->
+                let feeds =
+                  List.exists
+                    (fun dst ->
+                      Array.exists (fun q -> q = p')
+                        (Routing.candidates routing ~switch:s' ~dst_host:dst))
+                    (List.init (Topology.n_hosts topo) (fun h -> h))
+                in
+                if feeds then [] else [ 1 ]
+            | Some (Topology.Switch_port _) | Some (Topology.Host_port _) | None ->
+                [ 1 ]
+          in
+          (* Egress: internal channels from every (in port, CoS); excluded
+             when the pair is not utilized by routing or the CoS is
+             unused. *)
+          let n_ports = Topology.ports topo s in
+          let egress_excl = ref [] in
+          for inp = 0 to n_ports - 1 do
+            for cos = 0 to cos_levels - 1 do
+              let idx = 1 + (inp * cos_levels) + cos in
+              let used =
+                Hashtbl.mem utilized.(s) (inp, p)
+                && List.mem cos cfg.Config.used_cos
+                && Topology.peer_of topo ~switch:s ~port:inp <> None
+              in
+              if not used then egress_excl := idx :: !egress_excl
+            done
+          done;
+          [
+            {
+              Cp_tracker.uid = Snapshot_unit.id ing;
+              access = dp_access_of ing;
+              n_neighbors = 2;
+              excluded_neighbors = ingress_excl;
+            };
+            {
+              Cp_tracker.uid = Snapshot_unit.id egr;
+              access = dp_access_of egr;
+              n_neighbors = 1 + (n_ports * cos_levels);
+              excluded_neighbors = !egress_excl;
+            };
+          ])
+        ports
+    in
+    let inject ~port ~sid_wrapped ~ghost_sid =
+      Switch.inject_initiation switches.(s) ~port ~sid_wrapped ~ghost_sid
+    in
+    let flood () = Switch.cp_broadcast switches.(s) in
+    cps.(s) <-
+      Control_plane.create ~switch_id:s ~engine ~rng:(Rng.split master_rng) ~cfg
+        ~clock ~units:specs ~inject ~flood ~ports
+        ~to_observer:(fun r -> Observer.on_report obs r)
+  done;
+  (* Register snapshot-enabled devices with the observer. *)
+  for s = 0 to n_sw - 1 do
+    if enabled s then begin
+      let unit_ids =
+        List.map Snapshot_unit.id (Switch.units switches.(s))
+      in
+      Observer.register_device obs
+        {
+          Observer.device_id = s;
+          units = unit_ids;
+          initiate =
+            (fun ~sid ~fire_at ->
+              Control_plane.schedule_initiation cps.(s) ~sid ~fire_at_local:fire_at);
+          resend = (fun ~sid -> Control_plane.resend_initiation cps.(s) ~sid);
+        }
+    end
+  done;
+  t
+
+let engine t = t.engine
+let now t = Engine.now t.engine
+let run_until t deadline = Engine.run_until t.engine deadline
+let topology t = t.topo
+let routing t = t.routing
+let cfg t = t.cfg
+let observer t = t.obs
+let switch t s = t.switches.(s)
+let control_plane t s = t.cps.(s)
+let fresh_rng t = Rng.split t.master_rng
+
+let fresh_flow_id t =
+  let f = t.next_flow in
+  t.next_flow <- f + 1;
+  f
+
+let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
+  if src = dst then invalid_arg "Net.send: src = dst";
+  let flow_id =
+    match flow_id with Some f -> f | None -> (src * 65_537) + dst
+  in
+  let pkt =
+    Packet.create ~uid:(Packet.Gen.next_uid t.pktgen) ~flow_id ~src_host:src
+      ~dst_host:dst ~size ~cos ~created:(now t) ()
+  in
+  let sw, port = Topology.host_attachment t.topo ~host:src in
+  let link =
+    match Topology.link_of t.topo ~switch:sw ~port with
+    | Some l -> l
+    | None -> failwith "Net.send: host link missing"
+  in
+  let nic = t.nics.(src) in
+  let start = Time.max (now t) nic.busy_until in
+  let ser =
+    Time.of_ns_float (float_of_int (8 * size) /. link.Topology.bandwidth_bps *. 1e9)
+  in
+  nic.busy_until <- Time.add start ser;
+  let arrival = Time.add nic.busy_until link.Topology.latency in
+  ignore
+    (Engine.schedule t.engine ~at:arrival (fun () ->
+         Switch.receive t.switches.(sw) ~port pkt))
+
+let on_deliver t f = t.deliver_cbs <- f :: t.deliver_cbs
+let delivered t = t.delivered
+
+let take_snapshot t ?at () = Observer.take_snapshot t.obs ?at ()
+let result t ~sid = Observer.result t.obs ~sid
+
+let sync_spread t ~sid =
+  let lo = ref max_int and hi = ref min_int in
+  Array.iter
+    (fun cp ->
+      match Cp_tracker.sync_window (Control_plane.tracker cp) ~sid with
+      | Some (a, b) ->
+          lo := Stdlib.min !lo a;
+          hi := Stdlib.max !hi b
+      | None -> ())
+    t.cps;
+  if !hi >= !lo then Some (Time.sub !hi !lo) else None
+
+let unit_of t (uid : Unit_id.t) = Switch.unit_of t.switches.(uid.Unit_id.switch) uid
+
+let all_unit_ids t =
+  Array.to_list t.switches
+  |> List.concat_map (fun sw ->
+         if Switch.enabled sw then List.map Snapshot_unit.id (Switch.units sw)
+         else [])
+
+let read_counter t uid =
+  let u = unit_of t uid in
+  (Snapshot_unit.counter u).Counter.read ~now:(now t)
+
+let auto_exclude_idle t =
+  Array.iter
+    (fun sw ->
+      if Switch.enabled sw then
+        List.iter
+          (fun u ->
+            let traffic = Snapshot_unit.neighbor_traffic u in
+            let uid = Snapshot_unit.id u in
+            let tr = Control_plane.tracker t.cps.(Switch.id sw) in
+            Array.iteri
+              (fun n count ->
+                if n > 0 && count = 0 then
+                  Cp_tracker.exclude_neighbor tr ~now:(now t) uid n)
+              traffic)
+          (Switch.units sw))
+    t.switches
+
+let total_notif_drops t =
+  Array.fold_left (fun acc cp -> acc + Control_plane.notif_drops cp) 0 t.cps
+
+let total_fifo_violations t =
+  Array.fold_left
+    (fun acc sw ->
+      List.fold_left (fun acc u -> acc + Snapshot_unit.fifo_violations u) acc
+        (Switch.units sw))
+    0 t.switches
+
+let total_queue_drops t =
+  Array.fold_left
+    (fun acc sw ->
+      List.fold_left (fun acc p -> acc + Switch.queue_drops sw ~port:p) acc
+        (Switch.connected_ports sw))
+    0 t.switches

@@ -1,0 +1,78 @@
+(** A complete simulated Speedlight deployment.
+
+    Wires a {!Speedlight_topology.Topology.t} into switches (data planes),
+    per-switch control planes with PTP-disciplined clocks, host NICs, and a
+    snapshot observer. This is the main entry point of the library: build a
+    topology, create a net, inject traffic, and take synchronized
+    snapshots. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+
+type t
+
+val create : ?cfg:Config.t -> Topology.t -> t
+(** Build the deployment. Routing tables, utilized-channel exclusions (§6
+    "Ensuring liveness"), clocks and the observer are all set up here. *)
+
+val engine : t -> Engine.t
+val now : t -> Time.t
+val run_until : t -> Time.t -> unit
+val topology : t -> Topology.t
+val routing : t -> Routing.t
+val cfg : t -> Config.t
+val observer : t -> Observer.t
+val switch : t -> int -> Switch.t
+val control_plane : t -> int -> Control_plane.t
+val fresh_rng : t -> Rng.t
+(** An independent RNG stream seeded from the net's master stream. *)
+
+(** {2 Traffic} *)
+
+val send :
+  t -> ?cos:int -> ?flow_id:int -> src:int -> dst:int -> size:int -> unit -> unit
+(** Transmit one packet from host [src] to host [dst]; it queues behind
+    earlier packets at the host NIC and serializes at the host link rate.
+    [flow_id] defaults to a hash of (src, dst). *)
+
+val fresh_flow_id : t -> int
+
+val on_deliver : t -> (host:int -> Packet.t -> unit) -> unit
+(** Subscribe to packet deliveries at hosts. *)
+
+val delivered : t -> int
+(** Total packets delivered to hosts. *)
+
+(** {2 Snapshots} *)
+
+val take_snapshot : t -> ?at:Time.t -> unit -> int
+(** Schedule a synchronized network snapshot via the observer; returns its
+    snapshot ID. Results appear once the simulation advances past
+    completion; query with {!result}. *)
+
+val result : t -> sid:int -> Observer.snapshot option
+
+val sync_spread : t -> sid:int -> Time.t option
+(** Network-wide synchronization of snapshot [sid]: latest minus earliest
+    data-plane notification timestamp across all switches (§8.1). *)
+
+val unit_of : t -> Unit_id.t -> Snapshot_unit.t
+val all_unit_ids : t -> Unit_id.t list
+val read_counter : t -> Unit_id.t -> float
+(** Instantaneous read of a unit's counter (the primitive the polling
+    baseline builds on). *)
+
+val auto_exclude_idle : t -> unit
+(** The operator-configuration step of §6: remove from completion
+    consideration every upstream channel that has carried no traffic so
+    far. Call after a warm-up period, before taking channel-state
+    snapshots, when the routing configuration (e.g. flow-pinned ECMP)
+    leaves some channels structurally idle. *)
+
+(** {2 Diagnostics} *)
+
+val total_notif_drops : t -> int
+val total_fifo_violations : t -> int
+val total_queue_drops : t -> int

@@ -1,0 +1,58 @@
+open Speedlight_sim
+open Speedlight_dataplane
+
+type sample = { unit_id : Unit_id.t; value : float; polled_at : Time.t }
+type round = { samples : sample list; started : Time.t; finished : Time.t }
+
+let spread r = Time.sub r.finished r.started
+
+let default_latency = Dist.lognormal_of_mean_cv ~mean:93_000. ~cv:0.3
+
+let poll_round net ?units ?(latency = default_latency) ?(order = `Shuffled) ~rng
+    ~on_done () =
+  let units = match units with Some u -> u | None -> Net.all_unit_ids net in
+  let units =
+    match order with
+    | `Fixed -> units
+    | `Shuffled ->
+        (* A real observer's per-port RPCs complete in effectively arbitrary
+           order; fixed order would poll adjacent ports back-to-back and
+           understate the asynchrony. *)
+        let arr = Array.of_list units in
+        Rng.shuffle rng arr;
+        Array.to_list arr
+  in
+  let engine = Net.engine net in
+  let started = Engine.now engine in
+  let rec go acc = function
+    | [] ->
+        let samples = List.rev acc in
+        on_done { samples; started; finished = Engine.now engine }
+    | uid :: rest ->
+        let delay = Time.of_ns_float (Float.max 0. (Dist.sample latency rng)) in
+        ignore
+          (Engine.schedule_after engine ~delay (fun () ->
+               let s =
+                 {
+                   unit_id = uid;
+                   value = Net.read_counter net uid;
+                   polled_at = Engine.now engine;
+                 }
+               in
+               go (s :: acc) rest))
+  in
+  go [] units
+
+let poll_round_sync net ?units ?latency ?order ~rng () =
+  let result = ref None in
+  poll_round net ?units ?latency ?order ~rng ~on_done:(fun r -> result := Some r) ();
+  (* Polls only wait on their own timers, so running the engine dry (or up
+     to the last scheduled poll) completes the sweep. *)
+  let rec spin () =
+    match !result with
+    | Some r -> r
+    | None ->
+        if Engine.step (Net.engine net) then spin ()
+        else failwith "Polling.poll_round_sync: engine drained before completion"
+  in
+  spin ()

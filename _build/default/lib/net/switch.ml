@@ -1,0 +1,261 @@
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+
+type port_state = {
+  port : int;
+  ingress : Snapshot_unit.t;
+  egress : Snapshot_unit.t;
+  queue : Packet.t Fifo_queue.t;
+  mutable busy : bool;
+  link : Topology.link_spec;
+  peer : Topology.peer;
+}
+
+type t = {
+  sw_id : int;
+  engine : Engine.t;
+  cfg : Config.t;
+  topo : Topology.t;
+  routing : Routing.t;
+  selector : Routing.Selector.s;
+  ports : port_state option array;
+  enabled : bool;
+  pktgen : Packet.Gen.t;
+  to_wire : peer:Topology.peer -> Packet.t -> unit;
+  mutable fib_setters : (int -> unit) list;
+  mutable route_override : (dst_host:int -> int option) option;
+  mutable forwarded : int;
+}
+
+let egress_neighbor_index_ ~cos_levels ~in_port ~cos = 1 + (in_port * cos_levels) + cos
+
+let make_counter (cfg : Config.t) ~read_depth ~register_fib =
+  match cfg.counter with
+  | Config.Packet_count -> Counter.packet_count ()
+  | Config.Byte_count -> Counter.byte_count ()
+  | Config.Queue_depth -> Counter.queue_depth ~read_depth
+  | Config.Ewma_interarrival -> Counter.ewma_interarrival ()
+  | Config.Ewma_rate bin_us -> Counter.ewma_rate ~bin:(Time.us bin_us) ()
+  | Config.Fib_version ->
+      let c, set = Counter.forwarding_version () in
+      register_fib set;
+      c
+  | Config.Sketch_flow tracked_flow -> Counter.sketch_flow ~tracked_flow ()
+
+let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~to_wire ~enabled =
+  let n_ports = Topology.ports topo id in
+  let t =
+    {
+      sw_id = id;
+      engine;
+      cfg;
+      topo;
+      routing;
+      selector = Routing.Selector.create cfg.Config.lb_policy ~rng ~switch:id;
+      ports = Array.make n_ports None;
+      enabled;
+      pktgen;
+      to_wire;
+      fib_setters = [];
+      route_override = None;
+      forwarded = 0;
+    }
+  in
+  let register_fib set = t.fib_setters <- set :: t.fib_setters in
+  for p = 0 to n_ports - 1 do
+    match (Topology.peer_of topo ~switch:id ~port:p, Topology.link_of topo ~switch:id ~port:p) with
+    | Some peer, Some link ->
+        let queue = Fifo_queue.create ~cos_levels:cfg.Config.cos_levels
+            ~capacity:cfg.Config.queue_capacity () in
+        let read_depth () = Fifo_queue.depth queue in
+        let ingress =
+          Snapshot_unit.create
+            ~id:(Unit_id.ingress ~switch:id ~port:p)
+            ~cfg:cfg.Config.unit_cfg ~n_neighbors:2
+            ~counter:(make_counter cfg ~read_depth:(fun () -> 0) ~register_fib)
+            ~notify
+        in
+        let egress =
+          Snapshot_unit.create
+            ~id:(Unit_id.egress ~switch:id ~port:p)
+            ~cfg:cfg.Config.unit_cfg
+            ~n_neighbors:(1 + (n_ports * cfg.Config.cos_levels))
+            ~counter:(make_counter cfg ~read_depth ~register_fib)
+            ~notify
+        in
+        t.ports.(p) <- Some { port = p; ingress; egress; queue; busy = false; link; peer }
+    | _, _ -> ()
+  done;
+  t
+
+let id t = t.sw_id
+let enabled t = t.enabled
+
+let port_state t p =
+  match t.ports.(p) with
+  | Some ps -> ps
+  | None -> invalid_arg (Printf.sprintf "Switch %d: port %d not connected" t.sw_id p)
+
+let connected_ports t =
+  let acc = ref [] in
+  for p = Array.length t.ports - 1 downto 0 do
+    if t.ports.(p) <> None then acc := p :: !acc
+  done;
+  !acc
+
+let ingress_unit t ~port = (port_state t port).ingress
+let egress_unit t ~port = (port_state t port).egress
+
+let unit_of t (uid : Unit_id.t) =
+  if uid.Unit_id.switch <> t.sw_id then
+    invalid_arg "Switch.unit_of: unit belongs to another switch";
+  match uid.Unit_id.dir with
+  | Unit_id.Ingress -> ingress_unit t ~port:uid.Unit_id.port
+  | Unit_id.Egress -> egress_unit t ~port:uid.Unit_id.port
+
+let units t =
+  List.concat_map
+    (fun p ->
+      let ps = port_state t p in
+      [ ps.ingress; ps.egress ])
+    (connected_ports t)
+
+let egress_neighbor_index t ~in_port ~cos =
+  egress_neighbor_index_ ~cos_levels:t.cfg.Config.cos_levels ~in_port ~cos
+
+let queue_depth t ~port = Fifo_queue.depth (port_state t port).queue
+let queue_drops t ~port = Fifo_queue.drops (port_state t port).queue
+let total_forwarded t = t.forwarded
+let set_fib_version t v = List.iter (fun set -> set v) t.fib_setters
+let set_route_override t f = t.route_override <- f
+
+(* Serialization time of a packet on a link, in simulated time. *)
+let serialization_time (cfg : Config.t) (link : Topology.link_spec) pkt =
+  let with_cs = cfg.unit_cfg.Snapshot_unit.channel_state in
+  let bits = 8 * Packet.wire_size ~with_channel_state:with_cs pkt in
+  Time.of_ns_float (float_of_int bits /. link.Topology.bandwidth_bps *. 1e9)
+
+(* Transmit loop of one port: pop from the egress queue, run the egress
+   processing unit, serialize, propagate, hand to the peer. *)
+let rec start_transmit t ps =
+  match Fifo_queue.pop ps.queue with
+  | None -> ps.busy <- false
+  | Some (_cos, pkt) ->
+      ps.busy <- true;
+      let now = Engine.now t.engine in
+      if t.enabled then Snapshot_unit.process_packet ps.egress ~now pkt;
+      t.forwarded <- t.forwarded + 1;
+      let ser = serialization_time t.cfg ps.link pkt in
+      ignore
+        (Engine.schedule_after t.engine ~delay:ser (fun () ->
+             (* The link is free for the next packet once serialization
+                completes; propagation is pipelined. *)
+             ignore
+               (Engine.schedule_after t.engine ~delay:ps.link.Topology.latency
+                  (fun () -> deliver t ps pkt));
+             start_transmit t ps))
+
+and deliver t ps pkt =
+  (match ps.peer with
+  | Topology.Host_port _ ->
+      (* Remove the snapshot header before delivery to hosts (§5.1). *)
+      pkt.Packet.snap <- None
+  | Topology.Switch_port _ -> ());
+  t.to_wire ~peer:ps.peer pkt
+
+let enqueue_egress t ~in_port ~out_port pkt =
+  let ps = port_state t out_port in
+  let cos = Stdlib.min pkt.Packet.cos (t.cfg.Config.cos_levels - 1) in
+  (match pkt.Packet.snap with
+  | Some h when t.enabled ->
+      h.Snapshot_header.channel <- egress_neighbor_index t ~in_port ~cos
+  | Some _ | None -> ());
+  if Fifo_queue.push ps.queue ~cos pkt then
+    if not ps.busy then start_transmit t ps
+
+let route_normal t ~dst_host ~flow_id ~size =
+  let attach_sw, attach_port = Topology.host_attachment t.topo ~host:dst_host in
+  if attach_sw = t.sw_id then attach_port
+  else
+    Routing.Selector.select t.selector t.routing ~dst_host ~flow_id ~size
+      ~now:(Engine.now t.engine)
+
+let forward_decision t ~dst_host ~flow_id ~size =
+  match t.route_override with
+  | Some f -> (
+      match f ~dst_host with
+      | Some p -> p
+      | None -> route_normal t ~dst_host ~flow_id ~size)
+  | None -> route_normal t ~dst_host ~flow_id ~size
+
+let receive t ~port pkt =
+  let ps = port_state t port in
+  let now = Engine.now t.engine in
+  if t.enabled then begin
+    (* Mark which upstream channel the packet arrived on: the single
+       external neighbor of this ingress unit. *)
+    (match pkt.Packet.snap with
+    | Some h -> h.Snapshot_header.channel <- 1
+    | None -> ());
+    Snapshot_unit.process_packet ps.ingress ~now pkt
+  end;
+  (* Marker broadcasts (negative destination) are consumed here: they only
+     exist to push snapshot IDs across otherwise idle channels (§6). *)
+  if pkt.Packet.dst_host >= 0 then begin
+    let out_port =
+      forward_decision t ~dst_host:pkt.Packet.dst_host ~flow_id:pkt.Packet.flow_id
+        ~size:pkt.Packet.size
+    in
+    ignore
+      (Engine.schedule_after t.engine ~delay:t.cfg.Config.switch_latency (fun () ->
+           enqueue_egress t ~in_port:port ~out_port pkt))
+  end
+
+(* Control-plane broadcast injection (§6 "Ensuring liveness"): a marker
+   packet enters each ingress unit and replicates to every other egress
+   port, crossing the wire once and dying at the neighbor's ingress. This
+   forces snapshot-ID propagation over channels the workload leaves idle. *)
+let cp_broadcast t =
+  if t.enabled then begin
+    let ports = connected_ports t in
+    let now = Engine.now t.engine in
+    List.iter
+      (fun p ->
+        let ps = port_state t p in
+        let pkt =
+          Packet.create ~uid:(Packet.Gen.next_uid t.pktgen) ~flow_id:(-1)
+            ~src_host:(-1) ~dst_host:(-1) ~size:64 ~created:now ()
+        in
+        Snapshot_unit.process_packet ps.ingress ~now pkt;
+        let sid, ghost =
+          match pkt.Packet.snap with
+          | Some h -> (h.Snapshot_header.sid, h.Snapshot_header.ghost_sid)
+          | None -> (0, 0)
+        in
+        List.iter
+          (fun q ->
+            if q <> p then begin
+              let copy =
+                Packet.create ~uid:(Packet.Gen.next_uid t.pktgen) ~flow_id:(-1)
+                  ~src_host:(-1) ~dst_host:(-1) ~size:64 ~created:now ()
+              in
+              copy.Packet.snap <-
+                Some (Snapshot_header.data ~sid ~channel:0 ~ghost_sid:ghost);
+              ignore
+                (Engine.schedule_after t.engine ~delay:t.cfg.Config.switch_latency
+                   (fun () -> enqueue_egress t ~in_port:p ~out_port:q copy))
+            end)
+          ports)
+      ports
+  end
+
+let inject_initiation t ~port ~sid_wrapped ~ghost_sid =
+  let ps = port_state t port in
+  let now = Engine.now t.engine in
+  Snapshot_unit.process_initiation ps.ingress ~now ~sid:sid_wrapped ~ghost_sid;
+  ignore
+    (Engine.schedule_after t.engine ~delay:t.cfg.Config.switch_latency (fun () ->
+         Snapshot_unit.process_initiation ps.egress ~now:(Engine.now t.engine)
+           ~sid:sid_wrapped ~ghost_sid))

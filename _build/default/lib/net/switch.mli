@@ -1,0 +1,76 @@
+(** A simulated switch: Speedlight data plane + forwarding + egress queues.
+
+    Each connected port owns an ingress and an egress processing unit
+    (§4.1), an egress FIFO queue with CoS sub-queues, and a transmitter
+    that serializes packets onto the wire at link rate. The snapshot units
+    run the {!Speedlight_core.Snapshot_unit} pipeline; forwarding uses the
+    configured load-balancing policy. A switch can be snapshot-disabled
+    (partial deployment, §10): it then forwards packets without touching
+    their snapshot headers. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+
+type t
+
+val create :
+  id:int ->
+  engine:Engine.t ->
+  rng:Rng.t ->
+  cfg:Config.t ->
+  topo:Topology.t ->
+  routing:Routing.t ->
+  pktgen:Packet.Gen.t ->
+  notify:(Notification.t -> unit) ->
+  to_wire:(peer:Topology.peer -> Packet.t -> unit) ->
+  enabled:bool ->
+  t
+(** [to_wire] is invoked at the moment a packet finishes serialization and
+    propagation, with the receiving peer. [notify] receives raw data-plane
+    notifications (the caller models the DP→CPU channel). *)
+
+val id : t -> int
+val enabled : t -> bool
+
+val connected_ports : t -> int list
+
+val receive : t -> port:int -> Packet.t -> unit
+(** A packet arrives from the wire on [port] (or from a locally attached
+    host, in which case it carries no snapshot header yet). *)
+
+val cp_broadcast : t -> unit
+(** Inject a one-hop marker broadcast through every (ingress, egress) pair
+    and across each wire, forcing snapshot-ID propagation over channels the
+    workload leaves idle (§6 "Ensuring liveness"). Markers are real (tiny)
+    packets: they perturb packet/byte counters like any broadcast would. *)
+
+val inject_initiation : t -> port:int -> sid_wrapped:int -> ghost_sid:int -> unit
+(** Control-plane initiation for one port: processed by the ingress unit,
+    then forwarded to the egress unit of the same port (Fig. 6, path 3). *)
+
+val ingress_unit : t -> port:int -> Snapshot_unit.t
+val egress_unit : t -> port:int -> Snapshot_unit.t
+
+val unit_of : t -> Unit_id.t -> Snapshot_unit.t
+(** Lookup by id; raises [Invalid_argument] for other switches' units. *)
+
+val units : t -> Snapshot_unit.t list
+(** All units of connected ports (ingress then egress, by port). *)
+
+val egress_neighbor_index : t -> in_port:int -> cos:int -> int
+(** The Last Seen index an egress unit uses for the internal channel from
+    [in_port] at CoS [cos] (index 0 is the control plane). *)
+
+val queue_depth : t -> port:int -> int
+val queue_drops : t -> port:int -> int
+val total_forwarded : t -> int
+
+val set_fib_version : t -> int -> unit
+(** Install a new FIB "version" (only observable with the [Fib_version]
+    counter, §10). *)
+
+val set_route_override : t -> (dst_host:int -> int option) option -> unit
+(** Force the next-hop decision (used by the loop-detection example to
+    inject bad forwarding state); [None] restores normal routing. *)

@@ -1,0 +1,1 @@
+lib/resources/resource_model.ml: Float Format List Printf

@@ -1,0 +1,1 @@
+lib/resources/resource_model.mli: Format

@@ -1,0 +1,119 @@
+type variant = Packet_count | Wrap_around | Channel_state
+
+let variant_name = function
+  | Packet_count -> "Packet Count"
+  | Wrap_around -> "+ Wrap Around"
+  | Channel_state -> "+ Chnl. State"
+
+let all_variants = [ Packet_count; Wrap_around; Channel_state ]
+
+type usage = {
+  stateless_alus : int;
+  stateful_alus : int;
+  logical_table_ids : int;
+  gateways : int;
+  stages : int;
+  sram_kb : float;
+  tcam_kb : float;
+}
+
+(* Published 64-port anchors (Table 1). *)
+let anchor_64 = function
+  | Packet_count -> (17, 9, 27, 15, 10, 606., 42.)
+  | Wrap_around -> (19, 9, 35, 19, 10, 671., 59.)
+  | Channel_state -> (24, 11, 37, 19, 12, 770., 244.)
+
+(* Per-port memory slope, calibrated on the channel-state variant's two
+   anchors: 770 KB @ 64 ports and 638 KB @ 14 ports (SRAM), 244 KB and
+   90 KB (TCAM, §7.1). Other variants scale the slope in proportion to
+   their 64-port footprint. *)
+let sram_slope_cs = (770. -. 638.) /. float_of_int (64 - 14) (* 2.64 KB/port *)
+let tcam_slope_cs = (244. -. 90.) /. float_of_int (64 - 14) (* 3.08 KB/port *)
+
+let slopes variant =
+  let _, _, _, _, _, sram64, tcam64 = anchor_64 variant in
+  let _, _, _, _, _, sram64_cs, tcam64_cs = anchor_64 Channel_state in
+  ( sram_slope_cs *. sram64 /. sram64_cs,
+    tcam_slope_cs *. tcam64 /. tcam64_cs )
+
+let usage variant ~ports =
+  if ports < 1 || ports > 64 then
+    invalid_arg "Resource_model.usage: ports must be in 1..64 (one engine)";
+  let sl_alus, sf_alus, tables, gws, stages, sram64, tcam64 = anchor_64 variant in
+  let sram_slope, tcam_slope = slopes variant in
+  {
+    stateless_alus = sl_alus;
+    stateful_alus = sf_alus;
+    logical_table_ids = tables;
+    gateways = gws;
+    stages;
+    sram_kb = sram64 -. (sram_slope *. float_of_int (64 - ports));
+    tcam_kb = tcam64 -. (tcam_slope *. float_of_int (64 - ports));
+  }
+
+type capacity = {
+  cap_stateless_alus : int;
+  cap_stateful_alus : int;
+  cap_logical_table_ids : int;
+  cap_gateways : int;
+  cap_stages : int;
+  cap_sram_kb : float;
+  cap_tcam_kb : float;
+}
+
+(* Tofino-1, whole chip (4 pipes x 12 stages), approximate public figures:
+   each stage offers 16 logical tables, 8 gateways, ~4 stateful and ~16
+   stateless ALU ops, 80 SRAM blocks of 16 KB and 24 TCAM blocks of 1.28 KB
+   per pipe-stage group. Only used for the <25% sanity check. *)
+let tofino_capacity =
+  {
+    cap_stateless_alus = 192;
+    cap_stateful_alus = 48;
+    cap_logical_table_ids = 192;
+    cap_gateways = 96;
+    cap_stages = 48;
+    cap_sram_kb = 15_360.;
+    cap_tcam_kb = 1_474.;
+  }
+
+let max_utilization variant ~ports =
+  let u = usage variant ~ports in
+  let c = tofino_capacity in
+  let frac a b = float_of_int a /. float_of_int b in
+  (* Physical stages are excluded: the paper notes Speedlight's stages can
+     be shared with other data-plane functions ("It does not prohibit
+     those stages from also implementing other ingress or egress data
+     plane functions"), so they are not a dedicated resource. *)
+  List.fold_left Float.max 0.
+    [
+      frac u.stateless_alus c.cap_stateless_alus;
+      frac u.stateful_alus c.cap_stateful_alus;
+      frac u.logical_table_ids c.cap_logical_table_ids;
+      frac u.gateways c.cap_gateways;
+      u.sram_kb /. c.cap_sram_kb;
+      u.tcam_kb /. c.cap_tcam_kb;
+    ]
+
+let pp_table fmt ~ports =
+  let us = List.map (fun v -> (v, usage v ~ports)) all_variants in
+  let row name f =
+    Format.fprintf fmt "%-28s" name;
+    List.iter (fun (_, u) -> Format.fprintf fmt " %12s" (f u)) us;
+    Format.fprintf fmt "@."
+  in
+  Format.fprintf fmt "%-28s" (Printf.sprintf "Variant (%d ports)" ports);
+  List.iter (fun (v, _) -> Format.fprintf fmt " %12s" (variant_name v)) us;
+  Format.fprintf fmt "@.";
+  row "Stateless ALUs" (fun u -> string_of_int u.stateless_alus);
+  row "Stateful ALUs" (fun u -> string_of_int u.stateful_alus);
+  row "Logical Table IDs" (fun u -> string_of_int u.logical_table_ids);
+  row "Conditional Table Gateways" (fun u -> string_of_int u.gateways);
+  row "Physical Stages" (fun u -> string_of_int u.stages);
+  row "SRAM (KB)" (fun u -> Printf.sprintf "%.0f" u.sram_kb);
+  row "TCAM (KB)" (fun u -> Printf.sprintf "%.0f" u.tcam_kb);
+  row "Max chip utilization" (fun _ -> "");
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "  %-26s %.1f%%@." (variant_name v)
+        (100. *. max_utilization v ~ports))
+    all_variants

@@ -1,0 +1,60 @@
+(** Analytic model of the Speedlight data plane's Tofino resource usage
+    (Table 1 and §7.1).
+
+    Computational and control-flow resources (ALUs, logical tables,
+    gateways, stages) are structural properties of each P4 program variant
+    and do not depend on port count. Memory (SRAM/TCAM) grows with the
+    number of ports in the snapshot, because the register arrays and
+    addressing tables are sized per port.
+
+    The model is anchored to all nine 64-port numbers published in Table 1
+    and to the two 14-port numbers in §7.1 (638 KB SRAM / 90 KB TCAM for
+    wraparound + channel state). The per-port memory slope is calibrated
+    from the channel-state variant's two anchors and scaled to the other
+    variants in proportion to their total memory footprint; by
+    construction, the model reproduces every published number exactly. *)
+
+type variant =
+  | Packet_count  (** bare packet-counter snapshot *)
+  | Wrap_around  (** + bounded-ID rollover support *)
+  | Channel_state  (** + Last Seen tracking and in-flight capture *)
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+type usage = {
+  stateless_alus : int;
+  stateful_alus : int;
+  logical_table_ids : int;
+  gateways : int;  (** conditional table gateways *)
+  stages : int;  (** physical pipeline stages occupied *)
+  sram_kb : float;
+  tcam_kb : float;
+}
+
+val usage : variant -> ports:int -> usage
+(** Resource usage for a snapshot configuration covering [ports] ports
+    (1..64 — one Tofino processing engine, §7.1). *)
+
+type capacity = {
+  cap_stateless_alus : int;
+  cap_stateful_alus : int;
+  cap_logical_table_ids : int;
+  cap_gateways : int;
+  cap_stages : int;
+  cap_sram_kb : float;
+  cap_tcam_kb : float;
+}
+
+val tofino_capacity : capacity
+(** Approximate whole-chip Tofino-1 capacities (4 pipes of 12 stages),
+    from public die analyses; used only to sanity-check the paper's
+    "less than 25% of any dedicated resource" claim. *)
+
+val max_utilization : variant -> ports:int -> float
+(** The largest fraction of any single dedicated resource consumed — the
+    number the paper bounds by 0.25. Stages are excluded: they are shared
+    with other data-plane functionality (§7.1). *)
+
+val pp_table : Format.formatter -> ports:int -> unit
+(** Print the Table 1 reproduction for a given port count. *)

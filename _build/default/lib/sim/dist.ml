@@ -1,0 +1,91 @@
+type t = { name : string; sample : Rng.t -> float }
+
+let sample t rng = t.sample rng
+let name t = t.name
+
+let mean_of t rng n =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. t.sample rng
+  done;
+  !acc /. float_of_int n
+
+let constant c = { name = Printf.sprintf "constant(%g)" c; sample = (fun _ -> c) }
+
+let uniform ~lo ~hi =
+  { name = Printf.sprintf "uniform[%g,%g)" lo hi;
+    sample = (fun rng -> lo +. Rng.float rng (hi -. lo)) }
+
+let exponential ~mean =
+  { name = Printf.sprintf "exp(mean=%g)" mean;
+    sample =
+      (fun rng ->
+        let u = 1.0 -. Rng.unit_float rng in
+        -.mean *. log u) }
+
+let normal_sample ~mu ~sigma rng =
+  let u1 = 1.0 -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let normal ~mu ~sigma =
+  { name = Printf.sprintf "normal(%g,%g)" mu sigma;
+    sample = normal_sample ~mu ~sigma }
+
+let normal_pos ~mu ~sigma =
+  let rec draw rng =
+    let x = normal_sample ~mu ~sigma rng in
+    if x >= 0. then x else draw rng
+  in
+  { name = Printf.sprintf "normal+(%g,%g)" mu sigma; sample = draw }
+
+let lognormal ~mu ~sigma =
+  { name = Printf.sprintf "lognormal(%g,%g)" mu sigma;
+    sample = (fun rng -> exp (normal_sample ~mu ~sigma rng)) }
+
+let lognormal_of_mean_cv ~mean ~cv =
+  (* If X ~ LogN(mu, s), mean = exp(mu + s^2/2) and cv^2 = exp(s^2) - 1. *)
+  let s2 = log (1.0 +. (cv *. cv)) in
+  let mu = log mean -. (s2 /. 2.0) in
+  let s = sqrt s2 in
+  { name = Printf.sprintf "lognormal(mean=%g,cv=%g)" mean cv;
+    sample = (fun rng -> exp (normal_sample ~mu ~sigma:s rng)) }
+
+let pareto ~scale ~shape =
+  { name = Printf.sprintf "pareto(xm=%g,a=%g)" scale shape;
+    sample =
+      (fun rng ->
+        let u = 1.0 -. Rng.unit_float rng in
+        scale /. (u ** (1.0 /. shape))) }
+
+let empirical values =
+  if Array.length values = 0 then invalid_arg "Dist.empirical: empty array";
+  { name = Printf.sprintf "empirical(n=%d)" (Array.length values);
+    sample = (fun rng -> values.(Rng.int rng (Array.length values))) }
+
+let shifted c d =
+  { name = Printf.sprintf "%s+%g" d.name c; sample = (fun rng -> c +. d.sample rng) }
+
+let scaled k d =
+  { name = Printf.sprintf "%g*%s" k d.name; sample = (fun rng -> k *. d.sample rng) }
+
+let clamp_min lo d =
+  { name = Printf.sprintf "max(%g,%s)" lo d.name;
+    sample = (fun rng -> Float.max lo (d.sample rng)) }
+
+let mixture parts =
+  if parts = [] then invalid_arg "Dist.mixture: empty";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. parts in
+  if total <= 0. then invalid_arg "Dist.mixture: non-positive total weight";
+  let name =
+    "mix(" ^ String.concat "," (List.map (fun (w, d) -> Printf.sprintf "%g*%s" w d.name) parts) ^ ")"
+  in
+  let sample rng =
+    let x = Rng.float rng total in
+    let rec pick acc = function
+      | [] -> (match List.rev parts with (_, d) :: _ -> d.sample rng | [] -> assert false)
+      | (w, d) :: rest -> if x < acc +. w then d.sample rng else pick (acc +. w) rest
+    in
+    pick 0. parts
+  in
+  { name; sample }

@@ -1,0 +1,63 @@
+(** Random distributions used by the simulator.
+
+    A distribution is a value of type {!t}: a named sampler over an {!Rng.t}.
+    Latency models in the clock/network layers are expressed as
+    distributions so experiments can swap them without code changes. *)
+
+type t
+(** A real-valued distribution. *)
+
+val sample : t -> Rng.t -> float
+(** Draw one sample. *)
+
+val name : t -> string
+(** Human-readable description, used in experiment logs. *)
+
+val mean_of : t -> Rng.t -> int -> float
+(** [mean_of d rng n] estimates the mean from [n] samples (for tests). *)
+
+val constant : float -> t
+(** Degenerate distribution always returning its argument. *)
+
+val uniform : lo:float -> hi:float -> t
+(** Uniform on [\[lo, hi)]. *)
+
+val exponential : mean:float -> t
+(** Exponential with the given mean. *)
+
+val normal : mu:float -> sigma:float -> t
+(** Gaussian via Box–Muller. *)
+
+val normal_pos : mu:float -> sigma:float -> t
+(** Gaussian truncated below at 0 (resampled): latencies cannot be
+    negative. *)
+
+val lognormal : mu:float -> sigma:float -> t
+(** Log-normal: [exp (N(mu, sigma))]. [mu]/[sigma] are in log space. *)
+
+val lognormal_of_mean_cv : mean:float -> cv:float -> t
+(** Log-normal parameterised by its real-space mean and coefficient of
+    variation — more convenient for calibrating latency models. *)
+
+val pareto : scale:float -> shape:float -> t
+(** Pareto (heavy-tailed); [scale] is the minimum value, [shape] the tail
+    index alpha. Used for flow sizes. *)
+
+val empirical : float array -> t
+(** Resample uniformly from an observed set of values (the paper drives its
+    Fig. 11 simulation from testbed-collected distributions; this is the
+    analogous mechanism). Raises [Invalid_argument] on an empty array. *)
+
+val shifted : float -> t -> t
+(** [shifted c d] adds constant [c] to every sample of [d]. *)
+
+val scaled : float -> t -> t
+(** [scaled k d] multiplies every sample of [d] by [k]. *)
+
+val clamp_min : float -> t -> t
+(** [clamp_min lo d] clamps samples below [lo] up to [lo]. *)
+
+val mixture : (float * t) list -> t
+(** [mixture [(w1, d1); (w2, d2); ...]] samples [di] with probability
+    proportional to [wi]. Raises [Invalid_argument] on an empty list or
+    non-positive total weight. *)

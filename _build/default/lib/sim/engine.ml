@@ -1,0 +1,47 @@
+type event = { f : unit -> unit; mutable cancelled : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  queue : event Heap.t;
+}
+
+let create () = { clock = Time.zero; seq = 0; queue = Heap.create () }
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %d is in the past (now %d)" at t.clock);
+  let ev = { f; cancelled = false } in
+  Heap.push t.queue ~key:at ~seq:t.seq ev;
+  t.seq <- t.seq + 1;
+  ev
+
+let schedule_after t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(Time.add t.clock delay) f
+
+let cancel ev = ev.cancelled <- true
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, _, ev) ->
+      t.clock <- at;
+      if not ev.cancelled then ev.f ();
+      true
+
+let run t = while step t do () done
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.queue with
+    | Some k when k <= deadline -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if deadline > t.clock then t.clock <- deadline

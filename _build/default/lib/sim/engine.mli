@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    Events are closures scheduled at absolute or relative simulated times.
+    Events scheduled for the same instant execute in scheduling order, which
+    makes runs deterministic for a given seed. The engine is single-threaded
+    and re-entrant: event handlers may schedule further events. *)
+
+type t
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] at absolute time [at]. Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] runs [f] [delay] after the current time.
+    Negative delays raise [Invalid_argument]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired or cancelled event is a
+    no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)
+
+val run : t -> unit
+(** Run until the event queue drains. *)
+
+val run_until : t -> Time.t -> unit
+(** [run_until t deadline] processes events with time <= [deadline], then
+    advances the clock to [deadline]. Remaining events stay queued. *)
+
+val step : t -> bool
+(** Execute the single next event. Returns [false] if none remained. *)

@@ -1,0 +1,24 @@
+(** A minimal binary min-heap, keyed by [(int, int)] pairs.
+
+    Used as the event queue of the simulation {!Engine}: the primary key is
+    the event time, the secondary key a sequence number guaranteeing FIFO
+    order among events scheduled for the same instant (determinism). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** Insert an element with primary key [key] and tie-breaker [seq]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum [(key, seq, value)], or [None] if empty. *)
+
+val peek_key : 'a t -> int option
+(** The minimum primary key without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained SplitMix64 generator. Every stochastic component of the
+    simulator draws from an explicit [Rng.t] so that simulations are exactly
+    reproducible from a seed, and independent subsystems can be given
+    independent streams via {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Two generators
+    created from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator duplicating [t]'s current state. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and
+    advances [t]. Use to give subsystems their own streams. *)
+
+val bits64 : t -> int64
+(** The next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

@@ -1,0 +1,49 @@
+(** Simulated time.
+
+    All simulation timestamps and durations are integer nanoseconds. Using a
+    plain [int] (63-bit on 64-bit platforms) gives us ~292 years of range,
+    far beyond any experiment, while keeping arithmetic allocation-free. *)
+
+type t = int
+(** A point in simulated time, or a duration, in nanoseconds. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is a duration of [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_us_float : float -> t
+(** [of_us_float x] converts a (possibly fractional) number of microseconds
+    to nanoseconds, rounding to nearest. *)
+
+val of_ns_float : float -> t
+(** [of_ns_float x] rounds a float nanosecond value to the nearest tick. *)
+
+val to_us : t -> float
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_sec : t -> float
+(** [to_sec t] is [t] expressed in seconds. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print with an adaptive unit (ns, us, ms or s). *)
+
+val to_string : t -> string

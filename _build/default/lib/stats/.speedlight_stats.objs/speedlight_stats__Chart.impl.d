@@ -1,0 +1,1 @@
+lib/stats/chart.ml: Array Buffer Cdf Float List Printf Stdlib String

@@ -1,0 +1,57 @@
+type t = float array (* sorted samples *)
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty input";
+  let s = Array.copy xs in
+  Array.sort Float.compare s;
+  s
+
+let size = Array.length
+
+let eval t x =
+  (* Binary search for the number of samples <= x. *)
+  let n = Array.length t in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  float_of_int !lo /. float_of_int n
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Cdf.quantile: q out of range";
+  let n = Array.length t in
+  let idx = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+  t.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+
+let median t = quantile t 0.5
+let min t = t.(0)
+let max t = t.(Array.length t - 1)
+
+let points t =
+  let n = Array.length t in
+  List.init n (fun i -> (t.(i), float_of_int (i + 1) /. float_of_int n))
+
+let sampled_points t ~n =
+  if n < 2 then invalid_arg "Cdf.sampled_points: need n >= 2";
+  let total = Array.length t in
+  let pick i =
+    let q = float_of_int i /. float_of_int (n - 1) in
+    let idx = Stdlib.min (total - 1) (int_of_float (q *. float_of_int (total - 1))) in
+    (t.(idx), float_of_int (idx + 1) /. float_of_int total)
+  in
+  List.init n pick
+
+let pp_series ?(unit_label = "") ?(n = 11) fmt named =
+  let quantiles = List.init n (fun i -> float_of_int i /. float_of_int (n - 1)) in
+  Format.fprintf fmt "%8s" "CDF";
+  List.iter (fun (name, _) -> Format.fprintf fmt " %18s" name) named;
+  Format.fprintf fmt "@.";
+  let print_row q =
+    Format.fprintf fmt "%7.0f%%" (q *. 100.);
+    List.iter
+      (fun (_, cdf) -> Format.fprintf fmt " %16.2f%2s" (quantile cdf q) unit_label)
+      named;
+    Format.fprintf fmt "@."
+  in
+  List.iter print_row quantiles

@@ -1,0 +1,36 @@
+(** Empirical cumulative distribution functions.
+
+    The paper presents most results (Figs. 9 and 12) as CDFs; this module
+    builds them from samples and renders them as the printable series the
+    benchmark harness emits. *)
+
+type t
+
+val of_samples : float array -> t
+(** Build an ECDF. Raises [Invalid_argument] on empty input. *)
+
+val size : t -> int
+
+val eval : t -> float -> float
+(** [eval t x] is P(X <= x), a step function in [\[0, 1\]]. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0,1\]]: smallest sample [x] with
+    [eval t x >= q]. *)
+
+val median : t -> float
+val min : t -> float
+val max : t -> float
+
+val points : t -> (float * float) list
+(** The full staircase as [(value, cumulative probability)] pairs, suitable
+    for plotting. *)
+
+val sampled_points : t -> n:int -> (float * float) list
+(** [n] evenly spaced (in probability) points of the staircase — compact
+    series for textual output. Always includes the min and max. *)
+
+val pp_series :
+  ?unit_label:string -> ?n:int -> Format.formatter -> (string * t) list -> unit
+(** Print several named CDFs as aligned columns of quantiles — the textual
+    analogue of a multi-line CDF figure. *)

@@ -1,0 +1,87 @@
+type scale = Linear | Log10
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let transform = function
+  | Linear -> fun v -> v
+  | Log10 -> fun v -> log10 v
+
+let plottable scale (x, y) =
+  Float.is_finite x && Float.is_finite y
+  && (scale = Linear || x > 0.)
+
+let plot_xy ?(width = 64) ?(height = 16) ?(x_scale = Linear) ?(y_scale = Linear)
+    ?(x_label = "") ?(y_label = "") series =
+  if width < 8 || height < 4 then invalid_arg "Chart.plot_xy: canvas too small";
+  let tx = transform x_scale and ty = transform y_scale in
+  let points =
+    List.map
+      (fun (name, pts) ->
+        ( name,
+          Array.of_list
+            (List.filter_map
+               (fun (x, y) ->
+                 if plottable x_scale (x, y) && plottable y_scale (y, x) then
+                   Some (tx x, ty y)
+                 else None)
+               (Array.to_list pts)) ))
+      series
+  in
+  let all = List.concat_map (fun (_, pts) -> Array.to_list pts) points in
+  if all = [] then invalid_arg "Chart.plot_xy: nothing to plot";
+  let xs = List.map fst all and ys = List.map snd all in
+  let fold f l = List.fold_left f (List.hd l) l in
+  let x0 = fold Float.min xs and x1 = fold Float.max xs in
+  let y0 = fold Float.min ys and y1 = fold Float.max ys in
+  let xspan = if x1 > x0 then x1 -. x0 else 1. in
+  let yspan = if y1 > y0 then y1 -. y0 else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si (_, pts) ->
+      let m = markers.(si mod Array.length markers) in
+      Array.iter
+        (fun (x, y) ->
+          let cx =
+            int_of_float (Float.round ((x -. x0) /. xspan *. float_of_int (width - 1)))
+          in
+          let cy =
+            int_of_float (Float.round ((y -. y0) /. yspan *. float_of_int (height - 1)))
+          in
+          (* y axis grows upward: row 0 is the top of the canvas. *)
+          grid.(height - 1 - cy).(cx) <- m)
+        pts)
+    points;
+  let b = Buffer.create ((width + 16) * (height + 4)) in
+  let unscale_y v = match y_scale with Linear -> v | Log10 -> 10. ** v in
+  let unscale_x v = match x_scale with Linear -> v | Log10 -> 10. ** v in
+  if y_label <> "" then Buffer.add_string b (y_label ^ "\n");
+  Array.iteri
+    (fun row line ->
+      let yv =
+        y1 -. (float_of_int row /. float_of_int (height - 1) *. yspan)
+      in
+      Buffer.add_string b (Printf.sprintf "%10.3g |" (unscale_y yv));
+      Buffer.add_string b (String.init width (fun i -> line.(i)));
+      Buffer.add_char b '\n')
+    grid;
+  Buffer.add_string b (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string b
+    (Printf.sprintf "%10s  %.3g%s%.3g  %s\n" "" (unscale_x x0)
+       (String.make (Stdlib.max 1 (width - 16)) ' ')
+       (unscale_x x1) x_label);
+  Buffer.add_string b "  legend: ";
+  List.iteri
+    (fun si (name, _) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s[%c] %s" (if si > 0 then "  " else "")
+           markers.(si mod Array.length markers) name))
+    points;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let plot_cdfs ?width ?height ?x_scale ?(x_label = "") series =
+  let to_points (name, cdf) =
+    (name, Array.of_list (Cdf.sampled_points cdf ~n:64))
+  in
+  plot_xy ?width ?height ?x_scale ~y_label:"CDF" ~x_label
+    (List.map to_points series)

@@ -1,0 +1,26 @@
+(** ASCII chart rendering.
+
+    The benchmark harness prints each figure both as a numeric table and
+    as an ASCII plot, so the *shape* the paper shows (crossovers, tails,
+    scaling laws) is visible directly in the terminal output. *)
+
+type scale = Linear | Log10
+
+val plot_xy :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) array) list ->
+  string
+(** Render one or more named series of (x, y) points on a shared canvas.
+    Each series gets its own marker character; a legend maps markers to
+    names. Non-finite or non-positive points are skipped under log
+    scales. Raises [Invalid_argument] if no series has plottable points. *)
+
+val plot_cdfs :
+  ?width:int -> ?height:int -> ?x_scale:scale -> ?x_label:string ->
+  (string * Cdf.t) list -> string
+(** Convenience: plot ECDF staircases (y in [0,1]). *)

@@ -1,0 +1,57 @@
+let check name xs = if Array.length xs = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty input")
+
+let sum xs = Array.fold_left ( +. ) 0. xs
+
+let mean xs =
+  check "mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check "variance" xs;
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let population_stddev xs =
+  check "population_stddev" xs;
+  let n = Array.length xs in
+  let m = mean xs in
+  let acc = ref 0. in
+  Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+  sqrt (!acc /. float_of_int n)
+
+let min xs =
+  check "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  check "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile xs p =
+  check "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Descriptive.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0. then 0. else stddev xs /. m

@@ -1,0 +1,30 @@
+(** Descriptive statistics over float arrays.
+
+    All functions raise [Invalid_argument] on empty input unless stated
+    otherwise. Inputs are never mutated. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton input. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val population_stddev : float array -> float
+(** Standard deviation with n denominator — this is what the paper computes
+    across a switch's uplink ports in Fig. 12 (the ports are the whole
+    population, not a sample). *)
+
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics. *)
+
+val coefficient_of_variation : float array -> float
+(** stddev / mean; 0 when the mean is 0. *)

@@ -1,0 +1,64 @@
+type t = { decay : float; mutable v : float; mutable initialized : bool }
+
+let create ~decay =
+  if decay <= 0. || decay > 1. then invalid_arg "Ewma.create: decay out of (0,1]";
+  { decay; v = 0.; initialized = false }
+
+let update t x =
+  if t.initialized then t.v <- (t.decay *. x) +. ((1. -. t.decay) *. t.v)
+  else begin
+    t.v <- x;
+    t.initialized <- true
+  end
+
+let value t = t.v
+
+let reset t =
+  t.v <- 0.;
+  t.initialized <- false
+
+module Two_phase = struct
+  (* Integer registers, mirroring the P4 implementation: timestamps and
+     accumulators are integer nanoseconds, halving is an integer shift. *)
+  type t = {
+    mutable last_ts : int;
+    mutable packet_count : int;
+    mutable temp_ewma : int;
+    mutable ewma : int;
+    mutable seen_first : bool;
+  }
+
+  let create () =
+    { last_ts = 0; packet_count = 0; temp_ewma = 0; ewma = 0; seen_first = false }
+
+  let on_packet t ~now =
+    if not t.seen_first then begin
+      (* The very first packet only seeds last_ts: there is no interarrival
+         to record yet. *)
+      t.last_ts <- now;
+      t.seen_first <- true
+    end
+    else begin
+      let interarrival = now - t.last_ts in
+      t.last_ts <- now;
+      if t.packet_count land 1 = 0 then t.temp_ewma <- t.temp_ewma + interarrival
+      else begin
+        t.temp_ewma <- t.temp_ewma asr 1;
+        t.ewma <- (t.ewma + t.temp_ewma) asr 1
+      end;
+      t.packet_count <- t.packet_count + 1
+    end
+
+  let value t =
+    if t.ewma = 0 && t.packet_count >= 2 then float_of_int t.temp_ewma
+    else float_of_int t.ewma
+
+  let packet_count t = t.packet_count
+
+  let reset t =
+    t.last_ts <- 0;
+    t.packet_count <- 0;
+    t.temp_ewma <- 0;
+    t.ewma <- 0;
+    t.seen_first <- false
+end

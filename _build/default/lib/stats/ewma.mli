@@ -1,0 +1,49 @@
+(** Exponentially-weighted moving averages.
+
+    Two implementations:
+    - {!t}: the textbook EWMA with arbitrary decay factor;
+    - {!Two_phase}: the register-friendly approximation the paper deploys on
+      the Tofino (§8, "Counters"), which folds pairs of interarrival times
+      and halves, yielding a decay factor of 0.5 updated on every other
+      packet. We reproduce it bug-for-bug (including its use of integer
+      registers) so snapshotted values match the hardware semantics. *)
+
+type t
+
+val create : decay:float -> t
+(** [create ~decay] with decay in (0, 1]: [v' = decay * x + (1-decay) * v]. *)
+
+val update : t -> float -> unit
+val value : t -> float
+val reset : t -> unit
+
+module Two_phase : sig
+  (** The paper's two-register EWMA of packet interarrival time.
+
+      Pseudocode from §8 (underlined variables are stateful registers):
+      {v
+        interarrival = pkt_timestamp - last_ts[port]
+        last_ts[port] = pkt_timestamp
+        if packet_count[port] is even:
+          temp_ewma[port] += interarrival
+        else:
+          temp_ewma[port] /= 2
+          ewma[port] = (ewma[port] + temp_ewma[port]) / 2
+      v}
+      Functionally an EWMA of per-pair average interarrival with decay 0.5. *)
+
+  type t
+
+  val create : unit -> t
+
+  val on_packet : t -> now:int -> unit
+  (** Record a packet arrival at timestamp [now] (nanoseconds). *)
+
+  val value : t -> float
+  (** Current EWMA of interarrival time in nanoseconds; 0 before two
+      updates have completed. *)
+
+  val packet_count : t -> int
+
+  val reset : t -> unit
+end

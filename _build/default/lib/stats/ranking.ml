@@ -1,0 +1,36 @@
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) idx;
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the tie group [i, j). *)
+    let j = ref (!i + 1) in
+    while !j < n && xs.(idx.(!j)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 1) /. 2. in
+    for k = !i to !j - 1 do
+      out.(idx.(k)) <- avg_rank
+    done;
+    i := !j
+  done;
+  out
+
+let tie_correction xs =
+  let n = Array.length xs in
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let acc = ref 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while !j < n && sorted.(!j) = sorted.(!i) do
+      incr j
+    done;
+    let g = float_of_int (!j - !i) in
+    acc := !acc +. ((g *. g *. g) -. g);
+    i := !j
+  done;
+  !acc

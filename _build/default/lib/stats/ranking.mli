@@ -1,0 +1,13 @@
+(** Ranking with ties (fractional/average ranks).
+
+    Building block for the Spearman correlation used in the paper's Fig. 13
+    analysis. *)
+
+val ranks : float array -> float array
+(** [ranks xs] assigns 1-based ranks; equal values receive the average of
+    the ranks they span (standard "fractional ranking"). The input is not
+    mutated. *)
+
+val tie_correction : float array -> float
+(** Sum over tie groups of [(g^3 - g)] where [g] is the group size — the
+    correction term used in the significance computation for tied data. *)

@@ -1,0 +1,40 @@
+type result = { rho : float; p_value : float; n : int }
+
+let pearson xs ys =
+  let n = Array.length xs in
+  let fn = float_of_int n in
+  let mx = Array.fold_left ( +. ) 0. xs /. fn in
+  let my = Array.fold_left ( +. ) 0. ys /. fn in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+let correlate xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Spearman.correlate: length mismatch";
+  if n < 2 then invalid_arg "Spearman.correlate: need at least 2 samples";
+  let rx = Ranking.ranks xs and ry = Ranking.ranks ys in
+  let rho = pearson rx ry in
+  let p_value =
+    if n < 3 || Float.abs rho >= 1.0 then if Float.abs rho >= 1.0 && n >= 3 then 0.0 else 1.0
+    else begin
+      let df = float_of_int (n - 2) in
+      let t = rho *. sqrt (df /. (1.0 -. (rho *. rho))) in
+      Special.student_t_sf ~df (Float.abs t)
+    end
+  in
+  { rho; p_value; n }
+
+let significant ?(alpha = 0.1) r = r.p_value < alpha
+
+let matrix series =
+  let k = Array.length series in
+  Array.init k (fun i ->
+      Array.init k (fun j ->
+          if i = j then { rho = 1.0; p_value = 0.0; n = Array.length series.(i) }
+          else correlate series.(i) series.(j)))

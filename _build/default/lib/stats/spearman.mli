@@ -1,0 +1,26 @@
+(** Spearman rank correlation with significance.
+
+    The paper's Fig. 13 computes pairwise Spearman correlations between
+    per-port packet-rate time series and keeps coefficients whose
+    significance level is below ρ = 0.1. *)
+
+type result = {
+  rho : float;      (** correlation coefficient in [-1, 1] *)
+  p_value : float;  (** two-sided p-value (t approximation) *)
+  n : int;          (** number of paired samples *)
+}
+
+val correlate : float array -> float array -> result
+(** [correlate xs ys] computes Spearman's rho between two equal-length
+    series (length >= 3 required for a p-value; shorter input yields
+    [p_value = 1.0]). Ties are handled by fractional ranking and the
+    Pearson-of-ranks formulation. *)
+
+val significant : ?alpha:float -> result -> bool
+(** [significant ~alpha r] is [true] when [r.p_value < alpha]
+    (default [alpha = 0.1], matching the paper). *)
+
+val matrix : float array array -> result array array
+(** [matrix series] computes the full pairwise correlation matrix of the
+    given time series; entry [i][j] correlates [series.(i)] with
+    [series.(j)]. Diagonal entries have [rho = 1.0]. *)

@@ -1,0 +1,94 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x < 0.5 then
+    (* Reflection formula. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+(* Continued fraction for the incomplete beta function (Numerical Recipes
+   "betacf"). *)
+let betacf a b x =
+  let max_iter = 200 in
+  let eps = 3e-14 in
+  let fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let converged = ref false in
+  while (not !converged) && !m <= max_iter do
+    let fm = float_of_int !m in
+    let m2 = 2.0 *. fm in
+    let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.0) < eps then converged := true;
+    incr m
+  done;
+  !h
+
+let incomplete_beta ~a ~b x =
+  if x < 0.0 || x > 1.0 then invalid_arg "Special.incomplete_beta: x out of range";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else begin
+    let lbeta =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b
+        +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then lbeta *. betacf a b x /. a
+    else 1.0 -. (lbeta *. betacf b a (1.0 -. x) /. b)
+  end
+
+let student_t_sf ~df t =
+  if df <= 0.0 then invalid_arg "Special.student_t_sf: df must be positive";
+  let t2 = t *. t in
+  incomplete_beta ~a:(df /. 2.0) ~b:0.5 (df /. (df +. t2))
+
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+         *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))

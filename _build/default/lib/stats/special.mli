@@ -1,0 +1,19 @@
+(** Special mathematical functions needed for significance tests. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function (Lanczos approximation). *)
+
+val incomplete_beta : a:float -> b:float -> float -> float
+(** Regularized incomplete beta function I_x(a, b), for x in [\[0,1\]]
+    (continued-fraction evaluation). *)
+
+val student_t_sf : df:float -> float -> float
+(** Two-sided survival function of Student's t: P(|T| >= t) with [df]
+    degrees of freedom. This is the p-value of a two-sided t test. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26 rational approximation,
+    |error| < 1.5e-7). *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF. *)

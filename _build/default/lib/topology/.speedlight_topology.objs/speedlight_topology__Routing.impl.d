@@ -1,0 +1,1 @@
+lib/topology/routing.ml: Array Format Hashtbl Int List Printf Queue Rng Speedlight_sim Time Topology

@@ -1,0 +1,1 @@
+lib/topology/routing.mli: Format Rng Speedlight_sim Time Topology

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array List Option Printf Speedlight_sim Time

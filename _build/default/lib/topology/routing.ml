@@ -1,0 +1,163 @@
+open Speedlight_sim
+
+type t = {
+  cand : int array array array;  (* [switch].[host] -> ports *)
+  dist : int array array;  (* [switch].[host] -> hops *)
+}
+
+let compute topo =
+  let n_sw = Topology.n_switches topo in
+  let n_h = Topology.n_hosts topo in
+  let cand = Array.init n_sw (fun _ -> Array.make n_h [||]) in
+  let dist = Array.init n_sw (fun _ -> Array.make n_h max_int) in
+  for h = 0 to n_h - 1 do
+    let attach_sw, attach_port = Topology.host_attachment topo ~host:h in
+    (* BFS over the switch graph from the attachment switch. *)
+    let d = Array.make n_sw max_int in
+    d.(attach_sw) <- 0;
+    let q = Queue.create () in
+    Queue.push attach_sw q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (_, v, _) ->
+          if d.(v) = max_int then begin
+            d.(v) <- d.(u) + 1;
+            Queue.push v q
+          end)
+        (Topology.switch_neighbors topo u)
+    done;
+    for s = 0 to n_sw - 1 do
+      if d.(s) = max_int then
+        failwith (Printf.sprintf "Routing.compute: host %d unreachable from switch %d" h s);
+      dist.(s).(h) <- d.(s) + 1 (* +1 for the final host hop *);
+      if s = attach_sw then cand.(s).(h) <- [| attach_port |]
+      else begin
+        let next =
+          List.filter_map
+            (fun (p, v, _) -> if d.(v) = d.(s) - 1 then Some p else None)
+            (Topology.switch_neighbors topo s)
+        in
+        let arr = Array.of_list next in
+        Array.sort Int.compare arr;
+        cand.(s).(h) <- arr
+      end
+    done
+  done;
+  { cand; dist }
+
+let candidates t ~switch ~dst_host = t.cand.(switch).(dst_host)
+let path_length t ~switch ~dst_host = t.dist.(switch).(dst_host)
+
+type policy = Ecmp | Flowlet of { gap : Time.t }
+
+let pp_policy fmt = function
+  | Ecmp -> Format.fprintf fmt "ECMP"
+  | Flowlet { gap } -> Format.fprintf fmt "Flowlet(gap=%a)" Time.pp gap
+
+(* A small integer hash (Fibonacci-style mixing) for flow-hash ECMP. *)
+let mix_hash a b c =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
+  let h = h lxor (h lsr 15) in
+  let h = h * 0x27D4EB2F in
+  (h lxor (h lsr 13)) land max_int
+
+module Selector = struct
+  type table = t
+
+  type flowlet_entry = { mutable port : int; mutable last : Time.t }
+
+  (* Exponentially-decayed per-port load estimate used by the load-aware
+     flowlet assignment (time constant ~1 ms). *)
+  let load_tau_ns = 1_000_000.
+
+  type s = {
+    policy : policy;
+    rng : Rng.t;
+    switch : int;
+    flows : (int, flowlet_entry) Hashtbl.t;
+    loads : (int, float ref) Hashtbl.t;  (* port -> decayed bytes *)
+    mutable last_decay : Time.t;
+    mutable splits : int;
+  }
+
+  let create policy ~rng ~switch =
+    {
+      policy;
+      rng;
+      switch;
+      flows = Hashtbl.create 256;
+      loads = Hashtbl.create 16;
+      last_decay = Time.zero;
+      splits = 0;
+    }
+
+  let ecmp_pick s table ~dst_host ~flow_id =
+    let c = candidates table ~switch:s.switch ~dst_host in
+    match Array.length c with
+    | 0 -> failwith "Routing.Selector: no candidate ports"
+    | 1 -> c.(0)
+    | n -> c.(mix_hash flow_id s.switch dst_host mod n)
+
+  let decay_loads s ~now =
+    let dt = float_of_int (Time.sub now s.last_decay) in
+    if dt > 0. then begin
+      let k = exp (-.dt /. load_tau_ns) in
+      Hashtbl.iter (fun _ l -> l := !l *. k) s.loads;
+      s.last_decay <- now
+    end
+
+  let load_of s port =
+    match Hashtbl.find_opt s.loads port with
+    | Some l -> l
+    | None ->
+        let l = ref 0. in
+        Hashtbl.replace s.loads port l;
+        l
+
+  let add_load s port size = load_of s port := !(load_of s port) +. float_of_int size
+
+  (* FLARE-style: put the new flowlet on the least-loaded candidate. *)
+  let least_loaded s c =
+    let best = ref c.(0) and best_load = ref !(load_of s c.(0)) in
+    Array.iter
+      (fun p ->
+        let l = !(load_of s p) in
+        if l < !best_load then begin
+          best := p;
+          best_load := l
+        end)
+      c;
+    !best
+
+  let select s table ~dst_host ~flow_id ~size ~now =
+    match s.policy with
+    | Ecmp -> ecmp_pick s table ~dst_host ~flow_id
+    | Flowlet { gap } -> (
+        let c = candidates table ~switch:s.switch ~dst_host in
+        match Array.length c with
+        | 0 -> failwith "Routing.Selector: no candidate ports"
+        | 1 -> c.(0)
+        | _ ->
+            decay_loads s ~now;
+            let port =
+              match Hashtbl.find_opt s.flows flow_id with
+              | Some e ->
+                  if Time.sub now e.last > gap then begin
+                    (* Flowlet boundary: safe to re-assign w/o reordering. *)
+                    let p = least_loaded s c in
+                    if p <> e.port then s.splits <- s.splits + 1;
+                    e.port <- p
+                  end;
+                  e.last <- now;
+                  e.port
+              | None ->
+                  let p = least_loaded s c in
+                  Hashtbl.replace s.flows flow_id { port = p; last = now };
+                  p
+            in
+            add_load s port size;
+            port)
+
+  let flowlet_splits s = s.splits
+end

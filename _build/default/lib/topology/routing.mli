@@ -1,0 +1,48 @@
+(** Shortest-path routing with multipath: ECMP and flowlet switching.
+
+    The testbed runs two load-balancing algorithms in the switch ASIC
+    alongside the snapshot logic: flow-hash ECMP [RFC 2992] and flowlet
+    switching [Kandula et al. 2007]. Routes are equal-cost shortest paths
+    computed by BFS from every destination host's attachment switch. *)
+
+open Speedlight_sim
+
+type t
+
+val compute : Topology.t -> t
+(** Precompute, for every (switch, destination host), the set of ports on
+    equal-cost shortest paths. Raises [Failure] if some host is
+    unreachable from some switch. *)
+
+val candidates : t -> switch:int -> dst_host:int -> int array
+(** The ECMP candidate port set (sorted, deterministic). *)
+
+val path_length : t -> switch:int -> dst_host:int -> int
+(** Hops from the switch to the destination host. *)
+
+type policy = Ecmp | Flowlet of { gap : Time.t }
+
+val pp_policy : Format.formatter -> policy -> unit
+
+module Selector : sig
+  (** Per-switch forwarding-decision state. ECMP is stateless (pure flow
+      hash); flowlet switching keeps a per-flow (port, last activity)
+      table and re-assigns a flow when the inter-packet gap exceeds the
+      flowlet timeout. Re-assignment is load-aware, as in FLARE [Kandula
+      et al. 2007]: the new flowlet goes to the candidate port with the
+      least recently-assigned load (exponentially decayed byte counters),
+      which is what actually buys the finer-grained balance Fig. 12
+      measures. *)
+
+  type table = t
+  type s
+
+  val create : policy -> rng:Rng.t -> switch:int -> s
+
+  val select :
+    s -> table -> dst_host:int -> flow_id:int -> size:int -> now:Time.t -> int
+  (** Pick the egress port for a packet of [size] bytes. *)
+
+  val flowlet_splits : s -> int
+  (** How many times a flow changed ports (0 under ECMP). *)
+end

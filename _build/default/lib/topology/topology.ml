@@ -1,0 +1,205 @@
+open Speedlight_sim
+
+type peer = Switch_port of int * int | Host_port of int
+
+type link_spec = { bandwidth_bps : float; latency : Time.t }
+
+let default_host_link = { bandwidth_bps = 25e9; latency = Time.us 1 }
+let default_fabric_link = { bandwidth_bps = 100e9; latency = Time.us 1 }
+
+type t = {
+  switch_ports : int array;  (* ports per switch *)
+  n_hosts : int;
+  wiring : (peer * link_spec) option array array;  (* [switch].[port] *)
+  host_attach : (int * int) array;  (* host -> (switch, port) *)
+}
+
+let n_switches t = Array.length t.switch_ports
+let n_hosts t = t.n_hosts
+let ports t s = t.switch_ports.(s)
+
+let peer_of t ~switch ~port =
+  Option.map fst t.wiring.(switch).(port)
+
+let link_of t ~switch ~port = Option.map snd t.wiring.(switch).(port)
+
+let host_attachment t ~host = t.host_attach.(host)
+
+let switch_neighbors t s =
+  let acc = ref [] in
+  for p = ports t s - 1 downto 0 do
+    match t.wiring.(s).(p) with
+    | Some (Switch_port (s', p'), _) -> acc := (p, s', p') :: !acc
+    | Some (Host_port _, _) | None -> ()
+  done;
+  !acc
+
+let iter_switch_ports t f =
+  for s = 0 to n_switches t - 1 do
+    for p = 0 to ports t s - 1 do
+      match t.wiring.(s).(p) with
+      | Some (peer, _) -> f ~switch:s ~port:p peer
+      | None -> ()
+    done
+  done
+
+module Builder = struct
+  type topo = t
+
+  type b = {
+    mutable switches : int list;  (* reversed list of port counts *)
+    mutable n_sw : int;
+    mutable hosts : int;
+    mutable links : (int * int * peer * link_spec) list;
+    mutable attach : (int * int * int) list;  (* host, switch, port *)
+  }
+
+  let create () = { switches = []; n_sw = 0; hosts = 0; links = []; attach = [] }
+
+  let add_switch b ~n_ports =
+    if n_ports <= 0 then invalid_arg "Builder.add_switch: need ports";
+    let id = b.n_sw in
+    b.switches <- n_ports :: b.switches;
+    b.n_sw <- id + 1;
+    id
+
+  let add_host b =
+    let id = b.hosts in
+    b.hosts <- id + 1;
+    id
+
+  let connect ?(spec = default_fabric_link) b ~sw_a ~port_a ~sw_b ~port_b =
+    b.links <-
+      (sw_a, port_a, Switch_port (sw_b, port_b), spec)
+      :: (sw_b, port_b, Switch_port (sw_a, port_a), spec)
+      :: b.links
+
+  let attach_host ?(spec = default_host_link) b ~host ~switch ~port =
+    b.links <- (switch, port, Host_port host, spec) :: b.links;
+    b.attach <- (host, switch, port) :: b.attach
+
+  let build b =
+    let switch_ports = Array.of_list (List.rev b.switches) in
+    let wiring = Array.map (fun n -> Array.make n None) switch_ports in
+    List.iter
+      (fun (s, p, peer, spec) ->
+        if s < 0 || s >= Array.length switch_ports then
+          invalid_arg "Builder.build: bad switch id";
+        if p < 0 || p >= switch_ports.(s) then
+          invalid_arg (Printf.sprintf "Builder.build: bad port %d on switch %d" p s);
+        if wiring.(s).(p) <> None then
+          invalid_arg (Printf.sprintf "Builder.build: port %d on switch %d reused" p s);
+        wiring.(s).(p) <- Some (peer, spec))
+      b.links;
+    let host_attach = Array.make b.hosts (-1, -1) in
+    List.iter (fun (h, s, p) -> host_attach.(h) <- (s, p)) b.attach;
+    Array.iteri
+      (fun h (s, _) ->
+        if s < 0 then invalid_arg (Printf.sprintf "Builder.build: host %d unattached" h))
+      host_attach;
+    { switch_ports; n_hosts = b.hosts; wiring; host_attach }
+end
+
+type leaf_spine = {
+  topo : t;
+  leaf_switches : int list;
+  spine_switches : int list;
+  uplink_ports : (int * int list) list;
+  host_of_server : int array;
+}
+
+let leaf_spine ?(leaves = 2) ?(spines = 2) ?(hosts_per_leaf = 3)
+    ?(host_link = default_host_link) ?(fabric_link = default_fabric_link) () =
+  let b = Builder.create () in
+  let ports_per_leaf = spines + hosts_per_leaf in
+  let leaf_ids = List.init leaves (fun _ -> Builder.add_switch b ~n_ports:ports_per_leaf) in
+  let spine_ids = List.init spines (fun _ -> Builder.add_switch b ~n_ports:leaves) in
+  (* Leaf port layout: ports [0, spines) face spines (uplinks), the rest
+     face hosts. *)
+  List.iteri
+    (fun li leaf ->
+      List.iteri
+        (fun si spine ->
+          Builder.connect b ~spec:fabric_link ~sw_a:leaf ~port_a:si ~sw_b:spine
+            ~port_b:li)
+        spine_ids)
+    leaf_ids;
+  let host_of_server = Array.make (leaves * hosts_per_leaf) (-1) in
+  List.iteri
+    (fun li leaf ->
+      for hi = 0 to hosts_per_leaf - 1 do
+        let h = Builder.add_host b in
+        host_of_server.((li * hosts_per_leaf) + hi) <- h;
+        Builder.attach_host b ~spec:host_link ~host:h ~switch:leaf ~port:(spines + hi)
+      done)
+    leaf_ids;
+  let uplinks = List.init spines (fun i -> i) in
+  {
+    topo = Builder.build b;
+    leaf_switches = leaf_ids;
+    spine_switches = spine_ids;
+    uplink_ports = List.map (fun leaf -> (leaf, uplinks)) leaf_ids;
+    host_of_server;
+  }
+
+type fat_tree = {
+  ft_topo : t;
+  ft_k : int;
+  ft_edge : int list;
+  ft_aggregation : int list;
+  ft_core : int list;
+  ft_hosts : int array;
+}
+
+let fat_tree ~k ?(host_link = default_host_link) ?(fabric_link = default_fabric_link) () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
+  let b = Builder.create () in
+  let half = k / 2 in
+  let pods = k in
+  (* Edge and aggregation switches per pod: k/2 each; cores: (k/2)^2. *)
+  let edge = Array.init (pods * half) (fun _ -> Builder.add_switch b ~n_ports:k) in
+  let agg = Array.init (pods * half) (fun _ -> Builder.add_switch b ~n_ports:k) in
+  let core = Array.init (half * half) (fun _ -> Builder.add_switch b ~n_ports:k) in
+  (* Pod wiring: edge e (ports [half, k)) to every agg in the pod. *)
+  for pod = 0 to pods - 1 do
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        Builder.connect b ~spec:fabric_link
+          ~sw_a:edge.((pod * half) + e)
+          ~port_a:(half + a)
+          ~sw_b:agg.((pod * half) + a)
+          ~port_b:e
+      done
+    done
+  done;
+  (* Aggregation a (ports [half, k)) to cores. Core (a_idx, c) connects to
+     aggregation a_idx of every pod. *)
+  for pod = 0 to pods - 1 do
+    for a = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        Builder.connect b ~spec:fabric_link
+          ~sw_a:agg.((pod * half) + a)
+          ~port_a:(half + c)
+          ~sw_b:core.((a * half) + c)
+          ~port_b:pod
+      done
+    done
+  done;
+  (* Hosts: k/2 per edge switch on ports [0, half). *)
+  let hosts = Array.make (pods * half * half) (-1) in
+  Array.iteri
+    (fun ei e ->
+      for hp = 0 to half - 1 do
+        let h = Builder.add_host b in
+        hosts.((ei * half) + hp) <- h;
+        Builder.attach_host b ~spec:host_link ~host:h ~switch:e ~port:hp
+      done)
+    edge;
+  {
+    ft_topo = Builder.build b;
+    ft_k = k;
+    ft_edge = Array.to_list edge;
+    ft_aggregation = Array.to_list agg;
+    ft_core = Array.to_list core;
+    ft_hosts = hosts;
+  }

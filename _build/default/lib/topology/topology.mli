@@ -1,0 +1,97 @@
+(** Network topologies: switches, hosts, links.
+
+    A topology is an immutable wiring diagram; the [Builder] accumulates
+    devices and links, and {!Builder.build} freezes it. Convenience
+    constructors build the leaf–spine testbed of the paper (Fig. 8) and
+    generic k-ary fat trees. *)
+
+open Speedlight_sim
+
+type peer =
+  | Switch_port of int * int  (** (switch id, port index) *)
+  | Host_port of int  (** host id *)
+
+type link_spec = {
+  bandwidth_bps : float;  (** e.g. 25 GbE host links, 100 GbE fabric *)
+  latency : Time.t;  (** propagation delay *)
+}
+
+val default_host_link : link_spec
+(** 25 GbE, 1 µs propagation (testbed server links). *)
+
+val default_fabric_link : link_spec
+(** 100 GbE, 1 µs propagation (inter-switch copper). *)
+
+type t
+
+val n_switches : t -> int
+val n_hosts : t -> int
+val ports : t -> int -> int
+(** Number of ports on a switch. *)
+
+val peer_of : t -> switch:int -> port:int -> peer option
+(** What is plugged into a given switch port ([None] = unused port). *)
+
+val link_of : t -> switch:int -> port:int -> link_spec option
+
+val host_attachment : t -> host:int -> int * int
+(** The (switch, port) a host hangs off. *)
+
+val switch_neighbors : t -> int -> (int * int * int) list
+(** [(local port, peer switch, peer port)] for all inter-switch links. *)
+
+val iter_switch_ports : t -> (switch:int -> port:int -> peer -> unit) -> unit
+(** Visit every connected switch port. *)
+
+module Builder : sig
+  type topo = t
+  type b
+
+  val create : unit -> b
+  val add_switch : b -> n_ports:int -> int
+  val add_host : b -> int
+
+  val connect :
+    ?spec:link_spec -> b -> sw_a:int -> port_a:int -> sw_b:int -> port_b:int -> unit
+  (** Wire two switch ports together (full duplex). Raises on reuse of a
+      port. *)
+
+  val attach_host : ?spec:link_spec -> b -> host:int -> switch:int -> port:int -> unit
+  val build : b -> topo
+end
+
+(** {2 Canonical topologies} *)
+
+type leaf_spine = {
+  topo : t;
+  leaf_switches : int list;
+  spine_switches : int list;
+  uplink_ports : (int * int list) list;
+      (** per leaf switch: the ports facing spines — the ports Fig. 12
+          compares *)
+  host_of_server : int array;  (** server index -> host id *)
+}
+
+val leaf_spine :
+  ?leaves:int ->
+  ?spines:int ->
+  ?hosts_per_leaf:int ->
+  ?host_link:link_spec ->
+  ?fabric_link:link_spec ->
+  unit ->
+  leaf_spine
+(** Defaults reproduce the paper's testbed (Fig. 8): 2 leaves, 2 spines,
+    3 servers per leaf, 25 GbE host links, 100 GbE fabric links. *)
+
+type fat_tree = {
+  ft_topo : t;
+  ft_k : int;
+  ft_edge : int list;
+  ft_aggregation : int list;
+  ft_core : int list;
+  ft_hosts : int array;
+}
+
+val fat_tree : k:int -> ?host_link:link_spec -> ?fabric_link:link_spec -> unit -> fat_tree
+(** A k-ary fat tree ([k] even): [5k^2/4] switches, [k^3/4] hosts. Used by
+    the scalability experiments. *)

@@ -1,0 +1,1 @@
+lib/workload/apps.ml: Array Dist Engine Float List Rng Speedlight_sim Time Traffic

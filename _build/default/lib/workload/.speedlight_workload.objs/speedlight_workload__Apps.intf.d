@@ -1,0 +1,1 @@
+lib/workload/apps.mli: Dist Engine Rng Speedlight_sim Time Traffic

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Dist Engine Float Speedlight_sim Time

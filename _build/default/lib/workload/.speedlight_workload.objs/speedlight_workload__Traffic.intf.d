@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Dist Engine Rng Speedlight_sim Time

@@ -1,0 +1,197 @@
+open Speedlight_sim
+
+module Hadoop = struct
+  type params = {
+    mappers : int list;
+    reducers : int list;
+    wave_period : Time.t;
+    flow_pkts_min : int;
+    flow_pkts_max : int;
+    pkt_size : int;
+    intra_gap : Dist.t;
+  }
+
+  let default_params ~mappers ~reducers =
+    {
+      mappers;
+      reducers;
+      wave_period = Time.ms 55;
+      flow_pkts_min = 80;
+      flow_pkts_max = 180;
+      pkt_size = 1500;
+      intra_gap =
+        Dist.mixture
+          [
+            (0.92, Dist.exponential ~mean:25_000.);
+            (0.08, Dist.exponential ~mean:700_000.);
+          ];
+    }
+
+  let run ~engine ~rng ~send ~fids ~until p =
+    let reducers = Array.of_list p.reducers in
+    let rec wave () =
+      if Engine.now engine < until then begin
+        (* A shuffle wave: every mapper streams one partition to every
+           reducer (all-to-all), staggered slightly like real map-task
+           completions. *)
+        List.iter
+          (fun m ->
+            Array.iter
+              (fun r ->
+                if r <> m then begin
+                  let n_pkts = Rng.int_in rng p.flow_pkts_min p.flow_pkts_max in
+                  let stagger = Time.of_ns_float (Rng.float rng 5_000_000.) in
+                  ignore
+                    (Engine.schedule_after engine ~delay:stagger (fun () ->
+                         Traffic.send_flow ~engine ~rng ~send ~src:m ~dst:r
+                           ~flow_id:(Traffic.next_flow fids) ~n_pkts
+                           ~pkt_size:p.pkt_size ~gap:p.intra_gap ()))
+                end)
+              reducers)
+          p.mappers;
+        let jittered =
+          Dist.sample (Dist.exponential ~mean:(float_of_int p.wave_period)) rng
+        in
+        ignore
+          (Engine.schedule_after engine
+             ~delay:(Time.of_ns_float (Float.max 1. jittered))
+             wave)
+      end
+    in
+    wave ()
+end
+
+module Graphx = struct
+  type params = {
+    workers : int list;
+    master : int;
+    superstep_period : Time.t;
+    burst_pkts_min : int;
+    burst_pkts_max : int;
+    pkt_size : int;
+    intra_gap : Dist.t;
+  }
+
+  let default_params ~workers ~master =
+    {
+      workers;
+      master;
+      (* The compute/flush cycle period: BSP synchrony at millisecond
+         scale. Real supersteps are seconds long, but their synchrony is
+         what matters and it scales down with everything else. *)
+      superstep_period = Time.ms 2;
+      burst_pkts_min = 5;
+      burst_pkts_max = 12;
+      pkt_size = 1500;
+      intra_gap = Dist.exponential ~mean:15_000.;
+    }
+
+  (* Bulk-synchronous traffic at micro scale: all workers flush their
+     outgoing messages to every peer at (almost) the same instant, every
+     cycle, continuously. Each flush is a short line-rate train, so any
+     port carrying worker traffic pulses in lock-step with the others —
+     the synchronized behavior Fig. 13 detects. Between flushes the
+     network is quiet, which is exactly why asynchronous polling reads
+     incoherent values. *)
+  let run ~engine ~rng ~send ~fids ~until p =
+    let workers = List.filter (fun w -> w <> p.master) p.workers in
+    let rec cycle () =
+      if Engine.now engine < until then begin
+        List.iter
+          (fun src ->
+            (* Per-worker scheduling skew within the barrier. *)
+            let skew = Time.of_ns_float (Rng.float rng 150_000.) in
+            List.iter
+              (fun dst ->
+                if src <> dst then begin
+                  let n_pkts = Rng.int_in rng p.burst_pkts_min p.burst_pkts_max in
+                  ignore
+                    (Engine.schedule_after engine ~delay:skew (fun () ->
+                         Traffic.send_flow ~engine ~rng ~send ~src ~dst
+                           ~flow_id:(Traffic.next_flow fids) ~n_pkts
+                           ~pkt_size:p.pkt_size ~gap:p.intra_gap ()))
+                end)
+              workers)
+          workers;
+        (* Cycle lengths vary (compute time): exponential around the
+           period, so sampling at any fixed interval sees random phases. *)
+        let d =
+          Dist.sample
+            (Dist.exponential ~mean:(float_of_int p.superstep_period))
+            rng
+        in
+        ignore
+          (Engine.schedule_after engine
+             ~delay:(Time.of_ns_float (Float.max 100_000. d))
+             cycle)
+      end
+    in
+    cycle ()
+end
+
+module Memcache = struct
+  type params = {
+    clients : int list;
+    servers : int list;
+    request_period : Dist.t;
+    request_size : int;
+    response_pkts : int;
+    response_size : int;
+    service_time : Dist.t;
+  }
+
+  let default_params ~clients ~servers =
+    {
+      clients;
+      servers;
+      request_period = Dist.exponential ~mean:2_000_000.;
+      request_size = 100;
+      response_pkts = 3;
+      response_size = 1500;
+      service_time = Dist.exponential ~mean:100_000.;
+    }
+
+  let run ~engine ~rng ~send ~fids ~until p =
+    let multiget client =
+      (* One multi-get fans out to every server; responses incast back. *)
+      List.iter
+        (fun server ->
+          if server <> client then begin
+            let req_flow = Traffic.next_flow fids in
+            send ~src:client ~dst:server ~size:p.request_size ~flow_id:req_flow;
+            let service =
+              Time.of_ns_float (Float.max 1. (Dist.sample p.service_time rng))
+            in
+            ignore
+              (Engine.schedule_after engine ~delay:service (fun () ->
+                   Traffic.send_flow ~engine ~rng ~send ~src:server ~dst:client
+                     ~flow_id:(Traffic.next_flow fids) ~n_pkts:p.response_pkts
+                     ~pkt_size:p.response_size
+                     ~gap:(Dist.exponential ~mean:15_000.) ()))
+          end)
+        p.servers
+    in
+    let rec client_loop client =
+      if Engine.now engine < until then begin
+        multiget client;
+        let delay =
+          Time.of_ns_float (Float.max 1. (Dist.sample p.request_period rng))
+        in
+        ignore (Engine.schedule_after engine ~delay (fun () -> client_loop client))
+      end
+    in
+    List.iter client_loop p.clients
+end
+
+module Uniform = struct
+  let run ~engine ~rng ~send ~fids ~hosts ~rate_pps ~pkt_size ~until =
+    List.iter
+      (fun src ->
+        List.iter
+          (fun dst ->
+            if src <> dst then
+              Traffic.poisson_stream ~engine ~rng ~send ~src ~dst
+                ~flow_id:(Traffic.next_flow fids) ~rate_pps ~pkt_size ~until)
+          hosts)
+      hosts
+end

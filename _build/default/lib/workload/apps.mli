@@ -1,0 +1,110 @@
+(** Synthetic versions of the paper's three testbed applications (§8,
+    "Workload").
+
+    The real testbed ran Hadoop Terasort (5B rows), Spark GraphX PageRank
+    (100k vertices) and memcached under mc-crusher 50-key multi-gets. We
+    reproduce the traffic {e shape} each exhibits — what Figs. 12–13
+    actually exercise — scaled to simulation-friendly packet rates:
+
+    - {b Hadoop}: shuffle waves of long, bursty flows with occasional
+      intra-flow stalls (so flowlet switching gets split opportunities
+      while per-flow ECMP keeps whole elephants pinned);
+    - {b GraphX}: bulk-synchronous supersteps — all workers exchange
+      bursts nearly simultaneously, excluding the master;
+    - {b Memcache}: high-rate fan-out multi-gets with small requests and
+      short incast responses, evenly spread. *)
+
+open Speedlight_sim
+
+module Hadoop : sig
+  type params = {
+    mappers : int list;  (** hosts acting as mappers *)
+    reducers : int list;  (** hosts acting as reducers *)
+    wave_period : Time.t;  (** mean time between shuffle waves *)
+    flow_pkts_min : int;
+    flow_pkts_max : int;
+    pkt_size : int;
+    intra_gap : Dist.t;
+        (** intra-flow inter-packet gap (ns); heavy-tailed mixture creates
+            flowlet boundaries *)
+  }
+
+  val default_params : mappers:int list -> reducers:int list -> params
+  (** Scaled for ~1 Gbps host links: 40 ms waves, 150–600 packet flows of
+      1500 B, gaps = 85% exp(20 µs) + 15% exp(3 ms). *)
+
+  val run :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+end
+
+module Graphx : sig
+  type params = {
+    workers : int list;
+    master : int;  (** does not participate in the exchange (Fig. 13) *)
+    superstep_period : Time.t;
+    burst_pkts_min : int;
+    burst_pkts_max : int;
+    pkt_size : int;
+    intra_gap : Dist.t;
+  }
+
+  val default_params : workers:int list -> master:int -> params
+  (** 60 ms supersteps, 20–60 packet bursts of 1500 B, ~25 µs gaps. *)
+
+  val run :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+end
+
+module Memcache : sig
+  type params = {
+    clients : int list;
+    servers : int list;
+    request_period : Dist.t;  (** inter-request gap per client (ns) *)
+    request_size : int;
+    response_pkts : int;
+    response_size : int;
+    service_time : Dist.t;  (** server think time before responding (ns) *)
+  }
+
+  val default_params : clients:int list -> servers:int list -> params
+  (** exp(2 ms) multi-gets, 100 B requests, 3x1500 B responses, ~100 µs
+      service time. *)
+
+  val run :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+end
+
+module Uniform : sig
+  (** Poisson all-to-all background traffic, for tests and smoke runs. *)
+
+  val run :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    hosts:int list ->
+    rate_pps:float ->
+    pkt_size:int ->
+    until:Time.t ->
+    unit
+  (** Every ordered host pair gets an independent Poisson stream at
+      [rate_pps]. *)
+end

@@ -1,0 +1,47 @@
+open Speedlight_sim
+
+type send = src:int -> dst:int -> size:int -> flow_id:int -> unit
+
+type flow_ids = { mutable next : int }
+
+let flow_ids () = { next = 1_000_000 }
+
+let next_flow f =
+  let id = f.next in
+  f.next <- id + 1;
+  id
+
+let send_flow ~engine ~rng ~send ~src ~dst ~flow_id ~n_pkts ~pkt_size ~gap
+    ?(on_done = fun () -> ()) () =
+  let rec step remaining =
+    if remaining <= 0 then on_done ()
+    else begin
+      send ~src ~dst ~size:pkt_size ~flow_id;
+      let delay = Time.of_ns_float (Float.max 0. (Dist.sample gap rng)) in
+      ignore (Engine.schedule_after engine ~delay (fun () -> step (remaining - 1)))
+    end
+  in
+  step n_pkts
+
+let poisson_stream ~engine ~rng ~send ~src ~dst ~flow_id ~rate_pps ~pkt_size ~until =
+  if rate_pps <= 0. then invalid_arg "Traffic.poisson_stream: rate must be positive";
+  let gap = Dist.exponential ~mean:(1e9 /. rate_pps) in
+  let rec step () =
+    if Engine.now engine < until then begin
+      send ~src ~dst ~size:pkt_size ~flow_id;
+      let delay = Time.of_ns_float (Float.max 1. (Dist.sample gap rng)) in
+      ignore (Engine.schedule_after engine ~delay step)
+    end
+  in
+  step ()
+
+let every ~engine ~period ~until f =
+  let rec tick () =
+    ignore
+      (Engine.schedule_after engine ~delay:period (fun () ->
+           if Engine.now engine <= until then begin
+             f ();
+             tick ()
+           end))
+  in
+  tick ()

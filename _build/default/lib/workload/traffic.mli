@@ -1,0 +1,54 @@
+(** Traffic primitives shared by the workload generators.
+
+    Generators are decoupled from the network: they drive a [send]
+    callback on a simulation engine. *)
+
+open Speedlight_sim
+
+type send = src:int -> dst:int -> size:int -> flow_id:int -> unit
+(** Inject one packet into the network. *)
+
+type flow_ids
+(** A source of unique flow identifiers. *)
+
+val flow_ids : unit -> flow_ids
+val next_flow : flow_ids -> int
+
+val send_flow :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  send:send ->
+  src:int ->
+  dst:int ->
+  flow_id:int ->
+  n_pkts:int ->
+  pkt_size:int ->
+  gap:Dist.t ->
+  ?on_done:(unit -> unit) ->
+  unit ->
+  unit
+(** Emit a flow of [n_pkts] packets with inter-packet gaps drawn (in
+    nanoseconds) from [gap]. The NIC model downstream still enforces link
+    serialization, so small gaps yield line-rate bursts. *)
+
+val poisson_stream :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  send:send ->
+  src:int ->
+  dst:int ->
+  flow_id:int ->
+  rate_pps:float ->
+  pkt_size:int ->
+  until:Time.t ->
+  unit
+(** Exponentially spaced packets at [rate_pps] until the deadline. *)
+
+val every :
+  engine:Engine.t ->
+  period:Time.t ->
+  until:Time.t ->
+  (unit -> unit) ->
+  unit
+(** Run an action periodically until the deadline (first run after one
+    period). *)

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Clock Engine Float List Ptp QCheck QCheck_alcotest Rng Speedlight_clock Speedlight_sim Time

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Counter Fifo_queue Float Gen List Packet QCheck QCheck_alcotest Register Snapshot_header Speedlight_dataplane Speedlight_sim Time Unit_id

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Array Cdf Fig10 Fig11 Fig13 Fig9 Format List Scale Speedlight_experiments Speedlight_stats Table1

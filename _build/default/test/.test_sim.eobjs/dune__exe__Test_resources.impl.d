@@ -1,0 +1,1 @@
+test/test_resources.ml: Alcotest Buffer Format List Printf Resource_model Speedlight_resources String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Engine Float Gen Heap List QCheck QCheck_alcotest Rng Speedlight_sim Time

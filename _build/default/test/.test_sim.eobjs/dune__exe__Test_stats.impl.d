@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cdf Descriptive Ewma Float Gen List QCheck QCheck_alcotest Ranking Spearman Special Speedlight_sim Speedlight_stats

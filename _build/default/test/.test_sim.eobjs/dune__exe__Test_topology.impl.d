@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List QCheck QCheck_alcotest Rng Routing Speedlight_sim Speedlight_topology Time Topology

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Apps Array Dist Engine Hashtbl List Rng Speedlight_sim Speedlight_workload Stdlib Time Traffic

@@ -1,0 +1,108 @@
+(* Tests for drifting clocks and the PTP synchronization model. *)
+
+open Speedlight_sim
+open Speedlight_clock
+
+let check_float eps = Alcotest.(check (float eps))
+
+let test_clock_perfect () =
+  let c = Clock.create () in
+  Alcotest.(check int) "no error" (Time.ms 5) (Clock.read c ~true_time:(Time.ms 5));
+  check_float 1e-9 "zero error" 0. (Clock.error_at c ~true_time:(Time.ms 5))
+
+let test_clock_offset () =
+  let c = Clock.create ~offset_ns:1_000. () in
+  Alcotest.(check int) "reads fast" (Time.us 1 + Time.ms 1)
+    (Clock.read c ~true_time:(Time.ms 1))
+
+let test_clock_drift () =
+  let c = Clock.create ~drift_ppm:10. () in
+  (* After 1 s of true time, a 10 ppm clock is 10 us fast. *)
+  check_float 1e-3 "drift accumulates" 10_000. (Clock.error_at c ~true_time:(Time.sec 1))
+
+let test_clock_inverse_roundtrip =
+  QCheck.Test.make ~name:"true_time_of_local inverts read" ~count:300
+    QCheck.(
+      triple
+        (float_range (-10_000.) 10_000.)
+        (float_range (-50.) 50.)
+        (int_range 0 1_000_000_000))
+    (fun (offset_ns, drift_ppm, t) ->
+      let c = Clock.create ~offset_ns ~drift_ppm () in
+      let local = Clock.read c ~true_time:t in
+      let back = Clock.true_time_of_local c ~local in
+      abs (back - t) <= 1 (* rounding *))
+
+let test_clock_correction () =
+  let c = Clock.create ~offset_ns:5_000. ~drift_ppm:100. () in
+  Clock.apply_correction c ~true_time:(Time.ms 10) ~residual_ns:50.;
+  check_float 1e-6 "residual replaces offset" 50.
+    (Clock.error_at c ~true_time:(Time.ms 10));
+  (* Drift keeps accumulating from the sync point. *)
+  check_float 1e-3 "drift from sync point" (50. +. 100.)
+    (Clock.error_at c ~true_time:(Time.ms 10 + Time.ms 1))
+
+let test_ptp_bounds_error () =
+  let engine = Engine.create () in
+  let rng = Rng.create 3 in
+  let ptp = Ptp.create ~rng engine in
+  let clocks = List.init 8 (fun _ -> Clock.create ~offset_ns:1e6 ()) in
+  List.iter (Ptp.attach ptp) clocks;
+  (* attach applies an immediate correction: the 1 ms initial offset must
+     be gone. *)
+  List.iter
+    (fun c ->
+      let err = Clock.error_at c ~true_time:(Engine.now engine) in
+      Alcotest.(check bool) "attached clock error < 5us" true (Float.abs err < 5_000.))
+    clocks;
+  (* Run several sync intervals: error stays bounded despite drift. *)
+  Engine.run_until engine (Time.sec 2);
+  List.iter
+    (fun c ->
+      let err = Clock.error_at c ~true_time:(Engine.now engine) in
+      Alcotest.(check bool) "error bounded after 2s" true (Float.abs err < 10_000.))
+    clocks
+
+let test_ptp_initiation_delay_nonneg () =
+  let engine = Engine.create () in
+  let rng = Rng.create 4 in
+  let ptp = Ptp.create ~rng engine in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "delay >= 0" true (Ptp.initiation_delay ptp ~rng >= 0)
+  done
+
+let test_ptp_sample_error_distribution () =
+  (* The calibrated profile should produce per-unit initiation errors of a
+     few microseconds on average (jitter mean 5us + latency mean 2us). *)
+  let rng = Rng.create 5 in
+  let profile = Ptp.default_profile in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Ptp.sample_initiation_error profile ~rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean in [5us, 9us]" true (mean > 5_000. && mean < 9_000.)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "perfect" `Quick test_clock_perfect;
+          Alcotest.test_case "offset" `Quick test_clock_offset;
+          Alcotest.test_case "drift" `Quick test_clock_drift;
+          Alcotest.test_case "correction" `Quick test_clock_correction;
+          q test_clock_inverse_roundtrip;
+        ] );
+      ( "ptp",
+        [
+          Alcotest.test_case "bounds error" `Quick test_ptp_bounds_error;
+          Alcotest.test_case "initiation delay nonneg" `Quick
+            test_ptp_initiation_delay_nonneg;
+          Alcotest.test_case "initiation error calibration" `Quick
+            test_ptp_sample_error_distribution;
+        ] );
+    ]

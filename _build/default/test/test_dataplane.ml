@@ -1,0 +1,272 @@
+(* Tests for the data-plane building blocks: headers, packets, registers,
+   counters, FIFO queues and unit identifiers. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+
+let check_float eps = Alcotest.(check (float eps))
+
+let mk_packet ?(size = 1500) ?(cos = 0) ?(uid = 0) () =
+  Packet.create ~uid ~flow_id:1 ~src_host:0 ~dst_host:1 ~size ~cos ~created:0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot_header / Packet *)
+
+let test_header_overhead () =
+  Alcotest.(check int) "without channel state" 4 (Snapshot_header.overhead_bytes false);
+  Alcotest.(check int) "with channel state" 8 (Snapshot_header.overhead_bytes true)
+
+let test_wire_size () =
+  let p = mk_packet ~size:1000 () in
+  Alcotest.(check int) "no header" 1000 (Packet.wire_size ~with_channel_state:true p);
+  p.Packet.snap <- Some (Snapshot_header.data ~sid:3 ~channel:1 ~ghost_sid:3);
+  Alcotest.(check int) "with header (CS)" 1008
+    (Packet.wire_size ~with_channel_state:true p);
+  Alcotest.(check int) "with header (no CS)" 1004
+    (Packet.wire_size ~with_channel_state:false p)
+
+let test_packet_gen_unique () =
+  let g = Packet.Gen.create () in
+  let a = Packet.Gen.next_uid g and b = Packet.Gen.next_uid g in
+  Alcotest.(check bool) "uids increase" true (b = a + 1)
+
+let test_header_constructors () =
+  let d = Snapshot_header.data ~sid:5 ~channel:2 ~ghost_sid:5 in
+  Alcotest.(check bool) "data type" true (d.Snapshot_header.ptype = Snapshot_header.Data);
+  let i = Snapshot_header.initiation ~sid:7 ~ghost_sid:7 in
+  Alcotest.(check bool) "initiation type" true
+    (i.Snapshot_header.ptype = Snapshot_header.Initiation);
+  Alcotest.(check int) "initiation channel is CPU" 0 i.Snapshot_header.channel
+
+(* ------------------------------------------------------------------ *)
+(* Register *)
+
+let test_register_ops () =
+  let r = Register.create ~name:"r" ~size:4 in
+  Alcotest.(check int) "initial zero" 0 (Register.read r 0);
+  Register.write r 2 42;
+  Alcotest.(check int) "write/read" 42 (Register.read r 2);
+  let former = Register.read_modify_write r 2 (fun v -> v + 1) in
+  Alcotest.(check int) "rmw returns former" 42 former;
+  Alcotest.(check int) "rmw applied" 43 (Register.read r 2);
+  Register.fill r 7;
+  Alcotest.(check int) "fill" 7 (Register.read r 3);
+  Register.reset r;
+  Alcotest.(check int) "reset" 0 (Register.read r 3)
+
+let test_register_accounting () =
+  let r = Register.create ~name:"r" ~size:1 in
+  let before = Register.access_count r in
+  ignore (Register.read r 0);
+  Register.write r 0 1;
+  Alcotest.(check int) "accesses counted" (before + 2) (Register.access_count r)
+
+let test_register_bad_size () =
+  Alcotest.(check bool) "zero size rejected" true
+    (try
+       ignore (Register.create ~name:"x" ~size:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo_queue *)
+
+let test_queue_fifo_order () =
+  let q = Fifo_queue.create ~capacity:10 () in
+  for i = 1 to 5 do
+    Alcotest.(check bool) "push ok" true (Fifo_queue.push q ~cos:0 i)
+  done;
+  for i = 1 to 5 do
+    match Fifo_queue.pop q with
+    | Some (0, v) -> Alcotest.(check int) "FIFO" i v
+    | _ -> Alcotest.fail "wrong pop"
+  done
+
+let test_queue_tail_drop () =
+  let q = Fifo_queue.create ~capacity:2 () in
+  Alcotest.(check bool) "1st" true (Fifo_queue.push q ~cos:0 1);
+  Alcotest.(check bool) "2nd" true (Fifo_queue.push q ~cos:0 2);
+  Alcotest.(check bool) "3rd dropped" false (Fifo_queue.push q ~cos:0 3);
+  Alcotest.(check int) "drop counted" 1 (Fifo_queue.drops q);
+  Alcotest.(check int) "depth" 2 (Fifo_queue.depth q)
+
+let test_queue_cos_priority () =
+  let q = Fifo_queue.create ~cos_levels:2 ~capacity:10 () in
+  ignore (Fifo_queue.push q ~cos:0 "low1");
+  ignore (Fifo_queue.push q ~cos:1 "high1");
+  ignore (Fifo_queue.push q ~cos:0 "low2");
+  ignore (Fifo_queue.push q ~cos:1 "high2");
+  let pop () = match Fifo_queue.pop q with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "high priority first" "high1" (pop ());
+  Alcotest.(check string) "high FIFO" "high2" (pop ());
+  Alcotest.(check string) "then low" "low1" (pop ());
+  Alcotest.(check string) "low FIFO" "low2" (pop ())
+
+let test_queue_per_cos_depth () =
+  let q = Fifo_queue.create ~cos_levels:2 ~capacity:10 () in
+  ignore (Fifo_queue.push q ~cos:0 ());
+  ignore (Fifo_queue.push q ~cos:1 ());
+  ignore (Fifo_queue.push q ~cos:1 ());
+  Alcotest.(check int) "cos0" 1 (Fifo_queue.depth_cos q 0);
+  Alcotest.(check int) "cos1" 2 (Fifo_queue.depth_cos q 1);
+  Alcotest.(check int) "total" 3 (Fifo_queue.depth q)
+
+let test_queue_bad_cos () =
+  let q = Fifo_queue.create ~cos_levels:1 ~capacity:4 () in
+  Alcotest.(check bool) "bad cos raises" true
+    (try
+       ignore (Fifo_queue.push q ~cos:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_queue_capacity_property =
+  QCheck.Test.make ~name:"depth never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 16) (list_of_size Gen.(0 -- 100) bool))
+    (fun (cap, ops) ->
+      let q = Fifo_queue.create ~capacity:cap () in
+      List.for_all
+        (fun push ->
+          if push then ignore (Fifo_queue.push q ~cos:0 ())
+          else ignore (Fifo_queue.pop q);
+          Fifo_queue.depth q <= cap)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Counter *)
+
+let test_counter_packet_count () =
+  let c = Counter.packet_count () in
+  let p = mk_packet () in
+  c.Counter.update ~now:0 p;
+  c.Counter.update ~now:10 p;
+  check_float 1e-9 "counts" 2. (c.Counter.read ~now:10);
+  check_float 1e-9 "channel contribution" 1. (c.Counter.channel_contribution p);
+  c.Counter.reset ();
+  check_float 1e-9 "reset" 0. (c.Counter.read ~now:20)
+
+let test_counter_byte_count () =
+  let c = Counter.byte_count () in
+  c.Counter.update ~now:0 (mk_packet ~size:100 ());
+  c.Counter.update ~now:0 (mk_packet ~size:200 ());
+  check_float 1e-9 "bytes" 300. (c.Counter.read ~now:0);
+  check_float 1e-9 "channel = size" 100.
+    (c.Counter.channel_contribution (mk_packet ~size:100 ()))
+
+let test_counter_queue_depth () =
+  let depth = ref 7 in
+  let c = Counter.queue_depth ~read_depth:(fun () -> !depth) in
+  check_float 1e-9 "reads queue" 7. (c.Counter.read ~now:0);
+  depth := 3;
+  check_float 1e-9 "tracks queue" 3. (c.Counter.read ~now:0);
+  check_float 1e-9 "no channel state" 0.
+    (c.Counter.channel_contribution (mk_packet ()))
+
+let test_counter_ewma_interarrival () =
+  let c = Counter.ewma_interarrival () in
+  let p = mk_packet () in
+  for i = 0 to 100 do
+    c.Counter.update ~now:(i * 500) p
+  done;
+  let v = c.Counter.read ~now:(101 * 500) in
+  Alcotest.(check bool) "tracks 500ns spacing" true (Float.abs (v -. 500.) < 30.)
+
+let test_counter_ewma_rate_tracks () =
+  let c = Counter.ewma_rate ~bin:(Time.us 100) () in
+  let p = mk_packet () in
+  (* 10 packets per 100us bin = 100k pps. *)
+  for i = 0 to 999 do
+    c.Counter.update ~now:(i * 10_000) p
+  done;
+  let v = c.Counter.read ~now:(1000 * 10_000) in
+  Alcotest.(check bool) "rate ~100k pps" true (Float.abs (v -. 100_000.) < 5_000.)
+
+let test_counter_ewma_rate_decays () =
+  let c = Counter.ewma_rate ~bin:(Time.us 100) ~decay:0.5 () in
+  let p = mk_packet () in
+  for i = 0 to 999 do
+    c.Counter.update ~now:(i * 10_000) p
+  done;
+  let busy = c.Counter.read ~now:(1000 * 10_000) in
+  (* After 2 ms of silence (20 bins) the EWMA must have decayed hard. *)
+  let idle = c.Counter.read ~now:((1000 * 10_000) + Time.ms 2) in
+  Alcotest.(check bool) "idle port decays" true (idle < busy /. 100.)
+
+let test_counter_fib_version () =
+  let c, set_version = Counter.forwarding_version () in
+  let p = mk_packet () in
+  c.Counter.update ~now:0 p;
+  check_float 1e-9 "initial version" 0. (c.Counter.read ~now:0);
+  set_version 3;
+  check_float 1e-9 "not yet stored" 0. (c.Counter.read ~now:0);
+  c.Counter.update ~now:1 p;
+  check_float 1e-9 "stored by passing packet" 3. (c.Counter.read ~now:1)
+
+(* ------------------------------------------------------------------ *)
+(* Unit_id *)
+
+let test_unit_id_ordering () =
+  let a = Unit_id.ingress ~switch:0 ~port:1 in
+  let b = Unit_id.egress ~switch:0 ~port:1 in
+  let c = Unit_id.ingress ~switch:1 ~port:0 in
+  Alcotest.(check bool) "ingress < egress" true (Unit_id.compare a b < 0);
+  Alcotest.(check bool) "switch dominates" true (Unit_id.compare b c < 0);
+  Alcotest.(check bool) "equal" true (Unit_id.equal a (Unit_id.ingress ~switch:0 ~port:1))
+
+let test_unit_id_map_set () =
+  let a = Unit_id.ingress ~switch:0 ~port:0 in
+  let b = Unit_id.egress ~switch:0 ~port:0 in
+  let m = Unit_id.Map.(empty |> add a 1 |> add b 2) in
+  Alcotest.(check (option int)) "map lookup" (Some 1) (Unit_id.Map.find_opt a m);
+  let s = Unit_id.Set.(empty |> add a |> add a) in
+  Alcotest.(check int) "set dedup" 1 (Unit_id.Set.cardinal s)
+
+let test_unit_id_to_string () =
+  Alcotest.(check string) "format" "s2/p3/in"
+    (Unit_id.to_string (Unit_id.ingress ~switch:2 ~port:3));
+  Alcotest.(check string) "egress format" "s0/p1/out"
+    (Unit_id.to_string (Unit_id.egress ~switch:0 ~port:1))
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "dataplane"
+    [
+      ( "header/packet",
+        [
+          Alcotest.test_case "overhead" `Quick test_header_overhead;
+          Alcotest.test_case "wire size" `Quick test_wire_size;
+          Alcotest.test_case "uid gen" `Quick test_packet_gen_unique;
+          Alcotest.test_case "constructors" `Quick test_header_constructors;
+        ] );
+      ( "register",
+        [
+          Alcotest.test_case "ops" `Quick test_register_ops;
+          Alcotest.test_case "accounting" `Quick test_register_accounting;
+          Alcotest.test_case "bad size" `Quick test_register_bad_size;
+        ] );
+      ( "fifo_queue",
+        [
+          Alcotest.test_case "FIFO order" `Quick test_queue_fifo_order;
+          Alcotest.test_case "tail drop" `Quick test_queue_tail_drop;
+          Alcotest.test_case "CoS priority" `Quick test_queue_cos_priority;
+          Alcotest.test_case "per-CoS depth" `Quick test_queue_per_cos_depth;
+          Alcotest.test_case "bad CoS" `Quick test_queue_bad_cos;
+          q test_queue_capacity_property;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "packet count" `Quick test_counter_packet_count;
+          Alcotest.test_case "byte count" `Quick test_counter_byte_count;
+          Alcotest.test_case "queue depth" `Quick test_counter_queue_depth;
+          Alcotest.test_case "ewma interarrival" `Quick test_counter_ewma_interarrival;
+          Alcotest.test_case "ewma rate tracks" `Quick test_counter_ewma_rate_tracks;
+          Alcotest.test_case "ewma rate decays" `Quick test_counter_ewma_rate_decays;
+          Alcotest.test_case "fib version" `Quick test_counter_fib_version;
+        ] );
+      ( "unit_id",
+        [
+          Alcotest.test_case "ordering" `Quick test_unit_id_ordering;
+          Alcotest.test_case "map/set" `Quick test_unit_id_map_set;
+          Alcotest.test_case "to_string" `Quick test_unit_id_to_string;
+        ] );
+    ]

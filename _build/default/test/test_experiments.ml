@@ -1,0 +1,105 @@
+(* Smoke tests of the experiment harnesses: each must run (at reduced
+   size), produce structurally sane results, and print without error.
+   Full-scale reproduction numbers are recorded in EXPERIMENTS.md. *)
+
+open Speedlight_stats
+open Speedlight_experiments
+
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let test_table1 () =
+  let rows = Table1.run () in
+  Alcotest.(check int) "three variants" 3 (List.length rows);
+  Table1.print null_fmt rows
+
+let test_fig10_shape () =
+  let r = Fig10.run ~quick:true () in
+  Alcotest.(check int) "five port counts" 5 (List.length r);
+  (* Rate must decrease with port count (~1/ports). *)
+  let rates = List.map (fun p -> p.Fig10.max_rate_hz) r in
+  let rec decreasing = function
+    | a :: b :: rest -> a > b && decreasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone decreasing" true (decreasing rates);
+  (* Paper: >70 Hz at 64 ports. *)
+  let at64 = List.nth rates 4 in
+  Alcotest.(check bool) "at 64 ports near paper (>50 Hz)" true (at64 > 50.);
+  Fig10.print null_fmt r
+
+let test_fig11_shape () =
+  let r = Fig11.run ~quick:true () in
+  Alcotest.(check int) "seven sizes" 7 (List.length r);
+  let first = List.hd r and last = List.nth r (List.length r - 1) in
+  Alcotest.(check bool) "grows with size" true
+    (last.Fig11.avg_sync_us > first.Fig11.avg_sync_us);
+  Alcotest.(check bool) "under 120us at 10k routers" true
+    (last.Fig11.avg_sync_us < 120.);
+  Alcotest.(check bool) "over 5us at 10 routers" true (first.Fig11.avg_sync_us > 5.);
+  Fig11.print null_fmt r
+
+let test_fig9_shape () =
+  let r = Fig9.run ~quick:true () in
+  (* Snapshots must beat polling by orders of magnitude. *)
+  Alcotest.(check bool) "snapshot sync well under polling" true
+    (Cdf.median r.Fig9.no_cs *. 50. < Cdf.median r.Fig9.polling);
+  Alcotest.(check bool) "polling in the milliseconds" true
+    (Cdf.median r.Fig9.polling > 1_000.);
+  Alcotest.(check bool) "no-CS median in single-digit us" true
+    (Cdf.median r.Fig9.no_cs > 1. && Cdf.median r.Fig9.no_cs < 20.);
+  Alcotest.(check bool) "channel state has a longer tail" true
+    (Cdf.max r.Fig9.with_cs >= Cdf.max r.Fig9.no_cs);
+  Fig9.print null_fmt r
+
+let test_fig13_shape () =
+  let r = Fig13.run ~quick:true () in
+  let n = Array.length r.Fig13.snap.Fig13.units in
+  Alcotest.(check int) "14 egress ports" 14 n;
+  Alcotest.(check int) "matrices square" n (Array.length r.Fig13.snap.Fig13.rho);
+  Alcotest.(check bool) "snapshots find significant pairs" true
+    (r.Fig13.snap_sig_pairs > 0);
+  Fig13.print null_fmt r
+
+let test_ablation_initiator () =
+  let r = Ablations.run_initiator ~quick:true () in
+  Alcotest.(check bool) "single initiator much worse" true
+    (Cdf.median r.Ablations.single_sync > 3. *. Cdf.median r.Ablations.multi_sync);
+  Alcotest.(check bool) "single initiator misses units" true
+    (r.Ablations.single_unreached > 0);
+  Ablations.print_initiator null_fmt r
+
+let test_ablation_notifications () =
+  let r = Ablations.run_notifications ~quick:true () in
+  Alcotest.(check bool) "channel state costs more notifications" true
+    (r.Ablations.with_cs_per_snapshot > r.Ablations.no_cs_per_snapshot);
+  Alcotest.(check bool) "no-CS is ~2 per unit (28 units)" true
+    (r.Ablations.no_cs_per_snapshot > 20. && r.Ablations.no_cs_per_snapshot < 40.);
+  Ablations.print_notifications null_fmt r
+
+let test_scale_extension () =
+  let r = Scale.run ~quick:true () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "measured within 3x of prediction" true
+        (p.Scale.measured_avg_us < 3. *. p.Scale.predicted_avg_us
+        && p.Scale.measured_avg_us *. 3. > p.Scale.predicted_avg_us);
+      Alcotest.(check bool) "sane magnitude (<100us)" true
+        (p.Scale.measured_avg_us < 100.))
+    r;
+  Scale.print null_fmt r
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "fig10 shape" `Slow test_fig10_shape;
+          Alcotest.test_case "fig11 shape" `Quick test_fig11_shape;
+          Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
+          Alcotest.test_case "fig13 shape" `Slow test_fig13_shape;
+          Alcotest.test_case "ablation: initiator" `Slow test_ablation_initiator;
+          Alcotest.test_case "ablation: notifications" `Slow test_ablation_notifications;
+          Alcotest.test_case "scale extension" `Slow test_scale_extension;
+        ] );
+    ]

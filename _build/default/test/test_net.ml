@@ -1,0 +1,597 @@
+(* Integration tests of the full simulated deployment: end-to-end snapshot
+   completion, the causal-consistency invariant on every wire, liveness
+   under message loss, wraparound stress, partial deployment, and the
+   polling baseline. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+
+let scaled_links =
+  ( { Topology.bandwidth_bps = 1e9; latency = Time.us 1 },
+    { Topology.bandwidth_bps = 4e9; latency = Time.us 1 } )
+
+let make_testbed ?(cfg = Config.default) () =
+  let host_link, fabric_link = scaled_links in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  (ls, Net.create ~cfg ls.Topology.topo)
+
+let start_uniform ?(rate = 4_000.) net ls ~until =
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let send ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size () in
+  Apps.Uniform.run ~engine ~rng ~send ~fids
+    ~hosts:(Array.to_list ls.Topology.host_of_server)
+    ~rate_pps:rate ~pkt_size:1000 ~until
+
+let take_snapshots net ~start ~interval ~count ~run_until =
+  let engine = Net.engine net in
+  let sids = ref [] in
+  for i = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add start (i * interval))
+         (fun () -> sids := Net.take_snapshot net () :: !sids))
+  done;
+  Engine.run_until engine run_until;
+  List.rev !sids
+
+let snapshot_exn net sid =
+  match Net.result net ~sid with
+  | Some s -> s
+  | None -> Alcotest.failf "snapshot %d missing" sid
+
+(* Check the per-wire conservation invariant: for every inter-switch wire,
+   sender egress count = receiver ingress count + receiver channel state. *)
+let wire_violations net (snap : Observer.snapshot) =
+  let topo = Net.topology net in
+  let violations = ref 0 and checked = ref 0 in
+  Topology.iter_switch_ports topo (fun ~switch ~port peer ->
+      match peer with
+      | Topology.Switch_port (s', p') ->
+          let find uid = Unit_id.Map.find_opt uid snap.Observer.reports in
+          (match
+             ( find (Unit_id.egress ~switch ~port),
+               find (Unit_id.ingress ~switch:s' ~port:p') )
+           with
+          | Some er, Some ir when er.Report.consistent && ir.Report.consistent ->
+              incr checked;
+              let sent = Option.get er.Report.value in
+              let received = Option.get ir.Report.value +. ir.Report.channel in
+              if Float.abs (sent -. received) > 1e-9 then incr violations
+          | _ -> ())
+      | Topology.Host_port _ -> ());
+  (!checked, !violations)
+
+(* ------------------------------------------------------------------ *)
+
+let test_snapshots_complete_consistent () =
+  let ls, net = make_testbed () in
+  start_uniform net ls ~until:(Time.ms 250);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 20) ~count:8
+      ~run_until:(Time.ms 400)
+  in
+  Alcotest.(check int) "8 snapshots issued" 8 (List.length sids);
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool) (Printf.sprintf "sid %d complete" sid) true
+        s.Observer.complete;
+      Alcotest.(check bool) (Printf.sprintf "sid %d consistent" sid) true
+        s.Observer.consistent;
+      Alcotest.(check int) "all 28 units reported" 28
+        (Unit_id.Map.cardinal s.Observer.reports))
+    sids;
+  Alcotest.(check int) "no FIFO violations" 0 (Net.total_fifo_violations net)
+
+let test_wire_conservation_with_channel_state () =
+  let ls, net = make_testbed () in
+  start_uniform net ls ~until:(Time.ms 250);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 20) ~count:8
+      ~run_until:(Time.ms 400)
+  in
+  List.iter
+    (fun sid ->
+      let checked, violations = wire_violations net (snapshot_exn net sid) in
+      Alcotest.(check int) "all 8 wires checked" 8 checked;
+      Alcotest.(check int)
+        (Printf.sprintf "sid %d conservation" sid)
+        0 violations)
+    sids
+
+let test_wire_conservation_byte_counters () =
+  let cfg = Config.default |> Config.with_counter Config.Byte_count in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 200);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 25) ~count:4
+      ~run_until:(Time.ms 350)
+  in
+  List.iter
+    (fun sid ->
+      let _, violations = wire_violations net (snapshot_exn net sid) in
+      Alcotest.(check int) "byte conservation" 0 violations)
+    sids
+
+let conservation_property =
+  QCheck.Test.make ~name:"conservation invariant across random runs" ~count:6
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let cfg = Config.default |> Config.with_seed seed in
+      let ls, net = make_testbed ~cfg () in
+      start_uniform ~rate:(2_000. +. float_of_int (seed mod 7) *. 500.) net ls
+        ~until:(Time.ms 160);
+      ignore
+        (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+             Net.auto_exclude_idle net));
+      let sids =
+        take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 25) ~count:3
+          ~run_until:(Time.ms 300)
+      in
+      List.for_all
+        (fun sid ->
+          match Net.result net ~sid with
+          | Some s when s.Observer.complete ->
+              let _, v = wire_violations net s in
+              v = 0
+          | Some _ | None -> false)
+        sids)
+
+let test_no_cs_completes_without_traffic_waiting () =
+  (* Without channel state a snapshot completes on initiation alone. *)
+  let cfg = Config.default |> Config.with_variant Snapshot_unit.variant_wraparound in
+  let _ls, net = make_testbed ~cfg () in
+  let sids =
+    take_snapshots net ~start:(Time.ms 10) ~interval:(Time.ms 10) ~count:3
+      ~run_until:(Time.ms 200)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool) "complete with zero traffic" true s.Observer.complete)
+    sids
+
+let test_cs_liveness_via_marker_floods () =
+  (* WITH channel state and zero traffic, completion is gated on Last Seen:
+     the control planes' marker broadcasts (triggered by observer resends)
+     must unblock it (§6 "Ensuring liveness"). *)
+  let _ls, net = make_testbed () in
+  let sid = ref 0 in
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 10) (fun () ->
+         sid := Net.take_snapshot net ()));
+  Engine.run_until (Net.engine net) (Time.ms 400);
+  let s = snapshot_exn net !sid in
+  Alcotest.(check bool) "complete via floods" true s.Observer.complete;
+  Alcotest.(check bool) "retries actually used" true
+    (Observer.retries_sent (Net.observer net) > 0)
+
+let test_liveness_under_initiation_drops () =
+  let cfg = { Config.default with Config.init_drop_prob = 0.4 } in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 400);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 40) ~count:3
+      ~run_until:(Time.ms 900)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool)
+        (Printf.sprintf "sid %d completes despite 40%% initiation loss" sid)
+        true s.Observer.complete)
+    sids
+
+let test_liveness_under_notification_drops () =
+  let cfg =
+    {
+      Config.default with
+      Config.notify_drop_prob = 0.25;
+      cp_poll_interval = Some (Time.ms 20);
+    }
+  in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 400);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 40) ~count:3
+      ~run_until:(Time.ms 900)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool)
+        (Printf.sprintf "sid %d completes despite 25%% notification loss" sid)
+        true s.Observer.complete)
+    sids
+
+let test_wraparound_stress () =
+  (* A tiny ID space (mod 8) with many snapshots: rollover happens several
+     times; values must stay consistent and monotone (packet counters only
+     grow). *)
+  let cfg =
+    Config.default
+    |> Config.with_variant { Snapshot_unit.variant_channel_state with max_sid = 7 }
+  in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 700);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 20) ~count:30
+      ~run_until:(Time.ms 900)
+  in
+  Alcotest.(check int) "30 snapshots through a mod-8 space" 30 (List.length sids);
+  let uid = Unit_id.ingress ~switch:0 ~port:0 in
+  let last = ref (-1.) in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool) "complete" true s.Observer.complete;
+      let _, violations = wire_violations net s in
+      Alcotest.(check int) "conservation across rollover" 0 violations;
+      match Unit_id.Map.find_opt uid s.Observer.reports with
+      | Some r ->
+          let v = Option.value ~default:(-1.) r.Report.value in
+          Alcotest.(check bool) "counter monotone across rollover" true (v >= !last);
+          last := v
+      | None -> Alcotest.fail "missing unit report")
+    sids
+
+let test_partial_deployment () =
+  (* Disable the spines (§10): snapshots cover only the leaves, and the
+     spines must forward the snapshot headers untouched so markers still
+     propagate leaf-to-leaf. *)
+  let ls0 = Topology.leaf_spine () in
+  let spines = ls0.Topology.spine_switches in
+  let cfg =
+    {
+      (Config.default |> Config.with_variant Snapshot_unit.variant_wraparound) with
+      Config.snapshot_disabled_switches = spines;
+    }
+  in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 300);
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 20) ~count:5
+      ~run_until:(Time.ms 450)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool) "complete" true s.Observer.complete;
+      (* Only leaf units report: 2 leaves x 5 ports x 2 dirs = 20. *)
+      Alcotest.(check int) "leaf units only" 20 (Unit_id.Map.cardinal s.Observer.reports);
+      Unit_id.Map.iter
+        (fun (uid : Unit_id.t) _ ->
+          Alcotest.(check bool) "no spine units" true
+            (not (List.mem uid.Unit_id.switch spines)))
+        s.Observer.reports)
+    sids;
+  (* Traffic still flows across the disabled spines. *)
+  Alcotest.(check bool) "packets delivered" true (Net.delivered net > 1_000);
+  (* Piggybacked IDs do traverse disabled switches: leaf 1's uplink ingress
+     units see markers originated by leaf 0 (ID advanced beyond 0). *)
+  let leaf1 = List.nth ls.Topology.leaf_switches 1 in
+  let u = Net.unit_of net (Unit_id.ingress ~switch:leaf1 ~port:0) in
+  Alcotest.(check bool) "markers crossed the disabled spine" true
+    (Snapshot_unit.current_ghost_sid u > 0)
+
+let test_queue_depth_counter () =
+  let cfg = Config.default |> Config.with_counter Config.Queue_depth in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform ~rate:12_000. net ls ~until:(Time.ms 200);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+         Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 30) ~count:3
+      ~run_until:(Time.ms 400)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Unit_id.Map.iter
+        (fun _ (r : Report.t) ->
+          match r.Report.value with
+          | Some v ->
+              Alcotest.(check bool) "depth within queue capacity" true
+                (v >= 0. && v <= float_of_int Config.default.Config.queue_capacity)
+          | None -> ())
+        s.Observer.reports)
+    sids
+
+let test_fib_version_snapshot () =
+  let cfg =
+    Config.default
+    |> Config.with_variant Snapshot_unit.variant_wraparound
+    |> Config.with_counter Config.Fib_version
+  in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 300);
+  (* Install FIB version 5 on every switch at t=100ms. *)
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 100) (fun () ->
+         for s = 0 to Topology.n_switches (Net.topology net) - 1 do
+           Switch.set_fib_version (Net.switch net s) 5
+         done));
+  let sids =
+    take_snapshots net ~start:(Time.ms 150) ~interval:(Time.ms 30) ~count:2
+      ~run_until:(Time.ms 450)
+  in
+  let s = snapshot_exn net (List.nth sids 1) in
+  let versions =
+    Unit_id.Map.fold
+      (fun _ (r : Report.t) acc ->
+        match r.Report.value with Some v -> v :: acc | None -> acc)
+      s.Observer.reports []
+  in
+  Alcotest.(check bool) "most units saw version 5" true
+    (List.length (List.filter (fun v -> v = 5.) versions)
+    > List.length versions / 2)
+
+let test_sync_spread_is_tight_no_cs () =
+  let cfg = Config.default |> Config.with_variant Snapshot_unit.variant_wraparound in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 200);
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 20) ~count:5
+      ~run_until:(Time.ms 300)
+  in
+  List.iter
+    (fun sid ->
+      match Net.sync_spread net ~sid with
+      | Some spread ->
+          Alcotest.(check bool) "spread under 100us" true (spread < Time.us 100)
+      | None -> Alcotest.fail "no sync window")
+    sids
+
+let test_polling_baseline () =
+  let ls, net = make_testbed () in
+  start_uniform net ls ~until:(Time.ms 100);
+  Engine.run_until (Net.engine net) (Time.ms 50);
+  let rng = Net.fresh_rng net in
+  let round = Polling.poll_round_sync net ~rng () in
+  Alcotest.(check int) "one sample per unit" 28 (List.length round.Polling.samples);
+  let spread = Polling.spread round in
+  Alcotest.(check bool) "spread in the milliseconds" true
+    (spread > Time.ms 1 && spread < Time.ms 6);
+  List.iter
+    (fun (s : Polling.sample) ->
+      Alcotest.(check bool) "values nonnegative" true (s.Polling.value >= 0.))
+    round.Polling.samples
+
+let test_notification_queue_overload_drops () =
+  (* Drive initiations far beyond the control plane's service rate: the
+     bounded socket must eventually drop (the Fig. 10 mechanism). *)
+  let cfg =
+    {
+      (Config.default |> Config.with_variant Snapshot_unit.variant_wraparound) with
+      Config.notify_queue_capacity = 16;
+      Config.unit_cfg = { Snapshot_unit.variant_wraparound with max_sid = 1023 };
+    }
+  in
+  let _ls, net = make_testbed ~cfg () in
+  let cp = Net.control_plane net 0 in
+  for i = 1 to 400 do
+    Control_plane.schedule_initiation cp ~sid:i ~fire_at_local:(i * Time.us 100)
+  done;
+  Engine.run_until (Net.engine net) (Time.ms 500);
+  Alcotest.(check bool) "overload causes notification drops" true
+    (Control_plane.notif_drops cp > 0)
+
+let test_deliveries_and_headers_stripped () =
+  let ls, net = make_testbed () in
+  let bad_headers = ref 0 in
+  Net.on_deliver net (fun ~host:_ pkt ->
+      if pkt.Packet.snap <> None then incr bad_headers);
+  start_uniform net ls ~until:(Time.ms 100);
+  let _ =
+    take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 20) ~count:2
+      ~run_until:(Time.ms 200)
+  in
+  Alcotest.(check bool) "traffic delivered" true (Net.delivered net > 500);
+  Alcotest.(check int) "no snapshot header ever reaches a host" 0 !bad_headers
+
+let test_cos_subchannels () =
+  (* Two CoS levels with strict-priority egress queues: high-priority
+     packets overtake low-priority ones between ingress and egress, which
+     is exactly the cross-class interleaving the paper's system model
+     allows. Per-class channels stay FIFO, so consistency must hold. *)
+  let cfg = { Config.default with Config.cos_levels = 2; used_cos = [ 0; 1 ] } in
+  let ls, net = make_testbed ~cfg () in
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  (* Poisson traffic on both classes. *)
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            let rec send_loop cos =
+              if Engine.now engine < Time.ms 250 then begin
+                Net.send net ~cos ~src ~dst ~size:1000 ();
+                ignore
+                  (Engine.schedule_after engine
+                     ~delay:(Time.us (100 + Rng.int rng 400))
+                     (fun () -> send_loop cos))
+              end
+            in
+            ignore (Engine.schedule_after engine ~delay:(Time.us (Rng.int rng 500))
+                      (fun () -> send_loop 0));
+            ignore (Engine.schedule_after engine ~delay:(Time.us (Rng.int rng 500))
+                      (fun () -> send_loop 1))
+          end)
+        hosts)
+    hosts;
+  ignore
+    (Engine.schedule engine ~at:(Time.ms 40) (fun () -> Net.auto_exclude_idle net));
+  let sids =
+    take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 25) ~count:5
+      ~run_until:(Time.ms 450)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool) "complete with 2 CoS levels" true s.Observer.complete;
+      let checked, violations = wire_violations net s in
+      Alcotest.(check int) "wires checked" 8 checked;
+      Alcotest.(check int) "conservation across CoS interleaving" 0 violations)
+    sids;
+  Alcotest.(check int) "no FIFO violations from priority queueing" 0
+    (Net.total_fifo_violations net)
+
+let test_fat_tree_deployment () =
+  (* The full protocol on a k=4 fat tree: 20 switches, 160 units. *)
+  let ft = Topology.fat_tree ~k:4 () in
+  let cfg = Config.default |> Config.with_variant Snapshot_unit.variant_wraparound in
+  let net = Net.create ~cfg ft.Topology.ft_topo in
+  let sids =
+    take_snapshots net ~start:(Time.ms 10) ~interval:(Time.ms 10) ~count:3
+      ~run_until:(Time.ms 200)
+  in
+  List.iter
+    (fun sid ->
+      let s = snapshot_exn net sid in
+      Alcotest.(check bool) "complete" true s.Observer.complete;
+      Alcotest.(check int) "all 160 units report" 160
+        (Unit_id.Map.cardinal s.Observer.reports))
+    sids
+
+let test_nic_serializes () =
+  (* Host NICs serialize at link rate: a back-to-back burst from one host
+     must be delivered no faster than the 1 Gbps host link allows. *)
+  let _ls, net = make_testbed () in
+  let arrivals = ref [] in
+  Net.on_deliver net (fun ~host:_ pkt ->
+      if pkt.Packet.dst_host >= 0 then arrivals := Net.now net :: !arrivals);
+  for _ = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 ~size:1500 ()
+  done;
+  Engine.run_until (Net.engine net) (Time.ms 50);
+  let ts = List.sort compare !arrivals in
+  Alcotest.(check int) "all delivered" 50 (List.length ts);
+  (* 1500 B at 1 Gbps = 12 us per packet; 50 packets take >= 49 * 12 us. *)
+  let first = List.hd ts and last = List.nth ts 49 in
+  Alcotest.(check bool) "line-rate pacing" true (last - first >= 49 * Time.us 12)
+
+let test_determinism () =
+  (* Two runs with the same seed must be bit-identical: same deliveries,
+     same snapshot values, same sync spreads. *)
+  let run () =
+    let cfg = Config.default |> Config.with_seed 777 in
+    let ls, net = make_testbed ~cfg () in
+    start_uniform net ls ~until:(Time.ms 150);
+    ignore
+      (Engine.schedule (Net.engine net) ~at:(Time.ms 40) (fun () ->
+           Net.auto_exclude_idle net));
+    let sids =
+      take_snapshots net ~start:(Time.ms 50) ~interval:(Time.ms 25) ~count:3
+        ~run_until:(Time.ms 300)
+    in
+    let values =
+      List.concat_map
+        (fun sid ->
+          match Net.result net ~sid with
+          | Some s ->
+              Unit_id.Map.fold
+                (fun uid (r : Report.t) acc ->
+                  (Unit_id.to_string uid, sid, r.Report.value, r.Report.channel)
+                  :: acc)
+                s.Observer.reports []
+          | None -> [])
+        sids
+    in
+    (Net.delivered net, values, List.map (fun sid -> Net.sync_spread net ~sid) sids)
+  in
+  let d1, v1, s1 = run () in
+  let d2, v2, s2 = run () in
+  Alcotest.(check int) "deliveries identical" d1 d2;
+  Alcotest.(check bool) "snapshot values identical" true (v1 = v2);
+  Alcotest.(check bool) "sync spreads identical" true (s1 = s2)
+
+let test_seed_changes_run () =
+  let run seed =
+    let cfg = Config.default |> Config.with_seed seed in
+    let ls, net = make_testbed ~cfg () in
+    start_uniform net ls ~until:(Time.ms 100);
+    Engine.run_until (Net.engine net) (Time.ms 150);
+    Net.delivered net
+  in
+  Alcotest.(check bool) "different seeds diverge" true (run 1 <> run 2)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "snapshots",
+        [
+          Alcotest.test_case "complete + consistent" `Quick
+            test_snapshots_complete_consistent;
+          Alcotest.test_case "wire conservation (packets)" `Quick
+            test_wire_conservation_with_channel_state;
+          Alcotest.test_case "wire conservation (bytes)" `Quick
+            test_wire_conservation_byte_counters;
+          Alcotest.test_case "no-CS completes without traffic" `Quick
+            test_no_cs_completes_without_traffic_waiting;
+          q conservation_property;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "marker floods unblock CS" `Slow
+            test_cs_liveness_via_marker_floods;
+          Alcotest.test_case "initiation drops" `Slow test_liveness_under_initiation_drops;
+          Alcotest.test_case "notification drops" `Slow
+            test_liveness_under_notification_drops;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "wraparound stress" `Slow test_wraparound_stress;
+          Alcotest.test_case "partial deployment" `Quick test_partial_deployment;
+          Alcotest.test_case "notification overload" `Quick
+            test_notification_queue_overload_drops;
+          Alcotest.test_case "CoS sub-channels" `Slow test_cos_subchannels;
+          Alcotest.test_case "fat-tree deployment" `Quick test_fat_tree_deployment;
+          Alcotest.test_case "NIC serialization" `Quick test_nic_serializes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "queue depth" `Quick test_queue_depth_counter;
+          Alcotest.test_case "fib version" `Quick test_fib_version_snapshot;
+          Alcotest.test_case "sync spread" `Quick test_sync_spread_is_tight_no_cs;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "polling" `Quick test_polling_baseline;
+          Alcotest.test_case "headers stripped at hosts" `Quick
+            test_deliveries_and_headers_stripped;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same run" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_run;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Tests for the Table-1 resource model: the model must reproduce every
+   number the paper publishes, scale sensibly, and respect the paper's
+   "<25% of any chip resource" claim. *)
+
+open Speedlight_resources
+
+let usage64 v = Resource_model.usage v ~ports:64
+
+let test_table1_computational_anchors () =
+  let check v (sl, sf) =
+    let u = usage64 v in
+    Alcotest.(check int) "stateless ALUs" sl u.Resource_model.stateless_alus;
+    Alcotest.(check int) "stateful ALUs" sf u.Resource_model.stateful_alus
+  in
+  check Resource_model.Packet_count (17, 9);
+  check Resource_model.Wrap_around (19, 9);
+  check Resource_model.Channel_state (24, 11)
+
+let test_table1_control_flow_anchors () =
+  let check v (tables, gws, stages) =
+    let u = usage64 v in
+    Alcotest.(check int) "logical tables" tables u.Resource_model.logical_table_ids;
+    Alcotest.(check int) "gateways" gws u.Resource_model.gateways;
+    Alcotest.(check int) "stages" stages u.Resource_model.stages
+  in
+  check Resource_model.Packet_count (27, 15, 10);
+  check Resource_model.Wrap_around (35, 19, 10);
+  check Resource_model.Channel_state (37, 19, 12)
+
+let test_table1_memory_anchors () =
+  let check v (sram, tcam) =
+    let u = usage64 v in
+    Alcotest.(check (float 0.5)) "SRAM" sram u.Resource_model.sram_kb;
+    Alcotest.(check (float 0.5)) "TCAM" tcam u.Resource_model.tcam_kb
+  in
+  check Resource_model.Packet_count (606., 42.);
+  check Resource_model.Wrap_around (671., 59.);
+  check Resource_model.Channel_state (770., 244.)
+
+let test_section71_14_port_anchors () =
+  (* §7.1: "A configuration with wraparound and channel state for 14 port
+     snapshots ... requires 638 KB of SRAM and 90 KB of TCAM." *)
+  let u = Resource_model.usage Resource_model.Channel_state ~ports:14 in
+  Alcotest.(check (float 0.5)) "SRAM @14" 638. u.Resource_model.sram_kb;
+  Alcotest.(check (float 0.5)) "TCAM @14" 90. u.Resource_model.tcam_kb
+
+let test_memory_monotone_in_ports () =
+  List.iter
+    (fun v ->
+      let prev = ref 0. in
+      for p = 1 to 64 do
+        let u = Resource_model.usage v ~ports:p in
+        Alcotest.(check bool) "SRAM nondecreasing" true (u.Resource_model.sram_kb >= !prev);
+        prev := u.Resource_model.sram_kb
+      done)
+    Resource_model.all_variants
+
+let test_variants_ordered_by_features () =
+  (* More features can only cost more, for every resource. *)
+  let pc = usage64 Resource_model.Packet_count in
+  let wa = usage64 Resource_model.Wrap_around in
+  let cs = usage64 Resource_model.Channel_state in
+  let le a b =
+    a.Resource_model.stateless_alus <= b.Resource_model.stateless_alus
+    && a.Resource_model.stateful_alus <= b.Resource_model.stateful_alus
+    && a.Resource_model.logical_table_ids <= b.Resource_model.logical_table_ids
+    && a.Resource_model.gateways <= b.Resource_model.gateways
+    && a.Resource_model.stages <= b.Resource_model.stages
+    && a.Resource_model.sram_kb <= b.Resource_model.sram_kb
+    && a.Resource_model.tcam_kb <= b.Resource_model.tcam_kb
+  in
+  Alcotest.(check bool) "pkt <= wrap" true (le pc wa);
+  Alcotest.(check bool) "wrap <= chnl" true (le wa cs)
+
+let test_under_25_percent () =
+  List.iter
+    (fun v ->
+      let u = Resource_model.max_utilization v ~ports:64 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s under 25%%" (Resource_model.variant_name v))
+        true (u < 0.25))
+    Resource_model.all_variants
+
+let test_ports_out_of_range () =
+  Alcotest.(check bool) "0 ports rejected" true
+    (try
+       ignore (Resource_model.usage Resource_model.Packet_count ~ports:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "65 ports rejected" true
+    (try
+       ignore (Resource_model.usage Resource_model.Packet_count ~ports:65);
+       false
+     with Invalid_argument _ -> true)
+
+(* tiny substring helper to avoid extra deps *)
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_pp_table_renders () =
+  let b = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer b in
+  Resource_model.pp_table fmt ~ports:64;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents b in
+  Alcotest.(check bool) "contains SRAM row" true (contains out "SRAM");
+  Alcotest.(check bool) "contains all variants" true
+    (contains out "Packet Count" && contains out "+ Wrap Around"
+    && contains out "+ Chnl. State")
+
+let () =
+  Alcotest.run "resources"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "computational anchors" `Quick
+            test_table1_computational_anchors;
+          Alcotest.test_case "control-flow anchors" `Quick
+            test_table1_control_flow_anchors;
+          Alcotest.test_case "memory anchors" `Quick test_table1_memory_anchors;
+          Alcotest.test_case "14-port anchors" `Quick test_section71_14_port_anchors;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "memory monotone" `Quick test_memory_monotone_in_ports;
+          Alcotest.test_case "feature ordering" `Quick test_variants_ordered_by_features;
+          Alcotest.test_case "under 25%" `Quick test_under_25_percent;
+          Alcotest.test_case "port range" `Quick test_ports_out_of_range;
+          Alcotest.test_case "table renders" `Quick test_pp_table_renders;
+        ] );
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the simulation substrate: time, RNG, distributions, the event
+   heap and the discrete-event engine. *)
+
+open Speedlight_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  Alcotest.(check int) "us" 1_000 (Time.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Time.ms 1);
+  Alcotest.(check int) "sec" 1_000_000_000 (Time.sec 1);
+  Alcotest.(check int) "add" (Time.us 3) (Time.add (Time.us 1) (Time.us 2));
+  Alcotest.(check int) "sub" (Time.us 1) (Time.sub (Time.us 3) (Time.us 2))
+
+let test_time_float_conversions () =
+  check_float "to_us" 1.5 (Time.to_us 1_500);
+  check_float "to_ms" 0.5 (Time.to_ms 500_000);
+  check_float "to_sec" 2.0 (Time.to_sec 2_000_000_000);
+  Alcotest.(check int) "of_us_float rounds" 1_500 (Time.of_us_float 1.5);
+  Alcotest.(check int) "of_ns_float rounds nearest" 3 (Time.of_ns_float 2.6)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "999ns" (Time.to_string 999);
+  Alcotest.(check string) "us" "1.50us" (Time.to_string 1_500);
+  Alcotest.(check string) "ms" "2.000ms" (Time.to_string (Time.ms 2));
+  Alcotest.(check string) "s" "1.000s" (Time.to_string (Time.sec 1))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a in
+  let xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues the same stream" xa xb
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let test_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let hi = lo + span in
+      let x = Rng.int_in rng lo hi in
+      x >= lo && x <= hi)
+
+let test_rng_unit_float_range =
+  QCheck.Test.make ~name:"Rng.unit_float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.unit_float rng in
+      x >= 0. && x < 1.)
+
+let test_rng_uniformity () =
+  (* Rough chi-square-free check: mean of many uniform draws near 0.5. *)
+  let rng = Rng.create 99 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.unit_float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_rng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 20) int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli rng 1.)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let sample_mean d seed n =
+  let rng = Rng.create seed in
+  Dist.mean_of d rng n
+
+let test_dist_constant () =
+  check_float "constant" 42. (sample_mean (Dist.constant 42.) 1 100)
+
+let test_dist_exponential_mean () =
+  let m = sample_mean (Dist.exponential ~mean:100.) 2 200_000 in
+  Alcotest.(check bool) "exp mean ~100" true (Float.abs (m -. 100.) < 2.)
+
+let test_dist_uniform_mean () =
+  let m = sample_mean (Dist.uniform ~lo:10. ~hi:20.) 3 100_000 in
+  Alcotest.(check bool) "uniform mean ~15" true (Float.abs (m -. 15.) < 0.1)
+
+let test_dist_normal_mean_sigma () =
+  let rng = Rng.create 4 in
+  let d = Dist.normal ~mu:5. ~sigma:2. in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Dist.sample d rng) in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+    /. float_of_int n
+  in
+  Alcotest.(check bool) "normal mean" true (Float.abs (mean -. 5.) < 0.05);
+  Alcotest.(check bool) "normal sigma" true (Float.abs (sqrt var -. 2.) < 0.05)
+
+let test_dist_normal_pos_nonneg =
+  QCheck.Test.make ~name:"normal_pos never negative" ~count:1000 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      Dist.sample (Dist.normal_pos ~mu:(-1.) ~sigma:3.) rng >= 0.)
+
+let test_dist_lognormal_of_mean_cv () =
+  let d = Dist.lognormal_of_mean_cv ~mean:1000. ~cv:0.5 in
+  let m = sample_mean d 6 200_000 in
+  Alcotest.(check bool) "lognormal real-space mean" true
+    (Float.abs (m -. 1000.) < 15.)
+
+let test_dist_pareto_minimum =
+  QCheck.Test.make ~name:"pareto >= scale" ~count:1000 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      Dist.sample (Dist.pareto ~scale:10. ~shape:1.5) rng >= 10.)
+
+let test_dist_empirical_support () =
+  let values = [| 1.; 2.; 3. |] in
+  let rng = Rng.create 7 in
+  let d = Dist.empirical values in
+  for _ = 1 to 200 do
+    let x = Dist.sample d rng in
+    Alcotest.(check bool) "in support" true (Array.exists (fun v -> v = x) values)
+  done
+
+let test_dist_empirical_empty () =
+  Alcotest.check_raises "empty empirical" (Invalid_argument "Dist.empirical: empty array")
+    (fun () -> ignore (Dist.empirical [||]))
+
+let test_dist_combinators () =
+  let rng = Rng.create 8 in
+  check_float "shifted" 52. (Dist.sample (Dist.shifted 10. (Dist.constant 42.)) rng);
+  check_float "scaled" 84. (Dist.sample (Dist.scaled 2. (Dist.constant 42.)) rng);
+  check_float "clamp_min" 50. (Dist.sample (Dist.clamp_min 50. (Dist.constant 42.)) rng)
+
+let test_dist_mixture_weights () =
+  let d = Dist.mixture [ (0.9, Dist.constant 1.); (0.1, Dist.constant 2.) ] in
+  let rng = Rng.create 9 in
+  let n = 50_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if Dist.sample d rng = 1. then incr ones
+  done;
+  let frac = float_of_int !ones /. float_of_int n in
+  Alcotest.(check bool) "mixture weight respected" true (Float.abs (frac -. 0.9) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h ~key:5 ~seq:0 "five";
+  Heap.push h ~key:1 ~seq:1 "one";
+  Heap.push h ~key:3 ~seq:2 "three";
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek_key h);
+  let pop_value () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> "EMPTY"
+  in
+  Alcotest.(check string) "min first" "one" (pop_value ());
+  Alcotest.(check string) "then three" "three" (pop_value ());
+  Alcotest.(check string) "then five" "five" (pop_value ());
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~key:7 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, _, v) -> Alcotest.(check int) "FIFO among equal keys" i v
+    | None -> Alcotest.fail "heap drained early"
+  done
+
+let test_heap_sorted_property =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 1000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k ~seq:i k) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, _, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare keys)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~key:1 ~seq:0 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "no peek" None (Heap.peek_key h)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~at:30 (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule e ~at:10 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule e ~at:20 (fun () -> log := 2 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~at:100 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_reentrant_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~at:10 (fun () ->
+         log := "a" :: !log;
+         ignore (Engine.schedule_after e ~delay:5 (fun () -> log := "b" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "handler-scheduled event runs" [ "a"; "b" ]
+    (List.rev !log);
+  Alcotest.(check int) "final clock" 15 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:10 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~at:100 (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "scheduling in the past raises" true
+    (try
+       ignore (Engine.schedule e ~at:50 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay raises" true
+    (try
+       ignore (Engine.schedule_after e ~delay:(-1) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~at:10 (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule e ~at:20 (fun () -> log := 20 :: !log));
+  ignore (Engine.schedule e ~at:30 (fun () -> log := 30 :: !log));
+  Engine.run_until e 20;
+  Alcotest.(check (list int)) "events up to deadline" [ 10; 20 ] (List.rev !log);
+  Alcotest.(check int) "clock advanced to deadline" 20 (Engine.now e);
+  Alcotest.(check int) "later event still pending" 1 (Engine.pending e);
+  Engine.run_until e 25;
+  Alcotest.(check int) "clock moves even without events" 25 (Engine.now e)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  ignore (Engine.schedule e ~at:5 (fun () -> ()));
+  Alcotest.(check bool) "step consumes" true (Engine.step e);
+  Alcotest.(check bool) "then empty" false (Engine.step e)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "float conversions" `Quick test_time_float_conversions;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          q test_rng_int_bounds;
+          q test_rng_int_in_bounds;
+          q test_rng_unit_float_range;
+          q test_rng_shuffle_permutation;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_dist_constant;
+          Alcotest.test_case "exponential mean" `Quick test_dist_exponential_mean;
+          Alcotest.test_case "uniform mean" `Quick test_dist_uniform_mean;
+          Alcotest.test_case "normal moments" `Quick test_dist_normal_mean_sigma;
+          Alcotest.test_case "lognormal mean/cv" `Quick test_dist_lognormal_of_mean_cv;
+          Alcotest.test_case "empirical support" `Quick test_dist_empirical_support;
+          Alcotest.test_case "empirical empty" `Quick test_dist_empirical_empty;
+          Alcotest.test_case "combinators" `Quick test_dist_combinators;
+          Alcotest.test_case "mixture weights" `Quick test_dist_mixture_weights;
+          q test_dist_normal_pos_nonneg;
+          q test_dist_pareto_minimum;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          q test_heap_sorted_property;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "re-entrant" `Quick test_engine_reentrant_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Tests for the statistics library: descriptive stats, ECDFs, ranking,
+   special functions, Spearman correlation and the EWMA implementations. *)
+
+open Speedlight_stats
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Descriptive *)
+
+let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]
+
+let test_mean () = check_float 1e-9 "mean" 5. (Descriptive.mean xs)
+
+let test_variance_stddev () =
+  (* Known dataset: population stddev exactly 2. *)
+  check_float 1e-9 "population stddev" 2. (Descriptive.population_stddev xs);
+  check_float 1e-6 "sample stddev" 2.13809 (Descriptive.stddev xs);
+  check_float 1e-9 "singleton variance" 0. (Descriptive.variance [| 5. |])
+
+let test_min_max_sum () =
+  check_float 1e-9 "min" 2. (Descriptive.min xs);
+  check_float 1e-9 "max" 9. (Descriptive.max xs);
+  check_float 1e-9 "sum" 40. (Descriptive.sum xs)
+
+let test_median_percentile () =
+  check_float 1e-9 "median even" 4.5 (Descriptive.median xs);
+  check_float 1e-9 "median odd" 2. (Descriptive.median [| 3.; 1.; 2. |]);
+  check_float 1e-9 "p0" 2. (Descriptive.percentile xs 0.);
+  check_float 1e-9 "p100" 9. (Descriptive.percentile xs 100.);
+  check_float 1e-9 "p50 interpolated" 4.5 (Descriptive.percentile xs 50.)
+
+let test_percentile_out_of_range () =
+  Alcotest.(check bool) "p>100 raises" true
+    (try
+       ignore (Descriptive.percentile xs 101.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_empty_raises () =
+  Alcotest.(check bool) "mean of empty raises" true
+    (try
+       ignore (Descriptive.mean [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cv () =
+  check_float 1e-9 "cv of constant data" 0.
+    (Descriptive.coefficient_of_variation [| 3.; 3.; 3. |]);
+  check_float 1e-9 "cv zero mean" 0.
+    (Descriptive.coefficient_of_variation [| -1.; 1. |])
+
+let test_mean_between_min_max =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.) 1000.))
+    (fun l ->
+      let a = Array.of_list l in
+      let m = Descriptive.mean a in
+      m >= Descriptive.min a -. 1e-9 && m <= Descriptive.max a +. 1e-9)
+
+let test_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(2 -- 30) (float_range 0. 100.))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (l, (p1, p2)) ->
+      let a = Array.of_list l in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Descriptive.percentile a lo <= Descriptive.percentile a hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Cdf *)
+
+let test_cdf_eval () =
+  let c = Cdf.of_samples [| 1.; 2.; 3.; 4. |] in
+  check_float 1e-9 "below min" 0. (Cdf.eval c 0.5);
+  check_float 1e-9 "at 2" 0.5 (Cdf.eval c 2.);
+  check_float 1e-9 "between" 0.5 (Cdf.eval c 2.5);
+  check_float 1e-9 "at max" 1. (Cdf.eval c 4.);
+  check_float 1e-9 "above max" 1. (Cdf.eval c 100.)
+
+let test_cdf_quantiles () =
+  let c = Cdf.of_samples [| 10.; 30.; 20.; 40. |] in
+  check_float 1e-9 "q0 -> min" 10. (Cdf.quantile c 0.);
+  check_float 1e-9 "q0.5 -> 2nd of 4" 20. (Cdf.quantile c 0.5);
+  check_float 1e-9 "q1 -> max" 40. (Cdf.quantile c 1.);
+  check_float 1e-9 "median" 20. (Cdf.median c);
+  check_float 1e-9 "min" 10. (Cdf.min c);
+  check_float 1e-9 "max" 40. (Cdf.max c)
+
+let test_cdf_points () =
+  let c = Cdf.of_samples [| 2.; 1. |] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "staircase"
+    [ (1., 0.5); (2., 1.) ]
+    (Cdf.points c)
+
+let test_cdf_eval_quantile_roundtrip =
+  QCheck.Test.make ~name:"eval(quantile q) >= q" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (float_range 0. 1000.))
+        (float_range 0.01 1.0))
+    (fun (l, qq) ->
+      let c = Cdf.of_samples (Array.of_list l) in
+      Cdf.eval c (Cdf.quantile c qq) >= qq -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ranking *)
+
+let test_ranks_no_ties () =
+  Alcotest.(check (array (float 1e-9)))
+    "simple" [| 2.; 1.; 3. |]
+    (Ranking.ranks [| 5.; 1.; 9. |])
+
+let test_ranks_with_ties () =
+  (* [1; 2; 2; 4]: the tied 2s share rank (2+3)/2 = 2.5 *)
+  Alcotest.(check (array (float 1e-9)))
+    "average ranks" [| 1.; 2.5; 2.5; 4. |]
+    (Ranking.ranks [| 1.; 2.; 2.; 4. |])
+
+let test_tie_correction () =
+  check_float 1e-9 "no ties" 0. (Ranking.tie_correction [| 1.; 2.; 3. |]);
+  (* one group of 2: 2^3 - 2 = 6 *)
+  check_float 1e-9 "one pair" 6. (Ranking.tie_correction [| 1.; 2.; 2. |]);
+  (* group of 3: 27 - 3 = 24 *)
+  check_float 1e-9 "triple" 24. (Ranking.tie_correction [| 7.; 7.; 7. |])
+
+let test_ranks_sum_invariant =
+  QCheck.Test.make ~name:"ranks sum to n(n+1)/2" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (int_range 0 5))
+    (fun l ->
+      let a = Array.of_list (List.map float_of_int l) in
+      let n = Array.length a in
+      let sum = Array.fold_left ( +. ) 0. (Ranking.ranks a) in
+      Float.abs (sum -. (float_of_int (n * (n + 1)) /. 2.)) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_log_gamma () =
+  check_float 1e-9 "gamma(1)" 0. (Special.log_gamma 1.);
+  check_float 1e-9 "gamma(2)" 0. (Special.log_gamma 2.);
+  check_float 1e-8 "gamma(5) = 24" (log 24.) (Special.log_gamma 5.);
+  check_float 1e-8 "gamma(0.5) = sqrt(pi)" (log (sqrt Float.pi))
+    (Special.log_gamma 0.5)
+
+let test_incomplete_beta () =
+  check_float 1e-12 "I_0" 0. (Special.incomplete_beta ~a:2. ~b:3. 0.);
+  check_float 1e-12 "I_1" 1. (Special.incomplete_beta ~a:2. ~b:3. 1.);
+  (* I_x(1,1) = x *)
+  check_float 1e-9 "I_x(1,1)=x" 0.3 (Special.incomplete_beta ~a:1. ~b:1. 0.3);
+  (* I_0.5(a,a) = 0.5 by symmetry *)
+  check_float 1e-9 "symmetry" 0.5 (Special.incomplete_beta ~a:3. ~b:3. 0.5)
+
+let test_student_t_known () =
+  (* Two-sided p for t=2.0 with 10 df is ~0.0734. *)
+  check_float 1e-3 "t=2 df=10" 0.0734 (Special.student_t_sf ~df:10. 2.0);
+  (* t=0 -> p=1 *)
+  check_float 1e-9 "t=0" 1.0 (Special.student_t_sf ~df:5. 0.)
+
+let test_erf_normal_cdf () =
+  check_float 1e-7 "erf 0" 0. (Special.erf 0.);
+  check_float 1e-4 "erf 1" 0.8427 (Special.erf 1.);
+  check_float 1e-4 "erf -1 odd" (-0.8427) (Special.erf (-1.));
+  check_float 1e-9 "Phi(0)" 0.5 (Special.normal_cdf 0.);
+  check_float 1e-4 "Phi(1.96)" 0.975 (Special.normal_cdf 1.96)
+
+(* ------------------------------------------------------------------ *)
+(* Spearman *)
+
+let test_spearman_perfect () =
+  let r = Spearman.correlate [| 1.; 2.; 3.; 4.; 5. |] [| 10.; 20.; 30.; 40.; 50. |] in
+  check_float 1e-9 "rho=1" 1. r.Spearman.rho;
+  check_float 1e-9 "p=0" 0. r.Spearman.p_value
+
+let test_spearman_perfect_negative () =
+  let r = Spearman.correlate [| 1.; 2.; 3.; 4. |] [| 8.; 6.; 4.; 2. |] in
+  check_float 1e-9 "rho=-1" (-1.) r.Spearman.rho
+
+let test_spearman_monotone_nonlinear () =
+  (* Spearman sees through monotone transforms. *)
+  let x = [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let y = Array.map (fun v -> exp v) x in
+  let r = Spearman.correlate x y in
+  check_float 1e-9 "rho=1 for exp" 1. r.Spearman.rho
+
+let test_spearman_uncorrelated () =
+  let rng = Speedlight_sim.Rng.create 42 in
+  let n = 200 in
+  let x = Array.init n (fun _ -> Speedlight_sim.Rng.unit_float rng) in
+  let y = Array.init n (fun _ -> Speedlight_sim.Rng.unit_float rng) in
+  let r = Spearman.correlate x y in
+  Alcotest.(check bool) "small rho" true (Float.abs r.Spearman.rho < 0.2);
+  Alcotest.(check bool) "not significant at 0.01" false
+    (Spearman.significant ~alpha:0.01 r)
+
+let test_spearman_with_ties () =
+  let r = Spearman.correlate [| 1.; 2.; 2.; 3. |] [| 1.; 2.; 2.; 3. |] in
+  check_float 1e-9 "ties, identical series" 1. r.Spearman.rho
+
+let test_spearman_length_mismatch () =
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Spearman.correlate [| 1. |] [| 1.; 2. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_spearman_matrix () =
+  let series = [| [| 1.; 2.; 3. |]; [| 3.; 2.; 1. |]; [| 1.; 3.; 2. |] |] in
+  let m = Spearman.matrix series in
+  check_float 1e-9 "diag" 1. m.(0).(0).Spearman.rho;
+  check_float 1e-9 "antidiag" (-1.) m.(0).(1).Spearman.rho;
+  check_float 1e-9 "symmetric" m.(1).(2).Spearman.rho m.(2).(1).Spearman.rho
+
+let test_spearman_rho_bounds =
+  QCheck.Test.make ~name:"|rho| <= 1" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(return 8) (float_range 0. 100.))
+        (list_of_size Gen.(return 8) (float_range 0. 100.)))
+    (fun (xl, yl) ->
+      let r = Spearman.correlate (Array.of_list xl) (Array.of_list yl) in
+      Float.abs r.Spearman.rho <= 1. +. 1e-9
+      && r.Spearman.p_value >= 0.
+      && r.Spearman.p_value <= 1. +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ewma *)
+
+let test_ewma_basic () =
+  let e = Ewma.create ~decay:0.5 in
+  Ewma.update e 10.;
+  check_float 1e-9 "first sample initializes" 10. (Ewma.value e);
+  Ewma.update e 20.;
+  check_float 1e-9 "decay 0.5" 15. (Ewma.value e);
+  Ewma.reset e;
+  check_float 1e-9 "reset" 0. (Ewma.value e)
+
+let test_ewma_bad_decay () =
+  Alcotest.(check bool) "decay 0 rejected" true
+    (try
+       ignore (Ewma.create ~decay:0.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "decay > 1 rejected" true
+    (try
+       ignore (Ewma.create ~decay:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ewma_convergence =
+  QCheck.Test.make ~name:"EWMA converges to a constant input" ~count:100
+    QCheck.(pair (float_range 0.1 0.9) (float_range 1. 1000.))
+    (fun (decay, target) ->
+      let e = Ewma.create ~decay in
+      for _ = 1 to 200 do
+        Ewma.update e target
+      done;
+      Float.abs (Ewma.value e -. target) < 1e-6)
+
+let test_two_phase_steady_state () =
+  (* Constant 100 ns interarrival: the two-phase EWMA converges to ~100. *)
+  let e = Ewma.Two_phase.create () in
+  for i = 0 to 400 do
+    Ewma.Two_phase.on_packet e ~now:(i * 100)
+  done;
+  let v = Ewma.Two_phase.value e in
+  Alcotest.(check bool) "steady state ~100ns" true (Float.abs (v -. 100.) < 5.)
+
+let test_two_phase_first_packet () =
+  let e = Ewma.Two_phase.create () in
+  Ewma.Two_phase.on_packet e ~now:1000;
+  Alcotest.(check int) "first packet only seeds" 0 (Ewma.Two_phase.packet_count e);
+  check_float 1e-9 "no value yet" 0. (Ewma.Two_phase.value e)
+
+let test_two_phase_tracks_change () =
+  let e = Ewma.Two_phase.create () in
+  let now = ref 0 in
+  for _ = 1 to 100 do
+    now := !now + 100;
+    Ewma.Two_phase.on_packet e ~now:!now
+  done;
+  let slow = Ewma.Two_phase.value e in
+  for _ = 1 to 100 do
+    now := !now + 1000;
+    Ewma.Two_phase.on_packet e ~now:!now
+  done;
+  let fast = Ewma.Two_phase.value e in
+  Alcotest.(check bool) "EWMA follows interarrival increase" true (fast > slow *. 2.)
+
+let test_two_phase_reset () =
+  let e = Ewma.Two_phase.create () in
+  for i = 0 to 10 do
+    Ewma.Two_phase.on_packet e ~now:(i * 50)
+  done;
+  Ewma.Two_phase.reset e;
+  Alcotest.(check int) "count cleared" 0 (Ewma.Two_phase.packet_count e);
+  check_float 1e-9 "value cleared" 0. (Ewma.Two_phase.value e)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+          Alcotest.test_case "min/max/sum" `Quick test_min_max_sum;
+          Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+          Alcotest.test_case "percentile range" `Quick test_percentile_out_of_range;
+          Alcotest.test_case "empty input" `Quick test_empty_raises;
+          Alcotest.test_case "coefficient of variation" `Quick test_cv;
+          q test_mean_between_min_max;
+          q test_percentile_monotone;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "eval" `Quick test_cdf_eval;
+          Alcotest.test_case "quantiles" `Quick test_cdf_quantiles;
+          Alcotest.test_case "points" `Quick test_cdf_points;
+          q test_cdf_eval_quantile_roundtrip;
+        ] );
+      ( "ranking",
+        [
+          Alcotest.test_case "no ties" `Quick test_ranks_no_ties;
+          Alcotest.test_case "ties" `Quick test_ranks_with_ties;
+          Alcotest.test_case "tie correction" `Quick test_tie_correction;
+          q test_ranks_sum_invariant;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+          Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+          Alcotest.test_case "student t" `Quick test_student_t_known;
+          Alcotest.test_case "erf / normal cdf" `Quick test_erf_normal_cdf;
+        ] );
+      ( "spearman",
+        [
+          Alcotest.test_case "perfect" `Quick test_spearman_perfect;
+          Alcotest.test_case "perfect negative" `Quick test_spearman_perfect_negative;
+          Alcotest.test_case "monotone nonlinear" `Quick test_spearman_monotone_nonlinear;
+          Alcotest.test_case "uncorrelated" `Quick test_spearman_uncorrelated;
+          Alcotest.test_case "ties" `Quick test_spearman_with_ties;
+          Alcotest.test_case "length mismatch" `Quick test_spearman_length_mismatch;
+          Alcotest.test_case "matrix" `Quick test_spearman_matrix;
+          q test_spearman_rho_bounds;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "basic" `Quick test_ewma_basic;
+          Alcotest.test_case "bad decay" `Quick test_ewma_bad_decay;
+          Alcotest.test_case "two-phase steady state" `Quick test_two_phase_steady_state;
+          Alcotest.test_case "two-phase first packet" `Quick test_two_phase_first_packet;
+          Alcotest.test_case "two-phase tracks change" `Quick test_two_phase_tracks_change;
+          Alcotest.test_case "two-phase reset" `Quick test_two_phase_reset;
+          q test_ewma_convergence;
+        ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for topologies, routing and the load-balancing selectors. *)
+
+open Speedlight_sim
+open Speedlight_topology
+
+(* ------------------------------------------------------------------ *)
+(* Builder / leaf-spine *)
+
+let test_leaf_spine_shape () =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  Alcotest.(check int) "4 switches" 4 (Topology.n_switches t);
+  Alcotest.(check int) "6 hosts" 6 (Topology.n_hosts t);
+  Alcotest.(check int) "2 leaves" 2 (List.length ls.Topology.leaf_switches);
+  Alcotest.(check int) "2 spines" 2 (List.length ls.Topology.spine_switches);
+  (* Leaves: 2 uplinks + 3 host ports; spines: 2 ports. *)
+  List.iter
+    (fun leaf -> Alcotest.(check int) "leaf ports" 5 (Topology.ports t leaf))
+    ls.Topology.leaf_switches;
+  List.iter
+    (fun spine -> Alcotest.(check int) "spine ports" 2 (Topology.ports t spine))
+    ls.Topology.spine_switches
+
+let test_leaf_spine_wiring () =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  (* Every leaf uplink port must face a spine, full duplex. *)
+  List.iter
+    (fun (leaf, uplinks) ->
+      List.iter
+        (fun p ->
+          match Topology.peer_of t ~switch:leaf ~port:p with
+          | Some (Topology.Switch_port (s, p')) ->
+              Alcotest.(check bool) "uplink faces a spine" true
+                (List.mem s ls.Topology.spine_switches);
+              (match Topology.peer_of t ~switch:s ~port:p' with
+              | Some (Topology.Switch_port (s2, p2)) ->
+                  Alcotest.(check bool) "full duplex" true (s2 = leaf && p2 = p)
+              | _ -> Alcotest.fail "asymmetric wiring")
+          | _ -> Alcotest.fail "uplink not wired to a switch")
+        uplinks)
+    ls.Topology.uplink_ports
+
+let test_leaf_spine_host_attachment () =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  Array.iter
+    (fun h ->
+      let s, p = Topology.host_attachment t ~host:h in
+      match Topology.peer_of t ~switch:s ~port:p with
+      | Some (Topology.Host_port h') -> Alcotest.(check int) "attachment consistent" h h'
+      | _ -> Alcotest.fail "host port mismatch")
+    ls.Topology.host_of_server
+
+let test_builder_port_reuse_rejected () =
+  let b = Topology.Builder.create () in
+  let s0 = Topology.Builder.add_switch b ~n_ports:2 in
+  let s1 = Topology.Builder.add_switch b ~n_ports:2 in
+  Topology.Builder.connect b ~sw_a:s0 ~port_a:0 ~sw_b:s1 ~port_b:0;
+  Topology.Builder.connect b ~sw_a:s0 ~port_a:0 ~sw_b:s1 ~port_b:1;
+  Alcotest.(check bool) "reuse detected at build" true
+    (try
+       ignore (Topology.Builder.build b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_unattached_host_rejected () =
+  let b = Topology.Builder.create () in
+  ignore (Topology.Builder.add_switch b ~n_ports:2);
+  ignore (Topology.Builder.add_host b);
+  Alcotest.(check bool) "unattached host rejected" true
+    (try
+       ignore (Topology.Builder.build b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fat_tree_counts () =
+  let ft = Topology.fat_tree ~k:4 () in
+  let t = ft.Topology.ft_topo in
+  (* k=4: 8 edge, 8 aggregation, 4 core switches; 16 hosts. *)
+  Alcotest.(check int) "switches" 20 (Topology.n_switches t);
+  Alcotest.(check int) "hosts" 16 (Topology.n_hosts t);
+  Alcotest.(check int) "edge" 8 (List.length ft.Topology.ft_edge);
+  Alcotest.(check int) "agg" 8 (List.length ft.Topology.ft_aggregation);
+  Alcotest.(check int) "core" 4 (List.length ft.Topology.ft_core)
+
+let test_fat_tree_odd_k_rejected () =
+  Alcotest.(check bool) "odd k rejected" true
+    (try
+       ignore (Topology.fat_tree ~k:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let test_routing_local_delivery () =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  let r = Routing.compute t in
+  let h0 = ls.Topology.host_of_server.(0) in
+  let leaf0, port0 = Topology.host_attachment t ~host:h0 in
+  Alcotest.(check (array int)) "attachment port is the only candidate"
+    [| port0 |]
+    (Routing.candidates r ~switch:leaf0 ~dst_host:h0)
+
+let test_routing_ecmp_sets () =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  let r = Routing.compute t in
+  let h_remote = ls.Topology.host_of_server.(3) (* on leaf 1 *) in
+  let leaf0 = List.nth ls.Topology.leaf_switches 0 in
+  let cand = Routing.candidates r ~switch:leaf0 ~dst_host:h_remote in
+  (* Both uplinks are equal-cost candidates for a remote host. *)
+  Alcotest.(check (array int)) "both uplinks" [| 0; 1 |] cand
+
+let test_routing_path_lengths () =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  let r = Routing.compute t in
+  let h0 = ls.Topology.host_of_server.(0) in
+  let h3 = ls.Topology.host_of_server.(3) in
+  let leaf0, _ = Topology.host_attachment t ~host:h0 in
+  let leaf1, _ = Topology.host_attachment t ~host:h3 in
+  Alcotest.(check int) "local = 1 hop" 1 (Routing.path_length r ~switch:leaf0 ~dst_host:h0);
+  Alcotest.(check int) "remote = 3 hops" 3
+    (Routing.path_length r ~switch:leaf0 ~dst_host:h3);
+  Alcotest.(check int) "from own leaf = 1" 1
+    (Routing.path_length r ~switch:leaf1 ~dst_host:h3)
+
+let test_fat_tree_routing_ecmp_width () =
+  let ft = Topology.fat_tree ~k:4 () in
+  let r = Routing.compute ft.Topology.ft_topo in
+  let edge0 = List.hd ft.Topology.ft_edge in
+  (* A host in a different pod: k/2 = 2 equal-cost upward choices. *)
+  let far_host = ft.Topology.ft_hosts.(Array.length ft.Topology.ft_hosts - 1) in
+  let cand = Routing.candidates r ~switch:edge0 ~dst_host:far_host in
+  Alcotest.(check int) "k/2 upward candidates" 2 (Array.length cand)
+
+(* ------------------------------------------------------------------ *)
+(* Selectors *)
+
+let selector_setup policy =
+  let ls = Topology.leaf_spine () in
+  let t = ls.Topology.topo in
+  let r = Routing.compute t in
+  let leaf0 = List.nth ls.Topology.leaf_switches 0 in
+  let rng = Rng.create 11 in
+  let s = Routing.Selector.create policy ~rng ~switch:leaf0 in
+  (ls, r, s)
+
+let test_ecmp_deterministic_per_flow () =
+  let ls, r, s = selector_setup Routing.Ecmp in
+  let dst = ls.Topology.host_of_server.(4) in
+  let p1 = Routing.Selector.select s r ~dst_host:dst ~flow_id:77 ~size:1500 ~now:0 in
+  for now = 1 to 100 do
+    let p = Routing.Selector.select s r ~dst_host:dst ~flow_id:77 ~size:1500 ~now in
+    Alcotest.(check int) "same flow, same port" p1 p
+  done;
+  Alcotest.(check int) "no flowlet splits under ECMP" 0 (Routing.Selector.flowlet_splits s)
+
+let test_ecmp_spreads_flows () =
+  let ls, r, s = selector_setup Routing.Ecmp in
+  let dst = ls.Topology.host_of_server.(4) in
+  let ports =
+    List.init 200 (fun f ->
+        Routing.Selector.select s r ~dst_host:dst ~flow_id:f ~size:1500 ~now:0)
+  in
+  let count p = List.length (List.filter (fun x -> x = p) ports) in
+  (* Hash should spread flows across both uplinks, roughly evenly. *)
+  Alcotest.(check bool) "both used" true (count 0 > 50 && count 1 > 50)
+
+let test_flowlet_sticky_within_gap () =
+  let ls, r, s = selector_setup (Routing.Flowlet { gap = Time.us 500 }) in
+  let dst = ls.Topology.host_of_server.(4) in
+  let p0 = Routing.Selector.select s r ~dst_host:dst ~flow_id:5 ~size:1500 ~now:0 in
+  (* Packets 100 us apart: always inside the gap, so never re-assigned. *)
+  for i = 1 to 50 do
+    let p =
+      Routing.Selector.select s r ~dst_host:dst ~flow_id:5 ~size:1500
+        ~now:(i * Time.us 100)
+    in
+    Alcotest.(check int) "sticky" p0 p
+  done;
+  Alcotest.(check int) "no splits within gap" 0 (Routing.Selector.flowlet_splits s)
+
+let test_flowlet_rebalances_at_gaps () =
+  let ls, r, s = selector_setup (Routing.Flowlet { gap = Time.us 500 }) in
+  let dst = ls.Topology.host_of_server.(4) in
+  (* Load port candidates unevenly with another flow, then observe that a
+     flowlet boundary moves flow 5 to the less-loaded uplink. *)
+  let p_other =
+    Routing.Selector.select s r ~dst_host:dst ~flow_id:1 ~size:60_000 ~now:0
+  in
+  let p5 = Routing.Selector.select s r ~dst_host:dst ~flow_id:5 ~size:1500 ~now:1 in
+  Alcotest.(check bool) "least-loaded avoids the heavy port" true (p5 <> p_other)
+
+let test_flowlet_splits_counted () =
+  let ls, r, s = selector_setup (Routing.Flowlet { gap = Time.us 10 }) in
+  let dst = ls.Topology.host_of_server.(4) in
+  (* Alternate heavy load between ports so consecutive flowlets of flow 9
+     must move. Packets 1 ms apart always exceed the 10 us gap. *)
+  let splits_before = Routing.Selector.flowlet_splits s in
+  let last = ref (-1) in
+  let moved = ref 0 in
+  for i = 0 to 19 do
+    let now = i * Time.ms 1 in
+    (* Load the port flow 9 currently uses, pushing it away next time. *)
+    if !last >= 0 then
+      ignore (Routing.Selector.select s r ~dst_host:dst ~flow_id:100 ~size:100_000 ~now);
+    let p = Routing.Selector.select s r ~dst_host:dst ~flow_id:9 ~size:1500 ~now in
+    if !last >= 0 && p <> !last then incr moved;
+    last := p
+  done;
+  Alcotest.(check bool) "splits happened" true
+    (Routing.Selector.flowlet_splits s > splits_before);
+  Alcotest.(check bool) "flow actually moved" true (!moved > 0)
+
+let test_flowlet_balances_load =
+  QCheck.Test.make ~name:"flowlet keeps long-run load within 20% of even" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let ls = Topology.leaf_spine () in
+      let r = Routing.compute ls.Topology.topo in
+      let leaf0 = List.nth ls.Topology.leaf_switches 0 in
+      let rng = Rng.create seed in
+      let s =
+        Routing.Selector.create (Routing.Flowlet { gap = Time.us 100 }) ~rng
+          ~switch:leaf0
+      in
+      let dst = ls.Topology.host_of_server.(4) in
+      let loads = Array.make 2 0 in
+      for i = 0 to 2_000 do
+        (* Many short flowlets from many flows. *)
+        let flow = i mod 37 in
+        let now = i * Time.us 200 in
+        let p = Routing.Selector.select s r ~dst_host:dst ~flow_id:flow ~size:1500 ~now in
+        loads.(p) <- loads.(p) + 1
+      done;
+      let total = loads.(0) + loads.(1) in
+      let frac = float_of_int loads.(0) /. float_of_int total in
+      frac > 0.3 && frac < 0.7)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "leaf_spine",
+        [
+          Alcotest.test_case "shape" `Quick test_leaf_spine_shape;
+          Alcotest.test_case "wiring" `Quick test_leaf_spine_wiring;
+          Alcotest.test_case "host attachment" `Quick test_leaf_spine_host_attachment;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "port reuse rejected" `Quick test_builder_port_reuse_rejected;
+          Alcotest.test_case "unattached host rejected" `Quick
+            test_builder_unattached_host_rejected;
+        ] );
+      ( "fat_tree",
+        [
+          Alcotest.test_case "counts" `Quick test_fat_tree_counts;
+          Alcotest.test_case "odd k rejected" `Quick test_fat_tree_odd_k_rejected;
+          Alcotest.test_case "ECMP width" `Quick test_fat_tree_routing_ecmp_width;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "local delivery" `Quick test_routing_local_delivery;
+          Alcotest.test_case "ECMP sets" `Quick test_routing_ecmp_sets;
+          Alcotest.test_case "path lengths" `Quick test_routing_path_lengths;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "ECMP deterministic" `Quick test_ecmp_deterministic_per_flow;
+          Alcotest.test_case "ECMP spreads flows" `Quick test_ecmp_spreads_flows;
+          Alcotest.test_case "flowlet sticky" `Quick test_flowlet_sticky_within_gap;
+          Alcotest.test_case "flowlet least-loaded" `Quick test_flowlet_rebalances_at_gaps;
+          Alcotest.test_case "flowlet splits counted" `Quick test_flowlet_splits_counted;
+          q test_flowlet_balances_load;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the traffic primitives and the synthetic application
+   workloads. The workloads drive a recording sink instead of a network. *)
+
+open Speedlight_sim
+open Speedlight_workload
+
+type sent = { s_src : int; s_dst : int; s_size : int; s_flow : int; s_at : Time.t }
+
+let recording_sink engine log ~src ~dst ~size ~flow_id =
+  log := { s_src = src; s_dst = dst; s_size = size; s_flow = flow_id; s_at = Engine.now engine }
+    :: !log
+
+let test_flow_ids_unique () =
+  let f = Traffic.flow_ids () in
+  let a = Traffic.next_flow f and b = Traffic.next_flow f in
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+let test_send_flow_count_and_order () =
+  let engine = Engine.create () in
+  let rng = Rng.create 1 in
+  let log = ref [] in
+  let done_ = ref false in
+  Traffic.send_flow ~engine ~rng ~send:(recording_sink engine log) ~src:1 ~dst:2
+    ~flow_id:9 ~n_pkts:25 ~pkt_size:1000 ~gap:(Dist.constant 100.)
+    ~on_done:(fun () -> done_ := true)
+    ();
+  Engine.run engine;
+  Alcotest.(check int) "all packets sent" 25 (List.length !log);
+  Alcotest.(check bool) "completion callback" true !done_;
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "src" 1 s.s_src;
+      Alcotest.(check int) "flow id" 9 s.s_flow;
+      Alcotest.(check int) "size" 1000 s.s_size)
+    !log;
+  (* Constant 100ns gaps: packets at 0, 100, 200, ... *)
+  let times = List.rev_map (fun s -> s.s_at) !log in
+  List.iteri (fun i t -> Alcotest.(check int) "pacing" (i * 100) t) times
+
+let test_poisson_stream_rate () =
+  let engine = Engine.create () in
+  let rng = Rng.create 2 in
+  let log = ref [] in
+  Traffic.poisson_stream ~engine ~rng ~send:(recording_sink engine log) ~src:0 ~dst:1
+    ~flow_id:1 ~rate_pps:100_000. ~pkt_size:64 ~until:(Time.ms 100);
+  Engine.run engine;
+  let n = List.length !log in
+  (* 100k pps for 100 ms -> ~10k packets (Poisson, generous bounds). *)
+  Alcotest.(check bool) "rate approximately honored" true (n > 9_000 && n < 11_000)
+
+let test_every_periodic () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  Traffic.every ~engine ~period:(Time.ms 10) ~until:(Time.ms 95) (fun () -> incr count);
+  Engine.run engine;
+  Alcotest.(check int) "9 ticks in 95ms at 10ms" 9 !count
+
+let run_app app_runner =
+  let engine = Engine.create () in
+  let rng = Rng.create 3 in
+  let log = ref [] in
+  let fids = Traffic.flow_ids () in
+  app_runner ~engine ~rng ~send:(recording_sink engine log) ~fids;
+  Engine.run engine;
+  List.rev !log
+
+let hosts = [ 0; 1; 2; 3; 4; 5 ]
+
+let test_hadoop_all_to_all () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Hadoop.run ~engine ~rng ~send ~fids ~until:(Time.ms 300)
+          (Apps.Hadoop.default_params ~mappers:hosts ~reducers:hosts))
+  in
+  Alcotest.(check bool) "substantial traffic" true (List.length log > 1_000);
+  (* Every mapper participates, no self-flows. *)
+  List.iter (fun s -> Alcotest.(check bool) "no self traffic" true (s.s_src <> s.s_dst)) log;
+  let senders = List.sort_uniq compare (List.map (fun s -> s.s_src) log) in
+  Alcotest.(check (list int)) "all mappers sent" hosts senders
+
+let test_hadoop_is_bursty () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Hadoop.run ~engine ~rng ~send ~fids ~until:(Time.sec 1)
+          (Apps.Hadoop.default_params ~mappers:hosts ~reducers:hosts))
+  in
+  (* Bin sends into 5 ms bins: a bursty workload must have both loaded
+     and near-empty bins. *)
+  let bins = Array.make 201 0 in
+  List.iter
+    (fun s ->
+      let b = s.s_at / Time.ms 5 in
+      if b >= 0 && b < 201 then bins.(b) <- bins.(b) + 1)
+    log;
+  let busy = Array.fold_left (fun acc b -> if b > 50 then acc + 1 else acc) 0 bins in
+  let idle = Array.fold_left (fun acc b -> if b < 5 then acc + 1 else acc) 0 bins in
+  Alcotest.(check bool) "has busy bins" true (busy > 5);
+  Alcotest.(check bool) "has idle bins" true (idle > 5)
+
+let test_graphx_master_silent () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Graphx.run ~engine ~rng ~send ~fids ~until:(Time.ms 400)
+          (Apps.Graphx.default_params ~workers:hosts ~master:0))
+  in
+  Alcotest.(check bool) "traffic exists" true (List.length log > 100);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "master neither sends nor receives" true
+        (s.s_src <> 0 && s.s_dst <> 0))
+    log
+
+let test_graphx_synchronized_supersteps () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Graphx.run ~engine ~rng ~send ~fids ~until:(Time.ms 400)
+          (Apps.Graphx.default_params ~workers:hosts ~master:0))
+  in
+  (* All five workers' first packets should land within ~1 ms of each
+     other (superstep synchrony). *)
+  let first_by_src = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem first_by_src s.s_src) then
+        Hashtbl.add first_by_src s.s_src s.s_at)
+    log;
+  let firsts = Hashtbl.fold (fun _ t acc -> t :: acc) first_by_src [] in
+  let lo = List.fold_left Stdlib.min (List.hd firsts) firsts in
+  let hi = List.fold_left Stdlib.max (List.hd firsts) firsts in
+  Alcotest.(check int) "5 workers" 5 (List.length firsts);
+  (* Bursts are staggered within the first quarter of a 60 ms superstep. *)
+  Alcotest.(check bool) "synchronized start" true (hi - lo < Time.ms 20)
+
+let test_memcache_fan_out () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Memcache.run ~engine ~rng ~send ~fids ~until:(Time.ms 100)
+          (Apps.Memcache.default_params ~clients:[ 0 ] ~servers:[ 1; 2; 3; 4; 5 ]))
+  in
+  let requests = List.filter (fun s -> s.s_src = 0) log in
+  let responses = List.filter (fun s -> s.s_dst = 0) log in
+  Alcotest.(check bool) "requests go to every server" true
+    (List.sort_uniq compare (List.map (fun s -> s.s_dst) requests) = [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check bool) "responses incast to the client" true
+    (List.length responses > List.length requests);
+  List.iter
+    (fun s -> Alcotest.(check int) "request size" 100 s.s_size)
+    requests
+
+let test_memcache_response_after_service_time () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Memcache.run ~engine ~rng ~send ~fids ~until:(Time.ms 10)
+          (Apps.Memcache.default_params ~clients:[ 0 ] ~servers:[ 1 ]))
+  in
+  let req = List.find (fun s -> s.s_src = 0) log in
+  let resp = List.find (fun s -> s.s_dst = 0) log in
+  Alcotest.(check bool) "response after request" true (resp.s_at > req.s_at)
+
+let test_uniform_covers_all_pairs () =
+  let log =
+    run_app (fun ~engine ~rng ~send ~fids ->
+        Apps.Uniform.run ~engine ~rng ~send ~fids ~hosts:[ 0; 1; 2 ]
+          ~rate_pps:50_000. ~pkt_size:100 ~until:(Time.ms 20))
+  in
+  let pairs = List.sort_uniq compare (List.map (fun s -> (s.s_src, s.s_dst)) log) in
+  Alcotest.(check int) "all 6 ordered pairs" 6 (List.length pairs)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "flow ids" `Quick test_flow_ids_unique;
+          Alcotest.test_case "send_flow" `Quick test_send_flow_count_and_order;
+          Alcotest.test_case "poisson rate" `Quick test_poisson_stream_rate;
+          Alcotest.test_case "every" `Quick test_every_periodic;
+        ] );
+      ( "hadoop",
+        [
+          Alcotest.test_case "all-to-all shuffle" `Quick test_hadoop_all_to_all;
+          Alcotest.test_case "bursty" `Quick test_hadoop_is_bursty;
+        ] );
+      ( "graphx",
+        [
+          Alcotest.test_case "master silent" `Quick test_graphx_master_silent;
+          Alcotest.test_case "synchronized supersteps" `Quick
+            test_graphx_synchronized_supersteps;
+        ] );
+      ( "memcache",
+        [
+          Alcotest.test_case "fan-out" `Quick test_memcache_fan_out;
+          Alcotest.test_case "service time" `Quick test_memcache_response_after_service_time;
+        ] );
+      ( "uniform",
+        [ Alcotest.test_case "covers pairs" `Quick test_uniform_covers_all_pairs ] );
+    ]
