@@ -1,0 +1,124 @@
+(* Macro-benchmark: end-to-end simulator throughput.
+
+   Runs the paper's leaf–spine testbed at line rate with periodic
+   snapshots and measures wall-clock packets/sec, events/sec and
+   snapshots/sec. Writes the numbers to BENCH_sim.json (override with
+   [-o PATH]) so the perf trajectory is tracked across PRs.
+
+   Modes: full (default, ~200 ms of simulated time) or quick
+   ([--quick] or SPEEDLIGHT_QUICK=1, ~15 ms — a smoke test wired into
+   the @bench-quick dune alias). *)
+
+open Speedlight_sim
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+open Speedlight_experiments
+
+type result = {
+  mode : string;
+  sim_ms : int;
+  wall_s : float;
+  delivered : int;
+  forwarded : int;
+  events : int;
+  snapshots_complete : int;
+  snapshots_taken : int;
+  packets_per_sec : float;
+  events_per_sec : float;
+  snapshots_per_sec : float;
+}
+
+let run ~quick =
+  let sim_ms = if quick then 15 else 200 in
+  let rate_pps = 150_000. in
+  let interval_ms = 5 in
+  let cfg = Config.default |> Config.with_seed 77 in
+  let ls, net = Common.make_testbed ~scaled:false ~cfg () in
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  let t_end = Time.ms sim_ms in
+  Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
+    ~rate_pps ~pkt_size:1500 ~until:t_end;
+  (* Channels the workload never exercises must be excluded or no
+     snapshot can complete (§6); same warm-up step as fig9. *)
+  ignore
+    (Engine.schedule engine ~at:(Time.ms 4) (fun () -> Net.auto_exclude_idle net));
+  let count = Stdlib.max 1 ((sim_ms - 5) / interval_ms) in
+  let t0 = Unix.gettimeofday () in
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 5) ~interval:(Time.ms interval_ms)
+      ~count
+      ~run_until:(Time.add t_end (Time.ms 20))
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let delivered = Net.delivered net in
+  let forwarded =
+    List.fold_left
+      (fun acc s -> acc + Switch.total_forwarded (Net.switch net s))
+      0
+      (List.init (Topology.n_switches (Net.topology net)) (fun s -> s))
+  in
+  let events = Engine.processed engine in
+  let snapshots_complete =
+    List.length
+      (List.filter
+         (fun sid ->
+           match Net.result net ~sid with
+           | Some s -> s.Speedlight_core.Observer.complete
+           | None -> false)
+         sids)
+  in
+  {
+    mode = (if quick then "quick" else "full");
+    sim_ms;
+    wall_s;
+    delivered;
+    forwarded;
+    events;
+    snapshots_complete;
+    snapshots_taken = List.length sids;
+    packets_per_sec = float_of_int delivered /. wall_s;
+    events_per_sec = float_of_int events /. wall_s;
+    snapshots_per_sec = float_of_int snapshots_complete /. wall_s;
+  }
+
+let to_json r =
+  Printf.sprintf
+    "{\n\
+    \  \"mode\": %S,\n\
+    \  \"sim_ms\": %d,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"delivered_packets\": %d,\n\
+    \  \"forwarded_packets\": %d,\n\
+    \  \"events\": %d,\n\
+    \  \"snapshots_taken\": %d,\n\
+    \  \"snapshots_complete\": %d,\n\
+    \  \"packets_per_sec\": %.0f,\n\
+    \  \"events_per_sec\": %.0f,\n\
+    \  \"snapshots_per_sec\": %.1f\n\
+     }\n"
+    r.mode r.sim_ms r.wall_s r.delivered r.forwarded r.events r.snapshots_taken
+    r.snapshots_complete r.packets_per_sec r.events_per_sec r.snapshots_per_sec
+
+let () =
+  let quick =
+    Sys.getenv_opt "SPEEDLIGHT_QUICK" = Some "1"
+    || Array.exists (fun a -> a = "--quick") Sys.argv
+  in
+  let out = ref "BENCH_sim.json" in
+  Array.iteri
+    (fun i a -> if a = "-o" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1))
+    Sys.argv;
+  let r = run ~quick in
+  let json = to_json r in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "%s" json;
+  Printf.printf
+    "macro [%s]: %.2fs wall | %.0f pkts/s | %.0f events/s | %.1f snapshots/s (%d/%d complete)\n"
+    r.mode r.wall_s r.packets_per_sec r.events_per_sec r.snapshots_per_sec
+    r.snapshots_complete r.snapshots_taken

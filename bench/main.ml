@@ -31,7 +31,7 @@ let mk_packet sid =
   let p =
     Packet.create ~uid:0 ~flow_id:1 ~src_host:0 ~dst_host:1 ~size:1500 ~created:0 ()
   in
-  p.Packet.snap <- Some (Snapshot_header.data ~sid ~channel:1 ~ghost_sid:sid);
+  Packet.set_snap p ~sid ~channel:1 ~ghost_sid:sid;
   p
 
 (* fig9/10: steady-state per-packet cost of the snapshot pipeline. *)
@@ -40,7 +40,7 @@ let bench_process_packet_no_cs =
   let p = mk_packet 0 in
   Test.make ~name:"fig9/unit.process_packet (no chnl state)"
     (Staged.stage (fun () ->
-         (match p.Packet.snap with
+         (match Packet.snap p with
          | Some h ->
              h.Snapshot_header.sid <- Snapshot_unit.current_sid u;
              h.Snapshot_header.channel <- 1
@@ -52,7 +52,7 @@ let bench_process_packet_cs =
   let p = mk_packet 0 in
   Test.make ~name:"fig9/unit.process_packet (chnl state)"
     (Staged.stage (fun () ->
-         (match p.Packet.snap with
+         (match Packet.snap p with
          | Some h ->
              h.Snapshot_header.sid <- Snapshot_unit.current_sid u;
              h.Snapshot_header.channel <- 1

@@ -148,24 +148,9 @@ let update_last_seen t ~neighbor ~pkt_wrapped =
         None
   end
 
-(* Core snapshot logic, shared by data packets and initiations (Figs. 4/5):
-   compare the carried ID to the local ID, advance / record in-flight
-   contribution accordingly, update Last Seen, notify the CPU of any
-   progress. *)
-let snapshot_logic t ~now ~neighbor ~pkt_wrapped ~contribution ~is_initiation =
-  let former_sid = t.sid in
-  let sid_changed =
-    match order_ids t pkt_wrapped t.sid with
-    | Wrap.Newer ->
-        let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
-        advance t ~now ~new_ghost;
-        true
-    | Wrap.Older ->
-        (* Initiations are never treated as in-flight traffic (§6). *)
-        if t.cfg.channel_state && not is_initiation then add_in_flight t ~contribution;
-        false
-    | Wrap.Equal -> false
-  in
+(* Shared tail of the snapshot logic: update Last Seen and notify the CPU
+   of any progress. *)
+let finish_logic t ~now ~neighbor ~pkt_wrapped ~former_sid ~sid_changed =
   let ls_change = update_last_seen t ~neighbor ~pkt_wrapped in
   if sid_changed || ls_change <> None then begin
     let former_ls, new_ls =
@@ -177,39 +162,73 @@ let snapshot_logic t ~now ~neighbor ~pkt_wrapped ~contribution ~is_initiation =
     emit t ~now ~former_sid ~neighbor ~former_ls ~new_ls
   end
 
+(* Core snapshot logic for a data packet (Figs. 4/5): compare the carried
+   ID to the local ID, advance / record in-flight contribution
+   accordingly, update Last Seen, notify the CPU of any progress. The
+   counter's channel contribution is only computed on the in-flight
+   branch — it is dead weight on the dominant Equal path. *)
+let snapshot_logic_data t ~now ~neighbor ~pkt_wrapped pkt =
+  let former_sid = t.sid in
+  let sid_changed =
+    match order_ids t pkt_wrapped t.sid with
+    | Wrap.Newer ->
+        let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
+        advance t ~now ~new_ghost;
+        true
+    | Wrap.Older ->
+        if t.cfg.channel_state then
+          add_in_flight t
+            ~contribution:(t.counter.Counter.channel_contribution pkt);
+        false
+    | Wrap.Equal -> false
+  in
+  finish_logic t ~now ~neighbor ~pkt_wrapped ~former_sid ~sid_changed
+
+(* Same for an initiation, which is never treated as in-flight traffic
+   (§6). *)
+let snapshot_logic_init t ~now ~neighbor ~pkt_wrapped =
+  let former_sid = t.sid in
+  let sid_changed =
+    match order_ids t pkt_wrapped t.sid with
+    | Wrap.Newer ->
+        let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
+        advance t ~now ~new_ghost;
+        true
+    | Wrap.Older | Wrap.Equal -> false
+  in
+  finish_logic t ~now ~neighbor ~pkt_wrapped ~former_sid ~sid_changed
+
 let process_packet t ~now (pkt : Packet.t) =
-  match pkt.snap with
-  | None ->
-      (* Packet from a snapshot-oblivious neighbor (e.g. a host): counter
-         update only; attach a header at the current ID so downstream units
-         see consistent markers. It carries no upstream snapshot
-         information (its channel's completion is excluded by the control
-         plane, §6 "Ensuring liveness"). *)
-      t.counter.Counter.update ~now pkt;
-      pkt.snap <-
-        Some (Snapshot_header.data ~sid:t.sid ~channel:0 ~ghost_sid:t.ghost_sid)
-  | Some hdr ->
-      (match hdr.ptype with
-      | Snapshot_header.Initiation ->
-          invalid_arg "Snapshot_unit.process_packet: initiations use process_initiation"
-      | Snapshot_header.Data -> ());
-      if hdr.channel >= 0 && hdr.channel < t.n_neighbors then
-        t.neighbor_traffic.(hdr.channel) <- t.neighbor_traffic.(hdr.channel) + 1;
-      let contribution = t.counter.Counter.channel_contribution pkt in
-      (* Snapshot logic runs against the state as of *before* this packet
-         (Fig. 3 line 13 updates state after the snapshot steps): a packet
-         that itself advances the ID is post-snapshot everywhere. *)
-      snapshot_logic t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid ~contribution
-        ~is_initiation:false;
-      t.counter.Counter.update ~now pkt;
-      (* Rewrite: the packet now belongs to this unit's current epoch. *)
-      hdr.sid <- t.sid;
-      hdr.ghost_sid <- t.ghost_sid
+  if not pkt.Packet.has_snap then begin
+    (* Packet from a snapshot-oblivious neighbor (e.g. a host): counter
+       update only; attach a header at the current ID so downstream units
+       see consistent markers. It carries no upstream snapshot
+       information (its channel's completion is excluded by the control
+       plane, §6 "Ensuring liveness"). *)
+    t.counter.Counter.update ~now pkt;
+    Packet.set_snap pkt ~sid:t.sid ~channel:0 ~ghost_sid:t.ghost_sid
+  end
+  else begin
+    let hdr = pkt.Packet.snap_hdr in
+    (match hdr.ptype with
+    | Snapshot_header.Initiation ->
+        invalid_arg "Snapshot_unit.process_packet: initiations use process_initiation"
+    | Snapshot_header.Data -> ());
+    if hdr.channel >= 0 && hdr.channel < t.n_neighbors then
+      t.neighbor_traffic.(hdr.channel) <- t.neighbor_traffic.(hdr.channel) + 1;
+    (* Snapshot logic runs against the state as of *before* this packet
+       (Fig. 3 line 13 updates state after the snapshot steps): a packet
+       that itself advances the ID is post-snapshot everywhere. *)
+    snapshot_logic_data t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid pkt;
+    t.counter.Counter.update ~now pkt;
+    (* Rewrite: the packet now belongs to this unit's current epoch. *)
+    hdr.sid <- t.sid;
+    hdr.ghost_sid <- t.ghost_sid
+  end
 
 let process_initiation t ~now ~sid ~ghost_sid =
   ignore ghost_sid;
-  snapshot_logic t ~now ~neighbor:0 ~pkt_wrapped:sid ~contribution:0.
-    ~is_initiation:true
+  snapshot_logic_init t ~now ~neighbor:0 ~pkt_wrapped:sid
 
 type slot_read = { value : float option; channel : float }
 

@@ -13,7 +13,7 @@ let packet_count () =
   let reg = Register.create ~name:"pkt_count" ~size:1 in
   {
     kind = "pkt_count";
-    update = (fun ~now:_ _ -> ignore (Register.read_modify_write reg 0 (fun v -> v + 1)));
+    update = (fun ~now:_ _ -> Register.add reg 0 1);
     read = (fun ~now:_ -> float_of_int (Register.read reg 0));
     channel_contribution = (fun _ -> 1.);
     reset = (fun () -> Register.reset reg);
@@ -23,9 +23,7 @@ let byte_count () =
   let reg = Register.create ~name:"byte_count" ~size:1 in
   {
     kind = "byte_count";
-    update =
-      (fun ~now:_ (pkt : Packet.t) ->
-        ignore (Register.read_modify_write reg 0 (fun v -> v + pkt.size)));
+    update = (fun ~now:_ (pkt : Packet.t) -> Register.add reg 0 pkt.size);
     read = (fun ~now:_ -> float_of_int (Register.read reg 0));
     channel_contribution = (fun (pkt : Packet.t) -> float_of_int pkt.size);
     reset = (fun () -> Register.reset reg);

@@ -1,5 +1,20 @@
+(* Strict-priority multi-CoS FIFO on growable circular buffers.
+
+   One ring per CoS level instead of a linked [Queue.t]: steady-state
+   push/pop allocates nothing once the rings have grown to the working
+   depth (bounded by [capacity]). Ring capacities are powers of two so
+   index wrapping is a mask, not a division — this sits on the per-packet
+   hot path. *)
+
+type 'a ring = {
+  mutable buf : 'a array;  (* length 0 until the first push *)
+  mutable mask : int;  (* Array.length buf - 1 *)
+  mutable head : int;
+  mutable len : int;
+}
+
 type 'a t = {
-  queues : 'a Queue.t array;
+  rings : 'a ring array;
   capacity : int;
   mutable total : int;
   mutable dropped : int;
@@ -9,39 +24,85 @@ let create ?(cos_levels = 1) ~capacity () =
   if cos_levels <= 0 then invalid_arg "Fifo_queue.create: cos_levels must be positive";
   if capacity <= 0 then invalid_arg "Fifo_queue.create: capacity must be positive";
   {
-    queues = Array.init cos_levels (fun _ -> Queue.create ());
+    rings = Array.init cos_levels (fun _ -> { buf = [||]; mask = -1; head = 0; len = 0 });
     capacity;
     total = 0;
     dropped = 0;
   }
 
+let ring_grow r x =
+  let cap = Array.length r.buf in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nb = Array.make ncap x in
+  for i = 0 to r.len - 1 do
+    Array.unsafe_set nb i (Array.unsafe_get r.buf ((r.head + i) land r.mask))
+  done;
+  r.buf <- nb;
+  r.mask <- ncap - 1;
+  r.head <- 0
+
+let ring_push r x =
+  if r.len > r.mask then ring_grow r x;
+  Array.unsafe_set r.buf ((r.head + r.len) land r.mask) x;
+  r.len <- r.len + 1
+
+let ring_pop r =
+  let x = Array.unsafe_get r.buf r.head in
+  (* Overwrite the vacated slot so no shadow reference survives the pop
+     (popped packets go back to a pool and must not be doubly reachable). *)
+  Array.unsafe_set r.buf r.head
+    (Array.unsafe_get r.buf ((r.head + r.len - 1) land r.mask));
+  r.head <- (r.head + 1) land r.mask;
+  r.len <- r.len - 1;
+  x
+
 let push t ~cos x =
-  if cos < 0 || cos >= Array.length t.queues then
+  if cos < 0 || cos >= Array.length t.rings then
     invalid_arg "Fifo_queue.push: bad CoS level";
   if t.total >= t.capacity then begin
     t.dropped <- t.dropped + 1;
     false
   end
   else begin
-    Queue.push x t.queues.(cos);
+    ring_push t.rings.(cos) x;
     t.total <- t.total + 1;
     true
   end
 
-let pop t =
-  (* Highest CoS index = highest priority. *)
+(* Highest CoS index = highest priority. *)
+let top_cos t =
   let rec scan i =
-    if i < 0 then None
-    else if Queue.is_empty t.queues.(i) then scan (i - 1)
-    else begin
-      t.total <- t.total - 1;
-      Some (i, Queue.pop t.queues.(i))
-    end
+    if i < 0 then -1 else if t.rings.(i).len > 0 then i else scan (i - 1)
   in
-  scan (Array.length t.queues - 1)
+  scan (Array.length t.rings - 1)
+
+let pop_exn t =
+  let cos = top_cos t in
+  if cos < 0 then invalid_arg "Fifo_queue.pop_exn: empty queue";
+  t.total <- t.total - 1;
+  ring_pop t.rings.(cos)
+
+let peek_cos_exn t ~cos =
+  let r = t.rings.(cos) in
+  if r.len = 0 then invalid_arg "Fifo_queue.peek_cos_exn: empty sub-queue";
+  Array.unsafe_get r.buf r.head
+
+let pop_cos_exn t ~cos =
+  let r = t.rings.(cos) in
+  if r.len = 0 then invalid_arg "Fifo_queue.pop_cos_exn: empty sub-queue";
+  t.total <- t.total - 1;
+  ring_pop r
+
+let pop t =
+  let cos = top_cos t in
+  if cos < 0 then None
+  else begin
+    t.total <- t.total - 1;
+    Some (cos, ring_pop t.rings.(cos))
+  end
 
 let depth t = t.total
-let depth_cos t cos = Queue.length t.queues.(cos)
+let depth_cos t cos = t.rings.(cos).len
 let drops t = t.dropped
 let is_empty t = t.total = 0
-let cos_levels t = Array.length t.queues
+let cos_levels t = Array.length t.rings

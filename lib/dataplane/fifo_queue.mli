@@ -18,6 +18,19 @@ val pop : 'a t -> (int * 'a) option
 (** Dequeue from the highest-priority non-empty CoS queue; returns the CoS
     level and element. *)
 
+val pop_exn : 'a t -> 'a
+(** Allocation-free {!pop} that drops the CoS level. Raises
+    [Invalid_argument] on an empty queue — guard with {!is_empty}. *)
+
+val peek_cos_exn : 'a t -> cos:int -> 'a
+(** Head of one CoS sub-queue without dequeueing. Raises
+    [Invalid_argument] when that sub-queue is empty — guard with
+    {!depth_cos}. *)
+
+val pop_cos_exn : 'a t -> cos:int -> 'a
+(** Dequeue from one specific CoS sub-queue (allocation-free). Raises
+    [Invalid_argument] when that sub-queue is empty. *)
+
 val depth : 'a t -> int
 (** Total packets queued. *)
 

@@ -1,23 +1,46 @@
 open Speedlight_sim
 
 type t = {
-  uid : int;
-  flow_id : int;
-  src_host : int;
-  dst_host : int;
-  size : int;
-  cos : int;
-  created : Time.t;
-  mutable snap : Snapshot_header.t option;
+  mutable uid : int;
+  mutable flow_id : int;
+  mutable src_host : int;
+  mutable dst_host : int;
+  mutable size : int;
+  mutable cos : int;
+  mutable created : Time.t;
+  mutable release_at : Time.t;
+  mutable has_snap : bool;
+  snap_hdr : Snapshot_header.t;
 }
 
 let create ~uid ~flow_id ~src_host ~dst_host ~size ?(cos = 0) ~created () =
-  { uid; flow_id; src_host; dst_host; size; cos; created; snap = None }
+  {
+    uid;
+    flow_id;
+    src_host;
+    dst_host;
+    size;
+    cos;
+    created;
+    release_at = Time.zero;
+    has_snap = false;
+    snap_hdr = Snapshot_header.data ~sid:0 ~channel:0 ~ghost_sid:0;
+  }
+
+(* Alias: [Gen] below defines its own [create]. *)
+let create_packet = create
+
+let snap t = if t.has_snap then Some t.snap_hdr else None
+
+let set_snap t ~sid ~channel ~ghost_sid =
+  t.has_snap <- true;
+  Snapshot_header.set_data t.snap_hdr ~sid ~channel ~ghost_sid
+
+let clear_snap t = t.has_snap <- false
 
 let wire_size ~with_channel_state t =
-  match t.snap with
-  | None -> t.size
-  | Some _ -> t.size + Snapshot_header.overhead_bytes with_channel_state
+  if t.has_snap then t.size + Snapshot_header.overhead_bytes with_channel_state
+  else t.size
 
 let pp fmt t =
   Format.fprintf fmt "pkt#%d flow=%d %d->%d %dB%a" t.uid t.flow_id t.src_host
@@ -25,16 +48,56 @@ let pp fmt t =
     (fun fmt -> function
       | None -> Format.fprintf fmt ""
       | Some h -> Format.fprintf fmt " %a" Snapshot_header.pp h)
-    t.snap
+    (snap t)
 
 module Gen = struct
   type packet = t
-  type t = { mutable next : int }
 
-  let create () = { next = 0 }
+  type t = {
+    mutable next : int;
+    mutable free : packet array;  (* stack of recycled packets *)
+    mutable n_free : int;
+  }
+
+  let create () = { next = 0; free = [||]; n_free = 0 }
 
   let next_uid t =
     let u = t.next in
     t.next <- u + 1;
     u
+
+  let alloc t ~flow_id ~src_host ~dst_host ~size ~cos ~created =
+    let uid = next_uid t in
+    if t.n_free = 0 then
+      create_packet ~uid ~flow_id ~src_host ~dst_host ~size ~cos ~created ()
+    else begin
+      t.n_free <- t.n_free - 1;
+      let p = t.free.(t.n_free) in
+      p.uid <- uid;
+      p.flow_id <- flow_id;
+      p.src_host <- src_host;
+      p.dst_host <- dst_host;
+      p.size <- size;
+      p.cos <- cos;
+      p.created <- created;
+      p.release_at <- Time.zero;
+      p.has_snap <- false;
+      p
+    end
+
+  let release t p =
+    (* Defensive: stale header state must never leak into the packet's
+       next life. [alloc] resets [has_snap] again on reuse. *)
+    p.has_snap <- false;
+    let cap = Array.length t.free in
+    if t.n_free = cap then begin
+      let ncap = if cap = 0 then 64 else cap * 2 in
+      let nf = Array.make ncap p in
+      Array.blit t.free 0 nf 0 cap;
+      t.free <- nf
+    end;
+    t.free.(t.n_free) <- p;
+    t.n_free <- t.n_free + 1
+
+  let pooled t = t.n_free
 end

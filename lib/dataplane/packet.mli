@@ -2,19 +2,33 @@
 
     A packet is a mutable record threaded through the network: hosts create
     them, the edge switch attaches a snapshot header, processing units
-    rewrite the header, and the last snapshot-enabled device strips it. *)
+    rewrite the header, and the last snapshot-enabled device strips it.
+
+    Packets are linear once delivered, so {!Gen} doubles as a freelist:
+    the host-delivery path releases each packet back to its generator and
+    steady-state forwarding allocates nothing. The snapshot header is
+    embedded (one record per pooled packet, reused across lives); test for
+    its presence with the cheap [has_snap] flag rather than an option. *)
 
 open Speedlight_sim
 
 type t = {
-  uid : int;  (** globally unique, for tracing *)
-  flow_id : int;  (** flow identifier (hashed for ECMP) *)
-  src_host : int;
-  dst_host : int;
-  size : int;  (** bytes, payload + base headers *)
-  cos : int;  (** class of service, selects the CoS sub-channel *)
-  created : Time.t;
-  mutable snap : Snapshot_header.t option;  (** Speedlight header, if any *)
+  mutable uid : int;  (** globally unique, for tracing *)
+  mutable flow_id : int;  (** flow identifier (hashed for ECMP) *)
+  mutable src_host : int;
+  mutable dst_host : int;
+  mutable size : int;  (** bytes, payload + base headers *)
+  mutable cos : int;  (** class of service, selects the CoS sub-channel *)
+  mutable created : Time.t;
+  mutable release_at : Time.t;
+      (** scratch owned by whichever queue currently holds the packet: the
+          switch egress path stores the ingress-pipeline exit time here
+          (receive time + switch latency), before which the packet may not
+          begin serializing *)
+  mutable has_snap : bool;  (** a Speedlight header is attached *)
+  snap_hdr : Snapshot_header.t;
+      (** the embedded header; contents are meaningful only while
+          [has_snap] is true *)
 }
 
 val create :
@@ -27,6 +41,18 @@ val create :
   created:Time.t ->
   unit ->
   t
+(** A fresh, non-pooled packet (tests, fixtures). Simulation hot paths use
+    {!Gen.alloc}. *)
+
+val snap : t -> Snapshot_header.t option
+(** The attached header, as an option (allocates; for cold paths and
+    tests — hot paths read [has_snap] / [snap_hdr] directly). *)
+
+val set_snap : t -> sid:int -> channel:int -> ghost_sid:int -> unit
+(** Attach (or rewrite) the embedded snapshot header in place. *)
+
+val clear_snap : t -> unit
+(** Strip the snapshot header. *)
 
 val wire_size : with_channel_state:bool -> t -> int
 (** Size on the wire including the snapshot header overhead when one is
@@ -35,11 +61,30 @@ val wire_size : with_channel_state:bool -> t -> int
 val pp : Format.formatter -> t -> unit
 
 module Gen : sig
-  (** A uid source for packet creation. *)
+  (** A uid source and packet freelist. *)
 
   type packet = t
   type t
 
   val create : unit -> t
   val next_uid : t -> int
+
+  val alloc :
+    t ->
+    flow_id:int ->
+    src_host:int ->
+    dst_host:int ->
+    size:int ->
+    cos:int ->
+    created:Time.t ->
+    packet
+  (** A packet with a fresh uid and no snapshot header, recycled from the
+      freelist when one is available. *)
+
+  val release : t -> packet -> unit
+  (** Return a packet to the freelist. The caller must hold the only live
+      reference (packets are linear once consumed or delivered). *)
+
+  val pooled : t -> int
+  (** Number of packets currently waiting on the freelist. *)
 end

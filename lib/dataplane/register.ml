@@ -15,6 +15,10 @@ let write t i v =
   t.accesses <- t.accesses + 1;
   t.cells.(i) <- v
 
+let add t i delta =
+  t.accesses <- t.accesses + 1;
+  t.cells.(i) <- t.cells.(i) + delta
+
 let read_modify_write t i f =
   t.accesses <- t.accesses + 1;
   let old = t.cells.(i) in

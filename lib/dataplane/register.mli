@@ -18,6 +18,11 @@ val size : t -> int
 val read : t -> int -> int
 val write : t -> int -> int -> unit
 
+val add : t -> int -> int -> unit
+(** [add t i delta] increments one cell in place — the common stateful-ALU
+    operation, without the higher-order indirection of
+    {!read_modify_write}. *)
+
 val read_modify_write : t -> int -> (int -> int) -> int
 (** Atomic update of one cell; returns the {e former} value (what a
     stateful ALU exports to the packet). *)

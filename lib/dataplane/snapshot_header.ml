@@ -9,6 +9,11 @@ type t = {
 
 let data ~sid ~channel ~ghost_sid = { ptype = Data; sid; channel; ghost_sid }
 let initiation ~sid ~ghost_sid = { ptype = Initiation; sid; channel = 0; ghost_sid }
+
+let set_data t ~sid ~channel ~ghost_sid =
+  t.sid <- sid;
+  t.channel <- channel;
+  t.ghost_sid <- ghost_sid
 let overhead_bytes with_channel_state = if with_channel_state then 8 else 4
 
 let pp fmt t =

@@ -26,6 +26,10 @@ type t = {
 val data : sid:int -> channel:int -> ghost_sid:int -> t
 val initiation : sid:int -> ghost_sid:int -> t
 
+val set_data : t -> sid:int -> channel:int -> ghost_sid:int -> unit
+(** Rewrite a (Data) header in place — used by the packet pool to reuse
+    the embedded header record across packet lives. *)
+
 val overhead_bytes : bool -> int
 (** Wire overhead of the header: [overhead_bytes with_channel_state] is 4
     bytes without channel state (type + ID) and 8 with (adds channel ID),

@@ -25,23 +25,25 @@ let setup ~seed =
     ~hosts ~rate_pps:10_000. ~pkt_size:1500 ~until:(Time.sec 1);
   (ls, net)
 
-let run_initiator ?(quick = false) ?(seed = 21) () =
+(* Multi-initiator: the normal observer path. *)
+let run_multi ~quick ~seed =
   let count = Common.quick_scale ~quick 40 in
   let interval = Time.ms 8 in
-  (* Multi-initiator: the normal observer path. *)
   let _, net_multi = setup ~seed in
   let sids =
     Common.take_snapshots net_multi ~start:(Time.ms 20) ~interval ~count
       ~run_until:(Time.add (Time.ms 40) (count * interval))
   in
-  let multi =
-    List.filter_map
-      (fun sid -> Option.map Time.to_us (Net.sync_spread net_multi ~sid))
-      sids
-  in
-  (* Single initiator: only switch 0's control plane fires; everything else
-     advances by piggybacking on data traffic. *)
-  let _, net_single = setup ~seed:(seed + 1) in
+  List.filter_map
+    (fun sid -> Option.map Time.to_us (Net.sync_spread net_multi ~sid))
+    sids
+
+(* Single initiator: only switch 0's control plane fires; everything else
+   advances by piggybacking on data traffic. *)
+let run_single ~quick ~seed =
+  let count = Common.quick_scale ~quick 40 in
+  let interval = Time.ms 8 in
+  let _, net_single = setup ~seed in
   let engine = Net.engine net_single in
   let cp0 = Net.control_plane net_single 0 in
   for i = 1 to count do
@@ -67,11 +69,23 @@ let run_initiator ?(quick = false) ?(seed = 21) () =
            Snapshot_unit.current_ghost_sid (Net.unit_of net_single uid) < count)
          (Net.all_unit_ids net_single))
   in
-  {
-    multi_sync = Cdf.of_samples (Array.of_list multi);
-    single_sync = Cdf.of_samples (Array.of_list single);
-    single_unreached = unreached;
-  }
+  (single, unreached)
+
+let run_initiator ?(quick = false) ?(seed = 21) () =
+  match
+    Common.parallel_trials
+      [|
+        (fun () -> (run_multi ~quick ~seed, 0));
+        (fun () -> run_single ~quick ~seed:(seed + 1));
+      |]
+  with
+  | [| (multi, _); (single, unreached) |] ->
+      {
+        multi_sync = Cdf.of_samples (Array.of_list multi);
+        single_sync = Cdf.of_samples (Array.of_list single);
+        single_unreached = unreached;
+      }
+  | _ -> assert false
 
 type notif_result = {
   no_cs_per_snapshot : float;
@@ -108,14 +122,20 @@ let notifications_per_snapshot ~variant ~quick ~seed =
   float_of_int total /. float_of_int count
 
 let run_notifications ?(quick = false) ?(seed = 22) () =
-  {
-    no_cs_per_snapshot =
-      notifications_per_snapshot ~variant:Snapshot_unit.variant_wraparound ~quick
-        ~seed;
-    with_cs_per_snapshot =
-      notifications_per_snapshot ~variant:Snapshot_unit.variant_channel_state
-        ~quick ~seed:(seed + 1);
-  }
+  match
+    Common.parallel_trials
+      [|
+        (fun () ->
+          notifications_per_snapshot ~variant:Snapshot_unit.variant_wraparound
+            ~quick ~seed);
+        (fun () ->
+          notifications_per_snapshot ~variant:Snapshot_unit.variant_channel_state
+            ~quick ~seed:(seed + 1));
+      |]
+  with
+  | [| no_cs; with_cs |] ->
+      { no_cs_per_snapshot = no_cs; with_cs_per_snapshot = with_cs }
+  | _ -> assert false
 
 type marker_overhead = {
   directed_channels : int;

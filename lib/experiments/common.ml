@@ -20,6 +20,8 @@ let make_testbed ?(scaled = true) ?(cfg = Config.default) () =
 
 let sender net ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size ()
 
+let parallel_trials ?domains tasks = Pool.run ?domains tasks
+
 let take_snapshots net ~start ~interval ~count ~run_until =
   let engine = Net.engine net in
   let sids = ref [] in

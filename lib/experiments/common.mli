@@ -19,6 +19,14 @@ val make_testbed :
 val sender : Net.t -> Speedlight_workload.Traffic.send
 (** Adapter from the workload generators to {!Net.send}. *)
 
+val parallel_trials : ?domains:int -> (unit -> 'a) array -> 'a array
+(** Run independent trial thunks on the {!Pool} domain pool and return
+    their results in task order. Each thunk must build its own engine,
+    network and RNGs from an explicit seed and share no mutable state
+    with the others — under that contract the results are bit-identical
+    for any domain count ([SPEEDLIGHT_DOMAINS=1] reproduces a sequential
+    run exactly). *)
+
 val take_snapshots :
   Net.t ->
   start:Time.t ->

@@ -54,9 +54,13 @@ let max_rate ~ports ~seed ~iters =
 
 let run ?(quick = false) ?(seed = 10) () =
   let iters = if quick then 7 else 11 in
-  List.map
-    (fun ports -> { ports; max_rate_hz = max_rate ~ports ~seed ~iters })
-    [ 4; 8; 16; 32; 64 ]
+  (* Each port count is an independent binary search: one parallel trial
+     per point. *)
+  Array.to_list
+    (Common.parallel_trials
+       (Array.map
+          (fun ports () -> { ports; max_rate_hz = max_rate ~ports ~seed ~iters })
+          [| 4; 8; 16; 32; 64 |]))
 
 let print fmt r =
   Common.pp_header fmt

@@ -132,9 +132,29 @@ let run_app ?(quick = false) ?(seed = 12) app =
   { app; ecmp_snap; ecmp_poll; flowlet_snap; flowlet_poll }
 
 let run ?(quick = false) ?(seed = 12) () =
-  List.mapi
-    (fun i app -> run_app ~quick ~seed:(seed + (10 * i)) app)
-    [ Hadoop; Graphx; Memcache ]
+  (* Six independent simulations (3 apps x 2 LB policies), seeded exactly
+     as the sequential [run_app] loop would seed them. *)
+  let apps = [| Hadoop; Graphx; Memcache |] in
+  let tasks =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i app ->
+              let s = seed + (10 * i) in
+              [|
+                (fun () -> run_one app ~policy:Routing.Ecmp ~quick ~seed:s);
+                (fun () ->
+                  run_one app
+                    ~policy:(Routing.Flowlet { gap = Time.us 300 })
+                    ~quick ~seed:(s + 1));
+              |])
+            apps))
+  in
+  let res = Common.parallel_trials tasks in
+  List.init (Array.length apps) (fun i ->
+      let ecmp_snap, ecmp_poll = res.(2 * i) in
+      let flowlet_snap, flowlet_poll = res.((2 * i) + 1) in
+      { app = apps.(i); ecmp_snap; ecmp_poll; flowlet_snap; flowlet_poll })
 
 let print_app fmt r =
   Format.fprintf fmt "@.--- Fig 12 (%s): stddev of uplink EWMA interarrival (us) ---@."

@@ -115,8 +115,19 @@ let run ?(quick = false) ?(seed = 13) () =
     let rows = Array.of_list rows in
     Array.init n (fun j -> Array.map (fun row -> row.(j)) rows)
   in
-  let snap_m = build_matrix units (to_series snap_rows) in
-  let poll_m = build_matrix units (to_series poll_rows) in
+  (* The two correlation matrices are pure O(n^2 * rounds) computations on
+     already-collected series: crunch them as parallel trials. *)
+  let snap_m, poll_m =
+    match
+      Common.parallel_trials
+        [|
+          (fun () -> build_matrix units (to_series snap_rows));
+          (fun () -> build_matrix units (to_series poll_rows));
+        |]
+    with
+    | [| s; p |] -> (s, p)
+    | _ -> assert false
+  in
   (* Ground truths: same-leaf uplink egress pairs share ECMP paths; the
      master server's access port should correlate with nothing. *)
   let idx_of uid =

@@ -62,12 +62,21 @@ let run_polling ~quick ~seed =
   Cdf.of_samples (Array.of_list samples)
 
 let run ?(quick = false) ?(seed = 9) () =
-  {
-    no_cs = run_variant ~variant:Snapshot_unit.variant_wraparound ~quick ~seed;
-    with_cs = run_variant ~variant:Snapshot_unit.variant_channel_state ~quick
-        ~seed:(seed + 1);
-    polling = run_polling ~quick ~seed:(seed + 2);
-  }
+  (* The three campaigns are self-contained simulations with distinct
+     seeds, so they run as parallel trials. *)
+  match
+    Common.parallel_trials
+      [|
+        (fun () ->
+          run_variant ~variant:Snapshot_unit.variant_wraparound ~quick ~seed);
+        (fun () ->
+          run_variant ~variant:Snapshot_unit.variant_channel_state ~quick
+            ~seed:(seed + 1));
+        (fun () -> run_polling ~quick ~seed:(seed + 2));
+      |]
+  with
+  | [| no_cs; with_cs; polling |] -> { no_cs; with_cs; polling }
+  | _ -> assert false
 
 let print fmt r =
   Common.pp_header fmt

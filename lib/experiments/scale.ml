@@ -75,8 +75,10 @@ let run_k ~k ~quick ~seed =
   }
 
 let run ?(quick = false) ?(seed = 31) () =
-  let ks = if quick then [ 4 ] else [ 4; 6; 8 ] in
-  List.map (fun k -> run_k ~k ~quick ~seed) ks
+  let ks = if quick then [| 4 |] else [| 4; 6; 8 |] in
+  (* One self-seeded fat-tree simulation per k: parallel trials. *)
+  Array.to_list
+    (Common.parallel_trials (Array.map (fun k () -> run_k ~k ~quick ~seed) ks))
 
 let print fmt r =
   Common.pp_header fmt

@@ -4,7 +4,23 @@ open Speedlight_dataplane
 open Speedlight_core
 open Speedlight_topology
 
-type nic = { mutable busy_until : Time.t }
+(* Per-host transmit state, precomputed at creation so [send] does no
+   topology lookups on the hot path: the attachment point, the host link,
+   the NIC serialization horizon, and the arrival ring feeding the
+   pre-allocated NIC-arrival closure (arrival times are monotone per host
+   — NIC busy time only moves forward — so the ring is FIFO-correct). *)
+type host_tx = {
+  attach_sw : int;
+  attach_port : int;
+  link : Topology.link_spec;
+  mutable busy_until : Time.t;
+  arrivals : Packet.t Ring.t;
+  mutable on_arrive : unit -> unit;
+  (* Memoized NIC serialization time for the last packet size seen (the
+     result is a pure function of the size). *)
+  mutable last_size : int;
+  mutable last_ser : Time.t;
+}
 
 type t = {
   engine : Engine.t;
@@ -12,12 +28,12 @@ type t = {
   topo : Topology.t;
   routing : Routing.t;
   cfg : Config.t;
-  switches : Switch.t array;
-  cps : Control_plane.t array;
+  mutable switches : Switch.t array;
+  mutable cps : Control_plane.t array;
   obs : Observer.t;
   ptp : Ptp.t;
   pktgen : Packet.Gen.t;
-  nics : nic array;
+  host_txs : host_tx array;
   mutable deliver_cbs : (host:int -> Packet.t -> unit) list;
   mutable delivered : int;
   mutable next_flow : int;
@@ -65,22 +81,39 @@ let dp_access_of unit_ =
   }
 
 let create ?(cfg = Config.default) topo =
-  let engine = Engine.create () in
+  (* Pre-size the event queue: steady state holds a few events per port. *)
+  let engine = Engine.create ~capacity:1024 () in
   let master_rng = Rng.create cfg.Config.seed in
   let routing = Routing.compute topo in
   let n_sw = Topology.n_switches topo in
   let disabled = cfg.Config.snapshot_disabled_switches in
   let enabled s = not (List.mem s disabled) in
   let pktgen = Packet.Gen.create () in
-  let switches = Array.make n_sw (Obj.magic 0) in
-  let cps = Array.make n_sw (Obj.magic 0) in
   let obs =
     Observer.create ~engine ~lead_time:cfg.Config.observer_lead_time
       ~retry_timeout:cfg.Config.observer_retry_timeout
       ~max_retries:cfg.Config.observer_max_retries ()
   in
   let ptp = Ptp.create ~profile:cfg.Config.ptp ~rng:(Rng.split master_rng) engine in
-  let nics = Array.init (Topology.n_hosts topo) (fun _ -> { busy_until = Time.zero }) in
+  let host_txs =
+    Array.init (Topology.n_hosts topo) (fun h ->
+        let attach_sw, attach_port = Topology.host_attachment topo ~host:h in
+        let link =
+          match Topology.link_of topo ~switch:attach_sw ~port:attach_port with
+          | Some l -> l
+          | None -> failwith "Net.create: host link missing"
+        in
+        {
+          attach_sw;
+          attach_port;
+          link;
+          busy_until = Time.zero;
+          arrivals = Ring.create ();
+          on_arrive = ignore;
+          last_size = -1;
+          last_ser = Time.zero;
+        })
+  in
   let t =
     {
       engine;
@@ -88,50 +121,57 @@ let create ?(cfg = Config.default) topo =
       topo;
       routing;
       cfg;
-      switches;
-      cps;
+      switches = [||];
+      cps = [||];
       obs;
       ptp;
       pktgen;
-      nics;
+      host_txs;
       deliver_cbs = [];
       delivered = 0;
       next_flow = 1;
     }
   in
   let utilized = compute_utilized topo routing in
-  (* Data planes. *)
+  (* Data planes. Built in ascending switch order: RNG splits must happen
+     in a deterministic sequence. *)
+  let sw_acc = ref [] in
   for s = 0 to n_sw - 1 do
     let notify n =
       (* DP -> CPU channel: latency plus possible loss. *)
       if not (Rng.bernoulli t.master_rng cfg.Config.notify_drop_prob) then
-        ignore
-          (Engine.schedule_after engine ~delay:cfg.Config.notify_latency (fun () ->
-               Control_plane.deliver_notification t.cps.(s) n))
+        Engine.schedule_after_unit engine ~delay:cfg.Config.notify_latency
+          (fun () -> Control_plane.deliver_notification t.cps.(s) n)
     in
     let to_wire ~peer pkt =
       match peer with
       | Topology.Switch_port (s', p') -> Switch.receive t.switches.(s') ~port:p' pkt
       | Topology.Host_port h ->
           t.delivered <- t.delivered + 1;
-          List.iter (fun f -> f ~host:h pkt) t.deliver_cbs
+          List.iter (fun f -> f ~host:h pkt) t.deliver_cbs;
+          (* Delivered packets are linear: nothing downstream holds a
+             reference once the callbacks return, so recycle. *)
+          Packet.Gen.release t.pktgen pkt
     in
-    switches.(s) <-
+    sw_acc :=
       Switch.create ~id:s ~engine ~rng:(Rng.split master_rng) ~cfg ~topo ~routing
         ~pktgen ~notify ~to_wire ~enabled:(enabled s)
+      :: !sw_acc
   done;
+  t.switches <- Array.of_list (List.rev !sw_acc);
   (* Control planes (only for snapshot-enabled switches' protocol duties,
      but every switch gets one so clocks/polling stay uniform). *)
+  let cp_acc = ref [] in
   for s = 0 to n_sw - 1 do
     let clock = Clock.create () in
     Ptp.attach ptp clock;
-    let ports = Switch.connected_ports switches.(s) in
+    let ports = Switch.connected_ports t.switches.(s) in
     let cos_levels = cfg.Config.cos_levels in
     let specs =
       List.concat_map
         (fun p ->
-          let ing = Switch.ingress_unit switches.(s) ~port:p in
-          let egr = Switch.egress_unit switches.(s) ~port:p in
+          let ing = Switch.ingress_unit t.switches.(s) ~port:p in
+          let egr = Switch.egress_unit t.switches.(s) ~port:p in
           (* Ingress: single external neighbor at index 1; excluded unless
              the upstream is a snapshot-enabled switch whose routing can
              send traffic this way. *)
@@ -182,19 +222,21 @@ let create ?(cfg = Config.default) topo =
         ports
     in
     let inject ~port ~sid_wrapped ~ghost_sid =
-      Switch.inject_initiation switches.(s) ~port ~sid_wrapped ~ghost_sid
+      Switch.inject_initiation t.switches.(s) ~port ~sid_wrapped ~ghost_sid
     in
-    let flood () = Switch.cp_broadcast switches.(s) in
-    cps.(s) <-
+    let flood () = Switch.cp_broadcast t.switches.(s) in
+    cp_acc :=
       Control_plane.create ~switch_id:s ~engine ~rng:(Rng.split master_rng) ~cfg
         ~clock ~units:specs ~inject ~flood ~ports
         ~to_observer:(fun r -> Observer.on_report obs r)
+      :: !cp_acc
   done;
+  t.cps <- Array.of_list (List.rev !cp_acc);
   (* Register snapshot-enabled devices with the observer. *)
   for s = 0 to n_sw - 1 do
     if enabled s then begin
       let unit_ids =
-        List.map Snapshot_unit.id (Switch.units switches.(s))
+        List.map Snapshot_unit.id (Switch.units t.switches.(s))
       in
       Observer.register_device obs
         {
@@ -202,11 +244,19 @@ let create ?(cfg = Config.default) topo =
           units = unit_ids;
           initiate =
             (fun ~sid ~fire_at ->
-              Control_plane.schedule_initiation cps.(s) ~sid ~fire_at_local:fire_at);
-          resend = (fun ~sid -> Control_plane.resend_initiation cps.(s) ~sid);
+              Control_plane.schedule_initiation t.cps.(s) ~sid ~fire_at_local:fire_at);
+          resend = (fun ~sid -> Control_plane.resend_initiation t.cps.(s) ~sid);
         }
     end
   done;
+  (* NIC-arrival closures, one per host, allocated once. *)
+  Array.iter
+    (fun tx ->
+      tx.on_arrive <-
+        (fun () ->
+          let pkt = Ring.pop_exn tx.arrivals in
+          Switch.receive t.switches.(tx.attach_sw) ~port:tx.attach_port pkt))
+    t.host_txs;
   t
 
 let engine t = t.engine
@@ -227,31 +277,45 @@ let fresh_flow_id t =
 
 let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
   if src = dst then invalid_arg "Net.send: src = dst";
+  if dst < 0 || dst >= Array.length t.host_txs then
+    invalid_arg "Net.send: bad destination host";
   let flow_id =
     match flow_id with Some f -> f | None -> (src * 65_537) + dst
   in
+  let tx = t.host_txs.(src) in
+  let tnow = now t in
   let pkt =
-    Packet.create ~uid:(Packet.Gen.next_uid t.pktgen) ~flow_id ~src_host:src
-      ~dst_host:dst ~size ~cos ~created:(now t) ()
+    Packet.Gen.alloc t.pktgen ~flow_id ~src_host:src ~dst_host:dst ~size ~cos
+      ~created:tnow
   in
-  let sw, port = Topology.host_attachment t.topo ~host:src in
-  let link =
-    match Topology.link_of t.topo ~switch:sw ~port with
-    | Some l -> l
-    | None -> failwith "Net.send: host link missing"
-  in
-  let nic = t.nics.(src) in
-  let start = Time.max (now t) nic.busy_until in
+  let start = if tnow >= tx.busy_until then tnow else tx.busy_until in
+  (* Keep the division by bandwidth (rather than caching a reciprocal) so
+     timing stays bit-identical with the formula used everywhere else; the
+     result is memoized per size, which cannot change it. *)
   let ser =
-    Time.of_ns_float (float_of_int (8 * size) /. link.Topology.bandwidth_bps *. 1e9)
+    if size = tx.last_size then tx.last_ser
+    else begin
+      let s =
+        Time.of_ns_float
+          (float_of_int (8 * size) /. tx.link.Topology.bandwidth_bps *. 1e9)
+      in
+      tx.last_size <- size;
+      tx.last_ser <- s;
+      s
+    end
   in
-  nic.busy_until <- Time.add start ser;
-  let arrival = Time.add nic.busy_until link.Topology.latency in
-  ignore
-    (Engine.schedule t.engine ~at:arrival (fun () ->
-         Switch.receive t.switches.(sw) ~port pkt))
+  tx.busy_until <- start + ser;
+  let arrival = tx.busy_until + tx.link.Topology.latency in
+  Ring.push tx.arrivals pkt;
+  Engine.schedule_unit t.engine ~at:arrival tx.on_arrive
 
-let on_deliver t f = t.deliver_cbs <- f :: t.deliver_cbs
+let on_deliver t f =
+  (* Delivery timing is now observable: stop short-circuiting the final
+     link propagation. Register callbacks before injecting traffic —
+     packets forwarded while no callback was installed were delivered
+     eagerly. *)
+  Array.iter (fun sw -> Switch.set_eager_host_delivery sw false) t.switches;
+  t.deliver_cbs <- f :: t.deliver_cbs
 let delivered t = t.delivered
 
 let take_snapshot t ?at () = Observer.take_snapshot t.obs ?at ()

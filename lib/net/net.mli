@@ -40,7 +40,9 @@ val send :
 val fresh_flow_id : t -> int
 
 val on_deliver : t -> (host:int -> Packet.t -> unit) -> unit
-(** Subscribe to packet deliveries at hosts. *)
+(** Subscribe to packet deliveries at hosts. The packet is recycled into
+    the net's packet pool as soon as all callbacks return: read fields
+    during the callback, but do not retain the packet itself. *)
 
 val delivered : t -> int
 (** Total packets delivered to hosts. *)

@@ -8,9 +8,23 @@ type port_state = {
   ingress : Snapshot_unit.t;
   egress : Snapshot_unit.t;
   queue : Packet.t Fifo_queue.t;
-  mutable busy : bool;
+  (* A transmit event is in flight for this port. Invariant outside the
+     transmit handler itself: the queue is non-empty => this is true. *)
+  mutable tx_scheduled : bool;
+  (* When the link finishes serializing its current packet. *)
+  mutable free_at : Time.t;
   link : Topology.link_spec;
   peer : Topology.peer;
+  (* Packets in flight on the outgoing link, FIFO by constant latency. *)
+  wire : Packet.t Ring.t;
+  (* Memoized serialization time: traffic on a port is dominated by one or
+     two wire sizes, so cache the last (size -> time) computation. *)
+  mutable last_wire_size : int;
+  mutable last_ser : Time.t;
+  (* Pre-allocated event closures, installed once at switch creation so
+     the steady-state transmit loop schedules without allocating. *)
+  mutable on_tx : unit -> unit;
+  mutable on_wire_arrive : unit -> unit;
 }
 
 type t = {
@@ -24,9 +38,20 @@ type t = {
   enabled : bool;
   pktgen : Packet.Gen.t;
   to_wire : peer:Topology.peer -> Packet.t -> unit;
+  (* Per-host attachment, split into flat arrays so the per-packet
+     forwarding decision is two loads instead of a call + tuple. *)
+  attach_sw : int array;
+  attach_port : int array;
+  (* [Snapshot_header.overhead_bytes] for this config, hoisted. *)
+  snap_overhead : int;
   mutable fib_setters : (int -> unit) list;
   mutable route_override : (dst_host:int -> int option) option;
   mutable forwarded : int;
+  (* While nothing subscribes to host deliveries, delivery timing is
+     unobservable (the delivered count and packet recycling are all that
+     remain): deliver host-bound packets at transmit time and skip the
+     propagation event. [Net.on_deliver] clears this. *)
+  mutable eager_host_delivery : bool;
 }
 
 let egress_neighbor_index_ ~cos_levels ~in_port ~cos = 1 + (in_port * cos_levels) + cos
@@ -43,52 +68,6 @@ let make_counter (cfg : Config.t) ~read_depth ~register_fib =
       register_fib set;
       c
   | Config.Sketch_flow tracked_flow -> Counter.sketch_flow ~tracked_flow ()
-
-let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~to_wire ~enabled =
-  let n_ports = Topology.ports topo id in
-  let t =
-    {
-      sw_id = id;
-      engine;
-      cfg;
-      topo;
-      routing;
-      selector = Routing.Selector.create cfg.Config.lb_policy ~rng ~switch:id;
-      ports = Array.make n_ports None;
-      enabled;
-      pktgen;
-      to_wire;
-      fib_setters = [];
-      route_override = None;
-      forwarded = 0;
-    }
-  in
-  let register_fib set = t.fib_setters <- set :: t.fib_setters in
-  for p = 0 to n_ports - 1 do
-    match (Topology.peer_of topo ~switch:id ~port:p, Topology.link_of topo ~switch:id ~port:p) with
-    | Some peer, Some link ->
-        let queue = Fifo_queue.create ~cos_levels:cfg.Config.cos_levels
-            ~capacity:cfg.Config.queue_capacity () in
-        let read_depth () = Fifo_queue.depth queue in
-        let ingress =
-          Snapshot_unit.create
-            ~id:(Unit_id.ingress ~switch:id ~port:p)
-            ~cfg:cfg.Config.unit_cfg ~n_neighbors:2
-            ~counter:(make_counter cfg ~read_depth:(fun () -> 0) ~register_fib)
-            ~notify
-        in
-        let egress =
-          Snapshot_unit.create
-            ~id:(Unit_id.egress ~switch:id ~port:p)
-            ~cfg:cfg.Config.unit_cfg
-            ~n_neighbors:(1 + (n_ports * cfg.Config.cos_levels))
-            ~counter:(make_counter cfg ~read_depth ~register_fib)
-            ~notify
-        in
-        t.ports.(p) <- Some { port = p; ingress; egress; queue; busy = false; link; peer }
-    | _, _ -> ()
-  done;
-  t
 
 let id t = t.sw_id
 let enabled t = t.enabled
@@ -130,54 +109,132 @@ let queue_drops t ~port = Fifo_queue.drops (port_state t port).queue
 let total_forwarded t = t.forwarded
 let set_fib_version t v = List.iter (fun set -> set v) t.fib_setters
 let set_route_override t f = t.route_override <- f
+let set_eager_host_delivery t b = t.eager_host_delivery <- b
 
-(* Serialization time of a packet on a link, in simulated time. *)
-let serialization_time (cfg : Config.t) (link : Topology.link_spec) pkt =
-  let with_cs = cfg.unit_cfg.Snapshot_unit.channel_state in
-  let bits = 8 * Packet.wire_size ~with_channel_state:with_cs pkt in
-  Time.of_ns_float (float_of_int bits /. link.Topology.bandwidth_bps *. 1e9)
+(* Serialization time of a packet on a link, memoized on the port: the
+   float computation is re-derived only when the wire size differs from the
+   previous packet's (the result is a pure function of the wire size, so
+   the cache cannot change timing). The snapshot-header overhead is
+   open-coded from {!Packet.wire_size} with the config-constant overhead
+   hoisted into [t.snap_overhead]. *)
+let serialization_time_cached t ps (pkt : Packet.t) =
+  let ws = if pkt.has_snap then pkt.size + t.snap_overhead else pkt.size in
+  if ws = ps.last_wire_size then ps.last_ser
+  else begin
+    let ser =
+      Time.of_ns_float
+        (float_of_int (8 * ws) /. ps.link.Topology.bandwidth_bps *. 1e9)
+    in
+    ps.last_wire_size <- ws;
+    ps.last_ser <- ser;
+    ser
+  end
 
-(* Transmit loop of one port: pop from the egress queue, run the egress
-   processing unit, serialize, propagate, hand to the peer. *)
-let rec start_transmit t ps =
-  match Fifo_queue.pop ps.queue with
-  | None -> ps.busy <- false
-  | Some (_cos, pkt) ->
-      ps.busy <- true;
-      let now = Engine.now t.engine in
-      if t.enabled then Snapshot_unit.process_packet ps.egress ~now pkt;
-      t.forwarded <- t.forwarded + 1;
-      let ser = serialization_time t.cfg ps.link pkt in
-      ignore
-        (Engine.schedule_after t.engine ~delay:ser (fun () ->
-             (* The link is free for the next packet once serialization
-                completes; propagation is pipelined. *)
-             ignore
-               (Engine.schedule_after t.engine ~delay:ps.link.Topology.latency
-                  (fun () -> deliver t ps pkt));
-             start_transmit t ps))
+(* Earliest pipeline-release time among the CoS sub-queue heads. Heads are
+   the oldest packet of each sub-queue and release times are monotone in
+   arrival order, so this is the earliest release in the whole queue. *)
+let min_head_release q =
+  let m = ref max_int in
+  for cos = 0 to Fifo_queue.cos_levels q - 1 do
+    if Fifo_queue.depth_cos q cos > 0 then begin
+      let r = (Fifo_queue.peek_cos_exn q ~cos).Packet.release_at in
+      if r < !m then m := r
+    end
+  done;
+  !m
 
-and deliver t ps pkt =
+(* Highest-priority CoS whose head has cleared the ingress pipeline
+   ([release_at <= now]). Raises if none is eligible — [tx_fire] proves
+   one always is. *)
+let eligible_cos q ~now =
+  let rec scan cos =
+    if cos < 0 then invalid_arg "Switch.tx_fire: no eligible head"
+    else if
+      Fifo_queue.depth_cos q cos > 0
+      && (Fifo_queue.peek_cos_exn q ~cos).Packet.release_at <= now
+    then cos
+    else scan (cos - 1)
+  in
+  scan (Fifo_queue.cos_levels q - 1)
+
+(* Transmit machinery of one port. Egress queue admission happens at
+   receive time, but a packet becomes *eligible* to serialize only at its
+   [release_at] (receive time + switch latency — the ingress pipeline).
+   One transmit event per forwarded packet fires at
+   max(link free, earliest release); this folds what used to be separate
+   pipeline-exit and serialization-done events into a single event without
+   moving any transmission start, egress-processing or arrival timestamp.
+   Propagating packets queue on the [wire] ring (constant link latency
+   keeps them FIFO). *)
+let schedule_tx t ps =
+  ps.tx_scheduled <- true;
+  let at =
+    if t.cfg.Config.cos_levels = 1 then
+      (Fifo_queue.peek_cos_exn ps.queue ~cos:0).Packet.release_at
+    else min_head_release ps.queue
+  in
+  let at = if at < ps.free_at then ps.free_at else at in
+  Engine.schedule_unit t.engine ~at ps.on_tx
+
+let tx_fire t ps =
+  ps.tx_scheduled <- false;
+  let now = Engine.now t.engine in
+  (* The event fires at max(link free, earliest head release); pops happen
+     only here, at most one tx event is in flight per port, and release
+     times are monotone in arrival order — so the head that was earliest
+     when this event was scheduled is still queued and has cleared the
+     pipeline. With a single CoS level that head is simply the queue
+     front; otherwise pick the highest-priority eligible head. *)
+  let pkt =
+    if t.cfg.Config.cos_levels = 1 then Fifo_queue.pop_exn ps.queue
+    else Fifo_queue.pop_cos_exn ps.queue ~cos:(eligible_cos ps.queue ~now)
+  in
+  if t.enabled then Snapshot_unit.process_packet ps.egress ~now pkt;
+  t.forwarded <- t.forwarded + 1;
+  let ser = serialization_time_cached t ps pkt in
+  (match ps.peer with
+  | Topology.Host_port _ when t.eager_host_delivery ->
+      Packet.clear_snap pkt;
+      t.to_wire ~peer:ps.peer pkt
+  | _ ->
+      Ring.push ps.wire pkt;
+      Engine.schedule_after_unit t.engine
+        ~delay:(ser + ps.link.Topology.latency)
+        ps.on_wire_arrive);
+  ps.free_at <- now + ser;
+  (* Either serve the next packet when the link frees up, or — when it has
+     not yet cleared the pipeline — retry at its release. *)
+  if not (Fifo_queue.is_empty ps.queue) then schedule_tx t ps
+
+let wire_arrive t ps =
+  let pkt = Ring.pop_exn ps.wire in
   (match ps.peer with
   | Topology.Host_port _ ->
       (* Remove the snapshot header before delivery to hosts (§5.1). *)
-      pkt.Packet.snap <- None
+      Packet.clear_snap pkt
   | Topology.Switch_port _ -> ());
   t.to_wire ~peer:ps.peer pkt
 
-let enqueue_egress t ~in_port ~out_port pkt =
+let enqueue_egress t ~now ~in_port ~out_port pkt =
   let ps = port_state t out_port in
-  let cos = Stdlib.min pkt.Packet.cos (t.cfg.Config.cos_levels - 1) in
-  (match pkt.Packet.snap with
-  | Some h when t.enabled ->
-      h.Snapshot_header.channel <- egress_neighbor_index t ~in_port ~cos
-  | Some _ | None -> ());
-  if Fifo_queue.push ps.queue ~cos pkt then
-    if not ps.busy then start_transmit t ps
+  let cos =
+    let c = pkt.Packet.cos and m = t.cfg.Config.cos_levels - 1 in
+    if c < m then c else m
+  in
+  if t.enabled && pkt.Packet.has_snap then
+    pkt.Packet.snap_hdr.Snapshot_header.channel <-
+      egress_neighbor_index t ~in_port ~cos;
+  pkt.Packet.release_at <- now + t.cfg.Config.switch_latency;
+  if Fifo_queue.push ps.queue ~cos pkt then begin
+    if not ps.tx_scheduled then schedule_tx t ps
+  end
+  else
+    (* Tail drop: the packet dies here and goes back to the pool. *)
+    Packet.Gen.release t.pktgen pkt
 
 let route_normal t ~dst_host ~flow_id ~size =
-  let attach_sw, attach_port = Topology.host_attachment t.topo ~host:dst_host in
-  if attach_sw = t.sw_id then attach_port
+  if Array.unsafe_get t.attach_sw dst_host = t.sw_id then
+    Array.unsafe_get t.attach_port dst_host
   else
     Routing.Selector.select t.selector t.routing ~dst_host ~flow_id ~size
       ~now:(Engine.now t.engine)
@@ -196,9 +253,7 @@ let receive t ~port pkt =
   if t.enabled then begin
     (* Mark which upstream channel the packet arrived on: the single
        external neighbor of this ingress unit. *)
-    (match pkt.Packet.snap with
-    | Some h -> h.Snapshot_header.channel <- 1
-    | None -> ());
+    if pkt.Packet.has_snap then pkt.Packet.snap_hdr.Snapshot_header.channel <- 1;
     Snapshot_unit.process_packet ps.ingress ~now pkt
   end;
   (* Marker broadcasts (negative destination) are consumed here: they only
@@ -208,10 +263,9 @@ let receive t ~port pkt =
       forward_decision t ~dst_host:pkt.Packet.dst_host ~flow_id:pkt.Packet.flow_id
         ~size:pkt.Packet.size
     in
-    ignore
-      (Engine.schedule_after t.engine ~delay:t.cfg.Config.switch_latency (fun () ->
-           enqueue_egress t ~in_port:port ~out_port pkt))
+    enqueue_egress t ~now ~in_port:port ~out_port pkt
   end
+  else Packet.Gen.release t.pktgen pkt
 
 (* Control-plane broadcast injection (§6 "Ensuring liveness"): a marker
    packet enters each ingress unit and replicates to every other egress
@@ -224,28 +278,27 @@ let cp_broadcast t =
     List.iter
       (fun p ->
         let ps = port_state t p in
-        let pkt =
-          Packet.create ~uid:(Packet.Gen.next_uid t.pktgen) ~flow_id:(-1)
-            ~src_host:(-1) ~dst_host:(-1) ~size:64 ~created:now ()
+        let probe =
+          Packet.Gen.alloc t.pktgen ~flow_id:(-1) ~src_host:(-1) ~dst_host:(-1)
+            ~size:64 ~cos:0 ~created:now
         in
-        Snapshot_unit.process_packet ps.ingress ~now pkt;
+        Snapshot_unit.process_packet ps.ingress ~now probe;
         let sid, ghost =
-          match pkt.Packet.snap with
-          | Some h -> (h.Snapshot_header.sid, h.Snapshot_header.ghost_sid)
-          | None -> (0, 0)
+          if probe.Packet.has_snap then
+            ( probe.Packet.snap_hdr.Snapshot_header.sid,
+              probe.Packet.snap_hdr.Snapshot_header.ghost_sid )
+          else (0, 0)
         in
+        Packet.Gen.release t.pktgen probe;
         List.iter
           (fun q ->
             if q <> p then begin
               let copy =
-                Packet.create ~uid:(Packet.Gen.next_uid t.pktgen) ~flow_id:(-1)
-                  ~src_host:(-1) ~dst_host:(-1) ~size:64 ~created:now ()
+                Packet.Gen.alloc t.pktgen ~flow_id:(-1) ~src_host:(-1)
+                  ~dst_host:(-1) ~size:64 ~cos:0 ~created:now
               in
-              copy.Packet.snap <-
-                Some (Snapshot_header.data ~sid ~channel:0 ~ghost_sid:ghost);
-              ignore
-                (Engine.schedule_after t.engine ~delay:t.cfg.Config.switch_latency
-                   (fun () -> enqueue_egress t ~in_port:p ~out_port:q copy))
+              Packet.set_snap copy ~sid ~channel:0 ~ghost_sid:ghost;
+              enqueue_egress t ~now ~in_port:p ~out_port:q copy
             end)
           ports)
       ports
@@ -255,7 +308,84 @@ let inject_initiation t ~port ~sid_wrapped ~ghost_sid =
   let ps = port_state t port in
   let now = Engine.now t.engine in
   Snapshot_unit.process_initiation ps.ingress ~now ~sid:sid_wrapped ~ghost_sid;
-  ignore
-    (Engine.schedule_after t.engine ~delay:t.cfg.Config.switch_latency (fun () ->
-         Snapshot_unit.process_initiation ps.egress ~now:(Engine.now t.engine)
-           ~sid:sid_wrapped ~ghost_sid))
+  Engine.schedule_after_unit t.engine ~delay:t.cfg.Config.switch_latency (fun () ->
+      Snapshot_unit.process_initiation ps.egress ~now:(Engine.now t.engine)
+        ~sid:sid_wrapped ~ghost_sid)
+
+let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~to_wire ~enabled =
+  let n_ports = Topology.ports topo id in
+  let n_hosts = Topology.n_hosts topo in
+  let attach_sw = Array.make (Stdlib.max n_hosts 1) (-1) in
+  let attach_port = Array.make (Stdlib.max n_hosts 1) (-1) in
+  for h = 0 to n_hosts - 1 do
+    let sw, port = Topology.host_attachment topo ~host:h in
+    attach_sw.(h) <- sw;
+    attach_port.(h) <- port
+  done;
+  let t =
+    {
+      sw_id = id;
+      engine;
+      cfg;
+      topo;
+      routing;
+      selector = Routing.Selector.create cfg.Config.lb_policy ~rng ~switch:id;
+      ports = Array.make n_ports None;
+      enabled;
+      pktgen;
+      to_wire;
+      fib_setters = [];
+      route_override = None;
+      forwarded = 0;
+      attach_sw;
+      attach_port;
+      snap_overhead =
+        Snapshot_header.overhead_bytes cfg.Config.unit_cfg.Snapshot_unit.channel_state;
+      eager_host_delivery = true;
+    }
+  in
+  let register_fib set = t.fib_setters <- set :: t.fib_setters in
+  for p = 0 to n_ports - 1 do
+    match (Topology.peer_of topo ~switch:id ~port:p, Topology.link_of topo ~switch:id ~port:p) with
+    | Some peer, Some link ->
+        let queue = Fifo_queue.create ~cos_levels:cfg.Config.cos_levels
+            ~capacity:cfg.Config.queue_capacity () in
+        let read_depth () = Fifo_queue.depth queue in
+        let ingress =
+          Snapshot_unit.create
+            ~id:(Unit_id.ingress ~switch:id ~port:p)
+            ~cfg:cfg.Config.unit_cfg ~n_neighbors:2
+            ~counter:(make_counter cfg ~read_depth:(fun () -> 0) ~register_fib)
+            ~notify
+        in
+        let egress =
+          Snapshot_unit.create
+            ~id:(Unit_id.egress ~switch:id ~port:p)
+            ~cfg:cfg.Config.unit_cfg
+            ~n_neighbors:(1 + (n_ports * cfg.Config.cos_levels))
+            ~counter:(make_counter cfg ~read_depth ~register_fib)
+            ~notify
+        in
+        let ps =
+          {
+            port = p;
+            ingress;
+            egress;
+            queue;
+            tx_scheduled = false;
+            free_at = Time.zero;
+            link;
+            peer;
+            wire = Ring.create ();
+            last_wire_size = -1;
+            last_ser = Time.zero;
+            on_tx = ignore;
+            on_wire_arrive = ignore;
+          }
+        in
+        ps.on_tx <- (fun () -> tx_fire t ps);
+        ps.on_wire_arrive <- (fun () -> wire_arrive t ps);
+        t.ports.(p) <- Some ps
+    | _, _ -> ()
+  done;
+  t

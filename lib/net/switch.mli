@@ -74,3 +74,9 @@ val set_fib_version : t -> int -> unit
 val set_route_override : t -> (dst_host:int -> int option) option -> unit
 (** Force the next-hop decision (used by the loop-detection example to
     inject bad forwarding state); [None] restores normal routing. *)
+
+val set_eager_host_delivery : t -> bool -> unit
+(** While [true] (the default), host-bound packets are handed to the
+    delivery sink at transmit time instead of after link propagation —
+    valid while nothing observes per-packet delivery timing. {!Net} clears
+    this as soon as a delivery callback is registered. *)

@@ -1,47 +1,138 @@
-type event = { f : unit -> unit; mutable cancelled : bool }
+(* Discrete-event engine.
 
-type handle = event
+   The event queue holds bare [unit -> unit] closures: for the dominant
+   fire-and-forget case ([schedule_unit] & friends) the user closure goes
+   into the heap directly — no event record, no handle, nothing to
+   recycle. Cancellable events ([schedule]/[schedule_after]) get a record
+   from an intrusive freelist; the record's [run] closure (allocated once
+   per record, reused across recycles) checks the cancelled flag, recycles
+   the record, then fires. Cancellation handles carry a generation stamp
+   so a handle kept across the record's recycling can never cancel an
+   unrelated later event. *)
+
+let nop () = ()
+
+type event = {
+  mutable f : unit -> unit;
+  mutable cancelled : bool;
+  mutable gen : int;  (* bumped every time the record is recycled *)
+  mutable next_free : event;  (* freelist link; [sentinel] terminates *)
+  mutable run : unit -> unit;  (* self-recycling wrapper, allocated once *)
+}
+
+(* Freelist terminator, shared by all engines; never mutated. *)
+let rec sentinel =
+  { f = nop; cancelled = true; gen = 0; next_free = sentinel; run = nop }
+
+type handle = { h_ev : event; h_gen : int }
 
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
-  queue : event Heap.t;
+  mutable processed : int;
+  mutable free : event;
+  queue : (unit -> unit) Heap.t;
 }
 
-let create () = { clock = Time.zero; seq = 0; queue = Heap.create () }
+let create ?capacity () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    processed = 0;
+    free = sentinel;
+    queue = Heap.create ?capacity ();
+  }
+
 let now t = t.clock
+let processed t = t.processed
+
+let enqueue t ~at g =
+  Heap.push t.queue ~key:at ~seq:t.seq g;
+  t.seq <- t.seq + 1
+
+(* Fast paths: the closure goes into the heap directly. *)
+
+let schedule_unit t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %d is in the past (now %d)" at t.clock);
+  enqueue t ~at f
+
+let schedule_after_unit t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  enqueue t ~at:(t.clock + delay) f
+
+let schedule_imm t f = enqueue t ~at:t.clock f
+
+(* Handle-returning variants, backed by the pooled event records. *)
+
+let alloc t f =
+  let ev = t.free in
+  if ev == sentinel then begin
+    let ev = { f; cancelled = false; gen = 0; next_free = sentinel; run = nop } in
+    ev.run <-
+      (fun () ->
+        let g = ev.f in
+        let fire = not ev.cancelled in
+        (* Recycle before firing so the handler's own scheduling can reuse
+           this record; the generation bump invalidates old handles. *)
+        ev.f <- nop;
+        ev.cancelled <- false;
+        ev.gen <- ev.gen + 1;
+        ev.next_free <- t.free;
+        t.free <- ev;
+        if fire then g ());
+    ev
+  end
+  else begin
+    t.free <- ev.next_free;
+    ev.next_free <- sentinel;
+    ev.f <- f;
+    ev
+  end
 
 let schedule t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %d is in the past (now %d)" at t.clock);
-  let ev = { f; cancelled = false } in
-  Heap.push t.queue ~key:at ~seq:t.seq ev;
-  t.seq <- t.seq + 1;
-  ev
+  let ev = alloc t f in
+  enqueue t ~at ev.run;
+  { h_ev = ev; h_gen = ev.gen }
 
 let schedule_after t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule t ~at:(Time.add t.clock delay) f
+  schedule t ~at:(t.clock + delay) f
 
-let cancel ev = ev.cancelled <- true
+let cancel h = if h.h_ev.gen = h.h_gen then h.h_ev.cancelled <- true
 let pending t = Heap.length t.queue
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (at, _, ev) ->
-      t.clock <- at;
-      if not ev.cancelled then ev.f ();
-      true
+  if Heap.is_empty t.queue then false
+  else begin
+    t.clock <- Heap.top_key t.queue;
+    let g = Heap.pop_top t.queue in
+    t.processed <- t.processed + 1;
+    g ();
+    true
+  end
 
 let run t = while step t do () done
 
 let run_until t deadline =
+  (* Open-coded [step] so the top key is read once per event. *)
+  let q = t.queue in
   let continue = ref true in
   while !continue do
-    match Heap.peek_key t.queue with
-    | Some k when k <= deadline -> ignore (step t)
-    | Some _ | None -> continue := false
+    if Heap.is_empty q then continue := false
+    else begin
+      let k = Heap.top_key q in
+      if k > deadline then continue := false
+      else begin
+        t.clock <- k;
+        let g = Heap.pop_top q in
+        t.processed <- t.processed + 1;
+        g ()
+      end
+    end
   done;
   if deadline > t.clock then t.clock <- deadline

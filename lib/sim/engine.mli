@@ -3,14 +3,22 @@
     Events are closures scheduled at absolute or relative simulated times.
     Events scheduled for the same instant execute in scheduling order, which
     makes runs deterministic for a given seed. The engine is single-threaded
-    and re-entrant: event handlers may schedule further events. *)
+    and re-entrant: event handlers may schedule further events.
+
+    Event records are pooled on a freelist: in steady state, scheduling
+    allocates nothing beyond the handler closure itself. Use the [_unit]
+    variants on hot paths where the event is never cancelled. *)
 
 type t
 
 type handle
-(** A cancellation handle for a scheduled event. *)
+(** A cancellation handle for a scheduled event. Handles are
+    generation-stamped: a handle kept after its event fired (or was
+    cancelled) is inert, even though the underlying record is recycled. *)
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] pre-sizes the event queue for [capacity]
+    simultaneous pending events (see {!Heap.create}). *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -23,6 +31,18 @@ val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] runs [f] [delay] after the current time.
     Negative delays raise [Invalid_argument]. *)
 
+val schedule_unit : t -> at:Time.t -> (unit -> unit) -> unit
+(** {!schedule} without a cancellation handle: the allocation-free fast
+    path for fire-and-forget events. *)
+
+val schedule_after_unit : t -> delay:Time.t -> (unit -> unit) -> unit
+(** {!schedule_after} without a cancellation handle. *)
+
+val schedule_imm : t -> (unit -> unit) -> unit
+(** [schedule_imm t f] runs [f] at the current instant, after every event
+    already scheduled for this instant (FIFO). Equivalent to
+    [schedule_unit t ~at:(now t) f] but skips the past-check. *)
+
 val cancel : handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
     no-op. *)
@@ -30,6 +50,10 @@ val cancel : handle -> unit
 val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     reaped). *)
+
+val processed : t -> int
+(** Total events executed (including cancelled ones reaped) since
+    creation. *)
 
 val run : t -> unit
 (** Run until the event queue drains. *)

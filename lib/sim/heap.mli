@@ -2,23 +2,52 @@
 
     Used as the event queue of the simulation {!Engine}: the primary key is
     the event time, the secondary key a sequence number guaranteeing FIFO
-    order among events scheduled for the same instant (determinism). *)
+    order among events scheduled for the same instant (determinism).
+
+    The implementation stores keys, sequence numbers and values in three
+    parallel flat arrays, so a push/pop cycle allocates nothing and backing
+    capacity survives {!clear}. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [create ?capacity ()] pre-sizes the backing arrays for [capacity]
+    elements (default 16) so a known-large event queue never re-pays the
+    growth sequence. *)
 
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
 val push : 'a t -> key:int -> seq:int -> 'a -> unit
-(** Insert an element with primary key [key] and tie-breaker [seq]. *)
+(** Insert an element with primary key [key] and tie-breaker [seq].
+    Allocation-free once the backing arrays have grown to fit. *)
 
 val pop : 'a t -> (int * int * 'a) option
 (** Remove and return the minimum [(key, seq, value)], or [None] if empty. *)
+
+val top_key : 'a t -> int
+(** Primary key of the minimum. Undefined on an empty heap — guard with
+    {!is_empty}. Allocation-free. *)
+
+val top_seq : 'a t -> int
+(** Tie-breaker of the minimum. Undefined on an empty heap. *)
+
+val top_val : 'a t -> 'a
+(** Value of the minimum, without removing it. Undefined on an empty
+    heap. *)
+
+val drop_top : 'a t -> unit
+(** Remove the minimum. Undefined on an empty heap. [top_key] /
+    [top_val] / [drop_top] together are the allocation-free equivalent of
+    {!pop}. *)
+
+val pop_top : 'a t -> 'a
+(** [top_val] and [drop_top] fused: remove and return the minimum's value.
+    Undefined on an empty heap. Allocation-free. *)
 
 val peek_key : 'a t -> int option
 (** The minimum primary key without removing it. *)
 
 val clear : 'a t -> unit
+(** Empty the heap, keeping the backing capacity for reuse. *)

@@ -1,0 +1,52 @@
+(* OCaml 5 domain pool for independent simulation trials.
+
+   Tasks are pure-by-construction closures (each builds its own engine,
+   network and RNGs from an explicit seed), so results are bit-identical
+   regardless of how many domains execute them: the result array is
+   indexed by task, not by completion order. SPEEDLIGHT_DOMAINS=1 turns
+   every run into plain sequential execution. *)
+
+let env_domains () =
+  match Sys.getenv_opt "SPEEDLIGHT_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+  | None -> None
+
+let default =
+  ref
+    (match env_domains () with
+    | Some n -> n
+    | None -> Stdlib.min 8 (Domain.recommended_domain_count ()))
+
+let default_domains () = !default
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Pool.set_default_domains: need at least one domain";
+  default := n
+
+let run ?domains (tasks : (unit -> 'a) array) : 'a array =
+  let domains = match domains with Some d -> Stdlib.max 1 d | None -> !default in
+  let n = Array.length tasks in
+  if domains = 1 || n <= 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else results.(i) <- Some (tasks.(i) ())
+      done
+    in
+    let spawned =
+      Array.init (Stdlib.min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function Some r -> r | None -> failwith "Pool.run: task produced no result")
+      results
+  end

@@ -1,0 +1,22 @@
+(** A domain pool for running independent simulation trials in parallel.
+
+    Each task must be self-contained: it builds its own {!Engine}, network
+    and RNGs from an explicit seed and shares no mutable state with other
+    tasks. Under that contract the results are bit-identical no matter how
+    many domains execute the tasks — the result array is ordered by task
+    index, never by completion order. *)
+
+val default_domains : unit -> int
+(** The process-wide default parallelism: [SPEEDLIGHT_DOMAINS] when set
+    (clamped to >= 1), otherwise [Domain.recommended_domain_count]
+    capped at 8. *)
+
+val set_default_domains : int -> unit
+(** Override the default (used by tests to compare 1-domain vs N-domain
+    runs). Raises [Invalid_argument] for values < 1. *)
+
+val run : ?domains:int -> (unit -> 'a) array -> 'a array
+(** [run tasks] executes every task and returns their results in task
+    order. [?domains] overrides the default; with 1 domain (or fewer than
+    two tasks) the tasks run sequentially on the calling domain with no
+    spawns. *)

@@ -1,0 +1,48 @@
+(* Growable circular FIFO buffer.
+
+   Used to thread objects through pre-allocated event closures: instead of
+   capturing a packet in a fresh closure per event, the producer pushes it
+   here and schedules a shared closure that pops it. Correct whenever the
+   events drain in the order they were scheduled — i.e. the associated
+   delay is constant per ring (FIFO by construction of the event heap).
+
+   Capacity is always a power of two so index wrapping is a mask, not a
+   division; this is on the per-event hot path of the simulator. *)
+
+type 'a t = {
+  mutable buf : 'a array;  (* length 0 until the first push *)
+  mutable mask : int;  (* Array.length buf - 1 *)
+  mutable head : int;
+  mutable len : int;
+}
+
+let create () = { buf = [||]; mask = -1; head = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.buf in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nb = Array.make ncap x in
+  for i = 0 to t.len - 1 do
+    Array.unsafe_set nb i (Array.unsafe_get t.buf ((t.head + i) land t.mask))
+  done;
+  t.buf <- nb;
+  t.mask <- ncap - 1;
+  t.head <- 0
+
+let push t x =
+  if t.len > t.mask then grow t x;
+  Array.unsafe_set t.buf ((t.head + t.len) land t.mask) x;
+  t.len <- t.len + 1
+
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Ring.pop_exn: empty";
+  let x = Array.unsafe_get t.buf t.head in
+  (* Overwrite the vacated slot so no shadow reference survives the pop —
+     popped objects may return to a pool and must not stay reachable. *)
+  Array.unsafe_set t.buf t.head
+    (Array.unsafe_get t.buf ((t.head + t.len - 1) land t.mask));
+  t.head <- (t.head + 1) land t.mask;
+  t.len <- t.len - 1;
+  x

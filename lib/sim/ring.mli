@@ -1,0 +1,21 @@
+(** Growable circular FIFO buffer.
+
+    The companion of pre-allocated event closures: a producer pushes an
+    object here and schedules a shared [unit -> unit] closure; the closure
+    pops its object back out. Sound whenever the associated events drain in
+    scheduling order — which the engine guarantees for any sequence of
+    events scheduled with a constant delay (monotone keys + FIFO
+    tie-breaking). Steady-state push/pop allocates nothing once the ring
+    has grown to the working depth. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop_exn : 'a t -> 'a
+(** Raises [Invalid_argument] on an empty ring. The vacated slot is
+    overwritten so the popped object is no longer reachable from the
+    ring. *)

@@ -12,8 +12,11 @@ let to_ms t = float_of_int t /. 1_000_000.
 let to_sec t = float_of_int t /. 1_000_000_000.
 let add = ( + )
 let sub = ( - )
-let max = Stdlib.max
-let min = Stdlib.min
+
+(* Monomorphic: [Stdlib.max]/[min] would go through polymorphic compare on
+   every call, and these sit on per-packet paths. *)
+let max (a : int) (b : int) = if a >= b then a else b
+let min (a : int) (b : int) = if a <= b then a else b
 let compare = Int.compare
 
 let pp fmt t =

@@ -13,15 +13,20 @@ let next_flow f =
 
 let send_flow ~engine ~rng ~send ~src ~dst ~flow_id ~n_pkts ~pkt_size ~gap
     ?(on_done = fun () -> ()) () =
-  let rec step remaining =
-    if remaining <= 0 then on_done ()
+  (* One mutable counter + one recursive closure for the whole flow: the
+     per-packet step schedules itself with the fire-and-forget fast path
+     instead of allocating a fresh closure and handle per packet. *)
+  let remaining = ref n_pkts in
+  let rec step () =
+    if !remaining <= 0 then on_done ()
     else begin
+      remaining := !remaining - 1;
       send ~src ~dst ~size:pkt_size ~flow_id;
       let delay = Time.of_ns_float (Float.max 0. (Dist.sample gap rng)) in
-      ignore (Engine.schedule_after engine ~delay (fun () -> step (remaining - 1)))
+      Engine.schedule_after_unit engine ~delay step
     end
   in
-  step n_pkts
+  step ()
 
 let poisson_stream ~engine ~rng ~send ~src ~dst ~flow_id ~rate_pps ~pkt_size ~until =
   if rate_pps <= 0. then invalid_arg "Traffic.poisson_stream: rate must be positive";
@@ -30,7 +35,7 @@ let poisson_stream ~engine ~rng ~send ~src ~dst ~flow_id ~rate_pps ~pkt_size ~un
     if Engine.now engine < until then begin
       send ~src ~dst ~size:pkt_size ~flow_id;
       let delay = Time.of_ns_float (Float.max 1. (Dist.sample gap rng)) in
-      ignore (Engine.schedule_after engine ~delay step)
+      Engine.schedule_after_unit engine ~delay step
     end
   in
   step ()

@@ -126,7 +126,7 @@ let mk_data_packet ~sid ~channel ~ghost uid =
   let p =
     Packet.create ~uid ~flow_id:1 ~src_host:0 ~dst_host:1 ~size:100 ~created:0 ()
   in
-  p.Packet.snap <- Some (Snapshot_header.data ~sid ~channel ~ghost_sid:ghost);
+  Packet.set_snap p ~sid ~channel ~ghost_sid:ghost;
   p
 
 let test_unit_initiation_advances () =
@@ -173,7 +173,7 @@ let test_unit_header_rewrite () =
   Snapshot_unit.process_initiation u ~now:0 ~sid:2 ~ghost_sid:2;
   let p = mk_data_packet ~sid:0 ~channel:1 ~ghost:0 0 in
   Snapshot_unit.process_packet u ~now:1 p;
-  (match p.Packet.snap with
+  (match Packet.snap p with
   | Some h -> Alcotest.(check int) "header rewritten to local sid" 2 h.Snapshot_header.sid
   | None -> Alcotest.fail "header missing")
 
@@ -183,7 +183,7 @@ let test_unit_headerless_gets_header () =
   let before = List.length !notifs in
   let p = Packet.create ~uid:9 ~flow_id:1 ~src_host:0 ~dst_host:1 ~size:64 ~created:0 () in
   Snapshot_unit.process_packet u ~now:1 p;
-  (match p.Packet.snap with
+  (match Packet.snap p with
   | Some h ->
       Alcotest.(check int) "attached at current sid" 3 h.Snapshot_header.sid
   | None -> Alcotest.fail "no header attached");

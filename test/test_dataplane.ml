@@ -19,7 +19,7 @@ let test_header_overhead () =
 let test_wire_size () =
   let p = mk_packet ~size:1000 () in
   Alcotest.(check int) "no header" 1000 (Packet.wire_size ~with_channel_state:true p);
-  p.Packet.snap <- Some (Snapshot_header.data ~sid:3 ~channel:1 ~ghost_sid:3);
+  Packet.set_snap p ~sid:3 ~channel:1 ~ghost_sid:3;
   Alcotest.(check int) "with header (CS)" 1008
     (Packet.wire_size ~with_channel_state:true p);
   Alcotest.(check int) "with header (no CS)" 1004
@@ -29,6 +29,35 @@ let test_packet_gen_unique () =
   let g = Packet.Gen.create () in
   let a = Packet.Gen.next_uid g and b = Packet.Gen.next_uid g in
   Alcotest.(check bool) "uids increase" true (b = a + 1)
+
+let test_packet_gen_recycle () =
+  let g = Packet.Gen.create () in
+  let p1 =
+    Packet.Gen.alloc g ~flow_id:1 ~src_host:0 ~dst_host:1 ~size:1500 ~cos:2
+      ~created:5
+  in
+  (* Dirty every mutable field a previous life could leave behind. *)
+  Packet.set_snap p1 ~sid:7 ~channel:3 ~ghost_sid:9;
+  p1.Packet.release_at <- 42;
+  let uid1 = p1.Packet.uid in
+  Packet.Gen.release g p1;
+  let p2 =
+    Packet.Gen.alloc g ~flow_id:2 ~src_host:1 ~dst_host:0 ~size:64 ~cos:0
+      ~created:6
+  in
+  Alcotest.(check bool) "same physical packet reused" true (p1 == p2);
+  Alcotest.(check bool) "no stale snapshot header" false p2.Packet.has_snap;
+  Alcotest.(check int) "wire size sees no stale header" 64
+    (Packet.wire_size ~with_channel_state:true p2);
+  Alcotest.(check int) "fresh uid" (uid1 + 1) p2.Packet.uid;
+  Alcotest.(check int) "release_at reset" 0 p2.Packet.release_at;
+  Alcotest.(check int) "fields rewritten" 2 p2.Packet.flow_id;
+  (* A second allocation while the freelist is empty must not alias. *)
+  let p3 =
+    Packet.Gen.alloc g ~flow_id:3 ~src_host:0 ~dst_host:1 ~size:100 ~cos:0
+      ~created:7
+  in
+  Alcotest.(check bool) "distinct live packets" true (not (p2 == p3))
 
 let test_header_constructors () =
   let d = Snapshot_header.data ~sid:5 ~channel:2 ~ghost_sid:5 in
@@ -236,6 +265,7 @@ let () =
           Alcotest.test_case "overhead" `Quick test_header_overhead;
           Alcotest.test_case "wire size" `Quick test_wire_size;
           Alcotest.test_case "uid gen" `Quick test_packet_gen_unique;
+          Alcotest.test_case "freelist recycle" `Quick test_packet_gen_recycle;
           Alcotest.test_case "constructors" `Quick test_header_constructors;
         ] );
       ( "register",

@@ -51,6 +51,19 @@ let test_fig9_shape () =
     (Cdf.max r.Fig9.with_cs >= Cdf.max r.Fig9.no_cs);
   Fig9.print null_fmt r
 
+(* The parallel-trials contract: every trial is seeded and self-contained,
+   so the figure must come out bit-identical no matter how many domains
+   execute it. *)
+let test_fig9_domain_determinism () =
+  let with_domains n f =
+    let prev = Speedlight_sim.Pool.default_domains () in
+    Speedlight_sim.Pool.set_default_domains n;
+    Fun.protect ~finally:(fun () -> Speedlight_sim.Pool.set_default_domains prev) f
+  in
+  let r1 = with_domains 1 (fun () -> Fig9.run ~quick:true ()) in
+  let r4 = with_domains 4 (fun () -> Fig9.run ~quick:true ()) in
+  Alcotest.(check bool) "1-domain and 4-domain runs bit-identical" true (r1 = r4)
+
 let test_fig13_shape () =
   let r = Fig13.run ~quick:true () in
   let n = Array.length r.Fig13.snap.Fig13.units in
@@ -97,6 +110,8 @@ let () =
           Alcotest.test_case "fig10 shape" `Slow test_fig10_shape;
           Alcotest.test_case "fig11 shape" `Quick test_fig11_shape;
           Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
+          Alcotest.test_case "fig9 domain determinism" `Slow
+            test_fig9_domain_determinism;
           Alcotest.test_case "fig13 shape" `Slow test_fig13_shape;
           Alcotest.test_case "ablation: initiator" `Slow test_ablation_initiator;
           Alcotest.test_case "ablation: notifications" `Slow test_ablation_notifications;

@@ -394,8 +394,7 @@ let test_tracker_loss_recovery_equivalence =
                   Packet.create ~uid:!uid ~flow_id:1 ~src_host:0 ~dst_host:1
                     ~size:100 ~created:0 ()
                 in
-                p.Packet.snap <-
-                  Some (Snapshot_header.data ~sid:e ~channel:ch ~ghost_sid:e);
+                Packet.set_snap p ~sid:e ~channel:ch ~ghost_sid:e;
                 Snapshot_unit.process_packet u ~now:!uid p)
           done
         done

@@ -405,7 +405,7 @@ let test_deliveries_and_headers_stripped () =
   let ls, net = make_testbed () in
   let bad_headers = ref 0 in
   Net.on_deliver net (fun ~host:_ pkt ->
-      if pkt.Packet.snap <> None then incr bad_headers);
+      if pkt.Packet.has_snap then incr bad_headers);
   start_uniform net ls ~until:(Time.ms 100);
   let _ =
     take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 20) ~count:2

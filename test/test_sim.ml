@@ -238,6 +238,50 @@ let test_heap_clear () =
   Alcotest.(check bool) "cleared" true (Heap.is_empty h);
   Alcotest.(check (option int)) "no peek" None (Heap.peek_key h)
 
+(* Model check: a random interleaving of pushes and pops, compared
+   element-for-element against a list kept sorted by (key, seq). This
+   exercises the FIFO tie-break among equal keys mid-stream (not just on
+   final drain), growth from a tiny initial capacity, and reuse of the
+   backing arrays across [clear]. *)
+let test_heap_model_property =
+  let cmp (k1, s1, _) (k2, s2, _) = compare (k1, s1) (k2, s2) in
+  QCheck.Test.make ~name:"heap matches (key, seq)-sorted model under push/pop mix"
+    ~count:300
+    QCheck.(list_of_size Gen.(0 -- 300) (pair bool (int_range 0 50)))
+    (fun ops ->
+      let h = Heap.create ~capacity:2 () in
+      let check_rounds round =
+        let model = ref [] and seq = ref 0 and ok = ref true in
+        List.iter
+          (fun (is_push, k) ->
+            if is_push then begin
+              (* Perturb keys across rounds so a reused backing array with
+                 stale contents would be caught. *)
+              let k = k + round in
+              Heap.push h ~key:k ~seq:!seq !seq;
+              model := List.merge cmp !model [ (k, !seq, !seq) ];
+              incr seq
+            end
+            else
+              match (Heap.pop h, !model) with
+              | None, [] -> ()
+              | Some (k', s', v'), (k, s, v) :: rest
+                when k' = k && s' = s && v' = v ->
+                  model := rest
+              | _ -> ok := false)
+          ops;
+        List.iter
+          (fun (k, s, v) ->
+            match Heap.pop h with
+            | Some (k', s', v') when k' = k && s' = s && v' = v -> ()
+            | _ -> ok := false)
+          !model;
+        let empty = Heap.is_empty h in
+        Heap.clear h;
+        !ok && empty
+      in
+      check_rounds 0 && check_rounds 1)
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -360,6 +404,7 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           q test_heap_sorted_property;
+          q test_heap_model_property;
         ] );
       ( "engine",
         [
