@@ -2,8 +2,17 @@
 
    Runs the paper's leaf–spine testbed at line rate with periodic
    snapshots and measures wall-clock packets/sec, events/sec and
-   snapshots/sec. Writes the numbers to BENCH_sim.json (override with
-   [-o PATH]) so the perf trajectory is tracked across PRs.
+   snapshots/sec — first serial, then with the topology sharded across
+   1/2/4/8 domains (the conservative parallel backend). Writes the
+   numbers to BENCH_sim.json (override with [-o PATH]) so the perf
+   trajectory is tracked across PRs.
+
+   The sharded entries record [serial_wall_s] and [speedup] relative to
+   the serial run of the same configuration, plus [identical]: whether
+   the sharded run's digest (all packet counts and snapshot reports)
+   matched the serial run byte for byte. Speedup above 1 requires real
+   cores; on a single-CPU machine the domains time-slice and the
+   barrier overhead shows up as speedup < 1.
 
    Modes: full (default, ~200 ms of simulated time) or quick
    ([--quick] or SPEEDLIGHT_QUICK=1, ~15 ms — a smoke test wired into
@@ -16,7 +25,7 @@ open Speedlight_workload
 open Speedlight_experiments
 
 type result = {
-  mode : string;
+  domains : int;
   sim_ms : int;
   wall_s : float;
   delivered : int;
@@ -27,25 +36,42 @@ type result = {
   packets_per_sec : float;
   events_per_sec : float;
   snapshots_per_sec : float;
+  digest : string;
 }
 
-let run ~quick =
+(* [fat_tree:false] is the paper's 4-switch leaf–spine testbed — the
+   headline throughput configuration benched since PR 1. The sharded
+   sweep instead uses a k=4 fat tree (20 switches): with only 4
+   switches a shard is a single switch and there is nothing to scale;
+   the fat tree gives each domain several switches of work per epoch. *)
+let run ~quick ~fat_tree ~domains =
   let sim_ms = if quick then 15 else 200 in
-  let rate_pps = 150_000. in
+  let rate_pps = if fat_tree then 50_000. else 150_000. in
   let interval_ms = 5 in
   let cfg = Config.default |> Config.with_seed 77 in
-  let ls, net = Common.make_testbed ~scaled:false ~cfg () in
+  let net, hosts =
+    if fat_tree then begin
+      let ft = Topology.fat_tree ~k:4 () in
+      ( Net.create ~cfg ~shards:domains ft.Topology.ft_topo,
+        Array.to_list ft.Topology.ft_hosts )
+    end
+    else begin
+      let host_link, fabric_link = Common.testbed_links ~scaled:false in
+      let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+      ( Net.create ~cfg ~shards:domains ls.Topology.topo,
+        Array.to_list ls.Topology.host_of_server )
+    end
+  in
   let engine = Net.engine net in
   let rng = Net.fresh_rng net in
   let fids = Traffic.flow_ids () in
-  let hosts = Array.to_list ls.Topology.host_of_server in
   let t_end = Time.ms sim_ms in
   Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
     ~rate_pps ~pkt_size:1500 ~until:t_end;
   (* Channels the workload never exercises must be excluded or no
-     snapshot can complete (§6); same warm-up step as fig9. *)
-  ignore
-    (Engine.schedule engine ~at:(Time.ms 4) (fun () -> Net.auto_exclude_idle net));
+     snapshot can complete (§6); same warm-up step as fig9. Scheduled as
+     a global action: it reads every switch at once. *)
+  Net.schedule_global net ~at:(Time.ms 4) (fun () -> Net.auto_exclude_idle net);
   let count = Stdlib.max 1 ((sim_ms - 5) / interval_ms) in
   let t0 = Unix.gettimeofday () in
   let sids =
@@ -61,7 +87,7 @@ let run ~quick =
       0
       (List.init (Topology.n_switches (Net.topology net)) (fun s -> s))
   in
-  let events = Engine.processed engine in
+  let events = Net.events net in
   let snapshots_complete =
     List.length
       (List.filter
@@ -72,7 +98,7 @@ let run ~quick =
          sids)
   in
   {
-    mode = (if quick then "quick" else "full");
+    domains = Net.n_shards net;
     sim_ms;
     wall_s;
     delivered;
@@ -83,9 +109,24 @@ let run ~quick =
     packets_per_sec = float_of_int delivered /. wall_s;
     events_per_sec = float_of_int events /. wall_s;
     snapshots_per_sec = float_of_int snapshots_complete /. wall_s;
+    digest = Common.run_digest net ~sids;
   }
 
-let to_json r =
+let sharded_entry ~base r =
+  Printf.sprintf
+    "    {\n\
+    \      \"domains\": %d,\n\
+    \      \"wall_s\": %.3f,\n\
+    \      \"serial_wall_s\": %.3f,\n\
+    \      \"speedup\": %.3f,\n\
+    \      \"events_per_sec\": %.0f,\n\
+    \      \"identical\": %b\n\
+    \    }"
+    r.domains r.wall_s base.wall_s (base.wall_s /. r.wall_s)
+    r.events_per_sec
+    (String.equal r.digest base.digest)
+
+let to_json ~mode ~serial ~base ~sharded =
   Printf.sprintf
     "{\n\
     \  \"mode\": %S,\n\
@@ -98,10 +139,13 @@ let to_json r =
     \  \"snapshots_complete\": %d,\n\
     \  \"packets_per_sec\": %.0f,\n\
     \  \"events_per_sec\": %.0f,\n\
-    \  \"snapshots_per_sec\": %.1f\n\
+    \  \"snapshots_per_sec\": %.1f,\n\
+    \  \"sharded\": [\n%s\n  ]\n\
      }\n"
-    r.mode r.sim_ms r.wall_s r.delivered r.forwarded r.events r.snapshots_taken
-    r.snapshots_complete r.packets_per_sec r.events_per_sec r.snapshots_per_sec
+    mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
+    serial.events serial.snapshots_taken serial.snapshots_complete
+    serial.packets_per_sec serial.events_per_sec serial.snapshots_per_sec
+    (String.concat ",\n" (List.map (sharded_entry ~base) sharded))
 
 let () =
   let quick =
@@ -112,13 +156,34 @@ let () =
   Array.iteri
     (fun i a -> if a = "-o" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1))
     Sys.argv;
-  let r = run ~quick in
-  let json = to_json r in
+  let serial = run ~quick ~fat_tree:false ~domains:1 in
+  (* The sharded sweep's baseline is its own 1-domain run (same k=4
+     fat-tree configuration), not the leaf-spine headline number. *)
+  let sweep = List.map (fun d -> run ~quick ~fat_tree:true ~domains:d) [ 1; 2; 4; 8 ] in
+  let base = List.hd sweep in
+  let json =
+    to_json ~mode:(if quick then "quick" else "full") ~serial ~base ~sharded:sweep
+  in
   let oc = open_out !out in
   output_string oc json;
   close_out oc;
   Printf.printf "%s" json;
   Printf.printf
     "macro [%s]: %.2fs wall | %.0f pkts/s | %.0f events/s | %.1f snapshots/s (%d/%d complete)\n"
-    r.mode r.wall_s r.packets_per_sec r.events_per_sec r.snapshots_per_sec
-    r.snapshots_complete r.snapshots_taken
+    (if quick then "quick" else "full")
+    serial.wall_s serial.packets_per_sec serial.events_per_sec
+    serial.snapshots_per_sec serial.snapshots_complete serial.snapshots_taken;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  sharded (fat tree k=4) d=%d: %.2fs wall | speedup %.2fx | identical=%b\n"
+        r.domains r.wall_s (base.wall_s /. r.wall_s)
+        (String.equal r.digest base.digest))
+    sweep;
+  (* Divergence between sharded and serial is a correctness bug, not a
+     perf regression: fail the run so CI catches it. *)
+  if List.exists (fun r -> not (String.equal r.digest base.digest)) sweep
+  then begin
+    prerr_endline "macro: sharded run diverged from serial";
+    exit 1
+  end

@@ -35,22 +35,29 @@ let create ?(profile = default_profile) ~rng engine =
 
 let profile t = t.profile
 
-let rec schedule_sync t clock =
+let rec schedule_sync t ~engine ~rng clock =
   let delay = t.profile.sync_interval in
   ignore
-    (Engine.schedule_after t.engine ~delay (fun () ->
-         let residual_ns = Dist.sample t.profile.residual t.rng in
-         Clock.apply_correction clock ~true_time:(Engine.now t.engine) ~residual_ns;
+    (Engine.schedule_after engine ~delay (fun () ->
+         let residual_ns = Dist.sample t.profile.residual rng in
+         Clock.apply_correction clock ~true_time:(Engine.now engine) ~residual_ns;
          (* Frequency error also wanders between rounds. *)
-         Clock.set_drift_ppm clock (Dist.sample t.profile.drift_ppm t.rng);
-         schedule_sync t clock))
+         Clock.set_drift_ppm clock (Dist.sample t.profile.drift_ppm rng);
+         schedule_sync t ~engine ~rng clock))
 
-let attach t clock =
-  Clock.set_drift_ppm clock (Dist.sample t.profile.drift_ppm t.rng);
-  Clock.apply_correction clock ~true_time:(Engine.now t.engine)
-    ~residual_ns:(Dist.sample t.profile.residual t.rng);
+(* Per-clock engine and RNG stream: each clock's sequence of corrections is
+   then a pure function of its own stream, independent of how sync events
+   of different clocks interleave globally — a prerequisite for running
+   clocks of different shards on different engines while keeping results
+   identical to the single-engine run. *)
+let attach_on t ~engine ~rng clock =
+  Clock.set_drift_ppm clock (Dist.sample t.profile.drift_ppm rng);
+  Clock.apply_correction clock ~true_time:(Engine.now engine)
+    ~residual_ns:(Dist.sample t.profile.residual rng);
   t.clocks <- clock :: t.clocks;
-  schedule_sync t clock
+  schedule_sync t ~engine ~rng clock
+
+let attach t clock = attach_on t ~engine:t.engine ~rng:t.rng clock
 
 let initiation_delay t ~rng =
   let j = Dist.sample t.profile.sched_jitter rng in

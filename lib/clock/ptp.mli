@@ -39,6 +39,13 @@ val attach : t -> Clock.t -> unit
 (** Register a clock with the domain. Its drift is (re)drawn from the
     profile and periodic corrections are scheduled on the engine. *)
 
+val attach_on : t -> engine:Engine.t -> rng:Rng.t -> Clock.t -> unit
+(** {!attach}, but with an explicit engine and a dedicated RNG stream for
+    this clock. With per-clock streams the correction sequence each clock
+    sees does not depend on how different clocks' sync events interleave,
+    so a sharded simulation (clocks split across engines) stays
+    bit-identical to a serial one. *)
+
 val initiation_delay : t -> rng:Rng.t -> Time.t
 (** One sample of scheduling jitter + CPU→ASIC latency: the lag between a
     control plane deciding to initiate and the data plane executing it. *)

@@ -20,7 +20,17 @@ let make_testbed ?(scaled = true) ?(cfg = Config.default) () =
 
 let sender net ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size ()
 
-let parallel_trials ?domains tasks = Pool.run ?domains tasks
+let parallel_trials ?domains ?(inner_domains = 1) tasks =
+  (* When each trial internally runs a sharded simulation with
+     [inner_domains] domains, cap the trial-level parallelism so the
+     total domain count never exceeds the pool budget
+     (SPEEDLIGHT_DOMAINS / Pool.set_default_domains): nested
+     oversubscription would thrash a small machine. *)
+  let domains =
+    let budget = match domains with Some d -> d | None -> Pool.default_domains () in
+    Stdlib.max 1 (budget / Stdlib.max 1 inner_domains)
+  in
+  Pool.run ~domains tasks
 
 let take_snapshots net ~start ~interval ~count ~run_until =
   let engine = Net.engine net in
@@ -31,8 +41,44 @@ let take_snapshots net ~start ~interval ~count ~run_until =
          ~at:(Time.add start (i * interval))
          (fun () -> sids := Net.take_snapshot net () :: !sids))
   done;
-  Engine.run_until engine run_until;
+  Net.run_until net run_until;
   List.rev !sids
+
+(* Canonical rendering of a finished run — every observable the snapshot
+   protocol produces, plus the packet-level totals — digested to a hex
+   string. Two runs are "the same run" iff their digests match; this is
+   what the serial-vs-sharded equivalence tests compare. *)
+let run_digest net ~sids =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "delivered=%d\n" (Net.delivered net);
+  let topo = Net.topology net in
+  for s = 0 to Topology.n_switches topo - 1 do
+    Printf.bprintf b "fwd[%d]=%d\n" s (Switch.total_forwarded (Net.switch net s))
+  done;
+  Printf.bprintf b "qdrops=%d ndrops=%d fifo=%d\n"
+    (Net.total_queue_drops net) (Net.total_notif_drops net)
+    (Net.total_fifo_violations net);
+  List.iter
+    (fun sid ->
+      match Net.result net ~sid with
+      | None -> Printf.bprintf b "sid=%d none\n" sid
+      | Some snap ->
+          Printf.bprintf b "sid=%d complete=%b consistent=%b timed_out=[%s]\n"
+            sid snap.Observer.complete snap.Observer.consistent
+            (String.concat "," (List.map string_of_int snap.Observer.timed_out));
+          Unit_id.Map.iter
+            (fun (u : Unit_id.t) (r : Report.t) ->
+              Printf.bprintf b "  %d/%d/%s v=%s ch=%h cons=%b inf=%b at=%d\n"
+                u.Unit_id.switch u.Unit_id.port
+                (match u.Unit_id.dir with Unit_id.Ingress -> "i" | Unit_id.Egress -> "e")
+                (match r.Report.value with
+                | None -> "-"
+                | Some v -> Printf.sprintf "%h" v)
+                r.Report.channel r.Report.consistent r.Report.inferred
+                r.Report.completed_at)
+            snap.Observer.reports)
+    sids;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 let snapshot_value (snap : Observer.snapshot) uid =
   match Unit_id.Map.find_opt uid snap.Observer.reports with

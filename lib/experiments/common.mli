@@ -19,13 +19,19 @@ val make_testbed :
 val sender : Net.t -> Speedlight_workload.Traffic.send
 (** Adapter from the workload generators to {!Net.send}. *)
 
-val parallel_trials : ?domains:int -> (unit -> 'a) array -> 'a array
+val parallel_trials :
+  ?domains:int -> ?inner_domains:int -> (unit -> 'a) array -> 'a array
 (** Run independent trial thunks on the {!Pool} domain pool and return
     their results in task order. Each thunk must build its own engine,
     network and RNGs from an explicit seed and share no mutable state
     with the others — under that contract the results are bit-identical
     for any domain count ([SPEEDLIGHT_DOMAINS=1] reproduces a sequential
-    run exactly). *)
+    run exactly).
+
+    [inner_domains] (default 1) declares how many domains each trial uses
+    internally (a sharded [Net.create ~shards]): trial-level parallelism
+    is then capped at [budget / inner_domains] so the total stays within
+    the pool budget ([SPEEDLIGHT_DOMAINS]) instead of oversubscribing. *)
 
 val take_snapshots :
   Net.t ->
@@ -39,6 +45,12 @@ val take_snapshots :
 
 val snapshot_value : Observer.snapshot -> Unit_id.t -> float option
 (** Consistent value of one unit in an assembled snapshot. *)
+
+val run_digest : Net.t -> sids:int list -> string
+(** Hex digest of every observable of a finished run: per-switch forward
+    counts, delivery/drop totals, and the full contents of every report of
+    every listed snapshot. Serial and sharded executions of the same
+    configuration must produce equal digests. *)
 
 val uplink_egress_units : Topology.leaf_spine -> (int * Unit_id.t list) list
 (** Per leaf switch, the egress units of its spine-facing ports — the

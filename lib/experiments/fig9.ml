@@ -30,8 +30,9 @@ let run_variant ~variant ~quick ~seed =
   let t_end = Time.add (Time.ms 30) (count * interval) in
   Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
     ~rate_pps:rate ~pkt_size:1500 ~until:t_end;
-  ignore
-    (Engine.schedule engine ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net));
+  (* A global action (reads every switch at once): in a sharded run it
+     executes between epochs with all domains quiesced. *)
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
   let sids =
     Common.take_snapshots net ~start:(Time.ms 20) ~interval ~count
       ~run_until:(Time.add t_end (Time.ms 100))

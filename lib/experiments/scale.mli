@@ -22,3 +22,29 @@ type result = point list
 
 val run : ?quick:bool -> ?seed:int -> unit -> result
 val print : Format.formatter -> result -> unit
+
+type sharded_point = {
+  sp_k : int;  (** fat-tree arity *)
+  sp_switches : int;
+  sp_domains : int;  (** shard / domain count of this run *)
+  sp_lookahead_us : float;  (** conservative lookahead (0 when serial) *)
+  sp_wall_s : float;  (** wall time of the simulation proper *)
+  sp_speedup : float;  (** 1-domain wall time / this wall time *)
+  sp_identical : bool;  (** run digest matches the 1-domain run *)
+}
+
+type sharded_result = sharded_point list
+
+val run_sharded :
+  ?quick:bool -> ?seed:int -> ?domain_counts:int list -> unit -> sharded_result
+(** The full protocol (traffic, clocks, snapshots) on k-ary fat trees
+    with the switch graph partitioned across domains
+    ({!Net.create}[ ~shards]). For every [k] the same seeded
+    configuration runs once per entry of [domain_counts] (default
+    [1; 2; 4]); each point reports wall time, speedup over the 1-domain
+    run, and whether the run digest is byte-identical to it — the
+    determinism contract of the sharded backend. Speedup above 1 needs
+    real cores: on a single-CPU machine the domains time-slice and the
+    interesting column is [sp_identical]. *)
+
+val print_sharded : Format.formatter -> sharded_result -> unit

@@ -35,6 +35,7 @@ type t = {
   notify_queue_capacity : int;
   init_drop_prob : float;
   report_latency : Time.t;
+  cmd_latency : Time.t;
   ptp : Ptp.profile;
   cp_poll_interval : Time.t option;
   observer_lead_time : Time.t;
@@ -59,6 +60,7 @@ let default =
     notify_queue_capacity = 512;
     init_drop_prob = 0.;
     report_latency = Time.us 50;
+    cmd_latency = Time.us 5;
     ptp = Ptp.default_profile;
     cp_poll_interval = None;
     observer_lead_time = Time.ms 1;

@@ -37,6 +37,11 @@ type t = {
   notify_queue_capacity : int;  (** socket receive buffer, notifications *)
   init_drop_prob : float;  (** loss of CPU->ingress initiation messages *)
   report_latency : Time.t;  (** control plane -> observer shipping *)
+  cmd_latency : Time.t;
+      (** observer -> control plane command delivery (initiate/resend RPCs
+          travel the management network, so they are messages with latency,
+          not function calls — which is also what lets a sharded simulation
+          route them across domains) *)
   ptp : Ptp.profile;
   cp_poll_interval : Time.t option;
       (** proactive register polling period ([None] = disabled) *)

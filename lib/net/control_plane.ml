@@ -25,12 +25,7 @@ let wrap_sid (cfg : Config.t) sid =
     Wrap.wrap ~max_sid:cfg.unit_cfg.Snapshot_unit.max_sid sid
   else sid
 
-let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~to_observer =
-  let report r =
-    ignore
-      (Engine.schedule_after engine ~delay:cfg.Config.report_latency (fun () ->
-           to_observer r))
-  in
+let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~report =
   let tracker =
     Cp_tracker.create
       ~channel_state:cfg.Config.unit_cfg.Snapshot_unit.channel_state

@@ -23,11 +23,12 @@ val create :
   inject:(port:int -> sid_wrapped:int -> ghost_sid:int -> unit) ->
   flood:(unit -> unit) ->
   ports:int list ->
-  to_observer:(Report.t -> unit) ->
+  report:(Report.t -> unit) ->
   t
 (** [inject] pushes an initiation into the data plane of one port (subject
-    to the initiation drop probability); [to_observer] is invoked after the
-    report shipping latency. *)
+    to the initiation drop probability); [report] is invoked the instant a
+    report is finalized — the caller models the shipping path to the
+    observer (latency, and cross-shard routing when sharded). *)
 
 val clock : t -> Clock.t
 val tracker : t -> Cp_tracker.t

@@ -4,26 +4,77 @@ open Speedlight_dataplane
 open Speedlight_core
 open Speedlight_topology
 
+(* ------------------------------------------------------------------ *)
+(* Sharded deployment layout.
+
+   The switch graph is partitioned into [n_shards] parts, each with its
+   own engine, packet pool and domain (see {!Speedlight_sim.Shard}). All
+   simulation state is owned by exactly one shard: a switch and its
+   control plane, clock and RNG streams live on the shard the partition
+   assigned; the observer, host NIC transmit state and the workload live
+   on shard 0. Every interaction that crosses entities is a *channel*
+   with a stable source id and a positive delay:
+
+     wire         switch -> peer switch   serialization + link latency
+     NIC          host sender -> switch   serialization + host link latency
+     notify       data plane -> own CP    notify_latency      (same shard)
+     cmd          observer -> CP          cmd_latency
+     report       CP -> observer          report_latency
+
+   Same-shard channel traffic is an ordinary source-tagged event;
+   cross-shard traffic goes through a per-(producer, consumer) mailbox
+   and is re-scheduled at the next epoch boundary. Because heap order is
+   (time, source, per-source sequence) and each channel has exactly one
+   producer, the re-scheduled events land in exactly the heap positions
+   they would have had on a single engine — which is what makes a
+   sharded run bit-identical to a serial one (shards = 1 uses the very
+   same code with every shard index equal to 0). *)
+(* ------------------------------------------------------------------ *)
+
+(* A receive-side channel: the in-flight FIFO of one directed link,
+   owned by the *receiving* shard. The sender pushes the packet and
+   schedules (or mails) the arrival event; arrival times on one channel
+   are strictly increasing, so ring order is event order. *)
+type rx_chan = {
+  rx_src : int;  (* stable source id of this channel's arrival events *)
+  rx_shard : int;
+  rx_ring : Packet.t Ring.t;
+  mutable rx_on : unit -> unit;  (* pops one packet, feeds the receiver *)
+}
+
+(* Cross-shard message: either a packet on a wire/NIC channel, or a
+   control message (observer command, control-plane report). *)
+type msg =
+  | Pkt of { chan : rx_chan; pkt : Packet.t; at : Time.t }
+  | Ctl of { c_src : int; c_at : Time.t; c_run : unit -> unit }
+
 (* Per-host transmit state, precomputed at creation so [send] does no
-   topology lookups on the hot path: the attachment point, the host link,
-   the NIC serialization horizon, and the arrival ring feeding the
-   pre-allocated NIC-arrival closure (arrival times are monotone per host
-   — NIC busy time only moves forward — so the ring is FIFO-correct). *)
+   topology lookups on the hot path. Owned by shard 0 (the workload
+   side); the receive end [rx] is owned by the attachment switch's
+   shard. *)
 type host_tx = {
-  attach_sw : int;
-  attach_port : int;
   link : Topology.link_spec;
   mutable busy_until : Time.t;
-  arrivals : Packet.t Ring.t;
-  mutable on_arrive : unit -> unit;
+  rx : rx_chan;
   (* Memoized NIC serialization time for the last packet size seen (the
      result is a pure function of the size). *)
   mutable last_size : int;
   mutable last_ser : Time.t;
 }
 
+(* A global action (sharded mode): runs with every domain quiesced and
+   every engine clock advanced to [g_at]; ordered by (g_at, g_seq). In
+   serial mode globals are ordinary events under source id 0, which
+   sorts before every other source at the same instant — the same
+   "before everything at its time" semantics. *)
+type global = { g_at : Time.t; g_seq : int; g_run : unit -> unit }
+
 type t = {
-  engine : Engine.t;
+  engines : Engine.t array;
+  n_shards : int;
+  shard_of : int array;  (* switch -> shard *)
+  lookahead : Time.t;  (* conservative window; 0 when n_shards = 1 *)
+  mailboxes : msg Mailbox.t array array;  (* [producer].[consumer] *)
   master_rng : Rng.t;
   topo : Topology.t;
   routing : Routing.t;
@@ -32,12 +83,20 @@ type t = {
   mutable cps : Control_plane.t array;
   obs : Observer.t;
   ptp : Ptp.t;
-  pktgen : Packet.Gen.t;
+  pktgens : Packet.Gen.t array;  (* one pool per shard *)
   host_txs : host_tx array;
   mutable deliver_cbs : (host:int -> Packet.t -> unit) list;
-  mutable delivered : int;
+  delivered : int array;  (* per shard, summed on read *)
   mutable next_flow : int;
+  mutable globals : global list;  (* pending, sorted; sharded mode only *)
+  mutable global_seq : int;
 }
+
+(* Reserved stable source ids; the rest are assigned in deterministic
+   construction order (per-port wire channels, per-switch cmd/report
+   channels, per-host NIC channels). *)
+let src_global = 0
+let first_free_src = 1
 
 (* Which internal (in_port -> out_port) channels the routing configuration
    can actually exercise, per switch. Unused channels never carry snapshot
@@ -80,21 +139,132 @@ let dp_access_of unit_ =
     read_last_seen = (fun () -> Snapshot_unit.last_seen unit_);
   }
 
-let create ?(cfg = Config.default) topo =
-  (* Pre-size the event queue: steady state holds a few events per port. *)
-  let engine = Engine.create ~capacity:1024 () in
+(* Undirected switch-switch edges, weighted by link propagation latency. *)
+let switch_edges topo =
+  let acc = ref [] in
+  for s = 0 to Topology.n_switches topo - 1 do
+    List.iter
+      (fun (p, s', _p') ->
+        if s < s' then
+          let lat =
+            match Topology.link_of topo ~switch:s ~port:p with
+            | Some l -> l.Topology.latency
+            | None -> 0
+          in
+          acc := (s, s', lat) :: !acc)
+      (Topology.switch_neighbors topo s)
+  done;
+  !acc
+
+(* The conservative window: the smallest delay any cross-shard
+   interaction can have. Candidates: cut wire links, host NIC links whose
+   attachment switch left shard 0, and the observer<->CP control channels
+   (which exist for every off-zero control plane). *)
+let compute_lookahead (cfg : Config.t) topo ~shard_of ~edges =
+  let cand = ref [] in
+  (match Partition.cross_lookahead ~assign:shard_of ~edges with
+  | Some l -> cand := l :: !cand
+  | None -> ());
+  for h = 0 to Topology.n_hosts topo - 1 do
+    let sw, port = Topology.host_attachment topo ~host:h in
+    if shard_of.(sw) <> 0 then
+      match Topology.link_of topo ~switch:sw ~port with
+      | Some l -> cand := l.Topology.latency :: !cand
+      | None -> ()
+  done;
+  if Array.exists (fun s -> s <> 0) shard_of then begin
+    cand := cfg.Config.cmd_latency :: !cand;
+    cand := cfg.Config.report_latency :: !cand
+  end;
+  match !cand with
+  | [] -> invalid_arg "Net.create: sharded run with no cross-shard interaction"
+  | l :: ls ->
+      let la = List.fold_left Time.min l ls in
+      if la <= 0 then
+        invalid_arg
+          "Net.create: sharding needs positive delay on every cross-shard \
+           channel (zero-latency cut link?)";
+      la
+
+(* Deliver a drained cross-shard message into consumer shard [j]. *)
+let deliver_msg engines j = function
+  | Pkt { chan; pkt; at } ->
+      Ring.push chan.rx_ring pkt;
+      Engine.schedule_src_unit engines.(j) ~src:chan.rx_src ~at chan.rx_on
+  | Ctl { c_src; c_at; c_run } ->
+      Engine.schedule_src_unit engines.(j) ~src:c_src ~at:c_at c_run
+
+let drain_shard t j =
+  (* Producer order is fixed (ascending shard id) so the drain sequence is
+     deterministic; per-source order only depends on the single producing
+     shard's own push order, which FIFO mailboxes preserve. *)
+  for p = 0 to t.n_shards - 1 do
+    if p <> j then Mailbox.drain t.mailboxes.(p).(j) (deliver_msg t.engines j)
+  done
+
+(* Route a control message to [shard] under stable source [src]. Producer
+   is the caller's shard ([from_shard]); same-shard messages schedule
+   directly. *)
+let post_ctl t ~from_shard ~shard ~src ~at run =
+  if from_shard = shard then Engine.schedule_src_unit t.engines.(shard) ~src ~at run
+  else Mailbox.push t.mailboxes.(from_shard).(shard) (Ctl { c_src = src; c_at = at; c_run = run })
+
+let create ?(cfg = Config.default) ?(shards = 1) topo =
+  let n_sw = Topology.n_switches topo in
+  let edges = switch_edges topo in
+  let shard_of =
+    if shards <= 1 then Array.make n_sw 0
+    else Partition.compute ~n_nodes:n_sw ~edges ~parts:shards
+  in
+  let n_shards = 1 + Array.fold_left Stdlib.max 0 shard_of in
+  let lookahead =
+    if n_shards = 1 then Time.zero
+    else compute_lookahead cfg topo ~shard_of ~edges
+  in
+  (* Pre-size the event queues: steady state holds a few events per port. *)
+  let engines = Array.init n_shards (fun _ -> Engine.create ~capacity:1024 ()) in
+  let engine0 = engines.(0) in
   let master_rng = Rng.create cfg.Config.seed in
   let routing = Routing.compute topo in
-  let n_sw = Topology.n_switches topo in
   let disabled = cfg.Config.snapshot_disabled_switches in
   let enabled s = not (List.mem s disabled) in
-  let pktgen = Packet.Gen.create () in
+  let pktgens = Array.init n_shards (fun _ -> Packet.Gen.create ()) in
+  let mailboxes =
+    Array.init n_shards (fun _ -> Array.init n_shards (fun _ -> Mailbox.create ()))
+  in
   let obs =
-    Observer.create ~engine ~lead_time:cfg.Config.observer_lead_time
+    Observer.create ~engine:engine0 ~lead_time:cfg.Config.observer_lead_time
       ~retry_timeout:cfg.Config.observer_retry_timeout
       ~max_retries:cfg.Config.observer_max_retries ()
   in
-  let ptp = Ptp.create ~profile:cfg.Config.ptp ~rng:(Rng.split master_rng) engine in
+  let ptp = Ptp.create ~profile:cfg.Config.ptp ~rng:(Rng.split master_rng) engine0 in
+  (* Stable source ids, assigned in fixed construction order so they are
+     identical for every shard count. *)
+  let next_src = ref first_free_src in
+  let fresh_src () =
+    let s = !next_src in
+    incr next_src;
+    s
+  in
+  (* Wire receive channels: one per switch-facing port, owned by the
+     receiving switch's shard. *)
+  let rx_chans =
+    Array.init n_sw (fun s ->
+        Array.init (Topology.ports topo s) (fun p ->
+            match Topology.peer_of topo ~switch:s ~port:p with
+            | Some (Topology.Switch_port _) ->
+                Some
+                  {
+                    rx_src = fresh_src ();
+                    rx_shard = shard_of.(s);
+                    rx_ring = Ring.create ();
+                    rx_on = ignore;
+                  }
+            | Some (Topology.Host_port _) | None -> None))
+  in
+  let cmd_src = Array.init n_sw (fun _ -> fresh_src ()) in
+  let report_src = Array.init n_sw (fun _ -> fresh_src ()) in
+  (* NIC arrival channels, owned by the attachment switch's shard. *)
   let host_txs =
     Array.init (Topology.n_hosts topo) (fun h ->
         let attach_sw, attach_port = Topology.host_attachment topo ~host:h in
@@ -103,20 +273,35 @@ let create ?(cfg = Config.default) topo =
           | Some l -> l
           | None -> failwith "Net.create: host link missing"
         in
+        ignore attach_port;
         {
-          attach_sw;
-          attach_port;
           link;
           busy_until = Time.zero;
-          arrivals = Ring.create ();
-          on_arrive = ignore;
+          rx =
+            {
+              rx_src = fresh_src ();
+              rx_shard = shard_of.(attach_sw);
+              rx_ring = Ring.create ();
+              rx_on = ignore;
+            };
           last_size = -1;
           last_ser = Time.zero;
         })
   in
+  (* Per-entity RNG streams, split in fixed order (switch-major): the
+     draw sequence each entity sees is then independent of how entities
+     on different shards interleave. *)
+  let selector_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
+  let notify_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
+  let cp_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
+  let clock_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
   let t =
     {
-      engine;
+      engines;
+      n_shards;
+      shard_of;
+      lookahead;
+      mailboxes;
       master_rng;
       topo;
       routing;
@@ -125,46 +310,94 @@ let create ?(cfg = Config.default) topo =
       cps = [||];
       obs;
       ptp;
-      pktgen;
+      pktgens;
       host_txs;
       deliver_cbs = [];
-      delivered = 0;
+      delivered = Array.make n_shards 0;
       next_flow = 1;
+      globals = [];
+      global_seq = 0;
     }
   in
   let utilized = compute_utilized topo routing in
-  (* Data planes. Built in ascending switch order: RNG splits must happen
-     in a deterministic sequence. *)
+  (* Data planes. *)
   let sw_acc = ref [] in
   for s = 0 to n_sw - 1 do
+    let shard = shard_of.(s) in
+    let eng = engines.(shard) in
+    let nrng = notify_rngs.(s) in
     let notify n =
-      (* DP -> CPU channel: latency plus possible loss. *)
-      if not (Rng.bernoulli t.master_rng cfg.Config.notify_drop_prob) then
-        Engine.schedule_after_unit engine ~delay:cfg.Config.notify_latency
-          (fun () -> Control_plane.deliver_notification t.cps.(s) n)
+      (* DP -> CPU channel: latency plus possible loss, always on the
+         switch's own shard. Loss is drawn from the switch's private
+         stream so the draw order is a shard-local property. *)
+      if not (Rng.bernoulli nrng cfg.Config.notify_drop_prob) then
+        Engine.schedule_after_unit eng ~delay:cfg.Config.notify_latency (fun () ->
+            Control_plane.deliver_notification t.cps.(s) n)
     in
-    let to_wire ~peer pkt =
-      match peer with
-      | Topology.Switch_port (s', p') -> Switch.receive t.switches.(s') ~port:p' pkt
-      | Topology.Host_port h ->
-          t.delivered <- t.delivered + 1;
-          List.iter (fun f -> f ~host:h pkt) t.deliver_cbs;
-          (* Delivered packets are linear: nothing downstream holds a
-             reference once the callbacks return, so recycle. *)
-          Packet.Gen.release t.pktgen pkt
+    let deliver_host ~host pkt =
+      t.delivered.(shard) <- t.delivered.(shard) + 1;
+      List.iter (fun f -> f ~host pkt) t.deliver_cbs;
+      (* Delivered packets are linear: nothing downstream holds a
+         reference once the callbacks return, so recycle into the
+         delivering shard's pool. *)
+      Packet.Gen.release t.pktgens.(shard) pkt
     in
     sw_acc :=
-      Switch.create ~id:s ~engine ~rng:(Rng.split master_rng) ~cfg ~topo ~routing
-        ~pktgen ~notify ~to_wire ~enabled:(enabled s)
+      Switch.create ~id:s ~engine:eng ~rng:selector_rngs.(s) ~cfg ~topo ~routing
+        ~pktgen:t.pktgens.(shard) ~notify ~deliver_host ~enabled:(enabled s)
       :: !sw_acc
   done;
   t.switches <- Array.of_list (List.rev !sw_acc);
+  (* Receive channels: pop one packet per arrival event and feed the
+     receiving switch. *)
+  for s = 0 to n_sw - 1 do
+    Array.iteri
+      (fun p chan ->
+        match chan with
+        | Some c ->
+            c.rx_on <-
+              (fun () ->
+                let pkt = Ring.pop_exn c.rx_ring in
+                Switch.receive t.switches.(s) ~port:p pkt)
+        | None -> ())
+      rx_chans.(s)
+  done;
+  Array.iteri
+    (fun h tx ->
+      let attach_sw, attach_port = Topology.host_attachment topo ~host:h in
+      tx.rx.rx_on <-
+        (fun () ->
+          let pkt = Ring.pop_exn tx.rx.rx_ring in
+          Switch.receive t.switches.(attach_sw) ~port:attach_port pkt))
+    t.host_txs;
+  (* Outbound wire hand-offs: same-shard peers schedule directly on the
+     receiver's engine; cut links go through the mailbox. *)
+  for s = 0 to n_sw - 1 do
+    List.iter
+      (fun (p, s', p') ->
+        match rx_chans.(s').(p') with
+        | Some chan ->
+            if shard_of.(s) = chan.rx_shard then
+              Switch.set_wire_out t.switches.(s) ~port:p (fun pkt ~arrival ->
+                  Ring.push chan.rx_ring pkt;
+                  Engine.schedule_src_unit engines.(chan.rx_shard)
+                    ~src:chan.rx_src ~at:arrival chan.rx_on)
+            else begin
+              let mb = mailboxes.(shard_of.(s)).(chan.rx_shard) in
+              Switch.set_wire_out t.switches.(s) ~port:p (fun pkt ~arrival ->
+                  Mailbox.push mb (Pkt { chan; pkt; at = arrival }))
+            end
+        | None -> failwith "Net.create: switch peer without receive channel")
+      (Topology.switch_neighbors topo s)
+  done;
   (* Control planes (only for snapshot-enabled switches' protocol duties,
      but every switch gets one so clocks/polling stay uniform). *)
   let cp_acc = ref [] in
   for s = 0 to n_sw - 1 do
+    let shard = shard_of.(s) in
+    let eng = engines.(shard) in
     let clock = Clock.create () in
-    Ptp.attach ptp clock;
+    Ptp.attach_on ptp ~engine:eng ~rng:clock_rngs.(s) clock;
     let ports = Switch.connected_ports t.switches.(s) in
     let cos_levels = cfg.Config.cos_levels in
     let specs =
@@ -225,18 +458,29 @@ let create ?(cfg = Config.default) topo =
       Switch.inject_initiation t.switches.(s) ~port ~sid_wrapped ~ghost_sid
     in
     let flood () = Switch.cp_broadcast t.switches.(s) in
+    let rsrc = report_src.(s) in
+    let report r =
+      (* CP -> observer shipping: a delayed message on the report channel
+         of this switch, landing on shard 0 where the observer lives. *)
+      let at = Time.add (Engine.now eng) cfg.Config.report_latency in
+      post_ctl t ~from_shard:shard ~shard:0 ~src:rsrc ~at (fun () ->
+          Observer.on_report t.obs r)
+    in
     cp_acc :=
-      Control_plane.create ~switch_id:s ~engine ~rng:(Rng.split master_rng) ~cfg
-        ~clock ~units:specs ~inject ~flood ~ports
-        ~to_observer:(fun r -> Observer.on_report obs r)
+      Control_plane.create ~switch_id:s ~engine:eng ~rng:cp_rngs.(s) ~cfg ~clock
+        ~units:specs ~inject ~flood ~ports ~report
       :: !cp_acc
   done;
   t.cps <- Array.of_list (List.rev !cp_acc);
-  (* Register snapshot-enabled devices with the observer. *)
+  (* Register snapshot-enabled devices with the observer. Initiation and
+     resend requests travel the observer -> CP command channel. *)
   for s = 0 to n_sw - 1 do
     if enabled s then begin
-      let unit_ids =
-        List.map Snapshot_unit.id (Switch.units t.switches.(s))
+      let unit_ids = List.map Snapshot_unit.id (Switch.units t.switches.(s)) in
+      let csrc = cmd_src.(s) and cshard = shard_of.(s) in
+      let send_cmd run =
+        let at = Time.add (Engine.now engine0) cfg.Config.cmd_latency in
+        post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at run
       in
       Observer.register_device obs
         {
@@ -244,24 +488,22 @@ let create ?(cfg = Config.default) topo =
           units = unit_ids;
           initiate =
             (fun ~sid ~fire_at ->
-              Control_plane.schedule_initiation t.cps.(s) ~sid ~fire_at_local:fire_at);
-          resend = (fun ~sid -> Control_plane.resend_initiation t.cps.(s) ~sid);
+              send_cmd (fun () ->
+                  Control_plane.schedule_initiation t.cps.(s) ~sid
+                    ~fire_at_local:fire_at));
+          resend =
+            (fun ~sid ->
+              send_cmd (fun () -> Control_plane.resend_initiation t.cps.(s) ~sid));
         }
     end
   done;
-  (* NIC-arrival closures, one per host, allocated once. *)
-  Array.iter
-    (fun tx ->
-      tx.on_arrive <-
-        (fun () ->
-          let pkt = Ring.pop_exn tx.arrivals in
-          Switch.receive t.switches.(tx.attach_sw) ~port:tx.attach_port pkt))
-    t.host_txs;
   t
 
-let engine t = t.engine
-let now t = Engine.now t.engine
-let run_until t deadline = Engine.run_until t.engine deadline
+let engine t = t.engines.(0)
+let now t = Engine.now t.engines.(0)
+let n_shards t = t.n_shards
+let shard_of_switch t s = t.shard_of.(s)
+let lookahead t = if t.n_shards = 1 then None else Some t.lookahead
 let topology t = t.topo
 let routing t = t.routing
 let cfg t = t.cfg
@@ -275,6 +517,39 @@ let fresh_flow_id t =
   t.next_flow <- f + 1;
   f
 
+(* Globals: run before every other event at their instant. Serial mode
+   realizes that with source id 0 (which sorts first); sharded mode keeps
+   a side list executed by the epoch driver with all domains parked. *)
+let schedule_global t ~at run =
+  if t.n_shards = 1 then
+    Engine.schedule_src_unit t.engines.(0) ~src:src_global ~at run
+  else begin
+    let g = { g_at = at; g_seq = t.global_seq; g_run = run } in
+    t.global_seq <- t.global_seq + 1;
+    let rec insert = function
+      | [] -> [ g ]
+      | g' :: rest ->
+          if (g.g_at, g.g_seq) < (g'.g_at, g'.g_seq) then g :: g' :: rest
+          else g' :: insert rest
+    in
+    t.globals <- insert t.globals
+  end
+
+let run_until t deadline =
+  if t.n_shards = 1 then Engine.run_until t.engines.(0) deadline
+  else
+    Shard.run_until ~engines:t.engines ~lookahead:t.lookahead ~deadline
+      ~drain:(fun j -> drain_shard t j)
+      ~next_global:(fun () ->
+        match t.globals with [] -> None | g :: _ -> Some g.g_at)
+      ~run_global:(fun () ->
+        match t.globals with
+        | [] -> invalid_arg "Net: no pending global action"
+        | g :: rest ->
+            t.globals <- rest;
+            g.g_run ())
+      ()
+
 let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
   if src = dst then invalid_arg "Net.send: src = dst";
   if dst < 0 || dst >= Array.length t.host_txs then
@@ -283,9 +558,11 @@ let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
     match flow_id with Some f -> f | None -> (src * 65_537) + dst
   in
   let tx = t.host_txs.(src) in
-  let tnow = now t in
+  (* The workload runs on shard 0; allocation comes from shard 0's pool
+     and the packet is recycled wherever it dies. *)
+  let tnow = Engine.now t.engines.(0) in
   let pkt =
-    Packet.Gen.alloc t.pktgen ~flow_id ~src_host:src ~dst_host:dst ~size ~cos
+    Packet.Gen.alloc t.pktgens.(0) ~flow_id ~src_host:src ~dst_host:dst ~size ~cos
       ~created:tnow
   in
   let start = if tnow >= tx.busy_until then tnow else tx.busy_until in
@@ -306,8 +583,14 @@ let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
   in
   tx.busy_until <- start + ser;
   let arrival = tx.busy_until + tx.link.Topology.latency in
-  Ring.push tx.arrivals pkt;
-  Engine.schedule_unit t.engine ~at:arrival tx.on_arrive
+  if tx.rx.rx_shard = 0 then begin
+    Ring.push tx.rx.rx_ring pkt;
+    Engine.schedule_src_unit t.engines.(0) ~src:tx.rx.rx_src ~at:arrival
+      tx.rx.rx_on
+  end
+  else
+    Mailbox.push t.mailboxes.(0).(tx.rx.rx_shard)
+      (Pkt { chan = tx.rx; pkt; at = arrival })
 
 let on_deliver t f =
   (* Delivery timing is now observable: stop short-circuiting the final
@@ -316,7 +599,11 @@ let on_deliver t f =
      eagerly. *)
   Array.iter (fun sw -> Switch.set_eager_host_delivery sw false) t.switches;
   t.deliver_cbs <- f :: t.deliver_cbs
-let delivered t = t.delivered
+
+let delivered t = Array.fold_left ( + ) 0 t.delivered
+
+let events t =
+  Array.fold_left (fun acc e -> acc + Engine.processed e) 0 t.engines
 
 let take_snapshot t ?at () = Observer.take_snapshot t.obs ?at ()
 let result t ~sid = Observer.result t.obs ~sid

@@ -13,13 +13,47 @@ open Speedlight_topology
 
 type t
 
-val create : ?cfg:Config.t -> Topology.t -> t
+val create : ?cfg:Config.t -> ?shards:int -> Topology.t -> t
 (** Build the deployment. Routing tables, utilized-channel exclusions (§6
-    "Ensuring liveness"), clocks and the observer are all set up here. *)
+    "Ensuring liveness"), clocks and the observer are all set up here.
+
+    [shards] > 1 partitions the switch graph ({!Speedlight_sim.Partition})
+    into that many shards, each with its own event engine and packet pool,
+    run on its own domain by {!run_until}. Every cross-shard interaction
+    has a positive delay, whose minimum (the {e lookahead}) sets the
+    conservative synchronization window. For a fixed config the results —
+    every packet count and snapshot report — are bit-identical to
+    [shards = 1]: event order is a pure function of (time, stable source
+    id, per-source sequence) in both modes. Requires positive latency on
+    all cut links. Raises [Invalid_argument] otherwise. *)
 
 val engine : t -> Engine.t
+(** Shard 0's engine — where the observer, host NICs and workload live.
+    Schedule workload/harness events here. With [shards = 1] this is the
+    only engine and [Engine.run_until] on it is equivalent to
+    {!run_until}; sharded nets must be driven through {!run_until}. *)
+
 val now : t -> Time.t
+
 val run_until : t -> Time.t -> unit
+(** Advance the whole deployment to a deadline. Serial ([shards = 1]):
+    runs the single engine. Sharded: spawns one domain per shard and runs
+    the conservative epoch loop ({!Speedlight_sim.Shard.run_until}); may
+    be called repeatedly with increasing deadlines. *)
+
+val n_shards : t -> int
+val shard_of_switch : t -> int -> int
+val lookahead : t -> Time.t option
+(** The conservative window of a sharded net; [None] when serial. *)
+
+val schedule_global : t -> at:Time.t -> (unit -> unit) -> unit
+(** Schedule an action that must observe the whole network at once (e.g.
+    {!auto_exclude_idle}): it runs before every other event at its
+    instant. Serial mode implements this as a source-0 event; sharded mode
+    runs it with all domains quiesced between epochs. In sharded mode call
+    it before {!run_until} (or from shard 0 with [at] at least a lookahead
+    in the future). *)
+
 val topology : t -> Topology.t
 val routing : t -> Routing.t
 val cfg : t -> Config.t
@@ -42,10 +76,16 @@ val fresh_flow_id : t -> int
 val on_deliver : t -> (host:int -> Packet.t -> unit) -> unit
 (** Subscribe to packet deliveries at hosts. The packet is recycled into
     the net's packet pool as soon as all callbacks return: read fields
-    during the callback, but do not retain the packet itself. *)
+    during the callback, but do not retain the packet itself. In a sharded
+    net the callback runs on the domain of the destination's attachment
+    switch — accumulate into per-host or otherwise shard-local state, and
+    do not call {!send} from it. *)
 
 val delivered : t -> int
 (** Total packets delivered to hosts. *)
+
+val events : t -> int
+(** Total events processed, summed over every shard's engine. *)
 
 (** {2 Snapshots} *)
 

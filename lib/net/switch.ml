@@ -15,7 +15,10 @@ type port_state = {
   mutable free_at : Time.t;
   link : Topology.link_spec;
   peer : Topology.peer;
-  (* Packets in flight on the outgoing link, FIFO by constant latency. *)
+  (* Host-bound packets in flight on the outgoing link, FIFO by constant
+     latency. Switch-bound packets instead go through [out] (below): the
+     in-flight state lives with the *receiving* port, which is what lets
+     the receiver sit on a different engine (shard) than this sender. *)
   wire : Packet.t Ring.t;
   (* Memoized serialization time: traffic on a port is dominated by one or
      two wire sizes, so cache the last (size -> time) computation. *)
@@ -25,6 +28,11 @@ type port_state = {
      the steady-state transmit loop schedules without allocating. *)
   mutable on_tx : unit -> unit;
   mutable on_wire_arrive : unit -> unit;
+  (* Hand-off for switch-bound packets, installed by {!set_wire_out} once
+     the whole net exists: receives the packet and its wire-arrival time
+     and delivers it to the peer port's receive channel (possibly across a
+     shard boundary). *)
+  mutable out : Packet.t -> arrival:Time.t -> unit;
 }
 
 type t = {
@@ -37,7 +45,7 @@ type t = {
   ports : port_state option array;
   enabled : bool;
   pktgen : Packet.Gen.t;
-  to_wire : peer:Topology.peer -> Packet.t -> unit;
+  deliver_host : host:int -> Packet.t -> unit;
   (* Per-host attachment, split into flat arrays so the per-packet
      forwarding decision is two loads instead of a call + tuple. *)
   attach_sw : int array;
@@ -193,27 +201,30 @@ let tx_fire t ps =
   t.forwarded <- t.forwarded + 1;
   let ser = serialization_time_cached t ps pkt in
   (match ps.peer with
-  | Topology.Host_port _ when t.eager_host_delivery ->
+  | Topology.Host_port h when t.eager_host_delivery ->
       Packet.clear_snap pkt;
-      t.to_wire ~peer:ps.peer pkt
-  | _ ->
+      t.deliver_host ~host:h pkt
+  | Topology.Host_port _ ->
       Ring.push ps.wire pkt;
       Engine.schedule_after_unit t.engine
         ~delay:(ser + ps.link.Topology.latency)
-        ps.on_wire_arrive);
+        ps.on_wire_arrive
+  | Topology.Switch_port _ ->
+      ps.out pkt ~arrival:(now + ser + ps.link.Topology.latency));
   ps.free_at <- now + ser;
   (* Either serve the next packet when the link frees up, or — when it has
      not yet cleared the pipeline — retry at its release. *)
   if not (Fifo_queue.is_empty ps.queue) then schedule_tx t ps
 
+(* Host-bound arrivals only: switch-bound packets travel via [ps.out]. *)
 let wire_arrive t ps =
   let pkt = Ring.pop_exn ps.wire in
-  (match ps.peer with
-  | Topology.Host_port _ ->
+  match ps.peer with
+  | Topology.Host_port h ->
       (* Remove the snapshot header before delivery to hosts (§5.1). *)
-      Packet.clear_snap pkt
-  | Topology.Switch_port _ -> ());
-  t.to_wire ~peer:ps.peer pkt
+      Packet.clear_snap pkt;
+      t.deliver_host ~host:h pkt
+  | Topology.Switch_port _ -> assert false
 
 let enqueue_egress t ~now ~in_port ~out_port pkt =
   let ps = port_state t out_port in
@@ -312,7 +323,15 @@ let inject_initiation t ~port ~sid_wrapped ~ghost_sid =
       Snapshot_unit.process_initiation ps.egress ~now:(Engine.now t.engine)
         ~sid:sid_wrapped ~ghost_sid)
 
-let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~to_wire ~enabled =
+let set_wire_out t ~port f =
+  let ps = port_state t port in
+  (match ps.peer with
+  | Topology.Switch_port _ -> ()
+  | Topology.Host_port _ ->
+      invalid_arg "Switch.set_wire_out: port faces a host");
+  ps.out <- f
+
+let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~deliver_host ~enabled =
   let n_ports = Topology.ports topo id in
   let n_hosts = Topology.n_hosts topo in
   let attach_sw = Array.make (Stdlib.max n_hosts 1) (-1) in
@@ -333,7 +352,7 @@ let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~to_wire ~enable
       ports = Array.make n_ports None;
       enabled;
       pktgen;
-      to_wire;
+      deliver_host;
       fib_setters = [];
       route_override = None;
       forwarded = 0;
@@ -381,6 +400,7 @@ let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~to_wire ~enable
             last_ser = Time.zero;
             on_tx = ignore;
             on_wire_arrive = ignore;
+            out = (fun _ ~arrival:_ -> failwith "Switch: wire out not installed");
           }
         in
         ps.on_tx <- (fun () -> tx_fire t ps);

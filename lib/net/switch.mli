@@ -24,12 +24,21 @@ val create :
   routing:Routing.t ->
   pktgen:Packet.Gen.t ->
   notify:(Notification.t -> unit) ->
-  to_wire:(peer:Topology.peer -> Packet.t -> unit) ->
+  deliver_host:(host:int -> Packet.t -> unit) ->
   enabled:bool ->
   t
-(** [to_wire] is invoked at the moment a packet finishes serialization and
-    propagation, with the receiving peer. [notify] receives raw data-plane
-    notifications (the caller models the DP→CPU channel). *)
+(** [deliver_host] sinks packets that finished propagation on a host-facing
+    port (snapshot header already stripped). [notify] receives raw
+    data-plane notifications (the caller models the DP→CPU channel).
+    Switch-facing ports do not deliver directly: install their hand-off
+    with {!set_wire_out} once every switch exists. *)
+
+val set_wire_out : t -> port:int -> (Packet.t -> arrival:Time.t -> unit) -> unit
+(** Install the outbound hand-off of a switch-facing port. The closure is
+    called at transmission time with the packet and its wire-arrival time
+    (transmit + serialization + propagation); it must get the packet to the
+    peer port's receive channel — directly for a same-shard peer, through a
+    cross-shard mailbox otherwise. *)
 
 val id : t -> int
 val enabled : t -> bool

@@ -43,6 +43,25 @@ val schedule_imm : t -> (unit -> unit) -> unit
     already scheduled for this instant (FIFO). Equivalent to
     [schedule_unit t ~at:(now t) f] but skips the past-check. *)
 
+(** {2 Source-tagged scheduling}
+
+    Events scheduled with a {e stable source id} are ordered, at equal
+    timestamps, by [(source id, per-source sequence)] rather than by the
+    global order in which the scheduling calls executed. Callers that
+    assign each logical entity (a switch, a channel, a control plane) a
+    fixed source id therefore get an event order that is a pure function
+    of the entities' own behavior — identical whether the simulation runs
+    on one event loop or is sharded across several with cross-shard
+    events re-injected at epoch boundaries. Anonymous events sort after
+    every source-tagged event at the same instant. Source ids must be in
+    [0, 2^20); per-source counts may not exceed 2^40. *)
+
+val schedule_src_unit : t -> src:int -> at:Time.t -> (unit -> unit) -> unit
+(** Fire-and-forget event tagged with stable source [src]. *)
+
+val schedule_src_after_unit : t -> src:int -> delay:Time.t -> (unit -> unit) -> unit
+(** Relative-time variant of {!schedule_src_unit}. *)
+
 val cancel : handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
     no-op. *)
@@ -64,3 +83,21 @@ val run_until : t -> Time.t -> unit
 
 val step : t -> bool
 (** Execute the single next event. Returns [false] if none remained. *)
+
+(** {2 Epoch primitives}
+
+    Building blocks for conservative parallel execution ({!Shard}): a
+    shard repeatedly runs all events strictly before a barrier-agreed
+    bound, leaving the clock at the last executed event so that arrivals
+    scheduled at or after the bound are never "in the past". *)
+
+val run_until_excl : t -> Time.t -> unit
+(** [run_until_excl t bound] processes events with time < [bound]. The
+    clock is left at the last executed event (not padded to [bound]). *)
+
+val next_key : t -> Time.t option
+(** Timestamp of the earliest pending event, if any. *)
+
+val advance_clock : t -> Time.t -> unit
+(** Pad the clock forward to a deadline (never backwards); used once at
+    the end of a sharded run to mirror {!run_until}'s final clock. *)

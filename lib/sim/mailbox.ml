@@ -1,0 +1,27 @@
+(* Single-producer / single-consumer mailbox for cross-shard handoff.
+
+   One mailbox exists per directed (producer shard -> consumer shard)
+   pair. The producer pushes during its compute phase; the consumer
+   drains between epoch barriers, while the producer is parked. The
+   barrier's atomic operations establish the happens-before edges, so the
+   underlying storage is a plain {!Ring} — no per-message atomics on the
+   hot path — and FIFO order is preserved exactly.
+
+   Per-channel FIFO: all messages of one logical channel (one directed
+   link of the topology) are produced by a single shard in nondecreasing
+   timestamp order, flow through this single FIFO, and are re-scheduled
+   by the consumer in drain order under the channel's stable source id —
+   so the receiving event queue sees them in exactly the order a serial
+   run would have. *)
+
+type 'a t = { ring : 'a Ring.t }
+
+let create () = { ring = Ring.create () }
+let length t = Ring.length t.ring
+let is_empty t = Ring.is_empty t.ring
+let push t x = Ring.push t.ring x
+
+let drain t f =
+  while not (Ring.is_empty t.ring) do
+    f (Ring.pop_exn t.ring)
+  done

@@ -1,0 +1,17 @@
+(** SPSC mailbox for cross-shard event handoff.
+
+    Safe under the {!Shard} epoch-barrier discipline only: one producer
+    domain pushes during compute phases, one consumer domain drains
+    between barriers. The barrier provides the memory fences; outside
+    that discipline this is an ordinary single-threaded FIFO. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** Pop every queued message in FIFO order. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

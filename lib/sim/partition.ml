@@ -1,0 +1,75 @@
+(* Deterministic topology partitioning for the sharded simulator.
+
+   Nodes (switches) are laid out in BFS order from node 0 (neighbors
+   visited in ascending id order, disconnected components appended in
+   ascending id order) and cut into [parts] contiguous, balanced chunks.
+   BFS order keeps densely connected neighborhoods together, so on the
+   regular fabrics we simulate (leaf–spine, fat trees) most links stay
+   shard-internal. The result is a pure function of the graph — no
+   randomness — so a given topology always shards the same way. *)
+
+let bfs_order ~n_nodes ~edges =
+  let adj = Array.make n_nodes [] in
+  List.iter
+    (fun (u, v, _w) ->
+      if u < 0 || u >= n_nodes || v < 0 || v >= n_nodes then
+        invalid_arg "Partition: edge endpoint out of range";
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
+  let seen = Array.make n_nodes false in
+  let order = Array.make n_nodes 0 in
+  let filled = ref 0 in
+  let q = Queue.create () in
+  for root = 0 to n_nodes - 1 do
+    if not seen.(root) then begin
+      seen.(root) <- true;
+      Queue.push root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        order.(!filled) <- u;
+        incr filled;
+        List.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              Queue.push v q
+            end)
+          adj.(u)
+      done
+    end
+  done;
+  order
+
+let compute ~n_nodes ~edges ~parts =
+  if n_nodes <= 0 then invalid_arg "Partition.compute: no nodes";
+  if parts <= 0 then invalid_arg "Partition.compute: need at least one part";
+  let parts = Stdlib.min parts n_nodes in
+  let order = bfs_order ~n_nodes ~edges in
+  let assign = Array.make n_nodes 0 in
+  (* Balanced contiguous chunks over the BFS order: the first
+     [n mod parts] chunks take the extra node. *)
+  let base = n_nodes / parts and extra = n_nodes mod parts in
+  let idx = ref 0 in
+  for p = 0 to parts - 1 do
+    let size = base + if p < extra then 1 else 0 in
+    for _ = 1 to size do
+      assign.(order.(!idx)) <- p;
+      incr idx
+    done
+  done;
+  assign
+
+let cross_lookahead ~assign ~edges =
+  List.fold_left
+    (fun acc (u, v, w) ->
+      if assign.(u) <> assign.(v) then
+        match acc with Some m when m <= w -> acc | _ -> Some w
+      else acc)
+    None edges
+
+let n_cross ~assign ~edges =
+  List.fold_left
+    (fun acc (u, v, _) -> if assign.(u) <> assign.(v) then acc + 1 else acc)
+    0 edges

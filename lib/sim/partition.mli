@@ -1,0 +1,19 @@
+(** Deterministic graph partitioning for sharded simulation.
+
+    Splits the switch graph into balanced, BFS-contiguous chunks so that
+    most links stay shard-internal, and computes the conservative
+    lookahead (minimum cross-shard link latency) a partition admits. *)
+
+val compute : n_nodes:int -> edges:(int * int * int) list -> parts:int -> int array
+(** [compute ~n_nodes ~edges ~parts] assigns each node a part in
+    [0, parts). Edges are [(u, v, weight)]; weights are ignored for the
+    cut itself. Deterministic: a pure function of the graph. [parts] is
+    clamped to [n_nodes]. *)
+
+val cross_lookahead : assign:int array -> edges:(int * int * int) list -> int option
+(** Minimum edge weight (link propagation latency, in time units) over
+    edges whose endpoints land in different parts; [None] when the cut is
+    empty. This bounds the conservative epoch window. *)
+
+val n_cross : assign:int array -> edges:(int * int * int) list -> int
+(** Number of cut edges (diagnostics). *)

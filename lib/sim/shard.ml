@@ -1,0 +1,196 @@
+(* Conservative parallel (BSP) driver for a set of per-shard engines.
+
+   Classic conservative PDES with link-latency lookahead: every
+   cross-shard interaction takes at least [lookahead] simulated time, so
+   once the global minimum pending timestamp is [m], no shard can receive
+   anything before [m + lookahead]. Each epoch therefore runs every shard
+   up to (exclusive) a barrier-agreed bound, exchanges the messages
+   produced, and recomputes the bound:
+
+     bound = min (m + lookahead, earliest global action, deadline + 1)
+
+   Global actions are rare control-plane events that must observe (and
+   may mutate) every shard at once — the serial engine runs them under
+   source id 0, before all other events at their instant; here worker 0
+   runs them alone between barriers, with every other domain parked, so
+   they see the same quiesced state.
+
+   The barrier spins briefly and then blocks on a condition variable.
+   Pure spinning would be fastest with a core per domain, but when
+   domains outnumber cores (SPEEDLIGHT_DOMAINS above the machine size, or
+   nested trial parallelism) a spinner burns its whole OS timeslice while
+   the domain everyone is waiting for sits unscheduled — epochs then cost
+   milliseconds of wall clock each. Plain fields written by worker 0
+   before its barrier arrival (bound, finished) are published to the
+   other workers by the barrier's atomic generation counter. Mailbox
+   traffic pushed during a compute phase is likewise published before the
+   consumer drains it one barrier later. *)
+
+module Barrier = struct
+  type t = {
+    n : int;
+    count : int Atomic.t;
+    gen : int Atomic.t;
+    mu : Mutex.t;
+    cv : Condition.t;
+    spin : int;
+  }
+
+  let create n =
+    {
+      n;
+      count = Atomic.make 0;
+      gen = Atomic.make 0;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      (* Only worth spinning at all if every domain can really run. *)
+      spin = (if n <= Domain.recommended_domain_count () then 2_000 else 0);
+    }
+
+  let wait t =
+    if t.n > 1 then begin
+      (* The generation read pins this round: it can only advance after
+         all [n] arrivals, and this domain has not arrived yet. *)
+      let gen = Atomic.get t.gen in
+      if Atomic.fetch_and_add t.count 1 = t.n - 1 then begin
+        Atomic.set t.count 0;
+        Mutex.lock t.mu;
+        Atomic.incr t.gen;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.mu
+      end
+      else begin
+        let spins = ref t.spin in
+        while Atomic.get t.gen = gen && !spins > 0 do
+          decr spins;
+          Domain.cpu_relax ()
+        done;
+        if Atomic.get t.gen = gen then begin
+          (* The releaser bumps [gen] and broadcasts under the same
+             mutex, so re-checking under it cannot lose the wakeup. *)
+          Mutex.lock t.mu;
+          while Atomic.get t.gen = gen do
+            Condition.wait t.cv t.mu
+          done;
+          Mutex.unlock t.mu
+        end
+      end
+    end
+end
+
+type state = {
+  engines : Engine.t array;
+  lookahead : Time.t;
+  deadline : Time.t;
+  drain : int -> unit;
+  next_global : unit -> Time.t option;
+  run_global : unit -> unit;
+  barrier : Barrier.t;
+  mutable bound : Time.t;
+  mutable finished : bool;
+  error : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+let min_key st =
+  Array.fold_left
+    (fun acc e ->
+      match Engine.next_key e with
+      | Some k -> ( match acc with Some m when m <= k -> acc | _ -> Some k)
+      | None -> acc)
+    None st.engines
+
+(* Worker 0, alone, with every other domain parked at the barrier. *)
+let coordinate st =
+  (* Run every global action that is now unreachable by ordinary events:
+     [tg <= m] means all events before [tg] have executed and none at
+     [tg] has (previous bounds never exceed a pending global's time), so
+     running it here matches the serial source-0-first order. Globals may
+     schedule into any engine — safe, the owners are parked. *)
+  let rec run_globals () =
+    match st.next_global () with
+    | Some tg
+      when tg <= st.deadline
+           && (match min_key st with Some m -> tg <= m | None -> true) ->
+        (* Serial globals execute with the clock at [tg]; every pending
+           event is >= tg, so padding all clocks forward is safe. *)
+        Array.iter (fun e -> Engine.advance_clock e tg) st.engines;
+        st.run_global ();
+        run_globals ()
+    | _ -> ()
+  in
+  run_globals ();
+  let m = min_key st in
+  let g = st.next_global () in
+  let live = function Some t -> t <= st.deadline | None -> false in
+  if not (live m || live g) then st.finished <- true
+  else begin
+    let b = st.deadline + 1 in
+    let b = match m with Some m -> Stdlib.min b (m + st.lookahead) | None -> b in
+    let b = match g with Some tg -> Stdlib.min b tg | None -> b in
+    st.bound <- b
+  end
+
+let worker st i =
+  (* A worker that raised keeps attending barriers (or its peers would
+     hang); worker 0 turns a recorded error into [finished] at the next
+     coordination point. *)
+  let dead = ref false in
+  let guard f =
+    if not !dead then
+      try f ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set st.error None (Some (e, bt)));
+        dead := true
+  in
+  let continue = ref true in
+  while !continue do
+    if i = 0 then begin
+      if Atomic.get st.error <> None then st.finished <- true
+      else
+        try coordinate st
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set st.error None (Some (e, bt)));
+          st.finished <- true
+    end;
+    Barrier.wait st.barrier;
+    if st.finished then begin
+      (* Mirror [Engine.run_until]'s final clock padding. *)
+      guard (fun () -> Engine.advance_clock st.engines.(i) st.deadline);
+      continue := false
+    end
+    else begin
+      guard (fun () -> Engine.run_until_excl st.engines.(i) st.bound);
+      Barrier.wait st.barrier;
+      (* All producers are parked: safe to drain this shard's inboxes. *)
+      guard (fun () -> st.drain i);
+      Barrier.wait st.barrier
+    end
+  done
+
+let run_until ~engines ~lookahead ~deadline ~drain ~next_global ~run_global () =
+  let n = Array.length engines in
+  if n = 0 then invalid_arg "Shard.run_until: no engines";
+  if lookahead <= 0 then
+    invalid_arg "Shard.run_until: lookahead must be positive";
+  let st =
+    {
+      engines;
+      lookahead;
+      deadline;
+      drain;
+      next_global;
+      run_global;
+      barrier = Barrier.create n;
+      bound = Time.zero;
+      finished = false;
+      error = Atomic.make None;
+    }
+  in
+  let spawned = Array.init (n - 1) (fun j -> Domain.spawn (fun () -> worker st (j + 1))) in
+  worker st 0;
+  Array.iter Domain.join spawned;
+  match Atomic.get st.error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()

@@ -1,0 +1,37 @@
+(** Conservative parallel execution of per-shard engines.
+
+    Runs one {!Engine} per shard, each on its own domain, synchronized by
+    an epoch barrier whose window is the cross-shard [lookahead] (the
+    minimum propagation delay of any cut link). Within an epoch every
+    shard executes events strictly before the agreed bound; between
+    epochs, cross-shard messages are drained from their mailboxes and
+    rare "global" actions run with all domains quiesced.
+
+    Determinism contract: provided every cross-shard interaction is
+    delayed by at least [lookahead] and all events use stable source ids
+    ({!Engine.schedule_src_unit}), the execution is bit-identical to
+    running the same model on a single engine. *)
+
+val run_until :
+  engines:Engine.t array ->
+  lookahead:Time.t ->
+  deadline:Time.t ->
+  drain:(int -> unit) ->
+  next_global:(unit -> Time.t option) ->
+  run_global:(unit -> unit) ->
+  unit ->
+  unit
+(** [run_until ~engines ~lookahead ~deadline ~drain ~next_global
+    ~run_global ()] processes every event with timestamp <= [deadline]
+    across all shards, then pads every engine clock to [deadline]
+    (mirroring {!Engine.run_until}).
+
+    [drain i] is called on shard [i]'s own domain, between barriers, and
+    must re-schedule all messages queued for shard [i]; [next_global]
+    peeks the earliest pending global action's time and [run_global]
+    executes it (called by worker 0 only, with all other domains parked
+    and every engine clock advanced to the action's time).
+
+    [lookahead] must be positive. With a single engine no domains are
+    spawned. An exception in any worker aborts the run and is re-raised
+    (with its backtrace) on the calling domain. *)

@@ -64,6 +64,47 @@ let test_fig9_domain_determinism () =
   let r4 = with_domains 4 (fun () -> Fig9.run ~quick:true ()) in
   Alcotest.(check bool) "1-domain and 4-domain runs bit-identical" true (r1 = r4)
 
+(* The sharded-simulation contract (DESIGN.md "Parallel simulation"): for
+   a fixed seed, partitioning the switch graph across domains must change
+   nothing observable — same packet counts, same snapshot reports, byte
+   for byte. Exercised on the fig9 testbed topology with real traffic,
+   auto-exclusion as a global action, and the full snapshot protocol. *)
+let sharded_testbed_digest ~shards ~seed =
+  let open Speedlight_sim in
+  let open Speedlight_net in
+  let open Speedlight_topology in
+  let open Speedlight_workload in
+  let cfg = Config.default |> Config.with_seed seed in
+  let host_link, fabric_link = Common.testbed_links ~scaled:true in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  let net = Net.create ~cfg ~shards ls.Topology.topo in
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
+    ~rate_pps:20_000. ~pkt_size:1500 ~until:(Time.ms 40);
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 6) ~count:5
+      ~run_until:(Time.ms 90)
+  in
+  (Common.run_digest net ~sids, Net.n_shards net)
+
+let test_sharded_equivalence () =
+  let d1, n1 = sharded_testbed_digest ~shards:1 ~seed:7 in
+  let d2, n2 = sharded_testbed_digest ~shards:2 ~seed:7 in
+  let d4, n4 = sharded_testbed_digest ~shards:4 ~seed:7 in
+  Alcotest.(check int) "serial" 1 n1;
+  Alcotest.(check int) "two shards" 2 n2;
+  Alcotest.(check int) "four shards" 4 n4;
+  Alcotest.(check string) "2 domains == serial" d1 d2;
+  Alcotest.(check string) "4 domains == serial" d1 d4;
+  (* A different seed must give a different run (the digest is not
+     degenerate). *)
+  let d1', _ = sharded_testbed_digest ~shards:1 ~seed:8 in
+  Alcotest.(check bool) "digest sensitive to the run" false (d1 = d1')
+
 let test_fig13_shape () =
   let r = Fig13.run ~quick:true () in
   let n = Array.length r.Fig13.snap.Fig13.units in
@@ -89,6 +130,21 @@ let test_ablation_notifications () =
     (r.Ablations.no_cs_per_snapshot > 20. && r.Ablations.no_cs_per_snapshot < 40.);
   Ablations.print_notifications null_fmt r
 
+let test_scale_sharded () =
+  let r = Scale.run_sharded ~quick:true () in
+  Alcotest.(check int) "three domain counts" 3 (List.length r);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d domains=%d digest matches serial" p.Scale.sp_k
+           p.Scale.sp_domains)
+        true p.Scale.sp_identical;
+      if p.Scale.sp_domains > 1 then
+        Alcotest.(check bool) "sharded runs have positive lookahead" true
+          (p.Scale.sp_lookahead_us > 0.))
+    r;
+  Scale.print_sharded null_fmt r
+
 let test_scale_extension () =
   let r = Scale.run ~quick:true () in
   List.iter
@@ -112,9 +168,12 @@ let () =
           Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
           Alcotest.test_case "fig9 domain determinism" `Slow
             test_fig9_domain_determinism;
+          Alcotest.test_case "sharded == serial (1/2/4 domains)" `Quick
+            test_sharded_equivalence;
           Alcotest.test_case "fig13 shape" `Slow test_fig13_shape;
           Alcotest.test_case "ablation: initiator" `Slow test_ablation_initiator;
           Alcotest.test_case "ablation: notifications" `Slow test_ablation_notifications;
           Alcotest.test_case "scale extension" `Slow test_scale_extension;
+          Alcotest.test_case "scale sharded (fat tree)" `Quick test_scale_sharded;
         ] );
     ]

@@ -360,6 +360,214 @@ let test_engine_step () =
   Alcotest.(check bool) "step consumes" true (Engine.step e);
   Alcotest.(check bool) "then empty" false (Engine.step e)
 
+(* Source-tagged events: at one instant the order is (source id,
+   per-source sequence), regardless of the order the scheduling calls
+   ran — the property the sharded backend relies on to make cross-shard
+   handoff order-independent. Anonymous events sort after every tagged
+   one. *)
+let test_engine_src_priority () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let tag v = log := v :: !log in
+  Engine.schedule_src_unit e ~src:2 ~at:10 (fun () -> tag "s2a");
+  Engine.schedule_unit e ~at:10 (fun () -> tag "anon1");
+  Engine.schedule_src_unit e ~src:0 ~at:10 (fun () -> tag "s0a");
+  Engine.schedule_src_unit e ~src:2 ~at:10 (fun () -> tag "s2b");
+  Engine.schedule_unit e ~at:10 (fun () -> tag "anon2");
+  Engine.schedule_src_unit e ~src:1 ~at:10 (fun () -> tag "s1a");
+  Engine.schedule_src_unit e ~src:0 ~at:10 (fun () -> tag "s0b");
+  Engine.run e;
+  Alcotest.(check (list string))
+    "(src, per-src seq) order, anonymous last"
+    [ "s0a"; "s0b"; "s1a"; "s2a"; "s2b"; "anon1"; "anon2" ]
+    (List.rev !log)
+
+(* The same source-tagged schedule, issued in two different call orders,
+   executes identically — scheduling order is not observable. *)
+let test_engine_src_call_order_independent () =
+  let run order =
+    let e = Engine.create () in
+    let log = ref [] in
+    List.iter
+      (fun (src, name) ->
+        Engine.schedule_src_unit e ~src ~at:50 (fun () -> log := name :: !log))
+      order;
+    Engine.run e;
+    List.rev !log
+  in
+  let a = run [ (3, "x"); (1, "y"); (2, "z") ] in
+  let b = run [ (2, "z"); (3, "x"); (1, "y") ] in
+  Alcotest.(check (list string)) "same execution order" a b
+
+let test_engine_src_earlier_time_wins () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_src_unit e ~src:0 ~at:20 (fun () -> log := "late-src0" :: !log);
+  Engine.schedule_unit e ~at:10 (fun () -> log := "early-anon" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time dominates source priority"
+    [ "early-anon"; "late-src0" ] (List.rev !log)
+
+let test_engine_run_until_excl () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~at:10 (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule e ~at:20 (fun () -> log := 20 :: !log));
+  ignore (Engine.schedule e ~at:30 (fun () -> log := 30 :: !log));
+  Engine.run_until_excl e 20;
+  Alcotest.(check (list int)) "strictly before the bound" [ 10 ] (List.rev !log);
+  Alcotest.(check int) "clock at last executed event, not the bound" 10
+    (Engine.now e);
+  Alcotest.(check (option int)) "bound event still pending" (Some 20)
+    (Engine.next_key e);
+  (* An arrival exactly at the previous bound is legal (not in the past),
+     and being source-tagged it runs before the anonymous event already
+     queued at the same instant. *)
+  Engine.schedule_src_unit e ~src:5 ~at:20 (fun () -> log := 21 :: !log);
+  Engine.run_until_excl e 31;
+  Alcotest.(check (list int)) "rest in order" [ 10; 21; 20; 30 ] (List.rev !log);
+  Engine.advance_clock e 40;
+  Alcotest.(check int) "advance_clock pads forward" 40 (Engine.now e);
+  Engine.advance_clock e 35;
+  Alcotest.(check int) "advance_clock never goes backwards" 40 (Engine.now e)
+
+(* ------------------------------------------------------------------ *)
+(* Partition *)
+
+(* A path graph 0-1-2-...-7: BFS-contiguous halves with the single cut
+   edge in the middle. *)
+let path_edges n w = List.init (n - 1) (fun i -> (i, i + 1, w i))
+
+let test_partition_path () =
+  let edges = path_edges 8 (fun _ -> 100) in
+  let assign = Partition.compute ~n_nodes:8 ~edges ~parts:2 in
+  Alcotest.(check (array int)) "contiguous halves" [| 0; 0; 0; 0; 1; 1; 1; 1 |] assign;
+  Alcotest.(check int) "one cut edge" 1 (Partition.n_cross ~assign ~edges);
+  Alcotest.(check (option int)) "lookahead = cut latency" (Some 100)
+    (Partition.cross_lookahead ~assign ~edges)
+
+let test_partition_balance () =
+  (* 10 nodes over 4 parts: sizes 3/3/2/2, every part non-empty. *)
+  let edges = path_edges 10 (fun _ -> 1) in
+  let assign = Partition.compute ~n_nodes:10 ~edges ~parts:4 in
+  let sizes = Array.make 4 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) assign;
+  Alcotest.(check (array int)) "balanced sizes" [| 3; 3; 2; 2 |] sizes
+
+let test_partition_clamp () =
+  let edges = path_edges 3 (fun _ -> 1) in
+  let assign = Partition.compute ~n_nodes:3 ~edges ~parts:8 in
+  Alcotest.(check int) "parts clamped to nodes" 2
+    (Array.fold_left Stdlib.max 0 assign);
+  Alcotest.(check (option int)) "single part has no cut" None
+    (Partition.cross_lookahead
+       ~assign:(Partition.compute ~n_nodes:3 ~edges ~parts:1)
+       ~edges)
+
+let test_partition_min_cut_weight () =
+  let edges = [ (0, 1, 50); (1, 2, 7); (2, 3, 50) ] in
+  let assign = [| 0; 0; 1; 1 |] in
+  Alcotest.(check (option int)) "min weight over the cut" (Some 7)
+    (Partition.cross_lookahead ~assign ~edges)
+
+let test_partition_deterministic () =
+  let edges =
+    [ (0, 1, 3); (1, 2, 4); (2, 3, 5); (3, 0, 6); (1, 3, 7); (4, 5, 8); (5, 0, 9) ]
+  in
+  let a = Partition.compute ~n_nodes:6 ~edges ~parts:3 in
+  let b = Partition.compute ~n_nodes:6 ~edges ~parts:3 in
+  Alcotest.(check (array int)) "pure function of the graph" a b
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let mb = Mailbox.create () in
+  Alcotest.(check bool) "fresh is empty" true (Mailbox.is_empty mb);
+  for i = 1 to 5 do
+    Mailbox.push mb i
+  done;
+  Alcotest.(check int) "length" 5 (Mailbox.length mb);
+  let out = ref [] in
+  Mailbox.drain mb (fun v -> out := v :: !out);
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4; 5 ] (List.rev !out);
+  Alcotest.(check bool) "drained" true (Mailbox.is_empty mb);
+  (* Reusable after a drain. *)
+  Mailbox.push mb 42;
+  let out = ref [] in
+  Mailbox.drain mb (fun v -> out := v :: !out);
+  Alcotest.(check (list int)) "reusable" [ 42 ] !out
+
+(* ------------------------------------------------------------------ *)
+(* Shard *)
+
+(* Two engines exchanging ping-pong messages through mailboxes under
+   Shard.run_until: every cross-shard message lands one lookahead later,
+   and a global action runs between epochs with both shards quiesced. *)
+let test_shard_ping_pong () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let boxes = [| Mailbox.create (); Mailbox.create () |] in
+  let log = ref [] in
+  let lookahead = 10 in
+  (* [send ~from_shard v] delivers [v] to the other shard's log one
+     lookahead later, via its mailbox. *)
+  let rec deliver shard (at, v) =
+    Engine.schedule_src_unit engines.(shard) ~src:1 ~at (fun () ->
+        log := (shard, at, v) :: !log;
+        if v < 6 then send ~from_shard:shard (v + 1))
+  and send ~from_shard v =
+    let dst = 1 - from_shard in
+    let at = Engine.now engines.(from_shard) + lookahead in
+    Mailbox.push boxes.(dst) (at, v)
+  in
+  deliver 0 (0, 0);
+  let globals = ref [ 25 ] in
+  let global_ran = ref [] in
+  Shard.run_until ~engines ~lookahead ~deadline:100
+    ~drain:(fun i -> Mailbox.drain boxes.(i) (fun m -> deliver i m))
+    ~next_global:(fun () -> match !globals with [] -> None | t :: _ -> Some t)
+    ~run_global:(fun () ->
+      match !globals with
+      | t :: rest ->
+          globals := rest;
+          (* Both shards are parked and their clocks advanced to [t]. *)
+          global_ran := (t, Engine.now engines.(0), Engine.now engines.(1)) :: !global_ran
+      | [] -> assert false)
+    ();
+  Alcotest.(check (list (triple int int int)))
+    "hops alternate shards, one lookahead apart"
+    [ (0, 0, 0); (1, 10, 1); (0, 20, 2); (1, 30, 3); (0, 40, 4); (1, 50, 5); (0, 60, 6) ]
+    (List.rev !log);
+  Alcotest.(check (list (triple int int int)))
+    "global ran once with both clocks at its instant" [ (25, 25, 25) ] !global_ran;
+  Alcotest.(check int) "clock 0 padded to deadline" 100 (Engine.now engines.(0));
+  Alcotest.(check int) "clock 1 padded to deadline" 100 (Engine.now engines.(1))
+
+let test_shard_error_propagates () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  Engine.schedule_unit engines.(1) ~at:5 (fun () -> failwith "boom");
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "boom")
+    (fun () ->
+      Shard.run_until ~engines ~lookahead:1 ~deadline:10
+        ~drain:(fun _ -> ())
+        ~next_global:(fun () -> None)
+        ~run_global:(fun () -> ())
+        ())
+
+let test_shard_lookahead_required () =
+  Alcotest.(check bool) "zero lookahead rejected" true
+    (try
+       Shard.run_until
+         ~engines:[| Engine.create () |]
+         ~lookahead:0 ~deadline:10
+         ~drain:(fun _ -> ())
+         ~next_global:(fun () -> None)
+         ~run_global:(fun () -> ())
+         ();
+       false
+     with Invalid_argument _ -> true)
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -415,5 +623,26 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "src priority" `Quick test_engine_src_priority;
+          Alcotest.test_case "src call-order independence" `Quick
+            test_engine_src_call_order_independent;
+          Alcotest.test_case "src vs time" `Quick test_engine_src_earlier_time_wins;
+          Alcotest.test_case "run_until_excl" `Quick test_engine_run_until_excl;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "path halves" `Quick test_partition_path;
+          Alcotest.test_case "balance" `Quick test_partition_balance;
+          Alcotest.test_case "clamp" `Quick test_partition_clamp;
+          Alcotest.test_case "min cut weight" `Quick test_partition_min_cut_weight;
+          Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
+        ] );
+      ( "mailbox",
+        [ Alcotest.test_case "fifo" `Quick test_mailbox_fifo ] );
+      ( "shard",
+        [
+          Alcotest.test_case "ping-pong epochs" `Quick test_shard_ping_pong;
+          Alcotest.test_case "error propagation" `Quick test_shard_error_propagates;
+          Alcotest.test_case "lookahead required" `Quick test_shard_lookahead_required;
         ] );
     ]
