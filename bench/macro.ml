@@ -126,7 +126,35 @@ let sharded_entry ~base r =
     r.events_per_sec
     (String.equal r.digest base.digest)
 
-let to_json ~mode ~serial ~base ~sharded =
+(* Quick chaos probe: the fault-injection sweep at three intensities,
+   with the cut auditor attached. Tracks how robust the protocol is to
+   loss/crashes across PRs; any false-consistent snapshot fails the
+   bench (a safety bug, not a perf number). *)
+let chaos_intensities = [ 0.; 0.5; 1. ]
+
+let run_chaos ~quick =
+  List.map
+    (fun i -> Chaos.run_point ~quick ~seed:101 ~intensity:i ())
+    chaos_intensities
+
+let chaos_entry (p : Chaos.point) =
+  Printf.sprintf
+    "    {\n\
+    \      \"intensity\": %.2f,\n\
+    \      \"completion_rate\": %.3f,\n\
+    \      \"consistent_rate\": %.3f,\n\
+    \      \"mean_retries\": %.3f,\n\
+    \      \"staleness_us\": %.1f,\n\
+    \      \"injected_drops\": %d,\n\
+    \      \"false_consistent\": %d\n\
+    \    }"
+    p.Chaos.intensity p.Chaos.completion_rate p.Chaos.consistent_rate
+    p.Chaos.mean_retries
+    (if Float.is_nan p.Chaos.mean_staleness_us then -1.
+     else p.Chaos.mean_staleness_us)
+    p.Chaos.injected_drops p.Chaos.false_consistent
+
+let to_json ~mode ~serial ~base ~sharded ~chaos =
   Printf.sprintf
     "{\n\
     \  \"mode\": %S,\n\
@@ -140,12 +168,14 @@ let to_json ~mode ~serial ~base ~sharded =
     \  \"packets_per_sec\": %.0f,\n\
     \  \"events_per_sec\": %.0f,\n\
     \  \"snapshots_per_sec\": %.1f,\n\
-    \  \"sharded\": [\n%s\n  ]\n\
+    \  \"sharded\": [\n%s\n  ],\n\
+    \  \"chaos\": [\n%s\n  ]\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
     serial.events serial.snapshots_taken serial.snapshots_complete
     serial.packets_per_sec serial.events_per_sec serial.snapshots_per_sec
     (String.concat ",\n" (List.map (sharded_entry ~base) sharded))
+    (String.concat ",\n" (List.map chaos_entry chaos))
 
 let () =
   let quick =
@@ -161,8 +191,11 @@ let () =
      fat-tree configuration), not the leaf-spine headline number. *)
   let sweep = List.map (fun d -> run ~quick ~fat_tree:true ~domains:d) [ 1; 2; 4; 8 ] in
   let base = List.hd sweep in
+  let chaos = run_chaos ~quick in
   let json =
-    to_json ~mode:(if quick then "quick" else "full") ~serial ~base ~sharded:sweep
+    to_json
+      ~mode:(if quick then "quick" else "full")
+      ~serial ~base ~sharded:sweep ~chaos
   in
   let oc = open_out !out in
   output_string oc json;
@@ -185,5 +218,20 @@ let () =
   if List.exists (fun r -> not (String.equal r.digest base.digest)) sweep
   then begin
     prerr_endline "macro: sharded run diverged from serial";
+    exit 1
+  end;
+  List.iter
+    (fun (p : Chaos.point) ->
+      Printf.printf
+        "  chaos i=%.2f: complete %.0f%% | consistent %.0f%% | retries/snap %.2f | false-consistent %d\n"
+        p.Chaos.intensity
+        (100. *. p.Chaos.completion_rate)
+        (100. *. p.Chaos.consistent_rate)
+        p.Chaos.mean_retries p.Chaos.false_consistent)
+    chaos;
+  (* A snapshot certified wrong by the auditor is a protocol safety bug:
+     fail loudly, same as a sharded divergence. *)
+  if Chaos.has_false_consistent chaos then begin
+    prerr_endline "macro: chaos audit found a false-consistent snapshot";
     exit 1
   end

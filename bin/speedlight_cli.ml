@@ -77,6 +77,15 @@ let run_ablations quick seed =
       Ablations.print_notifications fmt (Ablations.run_notifications ~quick ?seed ());
       Ablations.print_marker_overhead fmt (Ablations.run_marker_overhead ()))
 
+let run_chaos quick seed csv =
+  let failed = ref false in
+  timed "chaos" (fun () ->
+      let r = Chaos.run ~quick ?seed () in
+      Chaos.print fmt r;
+      Option.iter (fun dir -> Export.chaos ~dir r) (ensure_dir csv);
+      failed := Chaos.has_false_consistent r);
+  if !failed then exit 3
+
 let run_scale quick seed csv =
   timed "scale" (fun () ->
       let r = Scale.run ~quick ?seed () in
@@ -130,6 +139,14 @@ let ablations_cmd =
     (Cmd.info "ablations" ~doc:"Design ablations: initiators, notification volume")
     Term.(const run_ablations $ quick_arg $ seed_arg)
 
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+        "Fault-injection sweep with an independent cut auditor; exits 3 if \
+         any snapshot labeled consistent fails the audit")
+    Term.(const run_chaos $ quick_arg $ seed_arg $ csv_arg)
+
 let scale_cmd =
   Cmd.v
     (Cmd.info "scale"
@@ -145,7 +162,8 @@ let all_cmd =
     run_fig12 quick seed csv None;
     run_fig13 quick seed csv;
     run_ablations quick seed;
-    run_scale quick seed csv
+    run_scale quick seed csv;
+    run_chaos quick seed csv
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table/figure reproduction in sequence")
@@ -159,5 +177,5 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
-            ablations_cmd; scale_cmd; all_cmd;
+            ablations_cmd; scale_cmd; chaos_cmd; all_cmd;
           ]))

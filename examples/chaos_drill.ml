@@ -1,0 +1,125 @@
+(* Chaos drill: flap a fabric link and crash a control plane in the
+   middle of a snapshot campaign, then let the independent cut auditor
+   judge every outcome.
+
+   The point of the drill: Speedlight under faults may return snapshots
+   late, incomplete, or flagged inconsistent — but never a snapshot that
+   claims to be a consistent cut and is not. The auditor re-derives each
+   cut from the ground-truth exchange trace and certifies (or refutes)
+   every label the observer produced.
+
+   Run with: dune exec examples/chaos_drill.exe *)
+
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+open Speedlight_faults
+open Speedlight_verify
+
+let () =
+  let cfg =
+    Config.default
+    |> Config.with_counter Config.Packet_count
+    |> Config.with_seed 42
+  in
+  let ls = Topology.leaf_spine () in
+  let net = Net.create ~cfg ls.Topology.topo in
+  let rng = Net.fresh_rng net in
+
+  (* Line-rate-ish uniform traffic across all six servers. *)
+  let t_end = Time.ms 80 in
+  let send ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size () in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng ~send
+    ~fids:(Traffic.flow_ids ())
+    ~hosts:(Array.to_list ls.Topology.host_of_server)
+    ~rate_pps:40_000. ~pkt_size:1500 ~until:t_end;
+  Net.schedule_global net ~at:(Time.ms 8) (fun () -> Net.auto_exclude_idle net);
+
+  (* The drill: at 30 ms one leaf uplink goes dark for 6 ms; at 42 ms
+     leaf 0's control plane crashes, losing its queued notifications and
+     soft state, and restarts 5 ms later with a register re-sync. *)
+  let leaf0 =
+    match ls.Topology.uplink_ports with
+    | (l, _) :: _ -> l
+    | _ -> assert false
+  in
+  let leaf1, up1 =
+    match ls.Topology.uplink_ports with
+    | _ :: (l, p :: _) :: _ -> (l, p)
+    | _ -> assert false
+  in
+  let plan =
+    {
+      Faults.seed = 7;
+      events =
+        [
+          { Faults.at = Time.ms 30; action = Faults.Link_down { switch = leaf1; port = up1 } };
+          { Faults.at = Time.ms 36; action = Faults.Link_up { switch = leaf1; port = up1 } };
+          { Faults.at = Time.ms 42; action = Faults.Cp_crash { switch = leaf0 } };
+          { Faults.at = Time.ms 47; action = Faults.Cp_restart { switch = leaf0 } };
+        ];
+    }
+  in
+  let auditor = Verify.attach net in
+  let faults = Faults.install ~net plan in
+
+  (* One snapshot every 4 ms, straddling both faults. *)
+  let sids = ref [] in
+  List.iteri
+    (fun k () ->
+      ignore
+        (Engine.schedule (Net.engine net)
+           ~at:(Time.add (Time.ms 12) (k * Time.ms 4))
+           (fun () ->
+             match Net.try_take_snapshot net () with
+             | Ok sid -> sids := sid :: !sids
+             | Error _ -> ())))
+    (List.init 15 (fun _ -> ()));
+  Net.run_until net (Time.add t_end (Time.ms 60));
+  let sids = List.rev !sids in
+
+  Format.printf "fault plan (%d/%d events fired):@."
+    (Faults.fired_count faults)
+    (List.length plan.Faults.events);
+  List.iter
+    (fun (ev, fired) ->
+      Format.printf "  %a @@ %.1f ms -> %s@." Faults.pp_action ev.Faults.action
+        (float_of_int ev.Faults.at /. 1e6)
+        (match fired with
+        | Some t -> Printf.sprintf "fired at %.1f ms" (float_of_int t /. 1e6)
+        | None -> "never fired"))
+    (Faults.firings faults);
+  Format.printf "injected drops: %d | notification losses: %d@.@."
+    (Net.injected_drops net) (Net.total_notif_drops net);
+
+  Format.printf "audited snapshot outcomes:@.";
+  let obs = Net.observer net in
+  List.iter
+    (fun sid ->
+      let label =
+        match Net.result net ~sid with
+        | Some s when s.Observer.complete && s.Observer.consistent ->
+            "consistent"
+        | Some s when s.Observer.complete -> "inconsistent"
+        | Some _ | None -> "incomplete"
+      in
+      let stale =
+        match Observer.staleness obs ~sid with
+        | Some t -> Printf.sprintf "%5.0f us" (Time.to_us t)
+        | None -> "      -"
+      in
+      Format.printf "  sid %2d  %-12s staleness %s  audit: %a@." sid label
+        stale Verify.pp_verdict
+        (Verify.audit_one auditor ~sid))
+    sids;
+
+  let a = Verify.audit auditor ~sids in
+  Format.printf "@.%a@." Verify.pp_audit a;
+  if Verify.ok a then
+    Format.printf "no snapshot lied about being a consistent cut.@."
+  else begin
+    Format.printf "AUDIT FAILURE: a consistent label was wrong.@.";
+    exit 1
+  end

@@ -36,3 +36,17 @@ val apply_correction : t -> true_time:Time.t -> residual_ns:float -> unit
 val set_drift_ppm : t -> float -> unit
 
 val drift_ppm : t -> float
+
+(** {2 Fault hooks} *)
+
+val step : t -> delta_ns:float -> unit
+(** Instantaneously shift the clock's absolute offset by [delta_ns] — a
+    PTP time-step fault (e.g. a grandmaster change). The error persists
+    until the next successful synchronization round. *)
+
+val set_holdover : t -> bool -> unit
+(** While in holdover, synchronization rounds are skipped ({!Ptp} checks
+    this flag): the offset and drift at entry keep free-running, so error
+    accumulates at [drift_ppm] until holdover ends. *)
+
+val holdover : t -> bool

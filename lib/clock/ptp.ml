@@ -39,10 +39,17 @@ let rec schedule_sync t ~engine ~rng clock =
   let delay = t.profile.sync_interval in
   ignore
     (Engine.schedule_after engine ~delay (fun () ->
-         let residual_ns = Dist.sample t.profile.residual rng in
-         Clock.apply_correction clock ~true_time:(Engine.now engine) ~residual_ns;
-         (* Frequency error also wanders between rounds. *)
-         Clock.set_drift_ppm clock (Dist.sample t.profile.drift_ppm rng);
+         (* Holdover (fault injection): the sync round is skipped entirely —
+            the clock free-runs and error keeps accumulating. The RNG is
+            deliberately NOT advanced: each clock's stream then stays a pure
+            function of the number of successful rounds, the same in serial
+            and sharded runs. *)
+         if not (Clock.holdover clock) then begin
+           let residual_ns = Dist.sample t.profile.residual rng in
+           Clock.apply_correction clock ~true_time:(Engine.now engine) ~residual_ns;
+           (* Frequency error also wanders between rounds. *)
+           Clock.set_drift_ppm clock (Dist.sample t.profile.drift_ppm rng)
+         end;
          schedule_sync t ~engine ~rng clock))
 
 (* Per-clock engine and RNG stream: each clock's sequence of corrections is

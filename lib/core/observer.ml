@@ -37,9 +37,16 @@ type t = {
   mutable unit_owner : int Unit_id.Map.t;  (* unit -> device *)
   pending : (int, pending) Hashtbl.t;
   finished : (int, snapshot) Hashtbl.t;
+  fire_times : (int, Time.t) Hashtbl.t;
   mutable callbacks : (snapshot -> unit) list;
   mutable retries : int;
 }
+
+type error = Pacing_full | No_devices
+
+let error_to_string = function
+  | Pacing_full -> "too many outstanding snapshots (pacing)"
+  | No_devices -> "no registered devices"
 
 let create ~engine ?(lead_time = Time.ms 1) ?(retry_timeout = Time.ms 50)
     ?(max_retries = 5) ?(max_outstanding = 8) () =
@@ -54,6 +61,7 @@ let create ~engine ?(lead_time = Time.ms 1) ?(retry_timeout = Time.ms 50)
     unit_owner = Unit_id.Map.empty;
     pending = Hashtbl.create 32;
     finished = Hashtbl.create 256;
+    fire_times = Hashtbl.create 256;
     callbacks = [];
     retries = 0;
   }
@@ -118,15 +126,16 @@ let rec arm_retry t p =
            end
          end))
 
-let take_snapshot t ?at () =
-  if Hashtbl.length t.pending >= t.max_outstanding then
-    failwith "Observer.take_snapshot: too many outstanding snapshots (pacing)";
-  if t.devices = [] then failwith "Observer.take_snapshot: no registered devices";
+let try_take_snapshot t ?at () =
+  if Hashtbl.length t.pending >= t.max_outstanding then Error Pacing_full
+  else if t.devices = [] then Error No_devices
+  else begin
   let sid = t.next_sid in
   t.next_sid <- sid + 1;
   let fire_at =
     match at with Some a -> a | None -> Time.add (Engine.now t.engine) t.lead_time
   in
+  Hashtbl.replace t.fire_times sid fire_at;
   let missing =
     List.fold_left
       (fun acc d -> List.fold_left (fun acc u -> Unit_id.Set.add u acc) acc d.units)
@@ -148,7 +157,13 @@ let take_snapshot t ?at () =
   (* First retry check fires one timeout after the scheduled execution. *)
   ignore
     (Engine.schedule t.engine ~at:fire_at (fun () -> arm_retry t p));
-  sid
+  Ok sid
+  end
+
+let take_snapshot t ?at () =
+  match try_take_snapshot t ?at () with
+  | Ok sid -> sid
+  | Error e -> failwith ("Observer.take_snapshot: " ^ error_to_string e)
 
 let on_report t (r : Report.t) =
   match Hashtbl.find_opt t.pending r.sid with
@@ -172,3 +187,14 @@ let completed t ~sid = Hashtbl.mem t.finished sid
 let outstanding t = Hashtbl.length t.pending
 let last_sid t = t.next_sid - 1
 let retries_sent t = t.retries
+let fire_time t ~sid = Hashtbl.find_opt t.fire_times sid
+
+let staleness t ~sid =
+  match (fire_time t ~sid, Hashtbl.find_opt t.finished sid) with
+  | Some fired, Some snap ->
+      Unit_id.Map.fold
+        (fun _ (r : Report.t) acc ->
+          let lag = Time.sub r.completed_at fired in
+          Some (match acc with None -> lag | Some a -> Stdlib.max a lag))
+        snap.reports None
+  | _ -> None

@@ -53,11 +53,21 @@ val on_report : t -> Report.t -> unit
     snapshot IDs predating the device's registration (a freshly attached
     node jumping ahead) are ignored as spurious. *)
 
-val take_snapshot : t -> ?at:Time.t -> unit -> int
+type error =
+  | Pacing_full
+      (** the pacing window ([max_outstanding]) is full — wait for
+          completions first (wraparound safety, §5.3) *)
+  | No_devices  (** no device registered yet *)
+
+val error_to_string : error -> string
+
+val try_take_snapshot : t -> ?at:Time.t -> unit -> (int, error) result
 (** Schedule the next snapshot: broadcasts initiation requests to all
     registered devices and returns the assigned snapshot ID. [at] defaults
-    to [now + lead_time]. Raises [Failure] if the pacing window is full
-    (wait for completions first). *)
+    to [now + lead_time]. *)
+
+val take_snapshot : t -> ?at:Time.t -> unit -> int
+(** {!try_take_snapshot}, raising [Failure] on error. *)
 
 val result : t -> sid:int -> snapshot option
 (** The assembled snapshot, if all expected units reported (or the
@@ -73,3 +83,12 @@ val on_complete : t -> (snapshot -> unit) -> unit
     completes (including completion-by-exclusion after timeouts). *)
 
 val retries_sent : t -> int
+
+val fire_time : t -> sid:int -> Time.t option
+(** The true time snapshot [sid] was scheduled to execute at. *)
+
+val staleness : t -> sid:int -> Time.t option
+(** Age of a completed snapshot when its last report arrived: latest
+    report [completed_at] minus the scheduled fire time. [None] while
+    incomplete. The freshness metric of the chaos sweeps — it grows with
+    retries and recovery delays. *)

@@ -26,6 +26,11 @@ type slot = {
   mutable channel : float;
 }
 
+type tap_event =
+  | Tap_data of { channel : int; pkt_ghost : int; size : int }
+  | Tap_external of { size : int }
+  | Tap_init of { ghost : int }
+
 type t = {
   uid : Unit_id.t;
   cfg : config;
@@ -40,6 +45,8 @@ type t = {
   neighbor_traffic : int array;  (* data packets seen per upstream channel *)
   mutable fifo_violations : int;
   mutable notifications : int;
+  mutable tap : (tap_event -> unit) option;
+  mutable ignore_packet_ids : bool;  (* fault knob: suppress marker logic *)
 }
 
 let create ~id ~cfg ~n_neighbors ~counter ~notify =
@@ -64,11 +71,19 @@ let create ~id ~cfg ~n_neighbors ~counter ~notify =
     neighbor_traffic = Array.make n_neighbors 0;
     fifo_violations = 0;
     notifications = 0;
+    tap = None;
+    ignore_packet_ids = false;
   }
 
 let id t = t.uid
 let cfg t = t.cfg
 let counter t = t.counter
+let n_neighbors t = t.n_neighbors
+let set_tap t f = t.tap <- f
+let set_ignore_packet_ids t b = t.ignore_packet_ids <- b
+
+let[@inline] tap_emit t ev =
+  match t.tap with None -> () | Some f -> f ev
 let current_sid t = t.sid
 let current_ghost_sid t = t.ghost_sid
 let last_seen t = if t.cfg.channel_state then Array.copy t.last_seen_arr else [||]
@@ -205,6 +220,7 @@ let process_packet t ~now (pkt : Packet.t) =
        see consistent markers. It carries no upstream snapshot
        information (its channel's completion is excluded by the control
        plane, §6 "Ensuring liveness"). *)
+    tap_emit t (Tap_external { size = pkt.Packet.size });
     t.counter.Counter.update ~now pkt;
     Packet.set_snap pkt ~sid:t.sid ~channel:0 ~ghost_sid:t.ghost_sid
   end
@@ -216,10 +232,18 @@ let process_packet t ~now (pkt : Packet.t) =
     | Snapshot_header.Data -> ());
     if hdr.channel >= 0 && hdr.channel < t.n_neighbors then
       t.neighbor_traffic.(hdr.channel) <- t.neighbor_traffic.(hdr.channel) + 1;
+    (* The tap fires before any logic (and before header rewrite) so
+       auditors see the ID the packet actually carried on the wire —
+       ground truth that stays correct even when the logic below is
+       deliberately broken by a fault knob. *)
+    tap_emit t
+      (Tap_data
+         { channel = hdr.channel; pkt_ghost = hdr.ghost_sid; size = pkt.Packet.size });
     (* Snapshot logic runs against the state as of *before* this packet
        (Fig. 3 line 13 updates state after the snapshot steps): a packet
        that itself advances the ID is post-snapshot everywhere. *)
-    snapshot_logic_data t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid pkt;
+    if not t.ignore_packet_ids then
+      snapshot_logic_data t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid pkt;
     t.counter.Counter.update ~now pkt;
     (* Rewrite: the packet now belongs to this unit's current epoch. *)
     hdr.sid <- t.sid;
@@ -227,7 +251,7 @@ let process_packet t ~now (pkt : Packet.t) =
   end
 
 let process_initiation t ~now ~sid ~ghost_sid =
-  ignore ghost_sid;
+  tap_emit t (Tap_init { ghost = ghost_sid });
   snapshot_logic_init t ~now ~neighbor:0 ~pkt_wrapped:sid
 
 type slot_read = { value : float option; channel : float }

@@ -51,6 +51,9 @@ val id : t -> Unit_id.t
 val cfg : t -> config
 val counter : t -> Counter.t
 
+val n_neighbors : t -> int
+(** Number of upstream channels including the control plane at index 0. *)
+
 val current_sid : t -> int
 (** Wrapped current snapshot ID (what the register holds). *)
 
@@ -100,3 +103,29 @@ val notifications_sent : t -> int
 
 val reset : t -> unit
 (** Re-initialize all protocol state to zero (node attachment, §6). *)
+
+(** {2 Instrumentation and fault hooks} *)
+
+(** Ground-truth record of one event at the unit boundary, emitted {e
+    before} the unit's own snapshot logic runs and before any header
+    rewrite — so an external auditor ({!Speedlight_verify}) can re-derive
+    the correct behavior independently of the (possibly broken) unit. *)
+type tap_event =
+  | Tap_data of { channel : int; pkt_ghost : int; size : int }
+      (** data packet from snapshot-enabled neighbor [channel], carrying
+          unbounded ID [pkt_ghost] on the wire *)
+  | Tap_external of { size : int }
+      (** headerless packet from a snapshot-oblivious neighbor (host) *)
+  | Tap_init of { ghost : int }  (** control-plane initiation at this ID *)
+
+val set_tap : t -> (tap_event -> unit) option -> unit
+(** Install (or remove) the boundary tap. The callback runs synchronously
+    in the packet path on the unit's own shard; it must not schedule
+    events or touch other shards' state. *)
+
+val set_ignore_packet_ids : t -> bool -> unit
+(** Fault knob: when set, the unit runs counters and header rewriting but
+    {e skips the snapshot logic on data packets} (marker suppression) —
+    IDs only advance via initiations. This deliberately breaks the
+    Chandy–Lamport marker rule; it exists so tests can prove the auditor
+    catches false-consistent snapshots. *)

@@ -1,0 +1,241 @@
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+open Speedlight_faults
+open Speedlight_verify
+
+(* Chaos campaign: how do completion rate, retry volume and snapshot
+   staleness degrade as fault intensity rises — and does the protocol
+   ever mislabel a snapshot as consistent under fire? Every run carries
+   the independent cut auditor ({!Verify}); a single false-consistent
+   snapshot fails the campaign. *)
+
+let frac duration x = int_of_float (float_of_int duration *. x)
+
+(* A fault plan for the leaf–spine testbed, scaled by [intensity] in
+   [0, 1]. 0 is a clean run (empty plan); 1 throws everything at it:
+   burst loss on an uplink and a notification channel, a latency spike,
+   a link flap, a CP crash mid-campaign, clock holdover + a time step,
+   and a notification-queue saturation burst. Deterministic given
+   (seed, intensity). *)
+let plan (ls : Topology.leaf_spine) ~intensity ~seed ~t0 ~duration =
+  if intensity <= 0. then { Faults.seed; events = [] }
+  else begin
+    let i = Float.min 1. intensity in
+    let at x action = { Faults.at = Time.add t0 (frac duration x); action } in
+    let leaf0, up0 =
+      match ls.Topology.uplink_ports with
+      | (l, p :: _) :: _ -> (l, p)
+      | _ -> invalid_arg "Chaos.plan: topology has no uplinks"
+    in
+    let leaf1, up1 =
+      match ls.Topology.uplink_ports with
+      | _ :: (l, p :: _) :: _ -> (l, p)
+      | _ -> (leaf0, up0)
+    in
+    let spine0 =
+      match ls.Topology.spine_switches with s :: _ -> s | [] -> leaf0
+    in
+    let ge_wire =
+      {
+        Gilbert.p_good_to_bad = 0.01 +. (0.04 *. i);
+        p_bad_to_good = 0.25;
+        loss_good = 0.;
+        loss_bad = 0.6 *. i;
+      }
+    in
+    let ge_notify =
+      {
+        Gilbert.p_good_to_bad = 0.02 *. i;
+        p_bad_to_good = 0.3;
+        loss_good = 0.;
+        loss_bad = 0.5 *. i;
+      }
+    in
+    List.concat
+      [
+        (* Sustained burst loss on a fabric wire and on leaf0's DP->CPU
+           notification channel, for the whole campaign. *)
+        [
+          at 0.0 (Faults.Wire_loss { switch = leaf0; port = up0; ge = Some ge_wire });
+          at 0.0 (Faults.Notify_loss { switch = leaf0; ge = Some ge_notify });
+        ];
+        (* Latency spike on the other leaf's first uplink. *)
+        [
+          at 0.25
+            (Faults.Link_latency
+               { switch = leaf1; port = up1; factor = 1. +. (4. *. i) });
+          at 0.55 (Faults.Link_latency { switch = leaf1; port = up1; factor = 1. });
+        ];
+        (if i >= 0.3 then
+           [
+             at 0.4 (Faults.Link_down { switch = leaf1; port = up1 });
+             at (0.4 +. (0.2 *. i)) (Faults.Link_up { switch = leaf1; port = up1 });
+           ]
+         else []);
+        (if i >= 0.5 then
+           [
+             at 0.6 (Faults.Cp_crash { switch = leaf0 });
+             at (0.6 +. (0.05 +. (0.1 *. i))) (Faults.Cp_restart { switch = leaf0 });
+           ]
+         else []);
+        (if i >= 0.25 then
+           [
+             at 0.15 (Faults.Clock_holdover { switch = spine0; on = true });
+             at (0.15 +. (0.3 *. i)) (Faults.Clock_holdover { switch = spine0; on = false });
+             at 0.3 (Faults.Clock_step { switch = leaf1; delta_ns = 250. *. i });
+           ]
+         else []);
+        (if i >= 0.75 then
+           [
+             at 0.7 (Faults.Notify_saturation { switch = leaf0; capacity = Some 2 });
+             at 0.8 (Faults.Notify_saturation { switch = leaf0; capacity = None });
+           ]
+         else []);
+      ]
+    |> fun events -> { Faults.seed; events }
+  end
+
+type point = {
+  intensity : float;
+  snapshots : int;
+  paced_out : int;
+  completion_rate : float;
+  consistent_rate : float;
+  mean_retries : float;
+  mean_staleness_us : float;  (** over completed snapshots; nan if none *)
+  injected_drops : int;
+  notif_drops : int;
+  faults_fired : int;
+  certified : int;
+  false_consistent : int;
+  correctly_flagged : int;
+  over_conservative : int;
+  incomplete : int;
+}
+
+type result = point list
+
+let run_point ?(quick = false) ?(shards = 1) ~seed ~intensity () =
+  let cfg =
+    Config.default
+    |> Config.with_counter Config.Packet_count
+    |> Config.with_seed seed
+  in
+  let ls, net = Common.make_testbed ~scaled:true ~cfg ~shards () in
+  let rng = Net.fresh_rng net in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  let count = if quick then 12 else 40 in
+  let interval = Time.ms 6 in
+  let start = Time.ms 20 in
+  let t_end = Time.add start ((count * interval) + Time.ms 10) in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng ~send:(Common.sender net)
+    ~fids:(Traffic.flow_ids ()) ~hosts
+    ~rate_pps:(if quick then 8_000. else 20_000.)
+    ~pkt_size:1500 ~until:t_end;
+  (* Testbed practice (§6 liveness): exclude never-utilized channels
+     before the first snapshot so idle units don't hold every cut open. *)
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let auditor = Verify.attach net in
+  let p =
+    plan ls ~intensity ~seed ~t0:start ~duration:(Time.sub t_end start)
+  in
+  let faults = Faults.install ~net p in
+  (* Under heavy faults snapshots stop completing and the observer's
+     pacing window fills; further attempts are refused rather than
+     raising. A refused attempt counts against the completion rate — it
+     is exactly the "protocol can't keep up" signal the sweep charts. *)
+  let sids = ref [] in
+  let paced_out = ref 0 in
+  let engine = Net.engine net in
+  for k = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add start (k * interval))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error Observer.Pacing_full -> incr paced_out
+           | Error e -> invalid_arg (Observer.error_to_string e)))
+  done;
+  Net.run_until net (Time.add t_end (Time.ms 200));
+  let sids = List.rev !sids in
+  let obs = Net.observer net in
+  let completed =
+    List.filter (fun sid -> Observer.completed obs ~sid) sids
+  in
+  let consistent =
+    List.filter
+      (fun sid ->
+        match Observer.result obs ~sid with
+        | Some s -> s.Observer.complete && s.Observer.consistent
+        | None -> false)
+      sids
+  in
+  let stale_us =
+    List.filter_map
+      (fun sid ->
+        Option.map (fun t -> Time.to_us t) (Observer.staleness obs ~sid))
+      completed
+  in
+  let a = Verify.audit auditor ~sids in
+  let n = count in
+  let mean = function
+    | [] -> Float.nan
+    | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  {
+    intensity;
+    snapshots = n;
+    paced_out = !paced_out;
+    completion_rate = float_of_int (List.length completed) /. float_of_int n;
+    consistent_rate = float_of_int (List.length consistent) /. float_of_int n;
+    mean_retries = float_of_int (Observer.retries_sent obs) /. float_of_int n;
+    mean_staleness_us = mean stale_us;
+    injected_drops = Net.injected_drops net;
+    notif_drops = Net.total_notif_drops net;
+    faults_fired = Faults.fired_count faults;
+    certified = List.length a.Verify.certified;
+    false_consistent = List.length a.Verify.false_consistent;
+    correctly_flagged = List.length a.Verify.correctly_flagged;
+    over_conservative = List.length a.Verify.over_conservative;
+    incomplete = List.length a.Verify.incomplete;
+  }
+
+let intensities = [ 0.; 0.25; 0.5; 0.75; 1. ]
+
+let run ?(quick = false) ?(seed = 31) () =
+  Array.to_list
+    (Common.parallel_trials
+       (Array.of_list
+          (List.mapi
+             (fun k i -> fun () -> run_point ~quick ~seed:(seed + k) ~intensity:i ())
+             intensities)))
+
+let has_false_consistent r = List.exists (fun p -> p.false_consistent > 0) r
+
+let print fmt (r : result) =
+  Common.pp_header fmt
+    "Chaos: snapshot quality vs fault intensity (auditor-certified)";
+  Format.fprintf fmt
+    "intensity  complete  consistent  retries/snap  staleness(us)  inj.drops  \
+     audit (cert/false/flag/cons/inc)@.";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt
+        "%9.2f  %7.0f%%  %9.0f%%  %12.2f  %13.1f  %9d  %d/%d/%d/%d/%d@."
+        p.intensity
+        (100. *. p.completion_rate)
+        (100. *. p.consistent_rate)
+        p.mean_retries p.mean_staleness_us p.injected_drops p.certified
+        p.false_consistent p.correctly_flagged p.over_conservative
+        p.incomplete)
+    r;
+  if has_false_consistent r then
+    Format.fprintf fmt
+      "@.AUDIT FAILURE: some snapshots labeled consistent are not true cuts@."
+  else
+    Format.fprintf fmt
+      "@.audit: every consistent label certified as a true cut@."

@@ -1,0 +1,59 @@
+(** Chaos campaign: snapshot quality under injected faults.
+
+    Sweeps fault intensity on the leaf–spine testbed and measures how the
+    protocol degrades — completion rate, retry volume, snapshot staleness
+    — while the independent cut auditor ({!Speedlight_verify.Verify})
+    checks every observer label. The paper argues the protocol stays
+    {e safe} under loss and failure (a snapshot may come back incomplete
+    or flagged inconsistent, but never wrong); this campaign tests
+    exactly that claim. *)
+
+open Speedlight_sim
+open Speedlight_topology
+open Speedlight_faults
+
+val plan :
+  Topology.leaf_spine ->
+  intensity:float ->
+  seed:int ->
+  t0:Time.t ->
+  duration:Time.t ->
+  Faults.plan
+(** Deterministic fault plan for the testbed, scaled by [intensity] in
+    [0, 1] (0 = empty plan; see the implementation for the schedule).
+    Reused by the benchmark harness and tests. *)
+
+type point = {
+  intensity : float;
+  snapshots : int;  (** attempted (scheduled) snapshots *)
+  paced_out : int;  (** attempts refused by observer pacing *)
+  completion_rate : float;
+  consistent_rate : float;
+  mean_retries : float;
+  mean_staleness_us : float;  (** over completed snapshots; nan if none *)
+  injected_drops : int;
+  notif_drops : int;
+  faults_fired : int;
+  certified : int;
+  false_consistent : int;
+  correctly_flagged : int;
+  over_conservative : int;
+  incomplete : int;
+}
+
+type result = point list
+
+val run_point :
+  ?quick:bool -> ?shards:int -> seed:int -> intensity:float -> unit -> point
+(** One audited run at a given fault intensity. *)
+
+val intensities : float list
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+(** The full sweep, one parallel trial per intensity. *)
+
+val has_false_consistent : result -> bool
+(** The CI gate: [true] means the auditor caught a snapshot labeled
+    consistent that is not a true cut. *)
+
+val print : Format.formatter -> result -> unit

@@ -12,10 +12,10 @@ let testbed_links ~scaled =
     ( { Topology.bandwidth_bps = 25e9; latency = Time.us 1 },
       { Topology.bandwidth_bps = 100e9; latency = Time.us 1 } )
 
-let make_testbed ?(scaled = true) ?(cfg = Config.default) () =
+let make_testbed ?(scaled = true) ?(cfg = Config.default) ?(shards = 1) () =
   let host_link, fabric_link = testbed_links ~scaled in
   let ls = Topology.leaf_spine ~host_link ~fabric_link () in
-  let net = Net.create ~cfg ls.Topology.topo in
+  let net = Net.create ~cfg ~shards ls.Topology.topo in
   (ls, net)
 
 let sender net ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size ()

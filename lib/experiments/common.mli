@@ -13,8 +13,13 @@ val testbed_links : scaled:bool -> Topology.link_spec * Topology.link_spec
     scaling"). *)
 
 val make_testbed :
-  ?scaled:bool -> ?cfg:Config.t -> unit -> Topology.leaf_spine * Net.t
-(** The paper's 4-virtual-switch, 6-server leaf–spine testbed (Fig. 8). *)
+  ?scaled:bool ->
+  ?cfg:Config.t ->
+  ?shards:int ->
+  unit ->
+  Topology.leaf_spine * Net.t
+(** The paper's 4-virtual-switch, 6-server leaf–spine testbed (Fig. 8).
+    [shards] is forwarded to {!Net.create}. *)
 
 val sender : Net.t -> Speedlight_workload.Traffic.send
 (** Adapter from the workload generators to {!Net.send}. *)

@@ -125,6 +125,37 @@ let table1 ~dir (r : Table1.result) =
          [ mk 64 row.Table1.usage_64; mk 14 row.Table1.usage_14 ])
        r)
 
+let chaos ~dir (r : Chaos.result) =
+  write_rows
+    ~path:(dir / "chaos_fault_sweep.csv")
+    ~header:
+      [
+        "intensity"; "snapshots"; "paced_out"; "completion_rate"; "consistent_rate";
+        "mean_retries"; "mean_staleness_us"; "injected_drops"; "notif_drops";
+        "faults_fired"; "certified"; "false_consistent"; "correctly_flagged";
+        "over_conservative"; "incomplete";
+      ]
+    (List.map
+       (fun (p : Chaos.point) ->
+         [
+           f p.Chaos.intensity;
+           string_of_int p.Chaos.snapshots;
+           string_of_int p.Chaos.paced_out;
+           f p.Chaos.completion_rate;
+           f p.Chaos.consistent_rate;
+           f p.Chaos.mean_retries;
+           f p.Chaos.mean_staleness_us;
+           string_of_int p.Chaos.injected_drops;
+           string_of_int p.Chaos.notif_drops;
+           string_of_int p.Chaos.faults_fired;
+           string_of_int p.Chaos.certified;
+           string_of_int p.Chaos.false_consistent;
+           string_of_int p.Chaos.correctly_flagged;
+           string_of_int p.Chaos.over_conservative;
+           string_of_int p.Chaos.incomplete;
+         ])
+       r)
+
 let scale ~dir (r : Scale.result) =
   write_rows
     ~path:(dir / "scale_fat_tree_validation.csv")

@@ -20,3 +20,4 @@ val fig12 : dir:string -> Fig12.result -> unit
 val fig13 : dir:string -> Fig13.result -> unit
 val table1 : dir:string -> Table1.result -> unit
 val scale : dir:string -> Scale.result -> unit
+val chaos : dir:string -> Chaos.result -> unit

@@ -1,0 +1,318 @@
+open Speedlight_sim
+open Speedlight_clock
+open Speedlight_net
+open Speedlight_topology
+
+type action =
+  | Link_down of { switch : int; port : int }
+  | Link_up of { switch : int; port : int }
+  | Link_latency of { switch : int; port : int; factor : float }
+  | Wire_loss of { switch : int; port : int; ge : Gilbert.params option }
+  | Nic_loss of { host : int; ge : Gilbert.params option }
+  | Nic_latency of { host : int; extra : Time.t }
+  | Notify_loss of { switch : int; ge : Gilbert.params option }
+  | Cmd_loss of { switch : int; ge : Gilbert.params option }
+  | Report_loss of { switch : int; ge : Gilbert.params option }
+  | Cp_crash of { switch : int }
+  | Cp_restart of { switch : int }
+  | Clock_step of { switch : int; delta_ns : float }
+  | Clock_holdover of { switch : int; on : bool }
+  | Notify_saturation of { switch : int; capacity : int option }
+
+type event = { at : Time.t; action : action }
+type plan = { seed : int; events : event list }
+
+let action_name = function
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
+  | Link_latency _ -> "link_latency"
+  | Wire_loss _ -> "wire_loss"
+  | Nic_loss _ -> "nic_loss"
+  | Nic_latency _ -> "nic_latency"
+  | Notify_loss _ -> "notify_loss"
+  | Cmd_loss _ -> "cmd_loss"
+  | Report_loss _ -> "report_loss"
+  | Cp_crash _ -> "cp_crash"
+  | Cp_restart _ -> "cp_restart"
+  | Clock_step _ -> "clock_step"
+  | Clock_holdover _ -> "clock_holdover"
+  | Notify_saturation _ -> "notify_saturation"
+
+let pp_action fmt a =
+  let p = Format.fprintf in
+  match a with
+  | Link_down { switch; port } -> p fmt "link_down(sw%d.p%d)" switch port
+  | Link_up { switch; port } -> p fmt "link_up(sw%d.p%d)" switch port
+  | Link_latency { switch; port; factor } ->
+      p fmt "link_latency(sw%d.p%d x%g)" switch port factor
+  | Wire_loss { switch; port; ge } ->
+      p fmt "wire_loss(sw%d.p%d %s)" switch port
+        (if ge = None then "clear" else "ge")
+  | Nic_loss { host; ge } ->
+      p fmt "nic_loss(h%d %s)" host (if ge = None then "clear" else "ge")
+  | Nic_latency { host; extra } -> p fmt "nic_latency(h%d +%a)" host Time.pp extra
+  | Notify_loss { switch; ge } ->
+      p fmt "notify_loss(sw%d %s)" switch (if ge = None then "clear" else "ge")
+  | Cmd_loss { switch; ge } ->
+      p fmt "cmd_loss(sw%d %s)" switch (if ge = None then "clear" else "ge")
+  | Report_loss { switch; ge } ->
+      p fmt "report_loss(sw%d %s)" switch (if ge = None then "clear" else "ge")
+  | Cp_crash { switch } -> p fmt "cp_crash(sw%d)" switch
+  | Cp_restart { switch } -> p fmt "cp_restart(sw%d)" switch
+  | Clock_step { switch; delta_ns } ->
+      p fmt "clock_step(sw%d %+gns)" switch delta_ns
+  | Clock_holdover { switch; on } ->
+      p fmt "clock_holdover(sw%d %s)" switch (if on then "on" else "off")
+  | Notify_saturation { switch; capacity } -> (
+      match capacity with
+      | Some c -> p fmt "notify_saturation(sw%d cap=%d)" switch c
+      | None -> p fmt "notify_saturation(sw%d restore)" switch)
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validate ~net plan =
+  let topo = Net.topology net in
+  let n_sw = Topology.n_switches topo in
+  let n_hosts = Topology.n_hosts topo in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_sw s = s >= 0 && s < n_sw in
+  let check_wire switch port =
+    check_sw switch
+    && port >= 0
+    && port < Topology.ports topo switch
+    &&
+    match Topology.peer_of topo ~switch ~port with
+    | Some (Topology.Switch_port _) -> true
+    | Some (Topology.Host_port _) | None -> false
+  in
+  let check_ge = function
+    | None -> Ok ()
+    | Some p -> Gilbert.validate p
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | { at; action } :: rest ->
+        let bad fmt = Printf.ksprintf (fun m -> err "event %d (%s): %s" i (action_name action) m) fmt in
+        let r =
+          if at < Time.zero then bad "negative time"
+          else
+            match action with
+            | Link_down { switch; port }
+            | Link_up { switch; port } ->
+                if check_wire switch port then Ok ()
+                else bad "switch %d port %d is not a switch-switch link" switch port
+            | Link_latency { switch; port; factor } ->
+                if not (check_wire switch port) then
+                  bad "switch %d port %d is not a switch-switch link" switch port
+                else if factor < 1.0 then
+                  (* < 1 would undercut the sharded lookahead window. *)
+                  bad "factor %g < 1" factor
+                else Ok ()
+            | Wire_loss { switch; port; ge } ->
+                if not (check_wire switch port) then
+                  bad "switch %d port %d is not a switch-switch link" switch port
+                else check_ge ge
+            | Nic_loss { host; ge } ->
+                if host < 0 || host >= n_hosts then bad "bad host %d" host
+                else check_ge ge
+            | Nic_latency { host; extra } ->
+                if host < 0 || host >= n_hosts then bad "bad host %d" host
+                else if extra < Time.zero then bad "negative extra latency"
+                else Ok ()
+            | Notify_loss { switch; ge }
+            | Cmd_loss { switch; ge }
+            | Report_loss { switch; ge } ->
+                if not (check_sw switch) then bad "bad switch %d" switch
+                else check_ge ge
+            | Cp_crash { switch } | Cp_restart { switch } ->
+                if check_sw switch then Ok () else bad "bad switch %d" switch
+            | Clock_step { switch; delta_ns = _ } ->
+                if check_sw switch then Ok () else bad "bad switch %d" switch
+            | Clock_holdover { switch; on = _ } ->
+                if check_sw switch then Ok () else bad "bad switch %d" switch
+            | Notify_saturation { switch; capacity } -> (
+                if not (check_sw switch) then bad "bad switch %d" switch
+                else
+                  match capacity with
+                  | Some c when c < 0 -> bad "negative capacity"
+                  | Some _ | None -> Ok ())
+        in
+        (match r with Ok () -> go (i + 1) rest | Error _ as e -> e)
+  in
+  go 0 plan.events
+
+(* ------------------------------------------------------------------ *)
+(* Installation *)
+
+type firing = { f_event : event; mutable f_fired : Time.t option }
+
+type t = {
+  plan : plan;
+  net : Net.t;
+  firing_log : firing array;
+  mutable chains : (int * Gilbert.t) list;  (* event index -> its GE chain *)
+}
+
+(* Each loss process gets an RNG derived from (plan seed, event index)
+   alone — never from the net's master stream, whose split order the
+   deployment already fixed. The chain advances only on the shard that
+   owns the channel's send side, so the loss pattern is identical for
+   any shard count. *)
+let chain_rng plan ~idx = Rng.create (abs ((plan.seed * 1_000_003) + idx + 1))
+
+let peer_of_wire topo ~switch ~port =
+  match Topology.peer_of topo ~switch ~port with
+  | Some (Topology.Switch_port (s', p')) -> (s', p')
+  | Some (Topology.Host_port _) | None ->
+      invalid_arg "Faults: not a switch-switch link"
+
+let install ~net plan =
+  (match validate ~net plan with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Faults.install: " ^ m));
+  let topo = Net.topology net in
+  let t =
+    {
+      plan;
+      net;
+      firing_log =
+        Array.of_list
+          (List.map (fun e -> { f_event = e; f_fired = None }) plan.events);
+      chains = [];
+    }
+  in
+  let mark idx now = t.firing_log.(idx).f_fired <- Some now in
+  (* [on_switch]/[on_observer] wrap an action into an event on the shard
+     that owns the mutated state, stamping the firing log. Everything is
+     scheduled here, before the run starts, in plan order — which makes
+     the within-instant order of fault events a pure function of the
+     plan, the same for every shard count. *)
+  (* Stamp the scheduled instant, not [Net.now]: the action runs exactly
+     at [at] on its owning shard's engine, while shard 0's clock (what
+     [Net.now] reads) may lag within the lookahead window — stamping it
+     would make the firing log shard-count-dependent. *)
+  let on_switch idx ~switch ~at f =
+    Net.schedule_on_switch net ~switch ~at (fun () ->
+        mark idx at;
+        f ())
+  in
+  let on_observer idx ~at f =
+    Net.schedule_at_observer net ~at (fun () ->
+        mark idx at;
+        f ())
+  in
+  let ge_hook idx ge =
+    match ge with
+    | None -> None
+    | Some params ->
+        let chain = Gilbert.create ~rng:(chain_rng plan ~idx) params in
+        t.chains <- (idx, chain) :: t.chains;
+        Some (fun () -> Gilbert.drop chain)
+  in
+  List.iteri
+    (fun idx { at; action } ->
+      match action with
+      | Link_down { switch; port } ->
+          (* Both directions die; each direction's record is owned by its
+             sending switch's shard. Packets already on the wire still
+             arrive (the cut only stops later transmissions). *)
+          let s', p' = peer_of_wire topo ~switch ~port in
+          on_switch idx ~switch ~at (fun () ->
+              Net.set_wire_state net ~switch ~port ~up:false);
+          on_switch idx ~switch:s' ~at (fun () ->
+              Net.set_wire_state net ~switch:s' ~port:p' ~up:false)
+      | Link_up { switch; port } ->
+          let s', p' = peer_of_wire topo ~switch ~port in
+          on_switch idx ~switch ~at (fun () ->
+              Net.set_wire_state net ~switch ~port ~up:true);
+          on_switch idx ~switch:s' ~at (fun () ->
+              Net.set_wire_state net ~switch:s' ~port:p' ~up:true)
+      | Link_latency { switch; port; factor } ->
+          let s', p' = peer_of_wire topo ~switch ~port in
+          let extra sw pt =
+            Time.of_ns_float
+              ((factor -. 1.) *. float_of_int (Net.wire_link_latency net ~switch:sw ~port:pt))
+          in
+          on_switch idx ~switch ~at (fun () ->
+              Net.set_wire_extra_latency net ~switch ~port ~extra:(extra switch port));
+          on_switch idx ~switch:s' ~at (fun () ->
+              Net.set_wire_extra_latency net ~switch:s' ~port:p' ~extra:(extra s' p'))
+      | Wire_loss { switch; port; ge } ->
+          let hook = ge_hook idx ge in
+          on_switch idx ~switch ~at (fun () ->
+              Net.set_wire_drop net ~switch ~port hook)
+      | Nic_loss { host; ge } ->
+          let hook = ge_hook idx ge in
+          on_observer idx ~at (fun () -> Net.set_nic_drop net ~host hook)
+      | Nic_latency { host; extra } ->
+          on_observer idx ~at (fun () -> Net.set_nic_extra_latency net ~host ~extra)
+      | Notify_loss { switch; ge } ->
+          let hook = ge_hook idx ge in
+          on_switch idx ~switch ~at (fun () -> Net.set_notify_drop net ~switch hook)
+      | Cmd_loss { switch; ge } ->
+          let hook = ge_hook idx ge in
+          on_observer idx ~at (fun () -> Net.set_cmd_drop net ~switch hook)
+      | Report_loss { switch; ge } ->
+          let hook = ge_hook idx ge in
+          on_switch idx ~switch ~at (fun () -> Net.set_report_drop net ~switch hook)
+      | Cp_crash { switch } ->
+          on_switch idx ~switch ~at (fun () -> Net.crash_cp net ~switch)
+      | Cp_restart { switch } ->
+          on_switch idx ~switch ~at (fun () -> Net.restart_cp net ~switch)
+      | Clock_step { switch; delta_ns } ->
+          on_switch idx ~switch ~at (fun () ->
+              Clock.step (Control_plane.clock (Net.control_plane net switch)) ~delta_ns)
+      | Clock_holdover { switch; on } ->
+          on_switch idx ~switch ~at (fun () ->
+              Clock.set_holdover (Control_plane.clock (Net.control_plane net switch)) on)
+      | Notify_saturation { switch; capacity } ->
+          on_switch idx ~switch ~at (fun () ->
+              Control_plane.set_queue_capacity_override
+                (Net.control_plane net switch) capacity))
+    plan.events;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let firings t =
+  Array.to_list (Array.map (fun f -> (f.f_event, f.f_fired)) t.firing_log)
+
+let fired_count t =
+  Array.fold_left
+    (fun acc f -> if f.f_fired = None then acc else acc + 1)
+    0 t.firing_log
+
+let ge_stats t =
+  List.rev_map
+    (fun (idx, c) -> (idx, Gilbert.packets c, Gilbert.losses c))
+    t.chains
+
+(* Canonical text form of what happened — two runs with equal digests
+   injected exactly the same faults at exactly the same instants. *)
+let digest t =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s@%d:%s;" i
+           (action_name f.f_event.action)
+           f.f_event.at
+           (match f.f_fired with None -> "-" | Some at -> string_of_int at)))
+    t.firing_log;
+  List.iter
+    (fun (idx, pkts, losses) ->
+      Buffer.add_string buf (Printf.sprintf "ge%d:%d/%d;" idx losses pkts))
+    (List.sort compare (ge_stats t));
+  Buffer.contents buf
+
+let pp_summary fmt t =
+  let d = Net.fault_drops t.net in
+  Format.fprintf fmt
+    "faults: %d/%d events fired; drops wire=%d nic=%d notify=%d cmd=%d \
+     report=%d cp=%d"
+    (fired_count t)
+    (Array.length t.firing_log)
+    d.Net.fd_wire d.Net.fd_nic d.Net.fd_notify d.Net.fd_cmd d.Net.fd_report
+    d.Net.fd_cp

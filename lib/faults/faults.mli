@@ -1,0 +1,88 @@
+(** Declarative, seed-deterministic fault plans.
+
+    A plan is a list of timed fault events against a deployment's
+    channels, control planes and clocks. {!install} compiles it onto the
+    net's fault hook points ({!Speedlight_net.Net}) before the run
+    starts: each event becomes a simulation event on the shard that owns
+    the state it mutates, and each stochastic loss process
+    ({!Gilbert}) draws from an RNG derived from (plan seed, event index)
+    only, advanced on the owning shard. Fault firings and their effects
+    are therefore {e bit-identical} for any shard count — the same
+    argument that makes the fault-free sharded simulation exact (see
+    DESIGN.md §7/§8).
+
+    Install plans on a freshly created net, before the first
+    {!Speedlight_net.Net.run_until}. *)
+
+open Speedlight_sim
+open Speedlight_net
+
+type action =
+  | Link_down of { switch : int; port : int }
+      (** cut both directions of a switch-switch link; in-flight packets
+          still land, later transmissions are dropped and counted *)
+  | Link_up of { switch : int; port : int }
+  | Link_latency of { switch : int; port : int; factor : float }
+      (** multiply both directions' propagation latency by [factor] >= 1
+          (1 restores); < 1 is rejected — it could undercut the sharded
+          lookahead window *)
+  | Wire_loss of { switch : int; port : int; ge : Gilbert.params option }
+      (** burst loss on one {e direction} of a wire ([None] clears) *)
+  | Nic_loss of { host : int; ge : Gilbert.params option }
+  | Nic_latency of { host : int; extra : Time.t }
+  | Notify_loss of { switch : int; ge : Gilbert.params option }
+      (** burst loss on the DP→CPU notification channel *)
+  | Cmd_loss of { switch : int; ge : Gilbert.params option }
+      (** burst loss on observer→CP commands (initiations/resends) *)
+  | Report_loss of { switch : int; ge : Gilbert.params option }
+      (** burst loss on CP→observer reports *)
+  | Cp_crash of { switch : int }
+      (** kill the control-plane process: queued notifications and
+          in-flight CPU timers are lost, arrivals dropped until restart *)
+  | Cp_restart of { switch : int }
+      (** restart with a fresh tracker and an immediate register re-sync
+          ({!Speedlight_net.Control_plane.restart}) *)
+  | Clock_step of { switch : int; delta_ns : float }
+      (** PTP time-step fault: shift the switch clock's offset *)
+  | Clock_holdover of { switch : int; on : bool }
+      (** enter/leave holdover: sync rounds are skipped and the clock
+          free-runs on its last drift estimate *)
+  | Notify_saturation of { switch : int; capacity : int option }
+      (** clamp the CP notification queue to [capacity] ([None]
+          restores the configured value) — a saturation burst *)
+
+type event = { at : Time.t; action : action }
+
+type plan = { seed : int; events : event list }
+(** [seed] parameterizes every stochastic loss process in the plan. *)
+
+val validate : net:Net.t -> plan -> (unit, string) result
+(** Check every event against the deployment: entity ranges, wire ports
+    actually facing switches, latency factors >= 1, probabilities in
+    [0, 1], non-negative times and capacities. *)
+
+type t
+(** An installed plan: firing log plus live loss-process stats. *)
+
+val install : net:Net.t -> plan -> t
+(** Compile the plan onto the net. Raises [Invalid_argument] when
+    {!validate} fails. Call before the first run. *)
+
+val firings : t -> (event * Time.t option) list
+(** Plan events with the simulated time their action actually executed
+    ([None]: not reached yet). *)
+
+val fired_count : t -> int
+
+val ge_stats : t -> (int * int * int) list
+(** Per burst-loss chain: (event index, packets seen, packets lost). *)
+
+val digest : t -> string
+(** Canonical text of every firing and every chain's (losses/packets) —
+    equal digests mean two runs injected identical faults at identical
+    instants (the 1/2/4-shard equivalence check). *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val action_name : action -> string
+val pp_action : Format.formatter -> action -> unit

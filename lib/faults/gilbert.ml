@@ -1,0 +1,64 @@
+open Speedlight_sim
+
+type params = {
+  p_good_to_bad : float;
+  p_bad_to_good : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+let default_burst =
+  {
+    p_good_to_bad = 0.01;
+    p_bad_to_good = 0.25;
+    loss_good = 0.;
+    loss_bad = 0.5;
+  }
+
+let validate p =
+  let prob name v =
+    if not (v >= 0. && v <= 1.) then
+      Error (Printf.sprintf "Gilbert: %s = %g out of [0, 1]" name v)
+    else Ok ()
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () = prob "p_good_to_bad" p.p_good_to_bad in
+  let* () = prob "p_bad_to_good" p.p_bad_to_good in
+  let* () = prob "loss_good" p.loss_good in
+  prob "loss_bad" p.loss_bad
+
+type t = {
+  params : params;
+  rng : Rng.t;
+  mutable bad : bool;
+  mutable packets : int;
+  mutable losses : int;
+}
+
+let create ?(rng = Rng.create 1) params =
+  (match validate params with Ok () -> () | Error m -> invalid_arg m);
+  { params; rng; bad = false; packets = 0; losses = 0 }
+
+(* Exactly two draws per packet — loss in the current state, then the
+   state transition — so the stream position is a pure function of the
+   packet count, independent of outcomes. *)
+let drop t =
+  t.packets <- t.packets + 1;
+  let loss_p = if t.bad then t.params.loss_bad else t.params.loss_good in
+  let lost = Rng.bernoulli t.rng loss_p in
+  let flip_p = if t.bad then t.params.p_bad_to_good else t.params.p_good_to_bad in
+  if Rng.bernoulli t.rng flip_p then t.bad <- not t.bad;
+  if lost then t.losses <- t.losses + 1;
+  lost
+
+let in_bad t = t.bad
+let packets t = t.packets
+let losses t = t.losses
+
+let expected_loss p =
+  (* Stationary distribution of the 2-state chain. *)
+  let denom = p.p_good_to_bad +. p.p_bad_to_good in
+  if denom = 0. then p.loss_good
+  else
+    let pi_bad = p.p_good_to_bad /. denom in
+    ((1. -. pi_bad) *. p.loss_good) +. (pi_bad *. p.loss_bad)

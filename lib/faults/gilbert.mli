@@ -1,0 +1,44 @@
+(** Gilbert–Elliott burst loss.
+
+    The classic two-state Markov loss model: a channel alternates between
+    a [good] and a [bad] state with per-packet transition probabilities,
+    and loses each packet with a state-dependent probability. Bursts
+    emerge from the sojourn times in the bad state — the mean burst
+    length is [1 / p_bad_to_good] packets.
+
+    Determinism: each chain owns its RNG and advances it by exactly two
+    draws per packet, so the loss pattern is a pure function of (seed,
+    packet index on this channel) — the property
+    {!Speedlight_faults.Faults} relies on to keep sharded runs
+    bit-identical to serial ones. *)
+
+open Speedlight_sim
+
+type params = {
+  p_good_to_bad : float;  (** per-packet transition good → bad *)
+  p_bad_to_good : float;  (** per-packet transition bad → good *)
+  loss_good : float;  (** loss probability in the good state *)
+  loss_bad : float;  (** loss probability in the bad state *)
+}
+
+val default_burst : params
+(** ~3.8% average loss in ~4-packet bursts: good→bad 0.01, bad→good 0.25,
+    lossless good state, 50% loss in the bad state. *)
+
+val validate : params -> (unit, string) result
+
+type t
+
+val create : ?rng:Rng.t -> params -> t
+(** Starts in the good state. Raises [Invalid_argument] if any
+    probability is outside [0, 1]. *)
+
+val drop : t -> bool
+(** Advance the chain by one packet and decide its fate. *)
+
+val in_bad : t -> bool
+val packets : t -> int
+val losses : t -> int
+
+val expected_loss : params -> float
+(** Stationary average loss rate — handy for calibrating sweeps. *)

@@ -9,7 +9,9 @@ type t = {
   rng : Rng.t;
   cfg : Config.t;
   clk : Clock.t;
-  tracker : Cp_tracker.t;
+  mutable tracker : Cp_tracker.t;
+  units : Cp_tracker.unit_spec list;  (* kept to rebuild the tracker on restart *)
+  report : Report.t -> unit;
   inject : port:int -> sid_wrapped:int -> ghost_sid:int -> unit;
   flood : unit -> unit;
   ports : int list;
@@ -18,6 +20,14 @@ type t = {
   mutable drops : int;
   mutable peak : int;
   mutable received : int;
+  (* Crash faults: [down] kills the process; [epoch] invalidates every
+     CPU-side timer captured before the crash (the in-flight service /
+     initiation closures check it and abandon). *)
+  mutable down : bool;
+  mutable epoch : int;
+  mutable crashes : int;
+  mutable crash_drops : int;
+  mutable cap_override : int option;
 }
 
 let wrap_sid (cfg : Config.t) sid =
@@ -25,13 +35,14 @@ let wrap_sid (cfg : Config.t) sid =
     Wrap.wrap ~max_sid:cfg.unit_cfg.Snapshot_unit.max_sid sid
   else sid
 
+let make_tracker (cfg : Config.t) ~units ~report =
+  Cp_tracker.create
+    ~channel_state:cfg.Config.unit_cfg.Snapshot_unit.channel_state
+    ~max_sid:cfg.Config.unit_cfg.Snapshot_unit.max_sid
+    ~wraparound:cfg.Config.unit_cfg.Snapshot_unit.wraparound ~units ~report ()
+
 let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~report =
-  let tracker =
-    Cp_tracker.create
-      ~channel_state:cfg.Config.unit_cfg.Snapshot_unit.channel_state
-      ~max_sid:cfg.Config.unit_cfg.Snapshot_unit.max_sid
-      ~wraparound:cfg.Config.unit_cfg.Snapshot_unit.wraparound ~units ~report ()
-  in
+  let tracker = make_tracker cfg ~units ~report in
   let t =
     {
       switch_id;
@@ -40,6 +51,8 @@ let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~rep
       cfg;
       clk = clock;
       tracker;
+      units;
+      report;
       inject;
       flood;
       ports;
@@ -48,6 +61,11 @@ let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~rep
       drops = 0;
       peak = 0;
       received = 0;
+      down = false;
+      epoch = 0;
+      crashes = 0;
+      crash_drops = 0;
+      cap_override = None;
     }
   in
   (match cfg.Config.cp_poll_interval with
@@ -56,7 +74,8 @@ let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~rep
       let rec tick () =
         ignore
           (Engine.schedule_after engine ~delay:interval (fun () ->
-               Cp_tracker.poll tracker ~now:(Engine.now engine);
+               if not t.down then
+                 Cp_tracker.poll t.tracker ~now:(Engine.now engine);
                tick ()))
       in
       tick ());
@@ -72,15 +91,24 @@ let rec service t =
   | None -> t.servicing <- false
   | Some n ->
       t.servicing <- true;
+      let epoch = t.epoch in
       ignore
         (Engine.schedule_after t.engine ~delay:t.cfg.Config.notify_proc_time
            (fun () ->
-             Cp_tracker.on_notify t.tracker ~now:(Engine.now t.engine) n;
-             service t))
+             if t.epoch = epoch then begin
+               Cp_tracker.on_notify t.tracker ~now:(Engine.now t.engine) n;
+               service t
+             end))
+
+let queue_capacity t =
+  match t.cap_override with
+  | Some c -> c
+  | None -> t.cfg.Config.notify_queue_capacity
 
 let deliver_notification t n =
   t.received <- t.received + 1;
-  if Queue.length t.queue >= t.cfg.Config.notify_queue_capacity then
+  if t.down then t.crash_drops <- t.crash_drops + 1
+  else if Queue.length t.queue >= queue_capacity t then
     t.drops <- t.drops + 1
   else begin
     Queue.push n t.queue;
@@ -104,33 +132,74 @@ let broadcast_initiation t ~sid =
     t.ports
 
 let schedule_initiation t ~sid ~fire_at_local =
-  (* Convert the agreed local-clock deadline to true simulation time, then
-     add the OS scheduling jitter of the initiation thread. *)
-  let true_fire = Clock.true_time_of_local t.clk ~local:fire_at_local in
-  let jitter =
-    Time.of_ns_float
-      (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
-  in
-  let at = Time.max (Engine.now t.engine) (Time.add true_fire jitter) in
-  ignore (Engine.schedule t.engine ~at (fun () -> broadcast_initiation t ~sid))
+  (* A dead process cannot schedule the initiation thread; commands that
+     arrive while down are simply lost (the observer's retry path covers
+     recovery). *)
+  if not t.down then begin
+    (* Convert the agreed local-clock deadline to true simulation time, then
+       add the OS scheduling jitter of the initiation thread. *)
+    let true_fire = Clock.true_time_of_local t.clk ~local:fire_at_local in
+    let jitter =
+      Time.of_ns_float
+        (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
+    in
+    let at = Time.max (Engine.now t.engine) (Time.add true_fire jitter) in
+    let epoch = t.epoch in
+    ignore
+      (Engine.schedule t.engine ~at (fun () ->
+           if t.epoch = epoch then broadcast_initiation t ~sid))
+  end
 
 let resend_initiation t ~sid =
-  let jitter =
-    Time.of_ns_float
-      (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
-  in
-  ignore
-    (Engine.schedule_after t.engine ~delay:jitter (fun () ->
-         broadcast_initiation t ~sid;
-         (* Also force marker propagation over idle channels so snapshots
-            gated on Last Seen can complete without waiting for traffic.
-            The flood runs after the re-broadcast initiations have reached
-            the data plane, so markers carry the new snapshot ID. *)
-         ignore
-           (Engine.schedule_after t.engine ~delay:(Time.us 50) (fun () ->
-                t.flood ()))))
+  if not t.down then begin
+    let jitter =
+      Time.of_ns_float
+        (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
+    in
+    let epoch = t.epoch in
+    ignore
+      (Engine.schedule_after t.engine ~delay:jitter (fun () ->
+           if t.epoch = epoch then begin
+             broadcast_initiation t ~sid;
+             (* Also force marker propagation over idle channels so snapshots
+                gated on Last Seen can complete without waiting for traffic.
+                The flood runs after the re-broadcast initiations have reached
+                the data plane, so markers carry the new snapshot ID. *)
+             ignore
+               (Engine.schedule_after t.engine ~delay:(Time.us 50) (fun () ->
+                    if t.epoch = epoch then t.flood ()))
+           end))
+  end
 
-let flood_markers t = t.flood ()
+let flood_markers t = if not t.down then t.flood ()
+
+let crash t =
+  if not t.down then begin
+    t.down <- true;
+    t.crashes <- t.crashes + 1;
+    t.epoch <- t.epoch + 1;
+    (* Queued-but-unserviced notifications die with the process: CP soft
+       state is lost (§6 "Handling failures"). *)
+    t.crash_drops <- t.crash_drops + Queue.length t.queue;
+    Queue.clear t.queue;
+    t.servicing <- false
+  end
+
+let restart t =
+  if t.down then begin
+    t.down <- false;
+    (* A fresh process has no memory of prior snapshots: rebuild the
+       tracker from scratch and immediately re-sync against the data
+       plane's registers — the §6 recovery path the paper leans on (DP
+       state survives; CP state is reconstructible by reading it). *)
+    t.tracker <- make_tracker t.cfg ~units:t.units ~report:t.report;
+    Cp_tracker.poll t.tracker ~now:(Engine.now t.engine)
+  end
+
+let is_down t = t.down
+let crashes t = t.crashes
+let crash_drops t = t.crash_drops
+let set_queue_capacity_override t c = t.cap_override <- c
 
 let notif_drops t = t.drops
 let notif_queue_depth t = Queue.length t.queue

@@ -57,3 +57,30 @@ val notif_drops : t -> int
 val notif_queue_depth : t -> int
 val notif_queue_peak : t -> int
 val notifications_received : t -> int
+
+(** {2 Fault hooks} *)
+
+val crash : t -> unit
+(** Kill the control-plane process: all queued notifications and every
+    in-flight CPU-side timer (service steps, pending initiation threads)
+    are lost; incoming notifications and commands are dropped (and
+    counted) until {!restart}. The data plane keeps forwarding — only the
+    CP soft state dies, exactly the failure §6 argues is recoverable. *)
+
+val restart : t -> unit
+(** Bring the process back with a {e fresh} tracker (no memory of prior
+    snapshots) and an immediate register poll to re-sync with the data
+    plane. Snapshots the dead CP never finalized are re-reported from the
+    register state — conservatively inconsistent where the evidence was
+    lost, never falsely consistent. *)
+
+val is_down : t -> bool
+val crashes : t -> int
+
+val crash_drops : t -> int
+(** Notifications lost to crashes: queued at crash time or arriving while
+    down. *)
+
+val set_queue_capacity_override : t -> int option -> unit
+(** Temporarily replace [notify_queue_capacity] (notification-queue
+    saturation bursts); [None] restores the configured capacity. *)

@@ -51,13 +51,17 @@ let start net ~period ?(history = 128) ?(on_snapshot = fun _ -> ()) () =
       ignore
         (Engine.schedule_after engine ~delay:period (fun () ->
              if t.running then begin
-               (* Respect wraparound pacing: skip rather than crash when
-                  too many snapshots are still outstanding. *)
-               (try
-                  let sid = Net.take_snapshot t.net () in
-                  Hashtbl.replace mine sid ();
-                  t.taken <- t.taken + 1
-                with Failure _ -> t.skipped <- t.skipped + 1);
+               (* Respect wraparound pacing: skip this period rather than
+                  crash when too many snapshots are still outstanding. A
+                  net with no registered devices is a harness bug, not a
+                  pacing condition — let that one propagate. *)
+               (match Net.try_take_snapshot t.net () with
+               | Ok sid ->
+                   Hashtbl.replace mine sid ();
+                   t.taken <- t.taken + 1
+               | Error Observer.Pacing_full -> t.skipped <- t.skipped + 1
+               | Error (Observer.No_devices as e) ->
+                   invalid_arg ("Monitor: " ^ Observer.error_to_string e));
                tick ()
              end))
   in

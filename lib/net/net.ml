@@ -69,6 +69,69 @@ type host_tx = {
    "before everything at its time" semantics. *)
 type global = { g_at : Time.t; g_seq : int; g_run : unit -> unit }
 
+(* ------------------------------------------------------------------ *)
+(* Fault interposers.
+
+   Every channel (wire, NIC, notify, cmd, report) owns a fault record
+   consulted on its send path. The default state is a single
+   load-and-branch ([cf_active] / a [None] drop hook), so the no-fault
+   hot path is unchanged. All fields are mutated only from the shard
+   that owns the channel's send side ({!Speedlight_faults} schedules its
+   fault events there), keeping sharded runs race-free and
+   deterministic.
+
+   Extra latency can shrink back to zero mid-run, which could reorder a
+   FIFO channel; [cf_last_arrival] clamps arrivals monotone per channel
+   so ring order always equals event order. Extra latency is always
+   >= 0, so a cross-shard channel never undercuts the lookahead that was
+   computed from its fault-free delay. *)
+(* ------------------------------------------------------------------ *)
+
+type chan_fault = {
+  mutable cf_active : bool;  (* fast-path summary of the fields below *)
+  mutable cf_up : bool;
+  mutable cf_extra : Time.t;  (* added one-way latency, >= 0 *)
+  mutable cf_drop : (unit -> bool) option;  (* per-packet loss process *)
+  mutable cf_last_arrival : Time.t;
+  mutable cf_drops : int;
+}
+
+let fresh_chan_fault () =
+  {
+    cf_active = false;
+    cf_up = true;
+    cf_extra = Time.zero;
+    cf_drop = None;
+    cf_last_arrival = Time.zero;
+    cf_drops = 0;
+  }
+
+let chan_fault_refresh cf =
+  cf.cf_active <-
+    (not cf.cf_up)
+    || cf.cf_extra <> Time.zero
+    || (match cf.cf_drop with Some _ -> true | None -> false)
+
+(* Control channels (notify / cmd / report) only ever lose whole
+   messages; latency shaping there would race the protocol's own timers
+   for no modeling benefit. *)
+type ctl_fault = {
+  mutable xf_drop : (unit -> bool) option;
+  mutable xf_drops : int;
+}
+
+let fresh_ctl_fault () = { xf_drop = None; xf_drops = 0 }
+
+let[@inline] ctl_fault_drops xf =
+  match xf.xf_drop with
+  | None -> false
+  | Some d ->
+      if d () then begin
+        xf.xf_drops <- xf.xf_drops + 1;
+        true
+      end
+      else false
+
 type t = {
   engines : Engine.t array;
   n_shards : int;
@@ -90,6 +153,15 @@ type t = {
   mutable next_flow : int;
   mutable globals : global list;  (* pending, sorted; sharded mode only *)
   mutable global_seq : int;
+  (* Fault interposers, indexed like the channels they guard. Wire
+     records exist for every (switch, port) but only switch-facing ports
+     consult them. *)
+  wire_faults : chan_fault array array;  (* [switch].[port], send side *)
+  nic_faults : chan_fault array;  (* [host], host -> attachment switch *)
+  notify_faults : ctl_fault array;  (* [switch], DP -> CP *)
+  cmd_faults : ctl_fault array;  (* [switch], observer -> CP *)
+  report_faults : ctl_fault array;  (* [switch], CP -> observer *)
+  notif_chan_drops : int array;  (* [switch]: config bernoulli losses *)
 }
 
 (* Reserved stable source ids; the rest are assigned in deterministic
@@ -317,6 +389,15 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       next_flow = 1;
       globals = [];
       global_seq = 0;
+      wire_faults =
+        Array.init n_sw (fun s ->
+            Array.init (Topology.ports topo s) (fun _ -> fresh_chan_fault ()));
+      nic_faults =
+        Array.init (Topology.n_hosts topo) (fun _ -> fresh_chan_fault ());
+      notify_faults = Array.init n_sw (fun _ -> fresh_ctl_fault ());
+      cmd_faults = Array.init n_sw (fun _ -> fresh_ctl_fault ());
+      report_faults = Array.init n_sw (fun _ -> fresh_ctl_fault ());
+      notif_chan_drops = Array.make n_sw 0;
     }
   in
   let utilized = compute_utilized topo routing in
@@ -329,8 +410,12 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
     let notify n =
       (* DP -> CPU channel: latency plus possible loss, always on the
          switch's own shard. Loss is drawn from the switch's private
-         stream so the draw order is a shard-local property. *)
-      if not (Rng.bernoulli nrng cfg.Config.notify_drop_prob) then
+         stream so the draw order is a shard-local property. The config
+         bernoulli is always drawn first — injected fault processes then
+         cannot shift the stream the steady-state model consumes. *)
+      if Rng.bernoulli nrng cfg.Config.notify_drop_prob then
+        t.notif_chan_drops.(s) <- t.notif_chan_drops.(s) + 1
+      else if not (ctl_fault_drops t.notify_faults.(s)) then
         Engine.schedule_after_unit eng ~delay:cfg.Config.notify_latency (fun () ->
             Control_plane.deliver_notification t.cps.(s) n)
     in
@@ -371,22 +456,41 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
           Switch.receive t.switches.(attach_sw) ~port:attach_port pkt))
     t.host_txs;
   (* Outbound wire hand-offs: same-shard peers schedule directly on the
-     receiver's engine; cut links go through the mailbox. *)
+     receiver's engine; cut links go through the mailbox. Each closure
+     first consults the sender-side fault record — a single flag test on
+     the fault-free path. *)
   for s = 0 to n_sw - 1 do
     List.iter
       (fun (p, s', p') ->
         match rx_chans.(s').(p') with
         | Some chan ->
-            if shard_of.(s) = chan.rx_shard then
-              Switch.set_wire_out t.switches.(s) ~port:p (fun pkt ~arrival ->
-                  Ring.push chan.rx_ring pkt;
-                  Engine.schedule_src_unit engines.(chan.rx_shard)
-                    ~src:chan.rx_src ~at:arrival chan.rx_on)
-            else begin
-              let mb = mailboxes.(shard_of.(s)).(chan.rx_shard) in
-              Switch.set_wire_out t.switches.(s) ~port:p (fun pkt ~arrival ->
-                  Mailbox.push mb (Pkt { chan; pkt; at = arrival }))
-            end
+            let deliver =
+              if shard_of.(s) = chan.rx_shard then (fun pkt ~arrival ->
+                Ring.push chan.rx_ring pkt;
+                Engine.schedule_src_unit engines.(chan.rx_shard)
+                  ~src:chan.rx_src ~at:arrival chan.rx_on)
+              else begin
+                let mb = mailboxes.(shard_of.(s)).(chan.rx_shard) in
+                fun pkt ~arrival -> Mailbox.push mb (Pkt { chan; pkt; at = arrival })
+              end
+            in
+            let wf = t.wire_faults.(s).(p) in
+            let sender_shard = shard_of.(s) in
+            Switch.set_wire_out t.switches.(s) ~port:p (fun pkt ~arrival ->
+                if not wf.cf_active then deliver pkt ~arrival
+                else if
+                  (not wf.cf_up)
+                  || (match wf.cf_drop with Some d -> d () | None -> false)
+                then begin
+                  wf.cf_drops <- wf.cf_drops + 1;
+                  Packet.Gen.release t.pktgens.(sender_shard) pkt
+                end
+                else begin
+                  let a = Time.add arrival wf.cf_extra in
+                  let a = if a < wf.cf_last_arrival then wf.cf_last_arrival else a in
+                  wf.cf_last_arrival <- a;
+                  deliver pkt ~arrival:a
+                end)
         | None -> failwith "Net.create: switch peer without receive channel")
       (Topology.switch_neighbors topo s)
   done;
@@ -461,10 +565,13 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
     let rsrc = report_src.(s) in
     let report r =
       (* CP -> observer shipping: a delayed message on the report channel
-         of this switch, landing on shard 0 where the observer lives. *)
-      let at = Time.add (Engine.now eng) cfg.Config.report_latency in
-      post_ctl t ~from_shard:shard ~shard:0 ~src:rsrc ~at (fun () ->
-          Observer.on_report t.obs r)
+         of this switch, landing on shard 0 where the observer lives. The
+         fault hook runs on the CP's shard (send side). *)
+      if not (ctl_fault_drops t.report_faults.(s)) then begin
+        let at = Time.add (Engine.now eng) cfg.Config.report_latency in
+        post_ctl t ~from_shard:shard ~shard:0 ~src:rsrc ~at (fun () ->
+            Observer.on_report t.obs r)
+      end
     in
     cp_acc :=
       Control_plane.create ~switch_id:s ~engine:eng ~rng:cp_rngs.(s) ~cfg ~clock
@@ -479,8 +586,12 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       let unit_ids = List.map Snapshot_unit.id (Switch.units t.switches.(s)) in
       let csrc = cmd_src.(s) and cshard = shard_of.(s) in
       let send_cmd run =
-        let at = Time.add (Engine.now engine0) cfg.Config.cmd_latency in
-        post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at run
+        (* Observer -> CP command channel; fault hook on shard 0 (send
+           side, where the observer lives). *)
+        if not (ctl_fault_drops t.cmd_faults.(s)) then begin
+          let at = Time.add (Engine.now engine0) cfg.Config.cmd_latency in
+          post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at run
+        end
       in
       Observer.register_device obs
         {
@@ -583,14 +694,35 @@ let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
   in
   tx.busy_until <- start + ser;
   let arrival = tx.busy_until + tx.link.Topology.latency in
-  if tx.rx.rx_shard = 0 then begin
-    Ring.push tx.rx.rx_ring pkt;
-    Engine.schedule_src_unit t.engines.(0) ~src:tx.rx.rx_src ~at:arrival
-      tx.rx.rx_on
+  let nf = t.nic_faults.(src) in
+  if
+    nf.cf_active
+    && ((not nf.cf_up) || (match nf.cf_drop with Some d -> d () | None -> false))
+  then begin
+    (* The NIC still serialized the packet (busy_until advanced); it is
+       lost in transit on the host link. *)
+    nf.cf_drops <- nf.cf_drops + 1;
+    Packet.Gen.release t.pktgens.(0) pkt
   end
-  else
-    Mailbox.push t.mailboxes.(0).(tx.rx.rx_shard)
-      (Pkt { chan = tx.rx; pkt; at = arrival })
+  else begin
+    let arrival =
+      if not nf.cf_active then arrival
+      else begin
+        let a = Time.add arrival nf.cf_extra in
+        let a = if a < nf.cf_last_arrival then nf.cf_last_arrival else a in
+        nf.cf_last_arrival <- a;
+        a
+      end
+    in
+    if tx.rx.rx_shard = 0 then begin
+      Ring.push tx.rx.rx_ring pkt;
+      Engine.schedule_src_unit t.engines.(0) ~src:tx.rx.rx_src ~at:arrival
+        tx.rx.rx_on
+    end
+    else
+      Mailbox.push t.mailboxes.(0).(tx.rx.rx_shard)
+        (Pkt { chan = tx.rx; pkt; at = arrival })
+  end
 
 let on_deliver t f =
   (* Delivery timing is now observable: stop short-circuiting the final
@@ -606,6 +738,7 @@ let events t =
   Array.fold_left (fun acc e -> acc + Engine.processed e) 0 t.engines
 
 let take_snapshot t ?at () = Observer.take_snapshot t.obs ?at ()
+let try_take_snapshot t ?at () = Observer.try_take_snapshot t.obs ?at ()
 let result t ~sid = Observer.result t.obs ~sid
 
 let sync_spread t ~sid =
@@ -650,7 +783,16 @@ let auto_exclude_idle t =
     t.switches
 
 let total_notif_drops t =
-  Array.fold_left (fun acc cp -> acc + Control_plane.notif_drops cp) 0 t.cps
+  let socket =
+    Array.fold_left
+      (fun acc cp -> acc + Control_plane.notif_drops cp + Control_plane.crash_drops cp)
+      0 t.cps
+  in
+  let chan = Array.fold_left ( + ) 0 t.notif_chan_drops in
+  let injected =
+    Array.fold_left (fun acc xf -> acc + xf.xf_drops) 0 t.notify_faults
+  in
+  socket + chan + injected
 
 let total_fifo_violations t =
   Array.fold_left
@@ -665,3 +807,97 @@ let total_queue_drops t =
       List.fold_left (fun acc p -> acc + Switch.queue_drops sw ~port:p) acc
         (Switch.connected_ports sw))
     0 t.switches
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection API ({!Speedlight_faults} drives these).
+
+   Every setter mutates state owned by one shard; callers must invoke it
+   either before {!run_until} or from an event running on the owning
+   shard — {!schedule_on_switch} / {!schedule_at_observer} provide
+   exactly that. *)
+(* ------------------------------------------------------------------ *)
+
+let wire_fault t ~switch ~port =
+  (match Topology.peer_of t.topo ~switch ~port with
+  | Some (Topology.Switch_port _) -> ()
+  | Some (Topology.Host_port _) | None ->
+      invalid_arg "Net: wire faults need a switch-facing port");
+  t.wire_faults.(switch).(port)
+
+let set_wire_state t ~switch ~port ~up =
+  let cf = wire_fault t ~switch ~port in
+  cf.cf_up <- up;
+  chan_fault_refresh cf
+
+let set_wire_extra_latency t ~switch ~port ~extra =
+  if extra < Time.zero then invalid_arg "Net.set_wire_extra_latency: extra < 0";
+  let cf = wire_fault t ~switch ~port in
+  cf.cf_extra <- extra;
+  chan_fault_refresh cf
+
+let set_wire_drop t ~switch ~port drop =
+  let cf = wire_fault t ~switch ~port in
+  cf.cf_drop <- drop;
+  chan_fault_refresh cf
+
+let wire_link_latency t ~switch ~port =
+  ignore (wire_fault t ~switch ~port);
+  match Topology.link_of t.topo ~switch ~port with
+  | Some l -> l.Topology.latency
+  | None -> invalid_arg "Net.wire_link_latency: no link"
+
+let set_nic_state t ~host ~up =
+  let cf = t.nic_faults.(host) in
+  cf.cf_up <- up;
+  chan_fault_refresh cf
+
+let set_nic_extra_latency t ~host ~extra =
+  if extra < Time.zero then invalid_arg "Net.set_nic_extra_latency: extra < 0";
+  let cf = t.nic_faults.(host) in
+  cf.cf_extra <- extra;
+  chan_fault_refresh cf
+
+let set_nic_drop t ~host drop =
+  let cf = t.nic_faults.(host) in
+  cf.cf_drop <- drop;
+  chan_fault_refresh cf
+
+let set_notify_drop t ~switch drop = t.notify_faults.(switch).xf_drop <- drop
+let set_cmd_drop t ~switch drop = t.cmd_faults.(switch).xf_drop <- drop
+let set_report_drop t ~switch drop = t.report_faults.(switch).xf_drop <- drop
+let crash_cp t ~switch = Control_plane.crash t.cps.(switch)
+let restart_cp t ~switch = Control_plane.restart t.cps.(switch)
+
+let schedule_on_switch t ~switch ~at f =
+  Engine.schedule_unit t.engines.(t.shard_of.(switch)) ~at f
+
+let schedule_at_observer t ~at f = Engine.schedule_unit t.engines.(0) ~at f
+
+type fault_drops = {
+  fd_wire : int;
+  fd_nic : int;
+  fd_notify : int;
+  fd_cmd : int;
+  fd_report : int;
+  fd_cp : int;
+}
+
+let fault_drops t =
+  let sum_ctl a = Array.fold_left (fun acc xf -> acc + xf.xf_drops) 0 a in
+  {
+    fd_wire =
+      Array.fold_left
+        (fun acc row ->
+          Array.fold_left (fun acc cf -> acc + cf.cf_drops) acc row)
+        0 t.wire_faults;
+    fd_nic = Array.fold_left (fun acc cf -> acc + cf.cf_drops) 0 t.nic_faults;
+    fd_notify = sum_ctl t.notify_faults;
+    fd_cmd = sum_ctl t.cmd_faults;
+    fd_report = sum_ctl t.report_faults;
+    fd_cp =
+      Array.fold_left (fun acc cp -> acc + Control_plane.crash_drops cp) 0 t.cps;
+  }
+
+let injected_drops t =
+  let d = fault_drops t in
+  d.fd_wire + d.fd_nic + d.fd_notify + d.fd_cmd + d.fd_report + d.fd_cp

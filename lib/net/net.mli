@@ -92,7 +92,11 @@ val events : t -> int
 val take_snapshot : t -> ?at:Time.t -> unit -> int
 (** Schedule a synchronized network snapshot via the observer; returns its
     snapshot ID. Results appear once the simulation advances past
-    completion; query with {!result}. *)
+    completion; query with {!result}. Raises [Failure] on pacing overrun —
+    prefer {!try_take_snapshot} in harness code. *)
+
+val try_take_snapshot : t -> ?at:Time.t -> unit -> (int, Observer.error) result
+(** Non-raising variant of {!take_snapshot}. *)
 
 val result : t -> sid:int -> Observer.snapshot option
 
@@ -116,5 +120,88 @@ val auto_exclude_idle : t -> unit
 (** {2 Diagnostics} *)
 
 val total_notif_drops : t -> int
+(** Notifications lost anywhere on the DP→CPU path: the configured
+    channel loss ([notify_drop_prob]), control-plane socket overflow,
+    injected channel faults, and losses to CP crashes. *)
+
 val total_fifo_violations : t -> int
 val total_queue_drops : t -> int
+
+(** {2 Fault injection}
+
+    Per-channel interposers consulted on each channel's send path, plus
+    control-plane lifecycle. These are the hook points
+    {!Speedlight_faults} drives; they are deliberately primitive —
+    declarative fault plans, burst-loss processes and seed management
+    live one layer up. Every setter mutates state owned by one shard:
+    call it before {!run_until}, or from an event scheduled with
+    {!schedule_on_switch} (wire/notify/report faults and CP lifecycle of
+    that switch) or {!schedule_at_observer} (NIC and cmd faults, which
+    live with the workload on shard 0). Added latency is clamped
+    non-negative and arrivals are kept monotone per channel, so sharded
+    lookahead and FIFO channel order are preserved and runs stay
+    bit-identical across shard counts for a fixed plan. *)
+
+val set_wire_state : t -> switch:int -> port:int -> up:bool -> unit
+(** Take one {e direction} of a switch-switch link down (packets handed
+    to the wire are dropped and counted) or back up. Raises
+    [Invalid_argument] if (switch, port) does not face a switch. *)
+
+val set_wire_extra_latency : t -> switch:int -> port:int -> extra:Time.t -> unit
+(** Add [extra] >= 0 one-way latency to a wire direction (0 restores). *)
+
+val set_wire_drop : t -> switch:int -> port:int -> (unit -> bool) option -> unit
+(** Install a per-packet loss process (e.g. a Gilbert–Elliott chain) on a
+    wire direction; the closure runs on the sending switch's shard. *)
+
+val wire_link_latency : t -> switch:int -> port:int -> Time.t
+(** Propagation latency of a switch-facing port's link — what a latency
+    degradation factor multiplies. *)
+
+val set_nic_state : t -> host:int -> up:bool -> unit
+val set_nic_extra_latency : t -> host:int -> extra:Time.t -> unit
+
+val set_nic_drop : t -> host:int -> (unit -> bool) option -> unit
+(** Same interposers for the host→switch NIC channel; these closures run
+    on shard 0 (the workload side). *)
+
+val set_notify_drop : t -> switch:int -> (unit -> bool) option -> unit
+(** Loss process on the DP→CPU notification channel, drawn {e after} the
+    configured [notify_drop_prob] bernoulli so the steady-state model's
+    RNG stream is undisturbed. Runs on the switch's shard. *)
+
+val set_cmd_drop : t -> switch:int -> (unit -> bool) option -> unit
+(** Loss process on the observer→CP command channel (runs on shard 0). *)
+
+val set_report_drop : t -> switch:int -> (unit -> bool) option -> unit
+(** Loss process on the CP→observer report channel (runs on the CP's
+    shard). *)
+
+val crash_cp : t -> switch:int -> unit
+(** {!Control_plane.crash} — call from the switch's shard. *)
+
+val restart_cp : t -> switch:int -> unit
+(** {!Control_plane.restart} — call from the switch's shard. *)
+
+val schedule_on_switch : t -> switch:int -> at:Time.t -> (unit -> unit) -> unit
+(** Schedule an anonymous event on the shard owning [switch] — the way
+    fault actions against that switch are timed. Call before
+    {!run_until}. *)
+
+val schedule_at_observer : t -> at:Time.t -> (unit -> unit) -> unit
+(** Schedule an anonymous event on shard 0 (observer / workload side). *)
+
+type fault_drops = {
+  fd_wire : int;
+  fd_nic : int;
+  fd_notify : int;
+  fd_cmd : int;
+  fd_report : int;
+  fd_cp : int;  (** notifications lost to CP crashes *)
+}
+
+val fault_drops : t -> fault_drops
+(** Per-channel-class counts of messages destroyed by injected faults. *)
+
+val injected_drops : t -> int
+(** Sum of all {!fault_drops} fields. *)

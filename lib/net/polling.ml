@@ -43,16 +43,19 @@ let poll_round net ?units ?(latency = default_latency) ?(order = `Shuffled) ~rng
   in
   go [] units
 
+exception Engine_drained
+
+let await engine result =
+  let rec spin () =
+    match !result with
+    | Some r -> r
+    | None -> if Engine.step engine then spin () else raise Engine_drained
+  in
+  spin ()
+
 let poll_round_sync net ?units ?latency ?order ~rng () =
   let result = ref None in
   poll_round net ?units ?latency ?order ~rng ~on_done:(fun r -> result := Some r) ();
   (* Polls only wait on their own timers, so running the engine dry (or up
      to the last scheduled poll) completes the sweep. *)
-  let rec spin () =
-    match !result with
-    | Some r -> r
-    | None ->
-        if Engine.step (Net.engine net) then spin ()
-        else failwith "Polling.poll_round_sync: engine drained before completion"
-  in
-  spin ()
+  await (Net.engine net) result

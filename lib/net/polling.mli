@@ -43,6 +43,16 @@ val poll_round :
     [order] defaults to [`Shuffled]: per-port RPCs complete in arbitrary
     order, so adjacent ports are not read back-to-back. *)
 
+exception Engine_drained
+(** The engine ran out of events before the awaited sweep finished —
+    possible only if something cancelled or swallowed a poll timer, so it
+    indicates a harness bug rather than a protocol condition. *)
+
+val await : Engine.t -> round option ref -> round
+(** Step [engine] until the cell is filled (the driver {!poll_round_sync}
+    builds on, exposed for tests and custom drivers). @raise
+    Engine_drained if the queue empties first. *)
+
 val poll_round_sync :
   Net.t ->
   ?units:Unit_id.t list ->
@@ -52,4 +62,6 @@ val poll_round_sync :
   unit ->
   round
 (** Convenience: run the engine until the sweep completes and return it.
-    Only use when no other experiment logic needs interleaving. *)
+    Only use when no other experiment logic needs interleaving.
+    @raise Engine_drained if the engine empties before the sweep's own
+    timers complete it (cannot happen in a well-formed harness). *)

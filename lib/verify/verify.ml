@@ -1,0 +1,291 @@
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_net
+
+(* What the auditor can re-derive about a counter from the tap stream
+   alone. Accumulator counters are replayed exactly; everything else
+   ("opaque": queue depth, EWMAs, FIB version, sketches) gets structural
+   checks only — their channel contribution is 0 by definition, so the
+   channel-state audit still applies. *)
+type replay = Per_packet | Per_byte | Opaque
+
+let replay_of_kind : Config.counter_kind -> replay = function
+  | Config.Packet_count -> Per_packet
+  | Config.Byte_count -> Per_byte
+  | Config.Queue_depth | Config.Ewma_interarrival | Config.Ewma_rate _
+  | Config.Fib_version | Config.Sketch_flow _ ->
+      Opaque
+
+type shadow = {
+  sh_uid : Unit_id.t;
+  ideal : Ideal_unit.t;
+  mutable ghost : int;  (* mirror of the unit's unbounded current ID *)
+  landed : (int, unit) Hashtbl.t;  (* IDs the unit landed exactly on *)
+  mutable events : int;
+}
+
+type t = {
+  net : Net.t;
+  replay : replay;
+  shadows : (Unit_id.t, shadow) Hashtbl.t;
+  mutable attached : bool;
+}
+
+(* The tap handler: mirrors the protocol's ghost-ID advance rule and
+   feeds the executable spec ({!Ideal_unit}) the ground-truth exchange
+   trace. Runs in the packet path on the unit's own shard; pure
+   shard-local mutation, no scheduling — it cannot perturb the run. *)
+let on_tap t sh (ev : Snapshot_unit.tap_event) =
+  sh.events <- sh.events + 1;
+  match ev with
+  | Snapshot_unit.Tap_data { channel; pkt_ghost; size } ->
+      let c =
+        match t.replay with
+        | Per_packet -> 1.
+        | Per_byte -> float_of_int size
+        | Opaque -> 0.
+      in
+      if pkt_ghost > sh.ghost then begin
+        Hashtbl.replace sh.landed pkt_ghost ();
+        sh.ghost <- pkt_ghost
+      end;
+      ignore
+        (Ideal_unit.on_receive sh.ideal ~sender:channel ~pkt_sid:pkt_ghost
+           ~contribution:c);
+      if t.replay <> Opaque then
+        Ideal_unit.set_state sh.ideal (Ideal_unit.state sh.ideal +. c)
+  | Snapshot_unit.Tap_external { size } ->
+      if t.replay <> Opaque then begin
+        let c = match t.replay with Per_byte -> float_of_int size | _ -> 1. in
+        Ideal_unit.set_state sh.ideal (Ideal_unit.state sh.ideal +. c)
+      end
+  | Snapshot_unit.Tap_init { ghost } ->
+      if ghost > sh.ghost then begin
+        Hashtbl.replace sh.landed ghost ();
+        sh.ghost <- ghost
+      end;
+      Ideal_unit.initiate sh.ideal ~sid:ghost
+
+let attach net =
+  let t =
+    {
+      net;
+      replay = replay_of_kind (Net.cfg net).Config.counter;
+      shadows = Hashtbl.create 128;
+      attached = true;
+    }
+  in
+  List.iter
+    (fun uid ->
+      let u = Net.unit_of net uid in
+      let sh =
+        {
+          sh_uid = uid;
+          ideal =
+            Ideal_unit.create
+              ~n_neighbors:(Snapshot_unit.n_neighbors u)
+              ~channel_state:(Snapshot_unit.cfg u).Snapshot_unit.channel_state;
+          ghost = 0;
+          landed = Hashtbl.create 64;
+          events = 0;
+        }
+      in
+      Hashtbl.replace t.shadows uid sh;
+      Snapshot_unit.set_tap u (Some (fun ev -> on_tap t sh ev)))
+    (Net.all_unit_ids net);
+  t
+
+let detach t =
+  if t.attached then begin
+    t.attached <- false;
+    Hashtbl.iter
+      (fun uid _ -> Snapshot_unit.set_tap (Net.unit_of t.net uid) None)
+      t.shadows
+  end
+
+let events_recorded t =
+  Hashtbl.fold (fun _ sh acc -> acc + sh.events) t.shadows 0
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts *)
+
+type mismatch = {
+  m_uid : Unit_id.t;
+  m_reason : string;
+  m_reported : float option;
+  m_ideal : float option;
+}
+
+type verdict =
+  | Certified_consistent
+      (** labeled consistent; every report matches the ideal cut *)
+  | False_consistent of mismatch list
+      (** labeled consistent; the trace proves it is not a consistent cut *)
+  | Correctly_flagged
+      (** not labeled consistent, and the trace justifies the label *)
+  | Over_conservative of Unit_id.t list
+      (** labeled inconsistent though the trace shows a clean cut and no
+          crash explains the lost evidence — safe, but reported *)
+  | Incomplete  (** not all units reported (or devices were excluded) *)
+
+let verdict_name = function
+  | Certified_consistent -> "certified"
+  | False_consistent _ -> "FALSE-CONSISTENT"
+  | Correctly_flagged -> "correctly-flagged"
+  | Over_conservative _ -> "over-conservative"
+  | Incomplete -> "incomplete"
+
+let close_enough a b =
+  Float.abs (a -. b) <= 1e-6 *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+let cp_crashed t switch =
+  Control_plane.crashes (Net.control_plane t.net switch) > 0
+
+(* Audit one report against the unit's shadow. Returns [Ok ()] when the
+   report's value (and channel state, when the deployment collects it)
+   equals the ideal protocol's, [Error m] otherwise. *)
+let check_report t sh (r : Report.t) =
+  let sid = r.Report.sid in
+  let ideal_v = Ideal_unit.snapshot_value sh.ideal ~sid in
+  let value_ok =
+    match t.replay with
+    | Opaque -> Ok ()
+    | Per_packet | Per_byte -> (
+        match (r.Report.value, ideal_v) with
+        | Some v, Some iv when close_enough v iv -> Ok ()
+        | Some v, Some iv ->
+            Error
+              {
+                m_uid = sh.sh_uid;
+                m_reason = "value diverges from ideal cut";
+                m_reported = Some v;
+                m_ideal = Some iv;
+              }
+        | None, _ ->
+            Error
+              {
+                m_uid = sh.sh_uid;
+                m_reason = "consistent report without a value";
+                m_reported = None;
+                m_ideal = ideal_v;
+              }
+        | Some v, None ->
+            Error
+              {
+                m_uid = sh.sh_uid;
+                m_reason = "unit never reached this snapshot in the trace";
+                m_reported = Some v;
+                m_ideal = None;
+              })
+  in
+  match value_ok with
+  | Error _ as e -> e
+  | Ok () ->
+      let unit_cfg = (Net.cfg t.net).Config.unit_cfg in
+      if not unit_cfg.Snapshot_unit.channel_state then Ok ()
+      else begin
+        let ideal_ch = Ideal_unit.channel_state_of sh.ideal ~sid in
+        if close_enough r.Report.channel ideal_ch then Ok ()
+        else
+          Error
+            {
+              m_uid = sh.sh_uid;
+              m_reason = "channel state diverges from ideal cut";
+              m_reported = Some r.Report.channel;
+              m_ideal = Some ideal_ch;
+            }
+      end
+
+let audit_one t ~sid =
+  match Net.result t.net ~sid with
+  | None -> Incomplete
+  | Some snap ->
+      if not snap.Observer.complete then Incomplete
+      else if snap.Observer.consistent then begin
+        let mismatches = ref [] in
+        Unit_id.Map.iter
+          (fun uid r ->
+            match Hashtbl.find_opt t.shadows uid with
+            | None -> ()  (* unit not under audit (attached late?) *)
+            | Some sh -> (
+                match check_report t sh r with
+                | Ok () -> ()
+                | Error m -> mismatches := m :: !mismatches))
+          snap.Observer.reports;
+        match !mismatches with
+        | [] -> Certified_consistent
+        | ms -> False_consistent (List.rev ms)
+      end
+      else begin
+        (* Inconsistent label: justified when, for every report flagged
+           inconsistent, the trace shows the unit skipped the ID (so
+           channel state really is unattributable) or lost evidence to a
+           CP crash. Anything else is the protocol being more
+           conservative than the evidence requires. *)
+        let unexplained = ref [] in
+        Unit_id.Map.iter
+          (fun uid (r : Report.t) ->
+            if not r.Report.consistent then
+              match Hashtbl.find_opt t.shadows uid with
+              | None -> ()
+              | Some sh ->
+                  let skipped = not (Hashtbl.mem sh.landed sid) in
+                  let crashed = cp_crashed t uid.Unit_id.switch in
+                  if not (skipped || crashed) then
+                    unexplained := uid :: !unexplained)
+          snap.Observer.reports;
+        match !unexplained with
+        | [] -> Correctly_flagged
+        | us -> Over_conservative (List.rev us)
+      end
+
+type audit = {
+  sids : (int * verdict) list;
+  certified : int list;
+  false_consistent : int list;
+  correctly_flagged : int list;
+  over_conservative : int list;
+  incomplete : int list;
+}
+
+let audit t ~sids =
+  let per = List.map (fun sid -> (sid, audit_one t ~sid)) sids in
+  let pick f = List.filter_map (fun (s, v) -> if f v then Some s else None) per in
+  {
+    sids = per;
+    certified = pick (function Certified_consistent -> true | _ -> false);
+    false_consistent = pick (function False_consistent _ -> true | _ -> false);
+    correctly_flagged = pick (function Correctly_flagged -> true | _ -> false);
+    over_conservative = pick (function Over_conservative _ -> true | _ -> false);
+    incomplete = pick (function Incomplete -> true | _ -> false);
+  }
+
+let ok a = a.false_consistent = []
+
+let pp_mismatch fmt m =
+  Format.fprintf fmt "%a: %s (reported %s, ideal %s)" Unit_id.pp m.m_uid
+    m.m_reason
+    (match m.m_reported with Some v -> Printf.sprintf "%g" v | None -> "-")
+    (match m.m_ideal with Some v -> Printf.sprintf "%g" v | None -> "-")
+
+let pp_verdict fmt = function
+  | False_consistent ms ->
+      Format.fprintf fmt "FALSE-CONSISTENT:@ %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_mismatch)
+        ms
+  | Over_conservative us ->
+      Format.fprintf fmt "over-conservative: %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Unit_id.pp)
+        us
+  | v -> Format.pp_print_string fmt (verdict_name v)
+
+let pp_audit fmt a =
+  Format.fprintf fmt
+    "audit: %d sids | certified %d | false-consistent %d | correctly-flagged \
+     %d | over-conservative %d | incomplete %d"
+    (List.length a.sids)
+    (List.length a.certified)
+    (List.length a.false_consistent)
+    (List.length a.correctly_flagged)
+    (List.length a.over_conservative)
+    (List.length a.incomplete)

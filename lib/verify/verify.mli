@@ -1,0 +1,87 @@
+(** Independent consistent-cut auditor.
+
+    Records the ground-truth exchange trace of every snapshot unit during
+    a run (via {!Speedlight_core.Snapshot_unit.set_tap}) and re-derives,
+    Chandy–Lamport-style through the executable spec
+    {!Speedlight_core.Ideal_unit}, what each snapshot's value and channel
+    state {e should} be at the true cut. The audit then classifies every
+    observer-labeled snapshot:
+
+    - a [consistent] label is {e certified} only when every report's
+      value (and channel state, when collected) equals the ideal cut's;
+    - an [inconsistent] label is {e correctly flagged} only when the
+      trace shows each flagged unit either skipped the snapshot ID
+      entirely (its channel state is genuinely unattributable) or lost
+      evidence to a control-plane crash.
+
+    The auditor shares no state with the protocol: the tap fires before
+    any unit logic runs and carries the pre-rewrite ground-truth IDs, so
+    a protocol bug (e.g. marker suppression,
+    {!Speedlight_core.Snapshot_unit.set_ignore_packet_ids}) cannot fool
+    it. Taps are shard-local, pure mutation — attaching the auditor never
+    changes the run (digests are unaffected).
+
+    Usage: create the net, {!attach}, run, then {!audit}. Under sharded
+    execution, only audit after [run_until] has returned (domains
+    joined). *)
+
+open Speedlight_dataplane
+open Speedlight_net
+
+type t
+
+val attach : Net.t -> t
+(** Install taps on every enabled unit. Call once, before the run. *)
+
+val detach : t -> unit
+(** Remove the taps (e.g. before reusing the net without auditing). *)
+
+val events_recorded : t -> int
+(** Total tap events seen across all units — sanity check that the
+    auditor actually observed traffic. *)
+
+(** {2 Verdicts} *)
+
+type mismatch = {
+  m_uid : Unit_id.t;
+  m_reason : string;
+  m_reported : float option;
+  m_ideal : float option;
+}
+
+type verdict =
+  | Certified_consistent
+      (** labeled consistent; every report matches the ideal cut *)
+  | False_consistent of mismatch list
+      (** labeled consistent; the trace proves it is not a consistent
+          cut — the failure the protocol must never exhibit *)
+  | Correctly_flagged
+      (** labeled inconsistent/justified by the trace *)
+  | Over_conservative of Unit_id.t list
+      (** labeled inconsistent though the trace shows a clean cut and no
+          crash explains it — safe but wasteful; listed units are the
+          unexplained flags *)
+  | Incomplete  (** not every expected unit reported *)
+
+val verdict_name : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+type audit = {
+  sids : (int * verdict) list;  (** every audited sid, in input order *)
+  certified : int list;
+  false_consistent : int list;
+  correctly_flagged : int list;
+  over_conservative : int list;
+  incomplete : int list;
+}
+
+val audit_one : t -> sid:int -> verdict
+
+val audit : t -> sids:int list -> audit
+
+val ok : audit -> bool
+(** [true] iff no snapshot is false-consistent — the property CI gates
+    on. Over-conservative and incomplete snapshots do not fail it. *)
+
+val pp_audit : Format.formatter -> audit -> unit

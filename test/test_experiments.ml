@@ -157,6 +157,24 @@ let test_scale_extension () =
     r;
   Scale.print null_fmt r
 
+let test_chaos_smoke () =
+  (* Two audited points: a clean baseline and a heavy-fault run. The
+     baseline must be fully certified; the faulted run may degrade but
+     never lie. *)
+  let clean = Chaos.run_point ~quick:true ~seed:31 ~intensity:0. () in
+  Alcotest.(check bool) "clean run completes" true
+    (clean.Chaos.completion_rate > 0.99);
+  Alcotest.(check int) "clean run: no false consistents" 0
+    clean.Chaos.false_consistent;
+  Alcotest.(check bool) "clean run: snapshots certified" true
+    (clean.Chaos.certified > 0);
+  let hot = Chaos.run_point ~quick:true ~seed:31 ~intensity:1. () in
+  Alcotest.(check bool) "faults actually injected" true
+    (hot.Chaos.injected_drops > 0 && hot.Chaos.faults_fired > 0);
+  Alcotest.(check int) "chaos run: no false consistents" 0
+    hot.Chaos.false_consistent;
+  Chaos.print null_fmt [ clean; hot ]
+
 let () =
   Alcotest.run "experiments"
     [
@@ -175,5 +193,7 @@ let () =
           Alcotest.test_case "ablation: notifications" `Slow test_ablation_notifications;
           Alcotest.test_case "scale extension" `Slow test_scale_extension;
           Alcotest.test_case "scale sharded (fat tree)" `Quick test_scale_sharded;
+          Alcotest.test_case "chaos sweep smoke (audited)" `Quick
+            test_chaos_smoke;
         ] );
     ]

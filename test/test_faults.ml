@@ -1,0 +1,249 @@
+(* Fault-injection subsystem: Gilbert–Elliott chain determinism, plan
+   validation, injected-fault behavior (flaps, loss, CP crashes), and the
+   headline property — a fault plan fires identically and yields a
+   bit-identical run under serial and sharded execution. *)
+
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+open Speedlight_faults
+open Speedlight_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Gilbert–Elliott *)
+
+let test_ge_deterministic () =
+  let mk () = Gilbert.create ~rng:(Rng.create 99) Gilbert.default_burst in
+  let a = mk () and b = mk () in
+  let seq t = List.init 5_000 (fun _ -> Gilbert.drop t) in
+  Alcotest.(check bool) "same seed, same loss pattern" true (seq a = seq b);
+  Alcotest.(check int) "packets counted" 5_000 (Gilbert.packets a);
+  Alcotest.(check int) "losses agree" (Gilbert.losses a) (Gilbert.losses b)
+
+let test_ge_expected_loss () =
+  let p = Gilbert.default_burst in
+  let t = Gilbert.create ~rng:(Rng.create 7) p in
+  let n = 200_000 in
+  for _ = 1 to n do
+    ignore (Gilbert.drop t)
+  done;
+  let measured = float_of_int (Gilbert.losses t) /. float_of_int n in
+  let expected = Gilbert.expected_loss p in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f ~ stationary %.4f" measured expected)
+    true
+    (Float.abs (measured -. expected) < 0.005)
+
+let test_ge_validate () =
+  let bad = { Gilbert.default_burst with Gilbert.loss_bad = 1.5 } in
+  (match Gilbert.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "loss_bad = 1.5 accepted");
+  match Gilbert.validate Gilbert.default_burst with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "default params rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Plans on the testbed *)
+
+let make_testbed ?(cfg = Config.default) ?(shards = 1) () =
+  Common.make_testbed ~scaled:true ~cfg ~shards ()
+
+let start_uniform ?(rate = 4_000.) net (ls : Topology.leaf_spine) ~until =
+  let send ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size () in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net) ~send
+    ~fids:(Traffic.flow_ids ())
+    ~hosts:(Array.to_list ls.Topology.host_of_server)
+    ~rate_pps:rate ~pkt_size:1000 ~until
+
+let first_uplink (ls : Topology.leaf_spine) =
+  match ls.Topology.uplink_ports with
+  | (l, p :: _) :: _ -> (l, p)
+  | _ -> assert false
+
+let test_validate_rejects () =
+  let _ls, net = make_testbed () in
+  let reject name events =
+    match Faults.validate ~net { Faults.seed = 1; events } with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s accepted" name
+  in
+  reject "switch out of range"
+    [ { Faults.at = Time.ms 1; action = Faults.Cp_crash { switch = 99 } } ];
+  reject "host port is not a wire"
+    [
+      {
+        Faults.at = Time.ms 1;
+        action = Faults.Link_down { switch = 0; port = 999 };
+      };
+    ];
+  reject "latency factor < 1"
+    [
+      {
+        Faults.at = Time.ms 1;
+        action = Faults.Link_latency { switch = 0; port = 0; factor = 0.5 };
+      };
+    ];
+  reject "negative time"
+    [ { Faults.at = -5; action = Faults.Cp_crash { switch = 0 } } ]
+
+let test_link_down_drops () =
+  let ls, net = make_testbed () in
+  let sw, port = first_uplink ls in
+  start_uniform net ls ~until:(Time.ms 60);
+  let plan =
+    {
+      Faults.seed = 3;
+      events =
+        [
+          { Faults.at = Time.ms 20; action = Faults.Link_down { switch = sw; port } };
+          { Faults.at = Time.ms 40; action = Faults.Link_up { switch = sw; port } };
+        ];
+    }
+  in
+  let f = Faults.install ~net plan in
+  Net.run_until net (Time.ms 80);
+  Alcotest.(check int) "both events fired" 2 (Faults.fired_count f);
+  let d = Net.fault_drops net in
+  Alcotest.(check bool) "wire drops counted" true (d.Net.fd_wire > 0);
+  Alcotest.(check bool) "traffic still flows" true (Net.delivered net > 0)
+
+let test_wire_burst_loss () =
+  let ls, net = make_testbed () in
+  let sw, port = first_uplink ls in
+  start_uniform net ls ~until:(Time.ms 60);
+  let plan =
+    {
+      Faults.seed = 5;
+      events =
+        [
+          {
+            Faults.at = Time.ms 5;
+            action =
+              Faults.Wire_loss
+                {
+                  switch = sw;
+                  port;
+                  ge =
+                    Some
+                      {
+                        Gilbert.p_good_to_bad = 0.2;
+                        p_bad_to_good = 0.2;
+                        loss_good = 0.;
+                        loss_bad = 0.8;
+                      };
+                };
+          };
+        ];
+    }
+  in
+  let f = Faults.install ~net plan in
+  Net.run_until net (Time.ms 80);
+  (match Faults.ge_stats f with
+  | [ (idx, pkts, losses) ] ->
+      Alcotest.(check int) "chain is event 0" 0 idx;
+      Alcotest.(check bool) "chain saw packets" true (pkts > 100);
+      Alcotest.(check bool) "chain dropped some" true (losses > 0)
+  | l -> Alcotest.failf "expected one chain, got %d" (List.length l));
+  Alcotest.(check bool) "drops tallied on the net" true
+    (Net.injected_drops net > 0)
+
+let test_cp_crash_restart () =
+  let ls, net = make_testbed () in
+  start_uniform net ls ~until:(Time.ms 200);
+  ignore
+    (Engine.schedule (Net.engine net) ~at:(Time.ms 15) (fun () ->
+         Net.auto_exclude_idle net));
+  let plan =
+    {
+      Faults.seed = 11;
+      events =
+        [
+          { Faults.at = Time.ms 60; action = Faults.Cp_crash { switch = 0 } };
+          { Faults.at = Time.ms 90; action = Faults.Cp_restart { switch = 0 } };
+        ];
+    }
+  in
+  ignore (Faults.install ~net plan);
+  let engine = Net.engine net in
+  let sids = ref [] in
+  for i = 0 to 5 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 20) (i * Time.ms 25))
+         (fun () -> sids := Net.take_snapshot net () :: !sids))
+  done;
+  Net.run_until net (Time.ms 600);
+  let cp = Net.control_plane net 0 in
+  Alcotest.(check int) "one crash recorded" 1 (Control_plane.crashes cp);
+  Alcotest.(check bool) "back up" false (Control_plane.is_down cp);
+  (* Liveness: snapshots taken after the restart still complete. *)
+  let last = List.hd !sids in
+  match Net.result net ~sid:last with
+  | Some s -> Alcotest.(check bool) "post-restart snapshot completes" true
+                s.Observer.complete
+  | None -> Alcotest.fail "post-restart snapshot missing"
+
+(* ------------------------------------------------------------------ *)
+(* The headline: serial and sharded runs inject identical faults and
+   produce bit-identical results. *)
+
+let chaos_run ~shards =
+  let cfg = Config.default |> Config.with_seed 21 in
+  let ls, net = make_testbed ~cfg ~shards () in
+  start_uniform net ls ~until:(Time.ms 120);
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let plan =
+    Chaos.plan ls ~intensity:0.8 ~seed:21 ~t0:(Time.ms 20)
+      ~duration:(Time.ms 100)
+  in
+  let f = Faults.install ~net plan in
+  let engine = Net.engine net in
+  let sids = ref [] in
+  for i = 0 to 7 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 20) (i * Time.ms 12))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error _ -> ()))
+  done;
+  Net.run_until net (Time.ms 400);
+  (Faults.digest f, Common.run_digest net ~sids:(List.rev !sids))
+
+let test_sharded_fault_equivalence () =
+  let fd1, rd1 = chaos_run ~shards:1 in
+  let fd2, rd2 = chaos_run ~shards:2 in
+  let fd4, rd4 = chaos_run ~shards:4 in
+  Alcotest.(check string) "fault digest 1 = 2 shards" fd1 fd2;
+  Alcotest.(check string) "fault digest 1 = 4 shards" fd1 fd4;
+  Alcotest.(check string) "run digest 1 = 2 shards" rd1 rd2;
+  Alcotest.(check string) "run digest 1 = 4 shards" rd1 rd4
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "gilbert",
+        [
+          Alcotest.test_case "deterministic" `Quick test_ge_deterministic;
+          Alcotest.test_case "stationary loss rate" `Quick test_ge_expected_loss;
+          Alcotest.test_case "validation" `Quick test_ge_validate;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "validate rejects bad plans" `Quick
+            test_validate_rejects;
+          Alcotest.test_case "link flap drops and recovers" `Quick
+            test_link_down_drops;
+          Alcotest.test_case "wire burst loss" `Quick test_wire_burst_loss;
+          Alcotest.test_case "cp crash + restart" `Quick test_cp_crash_restart;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "fault plan bit-identical at 1/2/4 shards" `Slow
+            test_sharded_fault_equivalence;
+        ] );
+    ]

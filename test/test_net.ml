@@ -382,6 +382,73 @@ let test_polling_baseline () =
       Alcotest.(check bool) "values nonnegative" true (s.Polling.value >= 0.))
     round.Polling.samples
 
+let test_polling_engine_drained () =
+  (* The sync-wait must fail loudly — not hang or return garbage — when
+     the engine runs out of events before the round result lands. Drive
+     [Polling.await] (the helper poll_round_sync blocks on) against an
+     engine that has nothing scheduled. *)
+  let engine = Engine.create () in
+  Alcotest.check_raises "drained engine raises" Polling.Engine_drained
+    (fun () -> ignore (Polling.await engine (ref None)))
+
+(* Satellite coverage for the loss/retry path: both message-loss knobs on
+   at once, with a tight retry budget. Every snapshot must still
+   complete, drops must be counted, and the retry machinery must have
+   actually worked for its living. Run serial and sharded: the counters
+   are identical by the determinism argument. *)
+let loss_retry_run ~shards =
+  let cfg =
+    {
+      (Config.default |> Config.with_seed 17) with
+      Config.notify_drop_prob = 0.15;
+      init_drop_prob = 0.2;
+      observer_retry_timeout = Time.ms 8;
+      observer_max_retries = 20;
+      cp_poll_interval = Some (Time.ms 10);
+    }
+  in
+  let host_link, fabric_link = scaled_links in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  let net = Net.create ~cfg ~shards ls.Topology.topo in
+  start_uniform net ls ~until:(Time.ms 300);
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let engine = Net.engine net in
+  let sids = ref [] in
+  for i = 0 to 3 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 30) (i * Time.ms 40))
+         (fun () -> sids := Net.take_snapshot net () :: !sids))
+  done;
+  Net.run_until net (Time.ms 800);
+  (net, List.rev !sids)
+
+let check_loss_retry ~shards () =
+  let net, sids = loss_retry_run ~shards in
+  Alcotest.(check bool) "notification drops counted" true
+    (Net.total_notif_drops net > 0);
+  List.iter
+    (fun sid ->
+      match Net.result net ~sid with
+      | Some s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "sid %d completes under double loss" sid)
+            true s.Observer.complete
+      | None -> Alcotest.failf "sid %d missing" sid)
+    sids;
+  Alcotest.(check bool) "retries were needed" true
+    (Observer.retries_sent (Net.observer net) > 0)
+
+let test_loss_retry_serial () = check_loss_retry ~shards:1 ()
+let test_loss_retry_sharded () = check_loss_retry ~shards:2 ()
+
+let test_loss_retry_serial_sharded_identical () =
+  let digest shards =
+    let net, sids = loss_retry_run ~shards in
+    Speedlight_experiments.Common.run_digest net ~sids
+  in
+  Alcotest.(check string) "1 and 2 shards identical" (digest 1) (digest 2)
+
 let test_notification_queue_overload_drops () =
   (* Drive initiations far beyond the control plane's service rate: the
      bounded socket must eventually drop (the Fig. 10 mechanism). *)
@@ -566,6 +633,11 @@ let () =
           Alcotest.test_case "initiation drops" `Slow test_liveness_under_initiation_drops;
           Alcotest.test_case "notification drops" `Slow
             test_liveness_under_notification_drops;
+          Alcotest.test_case "loss + retry (serial)" `Slow test_loss_retry_serial;
+          Alcotest.test_case "loss + retry (2 shards)" `Slow
+            test_loss_retry_sharded;
+          Alcotest.test_case "loss + retry serial = sharded" `Slow
+            test_loss_retry_serial_sharded_identical;
         ] );
       ( "robustness",
         [
@@ -586,6 +658,8 @@ let () =
       ( "baseline",
         [
           Alcotest.test_case "polling" `Quick test_polling_baseline;
+          Alcotest.test_case "polling on a drained engine" `Quick
+            test_polling_engine_drained;
           Alcotest.test_case "headers stripped at hosts" `Quick
             test_deliveries_and_headers_stripped;
         ] );

@@ -1,0 +1,150 @@
+(* The independent cut auditor: certifies clean runs, stays silent on
+   justified inconsistency flags, and — the critical property — catches a
+   deliberately broken protocol variant (marker suppression) that labels
+   non-cuts as consistent. *)
+
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+open Speedlight_faults
+open Speedlight_verify
+open Speedlight_experiments
+
+let make_testbed ?(cfg = Config.default) () =
+  Common.make_testbed ~scaled:true ~cfg ()
+
+let start_uniform ?(rate = 4_000.) net (ls : Topology.leaf_spine) ~until =
+  let send ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size () in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net) ~send
+    ~fids:(Traffic.flow_ids ())
+    ~hosts:(Array.to_list ls.Topology.host_of_server)
+    ~rate_pps:rate ~pkt_size:1000 ~until
+
+let take ~net ~start ~interval ~count =
+  let engine = Net.engine net in
+  let sids = ref [] in
+  for i = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add start (i * interval))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error _ -> ()))
+  done;
+  sids
+
+let test_clean_run_certified () =
+  let ls, net = make_testbed () in
+  start_uniform net ls ~until:(Time.ms 250);
+  Net.schedule_global net ~at:(Time.ms 40) (fun () -> Net.auto_exclude_idle net);
+  let auditor = Verify.attach net in
+  let sids = take ~net ~start:(Time.ms 50) ~interval:(Time.ms 20) ~count:8 in
+  Net.run_until net (Time.ms 400);
+  let a = Verify.audit auditor ~sids:(List.rev !sids) in
+  Alcotest.(check bool) "auditor saw traffic" true
+    (Verify.events_recorded auditor > 0);
+  Alcotest.(check int) "no false consistents" 0
+    (List.length a.Verify.false_consistent);
+  Alcotest.(check int) "no incompletes" 0 (List.length a.Verify.incomplete);
+  Alcotest.(check int) "all eight certified" 8
+    (List.length a.Verify.certified);
+  Alcotest.(check bool) "audit passes" true (Verify.ok a)
+
+(* The auditor-proof test: suppress the snapshot logic on data packets so
+   markers stop propagating IDs. Under the no-channel-state variant the
+   protocol cannot tell attributable from unattributable state and happily
+   labels the result consistent — the auditor must refute it. *)
+let test_marker_suppression_caught () =
+  let cfg =
+    Config.default
+    |> Config.with_variant Snapshot_unit.variant_wraparound
+    |> Config.with_counter Config.Packet_count
+  in
+  let ls, net = make_testbed ~cfg () in
+  (* Dense traffic: the lie only shows when packets straddle the cut
+     (arrive with a new ID before the suppressed unit hears the
+     initiation), so give every channel sub-100us inter-arrivals. *)
+  start_uniform ~rate:40_000. net ls ~until:(Time.ms 250);
+  Net.schedule_global net ~at:(Time.ms 40) (fun () -> Net.auto_exclude_idle net);
+  let auditor = Verify.attach net in
+  List.iter
+    (fun uid -> Snapshot_unit.set_ignore_packet_ids (Net.unit_of net uid) true)
+    (Net.all_unit_ids net);
+  let sids = take ~net ~start:(Time.ms 50) ~interval:(Time.ms 10) ~count:20 in
+  Net.run_until net (Time.ms 500);
+  let a = Verify.audit auditor ~sids:(List.rev !sids) in
+  Alcotest.(check bool)
+    "broken variant produces false-consistent snapshots" true
+    (List.length a.Verify.false_consistent > 0);
+  Alcotest.(check bool) "audit fails" false (Verify.ok a)
+
+(* Burst loss + one CP crash: the protocol may degrade (incomplete or
+   flagged snapshots) but must never mislabel — and the flags it does
+   raise must be justified by the trace. *)
+let test_chaos_run_no_false_consistent () =
+  let cfg = Config.default |> Config.with_seed 13 in
+  let ls, net = make_testbed ~cfg () in
+  start_uniform net ls ~until:(Time.ms 250);
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let leaf0, up0 =
+    match ls.Topology.uplink_ports with
+    | (l, p :: _) :: _ -> (l, p)
+    | _ -> assert false
+  in
+  let plan =
+    {
+      Faults.seed = 13;
+      events =
+        [
+          {
+            Faults.at = Time.ms 20;
+            action =
+              Faults.Wire_loss
+                { switch = leaf0; port = up0; ge = Some Gilbert.default_burst };
+          };
+          { Faults.at = Time.ms 90; action = Faults.Cp_crash { switch = leaf0 } };
+          { Faults.at = Time.ms 120; action = Faults.Cp_restart { switch = leaf0 } };
+        ];
+    }
+  in
+  let auditor = Verify.attach net in
+  let f = Faults.install ~net plan in
+  let sids = take ~net ~start:(Time.ms 30) ~interval:(Time.ms 20) ~count:10 in
+  Net.run_until net (Time.ms 600);
+  Alcotest.(check int) "all fault events fired" 3 (Faults.fired_count f);
+  let a = Verify.audit auditor ~sids:(List.rev !sids) in
+  Alcotest.(check int) "zero false consistents under chaos" 0
+    (List.length a.Verify.false_consistent);
+  Alcotest.(check bool) "some snapshots still certified" true
+    (List.length a.Verify.certified > 0)
+
+(* Detach restores the unit to untapped operation. *)
+let test_detach () =
+  let ls, net = make_testbed () in
+  start_uniform net ls ~until:(Time.ms 30);
+  let auditor = Verify.attach net in
+  Net.run_until net (Time.ms 10);
+  let seen = Verify.events_recorded auditor in
+  Alcotest.(check bool) "tap live" true (seen > 0);
+  Verify.detach auditor;
+  Net.run_until net (Time.ms 40);
+  Alcotest.(check int) "no events after detach" seen
+    (Verify.events_recorded auditor)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "auditor",
+        [
+          Alcotest.test_case "clean run fully certified" `Quick
+            test_clean_run_certified;
+          Alcotest.test_case "marker suppression caught" `Quick
+            test_marker_suppression_caught;
+          Alcotest.test_case "no false consistents under chaos" `Quick
+            test_chaos_run_no_false_consistent;
+          Alcotest.test_case "detach stops recording" `Quick test_detach;
+        ] );
+    ]
