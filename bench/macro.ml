@@ -23,6 +23,7 @@ open Speedlight_net
 open Speedlight_topology
 open Speedlight_workload
 open Speedlight_experiments
+open Speedlight_trace
 
 type result = {
   domains : int;
@@ -37,6 +38,7 @@ type result = {
   events_per_sec : float;
   snapshots_per_sec : float;
   digest : string;
+  metrics : Metrics.t;
 }
 
 (* [fat_tree:false] is the paper's 4-switch leaf–spine testbed — the
@@ -62,6 +64,8 @@ let run ~quick ~fat_tree ~domains =
         Array.to_list ls.Topology.host_of_server )
     end
   in
+  let metrics = Metrics.create () in
+  Net.register_metrics net metrics;
   let engine = Net.engine net in
   let rng = Net.fresh_rng net in
   let fids = Traffic.flow_ids () in
@@ -110,6 +114,7 @@ let run ~quick ~fat_tree ~domains =
     events_per_sec = float_of_int events /. wall_s;
     snapshots_per_sec = float_of_int snapshots_complete /. wall_s;
     digest = Common.run_digest net ~sids;
+    metrics;
   }
 
 let sharded_entry ~base r =
@@ -125,6 +130,68 @@ let sharded_entry ~base r =
     r.domains r.wall_s base.wall_s (base.wall_s /. r.wall_s)
     r.events_per_sec
     (String.equal r.digest base.digest)
+
+(* Disabled-tracing overhead probe. The instrumentation contract is
+   that with no recorder attached every trace site costs a single
+   guarded branch ([Trace.enabled] on a detached emitter) — the payload
+   is never even allocated. Measure that branch directly (net of the
+   timing loop itself), count how many guarded sites the testbed
+   actually executes per engine event from a recorded run of the same
+   topology, and project onto the serial run with a 1.5x safety margin;
+   the projection must stay under 2% of the run's wall time or the
+   bench fails. *)
+let overhead_budget = 0.02
+
+type overhead = { ns_per_site : float; sites : int; frac : float }
+
+let trace_overhead ~serial =
+  let e = Sys.opaque_identity (Trace.make_emitter ~src:0) in
+  let iters = 20_000_000 in
+  let acc = ref 0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Identical loop bodies except for the guard, so the difference
+     isolates the guard's cost. *)
+  let base =
+    time (fun () ->
+        for i = 0 to iters - 1 do
+          acc := !acc lxor i
+        done)
+  in
+  let guarded =
+    time (fun () ->
+        for i = 0 to iters - 1 do
+          acc := !acc lxor i;
+          if Trace.enabled e then
+            Trace.emit e ~at:i
+              (Trace.Chan_drop { ch = Trace.Nic; sw = 0; port = -1 })
+        done)
+  in
+  ignore (Sys.opaque_identity !acc);
+  let per_site = Float.max 0. (guarded -. base) /. float_of_int iters in
+  (* Guarded sites per engine event, measured where recording counts
+     them: a traced quick run of the same leaf-spine testbed. *)
+  let density =
+    let r = Tracing.run ~quick:true ~seed:77 ~shards:1 () in
+    let emitted = float_of_int (Trace.events_recorded r.Tracing.trace) in
+    let engine_events =
+      match List.assoc_opt "net.engine_events" (Metrics.snapshot r.Tracing.metrics) with
+      | Some v when v > 0. -> v
+      | _ -> emitted
+    in
+    emitted /. engine_events
+  in
+  let sites =
+    int_of_float (1.5 *. density *. float_of_int serial.events)
+  in
+  {
+    ns_per_site = per_site *. 1e9;
+    sites;
+    frac = per_site *. float_of_int sites /. serial.wall_s;
+  }
 
 (* Quick chaos probe: the fault-injection sweep at three intensities,
    with the cut auditor attached. Tracks how robust the protocol is to
@@ -154,7 +221,12 @@ let chaos_entry (p : Chaos.point) =
      else p.Chaos.mean_staleness_us)
     p.Chaos.injected_drops p.Chaos.false_consistent
 
-let to_json ~mode ~serial ~base ~sharded ~chaos =
+let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead =
+  let metrics_json =
+    let buf = Buffer.create 512 in
+    Metrics.add_json buf serial.metrics;
+    Buffer.contents buf
+  in
   Printf.sprintf
     "{\n\
     \  \"mode\": %S,\n\
@@ -168,12 +240,21 @@ let to_json ~mode ~serial ~base ~sharded ~chaos =
     \  \"packets_per_sec\": %.0f,\n\
     \  \"events_per_sec\": %.0f,\n\
     \  \"snapshots_per_sec\": %.1f,\n\
+    \  \"trace_overhead\": {\n\
+    \    \"disabled_ns_per_site\": %.3f,\n\
+    \    \"sites_estimate\": %d,\n\
+    \    \"projected_frac\": %.5f,\n\
+    \    \"budget_frac\": %.2f\n\
+    \  },\n\
+    \  \"metrics\": %s,\n\
     \  \"sharded\": [\n%s\n  ],\n\
     \  \"chaos\": [\n%s\n  ]\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
     serial.events serial.snapshots_taken serial.snapshots_complete
     serial.packets_per_sec serial.events_per_sec serial.snapshots_per_sec
+    overhead.ns_per_site overhead.sites overhead.frac overhead_budget
+    metrics_json
     (String.concat ",\n" (List.map (sharded_entry ~base) sharded))
     (String.concat ",\n" (List.map chaos_entry chaos))
 
@@ -192,10 +273,11 @@ let () =
   let sweep = List.map (fun d -> run ~quick ~fat_tree:true ~domains:d) [ 1; 2; 4; 8 ] in
   let base = List.hd sweep in
   let chaos = run_chaos ~quick in
+  let overhead = trace_overhead ~serial in
   let json =
     to_json
       ~mode:(if quick then "quick" else "full")
-      ~serial ~base ~sharded:sweep ~chaos
+      ~serial ~base ~sharded:sweep ~chaos ~overhead
   in
   let oc = open_out !out in
   output_string oc json;
@@ -233,5 +315,16 @@ let () =
      fail loudly, same as a sharded divergence. *)
   if Chaos.has_false_consistent chaos then begin
     prerr_endline "macro: chaos audit found a false-consistent snapshot";
+    exit 1
+  end;
+  Printf.printf
+    "  trace overhead (disabled): %.2f ns/site x %d sites -> %.3f%% of wall (budget %.0f%%)\n"
+    overhead.ns_per_site overhead.sites (100. *. overhead.frac)
+    (100. *. overhead_budget);
+  if overhead.frac > overhead_budget then begin
+    Printf.eprintf
+      "macro: disabled-tracing overhead %.3f%% exceeds the %.0f%% budget\n"
+      (100. *. overhead.frac)
+      (100. *. overhead_budget);
     exit 1
   end

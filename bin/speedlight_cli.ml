@@ -153,6 +153,54 @@ let scale_cmd =
        ~doc:"Extension: real-protocol sync on fat trees vs Fig.11 prediction")
     Term.(const run_scale $ quick_arg $ seed_arg $ csv_arg)
 
+let run_trace quick seed shards faults out =
+  timed "trace" (fun () ->
+      let r = Tracing.run ~quick ?seed ~shards ~fault_intensity:faults () in
+      Tracing.print fmt r;
+      match ensure_dir out with
+      | None -> ()
+      | Some dir ->
+          let json = Filename.concat dir "trace.json" in
+          Export.chrome_trace ~path:json r.Tracing.trace;
+          Export.timeline ~dir r.Tracing.timeline;
+          let mjson = Filename.concat dir "metrics.json" in
+          let buf = Buffer.create 1024 in
+          Speedlight_trace.Metrics.add_json buf r.Tracing.metrics;
+          let oc = open_out mjson in
+          Buffer.output_buffer oc buf;
+          output_char oc '\n';
+          close_out oc;
+          Format.fprintf fmt
+            "@.Wrote %s (Chrome trace), trace_timeline.csv, trace_cdfs.csv, \
+             metrics.json in %s@."
+            json dir)
+
+let trace_cmd =
+  let shards_arg =
+    let doc = "Number of simulation shards (domains)." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc ~docv:"N")
+  in
+  let faults_arg =
+    let doc =
+      "Chaos fault-plan intensity in [0,1] (0 disables fault injection)."
+    in
+    Arg.(value & opt float 0. & info [ "faults" ] ~doc ~docv:"X")
+  in
+  let out_arg =
+    let doc =
+      "Write trace.json (Chrome trace_event format), timeline/CDF CSVs and \
+       metrics.json into $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc ~docv:"DIR")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Traced testbed run: deterministic event trace, per-snapshot \
+          timelines, metrics")
+    Term.(
+      const run_trace $ quick_arg $ seed_arg $ shards_arg $ faults_arg $ out_arg)
+
 let all_cmd =
   let run quick seed csv =
     run_table1 csv;
@@ -177,5 +225,5 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
-            ablations_cmd; scale_cmd; chaos_cmd; all_cmd;
+            ablations_cmd; scale_cmd; chaos_cmd; trace_cmd; all_cmd;
           ]))

@@ -1,5 +1,6 @@
 open Speedlight_sim
 open Speedlight_dataplane
+module Trace = Speedlight_trace.Trace
 
 type device = {
   device_id : int;
@@ -40,6 +41,7 @@ type t = {
   fire_times : (int, Time.t) Hashtbl.t;
   mutable callbacks : (snapshot -> unit) list;
   mutable retries : int;
+  mutable tr : Trace.emitter;
 }
 
 type error = Pacing_full | No_devices
@@ -64,7 +66,10 @@ let create ~engine ?(lead_time = Time.ms 1) ?(retry_timeout = Time.ms 50)
     fire_times = Hashtbl.create 256;
     callbacks = [];
     retries = 0;
+    tr = Trace.make_emitter ~src:(-1);
   }
+
+let set_tracer t e = t.tr <- e
 
 let register_device t d =
   t.devices <- d :: t.devices;
@@ -91,6 +96,14 @@ let finish t p =
     Hashtbl.remove t.pending p.p_sid;
     let snap = to_snapshot p in
     Hashtbl.replace t.finished p.p_sid snap;
+    if Trace.enabled t.tr then
+      Trace.emit t.tr ~at:(Engine.now t.engine)
+        (Trace.Snap_done
+           {
+             sid = snap.sid;
+             complete = snap.complete;
+             consistent = snap.consistent;
+           });
     List.iter (fun f -> f snap) (List.rev t.callbacks)
   end
 
@@ -136,6 +149,9 @@ let try_take_snapshot t ?at () =
     match at with Some a -> a | None -> Time.add (Engine.now t.engine) t.lead_time
   in
   Hashtbl.replace t.fire_times sid fire_at;
+  if Trace.enabled t.tr then
+    Trace.emit t.tr ~at:(Engine.now t.engine)
+      (Trace.Snap_request { sid; fire_at });
   let missing =
     List.fold_left
       (fun acc d -> List.fold_left (fun acc u -> Unit_id.Set.add u acc) acc d.units)

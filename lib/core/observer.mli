@@ -92,3 +92,7 @@ val staleness : t -> sid:int -> Time.t option
     report [completed_at] minus the scheduled fire time. [None] while
     incomplete. The freshness metric of the chaos sweeps — it grows with
     retries and recovery delays. *)
+
+val set_tracer : t -> Speedlight_trace.Trace.emitter -> unit
+(** Install the observer's trace emitter (snapshot requests and
+    completions). Detached by default. *)

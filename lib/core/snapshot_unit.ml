@@ -1,4 +1,5 @@
 open Speedlight_dataplane
+module Trace = Speedlight_trace.Trace
 
 type config = {
   channel_state : bool;
@@ -47,6 +48,15 @@ type t = {
   mutable notifications : int;
   mutable tap : (tap_event -> unit) option;
   mutable ignore_packet_ids : bool;  (* fault knob: suppress marker logic *)
+  (* Tracing (all instrumentation-only; never read by the protocol). *)
+  tref : Trace.unit_ref;
+  mutable tr : Trace.emitter;
+  (* Marker-propagation depth at which [ghost_sid] was adopted: 0 for a
+     control-plane initiation, carried depth + 1 for a marker. *)
+  mutable depth : int;
+  (* Highest ghost id this unit already stamped onto an outgoing packet —
+     lets the tracer record the *first* marker out per snapshot only. *)
+  mutable last_out_ghost : int;
 }
 
 let create ~id ~cfg ~n_neighbors ~counter ~notify =
@@ -73,6 +83,15 @@ let create ~id ~cfg ~n_neighbors ~counter ~notify =
     notifications = 0;
     tap = None;
     ignore_packet_ids = false;
+    tref =
+      {
+        Trace.u_switch = id.Unit_id.switch;
+        u_port = id.Unit_id.port;
+        u_ingress = (id.Unit_id.dir = Unit_id.Ingress);
+      };
+    tr = Trace.make_emitter ~src:(-1);
+    depth = 0;
+    last_out_ghost = 0;
   }
 
 let id t = t.uid
@@ -81,6 +100,8 @@ let counter t = t.counter
 let n_neighbors t = t.n_neighbors
 let set_tap t f = t.tap <- f
 let set_ignore_packet_ids t b = t.ignore_packet_ids <- b
+let set_tracer t e = t.tr <- e
+let tracer t = t.tr
 
 let[@inline] tap_emit t ev =
   match t.tap with None -> () | Some f -> f ev
@@ -123,14 +144,27 @@ let emit t ~now ~former_sid ~neighbor ~former_ls ~new_ls =
 (* Save local state for a newly begun snapshot: the single register write
    the hardware performs on an ID advance. Skipped intermediate IDs get no
    slot of their own — the control plane masks them (Fig. 7). *)
-let advance t ~now ~new_ghost =
+let advance t ~now ~new_ghost ~depth ~via_init =
   let s = t.slots.(slot_index t new_ghost) in
   s.ghost <- new_ghost;
   s.written <- true;
   s.value <- t.counter.Counter.read ~now;
   s.channel <- 0.;
+  let from_ghost = t.ghost_sid in
   t.ghost_sid <- new_ghost;
-  t.sid <- wrap_of t new_ghost
+  t.sid <- wrap_of t new_ghost;
+  t.depth <- depth;
+  if Trace.enabled t.tr then begin
+    Trace.emit t.tr ~at:now
+      (Trace.Id_advance
+         { u = t.tref; from_ghost; to_ghost = new_ghost; depth; via_init });
+    if
+      t.cfg.wraparound
+      && new_ghost / (t.cfg.max_sid + 1) > from_ghost / (t.cfg.max_sid + 1)
+    then
+      Trace.emit t.tr ~at:now
+        (Trace.Wrap_around { u = t.tref; ghost = new_ghost })
+  end
 
 (* In-flight packet: its contribution belongs to every snapshot it
    straddles, but one register update is all we get — it goes to the
@@ -182,13 +216,22 @@ let finish_logic t ~now ~neighbor ~pkt_wrapped ~former_sid ~sid_changed =
    accordingly, update Last Seen, notify the CPU of any progress. The
    counter's channel contribution is only computed on the in-flight
    branch — it is dead weight on the dominant Equal path. *)
-let snapshot_logic_data t ~now ~neighbor ~pkt_wrapped pkt =
+let snapshot_logic_data t ~now ~neighbor ~pkt_wrapped ~pkt_depth pkt =
   let former_sid = t.sid in
   let sid_changed =
     match order_ids t pkt_wrapped t.sid with
     | Wrap.Newer ->
         let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
-        advance t ~now ~new_ghost;
+        if Trace.enabled t.tr then
+          Trace.emit t.tr ~at:now
+            (Trace.Marker_in
+               {
+                 u = t.tref;
+                 wrapped = pkt_wrapped;
+                 ghost = new_ghost;
+                 channel = neighbor;
+               });
+        advance t ~now ~new_ghost ~depth:(pkt_depth + 1) ~via_init:false;
         true
     | Wrap.Older ->
         if t.cfg.channel_state then
@@ -207,11 +250,21 @@ let snapshot_logic_init t ~now ~neighbor ~pkt_wrapped =
     match order_ids t pkt_wrapped t.sid with
     | Wrap.Newer ->
         let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
-        advance t ~now ~new_ghost;
+        advance t ~now ~new_ghost ~depth:0 ~via_init:true;
         true
     | Wrap.Older | Wrap.Equal -> false
   in
   finish_logic t ~now ~neighbor ~pkt_wrapped ~former_sid ~sid_changed
+
+(* The unit's current ID leaves on this packet; record the first time
+   each (strictly newer) ghost id goes out — that is the marker leaving. *)
+let[@inline] note_marker_out t ~now =
+  if t.ghost_sid > t.last_out_ghost then begin
+    t.last_out_ghost <- t.ghost_sid;
+    if Trace.enabled t.tr then
+      Trace.emit t.tr ~at:now
+        (Trace.Marker_out { u = t.tref; ghost = t.ghost_sid })
+  end
 
 let process_packet t ~now (pkt : Packet.t) =
   if not pkt.Packet.has_snap then begin
@@ -222,7 +275,9 @@ let process_packet t ~now (pkt : Packet.t) =
        plane, §6 "Ensuring liveness"). *)
     tap_emit t (Tap_external { size = pkt.Packet.size });
     t.counter.Counter.update ~now pkt;
-    Packet.set_snap pkt ~sid:t.sid ~channel:0 ~ghost_sid:t.ghost_sid
+    Packet.set_snap ~depth:t.depth pkt ~sid:t.sid ~channel:0
+      ~ghost_sid:t.ghost_sid;
+    note_marker_out t ~now
   end
   else begin
     let hdr = pkt.Packet.snap_hdr in
@@ -243,11 +298,14 @@ let process_packet t ~now (pkt : Packet.t) =
        (Fig. 3 line 13 updates state after the snapshot steps): a packet
        that itself advances the ID is post-snapshot everywhere. *)
     if not t.ignore_packet_ids then
-      snapshot_logic_data t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid pkt;
+      snapshot_logic_data t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid
+        ~pkt_depth:hdr.depth pkt;
     t.counter.Counter.update ~now pkt;
     (* Rewrite: the packet now belongs to this unit's current epoch. *)
     hdr.sid <- t.sid;
-    hdr.ghost_sid <- t.ghost_sid
+    hdr.ghost_sid <- t.ghost_sid;
+    hdr.depth <- t.depth;
+    note_marker_out t ~now
   end
 
 let process_initiation t ~now ~sid ~ghost_sid =
@@ -266,6 +324,8 @@ let neighbor_traffic t = Array.copy t.neighbor_traffic
 let reset t =
   t.sid <- 0;
   t.ghost_sid <- 0;
+  t.depth <- 0;
+  t.last_out_ghost <- 0;
   Array.fill t.last_seen_arr 0 (Array.length t.last_seen_arr) 0;
   Array.fill t.ghost_last_seen 0 (Array.length t.ghost_last_seen) 0;
   Array.fill t.neighbor_traffic 0 (Array.length t.neighbor_traffic) 0;

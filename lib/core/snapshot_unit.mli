@@ -129,3 +129,10 @@ val set_ignore_packet_ids : t -> bool -> unit
     IDs only advance via initiations. This deliberately breaks the
     Chandy–Lamport marker rule; it exists so tests can prove the auditor
     catches false-consistent snapshots. *)
+
+val set_tracer : t -> Speedlight_trace.Trace.emitter -> unit
+(** Install the unit's trace emitter (marker in/out, ID advances,
+    wraparounds). The emitter is normally detached — {!process_packet}
+    then pays one branch per potential event. *)
+
+val tracer : t -> Speedlight_trace.Trace.emitter

@@ -28,16 +28,14 @@ let compare_ids ~max_sid a b =
 
 let unwrap ~max_sid ~reference w =
   let m = modulus ~max_sid in
-  let base = reference - (reference mod m) in
-  (* Candidates congruent to w near the reference. *)
-  let c0 = base + (w mod m) in
-  let candidates = [ c0 - m; c0; c0 + m ] in
-  let half = m / 2 in
-  let fits u = u - reference > -half && u - reference <= m - half in
-  let rec pick = function
-    | [] -> c0 (* unreachable for valid input; degrade gracefully *)
-    | u :: rest -> if fits u then u else pick rest
-  in
-  Stdlib.max 0 (pick candidates)
+  (* Forward distance from the reference to w in wrapped space; by the
+     half-window rule (the same one [compare_ids] uses), distances up to
+     m/2 mean "ahead of the reference", the rest mean "behind". *)
+  let d = (((w - reference) mod m) + m) mod m in
+  let u = if d <= m / 2 then reference + d else reference + d - m in
+  (* Ghost IDs are never negative. A negative candidate can only arise
+     when [reference < m/2] and w sits behind it; the congruent value one
+     lap forward is then the unique non-negative ID in range. *)
+  if u >= 0 then u else u + m
 
 let max_skew ~max_sid = (modulus ~max_sid - 1) / 2

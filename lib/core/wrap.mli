@@ -32,10 +32,14 @@ val compare_ids : max_sid:int -> int -> int -> order
 
 val unwrap : max_sid:int -> reference:int -> int -> int
 (** [unwrap ~max_sid ~reference w] is the unbounded ID congruent to [w]
-    (mod modulus) lying in the half-open window
-    [(reference - modulus/2, reference + ceil(modulus/2)]] around the
-    unbounded [reference]. Exact whenever the true value is within half a
-    modulus of [reference]. Result is clamped to be >= 0. *)
+    (mod modulus) lying in the window
+    [\[reference - (modulus - modulus/2 - 1), reference + modulus/2\]]
+    around the unbounded [reference] — the same half-window split
+    [compare_ids] uses, so [unwrap ~reference (wrap x) = x] exactly
+    whenever [|x - reference| <= max_skew]. If the in-window candidate is
+    negative (only possible when [reference < modulus/2]), the congruent
+    value one modulus higher is returned instead, so the result is always
+    a valid (non-negative) ghost ID congruent to [w]. *)
 
 val max_skew : max_sid:int -> int
 (** The largest unwrapped ID difference the comparison logic tolerates:

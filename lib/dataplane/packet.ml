@@ -24,7 +24,7 @@ let create ~uid ~flow_id ~src_host ~dst_host ~size ?(cos = 0) ~created () =
     created;
     release_at = Time.zero;
     has_snap = false;
-    snap_hdr = Snapshot_header.data ~sid:0 ~channel:0 ~ghost_sid:0;
+    snap_hdr = Snapshot_header.data ~sid:0 ~channel:0 ~ghost_sid:0 ();
   }
 
 (* Alias: [Gen] below defines its own [create]. *)
@@ -32,9 +32,9 @@ let create_packet = create
 
 let snap t = if t.has_snap then Some t.snap_hdr else None
 
-let set_snap t ~sid ~channel ~ghost_sid =
+let set_snap ?(depth = 0) t ~sid ~channel ~ghost_sid =
   t.has_snap <- true;
-  Snapshot_header.set_data t.snap_hdr ~sid ~channel ~ghost_sid
+  Snapshot_header.set_data ~depth t.snap_hdr ~sid ~channel ~ghost_sid
 
 let clear_snap t = t.has_snap <- false
 

@@ -48,7 +48,7 @@ val snap : t -> Snapshot_header.t option
 (** The attached header, as an option (allocates; for cold paths and
     tests — hot paths read [has_snap] / [snap_hdr] directly). *)
 
-val set_snap : t -> sid:int -> channel:int -> ghost_sid:int -> unit
+val set_snap : ?depth:int -> t -> sid:int -> channel:int -> ghost_sid:int -> unit
 (** Attach (or rewrite) the embedded snapshot header in place. *)
 
 val clear_snap : t -> unit

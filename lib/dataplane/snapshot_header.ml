@@ -5,15 +5,21 @@ type t = {
   mutable sid : int;
   mutable channel : int;
   mutable ghost_sid : int;
+  mutable depth : int;
 }
 
-let data ~sid ~channel ~ghost_sid = { ptype = Data; sid; channel; ghost_sid }
-let initiation ~sid ~ghost_sid = { ptype = Initiation; sid; channel = 0; ghost_sid }
+let data ?(depth = 0) ~sid ~channel ~ghost_sid () =
+  { ptype = Data; sid; channel; ghost_sid; depth }
 
-let set_data t ~sid ~channel ~ghost_sid =
+let initiation ~sid ~ghost_sid =
+  { ptype = Initiation; sid; channel = 0; ghost_sid; depth = 0 }
+
+let set_data ?(depth = 0) t ~sid ~channel ~ghost_sid =
   t.sid <- sid;
   t.channel <- channel;
-  t.ghost_sid <- ghost_sid
+  t.ghost_sid <- ghost_sid;
+  t.depth <- depth
+
 let overhead_bytes with_channel_state = if with_channel_state then 8 else 4
 
 let pp fmt t =

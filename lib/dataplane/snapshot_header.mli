@@ -9,10 +9,14 @@
     - {b channel ID}: identifies the upstream neighbor at the {e receiving}
       unit (only needed when channel state is collected).
 
-    The [ghost_sid] field is simulation-only instrumentation: the unbounded
-    (never-wrapped) snapshot ID corresponding to [sid]. The protocol logic
-    never reads it; property tests use it to check that wraparound
-    arithmetic reconstructs it exactly. *)
+    The [ghost_sid] and [depth] fields are simulation-only
+    instrumentation: the unbounded (never-wrapped) snapshot ID
+    corresponding to [sid], and the marker-propagation depth at which the
+    stamping unit adopted that ID (0 when it came straight from a
+    control-plane initiation, carried depth + 1 per marker-driven hop).
+    The protocol logic never reads either; property tests use [ghost_sid]
+    to check wraparound arithmetic, and the trace timeline uses [depth]
+    for the marker-propagation statistics. *)
 
 type packet_type = Data | Initiation
 
@@ -21,12 +25,13 @@ type t = {
   mutable sid : int;  (** wrapped snapshot ID, in [\[0, max_sid\]] *)
   mutable channel : int;  (** upstream-neighbor index at the receiver *)
   mutable ghost_sid : int;  (** unbounded ID (instrumentation only) *)
+  mutable depth : int;  (** marker depth (instrumentation only) *)
 }
 
-val data : sid:int -> channel:int -> ghost_sid:int -> t
+val data : ?depth:int -> sid:int -> channel:int -> ghost_sid:int -> unit -> t
 val initiation : sid:int -> ghost_sid:int -> t
 
-val set_data : t -> sid:int -> channel:int -> ghost_sid:int -> unit
+val set_data : ?depth:int -> t -> sid:int -> channel:int -> ghost_sid:int -> unit
 (** Rewrite a (Data) header in place — used by the packet pool to reuse
     the embedded header record across packet lives. *)
 

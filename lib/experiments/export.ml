@@ -172,3 +172,78 @@ let scale ~dir (r : Scale.result) =
            f p.Scale.predicted_avg_us;
          ])
        r)
+
+(* ------------------------------------------------------------------ *)
+(* Trace export *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace_event JSON (the "JSON Array Format" chrome://tracing and
+   Perfetto load): one instant event per trace record, pid = owning
+   shard, tid = stable trace source id, ts in microseconds. *)
+let chrome_trace ~path trace =
+  let module Trace = Speedlight_trace.Trace in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+      let first = ref true in
+      Trace.iter_shard trace (fun ~shard (e : Trace.event) ->
+          if !first then first := false else Buffer.add_char buf ',';
+          Printf.bprintf buf
+            "\n\
+             {\"name\":%S,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\
+             \"tid\":%d,\"args\":{\"detail\":%S,\"seq\":%d}}"
+            (Trace.payload_name e.Trace.pay)
+            (float_of_int e.Trace.at /. 1e3)
+            shard e.Trace.src
+            (Trace.payload_text e.Trace.pay)
+            e.Trace.seq;
+          if Buffer.length buf > 1 lsl 16 then begin
+            Buffer.output_buffer oc buf;
+            Buffer.clear buf
+          end);
+      Buffer.add_string buf "\n]}\n";
+      Buffer.output_buffer oc buf)
+
+let timeline ~dir (tl : Speedlight_trace.Timeline.t) =
+  let module T = Speedlight_trace.Timeline in
+  let time_us ns = f (float_of_int ns /. 1e3) in
+  let opt_us = function Some ns -> time_us ns | None -> "" in
+  write_rows
+    ~path:(dir / "trace_timeline.csv")
+    ~header:
+      [
+        "sid";
+        "requested_at_us";
+        "fire_at_us";
+        "units";
+        "drift_us";
+        "max_marker_depth";
+        "completion_latency_us";
+        "complete";
+        "consistent";
+      ]
+    (Array.to_list tl.T.snaps
+    |> List.map (fun (s : T.snap) ->
+           [
+             string_of_int s.T.sid;
+             opt_us s.T.requested_at;
+             opt_us s.T.fire_at;
+             string_of_int s.T.n_units;
+             f (float_of_int s.T.drift_ns /. 1e3);
+             string_of_int s.T.max_depth;
+             opt_us s.T.latency_ns;
+             string_of_bool s.T.complete;
+             string_of_bool s.T.consistent;
+           ]));
+  cdfs
+    ~path:(dir / "trace_cdfs.csv")
+    (List.filter_map
+       (fun (name, c) -> Option.map (fun c -> (name, c)) c)
+       [
+         ("initiation_drift_us", T.drift_cdf tl);
+         ("completion_latency_us", T.latency_cdf tl);
+         ("marker_depth", T.depth_cdf tl);
+       ])

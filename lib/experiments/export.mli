@@ -21,3 +21,13 @@ val fig13 : dir:string -> Fig13.result -> unit
 val table1 : dir:string -> Table1.result -> unit
 val scale : dir:string -> Scale.result -> unit
 val chaos : dir:string -> Chaos.result -> unit
+
+val chrome_trace : path:string -> Speedlight_trace.Trace.t -> unit
+(** Chrome [trace_event] JSON (loadable in chrome://tracing / Perfetto):
+    every recorded event — model and runtime — as an instant event with
+    [pid] = owning shard, [tid] = stable trace source id and [ts] in
+    microseconds of simulated time. *)
+
+val timeline : dir:string -> Speedlight_trace.Timeline.t -> unit
+(** [trace_timeline.csv] (one row per snapshot) and [trace_cdfs.csv]
+    (initiation drift, completion latency and marker depth ECDFs). *)

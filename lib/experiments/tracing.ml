@@ -1,0 +1,78 @@
+open Speedlight_sim
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+open Speedlight_faults
+open Speedlight_trace
+
+type result = {
+  shards : int;
+  seed : int;
+  trace : Trace.t;
+  digest : string;
+  run_digest : string;
+  timeline : Timeline.t;
+  metrics : Metrics.t;
+  sids : int list;
+}
+
+let run ?(quick = false) ?(seed = 7) ?(shards = 1) ?(fault_intensity = 0.) () =
+  let cfg = Config.default |> Config.with_seed seed in
+  let host_link, fabric_link = Common.testbed_links ~scaled:true in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  let net = Net.create ~cfg ~shards ls.Topology.topo in
+  let trace = Net.attach_trace net in
+  let metrics = Metrics.create () in
+  Net.register_metrics net metrics;
+  let faults =
+    if fault_intensity > 0. then
+      let plan =
+        Chaos.plan ls ~intensity:fault_intensity ~seed ~t0:(Time.ms 15)
+          ~duration:(Time.ms 50)
+      in
+      Some (Faults.install ~net plan)
+    else None
+  in
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  let rate = if quick then 10_000. else 20_000. in
+  let until = if quick then Time.ms 25 else Time.ms 40 in
+  let count = if quick then 3 else 5 in
+  (* Snapshots initiated after the workload ends complete through the
+     observer's retry + marker-flood path (fire + 50 ms); leave room for
+     the last one. *)
+  let horizon = if quick then Time.ms 100 else Time.ms 120 in
+  Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
+    ~rate_pps:rate ~pkt_size:1500 ~until;
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 6) ~count
+      ~run_until:horizon
+  in
+  ignore faults;
+  let run_digest = Common.run_digest net ~sids in
+  (* The recorder stays attached: the run is over, and the registered
+     trace.* metrics then report the recorded volume when sampled. *)
+  {
+    shards = Net.n_shards net;
+    seed;
+    trace;
+    digest = Trace.digest trace;
+    run_digest;
+    timeline = Timeline.build (Trace.merged trace);
+    metrics;
+    sids;
+  }
+
+let print fmt r =
+  Common.pp_header fmt "Deterministic trace";
+  Format.fprintf fmt
+    "seed %d, %d shard%s: %d model+runtime events recorded (%d dropped), \
+     digest %s@\n@\n"
+    r.seed r.shards
+    (if r.shards = 1 then "" else "s")
+    (Trace.events_recorded r.trace) (Trace.dropped r.trace) r.digest;
+  Timeline.pp fmt r.timeline;
+  Format.fprintf fmt "@\nMetrics:@\n%a@\n" Metrics.pp r.metrics

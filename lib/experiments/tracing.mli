@@ -1,0 +1,38 @@
+(** Traced runs of the leaf–spine testbed.
+
+    The harness behind the [speedlight trace] subcommand and the
+    trace-determinism tests: run the standard workload with the
+    deterministic tracing layer attached, optionally under a chaos fault
+    plan, and reduce the merged event stream to per-snapshot timelines
+    (initiation drift, marker propagation depth, completion latency — the
+    Fig. 7/8 quantities) plus a sampled metrics registry. *)
+
+open Speedlight_trace
+
+type result = {
+  shards : int;  (** shard count actually used *)
+  seed : int;
+  trace : Trace.t;  (** the recorder, still attached to the finished run *)
+  digest : string;  (** {!Trace.digest} of the merged model events *)
+  run_digest : string;  (** {!Common.run_digest} of the observables *)
+  timeline : Timeline.t;
+  metrics : Metrics.t;  (** sampled after the run *)
+  sids : int list;
+}
+
+val run :
+  ?quick:bool ->
+  ?seed:int ->
+  ?shards:int ->
+  ?fault_intensity:float ->
+  unit ->
+  result
+(** One traced testbed run. [fault_intensity > 0] installs the chaos
+    plan of {!Chaos.plan} at that intensity. For a fixed seed and
+    intensity, [digest] is byte-identical for every [shards] value —
+    that is the tracing determinism contract this module exists to
+    exercise. *)
+
+val print : Format.formatter -> result -> unit
+(** Timeline table, drift/latency/depth quantiles and the metrics
+    snapshot. *)

@@ -2,6 +2,7 @@ open Speedlight_sim
 open Speedlight_clock
 open Speedlight_dataplane
 open Speedlight_core
+module Trace = Speedlight_trace.Trace
 
 type t = {
   switch_id : int;
@@ -28,6 +29,7 @@ type t = {
   mutable crashes : int;
   mutable crash_drops : int;
   mutable cap_override : int option;
+  mutable tr : Trace.emitter;
 }
 
 let wrap_sid (cfg : Config.t) sid =
@@ -66,6 +68,7 @@ let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~rep
       crashes = 0;
       crash_drops = 0;
       cap_override = None;
+      tr = Trace.make_emitter ~src:(-1);
     }
   in
   (match cfg.Config.cp_poll_interval with
@@ -83,6 +86,14 @@ let create ~switch_id ~engine ~rng ~cfg ~clock ~units ~inject ~flood ~ports ~rep
 
 let clock t = t.clk
 let tracker t = t.tracker
+let set_tracer t e = t.tr <- e
+
+let uref (uid : Unit_id.t) =
+  {
+    Trace.u_switch = uid.Unit_id.switch;
+    u_port = uid.Unit_id.port;
+    u_ingress = (uid.Unit_id.dir = Unit_id.Ingress);
+  }
 
 (* Service one notification every [notify_proc_time]: this finite rate is
    what caps the sustainable snapshot frequency (Fig. 10). *)
@@ -96,7 +107,21 @@ let rec service t =
         (Engine.schedule_after t.engine ~delay:t.cfg.Config.notify_proc_time
            (fun () ->
              if t.epoch = epoch then begin
-               Cp_tracker.on_notify t.tracker ~now:(Engine.now t.engine) n;
+               let now = Engine.now t.engine in
+               Cp_tracker.on_notify t.tracker ~now n;
+               if Trace.enabled t.tr then begin
+                 Trace.emit t.tr ~at:now
+                   (Trace.Notif_dequeue
+                      { sw = t.switch_id; qlen = Queue.length t.queue });
+                 Trace.emit t.tr ~at:now
+                   (Trace.Tracker_update
+                      {
+                        sw = t.switch_id;
+                        u = uref n.Notification.unit_id;
+                        ctrl_sid =
+                          Cp_tracker.ctrl_sid t.tracker n.Notification.unit_id;
+                      })
+               end;
                service t
              end))
 
@@ -180,14 +205,21 @@ let crash t =
     t.epoch <- t.epoch + 1;
     (* Queued-but-unserviced notifications die with the process: CP soft
        state is lost (§6 "Handling failures"). *)
-    t.crash_drops <- t.crash_drops + Queue.length t.queue;
+    let lost = Queue.length t.queue in
+    t.crash_drops <- t.crash_drops + lost;
     Queue.clear t.queue;
-    t.servicing <- false
+    t.servicing <- false;
+    if Trace.enabled t.tr then
+      Trace.emit t.tr ~at:(Engine.now t.engine)
+        (Trace.Cp_down { sw = t.switch_id; lost })
   end
 
 let restart t =
   if t.down then begin
     t.down <- false;
+    if Trace.enabled t.tr then
+      Trace.emit t.tr ~at:(Engine.now t.engine)
+        (Trace.Cp_up { sw = t.switch_id });
     (* A fresh process has no memory of prior snapshots: rebuild the
        tracker from scratch and immediately re-sync against the data
        plane's registers — the §6 recovery path the paper leans on (DP

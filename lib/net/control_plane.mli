@@ -84,3 +84,7 @@ val crash_drops : t -> int
 val set_queue_capacity_override : t -> int option -> unit
 (** Temporarily replace [notify_queue_capacity] (notification-queue
     saturation bursts); [None] restores the configured capacity. *)
+
+val set_tracer : t -> Speedlight_trace.Trace.emitter -> unit
+(** Install the control plane's trace emitter (notification dequeues,
+    tracker updates, crash/restart). Detached by default. *)

@@ -3,6 +3,8 @@ open Speedlight_clock
 open Speedlight_dataplane
 open Speedlight_core
 open Speedlight_topology
+module Trace = Speedlight_trace.Trace
+module Metrics = Speedlight_trace.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Sharded deployment layout.
@@ -162,6 +164,14 @@ type t = {
   cmd_faults : ctl_fault array;  (* [switch], observer -> CP *)
   report_faults : ctl_fault array;  (* [switch], CP -> observer *)
   notif_chan_drops : int array;  (* [switch]: config bernoulli losses *)
+  (* Tracing: every instrumented entity owns an emitter with a stable
+     source id assigned in construction order (mirroring the engine
+     source-id discipline); [tr_emitters] lists them with their owning
+     shard, in attach order. All detached until {!attach_trace}. *)
+  mutable tr_emitters : (int * Trace.emitter) list;
+  tr_nic_send : Trace.emitter array;  (* [host], NIC send/drop (hot path of {!send}) *)
+  tr_epoch : Trace.emitter;  (* runtime epoch barriers, shard 0 *)
+  mutable tracer : Trace.t option;
 }
 
 (* Reserved stable source ids; the rest are assigned in deterministic
@@ -367,6 +377,45 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
   let notify_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
   let cp_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
   let clock_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
+  (* Trace emitters live in their own stable source-id space, assigned in
+     fixed construction order (same discipline as [fresh_src]) so the ids
+     — and hence the merged-trace digest — are identical at every shard
+     count. [detached] is a shared placeholder for host-facing ports that
+     never carry wire events. *)
+  let next_tsrc = ref 0 in
+  let tr_ems = ref [] in
+  let new_emitter shard =
+    let e = Trace.make_emitter ~src:!next_tsrc in
+    incr next_tsrc;
+    tr_ems := (shard, e) :: !tr_ems;
+    e
+  in
+  let tr_detached = Trace.make_emitter ~src:(-1) in
+  let wire_emitters () =
+    Array.init n_sw (fun s ->
+        Array.init (Topology.ports topo s) (fun p ->
+            match Topology.peer_of topo ~switch:s ~port:p with
+            | Some (Topology.Switch_port _) -> new_emitter shard_of.(s)
+            | Some (Topology.Host_port _) | None -> tr_detached))
+  in
+  let tr_wire_send = wire_emitters () in
+  (* Receive-side wire emitters, indexed by the *receiving* endpoint. *)
+  let tr_wire_recv = wire_emitters () in
+  let tr_nic_send =
+    Array.init (Topology.n_hosts topo) (fun _ -> new_emitter 0)
+  in
+  let tr_nic_recv =
+    Array.init (Topology.n_hosts topo) (fun h ->
+        let sw, _ = Topology.host_attachment topo ~host:h in
+        new_emitter shard_of.(sw))
+  in
+  let tr_notify = Array.init n_sw (fun s -> new_emitter shard_of.(s)) in
+  let tr_cmd_send = Array.init n_sw (fun _ -> new_emitter 0) in
+  let tr_cmd_recv = Array.init n_sw (fun s -> new_emitter shard_of.(s)) in
+  let tr_rep_send = Array.init n_sw (fun s -> new_emitter shard_of.(s)) in
+  let tr_rep_recv = Array.init n_sw (fun _ -> new_emitter 0) in
+  let tr_obs = new_emitter 0 in
+  let tr_epoch = new_emitter 0 in
   let t =
     {
       engines;
@@ -398,6 +447,10 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       cmd_faults = Array.init n_sw (fun _ -> fresh_ctl_fault ());
       report_faults = Array.init n_sw (fun _ -> fresh_ctl_fault ());
       notif_chan_drops = Array.make n_sw 0;
+      tr_nic_send;
+      tr_emitters = [];
+      tr_epoch;
+      tracer = None;
     }
   in
   let utilized = compute_utilized topo routing in
@@ -407,17 +460,40 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
     let shard = shard_of.(s) in
     let eng = engines.(shard) in
     let nrng = notify_rngs.(s) in
+    let ntr = tr_notify.(s) in
     let notify n =
       (* DP -> CPU channel: latency plus possible loss, always on the
          switch's own shard. Loss is drawn from the switch's private
          stream so the draw order is a shard-local property. The config
          bernoulli is always drawn first — injected fault processes then
          cannot shift the stream the steady-state model consumes. *)
-      if Rng.bernoulli nrng cfg.Config.notify_drop_prob then
-        t.notif_chan_drops.(s) <- t.notif_chan_drops.(s) + 1
-      else if not (ctl_fault_drops t.notify_faults.(s)) then
+      if Rng.bernoulli nrng cfg.Config.notify_drop_prob then begin
+        t.notif_chan_drops.(s) <- t.notif_chan_drops.(s) + 1;
+        if Trace.enabled ntr then
+          Trace.emit ntr ~at:(Engine.now eng)
+            (Trace.Chan_drop { ch = Trace.Notify; sw = s; port = -1 })
+      end
+      else if ctl_fault_drops t.notify_faults.(s) then begin
+        if Trace.enabled ntr then
+          Trace.emit ntr ~at:(Engine.now eng)
+            (Trace.Chan_drop { ch = Trace.Notify; sw = s; port = -1 })
+      end
+      else begin
+        if Trace.enabled ntr then
+          Trace.emit ntr ~at:(Engine.now eng)
+            (Trace.Chan_send
+               {
+                 ch = Trace.Notify;
+                 sw = s;
+                 port = -1;
+                 arrival = Time.add (Engine.now eng) cfg.Config.notify_latency;
+               });
         Engine.schedule_after_unit eng ~delay:cfg.Config.notify_latency (fun () ->
+            if Trace.enabled ntr then
+              Trace.emit ntr ~at:(Engine.now eng)
+                (Trace.Chan_deliver { ch = Trace.Notify; sw = s; port = -1 });
             Control_plane.deliver_notification t.cps.(s) n)
+      end
     in
     let deliver_host ~host pkt =
       t.delivered.(shard) <- t.delivered.(shard) + 1;
@@ -440,9 +516,23 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       (fun p chan ->
         match chan with
         | Some c ->
+            (* The deliver event names the *sending* endpoint, matching
+               its Chan_send; the emitter is owned by the receiving
+               shard. *)
+            let snd_s, snd_p =
+              match Topology.peer_of topo ~switch:s ~port:p with
+              | Some (Topology.Switch_port (s', p')) -> (s', p')
+              | Some (Topology.Host_port _) | None -> (-1, -1)
+            in
+            let rtr = tr_wire_recv.(s).(p) in
+            let reng = engines.(c.rx_shard) in
             c.rx_on <-
               (fun () ->
                 let pkt = Ring.pop_exn c.rx_ring in
+                if Trace.enabled rtr then
+                  Trace.emit rtr ~at:(Engine.now reng)
+                    (Trace.Chan_deliver
+                       { ch = Trace.Wire; sw = snd_s; port = snd_p });
                 Switch.receive t.switches.(s) ~port:p pkt)
         | None -> ())
       rx_chans.(s)
@@ -450,9 +540,14 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
   Array.iteri
     (fun h tx ->
       let attach_sw, attach_port = Topology.host_attachment topo ~host:h in
+      let rtr = tr_nic_recv.(h) in
+      let reng = engines.(tx.rx.rx_shard) in
       tx.rx.rx_on <-
         (fun () ->
           let pkt = Ring.pop_exn tx.rx.rx_ring in
+          if Trace.enabled rtr then
+            Trace.emit rtr ~at:(Engine.now reng)
+              (Trace.Chan_deliver { ch = Trace.Nic; sw = h; port = -1 });
           Switch.receive t.switches.(attach_sw) ~port:attach_port pkt))
     t.host_txs;
   (* Outbound wire hand-offs: same-shard peers schedule directly on the
@@ -476,19 +571,34 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
             in
             let wf = t.wire_faults.(s).(p) in
             let sender_shard = shard_of.(s) in
+            let str = tr_wire_send.(s).(p) in
+            let seng = engines.(sender_shard) in
             Switch.set_wire_out t.switches.(s) ~port:p (fun pkt ~arrival ->
-                if not wf.cf_active then deliver pkt ~arrival
+                if not wf.cf_active then begin
+                  if Trace.enabled str then
+                    Trace.emit str ~at:(Engine.now seng)
+                      (Trace.Chan_send
+                         { ch = Trace.Wire; sw = s; port = p; arrival });
+                  deliver pkt ~arrival
+                end
                 else if
                   (not wf.cf_up)
                   || (match wf.cf_drop with Some d -> d () | None -> false)
                 then begin
                   wf.cf_drops <- wf.cf_drops + 1;
+                  if Trace.enabled str then
+                    Trace.emit str ~at:(Engine.now seng)
+                      (Trace.Chan_drop { ch = Trace.Wire; sw = s; port = p });
                   Packet.Gen.release t.pktgens.(sender_shard) pkt
                 end
                 else begin
                   let a = Time.add arrival wf.cf_extra in
                   let a = if a < wf.cf_last_arrival then wf.cf_last_arrival else a in
                   wf.cf_last_arrival <- a;
+                  if Trace.enabled str then
+                    Trace.emit str ~at:(Engine.now seng)
+                      (Trace.Chan_send
+                         { ch = Trace.Wire; sw = s; port = p; arrival = a });
                   deliver pkt ~arrival:a
                 end)
         | None -> failwith "Net.create: switch peer without receive channel")
@@ -563,13 +673,25 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
     in
     let flood () = Switch.cp_broadcast t.switches.(s) in
     let rsrc = report_src.(s) in
+    let rstr = tr_rep_send.(s) and rrtr = tr_rep_recv.(s) in
     let report r =
       (* CP -> observer shipping: a delayed message on the report channel
          of this switch, landing on shard 0 where the observer lives. The
          fault hook runs on the CP's shard (send side). *)
-      if not (ctl_fault_drops t.report_faults.(s)) then begin
+      if ctl_fault_drops t.report_faults.(s) then begin
+        if Trace.enabled rstr then
+          Trace.emit rstr ~at:(Engine.now eng)
+            (Trace.Chan_drop { ch = Trace.Report; sw = s; port = -1 })
+      end
+      else begin
         let at = Time.add (Engine.now eng) cfg.Config.report_latency in
+        if Trace.enabled rstr then
+          Trace.emit rstr ~at:(Engine.now eng)
+            (Trace.Chan_send { ch = Trace.Report; sw = s; port = -1; arrival = at });
         post_ctl t ~from_shard:shard ~shard:0 ~src:rsrc ~at (fun () ->
+            if Trace.enabled rrtr then
+              Trace.emit rrtr ~at:(Engine.now engine0)
+                (Trace.Chan_deliver { ch = Trace.Report; sw = s; port = -1 });
             Observer.on_report t.obs r)
       end
     in
@@ -585,12 +707,26 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
     if enabled s then begin
       let unit_ids = List.map Snapshot_unit.id (Switch.units t.switches.(s)) in
       let csrc = cmd_src.(s) and cshard = shard_of.(s) in
+      let cstr = tr_cmd_send.(s) and crtr = tr_cmd_recv.(s) in
+      let ceng = engines.(cshard) in
       let send_cmd run =
         (* Observer -> CP command channel; fault hook on shard 0 (send
            side, where the observer lives). *)
-        if not (ctl_fault_drops t.cmd_faults.(s)) then begin
+        if ctl_fault_drops t.cmd_faults.(s) then begin
+          if Trace.enabled cstr then
+            Trace.emit cstr ~at:(Engine.now engine0)
+              (Trace.Chan_drop { ch = Trace.Cmd; sw = s; port = -1 })
+        end
+        else begin
           let at = Time.add (Engine.now engine0) cfg.Config.cmd_latency in
-          post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at run
+          if Trace.enabled cstr then
+            Trace.emit cstr ~at:(Engine.now engine0)
+              (Trace.Chan_send { ch = Trace.Cmd; sw = s; port = -1; arrival = at });
+          post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at (fun () ->
+              if Trace.enabled crtr then
+                Trace.emit crtr ~at:(Engine.now ceng)
+                  (Trace.Chan_deliver { ch = Trace.Cmd; sw = s; port = -1 });
+              run ())
         end
       in
       Observer.register_device obs
@@ -608,6 +744,18 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
         }
     end
   done;
+  (* Snapshot-unit and control-plane emitters come after every channel
+     emitter, in switch-major order — still fully deterministic. *)
+  for s = 0 to n_sw - 1 do
+    List.iter
+      (fun u -> Snapshot_unit.set_tracer u (new_emitter shard_of.(s)))
+      (Switch.units t.switches.(s))
+  done;
+  for s = 0 to n_sw - 1 do
+    Control_plane.set_tracer t.cps.(s) (new_emitter shard_of.(s))
+  done;
+  Observer.set_tracer obs tr_obs;
+  t.tr_emitters <- List.rev !tr_ems;
   t
 
 let engine t = t.engines.(0)
@@ -649,7 +797,12 @@ let schedule_global t ~at run =
 let run_until t deadline =
   if t.n_shards = 1 then Engine.run_until t.engines.(0) deadline
   else
-    Shard.run_until ~engines:t.engines ~lookahead:t.lookahead ~deadline
+    let on_epoch =
+      if Trace.enabled t.tr_epoch then (fun b ->
+        Trace.emit t.tr_epoch ~at:b (Trace.Epoch { shard = 0; bound = b }))
+      else ignore
+    in
+    Shard.run_until ~on_epoch ~engines:t.engines ~lookahead:t.lookahead ~deadline
       ~drain:(fun j -> drain_shard t j)
       ~next_global:(fun () ->
         match t.globals with [] -> None | g :: _ -> Some g.g_at)
@@ -702,6 +855,10 @@ let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
     (* The NIC still serialized the packet (busy_until advanced); it is
        lost in transit on the host link. *)
     nf.cf_drops <- nf.cf_drops + 1;
+    (let str = t.tr_nic_send.(src) in
+     if Trace.enabled str then
+       Trace.emit str ~at:tnow
+         (Trace.Chan_drop { ch = Trace.Nic; sw = src; port = -1 }));
     Packet.Gen.release t.pktgens.(0) pkt
   end
   else begin
@@ -714,6 +871,10 @@ let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
         a
       end
     in
+    (let str = t.tr_nic_send.(src) in
+     if Trace.enabled str then
+       Trace.emit str ~at:tnow
+         (Trace.Chan_send { ch = Trace.Nic; sw = src; port = -1; arrival }));
     if tx.rx.rx_shard = 0 then begin
       Ring.push tx.rx.rx_ring pkt;
       Engine.schedule_src_unit t.engines.(0) ~src:tx.rx.rx_src ~at:arrival
@@ -901,3 +1062,60 @@ let fault_drops t =
 let injected_drops t =
   let d = fault_drops t in
   d.fd_wire + d.fd_nic + d.fd_notify + d.fd_cmd + d.fd_report + d.fd_cp
+
+(* ------------------------------------------------------------------ *)
+(* Tracing & metrics *)
+(* ------------------------------------------------------------------ *)
+
+let attach_trace ?limit_per_shard t =
+  (match t.tracer with
+  | Some _ -> invalid_arg "Net.attach_trace: trace already attached"
+  | None -> ());
+  let rc = Trace.create ?limit_per_shard ~shards:t.n_shards () in
+  (* Attach in the fixed construction order: the per-emitter sequence
+     reset makes attach order part of the determinism contract. *)
+  List.iter (fun (shard, e) -> Trace.attach rc ~shard e) t.tr_emitters;
+  Array.iteri
+    (fun i eng ->
+      Engine.set_dispatch_hook eng (Some (fun () -> Trace.on_dispatch rc ~shard:i)))
+    t.engines;
+  t.tracer <- Some rc;
+  rc
+
+let detach_trace t =
+  match t.tracer with
+  | None -> ()
+  | Some _ ->
+      List.iter (fun (_, e) -> Trace.detach e) t.tr_emitters;
+      Array.iter (fun eng -> Engine.set_dispatch_hook eng None) t.engines;
+      t.tracer <- None
+
+let trace t = t.tracer
+
+let register_metrics t m =
+  let reg name f = Metrics.register m name (fun () -> float_of_int (f ())) in
+  reg "net.delivered" (fun () -> delivered t);
+  reg "net.engine_events" (fun () -> events t);
+  reg "net.queue_drops" (fun () -> total_queue_drops t);
+  reg "net.fifo_violations" (fun () -> total_fifo_violations t);
+  reg "net.notif_drops" (fun () -> total_notif_drops t);
+  reg "net.injected_drops" (fun () -> injected_drops t);
+  reg "cp.notifications" (fun () ->
+      Array.fold_left
+        (fun acc cp -> acc + Control_plane.notifications_received cp)
+        0 t.cps);
+  reg "cp.queue_peak" (fun () ->
+      Array.fold_left
+        (fun acc cp -> Stdlib.max acc (Control_plane.notif_queue_peak cp))
+        0 t.cps);
+  reg "cp.crashes" (fun () ->
+      Array.fold_left (fun acc cp -> acc + Control_plane.crashes cp) 0 t.cps);
+  reg "observer.snapshots" (fun () -> Observer.last_sid t.obs);
+  reg "observer.outstanding" (fun () -> Observer.outstanding t.obs);
+  reg "observer.retries" (fun () -> Observer.retries_sent t.obs);
+  reg "trace.events" (fun () ->
+      match t.tracer with Some rc -> Trace.events_recorded rc | None -> 0);
+  reg "trace.dropped" (fun () ->
+      match t.tracer with Some rc -> Trace.dropped rc | None -> 0);
+  reg "trace.dispatches" (fun () ->
+      match t.tracer with Some rc -> Trace.dispatches rc | None -> 0)

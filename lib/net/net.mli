@@ -205,3 +205,26 @@ val fault_drops : t -> fault_drops
 
 val injected_drops : t -> int
 (** Sum of all {!fault_drops} fields. *)
+
+(** {2 Tracing & metrics} *)
+
+val attach_trace : ?limit_per_shard:int -> t -> Speedlight_trace.Trace.t
+(** Create a recorder sized to this network's shard count and attach
+    every emitter (channels, snapshot units, control planes, observer,
+    epoch barriers) in deterministic construction order; engine dispatch
+    hooks start counting into the recorder. Raises [Invalid_argument] if
+    a trace is already attached. Attach before {!run_until} — for a fixed
+    seed the merged model-event stream ({!Speedlight_trace.Trace.digest})
+    is then byte-identical at any shard count. *)
+
+val detach_trace : t -> unit
+(** Detach every emitter and remove the dispatch hooks; the recorder
+    returned by {!attach_trace} keeps its contents. No-op when no trace
+    is attached. *)
+
+val trace : t -> Speedlight_trace.Trace.t option
+
+val register_metrics : t -> Speedlight_trace.Metrics.t -> unit
+(** Register the network's aggregate counters (deliveries, engine events,
+    drops, CP activity, observer progress, trace volume) as pull-style
+    metrics. Sampling happens only at snapshot time — no hot-path cost. *)

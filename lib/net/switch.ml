@@ -3,6 +3,16 @@ open Speedlight_dataplane
 open Speedlight_core
 open Speedlight_topology
 
+exception Wire_out_not_installed of { switch : int; port : int }
+
+let () =
+  Printexc.register_printer (function
+    | Wire_out_not_installed { switch; port } ->
+        Some
+          (Printf.sprintf "Switch.Wire_out_not_installed(switch=%d, port=%d)"
+             switch port)
+    | _ -> None)
+
 type port_state = {
   port : int;
   ingress : Snapshot_unit.t;
@@ -294,11 +304,12 @@ let cp_broadcast t =
             ~size:64 ~cos:0 ~created:now
         in
         Snapshot_unit.process_packet ps.ingress ~now probe;
-        let sid, ghost =
+        let sid, ghost, depth =
           if probe.Packet.has_snap then
             ( probe.Packet.snap_hdr.Snapshot_header.sid,
-              probe.Packet.snap_hdr.Snapshot_header.ghost_sid )
-          else (0, 0)
+              probe.Packet.snap_hdr.Snapshot_header.ghost_sid,
+              probe.Packet.snap_hdr.Snapshot_header.depth )
+          else (0, 0, 0)
         in
         Packet.Gen.release t.pktgen probe;
         List.iter
@@ -308,7 +319,7 @@ let cp_broadcast t =
                 Packet.Gen.alloc t.pktgen ~flow_id:(-1) ~src_host:(-1)
                   ~dst_host:(-1) ~size:64 ~cos:0 ~created:now
               in
-              Packet.set_snap copy ~sid ~channel:0 ~ghost_sid:ghost;
+              Packet.set_snap ~depth copy ~sid ~channel:0 ~ghost_sid:ghost;
               enqueue_egress t ~now ~in_port:p ~out_port:q copy
             end)
           ports)
@@ -400,7 +411,9 @@ let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~deliver_host ~e
             last_ser = Time.zero;
             on_tx = ignore;
             on_wire_arrive = ignore;
-            out = (fun _ ~arrival:_ -> failwith "Switch: wire out not installed");
+            out =
+              (fun _ ~arrival:_ ->
+                raise (Wire_out_not_installed { switch = id; port = p }));
           }
         in
         ps.on_tx <- (fun () -> tx_fire t ps);

@@ -15,6 +15,11 @@ open Speedlight_topology
 
 type t
 
+exception Wire_out_not_installed of { switch : int; port : int }
+(** Raised when a switch-facing port transmits before {!set_wire_out} wired
+    it to its peer — a construction-order bug, reported as a typed error
+    rather than an anonymous [Failure]. *)
+
 val create :
   id:int ->
   engine:Engine.t ->

@@ -45,6 +45,9 @@ type t = {
   mutable free : event;
   mutable src_cnt : int array;  (* per stable source: events scheduled *)
   queue : (unit -> unit) Heap.t;
+  (* Observation hook run once per dispatched event (tracing/metrics);
+     [None] in steady state — the dispatch loops pay one branch. *)
+  mutable on_dispatch : (unit -> unit) option;
 }
 
 (* Sub-priority layout (63-bit int): source-tagged events use
@@ -64,10 +67,16 @@ let create ?capacity () =
     free = sentinel;
     src_cnt = [||];
     queue = Heap.create ?capacity ();
+    on_dispatch = None;
   }
 
 let now t = t.clock
 let processed t = t.processed
+let set_dispatch_hook t h = t.on_dispatch <- h
+
+let[@inline] dispatched t =
+  t.processed <- t.processed + 1;
+  match t.on_dispatch with None -> () | Some h -> h ()
 
 let enqueue t ~at g =
   Heap.push t.queue ~key:at ~seq:(anon_base lor t.seq) g;
@@ -165,7 +174,7 @@ let step t =
   else begin
     t.clock <- Heap.top_key t.queue;
     let g = Heap.pop_top t.queue in
-    t.processed <- t.processed + 1;
+    dispatched t;
     g ();
     true
   end
@@ -184,7 +193,7 @@ let run_until t deadline =
       else begin
         t.clock <- k;
         let g = Heap.pop_top q in
-        t.processed <- t.processed + 1;
+        dispatched t;
         g ()
       end
     end
@@ -207,7 +216,7 @@ let run_until_excl t bound =
       else begin
         t.clock <- k;
         let g = Heap.pop_top q in
-        t.processed <- t.processed + 1;
+        dispatched t;
         g ()
       end
     end

@@ -74,6 +74,11 @@ val processed : t -> int
 (** Total events executed (including cancelled ones reaped) since
     creation. *)
 
+val set_dispatch_hook : t -> (unit -> unit) option -> unit
+(** Install (or remove) an observation hook run once per dispatched
+    event, before the event's own handler. [None] (the default) costs the
+    dispatch loops a single branch. The hook must not schedule events. *)
+
 val run : t -> unit
 (** Run until the event queue drains. *)
 

@@ -86,6 +86,7 @@ type state = {
   next_global : unit -> Time.t option;
   run_global : unit -> unit;
   barrier : Barrier.t;
+  on_epoch : Time.t -> unit;
   mutable bound : Time.t;
   mutable finished : bool;
   error : (exn * Printexc.raw_backtrace) option Atomic.t;
@@ -127,7 +128,8 @@ let coordinate st =
     let b = st.deadline + 1 in
     let b = match m with Some m -> Stdlib.min b (m + st.lookahead) | None -> b in
     let b = match g with Some tg -> Stdlib.min b tg | None -> b in
-    st.bound <- b
+    st.bound <- b;
+    st.on_epoch b
   end
 
 let worker st i =
@@ -169,7 +171,8 @@ let worker st i =
     end
   done
 
-let run_until ~engines ~lookahead ~deadline ~drain ~next_global ~run_global () =
+let run_until ?(on_epoch = ignore) ~engines ~lookahead ~deadline ~drain
+    ~next_global ~run_global () =
   let n = Array.length engines in
   if n = 0 then invalid_arg "Shard.run_until: no engines";
   if lookahead <= 0 then
@@ -183,6 +186,7 @@ let run_until ~engines ~lookahead ~deadline ~drain ~next_global ~run_global () =
       next_global;
       run_global;
       barrier = Barrier.create n;
+      on_epoch;
       bound = Time.zero;
       finished = false;
       error = Atomic.make None;

@@ -13,6 +13,7 @@
     running the same model on a single engine. *)
 
 val run_until :
+  ?on_epoch:(Time.t -> unit) ->
   engines:Engine.t array ->
   lookahead:Time.t ->
   deadline:Time.t ->
@@ -31,6 +32,9 @@ val run_until :
     peeks the earliest pending global action's time and [run_global]
     executes it (called by worker 0 only, with all other domains parked
     and every engine clock advanced to the action's time).
+
+    [on_epoch] (tracing/diagnostics) is called by worker 0, quiesced,
+    with each barrier-agreed bound just before the epoch executes.
 
     [lookahead] must be positive. With a single engine no domains are
     spawned. An exception in any worker aborts the run and is re-raised

@@ -20,9 +20,13 @@ let eval t x =
 
 let quantile t q =
   if q < 0. || q > 1. then invalid_arg "Cdf.quantile: q out of range";
-  let n = Array.length t in
-  let idx = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
-  t.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+  if q = 0. then t.(0)
+  else begin
+    (* Nearest rank: ceil(q*n) is in [1, n] for q in (0, 1]. *)
+    let n = Array.length t in
+    let idx = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    t.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+  end
 
 let median t = quantile t 0.5
 let min t = t.(0)

@@ -16,7 +16,8 @@ val eval : t -> float -> float
 
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [\[0,1\]]: smallest sample [x] with
-    [eval t x >= q]. *)
+    [eval t x >= q] (nearest rank). [quantile t 0.] is the minimum by
+    definition. *)
 
 val median : t -> float
 val min : t -> float

@@ -55,6 +55,17 @@ let pp_policy fmt = function
   | Ecmp -> Format.fprintf fmt "ECMP"
   | Flowlet { gap } -> Format.fprintf fmt "Flowlet(gap=%a)" Time.pp gap
 
+exception No_candidate_ports of { switch : int; dst_host : int }
+
+let () =
+  Printexc.register_printer (function
+    | No_candidate_ports { switch; dst_host } ->
+        Some
+          (Printf.sprintf
+             "Routing.No_candidate_ports(switch=%d, dst_host=%d)" switch
+             dst_host)
+    | _ -> None)
+
 (* A small integer hash (Fibonacci-style mixing) for flow-hash ECMP. *)
 let mix_hash a b c =
   let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
@@ -92,10 +103,20 @@ module Selector = struct
       splits = 0;
     }
 
+  (* The candidate set for a forwarding decision. A destination the table
+     does not know (stale table, bad host id) is the same routing bug as
+     an empty port set — report both as the typed error rather than an
+     anonymous out-of-bounds failure. *)
+  let cand_for s table ~dst_host =
+    let row = table.cand.(s.switch) in
+    if dst_host < 0 || dst_host >= Array.length row then
+      raise (No_candidate_ports { switch = s.switch; dst_host })
+    else row.(dst_host)
+
   let ecmp_pick s table ~dst_host ~flow_id =
-    let c = candidates table ~switch:s.switch ~dst_host in
+    let c = cand_for s table ~dst_host in
     match Array.length c with
-    | 0 -> failwith "Routing.Selector: no candidate ports"
+    | 0 -> raise (No_candidate_ports { switch = s.switch; dst_host })
     | 1 -> c.(0)
     | n -> c.(mix_hash flow_id s.switch dst_host mod n)
 
@@ -134,9 +155,9 @@ module Selector = struct
     match s.policy with
     | Ecmp -> ecmp_pick s table ~dst_host ~flow_id
     | Flowlet { gap } -> (
-        let c = candidates table ~switch:s.switch ~dst_host in
+        let c = cand_for s table ~dst_host in
         match Array.length c with
-        | 0 -> failwith "Routing.Selector: no candidate ports"
+        | 0 -> raise (No_candidate_ports { switch = s.switch; dst_host })
         | 1 -> c.(0)
         | _ ->
             decay_loads s ~now;

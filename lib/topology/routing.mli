@@ -20,6 +20,12 @@ val candidates : t -> switch:int -> dst_host:int -> int array
 val path_length : t -> switch:int -> dst_host:int -> int
 (** Hops from the switch to the destination host. *)
 
+exception No_candidate_ports of { switch : int; dst_host : int }
+(** Raised by [Selector.select] when the routing table holds no port for
+    the (switch, destination) pair — an empty candidate set, a stale
+    table, or a destination the table was never computed for. A typed
+    error rather than an anonymous [Failure] / out-of-bounds crash. *)
+
 type policy = Ecmp | Flowlet of { gap : Time.t }
 
 val pp_policy : Format.formatter -> policy -> unit

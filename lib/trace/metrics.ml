@@ -1,0 +1,37 @@
+type t = { mutable entries : (string * (unit -> float)) list }
+
+let create () = { entries = [] }
+
+let register t name f =
+  if List.mem_assoc name t.entries then
+    invalid_arg (Printf.sprintf "Metrics.register: duplicate metric %S" name);
+  t.entries <- (name, f) :: t.entries
+
+let counter t name =
+  let r = ref 0 in
+  register t name (fun () -> float_of_int !r);
+  r
+
+let snapshot t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map (fun (n, f) -> (n, f ())) t.entries)
+
+let pp fmt t =
+  List.iter
+    (fun (n, v) -> Format.fprintf fmt "%-32s %14.2f@." n v)
+    (snapshot t)
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let add_json buf t =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (n, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%S: %s" n (json_float v)))
+    (snapshot t);
+  Buffer.add_string buf "}"

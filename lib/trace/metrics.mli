@@ -1,0 +1,25 @@
+(** Pull-style counter/gauge registry.
+
+    Hot paths already maintain counters (forwarded packets, drops,
+    retries, pool sizes); the registry adds no cost there — a metric is a
+    name plus a read function sampled only at {!snapshot} time. Counters
+    that exist solely for metrics register a plain [int ref] via
+    {!counter}. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> string -> (unit -> float) -> unit
+(** Raises [Invalid_argument] on a duplicate name. *)
+
+val counter : t -> string -> int ref
+(** Register and return a fresh integer counter. *)
+
+val snapshot : t -> (string * float) list
+(** Sample every metric, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val add_json : Buffer.t -> t -> unit
+(** Append the snapshot as a JSON object [{ "name": value, ... }]. *)

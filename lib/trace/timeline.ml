@@ -1,0 +1,165 @@
+open Speedlight_stats
+
+type snap = {
+  sid : int;
+  requested_at : int option;
+  fire_at : int option;
+  n_units : int;
+  first_init : int;
+  last_init : int;
+  drift_ns : int;
+  via_marker : int;
+  max_depth : int;
+  completed_at : int option;
+  complete : bool;
+  consistent : bool;
+  latency_ns : int option;
+}
+
+type t = { snaps : snap array }
+
+type acc = {
+  mutable a_requested : int option;
+  mutable a_fire : int option;
+  (* unit -> time of its first advance to this sid *)
+  firsts : (Trace.unit_ref, int) Hashtbl.t;
+  mutable a_via_marker : int;
+  mutable a_depth : int;
+  mutable a_completed : int option;
+  mutable a_complete : bool;
+  mutable a_consistent : bool;
+}
+
+let build (evs : Trace.event array) =
+  let accs : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let get sid =
+    match Hashtbl.find_opt accs sid with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_requested = None;
+            a_fire = None;
+            firsts = Hashtbl.create 32;
+            a_via_marker = 0;
+            a_depth = 0;
+            a_completed = None;
+            a_complete = false;
+            a_consistent = false;
+          }
+        in
+        Hashtbl.add accs sid a;
+        a
+  in
+  Array.iter
+    (fun (ev : Trace.event) ->
+      match ev.Trace.pay with
+      | Trace.Snap_request { sid; fire_at } ->
+          let a = get sid in
+          a.a_requested <- Some ev.Trace.at;
+          a.a_fire <- Some fire_at
+      | Trace.Id_advance { u; to_ghost; depth; via_init; _ } ->
+          let a = get to_ghost in
+          if not (Hashtbl.mem a.firsts u) then
+            Hashtbl.add a.firsts u ev.Trace.at;
+          if not via_init then a.a_via_marker <- a.a_via_marker + 1;
+          if depth > a.a_depth then a.a_depth <- depth
+      | Trace.Snap_done { sid; complete; consistent } ->
+          let a = get sid in
+          a.a_completed <- Some ev.Trace.at;
+          a.a_complete <- complete;
+          a.a_consistent <- consistent
+      | _ -> ())
+    evs;
+  let snaps =
+    Hashtbl.fold
+      (fun sid a rows ->
+        let n_units = Hashtbl.length a.firsts in
+        let first_init = ref max_int and last_init = ref 0 in
+        Hashtbl.iter
+          (fun _ t ->
+            if t < !first_init then first_init := t;
+            if t > !last_init then last_init := t)
+          a.firsts;
+        let first_init = if n_units = 0 then 0 else !first_init in
+        let last_init = if n_units = 0 then 0 else !last_init in
+        let latency_ns =
+          match (a.a_completed, a.a_fire) with
+          | Some c, Some f when c >= f -> Some (c - f)
+          | _ -> None
+        in
+        {
+          sid;
+          requested_at = a.a_requested;
+          fire_at = a.a_fire;
+          n_units;
+          first_init;
+          last_init;
+          drift_ns = last_init - first_init;
+          via_marker = a.a_via_marker;
+          max_depth = a.a_depth;
+          completed_at = a.a_completed;
+          complete = a.a_complete;
+          consistent = a.a_consistent;
+          latency_ns;
+        }
+        :: rows)
+      accs []
+  in
+  let snaps = Array.of_list snaps in
+  Array.sort (fun a b -> Int.compare a.sid b.sid) snaps;
+  { snaps }
+
+let us ns = float_of_int ns /. 1_000.
+
+let cdf_of_list = function [] -> None | xs -> Some (Cdf.of_samples (Array.of_list xs))
+
+let drift_cdf t =
+  cdf_of_list
+    (Array.to_list t.snaps
+    |> List.filter_map (fun s ->
+           if s.n_units >= 2 then Some (us s.drift_ns) else None))
+
+let latency_cdf t =
+  cdf_of_list
+    (Array.to_list t.snaps
+    |> List.filter_map (fun s -> Option.map us s.latency_ns))
+
+let depth_cdf t =
+  cdf_of_list
+    (Array.to_list t.snaps
+    |> List.filter_map (fun s ->
+           if s.n_units >= 1 then Some (float_of_int s.max_depth) else None))
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%6s %6s %12s %12s %10s %8s %7s %12s %s@." "sid" "units" "fire(us)"
+    "drift(us)" "marker" "depth" "done" "latency(us)" "status";
+  Array.iter
+    (fun s ->
+      let opt_us = function
+        | Some v -> Printf.sprintf "%.1f" (us v)
+        | None -> "-"
+      in
+      Format.fprintf fmt "%6d %6d %12s %12.1f %10d %8d %7s %12s %s@." s.sid
+        s.n_units (opt_us s.fire_at) (us s.drift_ns) s.via_marker s.max_depth
+        (if s.completed_at = None then "-" else "yes")
+        (opt_us s.latency_ns)
+        (if not s.complete then "incomplete"
+         else if s.consistent then "consistent"
+         else "inconsistent");
+    )
+    t.snaps;
+  let named =
+    List.filter_map
+      (fun (name, c) -> Option.map (fun c -> (name, c)) c)
+      [
+        ("init drift", drift_cdf t);
+        ("completion", latency_cdf t);
+        ("marker depth", depth_cdf t);
+      ]
+  in
+  if named <> [] then begin
+    Format.fprintf fmt "@.";
+    Cdf.pp_series ~unit_label:"" ~n:5 fmt named
+  end

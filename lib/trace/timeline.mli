@@ -1,0 +1,44 @@
+(** Per-snapshot timelines reconstructed from a merged trace.
+
+    This recovers the Fig. 7–8 quantities of the paper directly from the
+    event stream: when each unit initiated a snapshot (and hence the
+    inter-unit {e initiation drift}), how deep marker propagation ran,
+    and how long the observer waited for completion. *)
+
+open Speedlight_stats
+
+type snap = {
+  sid : int;  (** Unbounded (ghost) snapshot ID. *)
+  requested_at : int option;  (** When the observer committed to it. *)
+  fire_at : int option;  (** Scheduled initiation time. *)
+  n_units : int;  (** Distinct units that advanced to this ID. *)
+  first_init : int;  (** Earliest unit advance (ns). *)
+  last_init : int;  (** Latest unit advance (ns). *)
+  drift_ns : int;  (** [last_init - first_init] — initiation drift. *)
+  via_marker : int;  (** Advances driven by a marker, not an initiation. *)
+  max_depth : int;  (** Deepest marker propagation chain. *)
+  completed_at : int option;
+  complete : bool;
+  consistent : bool;
+  latency_ns : int option;
+      (** [completed_at - fire_at] — completion latency. *)
+}
+
+type t = { snaps : snap array }  (** Sorted by [sid]. *)
+
+val build : Trace.event array -> t
+(** Reconstruct from {!Trace.merged} output. Snapshots that advanced at
+    least one unit or were requested by the observer each get a row. *)
+
+val drift_cdf : t -> Cdf.t option
+(** Initiation drift in µs across snapshots with >= 2 units; [None] when
+    empty. *)
+
+val latency_cdf : t -> Cdf.t option
+(** Completion latency in µs across completed snapshots. *)
+
+val depth_cdf : t -> Cdf.t option
+(** Max marker depth across snapshots with >= 1 unit. *)
+
+val pp : Format.formatter -> t -> unit
+(** Per-snapshot table plus drift/latency CDF quantile rows. *)

@@ -1,0 +1,227 @@
+type chan = Wire | Nic | Notify | Cmd | Report
+
+let chan_name = function
+  | Wire -> "wire"
+  | Nic -> "nic"
+  | Notify -> "notify"
+  | Cmd -> "cmd"
+  | Report -> "report"
+
+type unit_ref = { u_switch : int; u_port : int; u_ingress : bool }
+
+type payload =
+  | Chan_send of { ch : chan; sw : int; port : int; arrival : int }
+  | Chan_deliver of { ch : chan; sw : int; port : int }
+  | Chan_drop of { ch : chan; sw : int; port : int }
+  | Marker_in of { u : unit_ref; wrapped : int; ghost : int; channel : int }
+  | Marker_out of { u : unit_ref; ghost : int }
+  | Id_advance of {
+      u : unit_ref;
+      from_ghost : int;
+      to_ghost : int;
+      depth : int;
+      via_init : bool;
+    }
+  | Wrap_around of { u : unit_ref; ghost : int }
+  | Notif_dequeue of { sw : int; qlen : int }
+  | Tracker_update of { sw : int; u : unit_ref; ctrl_sid : int }
+  | Cp_down of { sw : int; lost : int }
+  | Cp_up of { sw : int }
+  | Snap_request of { sid : int; fire_at : int }
+  | Snap_done of { sid : int; complete : bool; consistent : bool }
+  | Epoch of { shard : int; bound : int }
+
+let is_runtime = function Epoch _ -> true | _ -> false
+
+type event = { at : int; src : int; seq : int; pay : payload }
+
+let payload_name = function
+  | Chan_send _ -> "chan_send"
+  | Chan_deliver _ -> "chan_deliver"
+  | Chan_drop _ -> "chan_drop"
+  | Marker_in _ -> "marker_in"
+  | Marker_out _ -> "marker_out"
+  | Id_advance _ -> "id_advance"
+  | Wrap_around _ -> "wrap_around"
+  | Notif_dequeue _ -> "notif_dequeue"
+  | Tracker_update _ -> "tracker_update"
+  | Cp_down _ -> "cp_down"
+  | Cp_up _ -> "cp_up"
+  | Snap_request _ -> "snap_request"
+  | Snap_done _ -> "snap_done"
+  | Epoch _ -> "epoch"
+
+let unit_text u =
+  Printf.sprintf "sw=%d port=%d %s" u.u_switch u.u_port
+    (if u.u_ingress then "in" else "eg")
+
+let payload_text = function
+  | Chan_send { ch; sw; port; arrival } ->
+      Printf.sprintf "%s sw=%d port=%d arrival=%d" (chan_name ch) sw port
+        arrival
+  | Chan_deliver { ch; sw; port } ->
+      Printf.sprintf "%s sw=%d port=%d" (chan_name ch) sw port
+  | Chan_drop { ch; sw; port } ->
+      Printf.sprintf "%s sw=%d port=%d" (chan_name ch) sw port
+  | Marker_in { u; wrapped; ghost; channel } ->
+      Printf.sprintf "%s wrapped=%d ghost=%d channel=%d" (unit_text u) wrapped
+        ghost channel
+  | Marker_out { u; ghost } -> Printf.sprintf "%s ghost=%d" (unit_text u) ghost
+  | Id_advance { u; from_ghost; to_ghost; depth; via_init } ->
+      Printf.sprintf "%s %d->%d depth=%d via=%s" (unit_text u) from_ghost
+        to_ghost depth
+        (if via_init then "init" else "marker")
+  | Wrap_around { u; ghost } -> Printf.sprintf "%s ghost=%d" (unit_text u) ghost
+  | Notif_dequeue { sw; qlen } -> Printf.sprintf "sw=%d qlen=%d" sw qlen
+  | Tracker_update { sw; u; ctrl_sid } ->
+      Printf.sprintf "sw=%d %s ctrl_sid=%d" sw (unit_text u) ctrl_sid
+  | Cp_down { sw; lost } -> Printf.sprintf "sw=%d lost=%d" sw lost
+  | Cp_up { sw } -> Printf.sprintf "sw=%d" sw
+  | Snap_request { sid; fire_at } ->
+      Printf.sprintf "sid=%d fire_at=%d" sid fire_at
+  | Snap_done { sid; complete; consistent } ->
+      Printf.sprintf "sid=%d complete=%b consistent=%b" sid complete consistent
+  | Epoch { shard; bound } -> Printf.sprintf "shard=%d bound=%d" shard bound
+
+let pp_event fmt e =
+  Format.fprintf fmt "t=%d src=%d seq=%d %s %s" e.at e.src e.seq
+    (payload_name e.pay) (payload_text e.pay)
+
+(* {1 Recording} *)
+
+let dummy_event = { at = 0; src = 0; seq = 0; pay = Cp_up { sw = -1 } }
+
+type buf = {
+  limit : int;
+  mutable evs : event array;
+  mutable len : int;
+  mutable b_dropped : int;
+}
+
+type t = {
+  shards : int;
+  bufs : buf array;
+  (* Per-shard dispatch counters, each domain writing only its own slot.
+     Spaced out to keep concurrent increments off one cache line. *)
+  disp : int array;
+}
+
+let disp_stride = 16
+
+let create ?(limit_per_shard = 1_000_000) ~shards () =
+  if shards < 1 then invalid_arg "Trace.create: shards must be >= 1";
+  {
+    shards;
+    bufs =
+      Array.init shards (fun _ ->
+          { limit = limit_per_shard; evs = [||]; len = 0; b_dropped = 0 });
+    disp = Array.make (shards * disp_stride) 0;
+  }
+
+let shards t = t.shards
+
+type emitter = { e_src : int; mutable seq : int; mutable out : buf option }
+
+let make_emitter ~src = { e_src = src; seq = 0; out = None }
+let emitter_src e = e.e_src
+
+let attach t ~shard e =
+  if shard < 0 || shard >= t.shards then invalid_arg "Trace.attach: bad shard";
+  e.seq <- 0;
+  e.out <- Some t.bufs.(shard)
+
+let detach e = e.out <- None
+
+(* The hot-path guard at every instrumentation site; must stay a single
+   field load + branch when recording is off. *)
+let[@inline] enabled e = e.out != None
+
+let push b ev =
+  if b.len >= b.limit then b.b_dropped <- b.b_dropped + 1
+  else begin
+    let cap = Array.length b.evs in
+    if b.len = cap then begin
+      let ncap = if cap = 0 then 1024 else cap * 2 in
+      let nevs = Array.make (Stdlib.min ncap b.limit) dummy_event in
+      Array.blit b.evs 0 nevs 0 cap;
+      b.evs <- nevs
+    end;
+    b.evs.(b.len) <- ev;
+    b.len <- b.len + 1
+  end
+
+let emit e ~at pay =
+  match e.out with
+  | None -> ()
+  | Some b ->
+      let s = e.seq in
+      e.seq <- s + 1;
+      push b { at; src = e.e_src; seq = s; pay }
+
+let on_dispatch t ~shard =
+  let i = shard * disp_stride in
+  t.disp.(i) <- t.disp.(i) + 1
+
+let dispatches t =
+  let n = ref 0 in
+  for s = 0 to t.shards - 1 do
+    n := !n + t.disp.(s * disp_stride)
+  done;
+  !n
+
+let events_recorded t = Array.fold_left (fun n b -> n + b.len) 0 t.bufs
+let dropped t = Array.fold_left (fun n b -> n + b.b_dropped) 0 t.bufs
+
+(* {1 Deterministic merge} *)
+
+let compare_events a b =
+  if a.at <> b.at then Int.compare a.at b.at
+  else if a.src <> b.src then Int.compare a.src b.src
+  else Int.compare a.seq b.seq
+
+let merged t =
+  let n =
+    Array.fold_left
+      (fun n b ->
+        let k = ref 0 in
+        for i = 0 to b.len - 1 do
+          if not (is_runtime b.evs.(i).pay) then incr k
+        done;
+        n + !k)
+      0 t.bufs
+  in
+  let out = Array.make n dummy_event in
+  let j = ref 0 in
+  Array.iter
+    (fun b ->
+      for i = 0 to b.len - 1 do
+        let ev = b.evs.(i) in
+        if not (is_runtime ev.pay) then begin
+          out.(!j) <- ev;
+          incr j
+        end
+      done)
+    t.bufs;
+  Array.sort compare_events out;
+  out
+
+let to_canonical t =
+  let evs = merged t in
+  let buf = Buffer.create (Array.length evs * 48) in
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "t=%d src=%d seq=%d %s %s\n" e.at e.src e.seq
+           (payload_name e.pay) (payload_text e.pay)))
+    evs;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (to_canonical t))
+
+let iter_shard t f =
+  Array.iteri
+    (fun shard b ->
+      for i = 0 to b.len - 1 do
+        f ~shard b.evs.(i)
+      done)
+    t.bufs

@@ -1,0 +1,145 @@
+(** Deterministic structured tracing.
+
+    Every instrumented entity (a channel endpoint, a snapshot unit, a
+    control plane, the observer) owns an {!emitter} with a stable source
+    id, assigned in network-construction order — the same discipline the
+    engine uses for event scheduling, so source ids are identical no
+    matter how many shards execute the run. An emitter is a single
+    mutable slot: detached it points at nothing and {!emit} is one load
+    and one branch; attached it appends to the recording shard's buffer.
+
+    Events split into two classes:
+
+    - {e model} events describe the simulated network (sends, delivers,
+      marker movement, ID advances, control-plane activity). For a fixed
+      seed they are identical at any shard count, and {!merged} orders
+      them by the total key [(time, source id, per-source sequence)] —
+      the engine's own tie-break — so the canonical stream and its
+      {!digest} are byte-identical serial vs sharded.
+    - {e runtime} events describe the execution itself (epoch barriers).
+      They legitimately differ across shard counts and are excluded from
+      the canonical stream; they are still visible to {!iter_shard} for
+      diagnostic (Chrome trace) export.
+
+    Timestamps are simulated nanoseconds ([Time.t = int]); this library
+    deliberately depends on nothing above [lib/stats] so every layer can
+    use it. *)
+
+type chan = Wire | Nic | Notify | Cmd | Report
+(** The five channel classes of the network model (DESIGN.md §6). *)
+
+val chan_name : chan -> string
+
+type unit_ref = { u_switch : int; u_port : int; u_ingress : bool }
+(** A snapshot unit, identified structurally (no dependency on
+    [lib/dataplane]'s [Unit_id]). *)
+
+type payload =
+  | Chan_send of { ch : chan; sw : int; port : int; arrival : int }
+      (** A message entered the channel; [arrival] is its scheduled
+          delivery time. For [Nic], [sw] is the sending host and [port]
+          is [-1]. *)
+  | Chan_deliver of { ch : chan; sw : int; port : int }
+      (** The message reached the far end ([sw]/[port] name the sending
+          endpoint, matching the [Chan_send]). *)
+  | Chan_drop of { ch : chan; sw : int; port : int }
+      (** The message was lost (queue overflow or injected fault). *)
+  | Marker_in of { u : unit_ref; wrapped : int; ghost : int; channel : int }
+      (** A packet carrying a newer snapshot ID reached unit [u] on
+          neighbor index [channel]. *)
+  | Marker_out of { u : unit_ref; ghost : int }
+      (** Unit [u] first stamped its (new) ID onto an outgoing packet. *)
+  | Id_advance of {
+      u : unit_ref;
+      from_ghost : int;
+      to_ghost : int;
+      depth : int;
+      via_init : bool;
+    }
+      (** Unit [u] advanced its snapshot ID. [via_init] distinguishes a
+          control-plane initiation from a marker-driven advance; [depth]
+          is the marker-propagation depth (0 for initiations, carried
+          depth + 1 for markers). *)
+  | Wrap_around of { u : unit_ref; ghost : int }
+      (** The advance crossed a modulus boundary in wrapped ID space. *)
+  | Notif_dequeue of { sw : int; qlen : int }
+      (** The control plane finished processing one notification; [qlen]
+          notifications remain queued. *)
+  | Tracker_update of { sw : int; u : unit_ref; ctrl_sid : int }
+      (** The CP tracker absorbed a notification from [u]; [ctrl_sid] is
+          the control plane's (unwrapped) snapshot ID afterwards. *)
+  | Cp_down of { sw : int; lost : int }
+      (** Control-plane crash; [lost] queued notifications discarded. *)
+  | Cp_up of { sw : int }
+  | Snap_request of { sid : int; fire_at : int }
+      (** The observer committed to initiating snapshot [sid]. *)
+  | Snap_done of { sid : int; complete : bool; consistent : bool }
+      (** The observer closed snapshot [sid]. *)
+  | Epoch of { shard : int; bound : int }
+      (** Runtime: a BSP epoch barrier granting execution up to [bound]. *)
+
+val is_runtime : payload -> bool
+
+type event = { at : int; src : int; seq : int; pay : payload }
+
+val payload_name : payload -> string
+(** Short kebab-free identifier, e.g. ["chan_send"]. *)
+
+val payload_text : payload -> string
+(** Canonical single-line rendering of the payload fields. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Recording} *)
+
+type t
+(** A recorder: one append-only buffer per shard. *)
+
+val create : ?limit_per_shard:int -> shards:int -> unit -> t
+(** [limit_per_shard] bounds memory (default one million events per
+    shard); events past the limit are counted in {!dropped} rather than
+    recorded. *)
+
+val shards : t -> int
+
+type emitter
+
+val make_emitter : src:int -> emitter
+(** A detached emitter with stable source id [src]. *)
+
+val emitter_src : emitter -> int
+
+val attach : t -> shard:int -> emitter -> unit
+(** Point the emitter at shard [shard]'s buffer and reset its sequence
+    counter. The attaching order must be deterministic (it is part of no
+    digest, but the sequence reset is). *)
+
+val detach : emitter -> unit
+
+val enabled : emitter -> bool
+val emit : emitter -> at:int -> payload -> unit
+
+val on_dispatch : t -> shard:int -> unit
+(** Count one engine dispatch against [shard] (metrics only). *)
+
+val dispatches : t -> int
+val events_recorded : t -> int
+val dropped : t -> int
+
+(** {1 Deterministic merge} *)
+
+val merged : t -> event array
+(** All {e model} events, sorted by [(at, src, seq)]. Total order:
+    sources are unique and sequences are per-source, so no two events
+    share a key. *)
+
+val to_canonical : t -> string
+(** The merged stream, one line per event. *)
+
+val digest : t -> string
+(** MD5 hex of {!to_canonical} — byte-identical across shard counts for
+    a fixed seed. *)
+
+val iter_shard : t -> (shard:int -> event -> unit) -> unit
+(** Every recorded event (model and runtime), in per-shard recording
+    order — for diagnostic export, where the owning shard is wanted. *)

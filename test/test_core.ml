@@ -54,6 +54,37 @@ let test_wrap_unwrap_roundtrip =
       QCheck.assume (x - reference > -half && x - reference <= m - half);
       Wrap.unwrap ~max_sid ~reference (Wrap.wrap ~max_sid x) = x)
 
+let test_wrap_unwrap_skew_window =
+  (* The shipped moduli: the 2-bit unit-test variant, the 8-bit hardware
+     register, and an odd modulus to catch even/odd half-window slips. *)
+  QCheck.Test.make
+    ~name:"unwrap (wrap x) = x whenever |x - reference| <= max_skew" ~count:3000
+    QCheck.(
+      triple (oneofl [ 3; 255; 256 ]) (int_range 0 1_000_000)
+        (int_range (-130) 130))
+    (fun (max_sid, reference, d) ->
+      let skew = Wrap.max_skew ~max_sid in
+      let delta = d mod (skew + 1) in
+      let x = reference + delta in
+      QCheck.assume (x >= 0);
+      Wrap.unwrap ~max_sid ~reference (Wrap.wrap ~max_sid x) = x)
+
+let test_unwrap_edges () =
+  (* Reference at zero, w a full half-window behind: the in-window
+     candidate is negative, and the unique non-negative congruent value is
+     one lap forward. *)
+  Alcotest.(check int) "fallback stays non-negative" 255
+    (Wrap.unwrap ~max_sid:255 ~reference:0 255);
+  Alcotest.(check int) "behind a small reference" 0
+    (Wrap.unwrap ~max_sid:255 ~reference:1 0);
+  Alcotest.(check int) "ahead across rollover" 257
+    (Wrap.unwrap ~max_sid:255 ~reference:255 1);
+  (* Odd modulus (max_sid = 256, m = 257). *)
+  Alcotest.(check int) "odd modulus, ahead" 300
+    (Wrap.unwrap ~max_sid:256 ~reference:280 (Wrap.wrap ~max_sid:256 300));
+  Alcotest.(check int) "odd modulus, behind" 260
+    (Wrap.unwrap ~max_sid:256 ~reference:280 (Wrap.wrap ~max_sid:256 260))
+
 let test_wrap_rejects_small () =
   Alcotest.(check bool) "max_sid >= 3 enforced" true
     (try
@@ -613,6 +644,8 @@ let () =
           Alcotest.test_case "rejects small" `Quick test_wrap_rejects_small;
           q test_wrap_compare_matches_ints;
           q test_wrap_unwrap_roundtrip;
+          q test_wrap_unwrap_skew_window;
+          Alcotest.test_case "unwrap edge cases" `Quick test_unwrap_edges;
         ] );
       ( "ideal_unit",
         [

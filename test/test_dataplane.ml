@@ -60,7 +60,7 @@ let test_packet_gen_recycle () =
   Alcotest.(check bool) "distinct live packets" true (not (p2 == p3))
 
 let test_header_constructors () =
-  let d = Snapshot_header.data ~sid:5 ~channel:2 ~ghost_sid:5 in
+  let d = Snapshot_header.data ~sid:5 ~channel:2 ~ghost_sid:5 () in
   Alcotest.(check bool) "data type" true (d.Snapshot_header.ptype = Snapshot_header.Data);
   let i = Snapshot_header.initiation ~sid:7 ~ghost_sid:7 in
   Alcotest.(check bool) "initiation type" true

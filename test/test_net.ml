@@ -609,6 +609,50 @@ let test_seed_changes_run () =
   in
   Alcotest.(check bool) "different seeds diverge" true (run 1 <> run 2)
 
+let test_wire_out_not_installed_typed () =
+  (* A switch whose uplink was never wired with [set_wire_out] must fail
+     with the typed error when the first packet transmits, not an
+     anonymous [Failure] (regression: the default hand-off was a
+     [failwith]). *)
+  let ls = Topology.leaf_spine () in
+  let topo = ls.Topology.topo in
+  let routing = Routing.compute topo in
+  (* Pick a source host and a destination behind a different leaf. *)
+  let src_host = ls.Topology.host_of_server.(0) in
+  let leaf, host_port = Topology.host_attachment topo ~host:src_host in
+  let dst_host =
+    match
+      Array.find_opt
+        (fun h -> fst (Topology.host_attachment topo ~host:h) <> leaf)
+        ls.Topology.host_of_server
+    with
+    | Some h -> h
+    | None -> Alcotest.fail "testbed has a single leaf?"
+  in
+  let engine = Engine.create () in
+  let pktgen = Packet.Gen.create () in
+  let sw =
+    Switch.create ~id:leaf ~engine ~rng:(Rng.create 3) ~cfg:Config.default
+      ~topo ~routing ~pktgen
+      ~notify:(fun _ -> ())
+      ~deliver_host:(fun ~host:_ _ -> ())
+      ~enabled:true
+  in
+  let pkt =
+    Packet.Gen.alloc pktgen ~flow_id:1 ~src_host ~dst_host ~size:200 ~cos:0
+      ~created:Time.zero
+  in
+  Switch.receive sw ~port:host_port pkt;
+  match Engine.run_until engine (Time.ms 1) with
+  | () -> Alcotest.fail "expected Wire_out_not_installed"
+  | exception Switch.Wire_out_not_installed { switch; port } ->
+      Alcotest.(check int) "switch id" leaf switch;
+      Alcotest.(check bool) "a switch-facing port" true
+        (match Topology.peer_of topo ~switch:leaf ~port with
+        | Some (Topology.Switch_port _) -> true
+        | _ -> false)
+  | exception Failure _ -> Alcotest.fail "untyped Failure"
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -648,6 +692,8 @@ let () =
           Alcotest.test_case "CoS sub-channels" `Slow test_cos_subchannels;
           Alcotest.test_case "fat-tree deployment" `Quick test_fat_tree_deployment;
           Alcotest.test_case "NIC serialization" `Quick test_nic_serializes;
+          Alcotest.test_case "unwired port is a typed error" `Quick
+            test_wire_out_not_installed_typed;
         ] );
       ( "metrics",
         [

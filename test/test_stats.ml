@@ -89,6 +89,18 @@ let test_cdf_quantiles () =
   check_float 1e-9 "min" 10. (Cdf.min c);
   check_float 1e-9 "max" 40. (Cdf.max c)
 
+let test_cdf_quantile_tiny () =
+  (* p0 must return the minimum by definition (regression: the nearest-rank
+     index used to underflow to -1 and get silently clamped). *)
+  let c1 = Cdf.of_samples [| 5. |] in
+  check_float 1e-9 "p0, one sample" 5. (Cdf.quantile c1 0.);
+  check_float 1e-9 "p50, one sample" 5. (Cdf.quantile c1 0.5);
+  check_float 1e-9 "p100, one sample" 5. (Cdf.quantile c1 1.);
+  let c2 = Cdf.of_samples [| 7.; 3. |] in
+  check_float 1e-9 "p0, two samples" 3. (Cdf.quantile c2 0.);
+  check_float 1e-9 "p50, two samples" 3. (Cdf.quantile c2 0.5);
+  check_float 1e-9 "p100, two samples" 7. (Cdf.quantile c2 1.)
+
 let test_cdf_points () =
   let c = Cdf.of_samples [| 2.; 1. |] in
   Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
@@ -320,6 +332,7 @@ let () =
         [
           Alcotest.test_case "eval" `Quick test_cdf_eval;
           Alcotest.test_case "quantiles" `Quick test_cdf_quantiles;
+          Alcotest.test_case "quantiles on tiny inputs" `Quick test_cdf_quantile_tiny;
           Alcotest.test_case "points" `Quick test_cdf_points;
           q test_cdf_eval_quantile_roundtrip;
         ] );

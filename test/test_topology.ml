@@ -241,6 +241,35 @@ let test_flowlet_balances_load =
       let frac = float_of_int loads.(0) /. float_of_int total in
       frac > 0.3 && frac < 0.7)
 
+let test_selector_no_candidate_typed () =
+  (* A destination the routing table was never computed for must surface
+     as the typed error, not an anonymous [Failure] or index crash
+     (regression: both selector branches used [failwith]). *)
+  let b = Topology.Builder.create () in
+  let s0 = Topology.Builder.add_switch b ~n_ports:2 in
+  let s1 = Topology.Builder.add_switch b ~n_ports:2 in
+  Topology.Builder.connect b ~sw_a:s0 ~port_a:0 ~sw_b:s1 ~port_b:0;
+  let h = Topology.Builder.add_host b in
+  Topology.Builder.attach_host b ~host:h ~switch:s0 ~port:1;
+  let topo = Topology.Builder.build b in
+  let routing = Routing.compute topo in
+  let check_policy name policy =
+    let sel =
+      Routing.Selector.create policy ~rng:(Rng.create 1) ~switch:s1
+    in
+    match
+      Routing.Selector.select sel routing ~dst_host:7 ~flow_id:1 ~size:100
+        ~now:Time.zero
+    with
+    | _ -> Alcotest.failf "%s: expected No_candidate_ports" name
+    | exception Routing.No_candidate_ports { switch; dst_host } ->
+        Alcotest.(check int) (name ^ ": switch") s1 switch;
+        Alcotest.(check int) (name ^ ": dst") 7 dst_host
+    | exception Failure _ -> Alcotest.failf "%s: untyped Failure" name
+  in
+  check_policy "ecmp" Routing.Ecmp;
+  check_policy "flowlet" (Routing.Flowlet { gap = Time.us 100 })
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -277,6 +306,8 @@ let () =
           Alcotest.test_case "flowlet sticky" `Quick test_flowlet_sticky_within_gap;
           Alcotest.test_case "flowlet least-loaded" `Quick test_flowlet_rebalances_at_gaps;
           Alcotest.test_case "flowlet splits counted" `Quick test_flowlet_splits_counted;
+          Alcotest.test_case "unroutable dst is a typed error" `Quick
+            test_selector_no_candidate_typed;
           q test_flowlet_balances_load;
         ] );
     ]

@@ -1,0 +1,253 @@
+(* Tests for the deterministic tracing layer: recorder mechanics, the
+   byte-identical merged-digest contract across shard counts (clean and
+   under a chaos fault plan), timeline reconstruction, the metrics
+   registry, and the Chrome trace export. *)
+
+open Speedlight_trace
+open Speedlight_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Recorder mechanics *)
+(* ------------------------------------------------------------------ *)
+
+let test_emitter_detached_noop () =
+  let e = Trace.make_emitter ~src:3 in
+  Alcotest.(check bool) "detached" false (Trace.enabled e);
+  (* Must be a no-op, not a crash. *)
+  Trace.emit e ~at:5 (Trace.Cp_up { sw = 1 });
+  Alcotest.(check int) "src" 3 (Trace.emitter_src e)
+
+let test_recorder_limit_and_detach () =
+  let e = Trace.make_emitter ~src:3 in
+  let rc = Trace.create ~limit_per_shard:2 ~shards:1 () in
+  Trace.attach rc ~shard:0 e;
+  Alcotest.(check bool) "attached" true (Trace.enabled e);
+  Trace.emit e ~at:1 (Trace.Cp_up { sw = 1 });
+  Trace.emit e ~at:2 (Trace.Cp_down { sw = 1; lost = 4 });
+  Trace.emit e ~at:3 (Trace.Cp_up { sw = 1 });
+  Alcotest.(check int) "recorded up to the limit" 2 (Trace.events_recorded rc);
+  Alcotest.(check int) "excess counted as dropped" 1 (Trace.dropped rc);
+  Trace.detach e;
+  Trace.emit e ~at:9 (Trace.Cp_up { sw = 1 });
+  Alcotest.(check int) "no growth after detach" 2 (Trace.events_recorded rc)
+
+let test_merge_order_and_runtime_exclusion () =
+  let rc = Trace.create ~shards:2 () in
+  let a = Trace.make_emitter ~src:10 and b = Trace.make_emitter ~src:2 in
+  Trace.attach rc ~shard:0 a;
+  Trace.attach rc ~shard:1 b;
+  Trace.emit a ~at:5 (Trace.Cp_up { sw = 0 });
+  Trace.emit b ~at:5 (Trace.Cp_up { sw = 1 });
+  Trace.emit a ~at:1 (Trace.Cp_down { sw = 0; lost = 0 });
+  (* Runtime events are recorded but excluded from the canonical merge. *)
+  Trace.emit b ~at:3 (Trace.Epoch { shard = 1; bound = 100 });
+  let m = Trace.merged rc in
+  Alcotest.(check int) "model events only" 3 (Array.length m);
+  Alcotest.(check (list (pair int int)))
+    "sorted by (at, src)"
+    [ (1, 10); (5, 2); (5, 10) ]
+    (Array.to_list m |> List.map (fun e -> (e.Trace.at, e.Trace.src)));
+  let seen_runtime = ref 0 in
+  Trace.iter_shard rc (fun ~shard:_ e ->
+      if Trace.is_runtime e.Trace.pay then incr seen_runtime);
+  Alcotest.(check int) "runtime visible to iter_shard" 1 !seen_runtime;
+  (* Digest is stable and ignores the runtime event. *)
+  let d = Trace.digest rc in
+  Trace.emit b ~at:7 (Trace.Epoch { shard = 1; bound = 200 });
+  Alcotest.(check string) "runtime does not perturb the digest" d
+    (Trace.digest rc)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.register m "b.gauge" (fun () -> 2.5);
+  let c = Metrics.counter m "a.count" in
+  incr c;
+  incr c;
+  (match Metrics.snapshot m with
+  | [ ("a.count", a); ("b.gauge", g) ] ->
+      Alcotest.(check (float 1e-9)) "counter" 2. a;
+      Alcotest.(check (float 1e-9)) "gauge" 2.5 g
+  | l -> Alcotest.failf "unexpected snapshot shape (%d entries)" (List.length l));
+  (match Metrics.register m "a.count" (fun () -> 0.) with
+  | () -> Alcotest.fail "duplicate registration accepted"
+  | exception Invalid_argument _ -> ());
+  let buf = Buffer.create 64 in
+  Metrics.add_json buf m;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "json object" true
+    (String.length s > 2 && s.[0] = '{' && s.[String.length s - 1] = '}');
+  Alcotest.(check bool) "json has both entries" true
+    (let has sub =
+       let n = String.length s and k = String.length sub in
+       let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+       go 0
+     in
+     has "\"a.count\"" && has "\"b.gauge\"")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across shard counts *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_determinism () =
+  let r1 = Tracing.run ~quick:true ~seed:7 ~shards:1 () in
+  let r2 = Tracing.run ~quick:true ~seed:7 ~shards:2 () in
+  let r4 = Tracing.run ~quick:true ~seed:7 ~shards:4 () in
+  Alcotest.(check int) "serial" 1 r1.Tracing.shards;
+  Alcotest.(check int) "two shards" 2 r2.Tracing.shards;
+  Alcotest.(check int) "four shards" 4 r4.Tracing.shards;
+  Alcotest.(check bool) "trace is non-trivial" true
+    (Trace.events_recorded r1.Tracing.trace > 1000);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped r1.Tracing.trace);
+  Alcotest.(check string) "observables: 2 shards == serial" r1.Tracing.run_digest
+    r2.Tracing.run_digest;
+  Alcotest.(check string) "observables: 4 shards == serial" r1.Tracing.run_digest
+    r4.Tracing.run_digest;
+  Alcotest.(check string) "trace: 2 shards == serial" r1.Tracing.digest
+    r2.Tracing.digest;
+  Alcotest.(check string) "trace: 4 shards == serial" r1.Tracing.digest
+    r4.Tracing.digest;
+  (* Not degenerate: a different seed must trace differently. *)
+  let r1' = Tracing.run ~quick:true ~seed:8 ~shards:1 () in
+  Alcotest.(check bool) "digest is seed-sensitive" false
+    (r1.Tracing.digest = r1'.Tracing.digest)
+
+let test_trace_determinism_under_faults () =
+  let r1 = Tracing.run ~quick:true ~seed:11 ~shards:1 ~fault_intensity:0.6 () in
+  let r2 = Tracing.run ~quick:true ~seed:11 ~shards:2 ~fault_intensity:0.6 () in
+  Alcotest.(check string) "chaos: 2 shards == serial" r1.Tracing.digest
+    r2.Tracing.digest;
+  (* The plan must actually perturb the run relative to the clean one. *)
+  let clean = Tracing.run ~quick:true ~seed:11 ~shards:1 () in
+  Alcotest.(check bool) "faults change the trace" false
+    (r1.Tracing.digest = clean.Tracing.digest)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline reconstruction *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_sanity () =
+  let r = Tracing.run ~quick:true ~seed:7 ~shards:1 () in
+  let tl = r.Tracing.timeline in
+  let module T = Timeline in
+  Alcotest.(check int) "one row per snapshot" (List.length r.Tracing.sids)
+    (Array.length tl.T.snaps);
+  Array.iter
+    (fun (s : T.snap) ->
+      Alcotest.(check bool) "requested" true (s.T.requested_at <> None);
+      Alcotest.(check bool) "has units" true (s.T.n_units > 0);
+      Alcotest.(check bool) "drift >= 0" true (s.T.drift_ns >= 0);
+      Alcotest.(check bool) "depth >= 0" true (s.T.max_depth >= 0);
+      if s.T.complete then begin
+        Alcotest.(check bool) "completed_at set" true (s.T.completed_at <> None);
+        match (s.T.latency_ns, s.T.fire_at, s.T.completed_at) with
+        | Some l, Some f, Some c ->
+            Alcotest.(check int) "latency = completed - fire" (c - f) l
+        | _ -> Alcotest.fail "complete snapshot missing timestamps"
+      end)
+    tl.T.snaps;
+  (* The testbed run completes its snapshots; drift spans >= 2 units. *)
+  Alcotest.(check bool) "some snapshot completed" true
+    (Array.exists (fun s -> s.T.complete) tl.T.snaps);
+  Alcotest.(check bool) "drift CDF exists" true (T.drift_cdf tl <> None);
+  Alcotest.(check bool) "latency CDF exists" true (T.latency_cdf tl <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_chrome_export () =
+  let r = Tracing.run ~quick:true ~seed:7 ~shards:2 () in
+  let path = Filename.temp_file "speedlight_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.chrome_trace ~path r.Tracing.trace;
+      let s = read_file path in
+      Alcotest.(check bool) "object wrapper" true
+        (String.length s > 2 && s.[0] = '{');
+      let count sub =
+        let n = String.length s and k = String.length sub in
+        let c = ref 0 in
+        for i = 0 to n - k do
+          if String.sub s i k = sub then incr c
+        done;
+        !c
+      in
+      Alcotest.(check int) "traceEvents array" 1 (count "\"traceEvents\"");
+      Alcotest.(check int) "one record per event"
+        (Trace.events_recorded r.Tracing.trace)
+        (count "{\"name\":");
+      (* Balanced braces — cheap structural validity check. *)
+      let depth = ref 0 and ok = ref true and in_str = ref false in
+      String.iteri
+        (fun i ch ->
+          if !in_str then begin
+            if ch = '"' && s.[i - 1] <> '\\' then in_str := false
+          end
+          else
+            match ch with
+            | '"' -> in_str := true
+            | '{' -> incr depth
+            | '}' ->
+                decr depth;
+                if !depth < 0 then ok := false
+            | _ -> ())
+        s;
+      Alcotest.(check bool) "braces balanced" true (!ok && !depth = 0))
+
+let test_timeline_export () =
+  let r = Tracing.run ~quick:true ~seed:7 ~shards:1 () in
+  let dir = Filename.temp_file "speedlight_tl" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Export.timeline ~dir r.Tracing.timeline;
+      let rows = read_file (Filename.concat dir "trace_timeline.csv") in
+      Alcotest.(check bool) "header present" true
+        (String.length rows > 3 && String.sub rows 0 3 = "sid");
+      Alcotest.(check bool) "cdf file written" true
+        (Sys.file_exists (Filename.concat dir "trace_cdfs.csv")))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "detached emit is a no-op" `Quick
+            test_emitter_detached_noop;
+          Alcotest.test_case "limit + detach" `Quick
+            test_recorder_limit_and_detach;
+          Alcotest.test_case "merge order, runtime excluded" `Quick
+            test_merge_order_and_runtime_exclusion;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "digest equal at 1/2/4 shards" `Slow
+            test_trace_determinism;
+          Alcotest.test_case "digest equal under chaos plan" `Slow
+            test_trace_determinism_under_faults;
+        ] );
+      ( "timeline",
+        [ Alcotest.test_case "sanity" `Slow test_timeline_sanity ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace JSON" `Slow test_chrome_export;
+          Alcotest.test_case "timeline CSVs" `Slow test_timeline_export;
+        ] );
+    ]
