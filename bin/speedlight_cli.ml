@@ -217,6 +217,107 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every table/figure reproduction in sequence")
     Term.(const run $ quick_arg $ seed_arg $ csv_arg)
 
+let run_archive quick seed shards policy counter no_audit segment_rounds out =
+  timed "archive" (fun () ->
+      let r =
+        Archive.capture ~quick ?seed ~shards ~policy ~counter
+          ~audit:(not no_audit) ~segment_rounds ~dir:out ()
+      in
+      Archive.print fmt r)
+
+let archive_cmd =
+  let out_arg =
+    let doc = "Directory to write the snapshot archive into (replaced)." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc ~docv:"DIR")
+  in
+  let shards_arg =
+    let doc = "Number of simulation shards (domains)." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc ~docv:"N")
+  in
+  let policy_arg =
+    let doc = "Load-balancing policy: ecmp or flowlet." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ecmp", Speedlight_topology.Routing.Ecmp);
+               ( "flowlet",
+                 Speedlight_topology.Routing.Flowlet
+                   { gap = Speedlight_sim.Time.us 500 } );
+             ])
+          Speedlight_topology.Routing.Ecmp
+      & info [ "policy" ] ~doc)
+  in
+  let counter_arg =
+    let doc = "Per-unit state to snapshot: ewma, queue or fib." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ewma", Speedlight_net.Config.Ewma_interarrival);
+               ("queue", Speedlight_net.Config.Queue_depth);
+               ("fib", Speedlight_net.Config.Fib_version);
+             ])
+          Speedlight_net.Config.Ewma_interarrival
+      & info [ "counter" ] ~doc)
+  in
+  let no_audit_arg =
+    let doc = "Skip the independent cut audit (archive stays unlabeled)." in
+    Arg.(value & flag & info [ "no-audit" ] ~doc)
+  in
+  let segment_arg =
+    let doc = "Rounds per segment file (delta chains restart per segment)." in
+    Arg.(value & opt int 32 & info [ "segment-rounds" ] ~doc ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "archive"
+       ~doc:
+         "Run the testbed workload and persist every completed snapshot \
+          into an on-disk archive (with audit labels)")
+    Term.(
+      const run_archive $ quick_arg $ seed_arg $ shards_arg $ policy_arg
+      $ counter_arg $ no_audit_arg $ segment_arg $ out_arg)
+
+let run_query which archive certified csv =
+  match Speedlight_store.Store.Reader.open_archive archive with
+  | Error e ->
+      Format.fprintf fmt "error: %s@."
+        (Speedlight_store.Store.error_to_string e);
+      exit 2
+  | Ok r ->
+      Speedlight_store.Store.Reader.close r;
+      Archive.run_query ?csv:(ensure_dir csv) ~certified_only:certified fmt
+        which ~dir:archive ()
+
+let query_cmd =
+  let which_arg =
+    let doc =
+      "The canned query to run: summary, imbalance, spearman, queues, \
+       incast or dump."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum Archive.query_names)) None
+      & info [] ~doc ~docv:"QUERY")
+  in
+  let archive_arg =
+    let doc = "The archive directory to query." in
+    Arg.(
+      required & opt (some string) None & info [ "archive"; "a" ] ~doc ~docv:"DIR")
+  in
+  let certified_arg =
+    let doc = "Only include snapshots the cut auditor certified." in
+    Arg.(value & flag & info [ "certified" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Run a canned analysis over a snapshot archive written by \
+          $(b,speedlight archive)")
+    Term.(const run_query $ which_arg $ archive_arg $ certified_arg $ csv_arg)
+
 let () =
   let doc = "Speedlight (Synchronized Network Snapshots, SIGCOMM'18) reproduction" in
   let info = Cmd.info "speedlight" ~version:"1.0.0" ~doc in
@@ -225,5 +326,6 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
-            ablations_cmd; scale_cmd; chaos_cmd; trace_cmd; all_cmd;
+            ablations_cmd; scale_cmd; chaos_cmd; trace_cmd; archive_cmd;
+            query_cmd; all_cmd;
           ]))

@@ -3,18 +3,21 @@
    The snapshot primitive works for any line-rate state (§3); here each
    unit runs a count-min sketch over all flows and snapshots the point
    estimate of one tracked flow. The continuous Monitor API takes a
-   snapshot every 10 ms, giving a live, causally consistent view of where
-   the flow's packets have been — with channel state, the per-wire
+   snapshot every 10 ms; a [Store.Writer] attached to the observer
+   streams every completed snapshot into an on-disk archive, and the
+   flow's footprint is reconstructed afterwards from the archive alone
+   with [Query.Canned.flow_transit] — with channel state, the per-wire
    conservation law holds for the tracked flow alone.
 
    Run with: dune exec examples/flow_tracking.exe *)
 
 open Speedlight_sim
 open Speedlight_dataplane
-open Speedlight_core
 open Speedlight_topology
 open Speedlight_net
 open Speedlight_workload
+open Speedlight_store
+open Speedlight_query
 
 let tracked_flow = 424_242
 
@@ -42,34 +45,41 @@ let () =
 
   ignore (Engine.schedule engine ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net));
 
-  (* Live monitoring: snapshot every 10 ms, print the flow's footprint as
-     each snapshot completes. *)
-  let print_footprint (snap : Observer.snapshot) =
-    let at_unit uid =
-      match Unit_id.Map.find_opt uid snap.Observer.reports with
-      | Some r -> Option.value ~default:nan (Report.consistent_value r)
-      | None -> nan
-    in
-    (* The elephant enters at leaf0's host port for h0 and exits at leaf1's
-       host port for h5; count it at both edges plus whatever is buffered
-       in between. *)
-    let src_sw, src_port = Topology.host_attachment ls.Topology.topo ~host:h.(0) in
-    let dst_sw, dst_port = Topology.host_attachment ls.Topology.topo ~host:h.(5) in
-    let entered = at_unit (Unit_id.ingress ~switch:src_sw ~port:src_port) in
-    let exited = at_unit (Unit_id.egress ~switch:dst_sw ~port:dst_port) in
-    Printf.printf
-      "t=%-10s snapshot %-3d  entered=%-6.0f exited=%-6.0f in transit=%.0f\n"
-      (Time.to_string (Net.now net))
-      snap.Observer.sid entered exited (entered -. exited)
-  in
-  let mon =
-    Monitor.start net ~period:(Time.ms 10) ~history:32 ~on_snapshot:print_footprint ()
-  in
+  (* Live monitoring into a persistent archive: snapshot every 10 ms,
+     stream each completed round to disk as it finishes. *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "speedlight-flow-tracking" in
+  let writer = Store.Writer.create ~dir () in
+  Store.Writer.attach writer net;
+  let mon = Monitor.start net ~period:(Time.ms 10) ~history:32 () in
   Engine.run_until engine (Time.ms 220);
   Monitor.stop mon;
   Engine.run_until engine (Time.ms 300);
+  Store.Writer.close writer;
+
+  (* Reconstruct the flow's footprint from the archive alone. The
+     elephant enters at leaf0's host port for h0 and exits at leaf1's
+     host port for h5; count it at both edges plus whatever is buffered
+     in between. *)
+  let src_sw, src_port = Topology.host_attachment ls.Topology.topo ~host:h.(0) in
+  let dst_sw, dst_port = Topology.host_attachment ls.Topology.topo ~host:h.(5) in
+  let q = Query.of_reader (Store.Reader.open_archive_exn dir) in
+  let transits =
+    Query.Canned.flow_transit
+      ~entry:(Unit_id.ingress ~switch:src_sw ~port:src_port)
+      ~exit_:(Unit_id.egress ~switch:dst_sw ~port:dst_port)
+      q
+  in
+  List.iter
+    (fun (t : Query.Canned.transit) ->
+      Printf.printf
+        "t=%-10s snapshot %-3d  entered=%-6.0f exited=%-6.0f in transit=%.0f\n"
+        (Time.to_string t.Query.Canned.t_fire)
+        t.Query.Canned.t_sid t.Query.Canned.t_entered t.Query.Canned.t_exited
+        (t.Query.Canned.t_entered -. t.Query.Canned.t_exited))
+    transits;
   Printf.printf
-    "\n%d snapshots taken, %d skipped for pacing; every line above is a causally\n\
-     consistent cut: 'in transit' is packets genuinely inside the network, not an\n\
-     artifact of reading two counters at different times.\n"
-    (Monitor.taken mon) (Monitor.skipped mon)
+    "\n%d snapshots taken, %d skipped for pacing; replayed from the archive at %s.\n\
+     Every line above is a causally consistent cut: 'in transit' is packets\n\
+     genuinely inside the network, not an artifact of reading two counters at\n\
+     different times.\n"
+    (Monitor.taken mon) (Monitor.skipped mon) dir

@@ -9,6 +9,10 @@
    exactly the kind of phantom state that makes loop/blackhole diagnosis
    unreliable.
 
+   The snapshot side of the comparison is one canned query,
+   [Query.Canned.causal_violations]; polling has no snapshot rounds to
+   query and is judged inline as before.
+
    Run with: dune exec examples/forwarding_state.exe *)
 
 open Speedlight_sim
@@ -17,6 +21,7 @@ open Speedlight_core
 open Speedlight_topology
 open Speedlight_net
 open Speedlight_workload
+open Speedlight_query
 
 (* The rollout updates switches in a fixed order; a version vector is
    causally possible iff it is monotone w.r.t. that order: switch k can
@@ -36,12 +41,6 @@ let possible rollout_order versions =
    the way an operator would read one representative forwarding-state
    register per device. *)
 let probe_unit s = Unit_id.ingress ~switch:s ~port:0
-
-let version_of_switch (snap : Observer.snapshot) s =
-  match Unit_id.Map.find_opt (probe_unit s) snap.Observer.reports with
-  | Some (r : Report.t) ->
-      (match r.Report.value with Some v -> int_of_float v | None -> 0)
-  | None -> 0
 
 let () =
   let ls =
@@ -95,15 +94,10 @@ let () =
   Engine.run_until engine (Time.ms 900);
 
   (* Judge each observed global version vector. *)
-  let snap_bad = ref 0 and snap_n = ref 0 in
-  List.iter
-    (fun sid ->
-      match Net.result net ~sid with
-      | Some snap when snap.Observer.complete ->
-          incr snap_n;
-          if not (possible rollout_order (version_of_switch snap)) then incr snap_bad
-      | Some _ | None -> ())
-    !sids;
+  let snap_bad, snap_n =
+    Query.Canned.causal_violations ~rollout_order ~probe:probe_unit
+      (Query.of_net net ~sids:(List.rev !sids))
+  in
   let poll_bad = ref 0 and poll_n = ref 0 in
   List.iter
     (fun (r : Polling.round) ->
@@ -119,14 +113,14 @@ let () =
       if not (possible rollout_order version_of) then incr poll_bad)
     !polls;
   Printf.printf
-    "FIB rollout observed by %d snapshots and %d polling sweeps\n\n" !snap_n !poll_n;
+    "FIB rollout observed by %d snapshots and %d polling sweeps\n\n" snap_n !poll_n;
   Printf.printf
     "causally IMPOSSIBLE global forwarding states observed:\n\
     \  synchronized snapshots: %d of %d\n\
     \  asynchronous polling:   %d of %d\n\n"
-    !snap_bad !snap_n !poll_bad !poll_n;
+    snap_bad snap_n !poll_bad !poll_n;
   print_endline
-    (if !snap_bad = 0 && !poll_bad > 0 then
+    (if snap_bad = 0 && !poll_bad > 0 then
        "snapshots only ever show states the network could actually have been in;\n\
         polling fabricates phantom states (the paper's SS2.2 Q4: \"otherwise we\n\
         can observe states that are impossible\")."

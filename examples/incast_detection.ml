@@ -7,6 +7,10 @@
    network at one instant — while asynchronous polling reads each queue at
    a different time and can neither confirm nor bound the synchrony.
 
+   The analysis is the query engine's canned concurrency/incast pair:
+   [Query.Canned.queue_concurrency] for the network-wide picture and
+   [Query.Canned.incast_episodes] for the synchrony signature.
+
    Run with: dune exec examples/incast_detection.exe *)
 
 open Speedlight_sim
@@ -16,6 +20,7 @@ open Speedlight_core
 open Speedlight_topology
 open Speedlight_net
 open Speedlight_workload
+open Speedlight_query
 
 let () =
   let ls =
@@ -78,27 +83,15 @@ let () =
 
   (* For each snapshot: total queued packets and the number of ports with
      non-empty queues — the network-wide concurrency picture. *)
-  let concurrency =
-    List.filter_map
-      (fun sid ->
-        match Net.result net ~sid with
-        | Some snap when snap.Observer.complete ->
-            let total = ref 0. and busy = ref 0 in
-            Unit_id.Map.iter
-              (fun (uid : Unit_id.t) (r : Report.t) ->
-                if uid.Unit_id.dir = Unit_id.Egress then
-                  match r.Report.value with
-                  | Some v ->
-                      total := !total +. v;
-                      if v > 0. then incr busy
-                  | None -> ())
-              snap.Observer.reports;
-            Some (!total, !busy)
-        | Some _ | None -> None)
-      !sids
+  let q = Query.of_net net ~sids:(List.rev !sids) in
+  let concurrency = Query.Canned.queue_concurrency q in
+  let totals =
+    Array.of_list (List.map (fun c -> c.Query.Canned.c_total) concurrency)
   in
-  let totals = Array.of_list (List.map fst concurrency) in
-  let busies = Array.of_list (List.map (fun (_, b) -> float_of_int b) concurrency) in
+  let busies =
+    Array.of_list
+      (List.map (fun c -> float_of_int c.Query.Canned.c_busy) concurrency)
+  in
   Printf.printf "%d queue-depth snapshots taken during a memcache incast workload\n\n"
     (Array.length totals);
   Printf.printf "network-wide queued packets per snapshot: median %.0f, p90 %.0f, max %.0f\n"
@@ -114,43 +107,20 @@ let () =
      shared request schedule) also loaded — the buildup is synchronized,
      not independent. *)
   let client_sw, client_port = Topology.host_attachment ls.Topology.topo ~host:client_a in
-  let during_incast, elsewhere_when_incast =
-    List.fold_left
-      (fun (n, acc) sid ->
-        match Net.result net ~sid with
-        | Some snap when snap.Observer.complete -> (
-            let client_q =
-              match
-                Unit_id.Map.find_opt
-                  (Unit_id.egress ~switch:client_sw ~port:client_port)
-                  snap.Observer.reports
-              with
-              | Some r -> Option.value ~default:0. r.Report.value
-              | None -> 0.
-            in
-            if client_q >= 5. then begin
-              let others = ref 0 in
-              Unit_id.Map.iter
-                (fun (uid : Unit_id.t) (r : Report.t) ->
-                  if
-                    uid.Unit_id.dir = Unit_id.Egress
-                    && not (uid.Unit_id.switch = client_sw && uid.Unit_id.port = client_port)
-                  then
-                    match r.Report.value with
-                    | Some v when v > 0. -> incr others
-                    | _ -> ())
-                snap.Observer.reports;
-              (n + 1, acc + !others)
-            end
-            else (n, acc))
-        | _ -> (n, acc))
-      (0, 0) !sids
+  let episodes =
+    Query.Canned.incast_episodes
+      ~trigger:(Unit_id.egress ~switch:client_sw ~port:client_port)
+      ~threshold:5. q
   in
-  if during_incast > 0 then
-    Printf.printf
-      "incast detected: in the %d snapshots where the client port queued >=5 packets,\n\
-       an average of %.1f other ports were queueing at the same instant --\n\
-       the load is synchronized (responses arriving together), not coincidental.\n"
-      during_incast
-      (float_of_int elsewhere_when_incast /. float_of_int during_incast)
-  else print_endline "no incast episodes captured; increase the workload intensity"
+  match episodes with
+  | [] -> print_endline "no incast episodes captured; increase the workload intensity"
+  | eps ->
+      let others =
+        List.fold_left (fun acc e -> acc + e.Query.Canned.i_others) 0 eps
+      in
+      Printf.printf
+        "incast detected: in the %d snapshots where the client port queued >=5 packets,\n\
+         an average of %.1f other ports were queueing at the same instant --\n\
+         the load is synchronized (responses arriving together), not coincidental.\n"
+        (List.length eps)
+        (float_of_int others /. float_of_int (List.length eps))

@@ -7,15 +7,19 @@
    balance the two algorithms achieve — something averaged counters
    cannot show.
 
+   The analysis runs on the snapshot query engine: the finished run is
+   lifted into a query with [Query.of_net] and the paper's imbalance
+   metric is one call, [Query.Canned.uplink_imbalance].
+
    Run with: dune exec examples/load_balancing.exe *)
 
 open Speedlight_sim
 open Speedlight_stats
-open Speedlight_dataplane
 open Speedlight_core
 open Speedlight_topology
 open Speedlight_net
 open Speedlight_workload
+open Speedlight_query
 
 let run_policy policy =
   let ls =
@@ -46,34 +50,10 @@ let run_policy policy =
          (fun () -> sids := Net.take_snapshot net () :: !sids))
   done;
   Engine.run_until engine (Time.ms 1200);
-  (* Standard deviation of the uplink EWMAs, per snapshot and leaf. *)
-  let samples =
-    List.concat_map
-      (fun sid ->
-        match Net.result net ~sid with
-        | Some snap when snap.Observer.complete ->
-            List.filter_map
-              (fun (leaf, ports) ->
-                let values =
-                  List.filter_map
-                    (fun p ->
-                      match
-                        Unit_id.Map.find_opt
-                          (Unit_id.egress ~switch:leaf ~port:p)
-                          snap.Observer.reports
-                      with
-                      | Some r -> r.Report.value
-                      | None -> None)
-                    ports
-                in
-                if List.length values >= 2 then
-                  Some (Descriptive.population_stddev (Array.of_list values) /. 1_000.)
-                else None)
-              ls.Topology.uplink_ports
-        | Some _ | None -> [])
-      !sids
-  in
-  Cdf.of_samples (Array.of_list samples)
+  (* Standard deviation of the uplink EWMAs, per snapshot and leaf —
+     Fig. 12's metric, one call on the query engine. *)
+  Query.Canned.uplink_imbalance ~uplinks:ls.Topology.uplink_ports
+    (Query.of_net net ~sids:(List.rev !sids))
 
 let () =
   print_endline "Evaluating load balancing with synchronized snapshots (cf. Fig. 12a)";

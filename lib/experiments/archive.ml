@@ -1,0 +1,228 @@
+open Speedlight_sim
+open Speedlight_stats
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+open Speedlight_store
+open Speedlight_query
+open Speedlight_verify
+
+type result = {
+  dir : string;
+  sids : int list;
+  rounds : int;
+  stats : Store.stats;
+  audit : Verify.audit option;
+}
+
+let capture ?(quick = false) ?seed ?(shards = 1) ?(policy = Routing.Ecmp)
+    ?(counter = Config.Ewma_interarrival) ?(audit = true) ?(segment_rounds = 32)
+    ~dir () =
+  let cfg =
+    Config.default
+    |> Config.with_variant Snapshot_unit.variant_wraparound
+    |> Config.with_counter counter
+    |> Config.with_policy policy
+  in
+  let cfg = match seed with Some s -> Config.with_seed s cfg | None -> cfg in
+  let ls, net = Common.make_testbed ~cfg ~shards () in
+  let engine = Net.engine net in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  Apps.Hadoop.run ~engine ~rng:(Net.fresh_rng net) ~send:(Common.sender net)
+    ~fids:(Traffic.flow_ids ())
+    ~until:(if quick then Time.ms 300 else Time.sec 1)
+    (Apps.Hadoop.default_params ~mappers:hosts ~reducers:hosts);
+  let auditor = if audit then Some (Verify.attach net) else None in
+  let w = Store.Writer.create ~segment_rounds ~dir () in
+  Store.Writer.attach w net;
+  let count = if quick then 20 else 60 in
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 100) ~interval:(Time.ms 15) ~count
+      ~run_until:(if quick then Time.ms 600 else Time.ms 1200)
+  in
+  let audit_result = Option.map (fun a -> Verify.audit a ~sids) auditor in
+  Option.iter (Query.store_audit w) audit_result;
+  let rounds = Store.Writer.rounds_written w in
+  Store.Writer.close w;
+  let reader = Store.Reader.open_archive_exn dir in
+  let stats = Store.Reader.stats reader in
+  Store.Reader.close reader;
+  { dir; sids; rounds; stats; audit = audit_result }
+
+let print fmt r =
+  Format.fprintf fmt
+    "@[<v>archived %d of %d snapshots to %s@,\
+     %d segment file(s), %d bytes; %d full + %d delta-encoded rounds@]@."
+    r.rounds (List.length r.sids) r.dir r.stats.Store.segments
+    r.stats.Store.bytes r.stats.Store.full_rounds r.stats.Store.delta_rounds;
+  match r.audit with
+  | None -> Format.fprintf fmt "audit: skipped@."
+  | Some a ->
+      Format.fprintf fmt
+        "audit: %d certified, %d correctly flagged, %d over-conservative, %d \
+         incomplete, %d FALSE-CONSISTENT@."
+        (List.length a.Verify.certified)
+        (List.length a.Verify.correctly_flagged)
+        (List.length a.Verify.over_conservative)
+        (List.length a.Verify.incomplete)
+        (List.length a.Verify.false_consistent)
+
+(* ------------------------------------------------------------------ *)
+(* Canned queries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type query = Summary | Imbalance | Spearman | Queues | Incast | Dump
+
+let query_names =
+  [
+    ("summary", Summary); ("imbalance", Imbalance); ("spearman", Spearman);
+    ("queues", Queues); ("incast", Incast); ("dump", Dump);
+  ]
+
+let testbed_uplinks () =
+  let host_link, fabric_link = Common.testbed_links ~scaled:true in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  ls.Topology.uplink_ports
+
+let testbed_access_unit () =
+  let host_link, fabric_link = Common.testbed_links ~scaled:true in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  let sw, port =
+    Topology.host_attachment ls.Topology.topo ~host:ls.Topology.host_of_server.(0)
+  in
+  Unit_id.egress ~switch:sw ~port
+
+let csv_path dir name = Filename.concat dir name
+
+let run_query ?csv ?(certified_only = false) fmt q ~dir () =
+  let reader = Store.Reader.open_archive_exn dir in
+  let t = Query.of_reader reader in
+  let t = if certified_only then Query.certified_only t else t in
+  Store.Reader.close reader;
+  (match q with
+  | Summary ->
+      let stats = Store.Reader.stats (Store.Reader.open_archive_exn dir) in
+      Format.fprintf fmt
+        "%d rounds in %d segment(s), %d bytes (%d full, %d delta)@."
+        (Query.length t) stats.Store.segments stats.Store.bytes
+        stats.Store.full_rounds stats.Store.delta_rounds;
+      Format.fprintf fmt "@[<v>%a@]@."
+        (Format.pp_print_list Store.pp_round)
+        (Query.rounds t);
+      Option.iter
+        (fun d ->
+          Export.write_rows
+            ~path:(csv_path d "archive_summary.csv")
+            ~header:Query.summary_header
+            (Query.round_summary_to_csv t))
+        csv
+  | Imbalance ->
+      let cdf = Query.Canned.uplink_imbalance ~uplinks:(testbed_uplinks ()) t in
+      Format.fprintf fmt
+        "uplink EWMA imbalance (population stddev per leaf per snapshot, us)@.";
+      Cdf.pp_series ~unit_label:"us" fmt [ ("archive", cdf) ];
+      Format.fprintf fmt "@.median %.1f us over %d samples@." (Cdf.median cdf)
+        (Cdf.size cdf);
+      Option.iter
+        (fun d -> Export.cdfs ~path:(csv_path d "archive_imbalance.csv") [ ("archive", cdf) ])
+        csv
+  | Spearman ->
+      let pairs = Query.Canned.uplink_spearman ~uplinks:(testbed_uplinks ()) t in
+      Format.fprintf fmt "pairwise Spearman correlation of uplink series@.";
+      List.iter
+        (fun (a, b, (r : Spearman.result)) ->
+          Format.fprintf fmt "  %a ~ %a: rho=%+.3f p=%.3f n=%d%s@." Unit_id.pp a
+            Unit_id.pp b r.Spearman.rho r.Spearman.p_value r.Spearman.n
+            (if Spearman.significant r then "  *" else ""))
+        pairs;
+      Option.iter
+        (fun d ->
+          Export.write_rows
+            ~path:(csv_path d "archive_spearman.csv")
+            ~header:[ "unit_a"; "unit_b"; "rho"; "p_value"; "n" ]
+            (List.map
+               (fun (a, b, (r : Spearman.result)) ->
+                 [
+                   Unit_id.to_string a; Unit_id.to_string b;
+                   Printf.sprintf "%.6f" r.Spearman.rho;
+                   Printf.sprintf "%.6f" r.Spearman.p_value;
+                   string_of_int r.Spearman.n;
+                 ])
+               pairs))
+        csv
+  | Queues ->
+      let cc = Query.Canned.queue_concurrency t in
+      let totals = Array.of_list (List.map (fun c -> c.Query.Canned.c_total) cc) in
+      let busies =
+        Array.of_list (List.map (fun c -> float_of_int c.Query.Canned.c_busy) cc)
+      in
+      if Array.length totals = 0 then Format.fprintf fmt "no complete rounds@."
+      else begin
+        Format.fprintf fmt
+          "network-wide queued packets per snapshot: median %.0f, p90 %.0f, max %.0f@."
+          (Descriptive.median totals)
+          (Descriptive.percentile totals 90.)
+          (Descriptive.max totals);
+        Format.fprintf fmt
+          "ports queueing simultaneously:            median %.0f, p90 %.0f, max %.0f@."
+          (Descriptive.median busies)
+          (Descriptive.percentile busies 90.)
+          (Descriptive.max busies)
+      end;
+      Option.iter
+        (fun d ->
+          Export.write_rows
+            ~path:(csv_path d "archive_queues.csv")
+            ~header:[ "sid"; "fire_time_ns"; "queued_total"; "busy_ports" ]
+            (List.map
+               (fun c ->
+                 [
+                   string_of_int c.Query.Canned.c_sid;
+                   string_of_int c.Query.Canned.c_fire;
+                   Printf.sprintf "%.0f" c.Query.Canned.c_total;
+                   string_of_int c.Query.Canned.c_busy;
+                 ])
+               cc))
+        csv
+  | Incast ->
+      let trigger = testbed_access_unit () in
+      let eps = Query.Canned.incast_episodes ~trigger t in
+      Format.fprintf fmt "%d incast episode(s) at %a (queue >= 5 pkts)@."
+        (List.length eps) Unit_id.pp trigger;
+      List.iter
+        (fun e ->
+          Format.fprintf fmt "  sid %d at %s: depth %.0f, %d other ports busy@."
+            e.Query.Canned.i_sid
+            (Time.to_string e.Query.Canned.i_fire)
+            e.Query.Canned.i_depth e.Query.Canned.i_others)
+        eps;
+      Option.iter
+        (fun d ->
+          Export.write_rows
+            ~path:(csv_path d "archive_incast.csv")
+            ~header:[ "sid"; "fire_time_ns"; "trigger_depth"; "other_busy_ports" ]
+            (List.map
+               (fun e ->
+                 [
+                   string_of_int e.Query.Canned.i_sid;
+                   string_of_int e.Query.Canned.i_fire;
+                   Printf.sprintf "%.0f" e.Query.Canned.i_depth;
+                   string_of_int e.Query.Canned.i_others;
+                 ])
+               eps))
+        csv
+  | Dump ->
+      let rows = Query.rows t in
+      Format.fprintf fmt "%d records in %d rounds@." (List.length rows)
+        (Query.length t);
+      Option.iter
+        (fun d ->
+          Export.write_rows
+            ~path:(csv_path d "archive_records.csv")
+            ~header:Query.csv_header (Query.rows_to_csv rows))
+        csv);
+  Option.iter
+    (fun d -> Export.query_json ~path:(csv_path d "archive_rounds.json") t)
+    csv

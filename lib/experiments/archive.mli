@@ -1,0 +1,76 @@
+(** Capture-to-archive experiment and the canned query runner behind the
+    [speedlight archive] / [speedlight query] CLI subcommands.
+
+    {!capture} runs the paper's leaf–spine testbed under a shuffle
+    workload, streams every completed snapshot into an on-disk
+    {!Speedlight_store.Store} archive, optionally audits every snapshot
+    with the independent cut verifier and persists the verdicts as audit
+    labels. Because the simulation is deterministic, the archive bytes
+    are a pure function of (seed, workload, counter, policy) — the same
+    capture at 1, 2 or 4 shards produces byte-identical files.
+
+    {!run_query} opens an archive and evaluates one of the canned
+    {!Speedlight_query.Query.Canned} analyses over it, optionally
+    exporting CSV. *)
+
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_store
+open Speedlight_verify
+
+type result = {
+  dir : string;
+  sids : int list;  (** snapshot ids taken, in initiation order *)
+  rounds : int;  (** rounds persisted (completed snapshots) *)
+  stats : Store.stats;
+  audit : Verify.audit option;
+}
+
+val capture :
+  ?quick:bool ->
+  ?seed:int ->
+  ?shards:int ->
+  ?policy:Routing.policy ->
+  ?counter:Config.counter_kind ->
+  ?audit:bool ->
+  ?segment_rounds:int ->
+  dir:string ->
+  unit ->
+  result
+(** Run the testbed (Hadoop-style shuffle, 60 snapshots 15 ms apart — a
+    third of each under [~quick]) and persist it. [policy] defaults to
+    ECMP, [counter] to the EWMA interarrival state of Fig. 12, [audit]
+    to [true]. An existing archive at [dir] is replaced. *)
+
+val print : Format.formatter -> result -> unit
+
+(** {2 Canned queries over an archive} *)
+
+type query =
+  | Summary  (** per-round completeness/consistency/label table *)
+  | Imbalance  (** Fig. 12 uplink load-balance CDF *)
+  | Spearman  (** pairwise uplink series correlation (Fig. 13 style) *)
+  | Queues  (** network-wide queue concurrency *)
+  | Incast  (** episodes where an access port's queue spikes *)
+  | Dump  (** every record as rows *)
+
+val query_names : (string * query) list
+(** CLI name to query mapping. *)
+
+val testbed_uplinks : unit -> (int * int list) list
+(** [(leaf, uplink ports)] of the standard testbed topology — what the
+    uplink queries assume the archive was captured on. *)
+
+val run_query :
+  ?csv:string ->
+  ?certified_only:bool ->
+  Format.formatter ->
+  query ->
+  dir:string ->
+  unit ->
+  unit
+(** Open the archive at [dir] (raising
+    {!Speedlight_store.Store.Archive_error} on damage), evaluate the
+    query, print the answer and, when [csv] is given, export the result
+    table there. [certified_only] restricts every query to rounds the
+    auditor certified. *)

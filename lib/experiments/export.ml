@@ -247,3 +247,65 @@ let timeline ~dir (tl : Speedlight_trace.Timeline.t) =
          ("completion_latency_us", T.latency_cdf tl);
          ("marker_depth", T.depth_cdf tl);
        ])
+
+(* --- snapshot archive / query engine ------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let query_rows ~path rows =
+  write_rows ~path ~header:Speedlight_query.Query.csv_header
+    (Speedlight_query.Query.rows_to_csv rows)
+
+let query_json ~path q =
+  let module Q = Speedlight_query.Query in
+  let module S = Speedlight_store.Store in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i (r : S.round) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b
+        "  {\"sid\": %d, \"fire_time_ns\": %d, \"complete\": %b, \
+         \"consistent\": %b, \"label\": \"%s\", \"staleness_ns\": %s, \
+         \"records\": ["
+        r.S.sid r.S.fire_time r.S.complete r.S.consistent
+        (json_escape (S.label_name r.S.label))
+        (match r.S.staleness with
+        | Some s -> string_of_int s
+        | None -> "null");
+      Array.iteri
+        (fun j (rc : S.record) ->
+          if j > 0 then Buffer.add_string b ", ";
+          let u = rc.S.r_uid in
+          Printf.bprintf b
+            "{\"switch\": %d, \"port\": %d, \"dir\": \"%s\", \"value\": %s, \
+             \"channel\": %.17g, \"consistent\": %b, \"inferred\": %b}"
+            u.Speedlight_dataplane.Unit_id.switch
+            u.Speedlight_dataplane.Unit_id.port
+            (match u.Speedlight_dataplane.Unit_id.dir with
+            | Speedlight_dataplane.Unit_id.Ingress -> "ingress"
+            | Speedlight_dataplane.Unit_id.Egress -> "egress")
+            (match rc.S.r_value with
+            | Some v when Float.is_finite v -> Printf.sprintf "%.17g" v
+            | Some _ | None -> "null")
+            rc.S.r_channel rc.S.r_consistent rc.S.r_inferred)
+        r.S.records;
+      Buffer.add_string b "]}")
+    (Q.rounds q);
+  Buffer.add_string b "\n]\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)

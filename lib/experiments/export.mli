@@ -31,3 +31,12 @@ val chrome_trace : path:string -> Speedlight_trace.Trace.t -> unit
 val timeline : dir:string -> Speedlight_trace.Timeline.t -> unit
 (** [trace_timeline.csv] (one row per snapshot) and [trace_cdfs.csv]
     (initiation drift, completion latency and marker depth ECDFs). *)
+
+val query_rows : path:string -> Speedlight_query.Query.row list -> unit
+(** Record-level query result as CSV, one row per
+    {!Speedlight_query.Query.row} ([query_header] columns). *)
+
+val query_json : path:string -> Speedlight_query.Query.t -> unit
+(** The query's rounds as a JSON array (one object per round with nested
+    per-unit records) — the machine-readable export of
+    [speedlight query]. *)

@@ -291,7 +291,78 @@ let post_ctl t ~from_shard ~shard ~src ~at run =
   if from_shard = shard then Engine.schedule_src_unit t.engines.(shard) ~src ~at run
   else Mailbox.push t.mailboxes.(from_shard).(shard) (Ctl { c_src = src; c_at = at; c_run = run })
 
+(* ------------------------------------------------------------------ *)
+(* Topology validation.
+
+   [create] wires channels straight from the topology's wiring arrays; a
+   malformed topology (a host attachment with no link behind it, a
+   switch port whose peer does not point back) would otherwise surface
+   as an anonymous crash deep inside construction. Validation runs first
+   and reports the defect as a typed error before any simulation state
+   exists. *)
+(* ------------------------------------------------------------------ *)
+
+type topo_error =
+  | Missing_host_link of { host : int; switch : int; port : int }
+  | Asymmetric_link of { switch : int; port : int; peer_switch : int; peer_port : int }
+
+exception Invalid_topology of topo_error
+
+let topo_error_to_string = function
+  | Missing_host_link { host; switch; port } ->
+      Printf.sprintf
+        "host %d attaches at switch %d port %d, but that port carries no \
+         host link"
+        host switch port
+  | Asymmetric_link { switch; port; peer_switch; peer_port } ->
+      Printf.sprintf
+        "switch %d port %d claims peer switch %d port %d, which does not \
+         point back"
+        switch port peer_switch peer_port
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_topology e -> Some ("Net.Invalid_topology: " ^ topo_error_to_string e)
+    | _ -> None)
+
+let validate topo =
+  let n_sw = Topology.n_switches topo in
+  let bad = ref None in
+  let fail e = if !bad = None then bad := Some e in
+  for h = 0 to Topology.n_hosts topo - 1 do
+    let sw, port = Topology.host_attachment topo ~host:h in
+    let in_range =
+      sw >= 0 && sw < n_sw && port >= 0 && port < Topology.ports topo sw
+    in
+    let ok =
+      in_range
+      && (match Topology.peer_of topo ~switch:sw ~port with
+         | Some (Topology.Host_port h') -> h' = h
+         | Some (Topology.Switch_port _) | None -> false)
+      && Topology.link_of topo ~switch:sw ~port <> None
+    in
+    if not ok then fail (Missing_host_link { host = h; switch = sw; port })
+  done;
+  for s = 0 to n_sw - 1 do
+    List.iter
+      (fun (p, s', p') ->
+        let points_back =
+          s' >= 0 && s' < n_sw && p' >= 0
+          && p' < Topology.ports topo s'
+          && (match Topology.peer_of topo ~switch:s' ~port:p' with
+             | Some (Topology.Switch_port (s'', p'')) -> s'' = s && p'' = p
+             | Some (Topology.Host_port _) | None -> false)
+        in
+        if not points_back then
+          fail (Asymmetric_link { switch = s; port = p; peer_switch = s'; peer_port = p' }))
+      (Topology.switch_neighbors topo s)
+  done;
+  match !bad with None -> Ok () | Some e -> Error e
+
 let create ?(cfg = Config.default) ?(shards = 1) topo =
+  (match validate topo with
+  | Ok () -> ()
+  | Error e -> raise (Invalid_topology e));
   let n_sw = Topology.n_switches topo in
   let edges = switch_edges topo in
   let shard_of =
@@ -353,7 +424,10 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
         let link =
           match Topology.link_of topo ~switch:attach_sw ~port:attach_port with
           | Some l -> l
-          | None -> failwith "Net.create: host link missing"
+          | None ->
+              raise
+                (Invalid_topology
+                   (Missing_host_link { host = h; switch = attach_sw; port = attach_port }))
         in
         ignore attach_port;
         {
@@ -601,7 +675,10 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
                          { ch = Trace.Wire; sw = s; port = p; arrival = a });
                   deliver pkt ~arrival:a
                 end)
-        | None -> failwith "Net.create: switch peer without receive channel")
+        | None ->
+            raise
+              (Invalid_topology
+                 (Asymmetric_link { switch = s; port = p; peer_switch = s'; peer_port = p' })))
       (Topology.switch_neighbors topo s)
   done;
   (* Control planes (only for snapshot-enabled switches' protocol duties,

@@ -13,6 +13,30 @@ open Speedlight_topology
 
 type t
 
+(** {2 Topology validation} *)
+
+type topo_error =
+  | Missing_host_link of { host : int; switch : int; port : int }
+      (** a host's attachment point carries no host link (or points at a
+          switch peer / an out-of-range port) *)
+  | Asymmetric_link of { switch : int; port : int; peer_switch : int; peer_port : int }
+      (** a switch port names a peer that does not point back — a
+          half-wired link *)
+
+exception Invalid_topology of topo_error
+
+val topo_error_to_string : topo_error -> string
+
+val validate : Topology.t -> (unit, topo_error) result
+(** Check the wiring invariants {!create} relies on. [create] runs this
+    first and raises {!Invalid_topology} on the first defect — before any
+    simulation state is built — so a malformed topology (e.g. assembled
+    via {!Topology.of_raw}) fails with a typed, printable error instead
+    of an anonymous crash mid-construction. Reachability of every host
+    (a partitioned graph) is checked separately by routing-table
+    construction, which raises
+    {!Speedlight_topology.Routing.Host_unreachable}. *)
+
 val create : ?cfg:Config.t -> ?shards:int -> Topology.t -> t
 (** Build the deployment. Routing tables, utilized-channel exclusions (§6
     "Ensuring liveness"), clocks and the observer are all set up here.

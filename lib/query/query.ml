@@ -1,0 +1,465 @@
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_stats
+open Speedlight_store
+open Speedlight_verify
+
+type t = Store.round list
+
+type row = {
+  sid : int;
+  fire_time : Time.t;
+  label : Store.label;
+  complete : bool;
+  round_consistent : bool;
+  uid : Unit_id.t;
+  value : float option;
+  channel : float;
+  consistent : bool;
+  inferred : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sources                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let of_rounds rs = rs
+let of_reader r = Store.Reader.rounds r
+let of_net net ~sids = Store.rounds_of_net net ~sids
+let rounds t = t
+let length = List.length
+
+(* ------------------------------------------------------------------ *)
+(* Round-level filters                                                *)
+(* ------------------------------------------------------------------ *)
+
+let filter_rounds p t = List.filter p t
+let complete_only t = filter_rounds (fun r -> r.Store.complete) t
+let consistent_only t = filter_rounds (fun r -> r.Store.consistent) t
+let certified_only t = filter_rounds (fun r -> r.Store.label = Store.Certified) t
+let with_labels ls t = filter_rounds (fun r -> List.mem r.Store.label ls) t
+
+let between ~lo ~hi t =
+  filter_rounds
+    (fun r ->
+      Time.compare r.Store.fire_time lo >= 0
+      && Time.compare r.Store.fire_time hi <= 0)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Record-level selectors                                             *)
+(* ------------------------------------------------------------------ *)
+
+let row_of_record (r : Store.round) (rc : Store.record) =
+  {
+    sid = r.Store.sid;
+    fire_time = r.Store.fire_time;
+    label = r.Store.label;
+    complete = r.Store.complete;
+    round_consistent = r.Store.consistent;
+    uid = rc.Store.r_uid;
+    value = rc.Store.r_value;
+    channel = rc.Store.r_channel;
+    consistent = rc.Store.r_consistent;
+    inferred = rc.Store.r_inferred;
+  }
+
+let filter_records p t =
+  List.map
+    (fun (r : Store.round) ->
+      { r with Store.records = Array.of_list (List.filter (p r) (Array.to_list r.Store.records)) })
+    t
+
+let select ?switch ?port ?dir ?unit_id t =
+  filter_records
+    (fun _ (rc : Store.record) ->
+      let u = rc.Store.r_uid in
+      (match switch with None -> true | Some s -> u.Unit_id.switch = s)
+      && (match port with None -> true | Some p -> u.Unit_id.port = p)
+      && (match dir with None -> true | Some d -> u.Unit_id.dir = d)
+      && match unit_id with None -> true | Some uid -> Unit_id.equal u uid)
+    t
+
+let where p t = filter_records (fun r rc -> p (row_of_record r rc)) t
+
+(* ------------------------------------------------------------------ *)
+(* Terminals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rows t =
+  List.concat_map
+    (fun (r : Store.round) ->
+      Array.to_list (Array.map (row_of_record r) r.Store.records))
+    t
+
+let values t =
+  rows t |> List.filter_map (fun row -> row.value) |> Array.of_list
+
+let consistent_values t =
+  rows t
+  |> List.filter_map (fun row -> if row.consistent then row.value else None)
+  |> Array.of_list
+
+let value_at t ~sid ~uid =
+  List.find_opt (fun (r : Store.round) -> r.Store.sid = sid) t
+  |> Option.map (fun (r : Store.round) ->
+         Array.to_seq r.Store.records
+         |> Seq.find (fun rc -> Unit_id.equal rc.Store.r_uid uid))
+  |> Option.join
+  |> fun o -> Option.bind o (fun rc -> rc.Store.r_value)
+
+let cdf t = Cdf.of_samples (values t)
+
+(* ------------------------------------------------------------------ *)
+(* Grouping and aggregation                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Agg = struct
+  type t = Count | Sum | Mean | Min | Max | Stddev | Quantile of float
+
+  let name = function
+    | Count -> "count"
+    | Sum -> "sum"
+    | Mean -> "mean"
+    | Min -> "min"
+    | Max -> "max"
+    | Stddev -> "stddev"
+    | Quantile q -> Printf.sprintf "q%g" q
+
+  let apply agg xs =
+    match agg with
+    | Count -> float_of_int (Array.length xs)
+    | _ when Array.length xs = 0 -> nan
+    | Sum -> Descriptive.sum xs
+    | Mean -> Descriptive.mean xs
+    | Min -> Descriptive.min xs
+    | Max -> Descriptive.max xs
+    | Stddev -> Descriptive.population_stddev xs
+    | Quantile q -> Cdf.quantile (Cdf.of_samples xs) q
+end
+
+let group_by key t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = key row in
+      match Hashtbl.find_opt tbl k with
+      | Some acc -> acc := row :: !acc
+      | None ->
+          Hashtbl.add tbl k (ref [ row ]);
+          order := k :: !order)
+    (rows t);
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+let by_round t =
+  List.map
+    (fun (r : Store.round) ->
+      (r.Store.sid, Array.to_list (Array.map (row_of_record r) r.Store.records)))
+    t
+
+let by_unit t =
+  group_by (fun row -> row.uid) t
+  |> List.sort (fun (a, _) (b, _) -> Unit_id.compare a b)
+
+let row_values rows_ = Array.of_list (List.filter_map (fun r -> r.value) rows_)
+
+let round_aggregate agg t =
+  by_round t |> List.map (fun (sid, rs) -> (sid, Agg.apply agg (row_values rs)))
+
+let unit_aggregate agg t =
+  by_unit t |> List.map (fun (uid, rs) -> (uid, Agg.apply agg (row_values rs)))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-snapshot analysis                                            *)
+(* ------------------------------------------------------------------ *)
+
+let series t =
+  by_unit t
+  |> List.map (fun (uid, rs) ->
+         ( uid,
+           List.filter_map
+             (fun r -> Option.map (fun v -> (r.fire_time, v)) r.value)
+             rs
+           |> Array.of_list ))
+
+let diff t ~base ~sid =
+  let values_of s =
+    match List.find_opt (fun (r : Store.round) -> r.Store.sid = s) t with
+    | None -> Unit_id.Map.empty
+    | Some r ->
+        Array.fold_left
+          (fun m (rc : Store.record) ->
+            match rc.Store.r_value with
+            | Some v -> Unit_id.Map.add rc.Store.r_uid v m
+            | None -> m)
+          Unit_id.Map.empty r.Store.records
+  in
+  let a = values_of base and b = values_of sid in
+  Unit_id.Map.fold
+    (fun uid vb acc ->
+      match Unit_id.Map.find_opt uid a with
+      | Some va -> (uid, vb -. va) :: acc
+      | None -> acc)
+    b []
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Audit bridge                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let label_of_verdict = function
+  | Verify.Certified_consistent -> Store.Certified
+  | Verify.False_consistent _ -> Store.False_consistent
+  | Verify.Correctly_flagged -> Store.Correctly_flagged
+  | Verify.Over_conservative _ -> Store.Over_conservative
+  | Verify.Incomplete -> Store.Incomplete_audit
+
+let labels_of_audit (a : Verify.audit) =
+  List.map (fun (sid, v) -> (sid, label_of_verdict v)) a.Verify.sids
+
+let apply_audit audit t =
+  let labels = labels_of_audit audit in
+  List.map
+    (fun (r : Store.round) ->
+      match List.assoc_opt r.Store.sid labels with
+      | Some l -> { r with Store.label = l }
+      | None -> r)
+    t
+
+let store_audit w audit =
+  List.iter (fun (sid, l) -> Store.Writer.set_label w ~sid l) (labels_of_audit audit)
+
+(* ------------------------------------------------------------------ *)
+(* Canned analyses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Canned = struct
+  let uplink_units uplinks =
+    List.concat_map
+      (fun (leaf, ports) ->
+        List.map (fun p -> Unit_id.egress ~switch:leaf ~port:p) ports)
+      uplinks
+
+  let record_value (r : Store.round) uid =
+    Array.to_seq r.Store.records
+    |> Seq.find (fun rc -> Unit_id.equal rc.Store.r_uid uid)
+    |> fun o -> Option.bind o (fun rc -> rc.Store.r_value)
+
+  (* Matches examples/load_balancing.ml's original computation exactly:
+     raw recorded values, complete snapshots, leaves with >= 2 valued
+     uplinks, population stddev scaled ns -> us. *)
+  let uplink_imbalance ~uplinks t =
+    let samples =
+      List.concat_map
+        (fun (r : Store.round) ->
+          List.filter_map
+            (fun (leaf, ports) ->
+              let values =
+                List.filter_map
+                  (fun p ->
+                    record_value r (Unit_id.egress ~switch:leaf ~port:p))
+                  ports
+              in
+              if List.length values >= 2 then
+                Some (Descriptive.population_stddev (Array.of_list values) /. 1_000.)
+              else None)
+            uplinks)
+        (complete_only t)
+    in
+    Cdf.of_samples (Array.of_list samples)
+
+  let uplink_series ~uplinks t =
+    let complete = complete_only t in
+    List.map
+      (fun uid ->
+        ( uid,
+          Array.of_list
+            (List.map
+               (fun r ->
+                 Option.value ~default:nan (record_value r uid))
+               complete) ))
+      (uplink_units uplinks)
+
+  let uplink_spearman ~uplinks t =
+    let srs = uplink_series ~uplinks t in
+    let rec pairs = function
+      | [] -> []
+      | (ua, sa) :: rest ->
+          List.map (fun (ub, sb) -> (ua, ub, Spearman.correlate sa sb)) rest
+          @ pairs rest
+    in
+    pairs srs
+
+  type concurrency = {
+    c_sid : int;
+    c_fire : Time.t;
+    c_total : float;
+    c_busy : int;
+  }
+
+  let queue_concurrency t =
+    List.map
+      (fun (r : Store.round) ->
+        let total = ref 0. and busy = ref 0 in
+        Array.iter
+          (fun (rc : Store.record) ->
+            if rc.Store.r_uid.Unit_id.dir = Unit_id.Egress then
+              match rc.Store.r_value with
+              | Some v ->
+                  total := !total +. v;
+                  if v > 0. then incr busy
+              | None -> ())
+          r.Store.records;
+        { c_sid = r.Store.sid; c_fire = r.Store.fire_time; c_total = !total; c_busy = !busy })
+      (complete_only t)
+
+  type incast = { i_sid : int; i_fire : Time.t; i_depth : float; i_others : int }
+
+  let incast_episodes ~trigger ?(threshold = 5.) t =
+    List.filter_map
+      (fun (r : Store.round) ->
+        let depth =
+          Option.value ~default:0.
+            (record_value r
+               (Unit_id.egress ~switch:trigger.Unit_id.switch
+                  ~port:trigger.Unit_id.port))
+        in
+        if depth >= threshold then begin
+          let others = ref 0 in
+          Array.iter
+            (fun (rc : Store.record) ->
+              let u = rc.Store.r_uid in
+              if
+                u.Unit_id.dir = Unit_id.Egress
+                && not
+                     (u.Unit_id.switch = trigger.Unit_id.switch
+                     && u.Unit_id.port = trigger.Unit_id.port)
+              then
+                match rc.Store.r_value with
+                | Some v when v > 0. -> incr others
+                | _ -> ())
+            r.Store.records;
+          Some
+            { i_sid = r.Store.sid; i_fire = r.Store.fire_time; i_depth = depth; i_others = !others }
+        end
+        else None)
+      (complete_only t)
+
+  let version_vector ~probe ~switches t =
+    List.map
+      (fun (r : Store.round) ->
+        ( r.Store.sid,
+          Array.of_list
+            (List.map
+               (fun s ->
+                 match record_value r (probe s) with
+                 | Some v -> int_of_float v
+                 | None -> 0)
+               switches) ))
+      (complete_only t)
+
+  let causal_violations ~rollout_order ~probe t =
+    let possible versions =
+      let rec go prev = function
+        | [] -> true
+        | s :: rest ->
+            let v = versions s in
+            v <= prev && go v rest
+      in
+      go max_int rollout_order
+    in
+    List.fold_left
+      (fun (bad, total) (r : Store.round) ->
+        let version_of s =
+          match record_value r (probe s) with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        ((if possible version_of then bad else bad + 1), total + 1))
+      (0, 0) (complete_only t)
+
+  type transit = {
+    t_sid : int;
+    t_fire : Time.t;
+    t_entered : float;
+    t_exited : float;
+  }
+
+  let consistent_record_value (r : Store.round) uid =
+    Array.to_seq r.Store.records
+    |> Seq.find (fun rc -> Unit_id.equal rc.Store.r_uid uid)
+    |> fun o ->
+    Option.bind o (fun (rc : Store.record) ->
+        if rc.Store.r_consistent then rc.Store.r_value else None)
+
+  let flow_transit ~entry ~exit_ t =
+    List.map
+      (fun (r : Store.round) ->
+        {
+          t_sid = r.Store.sid;
+          t_fire = r.Store.fire_time;
+          t_entered = Option.value ~default:nan (consistent_record_value r entry);
+          t_exited = Option.value ~default:nan (consistent_record_value r exit_);
+        })
+      (complete_only t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let csv_header =
+  [
+    "sid"; "fire_time_ns"; "label"; "complete"; "round_consistent"; "switch";
+    "port"; "dir"; "value"; "channel"; "consistent"; "inferred";
+  ]
+
+let float_to_csv v = Printf.sprintf "%.17g" v
+
+let rows_to_csv rs =
+  List.map
+    (fun r ->
+      [
+        string_of_int r.sid;
+        string_of_int r.fire_time;
+        Store.label_name r.label;
+        string_of_bool r.complete;
+        string_of_bool r.round_consistent;
+        string_of_int r.uid.Unit_id.switch;
+        string_of_int r.uid.Unit_id.port;
+        (match r.uid.Unit_id.dir with
+        | Unit_id.Ingress -> "ingress"
+        | Unit_id.Egress -> "egress");
+        (match r.value with Some v -> float_to_csv v | None -> "");
+        float_to_csv r.channel;
+        string_of_bool r.consistent;
+        string_of_bool r.inferred;
+      ])
+    rs
+
+let summary_header =
+  [
+    "sid"; "fire_time_ns"; "complete"; "consistent"; "label"; "records";
+    "value_sum";
+  ]
+
+let round_summary_to_csv t =
+  List.map
+    (fun (r : Store.round) ->
+      let sum =
+        Array.fold_left
+          (fun acc (rc : Store.record) ->
+            match rc.Store.r_value with Some v -> acc +. v | None -> acc)
+          0. r.Store.records
+      in
+      [
+        string_of_int r.Store.sid;
+        string_of_int r.Store.fire_time;
+        string_of_bool r.Store.complete;
+        string_of_bool r.Store.consistent;
+        Store.label_name r.Store.label;
+        string_of_int (Array.length r.Store.records);
+        float_to_csv sum;
+      ])
+    t

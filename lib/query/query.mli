@@ -1,0 +1,234 @@
+(** Typed query combinators over archived network snapshots.
+
+    The archive ({!Speedlight_store.Store}) holds rounds; this module
+    turns them into answers. A {!t} is an immutable view of a round
+    sequence: round-level filters ({!complete_only}, {!certified_only},
+    {!between}) narrow which snapshots participate, record-level
+    selectors ({!select}, {!where}) narrow which processing units, and
+    terminals ({!values}, {!by_round}, {!series}, {!diff}) extract data
+    for the {!Speedlight_stats} toolkit. Every combinator preserves
+    append order, so results are deterministic for a deterministic run.
+
+    {!Canned} packages the paper's operator questions (§2.2) as one-call
+    analyses: uplink load-balance imbalance (Fig. 12), Spearman-correlated
+    port series (Fig. 13), network-wide queue concurrency/incast, causal
+    forwarding-state checking, and single-flow conservation. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_net
+open Speedlight_stats
+open Speedlight_store
+open Speedlight_verify
+
+type t
+(** A query: an ordered sequence of (possibly record-filtered) rounds. *)
+
+(** One record in the context of its round — what {!rows} yields and
+    {!where} predicates see. *)
+type row = {
+  sid : int;
+  fire_time : Time.t;
+  label : Store.label;
+  complete : bool;
+  round_consistent : bool;  (** the whole round was labeled consistent *)
+  uid : Unit_id.t;
+  value : float option;
+  channel : float;
+  consistent : bool;  (** this record was labeled consistent *)
+  inferred : bool;
+}
+
+(** {2 Sources} *)
+
+val of_rounds : Store.round list -> t
+val of_reader : Store.Reader.t -> t
+val of_net : Net.t -> sids:int list -> t
+(** Query a finished in-memory run directly, no disk round-trip. *)
+
+val rounds : t -> Store.round list
+(** The (filtered) rounds behind the query, in append order. *)
+
+val length : t -> int
+
+(** {2 Round-level filters} *)
+
+val complete_only : t -> t
+val consistent_only : t -> t
+
+val certified_only : t -> t
+(** Keep only rounds the independent cut auditor certified
+    ([label = Certified]) — the strongest consistency filter. *)
+
+val with_labels : Store.label list -> t -> t
+val between : lo:Time.t -> hi:Time.t -> t -> t
+val filter_rounds : (Store.round -> bool) -> t -> t
+
+(** {2 Record-level selectors} *)
+
+val select :
+  ?switch:int -> ?port:int -> ?dir:Unit_id.dir -> ?unit_id:Unit_id.t -> t -> t
+(** Keep only records matching every given criterion. Rounds are kept
+    (possibly with zero records) so per-round terminals stay aligned. *)
+
+val where : (row -> bool) -> t -> t
+
+(** {2 Terminals} *)
+
+val rows : t -> row list
+
+val values : t -> float array
+(** All recorded values of the selected records, in order; records
+    without a value are dropped. *)
+
+val consistent_values : t -> float array
+(** Like {!values}, but only records individually labeled consistent
+    (the {!Speedlight_core.Report.consistent_value} semantics). *)
+
+val value_at : t -> sid:int -> uid:Unit_id.t -> float option
+
+val cdf : t -> Cdf.t
+(** ECDF of {!values}. Raises [Invalid_argument] when no values match. *)
+
+(** {2 Grouping and aggregation} *)
+
+module Agg : sig
+  type t =
+    | Count
+    | Sum
+    | Mean
+    | Min
+    | Max
+    | Stddev  (** population (n denominator), as the paper's Fig. 12 *)
+    | Quantile of float  (** nearest-rank, [0, 1] *)
+
+  val name : t -> string
+
+  val apply : t -> float array -> float
+  (** [Count] of an empty array is 0; every other aggregate of an empty
+      array is [nan]. *)
+end
+
+val group_by : (row -> 'k) -> t -> ('k * row list) list
+(** Groups in order of first appearance; rows keep their order. *)
+
+val by_round : t -> (int * row list) list
+(** Group by snapshot id, append order; rounds left with no selected
+    records yield empty groups. *)
+
+val by_unit : t -> (Unit_id.t * row list) list
+(** Group by processing unit, ordered by {!Unit_id.compare}. *)
+
+val round_aggregate : Agg.t -> t -> (int * float) list
+(** Aggregate each round's selected record values: one [(sid, x)] per
+    round, in append order. *)
+
+val unit_aggregate : Agg.t -> t -> (Unit_id.t * float) list
+
+(** {2 Cross-snapshot analysis} *)
+
+val series : t -> (Unit_id.t * (Time.t * float) array) list
+(** Per selected unit: its [(fire_time, value)] time series across the
+    rounds (records without a value are skipped), units ordered by
+    {!Unit_id.compare}. *)
+
+val diff : t -> base:int -> sid:int -> (Unit_id.t * float) list
+(** Per-unit value change from round [base] to round [sid]
+    ([v_sid -. v_base]); units valued in both rounds only. *)
+
+(** {2 Audit bridge} *)
+
+val label_of_verdict : Verify.verdict -> Store.label
+
+val labels_of_audit : Verify.audit -> (int * Store.label) list
+
+val apply_audit : Verify.audit -> t -> t
+(** Stamp each round with the auditor's verdict (in memory). *)
+
+val store_audit : Store.Writer.t -> Verify.audit -> unit
+(** Persist each verdict into the archive's audit sidecar via
+    {!Store.Writer.set_label}. *)
+
+(** {2 Canned analyses} *)
+
+module Canned : sig
+  val uplink_imbalance : uplinks:(int * int list) list -> t -> Cdf.t
+  (** The paper's load-balance metric (Fig. 12a): for every complete
+      snapshot and every leaf with at least two valued uplink egress
+      units, the population stddev of the uplink values, scaled ns → µs.
+      [uplinks] lists [(leaf switch, uplink ports)] as
+      {!Speedlight_topology.Topology.leaf_spine} provides. Raises
+      [Invalid_argument] when no snapshot yields a sample. *)
+
+  val uplink_series : uplinks:(int * int list) list -> t -> (Unit_id.t * float array) list
+  (** Per uplink egress unit, its value series over the complete
+      snapshots (missing values as [nan] to keep series aligned). *)
+
+  val uplink_spearman :
+    uplinks:(int * int list) list ->
+    t ->
+    (Unit_id.t * Unit_id.t * Spearman.result) list
+  (** Pairwise Spearman rank correlation between uplink value series
+      (cf. Fig. 13) — each unordered pair once. *)
+
+  type concurrency = {
+    c_sid : int;
+    c_fire : Time.t;
+    c_total : float;  (** network-wide sum of egress queue depths *)
+    c_busy : int;  (** egress ports with a non-empty queue *)
+  }
+
+  val queue_concurrency : t -> concurrency list
+  (** Per complete snapshot, the synchronized network-wide queue picture
+      (§2.2 Q3). *)
+
+  type incast = {
+    i_sid : int;
+    i_fire : Time.t;
+    i_depth : float;  (** trigger port's queue depth *)
+    i_others : int;  (** other egress ports queueing at the same instant *)
+  }
+
+  val incast_episodes : trigger:Unit_id.t -> ?threshold:float -> t -> incast list
+  (** Complete snapshots where the trigger egress port's queue depth
+      reaches [threshold] (default 5 packets), with how many {e other}
+      egress ports were queueing in the very same cut — the incast
+      synchrony signature. *)
+
+  val version_vector :
+    probe:(int -> Unit_id.t) -> switches:int list -> t -> (int * int array) list
+  (** Per complete snapshot, the global forwarding-state version vector
+      read through each switch's probe unit (missing probe = 0). *)
+
+  val causal_violations :
+    rollout_order:int list -> probe:(int -> Unit_id.t) -> t -> int * int
+  (** [(impossible, total)]: of the complete snapshots, how many show a
+      version vector that is not monotone along the rollout order — a
+      state the network can never have been in (§2.2 Q4). *)
+
+  type transit = {
+    t_sid : int;
+    t_fire : Time.t;
+    t_entered : float;
+    t_exited : float;  (** [t_entered -. t_exited] = packets in flight *)
+  }
+
+  val flow_transit : entry:Unit_id.t -> exit_:Unit_id.t -> t -> transit list
+  (** Per complete snapshot, a tracked flow's packet count at its entry
+      and exit units (consistent values; [nan] when unavailable) — the
+      per-flow conservation view of [examples/flow_tracking.ml]. *)
+end
+
+(** {2 Export} *)
+
+val rows_to_csv : row list -> string list list
+(** One CSV row per {!row}, matching {!csv_header} — for
+    {!Speedlight_experiments.Export.write_rows}. *)
+
+val csv_header : string list
+
+val round_summary_to_csv : t -> string list list
+(** One CSV row per round: sid, fire time, completeness, consistency,
+    label, record count, value sum — matching {!summary_header}. *)
+
+val summary_header : string list

@@ -33,12 +33,22 @@ let run ?domains (tasks : (unit -> 'a) array) : 'a array =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    (* Workers catch and record task exceptions instead of letting them
+       tear down the domain: every claimed index gets a result, and after
+       the join the first failure (in task order, so deterministically)
+       is re-raised in the caller with the task's own backtrace — the
+       same observable behavior as a sequential run. *)
     let worker () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
-        else results.(i) <- Some (tasks.(i) ())
+        else
+          results.(i) <-
+            Some
+              (match tasks.(i) () with
+              | r -> Ok r
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
       done
     in
     let spawned =
@@ -46,7 +56,17 @@ let run ?domains (tasks : (unit -> 'a) array) : 'a array =
     in
     worker ();
     Array.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
     Array.map
-      (function Some r -> r | None -> failwith "Pool.run: task produced no result")
+      (function
+        | Some (Ok r) -> r
+        | Some (Error _) | None ->
+            (* unreachable: the claiming loop covers every index and
+               errors re-raised above *)
+            assert false)
       results
   end

@@ -19,4 +19,7 @@ val run : ?domains:int -> (unit -> 'a) array -> 'a array
 (** [run tasks] executes every task and returns their results in task
     order. [?domains] overrides the default; with 1 domain (or fewer than
     two tasks) the tasks run sequentially on the calling domain with no
-    spawns. *)
+    spawns. If a task raises, the remaining tasks still run and the first
+    failing task's exception (in task order — deterministic regardless of
+    domain count) is re-raised in the caller with its original
+    backtrace. *)

@@ -1,0 +1,933 @@
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_net
+
+(* ------------------------------------------------------------------ *)
+(* Model types                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type label =
+  | Unaudited
+  | Certified
+  | False_consistent
+  | Correctly_flagged
+  | Over_conservative
+  | Incomplete_audit
+
+let label_name = function
+  | Unaudited -> "unaudited"
+  | Certified -> "certified"
+  | False_consistent -> "false-consistent"
+  | Correctly_flagged -> "correctly-flagged"
+  | Over_conservative -> "over-conservative"
+  | Incomplete_audit -> "incomplete"
+
+let byte_of_label = function
+  | Unaudited -> 0
+  | Certified -> 1
+  | False_consistent -> 2
+  | Correctly_flagged -> 3
+  | Over_conservative -> 4
+  | Incomplete_audit -> 5
+
+let label_of_byte = function
+  | 0 -> Some Unaudited
+  | 1 -> Some Certified
+  | 2 -> Some False_consistent
+  | 3 -> Some Correctly_flagged
+  | 4 -> Some Over_conservative
+  | 5 -> Some Incomplete_audit
+  | _ -> None
+
+type record = {
+  r_uid : Unit_id.t;
+  r_value : float option;
+  r_channel : float;
+  r_consistent : bool;
+  r_inferred : bool;
+}
+
+type round = {
+  sid : int;
+  fire_time : Time.t;
+  staleness : Time.t option;
+  complete : bool;
+  consistent : bool;
+  timed_out : int list;
+  label : label;
+  records : record array;
+}
+
+let round_of_snapshot obs (snap : Observer.snapshot) =
+  let records =
+    (* Map.fold visits keys in increasing order: records come out sorted
+       by unit id, which both the delta codec and archive byte-identity
+       rely on. *)
+    Unit_id.Map.fold
+      (fun uid (r : Report.t) acc ->
+        {
+          r_uid = uid;
+          r_value = r.Report.value;
+          r_channel = r.Report.channel;
+          r_consistent = r.Report.consistent;
+          r_inferred = r.Report.inferred;
+        }
+        :: acc)
+      snap.Observer.reports []
+    |> List.rev |> Array.of_list
+  in
+  {
+    sid = snap.Observer.sid;
+    fire_time =
+      Option.value ~default:Time.zero
+        (Observer.fire_time obs ~sid:snap.Observer.sid);
+    staleness = Observer.staleness obs ~sid:snap.Observer.sid;
+    complete = snap.Observer.complete;
+    consistent = snap.Observer.consistent;
+    timed_out = snap.Observer.timed_out;
+    label = Unaudited;
+    records;
+  }
+
+let rounds_of_net net ~sids =
+  let obs = Net.observer net in
+  List.filter_map
+    (fun sid -> Option.map (round_of_snapshot obs) (Net.result net ~sid))
+    sids
+
+let bits_of_opt = function
+  | None -> Int64.minus_one (* distinct from every real value's bits *)
+  | Some v -> Int64.bits_of_float v
+
+let equal_record a b =
+  Unit_id.equal a.r_uid b.r_uid
+  && Int64.equal (bits_of_opt a.r_value) (bits_of_opt b.r_value)
+  && (match (a.r_value, b.r_value) with
+     | None, None | Some _, Some _ -> true
+     | None, Some _ | Some _, None -> false)
+  && Int64.equal (Int64.bits_of_float a.r_channel) (Int64.bits_of_float b.r_channel)
+  && a.r_consistent = b.r_consistent
+  && a.r_inferred = b.r_inferred
+
+let equal_round a b =
+  a.sid = b.sid
+  && Time.compare a.fire_time b.fire_time = 0
+  && a.staleness = b.staleness
+  && a.complete = b.complete
+  && a.consistent = b.consistent
+  && a.timed_out = b.timed_out
+  && a.label = b.label
+  && Array.length a.records = Array.length b.records
+  && Array.for_all2 equal_record a.records b.records
+
+let pp_round fmt r =
+  Format.fprintf fmt
+    "@[<v 2>round sid=%d fire=%a staleness=%s complete=%b consistent=%b \
+     label=%s units=%d@]"
+    r.sid Time.pp r.fire_time
+    (match r.staleness with None -> "-" | Some s -> Time.to_string s)
+    r.complete r.consistent (label_name r.label) (Array.length r.records)
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Not_an_archive of { path : string }
+  | Bad_magic of { file : string }
+  | Unsupported_version of { file : string; version : int }
+  | Truncated of { file : string; at : int }
+  | Checksum_mismatch of { file : string; at : int }
+  | Corrupt of { file : string; reason : string }
+
+exception Archive_error of error
+
+let error_to_string = function
+  | Not_an_archive { path } -> Printf.sprintf "%s: not a snapshot archive" path
+  | Bad_magic { file } -> Printf.sprintf "%s: bad magic" file
+  | Unsupported_version { file; version } ->
+      Printf.sprintf "%s: unsupported archive version %d" file version
+  | Truncated { file; at } -> Printf.sprintf "%s: truncated at byte %d" file at
+  | Checksum_mismatch { file; at } ->
+      Printf.sprintf "%s: checksum mismatch at byte %d" file at
+  | Corrupt { file; reason } -> Printf.sprintf "%s: corrupt (%s)" file reason
+
+let () =
+  Printexc.register_printer (function
+    | Archive_error e -> Some ("Store.Archive_error: " ^ error_to_string e)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Binary primitives: LEB128 varints, zigzag, CRC-32                  *)
+(* ------------------------------------------------------------------ *)
+
+let seg_magic = "SLSG"
+let index_magic = "SLIX"
+let end_magic = "SLND"
+let audit_magic = "SLAU"
+let version = 1
+let seg_name i = Printf.sprintf "seg-%06d.slseg" i
+let audit_name = "audit.slx"
+
+let add_varint buf n =
+  if n < 0 then invalid_arg "Store: cannot encode negative integer";
+  let n = ref n in
+  let fin = ref false in
+  while not !fin do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      fin := true
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+let add_zigzag buf n = add_varint buf (zigzag n)
+
+let add_varint64 buf v =
+  let v = ref v in
+  let fin = ref false in
+  while not !fin do
+    let b = Int64.to_int (Int64.logand !v 0x7FL) in
+    v := Int64.shift_right_logical !v 7;
+    if Int64.equal !v 0L then begin
+      Buffer.add_char buf (Char.chr b);
+      fin := true
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let add_u32le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc s off len =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s off len = crc32_update 0 s off len
+
+(* ------------------------------------------------------------------ *)
+(* Round codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tag_full = 0
+let tag_delta = 1
+
+(* flag bits of a round *)
+let fl_complete = 1
+let fl_consistent = 2
+
+(* per-record bits; [rb_egress] appears only in full records (in deltas
+   the direction is implied by the predecessor's unit list) *)
+let rb_egress = 1
+let rb_has_value = 2
+let rb_consistent = 4
+let rb_inferred = 8
+
+let add_staleness buf = function
+  | None -> add_varint buf 0
+  | Some s -> add_varint buf (s + 1)
+
+let round_flags r =
+  (if r.complete then fl_complete else 0)
+  lor if r.consistent then fl_consistent else 0
+
+let encode_full buf r =
+  add_varint buf r.sid;
+  add_varint buf r.fire_time;
+  add_staleness buf r.staleness;
+  Buffer.add_char buf (Char.chr (round_flags r));
+  add_varint buf (List.length r.timed_out);
+  List.iter (add_varint buf) r.timed_out;
+  add_varint buf (Array.length r.records);
+  Array.iter
+    (fun rc ->
+      let u = rc.r_uid in
+      add_varint buf u.Unit_id.switch;
+      add_varint buf u.Unit_id.port;
+      let bits =
+        (match u.Unit_id.dir with Unit_id.Egress -> rb_egress | Unit_id.Ingress -> 0)
+        lor (match rc.r_value with Some _ -> rb_has_value | None -> 0)
+        lor (if rc.r_consistent then rb_consistent else 0)
+        lor if rc.r_inferred then rb_inferred else 0
+      in
+      Buffer.add_char buf (Char.chr bits);
+      (match rc.r_value with
+      | Some v -> add_varint64 buf (Int64.bits_of_float v)
+      | None -> ());
+      add_varint64 buf (Int64.bits_of_float rc.r_channel))
+    r.records
+
+let prev_value_bits prc =
+  match prc.r_value with None -> 0L | Some v -> Int64.bits_of_float v
+
+let encode_delta buf ~(prev : round) r =
+  add_varint buf (r.sid - prev.sid);
+  add_varint buf (Time.sub r.fire_time prev.fire_time);
+  add_staleness buf r.staleness;
+  Buffer.add_char buf (Char.chr (round_flags r));
+  add_varint buf (List.length r.timed_out);
+  List.iter (add_varint buf) r.timed_out;
+  Array.iteri
+    (fun i rc ->
+      let prc = prev.records.(i) in
+      let bits =
+        (match rc.r_value with Some _ -> rb_has_value | None -> 0)
+        lor (if rc.r_consistent then rb_consistent else 0)
+        lor if rc.r_inferred then rb_inferred else 0
+      in
+      Buffer.add_char buf (Char.chr bits);
+      (match rc.r_value with
+      | Some v ->
+          add_varint64 buf (Int64.logxor (Int64.bits_of_float v) (prev_value_bits prc))
+      | None -> ());
+      add_varint64 buf
+        (Int64.logxor
+           (Int64.bits_of_float rc.r_channel)
+           (Int64.bits_of_float prc.r_channel)))
+    r.records
+
+let same_units a b =
+  Array.length a.records = Array.length b.records
+  && Array.for_all2 (fun x y -> Unit_id.equal x.r_uid y.r_uid) a.records b.records
+
+let delta_eligible ~prev r =
+  match prev with
+  | None -> false
+  | Some p -> r.sid > p.sid && Time.compare r.fire_time p.fire_time >= 0 && same_units p r
+
+(* --- decoding ----------------------------------------------------- *)
+
+(* Cursor over a fully-read file. Every read is bounds-checked; a slip
+   past [limit] means the file was cut short. *)
+exception Parse_truncated of int
+exception Parse_bad of string * int
+
+type cursor = { data : string; mutable pos : int; limit : int }
+
+let cur_u8 c =
+  if c.pos >= c.limit then raise (Parse_truncated c.pos);
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let cur_varint c =
+  let shift = ref 0 and acc = ref 0 and fin = ref false in
+  while not !fin do
+    let b = cur_u8 c in
+    if !shift >= 63 then raise (Parse_bad ("varint overflow", c.pos));
+    acc := !acc lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then fin := true
+  done;
+  !acc
+
+let cur_varint64 c =
+  let shift = ref 0 and acc = ref 0L and fin = ref false in
+  while not !fin do
+    let b = cur_u8 c in
+    if !shift > 63 then raise (Parse_bad ("varint64 overflow", c.pos));
+    acc := Int64.logor !acc (Int64.shift_left (Int64.of_int (b land 0x7f)) !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then fin := true
+  done;
+  !acc
+
+let cur_magic c m =
+  String.iter
+    (fun ch -> if cur_u8 c <> Char.code ch then raise (Parse_bad ("bad magic", c.pos)))
+    m
+
+let decode_staleness c = match cur_varint c with 0 -> None | v -> Some (v - 1)
+
+let decode_round c ~prev ~tag =
+  match tag with
+  | t when t = tag_full ->
+      let sid = cur_varint c in
+      let fire_time = cur_varint c in
+      let staleness = decode_staleness c in
+      let flags = cur_u8 c in
+      let n_timed = cur_varint c in
+      let timed_out = List.init n_timed (fun _ -> cur_varint c) in
+      let n = cur_varint c in
+      if n > 1 lsl 24 then raise (Parse_bad ("absurd record count", c.pos));
+      let records =
+        Array.init n (fun _ ->
+            let switch = cur_varint c in
+            let port = cur_varint c in
+            let bits = cur_u8 c in
+            let dir =
+              if bits land rb_egress <> 0 then Unit_id.Egress else Unit_id.Ingress
+            in
+            let r_value =
+              if bits land rb_has_value <> 0 then
+                Some (Int64.float_of_bits (cur_varint64 c))
+              else None
+            in
+            let r_channel = Int64.float_of_bits (cur_varint64 c) in
+            {
+              r_uid = { Unit_id.switch; port; dir };
+              r_value;
+              r_channel;
+              r_consistent = bits land rb_consistent <> 0;
+              r_inferred = bits land rb_inferred <> 0;
+            })
+      in
+      {
+        sid;
+        fire_time;
+        staleness;
+        complete = flags land fl_complete <> 0;
+        consistent = flags land fl_consistent <> 0;
+        timed_out;
+        label = Unaudited;
+        records;
+      }
+  | t when t = tag_delta -> (
+      match prev with
+      | None -> raise (Parse_bad ("delta round without predecessor", c.pos))
+      | Some (p : round) ->
+          let sid = p.sid + cur_varint c in
+          let fire_time = Time.add p.fire_time (cur_varint c) in
+          let staleness = decode_staleness c in
+          let flags = cur_u8 c in
+          let n_timed = cur_varint c in
+          let timed_out = List.init n_timed (fun _ -> cur_varint c) in
+          let records =
+            Array.map
+              (fun prc ->
+                let bits = cur_u8 c in
+                let r_value =
+                  if bits land rb_has_value <> 0 then
+                    Some
+                      (Int64.float_of_bits
+                         (Int64.logxor (cur_varint64 c) (prev_value_bits prc)))
+                  else None
+                in
+                let r_channel =
+                  Int64.float_of_bits
+                    (Int64.logxor (cur_varint64 c) (Int64.bits_of_float prc.r_channel))
+                in
+                {
+                  r_uid = prc.r_uid;
+                  r_value;
+                  r_channel;
+                  r_consistent = bits land rb_consistent <> 0;
+                  r_inferred = bits land rb_inferred <> 0;
+                })
+              p.records
+          in
+          {
+            sid;
+            fire_time;
+            staleness;
+            complete = flags land fl_complete <> 0;
+            consistent = flags land fl_consistent <> 0;
+            timed_out;
+            label = Unaudited;
+            records;
+          })
+  | t -> raise (Parse_bad (Printf.sprintf "unknown round tag %d" t, c.pos))
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  type seg_entry = { e_sid : int; e_off : int; e_fire : Time.t }
+
+  type t = {
+    w_dir : string;
+    segment_rounds : int;
+    mutable seg_idx : int;
+    mutable oc : out_channel option;
+    mutable seg_off : int;
+    mutable seg_entries : seg_entry list;  (* reversed *)
+    mutable seg_count : int;
+    mutable prev : round option;
+    mutable total : int;
+    labels : (int, label) Hashtbl.t;
+    mutable all_sids : int list;  (* reversed append order *)
+    mutable closed : bool;
+  }
+
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      let parent = Filename.dirname dir in
+      if parent <> dir then mkdir_p parent;
+      (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ())
+    end
+
+  let is_archive_file name =
+    name = audit_name
+    || (String.length name = String.length (seg_name 0)
+       && String.length name > 10
+       && String.sub name 0 4 = "seg-"
+       && Filename.check_suffix name ".slseg")
+
+  let open_segment t =
+    let path = Filename.concat t.w_dir (seg_name t.seg_idx) in
+    let oc = open_out_bin path in
+    let buf = Buffer.create 16 in
+    Buffer.add_string buf seg_magic;
+    Buffer.add_char buf (Char.chr version);
+    add_varint buf t.seg_idx;
+    Buffer.output_buffer oc buf;
+    t.oc <- Some oc;
+    t.seg_off <- Buffer.length buf;
+    t.seg_entries <- [];
+    t.seg_count <- 0;
+    t.prev <- None
+
+  let create ?(segment_rounds = 32) ~dir () =
+    if segment_rounds < 1 then invalid_arg "Store.Writer.create: segment_rounds >= 1";
+    mkdir_p dir;
+    (* Replace any previous archive at this path. *)
+    Array.iter
+      (fun f -> if is_archive_file f then Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    let t =
+      {
+        w_dir = dir;
+        segment_rounds;
+        seg_idx = 0;
+        oc = None;
+        seg_off = 0;
+        seg_entries = [];
+        seg_count = 0;
+        prev = None;
+        total = 0;
+        labels = Hashtbl.create 64;
+        all_sids = [];
+        closed = false;
+      }
+    in
+    open_segment t;
+    t
+
+  let dir t = t.w_dir
+  let rounds_written t = t.total
+
+  let finish_segment t =
+    match t.oc with
+    | None -> ()
+    | Some oc ->
+        let payload = Buffer.create 256 in
+        let entries = List.rev t.seg_entries in
+        add_varint payload (List.length entries);
+        let psid = ref 0 and poff = ref 0 and pfire = ref Time.zero in
+        List.iter
+          (fun e ->
+            add_zigzag payload (e.e_sid - !psid);
+            add_varint payload (e.e_off - !poff);
+            add_zigzag payload (Time.sub e.e_fire !pfire);
+            psid := e.e_sid;
+            poff := e.e_off;
+            pfire := e.e_fire)
+          entries;
+        let p = Buffer.contents payload in
+        let out = Buffer.create (String.length p + 16) in
+        Buffer.add_string out index_magic;
+        Buffer.add_string out p;
+        add_u32le out (crc32 p 0 (String.length p));
+        add_u32le out (String.length p);
+        Buffer.add_string out end_magic;
+        Buffer.output_buffer oc out;
+        close_out oc;
+        t.oc <- None
+
+  let append t r =
+    if t.closed then invalid_arg "Store.Writer.append: writer is closed";
+    if t.oc = None then open_segment t;
+    let oc = Option.get t.oc in
+    let payload = Buffer.create 512 in
+    let tag =
+      if t.seg_count > 0 && delta_eligible ~prev:t.prev r then begin
+        encode_delta payload ~prev:(Option.get t.prev) r;
+        tag_delta
+      end
+      else begin
+        encode_full payload r;
+        tag_full
+      end
+    in
+    let p = Buffer.contents payload in
+    let out = Buffer.create (String.length p + 12) in
+    Buffer.add_char out (Char.chr tag);
+    add_varint out (String.length p);
+    Buffer.add_string out p;
+    let crc = crc32_update (crc32 (String.make 1 (Char.chr tag)) 0 1) p 0 (String.length p) in
+    add_u32le out crc;
+    Buffer.output_buffer oc out;
+    t.seg_entries <-
+      { e_sid = r.sid; e_off = t.seg_off; e_fire = r.fire_time } :: t.seg_entries;
+    t.seg_off <- t.seg_off + Buffer.length out;
+    t.seg_count <- t.seg_count + 1;
+    t.prev <- Some r;
+    t.total <- t.total + 1;
+    t.all_sids <- r.sid :: t.all_sids;
+    if r.label <> Unaudited then Hashtbl.replace t.labels r.sid r.label;
+    if t.seg_count >= t.segment_rounds then begin
+      finish_segment t;
+      t.seg_idx <- t.seg_idx + 1
+    end
+
+  let attach t net =
+    let obs = Net.observer net in
+    Observer.on_complete obs (fun snap -> append t (round_of_snapshot obs snap))
+
+  let set_label t ~sid label =
+    if t.closed then invalid_arg "Store.Writer.set_label: writer is closed";
+    Hashtbl.replace t.labels sid label
+
+  let write_audit t =
+    let payload = Buffer.create 256 in
+    let sids = List.rev t.all_sids in
+    add_varint payload (List.length sids);
+    let psid = ref 0 in
+    List.iter
+      (fun sid ->
+        let l = Option.value ~default:Unaudited (Hashtbl.find_opt t.labels sid) in
+        add_zigzag payload (sid - !psid);
+        Buffer.add_char payload (Char.chr (byte_of_label l));
+        psid := sid)
+      sids;
+    let p = Buffer.contents payload in
+    let out = Buffer.create (String.length p + 16) in
+    Buffer.add_string out audit_magic;
+    Buffer.add_char out (Char.chr version);
+    Buffer.add_string out p;
+    add_u32le out (crc32 p 0 (String.length p));
+    add_u32le out (String.length p);
+    Buffer.add_string out end_magic;
+    let oc = open_out_bin (Filename.concat t.w_dir audit_name) in
+    Buffer.output_buffer oc out;
+    close_out oc
+
+  let close t =
+    if not t.closed then begin
+      finish_segment t;
+      write_audit t;
+      t.closed <- true
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  segments : int;
+  full_rounds : int;
+  delta_rounds : int;
+  bytes : int;
+}
+
+module Reader = struct
+  type t = {
+    r_rounds : round array;  (* append order, labels applied *)
+    by_sid : (int, int) Hashtbl.t;  (* sid -> index *)
+    r_stats : stats;
+  }
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  (* Validate the [MAGIC payload crc32 len END] tail framing shared by
+     segment footers and the audit sidecar. Returns a cursor over the
+     payload. *)
+  let open_tail ~file ~magic data ~from =
+    let size = String.length data in
+    let tail_fixed = 4 + 4 + String.length end_magic in
+    if size < from + String.length magic + tail_fixed then
+      Error (Truncated { file; at = size })
+    else if String.sub data (size - String.length end_magic) (String.length end_magic)
+            <> end_magic
+    then Error (Truncated { file; at = size })
+    else begin
+      let u32_at off =
+        Char.code data.[off]
+        lor (Char.code data.[off + 1] lsl 8)
+        lor (Char.code data.[off + 2] lsl 16)
+        lor (Char.code data.[off + 3] lsl 24)
+      in
+      let len = u32_at (size - String.length end_magic - 4) in
+      let crc_off = size - String.length end_magic - 8 in
+      let pay_off = crc_off - len in
+      let magic_off = pay_off - String.length magic in
+      if len < 0 || magic_off < from then Error (Truncated { file; at = size })
+      else if String.sub data magic_off (String.length magic) <> magic then
+        Error (Corrupt { file; reason = "bad index magic" })
+      else if crc32 data pay_off len <> u32_at crc_off then
+        Error (Checksum_mismatch { file; at = pay_off })
+      else Ok ({ data; pos = pay_off; limit = pay_off + len }, magic_off)
+    end
+
+  type seg_entry = { e_sid : int; e_off : int; e_fire : Time.t }
+
+  let parse_segment ~file data =
+    let size = String.length data in
+    let hdr = { data; pos = 0; limit = size } in
+    match
+      (try
+         cur_magic hdr seg_magic;
+         let v = cur_u8 hdr in
+         let idx = cur_varint hdr in
+         Ok (v, idx)
+       with
+      | Parse_truncated at -> Error (Truncated { file; at })
+      | Parse_bad _ -> Error (Bad_magic { file }))
+    with
+    | Error e -> Error e
+    | Ok (v, _idx) when v <> version -> Error (Unsupported_version { file; version = v })
+    | Ok (_, _idx) -> (
+        match open_tail ~file ~magic:index_magic data ~from:hdr.pos with
+        | Error e -> Error e
+        | Ok (index, rounds_end) -> (
+            (* Footer index. *)
+            match
+              (try
+                 let n = cur_varint index in
+                 if n > 1 lsl 24 then raise (Parse_bad ("absurd index count", index.pos));
+                 let psid = ref 0 and poff = ref 0 and pfire = ref Time.zero in
+                 let entries =
+                   List.init n (fun _ ->
+                       let sid = !psid + unzigzag (cur_varint index) in
+                       let off = !poff + cur_varint index in
+                       let fire = Time.add !pfire (unzigzag (cur_varint index)) in
+                       psid := sid;
+                       poff := off;
+                       pfire := fire;
+                       { e_sid = sid; e_off = off; e_fire = fire })
+                 in
+                 if index.pos <> index.limit then
+                   raise (Parse_bad ("trailing index bytes", index.pos));
+                 Ok entries
+               with
+              | Parse_truncated at -> Error (Truncated { file; at })
+              | Parse_bad (reason, _) -> Error (Corrupt { file; reason }))
+            with
+            | Error e -> Error e
+            | Ok entries -> (
+                (* Round blocks. *)
+                let c = { data; pos = hdr.pos; limit = rounds_end } in
+                let u32_at off =
+                  Char.code data.[off]
+                  lor (Char.code data.[off + 1] lsl 8)
+                  lor (Char.code data.[off + 2] lsl 16)
+                  lor (Char.code data.[off + 3] lsl 24)
+                in
+                match
+                  (try
+                     let acc = ref [] in
+                     let prev = ref None in
+                     let fulls = ref 0 and deltas = ref 0 in
+                     while c.pos < c.limit do
+                       let start = c.pos in
+                       let tag = cur_u8 c in
+                       let len = cur_varint c in
+                       let pay_off = c.pos in
+                       if pay_off + len + 4 > c.limit then
+                         raise (Parse_truncated c.limit);
+                       let crc =
+                         crc32_update
+                           (crc32 (String.make 1 (Char.chr tag)) 0 1)
+                           data pay_off len
+                       in
+                       if crc <> u32_at (pay_off + len) then
+                         raise (Parse_bad ("__crc__", start));
+                       let pc = { data; pos = pay_off; limit = pay_off + len } in
+                       let r = decode_round pc ~prev:!prev ~tag in
+                       if pc.pos <> pc.limit then
+                         raise (Parse_bad ("trailing round bytes", pc.pos));
+                       if tag = tag_delta then incr deltas else incr fulls;
+                       acc := (start, r) :: !acc;
+                       prev := Some r;
+                       c.pos <- pay_off + len + 4
+                     done;
+                     Ok (List.rev !acc, !fulls, !deltas)
+                   with
+                  | Parse_truncated at -> Error (Truncated { file; at })
+                  | Parse_bad ("__crc__", at) -> Error (Checksum_mismatch { file; at })
+                  | Parse_bad (reason, _) -> Error (Corrupt { file; reason }))
+                with
+                | Error e -> Error e
+                | Ok (rounds, fulls, deltas) ->
+                    (* The index must agree with the decoded blocks. *)
+                    if List.length entries <> List.length rounds then
+                      Error
+                        (Corrupt { file; reason = "index/block count mismatch" })
+                    else if
+                      not
+                        (List.for_all2
+                           (fun e (off, r) ->
+                             e.e_sid = r.sid && e.e_off = off
+                             && Time.compare e.e_fire r.fire_time = 0)
+                           entries rounds)
+                    then Error (Corrupt { file; reason = "index/block disagreement" })
+                    else Ok (List.map snd rounds, fulls, deltas))))
+
+  let parse_audit ~file data ~n_rounds =
+    let hdr = { data; pos = 0; limit = String.length data } in
+    match
+      (try
+         cur_magic hdr audit_magic;
+         let v = cur_u8 hdr in
+         if v <> version then Error (Unsupported_version { file; version = v })
+         else Ok ()
+       with
+      | Parse_truncated at -> Error (Truncated { file; at })
+      | Parse_bad _ -> Error (Bad_magic { file }))
+    with
+    | Error e -> Error e
+    | Ok () -> (
+        match open_tail ~file ~magic:"" data ~from:hdr.pos with
+        | Error e -> Error e
+        | Ok (c, _) -> (
+            try
+              let n = cur_varint c in
+              if n <> n_rounds then
+                Error (Corrupt { file; reason = "audit entry count mismatch" })
+              else begin
+                let psid = ref 0 in
+                let entries =
+                  List.init n (fun _ ->
+                      let sid = !psid + unzigzag (cur_varint c) in
+                      psid := sid;
+                      let b = cur_u8 c in
+                      match label_of_byte b with
+                      | Some l -> (sid, l)
+                      | None -> raise (Parse_bad ("unknown label byte", c.pos)))
+                in
+                if c.pos <> c.limit then
+                  Error (Corrupt { file; reason = "trailing audit bytes" })
+                else Ok entries
+              end
+            with
+            | Parse_truncated at -> Error (Truncated { file; at })
+            | Parse_bad (reason, _) -> Error (Corrupt { file; reason })))
+
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+  let open_archive path =
+    if not (Sys.file_exists path && Sys.is_directory path) then
+      Error (Not_an_archive { path })
+    else begin
+      let files = Sys.readdir path in
+      Array.sort String.compare files;
+      let segs =
+        Array.to_list files
+        |> List.filter (fun f ->
+               String.length f = String.length (seg_name 0)
+               && String.sub f 0 4 = "seg-"
+               && Filename.check_suffix f ".slseg")
+      in
+      if segs = [] then Error (Not_an_archive { path })
+      else begin
+        let expected = List.mapi (fun i _ -> seg_name i) segs in
+        if segs <> expected then
+          Error
+            (Corrupt
+               { file = path; reason = "segment files are not consecutive from 0" })
+        else begin
+          let rec load i segs_left acc fulls deltas bytes =
+            match segs_left with
+            | [] -> Ok (List.concat (List.rev acc), fulls, deltas, bytes, i)
+            | s :: rest ->
+                let file = Filename.concat path s in
+                let data = read_file file in
+                let* rounds, f, d = parse_segment ~file data in
+                load (i + 1) rest (rounds :: acc) (fulls + f) (deltas + d)
+                  (bytes + String.length data)
+          in
+          let* all, fulls, deltas, bytes, n_segs = load 0 segs [] 0 0 0 in
+          (* Audit sidecar (optional). *)
+          let audit_file = Filename.concat path audit_name in
+          let* labels =
+            if Sys.file_exists audit_file then
+              let data = read_file audit_file in
+              let* entries =
+                parse_audit ~file:audit_file data ~n_rounds:(List.length all)
+              in
+              Ok entries
+            else Ok []
+          in
+          let label_tbl = Hashtbl.create 64 in
+          List.iter (fun (sid, l) -> Hashtbl.replace label_tbl sid l) labels;
+          let arr =
+            Array.of_list
+              (List.map
+                 (fun r ->
+                   match Hashtbl.find_opt label_tbl r.sid with
+                   | Some l -> { r with label = l }
+                   | None -> r)
+                 all)
+          in
+          let by_sid = Hashtbl.create (Array.length arr) in
+          Array.iteri (fun i r -> Hashtbl.replace by_sid r.sid i) arr;
+          Ok
+            {
+              r_rounds = arr;
+              by_sid;
+              r_stats =
+                {
+                  segments = n_segs;
+                  full_rounds = fulls;
+                  delta_rounds = deltas;
+                  bytes = bytes + (if Sys.file_exists audit_file then
+                                     (* audit size counted via stat *)
+                                     (let ic = open_in_bin audit_file in
+                                      let n = in_channel_length ic in
+                                      close_in_noerr ic;
+                                      n)
+                                   else 0);
+                };
+            }
+        end
+      end
+    end
+
+  let open_archive_exn path =
+    match open_archive path with Ok t -> t | Error e -> raise (Archive_error e)
+
+  let rounds t = Array.to_list t.r_rounds
+  let length t = Array.length t.r_rounds
+  let sids t = Array.to_list (Array.map (fun r -> r.sid) t.r_rounds)
+
+  let find t ~sid =
+    Option.map (fun i -> t.r_rounds.(i)) (Hashtbl.find_opt t.by_sid sid)
+
+  let between t ~lo ~hi =
+    Array.to_list t.r_rounds
+    |> List.filter (fun r ->
+           Time.compare r.fire_time lo >= 0 && Time.compare r.fire_time hi <= 0)
+
+  let label_of t ~sid =
+    match find t ~sid with Some r -> r.label | None -> Unaudited
+
+  let stats t = t.r_stats
+  let close _ = ()
+end

@@ -1,0 +1,181 @@
+(** Append-only on-disk snapshot archive.
+
+    The paper's output is a {e queryable network-wide state}; this module
+    makes that state durable. A {!Writer} attaches to the snapshot
+    observer's completion callback and streams every finished snapshot
+    round — one {!record} per processing unit: unit id, snapshot id,
+    counter value, channel state, consistency flags — into segment files
+    with a compact binary encoding. A {!Reader} opens an archive for
+    random access by snapshot id or fire-time range.
+
+    {b Format.} An archive is a directory of segment files
+    [seg-NNNNNN.slseg] plus an optional audit sidecar [audit.slx]. Each
+    segment holds a header, a sequence of length-prefixed round blocks
+    each protected by a CRC-32, and a footer index ([sid], byte offset,
+    fire time per round) that is itself CRC-protected and framed by a
+    terminal magic — so a torn write (truncation) or a flipped byte
+    (corruption) is detected when the archive is opened, and reported as
+    a typed {!error}, never a crash.
+
+    {b Delta encoding.} Within a segment, a round whose unit set equals
+    its predecessor's is stored as a delta: flags plus the XOR of each
+    value's IEEE-754 bit pattern with its predecessor (Gorilla-style).
+    Consecutive counter snapshots share sign, exponent and high mantissa
+    bits, so the XOR is numerically small and its varint encoding short.
+    The transform is lossless and a pure function of the round sequence —
+    no timestamps, no randomness — so archives written by runs that are
+    bit-identical (e.g. the same seed at 1, 2 or 4 shards) are themselves
+    byte-identical.
+
+    Audit labels (from {!Speedlight_verify}) live in the sidecar, not in
+    the round blocks: they are only known after a run ends, and keeping
+    them out of the segment stream lets {!Writer.set_label} work without
+    rewriting immutable round bytes. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_net
+
+(** {2 Rounds — the archived unit of state} *)
+
+(** Consistency/audit label of a round. [Unaudited] means no independent
+    audit ran; the other constructors mirror
+    {!Speedlight_verify.Verify.verdict}. *)
+type label =
+  | Unaudited
+  | Certified
+  | False_consistent
+  | Correctly_flagged
+  | Over_conservative
+  | Incomplete_audit
+
+val label_name : label -> string
+val label_of_byte : int -> label option
+val byte_of_label : label -> int
+
+type record = {
+  r_uid : Unit_id.t;
+  r_value : float option;  (** recorded counter value; [None] = unrecoverable *)
+  r_channel : float;  (** accumulated in-flight channel state *)
+  r_consistent : bool;
+  r_inferred : bool;
+}
+
+type round = {
+  sid : int;  (** unwrapped snapshot ID *)
+  fire_time : Time.t;  (** scheduled network-wide execution time *)
+  staleness : Time.t option;  (** completion age; [None] while incomplete *)
+  complete : bool;
+  consistent : bool;
+  timed_out : int list;  (** devices excluded after repeated timeouts *)
+  label : label;
+  records : record array;  (** sorted by {!Unit_id.compare} *)
+}
+
+val round_of_snapshot : Observer.t -> Observer.snapshot -> round
+(** Assemble the archivable round for a completed (or still-incomplete)
+    snapshot, pulling fire time and staleness from the observer. *)
+
+val rounds_of_net : Net.t -> sids:int list -> round list
+(** In-memory rounds of a finished run, in the given sid order — the
+    bridge that lets {!Speedlight_query} run over a live run without
+    touching disk. Sids with no observer state are skipped. *)
+
+val equal_record : record -> record -> bool
+(** Bitwise on float fields (NaN-safe), structural otherwise. *)
+
+val equal_round : round -> round -> bool
+val pp_round : Format.formatter -> round -> unit
+
+(** {2 Errors} *)
+
+type error =
+  | Not_an_archive of { path : string }
+      (** missing directory, or no segment files *)
+  | Bad_magic of { file : string }
+  | Unsupported_version of { file : string; version : int }
+  | Truncated of { file : string; at : int }
+      (** the file ends mid-structure (torn write / partial copy) *)
+  | Checksum_mismatch of { file : string; at : int }
+      (** a round block or index failed its CRC-32 *)
+  | Corrupt of { file : string; reason : string }
+      (** structurally undecodable, or index and blocks disagree *)
+
+exception Archive_error of error
+
+val error_to_string : error -> string
+
+(** {2 Writing} *)
+
+module Writer : sig
+  type t
+
+  val create : ?segment_rounds:int -> dir:string -> unit -> t
+  (** Open a fresh archive at [dir] (created if missing; existing archive
+      files are replaced). [segment_rounds] bounds rounds per segment
+      file (default 32); each new segment restarts the delta chain, so it
+      is also the worst-case decode span behind one random access. *)
+
+  val append : t -> round -> unit
+  (** Persist one round. Rounds are streamed to disk in append order;
+      the footer index is written on {!close} (a crash before close
+      loses only the footer, which {!Reader.open_archive} reports as
+      truncation). *)
+
+  val attach : t -> Net.t -> unit
+  (** Subscribe to the net observer's completion callback so every
+      snapshot that completes from now on is appended automatically —
+      including those initiated by {!Speedlight_net.Monitor}. Attach
+      before the run; call {!close} after. *)
+
+  val set_label : t -> sid:int -> label -> unit
+  (** Record an audit label for an already-appended round (takes effect
+      in the sidecar written at {!close}). Unknown sids are ignored. *)
+
+  val rounds_written : t -> int
+  val dir : t -> string
+
+  val close : t -> unit
+  (** Write the open segment's footer and the audit sidecar, and close
+      file handles. Idempotent. *)
+end
+
+(** {2 Reading} *)
+
+type stats = {
+  segments : int;
+  full_rounds : int;
+  delta_rounds : int;  (** rounds stored XOR-compressed against their predecessor *)
+  bytes : int;  (** total archive size on disk *)
+}
+
+module Reader : sig
+  type t
+
+  val open_archive : string -> (t, error) result
+  (** Open and fully validate an archive directory: every segment header,
+      every round block CRC, the footer index (entries must agree with
+      the decoded blocks) and the audit sidecar. Any torn or corrupted
+      byte surfaces here as [Error _]. *)
+
+  val open_archive_exn : string -> t
+  (** {!open_archive}, raising {!Archive_error}. *)
+
+  val rounds : t -> round list
+  (** All rounds in append order. *)
+
+  val length : t -> int
+  val sids : t -> int list
+
+  val find : t -> sid:int -> round option
+  (** Random access by snapshot id (via the footer index). *)
+
+  val between : t -> lo:Time.t -> hi:Time.t -> round list
+  (** Rounds whose fire time lies in [[lo, hi]], in append order. *)
+
+  val label_of : t -> sid:int -> label
+
+  val stats : t -> stats
+  val close : t -> unit
+end

@@ -5,6 +5,16 @@ type t = {
   dist : int array array;  (* [switch].[host] -> hops *)
 }
 
+exception Host_unreachable of { host : int; switch : int }
+
+let () =
+  Printexc.register_printer (function
+    | Host_unreachable { host; switch } ->
+        Some
+          (Printf.sprintf "Routing.Host_unreachable(host=%d, switch=%d)" host
+             switch)
+    | _ -> None)
+
 let compute topo =
   let n_sw = Topology.n_switches topo in
   let n_h = Topology.n_hosts topo in
@@ -28,8 +38,7 @@ let compute topo =
         (Topology.switch_neighbors topo u)
     done;
     for s = 0 to n_sw - 1 do
-      if d.(s) = max_int then
-        failwith (Printf.sprintf "Routing.compute: host %d unreachable from switch %d" h s);
+      if d.(s) = max_int then raise (Host_unreachable { host = h; switch = s });
       dist.(s).(h) <- d.(s) + 1 (* +1 for the final host hop *);
       if s = attach_sw then cand.(s).(h) <- [| attach_port |]
       else begin

@@ -9,9 +9,15 @@ open Speedlight_sim
 
 type t
 
+exception Host_unreachable of { host : int; switch : int }
+(** Raised by {!compute} when a host cannot be reached from some switch —
+    the topology is partitioned (or a host hangs off an isolated island).
+    Routing tables are total by construction, so this is a topology
+    validation error surfaced before any simulation starts. *)
+
 val compute : Topology.t -> t
 (** Precompute, for every (switch, destination host), the set of ports on
-    equal-cost shortest paths. Raises [Failure] if some host is
+    equal-cost shortest paths. Raises {!Host_unreachable} if some host is
     unreachable from some switch. *)
 
 val candidates : t -> switch:int -> dst_host:int -> int array

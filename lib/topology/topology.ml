@@ -43,6 +43,9 @@ let iter_switch_ports t f =
     done
   done
 
+let of_raw ~switch_ports ~wiring ~host_attach =
+  { switch_ports; n_hosts = Array.length host_attach; wiring; host_attach }
+
 module Builder = struct
   type topo = t
 

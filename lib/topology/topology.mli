@@ -43,6 +43,18 @@ val switch_neighbors : t -> int -> (int * int * int) list
 val iter_switch_ports : t -> (switch:int -> port:int -> peer -> unit) -> unit
 (** Visit every connected switch port. *)
 
+val of_raw :
+  switch_ports:int array ->
+  wiring:(peer * link_spec) option array array ->
+  host_attach:(int * int) array ->
+  t
+(** Unvalidated escape hatch: assemble a topology directly from its wiring
+    arrays ([wiring.(switch).(port)], [host_attach.(host) = (switch,
+    port)]). Unlike {!Builder.build} this performs no invariant checking —
+    it exists for external importers and for exercising
+    {!Speedlight_net.Net.validate} against deliberately malformed inputs.
+    Prefer the {!Builder}. *)
+
 module Builder : sig
   type topo = t
   type b

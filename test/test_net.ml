@@ -564,6 +564,77 @@ let test_nic_serializes () =
   let first = List.hd ts and last = List.nth ts 49 in
   Alcotest.(check bool) "line-rate pacing" true (last - first >= 49 * Time.us 12)
 
+(* ------------------------------------------------------------------ *)
+(* Topology validation: malformed wiring is a typed error, surfaced by
+   Net.validate (and Net.create) before any simulation runs. The Builder
+   cannot express these defects, so the tests assemble raw topologies
+   through Topology.of_raw. *)
+
+let raw_valid () =
+  (* One switch, port 0 to host 0 — minimal and well-formed. *)
+  let spec = fst scaled_links in
+  Topology.of_raw ~switch_ports:[| 1 |]
+    ~wiring:[| [| Some (Topology.Host_port 0, spec) |] |]
+    ~host_attach:[| (0, 0) |]
+
+let test_validate_accepts_well_formed () =
+  Alcotest.(check bool) "minimal topo validates" true
+    (Net.validate (raw_valid ()) = Ok ());
+  let ls = Topology.leaf_spine () in
+  Alcotest.(check bool) "leaf-spine validates" true
+    (Net.validate ls.Topology.topo = Ok ())
+
+let test_validate_missing_host_link () =
+  (* Host 0 claims to sit on switch 0 port 0, but that port is unwired. *)
+  let topo =
+    Topology.of_raw ~switch_ports:[| 1 |]
+      ~wiring:[| [| None |] |]
+      ~host_attach:[| (0, 0) |]
+  in
+  (match Net.validate topo with
+  | Error (Net.Missing_host_link { host; switch; port }) ->
+      Alcotest.(check int) "host" 0 host;
+      Alcotest.(check int) "switch" 0 switch;
+      Alcotest.(check int) "port" 0 port
+  | Error e -> Alcotest.failf "wrong error: %s" (Net.topo_error_to_string e)
+  | Ok () -> Alcotest.fail "unwired host port must not validate");
+  match Net.create topo with
+  | exception Net.Invalid_topology (Net.Missing_host_link _) -> ()
+  | exception e ->
+      Alcotest.failf "expected Invalid_topology, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "Net.create must reject the malformed topology"
+
+let test_validate_asymmetric_link () =
+  let spec = snd scaled_links in
+  let host = fst scaled_links in
+  (* Switch 0 port 1 points at switch 1 port 0, but switch 1 port 0
+     points back at switch 0 port *0* — a one-sided patch cable. Hosts on
+     port 0 of switch 0 and port 1 of switch 1 keep them otherwise valid. *)
+  let topo =
+    Topology.of_raw ~switch_ports:[| 2; 2 |]
+      ~wiring:
+        [|
+          [| Some (Topology.Host_port 0, host); Some (Topology.Switch_port (1, 0), spec) |];
+          [| Some (Topology.Switch_port (0, 0), spec); Some (Topology.Host_port 1, host) |];
+        |]
+      ~host_attach:[| (0, 0); (1, 1) |]
+  in
+  (match Net.validate topo with
+  | Error (Net.Asymmetric_link _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Net.topo_error_to_string e)
+  | Ok () -> Alcotest.fail "asymmetric wiring must not validate");
+  (match Net.create topo with
+  | exception Net.Invalid_topology e ->
+      Alcotest.(check bool) "typed error printable" true
+        (String.length (Net.topo_error_to_string e) > 0)
+  | exception e ->
+      Alcotest.failf "expected Invalid_topology, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "Net.create must reject the malformed topology");
+  (* Sanity: validation happens before simulation — a valid raw topology
+     builds and runs. *)
+  let net = Net.create (raw_valid ()) in
+  Net.run_until net (Time.us 10)
+
 let test_determinism () =
   (* Two runs with the same seed must be bit-identical: same deliveries,
      same snapshot values, same sync spreads. *)
@@ -713,5 +784,14 @@ let () =
         [
           Alcotest.test_case "same seed, same run" `Quick test_determinism;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_run;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "well-formed topologies pass" `Quick
+            test_validate_accepts_well_formed;
+          Alcotest.test_case "missing host link is a typed error" `Quick
+            test_validate_missing_host_link;
+          Alcotest.test_case "asymmetric link is a typed error" `Quick
+            test_validate_asymmetric_link;
         ] );
     ]

@@ -1,0 +1,377 @@
+(* Tests for the snapshot query engine: combinators over synthetic rounds
+   (known answers), the audit-label bridge on a real verified run, and the
+   acceptance bar — the canned uplink-imbalance query reproduces the
+   pre-query-engine examples/load_balancing.ml computation exactly. *)
+
+open Speedlight_sim
+open Speedlight_stats
+open Speedlight_dataplane
+open Speedlight_core
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+open Speedlight_verify
+open Speedlight_store
+open Speedlight_query
+open Speedlight_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic rounds with known answers *)
+
+let rcd ?v ?(channel = 0.) ?(consistent = true) ?(inferred = false) uid =
+  {
+    Store.r_uid = uid;
+    r_value = v;
+    r_channel = channel;
+    r_consistent = consistent;
+    r_inferred = inferred;
+  }
+
+let mk_round ?(complete = true) ?(consistent = true) ?(label = Store.Unaudited)
+    ~sid ~fire records =
+  {
+    Store.sid;
+    fire_time = fire;
+    staleness = None;
+    complete;
+    consistent;
+    timed_out = [];
+    label;
+    records = Array.of_list records;
+  }
+
+let u00i = Unit_id.ingress ~switch:0 ~port:0
+let u01e = Unit_id.egress ~switch:0 ~port:1
+let u02e = Unit_id.egress ~switch:0 ~port:2
+let u11e = Unit_id.egress ~switch:1 ~port:1
+
+let sample_rounds () =
+  [
+    mk_round ~sid:1 ~fire:(Time.ms 10)
+      [
+        rcd ~v:10. u00i; rcd ~v:1. u01e; rcd ~v:3. u02e;
+        rcd ~v:5. ~consistent:false u11e;
+      ];
+    mk_round ~sid:2 ~fire:(Time.ms 20) ~label:Store.Certified
+      [ rcd ~v:20. u00i; rcd ~v:2. u01e; rcd ~v:4. u02e; rcd ~v:6. u11e ];
+    mk_round ~sid:3 ~fire:(Time.ms 30) ~complete:false
+      [ rcd u00i; rcd ~v:3. u01e ];
+  ]
+
+let q () = Query.of_rounds (sample_rounds ())
+
+let test_select () =
+  Alcotest.(check int) "all rows" 10 (List.length (Query.rows (q ())));
+  Alcotest.(check int) "switch 0" 8
+    (List.length (Query.rows (Query.select ~switch:0 (q ()))));
+  Alcotest.(check int) "egress only" 7
+    (List.length (Query.rows (Query.select ~dir:Unit_id.Egress (q ()))));
+  Alcotest.(check int) "one unit" 2
+    (List.length (Query.rows (Query.select ~unit_id:u11e (q ()))));
+  Alcotest.(check int) "switch+port" 3
+    (List.length (Query.rows (Query.select ~switch:0 ~port:1 (q ()))));
+  Alcotest.(check int) "where value > 3" 5
+    (List.length
+       (Query.rows
+          (Query.where (fun r -> match r.Query.value with Some v -> v > 3. | None -> false) (q ()))))
+
+let test_round_filters () =
+  Alcotest.(check int) "complete_only drops sid 3" 2
+    (Query.length (Query.complete_only (q ())));
+  Alcotest.(check int) "certified_only" 1
+    (Query.length (Query.certified_only (q ())));
+  Alcotest.(check (list int)) "between [15,30] ms"
+    [ 2; 3 ]
+    (List.map
+       (fun r -> r.Store.sid)
+       (Query.rounds (Query.between ~lo:(Time.ms 15) ~hi:(Time.ms 30) (q ()))));
+  Alcotest.(check int) "with_labels unaudited" 2
+    (Query.length (Query.with_labels [ Store.Unaudited ] (q ())))
+
+let test_values_and_consistency () =
+  let sel = Query.select ~unit_id:u11e (q ()) in
+  Alcotest.(check int) "raw values keep inconsistent record" 2
+    (Array.length (Query.values sel));
+  Alcotest.(check int) "consistent_values drop it" 1
+    (Array.length (Query.consistent_values sel));
+  Alcotest.(check (option (float 0.))) "value_at" (Some 4.)
+    (Query.value_at (q ()) ~sid:2 ~uid:u02e);
+  Alcotest.(check (option (float 0.))) "value_at valueless record" None
+    (Query.value_at (q ()) ~sid:3 ~uid:u00i)
+
+let test_grouping_and_aggregation () =
+  let sums = Query.round_aggregate Query.Agg.Sum (Query.select ~dir:Unit_id.Egress (q ())) in
+  Alcotest.(check (list (pair int (float 1e-9)))) "per-round egress sums"
+    [ (1, 9.); (2, 12.); (3, 3.) ]
+    sums;
+  let maxes = Query.unit_aggregate Query.Agg.Max (q ()) in
+  Alcotest.(check int) "per-unit groups" 4 (List.length maxes);
+  Alcotest.(check (list (pair int (float 1e-9)))) "counts include valueless"
+    [ (1, 4.); (2, 4.); (3, 2.) ]
+    (List.map
+       (fun (sid, rows) -> (sid, float_of_int (List.length rows)))
+       (Query.by_round (q ())));
+  (* by_unit is ordered by Unit_id.compare. *)
+  let units = List.map fst (Query.by_unit (q ())) in
+  Alcotest.(check bool) "by_unit sorted" true
+    (List.sort Unit_id.compare units = units);
+  (* group_by preserves first-appearance order. *)
+  let by_sw = Query.group_by (fun r -> r.Query.uid.Unit_id.switch) (q ()) in
+  Alcotest.(check (list int)) "group_by order" [ 0; 1 ] (List.map fst by_sw)
+
+let test_agg_functions () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  let open Query.Agg in
+  Alcotest.(check (float 1e-9)) "count" 4. (apply Count xs);
+  Alcotest.(check (float 1e-9)) "sum" 10. (apply Sum xs);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (apply Mean xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (apply Min xs);
+  Alcotest.(check (float 1e-9)) "max" 4. (apply Max xs);
+  Alcotest.(check (float 1e-9)) "stddev (population)"
+    (Descriptive.population_stddev xs) (apply Stddev xs);
+  Alcotest.(check (float 1e-9)) "median quantile" 2. (apply (Quantile 0.5) xs);
+  Alcotest.(check (float 1e-9)) "empty count" 0. (apply Count [||]);
+  Alcotest.(check bool) "empty sum is nan" true (Float.is_nan (apply Sum [||]))
+
+let test_series_and_diff () =
+  let srs = Query.series (Query.select ~unit_id:u01e (q ())) in
+  Alcotest.(check int) "one unit" 1 (List.length srs);
+  let _, points = List.hd srs in
+  Alcotest.(check int) "three points" 3 (Array.length points);
+  Alcotest.(check (float 1e-9)) "second value" 2. (snd points.(1));
+  let d = Query.diff (q ()) ~base:1 ~sid:2 in
+  Alcotest.(check int) "diff covers units valued in both" 4 (List.length d);
+  Alcotest.(check (float 1e-9)) "u00i delta" 10. (List.assoc u00i d);
+  (* sid 3 has no value for u00i, so it drops out. *)
+  let d' = Query.diff (q ()) ~base:1 ~sid:3 in
+  Alcotest.(check bool) "valueless record excluded" true
+    (List.assoc_opt u00i d' = None)
+
+(* ------------------------------------------------------------------ *)
+(* Canned analyses on synthetic data *)
+
+let test_queue_concurrency () =
+  match Query.Canned.queue_concurrency (q ()) with
+  | [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "sid1 total" 9. a.Query.Canned.c_total;
+      Alcotest.(check int) "sid1 busy" 3 a.Query.Canned.c_busy;
+      Alcotest.(check (float 1e-9)) "sid2 total" 12. b.Query.Canned.c_total;
+      Alcotest.(check int) "sid2 busy" 3 b.Query.Canned.c_busy
+  | l -> Alcotest.failf "expected 2 complete rounds, got %d" (List.length l)
+
+let test_incast_episodes () =
+  let eps = Query.Canned.incast_episodes ~trigger:u11e ~threshold:5. (q ()) in
+  Alcotest.(check int) "both complete rounds trigger" 2 (List.length eps);
+  let e = List.hd eps in
+  Alcotest.(check (float 1e-9)) "depth" 5. e.Query.Canned.i_depth;
+  Alcotest.(check int) "other busy egress ports" 2 e.Query.Canned.i_others;
+  Alcotest.(check int) "higher threshold filters" 1
+    (List.length (Query.Canned.incast_episodes ~trigger:u11e ~threshold:6. (q ())))
+
+let test_causal_violations () =
+  let probe s = Unit_id.ingress ~switch:s ~port:0 in
+  let vround sid vs =
+    mk_round ~sid ~fire:(Time.ms sid)
+      (List.mapi (fun s v -> rcd ~v:(float_of_int v) (probe s)) vs)
+  in
+  (* Rollout order 0,1,2: versions must be non-increasing along it. *)
+  let ok = vround 1 [ 3; 2; 1 ] in
+  let also_ok = vround 2 [ 2; 2; 2 ] in
+  let impossible = vround 3 [ 1; 2; 0 ] in
+  let bad, total =
+    Query.Canned.causal_violations ~rollout_order:[ 0; 1; 2 ] ~probe
+      (Query.of_rounds [ ok; also_ok; impossible ])
+  in
+  Alcotest.(check int) "total" 3 total;
+  Alcotest.(check int) "violations" 1 bad
+
+let test_uplink_spearman () =
+  let mk sid a b =
+    mk_round ~sid ~fire:(Time.ms (10 * sid)) [ rcd ~v:a u01e; rcd ~v:b u02e ]
+  in
+  let t = Query.of_rounds [ mk 1 1. 10.; mk 2 2. 20.; mk 3 3. 30.; mk 4 4. 40. ] in
+  match Query.Canned.uplink_spearman ~uplinks:[ (0, [ 1; 2 ]) ] t with
+  | [ (a, b, r) ] ->
+      Alcotest.(check bool) "pair is (u01e, u02e)" true
+        (Unit_id.equal a u01e && Unit_id.equal b u02e);
+      Alcotest.(check (float 1e-9)) "monotone series fully correlated" 1.
+        r.Spearman.rho;
+      Alcotest.(check int) "n" 4 r.Spearman.n
+  | l -> Alcotest.failf "expected 1 pair, got %d" (List.length l)
+
+let test_flow_transit () =
+  let ts = Query.Canned.flow_transit ~entry:u00i ~exit_:u01e (q ()) in
+  Alcotest.(check int) "complete rounds only" 2 (List.length ts);
+  let t1 = List.hd ts in
+  Alcotest.(check (float 1e-9)) "entered" 10. t1.Query.Canned.t_entered;
+  Alcotest.(check (float 1e-9)) "exited" 1. t1.Query.Canned.t_exited
+
+(* ------------------------------------------------------------------ *)
+(* CSV / export plumbing *)
+
+let test_csv_shapes () =
+  let rows = Query.rows (q ()) in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "row width matches header"
+        (List.length Query.csv_header) (List.length r))
+    (Query.rows_to_csv rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "summary width matches header"
+        (List.length Query.summary_header) (List.length r))
+    (Query.round_summary_to_csv (q ()))
+
+let test_label_of_verdict () =
+  Alcotest.(check string) "certified" "certified"
+    (Store.label_name (Query.label_of_verdict Verify.Certified_consistent));
+  Alcotest.(check string) "false consistent" "false-consistent"
+    (Store.label_name (Query.label_of_verdict (Verify.False_consistent [])));
+  Alcotest.(check string) "flagged" "correctly-flagged"
+    (Store.label_name (Query.label_of_verdict Verify.Correctly_flagged));
+  Alcotest.(check string) "over-conservative" "over-conservative"
+    (Store.label_name (Query.label_of_verdict (Verify.Over_conservative [])));
+  Alcotest.(check string) "incomplete" "incomplete"
+    (Store.label_name (Query.label_of_verdict Verify.Incomplete))
+
+(* ------------------------------------------------------------------ *)
+(* Audit bridge on a real run *)
+
+let test_certified_filter_on_real_run () =
+  let cfg = Config.default |> Config.with_seed 7 in
+  let ls, net = Common.make_testbed ~cfg () in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+    ~send:(Common.sender net) ~fids:(Traffic.flow_ids ())
+    ~hosts:(Array.to_list ls.Topology.host_of_server) ~rate_pps:20_000.
+    ~pkt_size:1500 ~until:(Time.ms 40);
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let auditor = Verify.attach net in
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 6) ~count:5
+      ~run_until:(Time.ms 90)
+  in
+  let audit = Verify.audit auditor ~sids in
+  let t = Query.apply_audit audit (Query.of_net net ~sids) in
+  Alcotest.(check bool) "clean run: audit certifies" true (Verify.ok audit);
+  Alcotest.(check int) "certified_only keeps the certified sids"
+    (List.length audit.Verify.certified)
+    (Query.length (Query.certified_only t));
+  Alcotest.(check bool) "filter not vacuous" true
+    (Query.length (Query.certified_only t) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance bar: canned imbalance == the pre-query-engine example *)
+
+let lb_run () =
+  let ls =
+    Topology.leaf_spine
+      ~host_link:{ Topology.bandwidth_bps = 1e9; latency = Time.us 1 }
+      ~fabric_link:{ Topology.bandwidth_bps = 4e9; latency = Time.us 1 }
+      ()
+  in
+  let cfg =
+    Config.default
+    |> Config.with_variant Snapshot_unit.variant_wraparound
+    |> Config.with_counter Config.Ewma_interarrival
+    |> Config.with_seed 11
+  in
+  let net = Net.create ~cfg ls.Topology.topo in
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  Apps.Hadoop.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+    ~send:(Common.sender net) ~fids:(Traffic.flow_ids ()) ~until:(Time.ms 300)
+    (Apps.Hadoop.default_params ~mappers:hosts ~reducers:hosts);
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 100) ~interval:(Time.ms 10)
+      ~count:20 ~run_until:(Time.ms 500)
+  in
+  (ls, net, sids)
+
+(* Verbatim port of the metric as examples/load_balancing.ml computed it
+   before the query engine existed: raw report values via Net.result. *)
+let legacy_imbalance_samples (ls : Topology.leaf_spine) net sids =
+  List.concat_map
+    (fun sid ->
+      match Net.result net ~sid with
+      | Some snap when snap.Observer.complete ->
+          List.filter_map
+            (fun (leaf, ports) ->
+              let values =
+                List.filter_map
+                  (fun p ->
+                    match
+                      Unit_id.Map.find_opt
+                        (Unit_id.egress ~switch:leaf ~port:p)
+                        snap.Observer.reports
+                    with
+                    | Some r -> r.Report.value
+                    | None -> None)
+                  ports
+              in
+              if List.length values >= 2 then
+                Some (Descriptive.population_stddev (Array.of_list values) /. 1_000.)
+              else None)
+            ls.Topology.uplink_ports
+      | Some _ | None -> [])
+    sids
+
+let test_imbalance_matches_legacy_example () =
+  let ls, net, sids = lb_run () in
+  let legacy = Cdf.of_samples (Array.of_list (legacy_imbalance_samples ls net sids)) in
+  let canned =
+    Query.Canned.uplink_imbalance ~uplinks:ls.Topology.uplink_ports
+      (Query.of_net net ~sids)
+  in
+  Alcotest.(check int) "same sample count" (Cdf.size legacy) (Cdf.size canned);
+  Alcotest.(check bool) "samples not vacuous" true (Cdf.size canned > 0);
+  Alcotest.(check bool) "identical CDF, point for point" true
+    (Cdf.points legacy = Cdf.points canned);
+  (* ... and the same through a disk round-trip. *)
+  let dir = Filename.temp_file "sl-query-lb" "" in
+  Sys.remove dir;
+  let w = Store.Writer.create ~dir () in
+  List.iter (Store.Writer.append w) (Store.rounds_of_net net ~sids);
+  Store.Writer.close w;
+  let from_disk =
+    Query.Canned.uplink_imbalance ~uplinks:ls.Topology.uplink_ports
+      (Query.of_reader (Store.Reader.open_archive_exn dir))
+  in
+  Alcotest.(check bool) "identical after archive round-trip" true
+    (Cdf.points legacy = Cdf.points from_disk)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "round filters" `Quick test_round_filters;
+          Alcotest.test_case "values vs consistent values" `Quick
+            test_values_and_consistency;
+          Alcotest.test_case "grouping" `Quick test_grouping_and_aggregation;
+          Alcotest.test_case "aggregates" `Quick test_agg_functions;
+          Alcotest.test_case "series and diff" `Quick test_series_and_diff;
+        ] );
+      ( "canned",
+        [
+          Alcotest.test_case "queue concurrency" `Quick test_queue_concurrency;
+          Alcotest.test_case "incast episodes" `Quick test_incast_episodes;
+          Alcotest.test_case "causal violations" `Quick test_causal_violations;
+          Alcotest.test_case "uplink spearman" `Quick test_uplink_spearman;
+          Alcotest.test_case "flow transit" `Quick test_flow_transit;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "csv shapes" `Quick test_csv_shapes;
+          Alcotest.test_case "verdict labels" `Quick test_label_of_verdict;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "certified filter on a real run" `Quick
+            test_certified_filter_on_real_run;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "imbalance == legacy example" `Quick
+            test_imbalance_matches_legacy_example;
+        ] );
+    ]

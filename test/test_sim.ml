@@ -568,6 +568,60 @@ let test_shard_lookahead_required () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Pool: exception propagation *)
+
+exception Task_boom of int
+
+let test_pool_results_in_task_order () =
+  let tasks = Array.init 16 (fun i () -> i * i) in
+  Alcotest.(check (array int))
+    "results indexed by task" (Array.map (fun f -> f ()) tasks)
+    (Pool.run ~domains:4 tasks)
+
+let test_pool_propagates_task_exception () =
+  (* The real exception (payload included) must surface in the caller,
+     not an anonymous "task produced no result". *)
+  let ran = Array.make 8 false in
+  let tasks =
+    Array.init 8 (fun i () ->
+        ran.(i) <- true;
+        if i = 5 then raise (Task_boom i);
+        i)
+  in
+  (match Pool.run ~domains:4 tasks with
+  | exception Task_boom i -> Alcotest.(check int) "failing task's payload" 5 i
+  | exception e ->
+      Alcotest.failf "expected Task_boom, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "failing task must raise");
+  (* Remaining tasks still ran — one failure does not starve the rest. *)
+  Alcotest.(check (array bool)) "every task executed" (Array.make 8 true) ran
+
+let test_pool_first_failure_in_task_order () =
+  (* Two failing tasks: which exception wins must not depend on domain
+     scheduling — always the lowest task index. *)
+  for domains = 2 to 4 do
+    let tasks =
+      Array.init 12 (fun i () -> if i = 3 || i = 9 then raise (Task_boom i) else i)
+    in
+    match Pool.run ~domains tasks with
+    | exception Task_boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "first failure at %d domains" domains)
+          3 i
+    | exception e ->
+        Alcotest.failf "expected Task_boom, got %s" (Printexc.to_string e)
+    | _ -> Alcotest.fail "failing tasks must raise"
+  done
+
+let test_pool_sequential_exception () =
+  (* domains:1 takes the no-spawn path; same observable contract. *)
+  let tasks = Array.init 4 (fun i () -> if i = 2 then raise (Task_boom i) else i) in
+  match Pool.run ~domains:1 tasks with
+  | exception Task_boom i -> Alcotest.(check int) "payload" 2 i
+  | exception e -> Alcotest.failf "expected Task_boom, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "failing task must raise"
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -644,5 +698,16 @@ let () =
           Alcotest.test_case "ping-pong epochs" `Quick test_shard_ping_pong;
           Alcotest.test_case "error propagation" `Quick test_shard_error_propagates;
           Alcotest.test_case "lookahead required" `Quick test_shard_lookahead_required;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "results in task order" `Quick
+            test_pool_results_in_task_order;
+          Alcotest.test_case "propagates task exception" `Quick
+            test_pool_propagates_task_exception;
+          Alcotest.test_case "first failure in task order" `Quick
+            test_pool_first_failure_in_task_order;
+          Alcotest.test_case "sequential exception path" `Quick
+            test_pool_sequential_exception;
         ] );
     ]

@@ -1,0 +1,274 @@
+(* Tests for the on-disk snapshot archive: write/read round-trips, random
+   access, delta encoding, damage detection, and the determinism bar —
+   archives written at 1, 2 and 4 shards must be byte-identical. *)
+
+open Speedlight_sim
+open Speedlight_net
+open Speedlight_topology
+open Speedlight_workload
+open Speedlight_store
+open Speedlight_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing *)
+
+let fresh_dir name =
+  let f = Filename.temp_file ("sl-store-" ^ name) "" in
+  Sys.remove f;
+  f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let flip_byte path ~at =
+  let data = Bytes.of_string (read_file path) in
+  Bytes.set data at (Char.chr (Char.code (Bytes.get data at) lxor 0xFF));
+  write_file path (Bytes.to_string data)
+
+let archive_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+
+(* The sharded-equivalence testbed workload (cf. test_experiments), with
+   a store writer attached from the start: 5 snapshots over a 90 ms
+   uniform-traffic run. *)
+let capture ?(shards = 1) ?(segment_rounds = 32) ~seed ~dir () =
+  let cfg = Config.default |> Config.with_seed seed in
+  let host_link, fabric_link = Common.testbed_links ~scaled:true in
+  let ls = Topology.leaf_spine ~host_link ~fabric_link () in
+  let net = Net.create ~cfg ~shards ls.Topology.topo in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+    ~send:(Common.sender net) ~fids:(Traffic.flow_ids ())
+    ~hosts:(Array.to_list ls.Topology.host_of_server) ~rate_pps:20_000.
+    ~pkt_size:1500 ~until:(Time.ms 40);
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let w = Store.Writer.create ~segment_rounds ~dir () in
+  Store.Writer.attach w net;
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 20) ~interval:(Time.ms 6) ~count:5
+      ~run_until:(Time.ms 90)
+  in
+  (net, sids, w)
+
+let error_of path =
+  match Store.Reader.open_archive path with
+  | Ok _ -> Alcotest.failf "expected %s to be rejected" path
+  | Error e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip and random access *)
+
+let test_round_trip () =
+  let dir = fresh_dir "roundtrip" in
+  let net, sids, w = capture ~seed:7 ~dir () in
+  Store.Writer.close w;
+  let in_memory = Store.rounds_of_net net ~sids in
+  let r = Store.Reader.open_archive_exn dir in
+  let on_disk = Store.Reader.rounds r in
+  Alcotest.(check int) "every snapshot archived" (List.length in_memory)
+    (List.length on_disk);
+  Alcotest.(check bool) "some rounds" true (List.length on_disk > 0);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Format.asprintf "round %d round-trips bit-exactly" a.Store.sid)
+        true (Store.equal_round a b))
+    in_memory on_disk
+
+let test_random_access () =
+  let dir = fresh_dir "random" in
+  let _net, sids, w = capture ~seed:7 ~dir () in
+  Store.Writer.close w;
+  let r = Store.Reader.open_archive_exn dir in
+  Alcotest.(check (list int)) "sids preserved in order" sids (Store.Reader.sids r);
+  List.iter
+    (fun sid ->
+      match Store.Reader.find r ~sid with
+      | Some round -> Alcotest.(check int) "find returns the right round" sid round.Store.sid
+      | None -> Alcotest.failf "sid %d not found" sid)
+    sids;
+  Alcotest.(check bool) "unknown sid is None" true
+    (Store.Reader.find r ~sid:99_999 = None);
+  (* Time-range access: the middle snapshot alone. *)
+  let mid = List.nth (Store.Reader.rounds r) 2 in
+  let hits = Store.Reader.between r ~lo:mid.Store.fire_time ~hi:mid.Store.fire_time in
+  Alcotest.(check (list int)) "between [fire, fire] is exactly that round"
+    [ mid.Store.sid ]
+    (List.map (fun x -> x.Store.sid) hits);
+  let all = Store.Reader.between r ~lo:Time.zero ~hi:(Time.sec 10) in
+  Alcotest.(check int) "between everything" (Store.Reader.length r) (List.length all)
+
+let test_delta_encoding_and_segments () =
+  let dir = fresh_dir "delta" in
+  let _net, _sids, w = capture ~segment_rounds:2 ~seed:7 ~dir () in
+  Store.Writer.close w;
+  let r = Store.Reader.open_archive_exn dir in
+  let s = Store.Reader.stats r in
+  let n = Store.Reader.length r in
+  Alcotest.(check int) "segments roll every 2 rounds" ((n + 1) / 2) s.Store.segments;
+  (* Each segment restarts the delta chain with one full round; the rest
+     are XOR deltas. *)
+  Alcotest.(check int) "one full round per segment" s.Store.segments s.Store.full_rounds;
+  Alcotest.(check int) "everything else delta-encoded" (n - s.Store.segments)
+    s.Store.delta_rounds;
+  Alcotest.(check bool) "bytes accounted" true (s.Store.bytes > 0)
+
+let test_labels_round_trip () =
+  let dir = fresh_dir "labels" in
+  let _net, sids, w = capture ~seed:7 ~dir () in
+  let first = List.hd sids in
+  Store.Writer.set_label w ~sid:first Store.Certified;
+  Store.Writer.set_label w ~sid:(List.nth sids 1) Store.Over_conservative;
+  Store.Writer.close w;
+  let r = Store.Reader.open_archive_exn dir in
+  Alcotest.(check string) "labeled certified" "certified"
+    (Store.label_name (Store.Reader.label_of r ~sid:first));
+  Alcotest.(check string) "labeled over-conservative" "over-conservative"
+    (Store.label_name (Store.Reader.label_of r ~sid:(List.nth sids 1)));
+  Alcotest.(check string) "unlabeled rounds stay unaudited" "unaudited"
+    (Store.label_name (Store.Reader.label_of r ~sid:(List.nth sids 2)))
+
+let test_empty_archive () =
+  let dir = fresh_dir "empty" in
+  let w = Store.Writer.create ~dir () in
+  Store.Writer.close w;
+  let r = Store.Reader.open_archive_exn dir in
+  Alcotest.(check int) "no rounds" 0 (Store.Reader.length r)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: shard-count independence, byte for byte *)
+
+let test_shard_byte_identity () =
+  let bytes_of shards =
+    let dir = fresh_dir (Printf.sprintf "shards%d" shards) in
+    let _net, _sids, w = capture ~shards ~seed:7 ~dir () in
+    Store.Writer.close w;
+    ( dir,
+      List.map (fun f -> (f, read_file (Filename.concat dir f))) (archive_files dir)
+    )
+  in
+  let _d1, b1 = bytes_of 1 in
+  let _d2, b2 = bytes_of 2 in
+  let _d4, b4 = bytes_of 4 in
+  Alcotest.(check (list string)) "same file set (1 vs 2)" (List.map fst b1)
+    (List.map fst b2);
+  Alcotest.(check (list string)) "same file set (1 vs 4)" (List.map fst b1)
+    (List.map fst b4);
+  List.iter2
+    (fun (f, a) (_, b) ->
+      Alcotest.(check bool) (f ^ " byte-identical at 2 shards") true (String.equal a b))
+    b1 b2;
+  List.iter2
+    (fun (f, a) (_, b) ->
+      Alcotest.(check bool) (f ^ " byte-identical at 4 shards") true (String.equal a b))
+    b1 b4;
+  (* ... and seed-sensitive, so the check is not vacuous. *)
+  let dir' = fresh_dir "seed8" in
+  let _net, _sids, w = capture ~seed:8 ~dir:dir' () in
+  Store.Writer.close w;
+  let seg = "seg-000000.slseg" in
+  Alcotest.(check bool) "different seed, different bytes" false
+    (String.equal (List.assoc seg b1) (read_file (Filename.concat dir' seg)))
+
+(* ------------------------------------------------------------------ *)
+(* Damage detection *)
+
+let seg0 dir = Filename.concat dir "seg-000000.slseg"
+
+let damaged_archive name =
+  let dir = fresh_dir name in
+  let _net, _sids, w = capture ~seed:7 ~dir () in
+  Store.Writer.close w;
+  dir
+
+let test_truncation_detected () =
+  let dir = damaged_archive "trunc" in
+  let data = read_file (seg0 dir) in
+  write_file (seg0 dir) (String.sub data 0 (String.length data - 5));
+  match error_of dir with
+  | Store.Truncated _ -> ()
+  | e -> Alcotest.failf "expected Truncated, got %s" (Store.error_to_string e)
+
+let test_corruption_detected () =
+  let dir = damaged_archive "corrupt" in
+  (* Flip a byte inside the first round block's payload: the block CRC
+     must catch it. *)
+  flip_byte (seg0 dir) ~at:12;
+  match error_of dir with
+  | Store.Checksum_mismatch _ -> ()
+  | e -> Alcotest.failf "expected Checksum_mismatch, got %s" (Store.error_to_string e)
+
+let test_bad_magic_detected () =
+  let dir = damaged_archive "magic" in
+  flip_byte (seg0 dir) ~at:0;
+  match error_of dir with
+  | Store.Bad_magic _ -> ()
+  | e -> Alcotest.failf "expected Bad_magic, got %s" (Store.error_to_string e)
+
+let test_sidecar_damage_detected () =
+  let dir = damaged_archive "sidecar" in
+  let audit = Filename.concat dir "audit.slx" in
+  flip_byte audit ~at:8;
+  match error_of dir with
+  | Store.Checksum_mismatch _ | Store.Corrupt _ | Store.Truncated _ -> ()
+  | e -> Alcotest.failf "expected sidecar damage error, got %s" (Store.error_to_string e)
+
+let test_not_an_archive () =
+  (match Store.Reader.open_archive "/nonexistent/sl-archive" with
+  | Error (Store.Not_an_archive _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "opened a nonexistent archive");
+  let dir = fresh_dir "notarchive" in
+  Sys.mkdir dir 0o755;
+  match Store.Reader.open_archive dir with
+  | Error (Store.Not_an_archive _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "opened an empty directory as an archive"
+
+let test_error_printing () =
+  List.iter
+    (fun e -> Alcotest.(check bool) "printable" true (String.length (Store.error_to_string e) > 0))
+    [
+      Store.Not_an_archive { path = "p" };
+      Store.Bad_magic { file = "f" };
+      Store.Unsupported_version { file = "f"; version = 9 };
+      Store.Truncated { file = "f"; at = 3 };
+      Store.Checksum_mismatch { file = "f"; at = 3 };
+      Store.Corrupt { file = "f"; reason = "r" };
+    ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "archive",
+        [
+          Alcotest.test_case "write/read round-trip" `Quick test_round_trip;
+          Alcotest.test_case "random access by sid and time" `Quick test_random_access;
+          Alcotest.test_case "delta encoding and segment rolling" `Quick
+            test_delta_encoding_and_segments;
+          Alcotest.test_case "audit labels round-trip" `Quick test_labels_round_trip;
+          Alcotest.test_case "empty archive" `Quick test_empty_archive;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "1/2/4 shards byte-identical" `Quick
+            test_shard_byte_identity;
+        ] );
+      ( "damage",
+        [
+          Alcotest.test_case "truncation" `Quick test_truncation_detected;
+          Alcotest.test_case "flipped byte" `Quick test_corruption_detected;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic_detected;
+          Alcotest.test_case "sidecar damage" `Quick test_sidecar_damage_detected;
+          Alcotest.test_case "not an archive" `Quick test_not_an_archive;
+          Alcotest.test_case "error printing" `Quick test_error_printing;
+        ] );
+    ]

@@ -128,6 +128,37 @@ let test_routing_path_lengths () =
   Alcotest.(check int) "from own leaf = 1" 1
     (Routing.path_length r ~switch:leaf1 ~dst_host:h3)
 
+let test_routing_partitioned_typed_error () =
+  (* Two islands: switches 0 and 1 are never connected, one host on each.
+     Routing from switch 0 to the host behind switch 1 is impossible, and
+     the failure must be the typed Host_unreachable — not an anonymous
+     Failure — raised before any simulation starts. *)
+  let b = Topology.Builder.create () in
+  let s0 = Topology.Builder.add_switch b ~n_ports:1 in
+  let s1 = Topology.Builder.add_switch b ~n_ports:1 in
+  let h0 = Topology.Builder.add_host b in
+  let h1 = Topology.Builder.add_host b in
+  Topology.Builder.attach_host b ~host:h0 ~switch:s0 ~port:0;
+  Topology.Builder.attach_host b ~host:h1 ~switch:s1 ~port:0;
+  let t = Topology.Builder.build b in
+  (match Routing.compute t with
+  | exception Routing.Host_unreachable { host; switch } ->
+      (* BFS visits hosts in order, so host 0 seen from the island that
+         cannot reach it is reported first. *)
+      Alcotest.(check int) "unreachable host" h0 host;
+      Alcotest.(check int) "from the other island" s1 switch
+  | exception e ->
+      Alcotest.failf "expected Host_unreachable, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "partitioned topology must not route");
+  (* The exception pretty-prints via the registered printer. *)
+  match Routing.compute t with
+  | exception e ->
+      let s = Printexc.to_string e in
+      Alcotest.(check bool) "printer names the error" true
+        (String.length s > 0
+        && String.sub s 0 (min 25 (String.length s)) <> "Fatal error")
+  | _ -> Alcotest.fail "unreachable"
+
 let test_fat_tree_routing_ecmp_width () =
   let ft = Topology.fat_tree ~k:4 () in
   let r = Routing.compute ft.Topology.ft_topo in
@@ -298,6 +329,8 @@ let () =
           Alcotest.test_case "local delivery" `Quick test_routing_local_delivery;
           Alcotest.test_case "ECMP sets" `Quick test_routing_ecmp_sets;
           Alcotest.test_case "path lengths" `Quick test_routing_path_lengths;
+          Alcotest.test_case "partitioned topology is a typed error" `Quick
+            test_routing_partitioned_typed_error;
         ] );
       ( "selector",
         [
