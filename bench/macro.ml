@@ -39,6 +39,8 @@ type result = {
   snapshots_per_sec : float;
   digest : string;
   metrics : Metrics.t;
+  part : Partition.report option;
+  stats : Shard.stats option;
 }
 
 (* [fat_tree:false] is the paper's 4-switch leaf–spine testbed — the
@@ -66,6 +68,7 @@ let run ~quick ~fat_tree ~domains =
   in
   let metrics = Metrics.create () in
   Net.register_metrics net metrics;
+  Net.set_epoch_timing net true;
   let engine = Net.engine net in
   let rng = Net.fresh_rng net in
   let fids = Traffic.flow_ids () in
@@ -115,9 +118,36 @@ let run ~quick ~fat_tree ~domains =
     snapshots_per_sec = float_of_int snapshots_complete /. wall_s;
     digest = Common.run_digest net ~sids;
     metrics;
+    part = Net.partition_report net;
+    stats = Net.shard_stats net;
   }
 
-let sharded_entry ~base r =
+(* One point of the speedup curve. Partition quality comes from
+   [Net.partition_report]; epoch statistics from the accumulated
+   [Net.shard_stats] of the run ([avg_epoch_us] is simulated time per
+   ordinary epoch; [barrier_wait_frac] the fraction of total worker
+   wall time spent parked at barriers). The 1-domain point reports the
+   serial path: no partition, no epochs. *)
+let speedup_entry ~base r =
+  let cut_edges, cut_w, seed_w =
+    match r.part with
+    | Some (p : Partition.report) ->
+        (p.Partition.cut_edges, p.Partition.cut_weight, p.Partition.seed_cut_weight)
+    | None -> (0, 0, 0)
+  in
+  let epochs, global_rounds, avg_epoch_us, barrier_frac =
+    match r.stats with
+    | Some (s : Shard.stats) when s.Shard.epochs > 0 ->
+        let sim_ns = 1e6 *. float_of_int (r.sim_ms + 20) in
+        ( s.Shard.epochs,
+          s.Shard.global_rounds,
+          sim_ns /. (1e3 *. float_of_int s.Shard.epochs),
+          if s.Shard.wall_ns > 0. then
+            s.Shard.barrier_wait_ns
+            /. (s.Shard.wall_ns *. float_of_int s.Shard.workers)
+          else 0. )
+    | _ -> (0, 0, 0., 0.)
+  in
   Printf.sprintf
     "    {\n\
     \      \"domains\": %d,\n\
@@ -125,11 +155,50 @@ let sharded_entry ~base r =
     \      \"serial_wall_s\": %.3f,\n\
     \      \"speedup\": %.3f,\n\
     \      \"events_per_sec\": %.0f,\n\
+    \      \"cut_edges\": %d,\n\
+    \      \"cut_weight\": %d,\n\
+    \      \"seed_cut_weight\": %d,\n\
+    \      \"epochs\": %d,\n\
+    \      \"global_rounds\": %d,\n\
+    \      \"avg_epoch_us\": %.1f,\n\
+    \      \"barrier_wait_frac\": %.3f,\n\
     \      \"identical\": %b\n\
     \    }"
     r.domains r.wall_s base.wall_s (base.wall_s /. r.wall_s)
-    r.events_per_sec
+    r.events_per_sec cut_edges cut_w seed_w epochs global_rounds avg_epoch_us
+    barrier_frac
     (String.equal r.digest base.digest)
+
+(* Perf floor on the 2-domain point: with real cores available, sharding
+   must not be slower than 0.95x serial, or the parallel backend has
+   regressed into pure overhead. Skipped on a 1-core host (domains
+   time-slice; the number would only measure barrier overhead) and when
+   SPEEDLIGHT_SPEEDUP_GATE=0 (local runs on loaded machines). *)
+let speedup_floor = 0.95
+
+let check_speedup_gate ~base sweep =
+  let cores = Domain.recommended_domain_count () in
+  let gate_on = Sys.getenv_opt "SPEEDLIGHT_SPEEDUP_GATE" <> Some "0" in
+  if cores < 2 then
+    Printf.printf
+      "  speedup gate: skipped (1 usable core; domains would time-slice)\n"
+  else if not gate_on then
+    Printf.printf "  speedup gate: disabled (SPEEDLIGHT_SPEEDUP_GATE=0)\n"
+  else
+    match List.find_opt (fun r -> r.domains = 2) sweep with
+    | None -> ()
+    | Some r ->
+        let speedup = base.wall_s /. r.wall_s in
+        if speedup < speedup_floor then begin
+          Printf.eprintf
+            "macro: 2-domain speedup %.3fx below the %.2fx floor on a \
+             %d-core host\n"
+            speedup speedup_floor cores;
+          exit 1
+        end
+        else
+          Printf.printf "  speedup gate: ok (2 domains %.2fx >= %.2fx)\n"
+            speedup speedup_floor
 
 (* Disabled-tracing overhead probe. The instrumentation contract is
    that with no recorder attached every trace site costs a single
@@ -247,7 +316,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead =
     \    \"budget_frac\": %.2f\n\
     \  },\n\
     \  \"metrics\": %s,\n\
-    \  \"sharded\": [\n%s\n  ],\n\
+    \  \"speedup_curve\": [\n%s\n  ],\n\
     \  \"chaos\": [\n%s\n  ]\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
@@ -255,7 +324,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead =
     serial.packets_per_sec serial.events_per_sec serial.snapshots_per_sec
     overhead.ns_per_site overhead.sites overhead.frac overhead_budget
     metrics_json
-    (String.concat ",\n" (List.map (sharded_entry ~base) sharded))
+    (String.concat ",\n" (List.map (speedup_entry ~base) sharded))
     (String.concat ",\n" (List.map chaos_entry chaos))
 
 let () =
@@ -290,9 +359,20 @@ let () =
     serial.snapshots_per_sec serial.snapshots_complete serial.snapshots_taken;
   List.iter
     (fun r ->
+      let cut =
+        match r.part with
+        | Some p -> Printf.sprintf "cut %d/%dw" p.Partition.cut_edges p.Partition.cut_weight
+        | None -> "serial"
+      in
+      let ep =
+        match r.stats with
+        | Some s when s.Shard.epochs > 0 ->
+            Printf.sprintf "%d epochs" s.Shard.epochs
+        | _ -> "-"
+      in
       Printf.printf
-        "  sharded (fat tree k=4) d=%d: %.2fs wall | speedup %.2fx | identical=%b\n"
-        r.domains r.wall_s (base.wall_s /. r.wall_s)
+        "  sharded (fat tree k=4) d=%d: %.2fs wall | speedup %.2fx | %s | %s | identical=%b\n"
+        r.domains r.wall_s (base.wall_s /. r.wall_s) cut ep
         (String.equal r.digest base.digest))
     sweep;
   (* Divergence between sharded and serial is a correctness bug, not a
@@ -302,6 +382,7 @@ let () =
     prerr_endline "macro: sharded run diverged from serial";
     exit 1
   end;
+  check_speedup_gate ~base sweep;
   List.iter
     (fun (p : Chaos.point) ->
       Printf.printf

@@ -138,7 +138,11 @@ type t = {
   engines : Engine.t array;
   n_shards : int;
   shard_of : int array;  (* switch -> shard *)
-  lookahead : Time.t;  (* conservative window; 0 when n_shards = 1 *)
+  lookahead : Time.t;  (* smallest matrix entry; 0 when n_shards = 1 *)
+  la_matrix : Shard.Lookahead.t option;  (* directional; sharded mode only *)
+  part_report : Partition.report option;  (* sharded mode only *)
+  mutable shard_stats : Shard.stats;  (* accumulated over run_until calls *)
+  mutable timed_epochs : bool;  (* measure barrier waits in sharded runs *)
   mailboxes : msg Mailbox.t array array;  (* [producer].[consumer] *)
   master_rng : Rng.t;
   topo : Topology.t;
@@ -238,35 +242,75 @@ let switch_edges topo =
   done;
   !acc
 
-(* The conservative window: the smallest delay any cross-shard
-   interaction can have. Candidates: cut wire links, host NIC links whose
-   attachment switch left shard 0, and the observer<->CP control channels
-   (which exist for every off-zero control plane). *)
-let compute_lookahead (cfg : Config.t) topo ~shard_of ~edges =
-  let cand = ref [] in
-  (match Partition.cross_lookahead ~assign:shard_of ~edges with
-  | Some l -> cand := l :: !cand
-  | None -> ());
+(* Undirected switch-switch edges, weighted by expected communication
+   volume (link bandwidth in Gb/s, floored at 1) — the cost function the
+   partitioner minimizes across the cut. A 100 G fabric link costs 100x
+   a 1 G edge link, so the refinement pass pushes the cut onto the
+   cheapest (least-trafficked) links. *)
+let switch_comm_edges topo =
+  let acc = ref [] in
+  for s = 0 to Topology.n_switches topo - 1 do
+    List.iter
+      (fun (p, s', _p') ->
+        if s < s' then
+          let w =
+            match Topology.link_of topo ~switch:s ~port:p with
+            | Some l -> 1 + int_of_float (l.Topology.bandwidth_bps /. 1e9)
+            | None -> 1
+          in
+          acc := (s, s', w) :: !acc)
+      (Topology.switch_neighbors topo s)
+  done;
+  !acc
+
+(* Directional lookahead matrix: L(j,i) is the smallest delay any
+   message from shard j to shard i can have. The producer->consumer
+   channels are exactly: cut wire links (both directions), host NIC
+   links whose attachment switch left shard 0 (the workload sends from
+   shard 0), the observer->CP command channel (0 -> CP shard) and the
+   CP->observer report channel (CP shard -> 0), which exist for every
+   off-zero control plane. Pairs with no channel stay [None]: their
+   epochs are unconstrained by each other. *)
+let compute_lookahead_matrix (cfg : Config.t) topo ~shard_of ~n_shards ~edges =
+  let m = Array.make_matrix n_shards n_shards None in
+  let any = ref false in
+  let upd j i l =
+    if j <> i then begin
+      any := true;
+      if l <= 0 then
+        invalid_arg
+          "Net.create: sharding needs positive delay on every cross-shard \
+           channel (zero-latency cut link?)";
+      match m.(j).(i) with
+      | Some x when x <= l -> ()
+      | _ -> m.(j).(i) <- Some l
+    end
+  in
+  List.iter
+    (fun (u, v, l) ->
+      let a = shard_of.(u) and b = shard_of.(v) in
+      if a <> b then begin
+        upd a b l;
+        upd b a l
+      end)
+    edges;
   for h = 0 to Topology.n_hosts topo - 1 do
     let sw, port = Topology.host_attachment topo ~host:h in
     if shard_of.(sw) <> 0 then
       match Topology.link_of topo ~switch:sw ~port with
-      | Some l -> cand := l.Topology.latency :: !cand
+      | Some l -> upd 0 shard_of.(sw) l.Topology.latency
       | None -> ()
   done;
-  if Array.exists (fun s -> s <> 0) shard_of then begin
-    cand := cfg.Config.cmd_latency :: !cand;
-    cand := cfg.Config.report_latency :: !cand
-  end;
-  match !cand with
-  | [] -> invalid_arg "Net.create: sharded run with no cross-shard interaction"
-  | l :: ls ->
-      let la = List.fold_left Time.min l ls in
-      if la <= 0 then
-        invalid_arg
-          "Net.create: sharding needs positive delay on every cross-shard \
-           channel (zero-latency cut link?)";
-      la
+  for s = 0 to Topology.n_switches topo - 1 do
+    let k = shard_of.(s) in
+    if k <> 0 then begin
+      upd 0 k cfg.Config.cmd_latency;
+      upd k 0 cfg.Config.report_latency
+    end
+  done;
+  if not !any then
+    invalid_arg "Net.create: sharded run with no cross-shard interaction";
+  Shard.Lookahead.of_matrix m
 
 (* Deliver a drained cross-shard message into consumer shard [j]. *)
 let deliver_msg engines j = function
@@ -367,12 +411,27 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
   let edges = switch_edges topo in
   let shard_of =
     if shards <= 1 then Array.make n_sw 0
-    else Partition.compute ~n_nodes:n_sw ~edges ~parts:shards
+    else
+      Partition.compute_refined ~n_nodes:n_sw
+        ~edges:(switch_comm_edges topo) ~parts:shards
   in
   let n_shards = 1 + Array.fold_left Stdlib.max 0 shard_of in
+  let la_matrix =
+    if n_shards = 1 then None
+    else Some (compute_lookahead_matrix cfg topo ~shard_of ~n_shards ~edges)
+  in
   let lookahead =
-    if n_shards = 1 then Time.zero
-    else compute_lookahead cfg topo ~shard_of ~edges
+    match la_matrix with
+    | None -> Time.zero
+    | Some la -> (
+        match Shard.Lookahead.min_value la with Some l -> l | None -> Time.zero)
+  in
+  let part_report =
+    if n_shards = 1 then None
+    else
+      Some
+        (Partition.quality ~n_nodes:n_sw ~edges:(switch_comm_edges topo)
+           ~parts:n_shards ~assign:shard_of)
   in
   (* Pre-size the event queues: steady state holds a few events per port. *)
   let engines = Array.init n_shards (fun _ -> Engine.create ~capacity:1024 ()) in
@@ -496,6 +555,10 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       n_shards;
       shard_of;
       lookahead;
+      la_matrix;
+      part_report;
+      shard_stats = Shard.no_stats;
+      timed_epochs = false;
       mailboxes;
       master_rng;
       topo;
@@ -840,6 +903,9 @@ let now t = Engine.now t.engines.(0)
 let n_shards t = t.n_shards
 let shard_of_switch t s = t.shard_of.(s)
 let lookahead t = if t.n_shards = 1 then None else Some t.lookahead
+let partition_report t = t.part_report
+let shard_stats t = if t.n_shards = 1 then None else Some t.shard_stats
+let set_epoch_timing t on = t.timed_epochs <- on
 let topology t = t.topo
 let routing t = t.routing
 let cfg t = t.cfg
@@ -873,23 +939,39 @@ let schedule_global t ~at run =
 
 let run_until t deadline =
   if t.n_shards = 1 then Engine.run_until t.engines.(0) deadline
-  else
+  else begin
     let on_epoch =
       if Trace.enabled t.tr_epoch then (fun b ->
         Trace.emit t.tr_epoch ~at:b (Trace.Epoch { shard = 0; bound = b }))
       else ignore
     in
-    Shard.run_until ~on_epoch ~engines:t.engines ~lookahead:t.lookahead ~deadline
-      ~drain:(fun j -> drain_shard t j)
-      ~next_global:(fun () ->
-        match t.globals with [] -> None | g :: _ -> Some g.g_at)
-      ~run_global:(fun () ->
-        match t.globals with
-        | [] -> invalid_arg "Net: no pending global action"
-        | g :: rest ->
-            t.globals <- rest;
-            g.g_run ())
-      ()
+    let lookahead =
+      match t.la_matrix with Some la -> la | None -> assert false
+    in
+    let s =
+      Shard.run_until ~on_epoch ~timed:t.timed_epochs ~engines:t.engines
+        ~lookahead ~deadline
+        ~drain:(fun j -> drain_shard t j)
+        ~next_global:(fun () ->
+          match t.globals with [] -> None | g :: _ -> Some g.g_at)
+        ~run_global:(fun () ->
+          match t.globals with
+          | [] -> invalid_arg "Net: no pending global action"
+          | g :: rest ->
+              t.globals <- rest;
+              g.g_run ())
+        ()
+    in
+    let acc = t.shard_stats in
+    t.shard_stats <-
+      {
+        Shard.epochs = acc.Shard.epochs + s.Shard.epochs;
+        global_rounds = acc.Shard.global_rounds + s.Shard.global_rounds;
+        wall_ns = acc.Shard.wall_ns +. s.Shard.wall_ns;
+        barrier_wait_ns = acc.Shard.barrier_wait_ns +. s.Shard.barrier_wait_ns;
+        workers = s.Shard.workers;
+      }
+  end
 
 let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
   if src = dst then invalid_arg "Net.send: src = dst";

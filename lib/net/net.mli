@@ -68,7 +68,22 @@ val run_until : t -> Time.t -> unit
 val n_shards : t -> int
 val shard_of_switch : t -> int -> int
 val lookahead : t -> Time.t option
-(** The conservative window of a sharded net; [None] when serial. *)
+(** The conservative window of a sharded net (smallest entry of the
+    directional lookahead matrix); [None] when serial. *)
+
+val partition_report : t -> Speedlight_sim.Partition.report option
+(** Quality report of the communication-aware switch partition
+    (cut edges, cut weight, BFS-seed baseline); [None] when serial. *)
+
+val shard_stats : t -> Speedlight_sim.Shard.stats option
+(** Cumulative epoch-loop statistics over every {!run_until} call so far
+    (epochs, global rounds, wall time, barrier wait when enabled);
+    [None] when serial. *)
+
+val set_epoch_timing : t -> bool -> unit
+(** Enable per-worker barrier-wait measurement for subsequent sharded
+    {!run_until} calls (two clock reads per barrier crossing; off by
+    default). No effect on serial nets. *)
 
 val schedule_global : t -> at:Time.t -> (unit -> unit) -> unit
 (** Schedule an action that must observe the whole network at once (e.g.

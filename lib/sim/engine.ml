@@ -44,7 +44,7 @@ type t = {
   mutable processed : int;
   mutable free : event;
   mutable src_cnt : int array;  (* per stable source: events scheduled *)
-  queue : (unit -> unit) Heap.t;
+  queue : (unit -> unit) Calq.t;
   (* Observation hook run once per dispatched event (tracing/metrics);
      [None] in steady state — the dispatch loops pay one branch. *)
   mutable on_dispatch : (unit -> unit) option;
@@ -66,7 +66,7 @@ let create ?capacity () =
     processed = 0;
     free = sentinel;
     src_cnt = [||];
-    queue = Heap.create ?capacity ();
+    queue = Calq.create ?capacity ();
     on_dispatch = None;
   }
 
@@ -79,7 +79,7 @@ let[@inline] dispatched t =
   match t.on_dispatch with None -> () | Some h -> h ()
 
 let enqueue t ~at g =
-  Heap.push t.queue ~key:at ~seq:(anon_base lor t.seq) g;
+  Calq.push t.queue ~key:at ~seq:(anon_base lor t.seq) g;
   t.seq <- t.seq + 1
 
 let sub_of_src t src =
@@ -98,7 +98,7 @@ let sub_of_src t src =
   Array.unsafe_set t.src_cnt src (c + 1);
   (src lsl src_shift) lor c
 
-let enqueue_src t ~src ~at g = Heap.push t.queue ~key:at ~seq:(sub_of_src t src) g
+let enqueue_src t ~src ~at g = Calq.push t.queue ~key:at ~seq:(sub_of_src t src) g
 
 (* Fast paths: the closure goes into the heap directly. *)
 
@@ -167,13 +167,13 @@ let schedule_after t ~delay f =
   schedule t ~at:(t.clock + delay) f
 
 let cancel h = if h.h_ev.gen = h.h_gen then h.h_ev.cancelled <- true
-let pending t = Heap.length t.queue
+let pending t = Calq.length t.queue
 
 let step t =
-  if Heap.is_empty t.queue then false
+  if Calq.is_empty t.queue then false
   else begin
-    t.clock <- Heap.top_key t.queue;
-    let g = Heap.pop_top t.queue in
+    t.clock <- Calq.top_key t.queue;
+    let g = Calq.pop_top t.queue in
     dispatched t;
     g ();
     true
@@ -186,13 +186,13 @@ let run_until t deadline =
   let q = t.queue in
   let continue = ref true in
   while !continue do
-    if Heap.is_empty q then continue := false
+    if Calq.is_empty q then continue := false
     else begin
-      let k = Heap.top_key q in
+      let k = Calq.top_key q in
       if k > deadline then continue := false
       else begin
         t.clock <- k;
-        let g = Heap.pop_top q in
+        let g = Calq.pop_top q in
         dispatched t;
         g ()
       end
@@ -209,18 +209,18 @@ let run_until_excl t bound =
   let q = t.queue in
   let continue = ref true in
   while !continue do
-    if Heap.is_empty q then continue := false
+    if Calq.is_empty q then continue := false
     else begin
-      let k = Heap.top_key q in
+      let k = Calq.top_key q in
       if k >= bound then continue := false
       else begin
         t.clock <- k;
-        let g = Heap.pop_top q in
+        let g = Calq.pop_top q in
         dispatched t;
         g ()
       end
     end
   done
 
-let next_key t = Heap.peek_key t.queue
+let next_key t = Calq.peek_key t.queue
 let advance_clock t deadline = if deadline > t.clock then t.clock <- deadline

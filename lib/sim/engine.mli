@@ -18,7 +18,7 @@ type handle
 
 val create : ?capacity:int -> unit -> t
 (** [create ?capacity ()] pre-sizes the event queue for [capacity]
-    simultaneous pending events (see {!Heap.create}). *)
+    simultaneous pending events (see {!Calq.create}). *)
 
 val now : t -> Time.t
 (** Current simulated time. *)

@@ -187,6 +187,23 @@ let pop t =
 
 let peek_key t = if t.size = 0 then None else Some t.keys.(0)
 
+(* Visit every element in arbitrary (array) order, then empty the heap.
+   O(n) — no sifting — which is what makes bulk redistribution into a
+   calendar structure ({!Calq}) cheap. *)
+let drain_unordered t f =
+  for i = 0 to t.size - 1 do
+    f ~key:(Array.unsafe_get t.keys i) ~seq:(Array.unsafe_get t.seqs i)
+      (Array.unsafe_get t.slots (Array.unsafe_get t.pos_slot i))
+  done;
+  let cap = Array.length t.keys in
+  if Array.length t.slots > 0 then
+    Array.fill t.slots 0 (Array.length t.slots) t.slots.(0);
+  for i = 0 to cap - 1 do
+    t.free.(i) <- i
+  done;
+  t.n_free <- cap;
+  t.size <- 0
+
 let clear t =
   (* Keep the backing arrays: a cleared heap that is refilled must not
      re-pay the growth sequence. References in [slots] are collapsed onto

@@ -49,5 +49,10 @@ val pop_top : 'a t -> 'a
 val peek_key : 'a t -> int option
 (** The minimum primary key without removing it. *)
 
+val drain_unordered : 'a t -> (key:int -> seq:int -> 'a -> unit) -> unit
+(** Visit every element in unspecified order, then empty the heap (as
+    {!clear}). O(n): used for bulk redistribution between queue
+    structures. The callback must not mutate this heap. *)
+
 val clear : 'a t -> unit
 (** Empty the heap, keeping the backing capacity for reuse. *)

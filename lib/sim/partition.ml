@@ -61,6 +61,78 @@ let compute ~n_nodes ~edges ~parts =
   done;
   assign
 
+let cut_weight ~assign ~edges =
+  List.fold_left
+    (fun acc (u, v, w) -> if assign.(u) <> assign.(v) then acc + w else acc)
+    0 edges
+
+(* Kernighan–Lin-style boundary refinement of a seed assignment.
+
+   Greedy single-node moves: a node moves to the neighboring part with
+   the largest strictly positive gain (external weight toward the target
+   part minus internal weight in its current part), subject to balance
+   bounds that keep every part within a small slack of the even split —
+   and in particular never empty. Only strictly improving moves are
+   accepted, so the cut weight decreases monotonically and the refined
+   cut is never worse than the seed's; nodes are scanned in ascending id
+   and candidate parts in ascending id, so the result is a pure function
+   of the graph, like the seed. Passes repeat until a fixpoint (bounded
+   as a safety net; the strict decrease already forces termination). *)
+let refine ~n_nodes ~edges ~parts assign =
+  if parts <= 1 then assign
+  else begin
+    let adj = Array.make n_nodes [] in
+    List.iter
+      (fun (u, v, w) ->
+        if u <> v then begin
+          adj.(u) <- (v, w) :: adj.(u);
+          adj.(v) <- (u, w) :: adj.(v)
+        end)
+      edges;
+    let sizes = Array.make parts 0 in
+    Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) assign;
+    (* Balance slack: an eighth of the even share, at least one node. *)
+    let slack = Stdlib.max 1 (n_nodes / (8 * parts)) in
+    let lo = Stdlib.max 1 ((n_nodes / parts) - slack) in
+    let hi = ((n_nodes + parts - 1) / parts) + slack in
+    let w_to = Array.make parts 0 in
+    let improved = ref true in
+    let passes = ref 0 in
+    while !improved && !passes < 64 do
+      improved := false;
+      incr passes;
+      for v = 0 to n_nodes - 1 do
+        let a = assign.(v) in
+        if sizes.(a) > lo && adj.(v) <> [] then begin
+          List.iter (fun (u, w) -> w_to.(assign.(u)) <- w_to.(assign.(u)) + w) adj.(v);
+          let internal = w_to.(a) in
+          let best = ref a and best_gain = ref 0 in
+          for p = 0 to parts - 1 do
+            if p <> a && sizes.(p) < hi then begin
+              let gain = w_to.(p) - internal in
+              if gain > !best_gain then begin
+                best := p;
+                best_gain := gain
+              end
+            end
+          done;
+          List.iter (fun (u, _) -> w_to.(assign.(u)) <- 0) adj.(v);
+          if !best_gain > 0 then begin
+            sizes.(a) <- sizes.(a) - 1;
+            sizes.(!best) <- sizes.(!best) + 1;
+            assign.(v) <- !best;
+            improved := true
+          end
+        end
+      done
+    done;
+    assign
+  end
+
+let compute_refined ~n_nodes ~edges ~parts =
+  let assign = compute ~n_nodes ~edges ~parts in
+  refine ~n_nodes ~edges ~parts:(Stdlib.min parts n_nodes) assign
+
 let cross_lookahead ~assign ~edges =
   List.fold_left
     (fun acc (u, v, w) ->
@@ -73,3 +145,24 @@ let n_cross ~assign ~edges =
   List.fold_left
     (fun acc (u, v, _) -> if assign.(u) <> assign.(v) then acc + 1 else acc)
     0 edges
+
+type report = {
+  parts : int;
+  sizes : int array;
+  cut_edges : int;
+  cut_weight : int;
+  seed_cut_weight : int;
+}
+
+let quality ~n_nodes ~edges ~parts ~assign =
+  let parts = Stdlib.min parts n_nodes in
+  let sizes = Array.make parts 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) assign;
+  let seed = compute ~n_nodes ~edges ~parts in
+  {
+    parts;
+    sizes;
+    cut_edges = n_cross ~assign ~edges;
+    cut_weight = cut_weight ~assign ~edges;
+    seed_cut_weight = cut_weight ~assign:seed ~edges;
+  }

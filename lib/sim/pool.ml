@@ -10,7 +10,22 @@ let env_domains () =
   match Sys.getenv_opt "SPEEDLIGHT_DOMAINS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
+      | Some n when n >= 1 ->
+          (* More domains than cores cannot help (tasks are CPU-bound)
+             and silently produces misleading speedup numbers on small
+             hosts, so clamp — loudly, once. *)
+          let cores = Domain.recommended_domain_count () in
+          if n > cores then begin
+            Printf.eprintf
+              "speedlight: SPEEDLIGHT_DOMAINS=%d exceeds this host's %d \
+               usable core%s; clamping to %d\n\
+               %!"
+              n cores
+              (if cores = 1 then "" else "s")
+              cores;
+            Some cores
+          end
+          else Some n
       | Some _ | None -> None)
   | None -> None
 

@@ -8,8 +8,10 @@
 
 val default_domains : unit -> int
 (** The process-wide default parallelism: [SPEEDLIGHT_DOMAINS] when set
-    (clamped to >= 1), otherwise [Domain.recommended_domain_count]
-    capped at 8. *)
+    (clamped to [1, Domain.recommended_domain_count] — a request above
+    the host's core count is clamped with a warning on stderr, since
+    oversubscribed domains only produce misleading speedups), otherwise
+    [Domain.recommended_domain_count] capped at 8. *)
 
 val set_default_domains : int -> unit
 (** Override the default (used by tests to compare 1-domain vs N-domain

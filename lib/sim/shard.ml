@@ -1,30 +1,58 @@
 (* Conservative parallel (BSP) driver for a set of per-shard engines.
 
-   Classic conservative PDES with link-latency lookahead: every
-   cross-shard interaction takes at least [lookahead] simulated time, so
-   once the global minimum pending timestamp is [m], no shard can receive
-   anything before [m + lookahead]. Each epoch therefore runs every shard
-   up to (exclusive) a barrier-agreed bound, exchanges the messages
-   produced, and recomputes the bound:
+   Classic conservative PDES, with two refinements over the textbook
+   single-lookahead loop:
 
-     bound = min (m + lookahead, earliest global action, deadline + 1)
+   - {e Directional lookahead.} Cross-shard influence is described by a
+     matrix L: an event executed on shard j at time t can affect shard i
+     no earlier than t + L(j,i) (L(j,i) absent when j never sends to i).
+     Each shard's epoch bound is therefore its own
+
+       b_i = min (deadline + 1, earliest global action,
+                  min over producers j of  m_j + L(j,i))
+
+     where m_j is shard j's earliest pending timestamp. A shard whose
+     producers are idle (m_j absent) or far in the future gets a long
+     epoch automatically — the adaptive-epoch behavior falls out of the
+     bound, no extra machinery. Bounds only batch execution; they never
+     reorder events (the per-event order is fixed by the engines'
+     (time, source, per-source-seq) keys), so any valid bound assignment
+     yields bit-identical results.
+
+   - {e Flat epoch protocol, two barriers per epoch.} There is no
+     coordinator phase: immediately before arriving at the epoch
+     barrier, each worker publishes its engine's min pending key into a
+     padded slot (worker 0 also publishes the earliest global action's
+     time and an abort flag — state piggybacked on the barrier pass).
+     After release, every worker reads the slots and derives the same
+     decision — finish, run a global action, or execute an epoch with
+     its own bound b_i — locally, with no further synchronization. An
+     epoch is publish/barrier/execute/barrier/drain, i.e. two barrier
+     crossings instead of the previous three (coordinate, execute,
+     drain).
+
+   Progress: every L(j,i) is positive, so the shard holding the global
+   minimum m always gets b > m and executes at least one event per
+   epoch.
 
    Global actions are rare control-plane events that must observe (and
    may mutate) every shard at once — the serial engine runs them under
    source id 0, before all other events at their instant; here worker 0
-   runs them alone between barriers, with every other domain parked, so
-   they see the same quiesced state.
+   runs them alone between the two barriers, with every other domain
+   parked, so they see the same quiesced state. The decision rule (run
+   the global when tg <= every published m_j) reproduces the serial
+   source-0-first order.
 
    The barrier spins briefly and then blocks on a condition variable.
    Pure spinning would be fastest with a core per domain, but when
-   domains outnumber cores (SPEEDLIGHT_DOMAINS above the machine size, or
-   nested trial parallelism) a spinner burns its whole OS timeslice while
-   the domain everyone is waiting for sits unscheduled — epochs then cost
-   milliseconds of wall clock each. Plain fields written by worker 0
-   before its barrier arrival (bound, finished) are published to the
-   other workers by the barrier's atomic generation counter. Mailbox
-   traffic pushed during a compute phase is likewise published before the
-   consumer drains it one barrier later. *)
+   domains outnumber cores (SPEEDLIGHT_DOMAINS above the machine size,
+   or nested trial parallelism) a spinner burns its whole OS timeslice
+   while the domain everyone is waiting for sits unscheduled — epochs
+   then cost milliseconds of wall clock each. Plain fields written
+   before a barrier arrival are published to the other workers by the
+   barrier's atomic generation counter; mailbox traffic pushed during a
+   compute phase is likewise published before the consumer drains it
+   one barrier later. *)
 
 module Barrier = struct
   type t = {
@@ -78,21 +106,108 @@ module Barrier = struct
     end
 end
 
+module Lookahead = struct
+  (* Flat producer-major matrix; [none] marks "j cannot affect i". *)
+  let none = max_int
+
+  type t = { n : int; m : int array; direct_min : int }
+
+  (* Influence is transitive: an event on shard a at time t can reach
+     shard b along any channel path, arriving no earlier than t plus the
+     path's delay sum. The bound computation therefore needs the
+     shortest-path closure of the direct channel delays — including the
+     diagonal D(a,a), the shortest round trip, which limits how far a
+     shard may run ahead of its own future echoes. Floyd–Warshall; all
+     weights positive. *)
+  let close n m =
+    for k = 0 to n - 1 do
+      for a = 0 to n - 1 do
+        let ak = m.((a * n) + k) in
+        if ak <> none then
+          for b = 0 to n - 1 do
+            let kb = m.((k * n) + b) in
+            if kb <> none && ak + kb < m.((a * n) + b) then
+              m.((a * n) + b) <- ak + kb
+          done
+      done
+    done
+
+  let finish n m =
+    let direct_min = Array.fold_left Stdlib.min none m in
+    close n m;
+    { n; m; direct_min }
+
+  let uniform ~n la =
+    if n <= 0 then invalid_arg "Shard.Lookahead.uniform: need at least one shard";
+    if la <= 0 then invalid_arg "Shard.Lookahead: lookahead must be positive";
+    finish n (Array.init (n * n) (fun i -> if i / n = i mod n then none else la))
+
+  let of_matrix rows =
+    let n = Array.length rows in
+    if n = 0 then invalid_arg "Shard.Lookahead.of_matrix: need at least one shard";
+    let m = Array.make (n * n) none in
+    Array.iteri
+      (fun j row ->
+        if Array.length row <> n then
+          invalid_arg "Shard.Lookahead.of_matrix: matrix not square";
+        Array.iteri
+          (fun i cell ->
+            match cell with
+            | None -> ()
+            | Some l ->
+                if l <= 0 then
+                  invalid_arg "Shard.Lookahead: lookahead must be positive";
+                if j <> i then m.((j * n) + i) <- l)
+          row)
+      rows;
+    finish n m
+
+  let n t = t.n
+
+  (* Closed (shortest-path) delay, [none] when no influence path. *)
+  let get t ~producer ~consumer = t.m.((producer * t.n) + consumer)
+
+  let min_value t = if t.direct_min = none then None else Some t.direct_min
+end
+
+type stats = {
+  epochs : int;
+  global_rounds : int;
+  wall_ns : float;
+  barrier_wait_ns : float;
+  workers : int;
+}
+
+let no_stats =
+  { epochs = 0; global_rounds = 0; wall_ns = 0.; barrier_wait_ns = 0.; workers = 0 }
+
+(* Published state lives in padded slots (one cache line per worker on
+   64-bit) so the pre-barrier stores never contend. *)
+let stride = 8
+
 type state = {
   engines : Engine.t array;
-  lookahead : Time.t;
+  n : int;
+  la : Lookahead.t;
   deadline : Time.t;
   drain : int -> unit;
   next_global : unit -> Time.t option;
   run_global : unit -> unit;
   barrier : Barrier.t;
   on_epoch : Time.t -> unit;
-  mutable bound : Time.t;
-  mutable finished : bool;
+  slots : int array;  (* published min pending key per shard; [absent] if none *)
+  mutable g_time : int;  (* worker 0: earliest global, [absent] if none *)
+  mutable force_finish : bool;  (* worker 0: abort (a worker errored) *)
+  timed : bool;
+  waits : float array;  (* per-worker barrier wait, ns; padded *)
+  mutable epochs : int;  (* worker 0 *)
+  mutable global_rounds : int;  (* worker 0 *)
   error : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
-let min_key st =
+let absent = max_int
+
+let real_min_key st =
   Array.fold_left
     (fun acc e ->
       match Engine.next_key e with
@@ -100,101 +215,175 @@ let min_key st =
       | None -> acc)
     None st.engines
 
-(* Worker 0, alone, with every other domain parked at the barrier. *)
-let coordinate st =
-  (* Run every global action that is now unreachable by ordinary events:
-     [tg <= m] means all events before [tg] have executed and none at
-     [tg] has (previous bounds never exceed a pending global's time), so
-     running it here matches the serial source-0-first order. Globals may
-     schedule into any engine — safe, the owners are parked. *)
-  let rec run_globals () =
+let published_min st =
+  let m = ref absent in
+  for j = 0 to st.n - 1 do
+    let v = Array.unsafe_get st.slots (j * stride) in
+    if v < !m then m := v
+  done;
+  !m
+
+(* The per-shard epoch bound (exclusive). j ranges over ALL shards,
+   including i itself: D(i,i) is the shortest cross-shard round trip, and
+   it caps how far shard i may run ahead of echoes of its own pending
+   events (executing an event at m_i can spawn a chain that returns to i
+   no earlier than m_i + D(i,i)). *)
+let bound st i =
+  let b = ref (st.deadline + 1) in
+  if st.g_time < !b then b := st.g_time;
+  for j = 0 to st.n - 1 do
+    let m = Array.unsafe_get st.slots (j * stride) in
+    if m <> absent then begin
+      let l = Lookahead.get st.la ~producer:j ~consumer:i in
+      if l <> Lookahead.none && m + l < !b then b := m + l
+    end
+  done;
+  !b
+
+type decision = Finished | Global | Run
+
+(* Derived identically by every worker from the published slots: the
+   inputs are plain fields frozen before the barrier. *)
+let decide st =
+  if st.force_finish then Finished
+  else begin
+    let m = published_min st in
+    if st.g_time <= st.deadline && st.g_time <= m then Global
+    else if m > st.deadline && st.g_time > st.deadline then Finished
+    else Run
+  end
+
+(* Worker 0, alone, with every other domain parked at the barrier: run
+   every global action whose time has been reached by all shards.
+   [tg <= m] means all events before [tg] have executed and none at [tg]
+   has (bounds never exceed a pending global's time), so running it here
+   matches the serial source-0-first order. Globals may schedule into
+   any engine — safe, the owners are parked. *)
+let run_globals st =
+  let rec go () =
     match st.next_global () with
     | Some tg
       when tg <= st.deadline
-           && (match min_key st with Some m -> tg <= m | None -> true) ->
+           && (match real_min_key st with Some m -> tg <= m | None -> true) ->
         (* Serial globals execute with the clock at [tg]; every pending
            event is >= tg, so padding all clocks forward is safe. *)
         Array.iter (fun e -> Engine.advance_clock e tg) st.engines;
         st.run_global ();
-        run_globals ()
+        go ()
     | _ -> ()
   in
-  run_globals ();
-  let m = min_key st in
-  let g = st.next_global () in
-  let live = function Some t -> t <= st.deadline | None -> false in
-  if not (live m || live g) then st.finished <- true
-  else begin
-    let b = st.deadline + 1 in
-    let b = match m with Some m -> Stdlib.min b (m + st.lookahead) | None -> b in
-    let b = match g with Some tg -> Stdlib.min b tg | None -> b in
-    st.bound <- b;
-    st.on_epoch b
-  end
+  go ()
+
+let now_ns () = Unix.gettimeofday () *. 1e9
 
 let worker st i =
+  let e = st.engines.(i) in
   (* A worker that raised keeps attending barriers (or its peers would
-     hang); worker 0 turns a recorded error into [finished] at the next
-     coordination point. *)
+     hang); worker 0 turns the recorded error into a published abort at
+     the next publish point. *)
   let dead = ref false in
   let guard f =
     if not !dead then
       try f ()
-      with e ->
+      with exn ->
         let bt = Printexc.get_raw_backtrace () in
-        ignore (Atomic.compare_and_set st.error None (Some (e, bt)));
+        ignore (Atomic.compare_and_set st.error None (Some (exn, bt)));
         dead := true
+  in
+  let wait =
+    if st.timed then fun () ->
+      let t0 = now_ns () in
+      Barrier.wait st.barrier;
+      st.waits.(i * stride) <- st.waits.(i * stride) +. (now_ns () -. t0)
+    else fun () -> Barrier.wait st.barrier
   in
   let continue = ref true in
   while !continue do
+    (* Publish, piggybacked on the barrier arrival. *)
+    st.slots.(i * stride) <-
+      (match Engine.next_key e with Some k -> k | None -> absent);
     if i = 0 then begin
-      if Atomic.get st.error <> None then st.finished <- true
-      else
-        try coordinate st
-        with e ->
+      (match st.next_global () with
+      | Some t -> st.g_time <- t
+      | None -> st.g_time <- absent
+      | exception exn ->
           let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set st.error None (Some (e, bt)));
-          st.finished <- true
+          ignore (Atomic.compare_and_set st.error None (Some (exn, bt)));
+          st.g_time <- absent);
+      st.force_finish <- Atomic.get st.error <> None
     end;
-    Barrier.wait st.barrier;
-    if st.finished then begin
-      (* Mirror [Engine.run_until]'s final clock padding. *)
-      guard (fun () -> Engine.advance_clock st.engines.(i) st.deadline);
-      continue := false
-    end
-    else begin
-      guard (fun () -> Engine.run_until_excl st.engines.(i) st.bound);
-      Barrier.wait st.barrier;
-      (* All producers are parked: safe to drain this shard's inboxes. *)
-      guard (fun () -> st.drain i);
-      Barrier.wait st.barrier
-    end
+    wait ();
+    match decide st with
+    | Finished ->
+        (* Mirror [Engine.run_until]'s final clock padding. *)
+        guard (fun () -> Engine.advance_clock e st.deadline);
+        continue := false
+    | Global ->
+        if i = 0 then begin
+          st.global_rounds <- st.global_rounds + 1;
+          guard (fun () -> run_globals st)
+        end;
+        wait ();
+        (* Globals may post cross-shard control messages; drain them now
+           so the next publish sees them — otherwise a peer could run
+           past an in-flight message (or the run could finish with it
+           still queued). *)
+        guard (fun () -> st.drain i)
+    | Run ->
+        let b = bound st i in
+        if i = 0 then begin
+          st.epochs <- st.epochs + 1;
+          st.on_epoch b
+        end;
+        guard (fun () -> Engine.run_until_excl e b);
+        wait ();
+        (* All producers are parked: safe to drain this shard's inboxes. *)
+        guard (fun () -> st.drain i)
   done
 
-let run_until ?(on_epoch = ignore) ~engines ~lookahead ~deadline ~drain
-    ~next_global ~run_global () =
+let run_until ?(on_epoch = ignore) ?(timed = false) ~engines ~lookahead
+    ~deadline ~drain ~next_global ~run_global () =
   let n = Array.length engines in
   if n = 0 then invalid_arg "Shard.run_until: no engines";
-  if lookahead <= 0 then
-    invalid_arg "Shard.run_until: lookahead must be positive";
+  if Lookahead.n lookahead <> n then
+    invalid_arg "Shard.run_until: lookahead matrix size mismatch";
   let st =
     {
       engines;
-      lookahead;
+      n;
+      la = lookahead;
       deadline;
       drain;
       next_global;
       run_global;
       barrier = Barrier.create n;
       on_epoch;
-      bound = Time.zero;
-      finished = false;
+      slots = Array.make (n * stride) absent;
+      g_time = absent;
+      force_finish = false;
+      timed;
+      waits = Array.make (n * stride) 0.;
+      epochs = 0;
+      global_rounds = 0;
       error = Atomic.make None;
     }
   in
+  let t0 = now_ns () in
   let spawned = Array.init (n - 1) (fun j -> Domain.spawn (fun () -> worker st (j + 1))) in
   worker st 0;
   Array.iter Domain.join spawned;
-  match Atomic.get st.error with
+  let wall_ns = now_ns () -. t0 in
+  (match Atomic.get st.error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> ()
+  | None -> ());
+  let barrier_wait_ns = ref 0. in
+  for i = 0 to n - 1 do
+    barrier_wait_ns := !barrier_wait_ns +. st.waits.(i * stride)
+  done;
+  {
+    epochs = st.epochs;
+    global_rounds = st.global_rounds;
+    wall_ns;
+    barrier_wait_ns = !barrier_wait_ns;
+    workers = n;
+  }

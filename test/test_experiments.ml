@@ -105,6 +105,56 @@ let test_sharded_equivalence () =
   let d1', _ = sharded_testbed_digest ~shards:1 ~seed:8 in
   Alcotest.(check bool) "digest sensitive to the run" false (d1 = d1')
 
+(* Golden serial digests, captured before the parallel-core overhaul
+   (BFS-only partitioner, monolithic heap, 3-barrier coordinator). The
+   event core is the regression oracle for every optimization behind
+   it: if one of these moves, serial behavior changed — a much stronger
+   claim than shards merely agreeing with each other. Keys: MD5 of
+   [Common.run_digest] over the full delivered/forwarded/drop/snapshot
+   report. *)
+let test_golden_serial_digests () =
+  let check name expect digest =
+    Alcotest.(check string) name expect (Digest.to_hex (Digest.string digest))
+  in
+  let d7, _ = sharded_testbed_digest ~shards:1 ~seed:7 in
+  check "testbed seed 7" "649101faacdfc3a75da0cd8954e22ce1" d7;
+  let d8, _ = sharded_testbed_digest ~shards:1 ~seed:8 in
+  check "testbed seed 8" "5b60921f6237c92e7b1b6b938dcaa95e" d8
+
+(* 8-way sharding needs a topology with enough switches for eight
+   non-empty parts: the k=4 fat tree (20 switches). The leaf-spine
+   testbed above clamps at 4. *)
+let fat_tree_digest ~shards ~seed =
+  let open Speedlight_sim in
+  let open Speedlight_net in
+  let open Speedlight_topology in
+  let open Speedlight_workload in
+  let cfg = Config.default |> Config.with_seed seed in
+  let ft = Topology.fat_tree ~k:4 () in
+  let net = Net.create ~cfg ~shards ft.Topology.ft_topo in
+  let engine = Net.engine net in
+  let rng = Net.fresh_rng net in
+  let fids = Traffic.flow_ids () in
+  let hosts = Array.to_list ft.Topology.ft_hosts in
+  Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
+    ~rate_pps:10_000. ~pkt_size:1500 ~until:(Time.ms 10);
+  Net.schedule_global net ~at:(Time.ms 4) (fun () -> Net.auto_exclude_idle net);
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 5) ~interval:(Time.ms 2) ~count:3
+      ~run_until:(Time.ms 20)
+  in
+  (Common.run_digest net ~sids, Net.n_shards net)
+
+let test_sharded_equivalence_8 () =
+  let d1, n1 = fat_tree_digest ~shards:1 ~seed:7 in
+  let d8, n8 = fat_tree_digest ~shards:8 ~seed:7 in
+  Alcotest.(check int) "serial" 1 n1;
+  Alcotest.(check int) "eight shards" 8 n8;
+  Alcotest.(check string) "8 domains == serial" d1 d8;
+  Alcotest.(check string) "fat-tree serial digest pinned"
+    "bd73a2f130655368cee6aadf2c3e42ba"
+    (Digest.to_hex (Digest.string d1))
+
 let test_fig13_shape () =
   let r = Fig13.run ~quick:true () in
   let n = Array.length r.Fig13.snap.Fig13.units in
@@ -188,6 +238,10 @@ let () =
             test_fig9_domain_determinism;
           Alcotest.test_case "sharded == serial (1/2/4 domains)" `Quick
             test_sharded_equivalence;
+          Alcotest.test_case "golden serial digests" `Quick
+            test_golden_serial_digests;
+          Alcotest.test_case "sharded == serial (8 domains, fat tree)" `Quick
+            test_sharded_equivalence_8;
           Alcotest.test_case "fig13 shape" `Slow test_fig13_shape;
           Alcotest.test_case "ablation: initiator" `Slow test_ablation_initiator;
           Alcotest.test_case "ablation: notifications" `Slow test_ablation_notifications;

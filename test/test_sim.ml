@@ -478,6 +478,101 @@ let test_partition_deterministic () =
   let b = Partition.compute ~n_nodes:6 ~edges ~parts:3 in
   Alcotest.(check (array int)) "pure function of the graph" a b
 
+(* Topology-shaped edge lists for the refinement properties: a 2x4
+   leaf-spine, a k=4 fat tree's switch graph, and a pseudo-random
+   graph from a hand-rolled LCG (no [Random]: tests must be
+   deterministic). Weights vary so refinement has something to
+   optimize. *)
+let leaf_spine_edges =
+  (* spines 0-1, leaves 2-5, full bipartite leaf-spine mesh. *)
+  List.concat_map (fun s -> List.init 4 (fun l -> (s, 2 + l, 10 + s + l))) [ 0; 1 ]
+
+let fat_tree_edges =
+  (* k=4: 4 cores (0-3), 8 aggs (4-11), 8 edges (12-19). Pod p has aggs
+     {4+2p, 5+2p} and edge switches {12+2p, 13+2p}; agg i connects to
+     cores sharing its index parity group. *)
+  let pods = [ 0; 1; 2; 3 ] in
+  let core_links =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun a ->
+            List.init 2 (fun c -> (4 + (2 * p) + a, (2 * a) + c, 7 + a + c)))
+          [ 0; 1 ])
+      pods
+  in
+  let pod_links =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun a -> List.init 2 (fun e -> (4 + (2 * p) + a, 12 + (2 * p) + e, 3 + e)))
+          [ 0; 1 ])
+      pods
+  in
+  core_links @ pod_links
+
+let random_edges ~n ~m ~seed =
+  let state = ref seed in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  List.init m (fun _ ->
+      let u = next n in
+      let v = (u + 1 + next (n - 1)) mod n in
+      (u, v, 1 + next 20))
+
+let check_refined ~name ~n_nodes ~edges ~parts =
+  let seed = Partition.compute ~n_nodes ~edges ~parts in
+  let refined = Partition.compute_refined ~n_nodes ~edges ~parts in
+  let eff = 1 + Array.fold_left Stdlib.max 0 refined in
+  let sizes = Array.make eff 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) refined;
+  Array.iteri
+    (fun p s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: part %d non-empty" name p)
+        true (s > 0))
+    sizes;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: refined cut weight <= BFS seed" name)
+    true
+    (Partition.cut_weight ~assign:refined ~edges
+    <= Partition.cut_weight ~assign:seed ~edges);
+  Alcotest.(check (array int))
+    (Printf.sprintf "%s: deterministic" name)
+    refined
+    (Partition.compute_refined ~n_nodes ~edges ~parts)
+
+let test_partition_refined_properties () =
+  List.iter
+    (fun parts ->
+      check_refined ~name:"leaf-spine" ~n_nodes:6 ~edges:leaf_spine_edges ~parts;
+      check_refined ~name:"fat-tree" ~n_nodes:20 ~edges:fat_tree_edges ~parts;
+      List.iter
+        (fun s ->
+          check_refined
+            ~name:(Printf.sprintf "random/%d" s)
+            ~n_nodes:24
+            ~edges:(random_edges ~n:24 ~m:60 ~seed:s)
+            ~parts)
+        [ 1; 2; 3 ])
+    [ 2; 3; 4; 8 ]
+
+let test_partition_quality_report () =
+  let edges = fat_tree_edges in
+  let assign = Partition.compute_refined ~n_nodes:20 ~edges ~parts:4 in
+  let r = Partition.quality ~n_nodes:20 ~edges ~parts:4 ~assign in
+  Alcotest.(check int) "parts" 4 r.Partition.parts;
+  Alcotest.(check int) "sizes cover all nodes" 20
+    (Array.fold_left ( + ) 0 r.Partition.sizes);
+  Alcotest.(check int) "cut edges match n_cross" (Partition.n_cross ~assign ~edges)
+    r.Partition.cut_edges;
+  Alcotest.(check int) "cut weight matches" (Partition.cut_weight ~assign ~edges)
+    r.Partition.cut_weight;
+  Alcotest.(check bool) "refined no worse than seed" true
+    (r.Partition.cut_weight <= r.Partition.seed_cut_weight)
+
 (* ------------------------------------------------------------------ *)
 (* Mailbox *)
 
@@ -497,6 +592,102 @@ let test_mailbox_fifo () =
   let out = ref [] in
   Mailbox.drain mb (fun v -> out := v :: !out);
   Alcotest.(check (list int)) "reusable" [ 42 ] !out
+
+let test_mailbox_multichunk () =
+  (* Well past one 256-slot chunk, twice, to exercise the chunk chain
+     and the freelist reuse path. *)
+  let mb = Mailbox.create () in
+  let n = 1000 in
+  for round = 1 to 2 do
+    for i = 1 to n do
+      Mailbox.push mb ((round * n) + i)
+    done;
+    Alcotest.(check int) "length spans chunks" n (Mailbox.length mb);
+    let out = ref [] in
+    Mailbox.drain mb (fun v -> out := v :: !out);
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d FIFO across chunks" round)
+      (List.init n (fun i -> (round * n) + i + 1))
+      (List.rev !out);
+    Alcotest.(check bool) "empty after drain" true (Mailbox.is_empty mb)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Calq (calendar/ladder event queue) *)
+
+(* Differential oracle: drive a Calq (with a tiny activation threshold,
+   so calendar mode engages and collapses repeatedly) and a plain Heap
+   with the same operation stream, and require identical pop streams.
+   The key mix has a dense near band, same-key FIFO ties and far
+   outliers — the shapes calendar bucketing can get wrong. *)
+let test_calq_matches_heap () =
+  let calq = Calq.create ~activate:32 () in
+  let heap = Heap.create () in
+  let state = ref 42 in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  let seq = ref 0 in
+  let push key =
+    incr seq;
+    Calq.push calq ~key ~seq:!seq key;
+    Heap.push heap ~key ~seq:!seq key
+  in
+  let check_pop i =
+    match (Calq.pop calq, Heap.pop heap) with
+    | Some (ck, cs, cv), Some (hk, hs, hv) ->
+        if ck <> hk || cs <> hs || cv <> hv then
+          Alcotest.failf "pop %d: calq (%d,%d,%d) <> heap (%d,%d,%d)" i ck cs
+            cv hk hs hv
+    | None, None -> ()
+    | Some _, None -> Alcotest.failf "pop %d: calq non-empty, heap empty" i
+    | None, Some _ -> Alcotest.failf "pop %d: heap non-empty, calq empty" i
+  in
+  let base = ref 0 in
+  for i = 0 to 9_999 do
+    (* Mostly near-future keys on an advancing front, some exact ties,
+       and an occasional far outlier (schedules like retransmit timers). *)
+    let key =
+      match next 10 with
+      | 0 -> !base + 1_000_000 + next 1_000_000
+      | 1 -> !base + 1
+      | _ -> !base + next 500
+    in
+    push key;
+    (* Interleave pops so the population repeatedly crosses the
+       activation and collapse thresholds in both directions. *)
+    if next 3 = 0 then begin
+      check_pop i;
+      (match Calq.peek_key calq with Some k -> base := k | None -> ());
+      Alcotest.(check int)
+        (Printf.sprintf "length agrees at %d" i)
+        (Heap.length heap) (Calq.length calq)
+    end
+  done;
+  let i = ref 0 in
+  while not (Calq.is_empty calq) || not (Heap.is_empty heap) do
+    incr i;
+    check_pop (10_000 + !i)
+  done
+
+let test_calq_top_accessors () =
+  let q = Calq.create ~activate:16 () in
+  for i = 0 to 99 do
+    Calq.push q ~key:(1000 - (i * 7)) ~seq:i i
+  done;
+  Alcotest.(check int) "top_key" (Calq.top_key q) 307;
+  Alcotest.(check int) "top_seq" 99 (Calq.top_seq q);
+  Alcotest.(check int) "top_val" 99 (Calq.top_val q);
+  Alcotest.(check (option int)) "peek_key" (Some 307) (Calq.peek_key q);
+  Calq.drop_top q;
+  Alcotest.(check int) "next after drop" 314 (Calq.top_key q);
+  Alcotest.(check int) "pop_top returns value" 98 (Calq.pop_top q);
+  Alcotest.(check int) "length tracks" 98 (Calq.length q);
+  Calq.clear q;
+  Alcotest.(check bool) "clear empties" true (Calq.is_empty q);
+  Calq.push q ~key:5 ~seq:1 50;
+  Alcotest.(check (option int)) "usable after clear" (Some 5) (Calq.peek_key q)
 
 (* ------------------------------------------------------------------ *)
 (* Shard *)
@@ -523,8 +714,11 @@ let test_shard_ping_pong () =
   deliver 0 (0, 0);
   let globals = ref [ 25 ] in
   let global_ran = ref [] in
-  Shard.run_until ~engines ~lookahead ~deadline:100
-    ~drain:(fun i -> Mailbox.drain boxes.(i) (fun m -> deliver i m))
+  ignore
+    (Shard.run_until ~engines
+       ~lookahead:(Shard.Lookahead.uniform ~n:2 lookahead)
+       ~deadline:100
+       ~drain:(fun i -> Mailbox.drain boxes.(i) (fun m -> deliver i m))
     ~next_global:(fun () -> match !globals with [] -> None | t :: _ -> Some t)
     ~run_global:(fun () ->
       match !globals with
@@ -533,7 +727,7 @@ let test_shard_ping_pong () =
           (* Both shards are parked and their clocks advanced to [t]. *)
           global_ran := (t, Engine.now engines.(0), Engine.now engines.(1)) :: !global_ran
       | [] -> assert false)
-    ();
+       ());
   Alcotest.(check (list (triple int int int)))
     "hops alternate shards, one lookahead apart"
     [ (0, 0, 0); (1, 10, 1); (0, 20, 2); (1, 30, 3); (0, 40, 4); (1, 50, 5); (0, 60, 6) ]
@@ -549,22 +743,19 @@ let test_shard_error_propagates () =
   Alcotest.check_raises "worker exception reaches the caller"
     (Failure "boom")
     (fun () ->
-      Shard.run_until ~engines ~lookahead:1 ~deadline:10
-        ~drain:(fun _ -> ())
-        ~next_global:(fun () -> None)
-        ~run_global:(fun () -> ())
-        ())
+      ignore
+        (Shard.run_until ~engines
+           ~lookahead:(Shard.Lookahead.uniform ~n:2 1)
+           ~deadline:10
+           ~drain:(fun _ -> ())
+           ~next_global:(fun () -> None)
+           ~run_global:(fun () -> ())
+           ()))
 
 let test_shard_lookahead_required () =
   Alcotest.(check bool) "zero lookahead rejected" true
     (try
-       Shard.run_until
-         ~engines:[| Engine.create () |]
-         ~lookahead:0 ~deadline:10
-         ~drain:(fun _ -> ())
-         ~next_global:(fun () -> None)
-         ~run_global:(fun () -> ())
-         ();
+       ignore (Shard.Lookahead.uniform ~n:1 0);
        false
      with Invalid_argument _ -> true)
 
@@ -690,9 +881,20 @@ let () =
           Alcotest.test_case "clamp" `Quick test_partition_clamp;
           Alcotest.test_case "min cut weight" `Quick test_partition_min_cut_weight;
           Alcotest.test_case "deterministic" `Quick test_partition_deterministic;
+          Alcotest.test_case "refined properties" `Quick
+            test_partition_refined_properties;
+          Alcotest.test_case "quality report" `Quick test_partition_quality_report;
         ] );
       ( "mailbox",
-        [ Alcotest.test_case "fifo" `Quick test_mailbox_fifo ] );
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "multi-chunk fifo" `Quick test_mailbox_multichunk;
+        ] );
+      ( "calq",
+        [
+          Alcotest.test_case "matches heap" `Quick test_calq_matches_heap;
+          Alcotest.test_case "top accessors" `Quick test_calq_top_accessors;
+        ] );
       ( "shard",
         [
           Alcotest.test_case "ping-pong epochs" `Quick test_shard_ping_pong;
