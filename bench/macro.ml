@@ -41,7 +41,14 @@ type result = {
   metrics : Metrics.t;
   part : Partition.report option;
   stats : Shard.stats option;
+  peak_rss_kb : int;  (* process VmHWM right after the run; -1 if unavailable *)
 }
+
+(* Process-cumulative peak RSS (VmHWM); every BENCH_sim.json section
+   carries the reading taken right after it ran, so the growth between
+   sections attributes memory to the stage that caused it. *)
+let rss_now () =
+  match Common.peak_rss_kb () with Some kb -> kb | None -> -1
 
 (* [fat_tree:false] is the paper's 4-switch leaf–spine testbed — the
    headline throughput configuration benched since PR 1. The sharded
@@ -120,6 +127,7 @@ let run ~quick ~fat_tree ~domains =
     metrics;
     part = Net.partition_report net;
     stats = Net.shard_stats net;
+    peak_rss_kb = rss_now ();
   }
 
 (* One point of the speedup curve. Partition quality comes from
@@ -162,11 +170,12 @@ let speedup_entry ~base r =
     \      \"global_rounds\": %d,\n\
     \      \"avg_epoch_us\": %.1f,\n\
     \      \"barrier_wait_frac\": %.3f,\n\
+    \      \"peak_rss_kb\": %d,\n\
     \      \"identical\": %b\n\
     \    }"
     r.domains r.wall_s base.wall_s (base.wall_s /. r.wall_s)
     r.events_per_sec cut_edges cut_w seed_w epochs global_rounds avg_epoch_us
-    barrier_frac
+    barrier_frac r.peak_rss_kb
     (String.equal r.digest base.digest)
 
 (* Perf floor on the 2-domain point: with real cores available, sharding
@@ -270,10 +279,12 @@ let chaos_intensities = [ 0.; 0.5; 1. ]
 
 let run_chaos ~quick =
   List.map
-    (fun i -> Chaos.run_point ~quick ~seed:101 ~intensity:i ())
+    (fun i ->
+      let p = Chaos.run_point ~quick ~seed:101 ~intensity:i () in
+      (p, rss_now ()))
     chaos_intensities
 
-let chaos_entry (p : Chaos.point) =
+let chaos_entry ((p : Chaos.point), rss) =
   Printf.sprintf
     "    {\n\
     \      \"intensity\": %.2f,\n\
@@ -282,15 +293,55 @@ let chaos_entry (p : Chaos.point) =
     \      \"mean_retries\": %.3f,\n\
     \      \"staleness_us\": %.1f,\n\
     \      \"injected_drops\": %d,\n\
-    \      \"false_consistent\": %d\n\
+    \      \"false_consistent\": %d,\n\
+    \      \"peak_rss_kb\": %d\n\
     \    }"
     p.Chaos.intensity p.Chaos.completion_rate p.Chaos.consistent_rate
     p.Chaos.mean_retries
     (if Float.is_nan p.Chaos.mean_staleness_us then -1.
      else p.Chaos.mean_staleness_us)
-    p.Chaos.injected_drops p.Chaos.false_consistent
+    p.Chaos.injected_drops p.Chaos.false_consistent rss
 
-let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead =
+(* One point of the datacenter-scale sweep (Scale.fig11_large): flat
+   arena state + streaming capture at 1k-10k switches. *)
+let large_point_entry (p : Scale.large_point) =
+  Printf.sprintf
+    "    {\n\
+    \      \"label\": %S,\n\
+    \      \"switches\": %d,\n\
+    \      \"hosts\": %d,\n\
+    \      \"units\": %d,\n\
+    \      \"shards\": %d,\n\
+    \      \"flows\": %d,\n\
+    \      \"events\": %d,\n\
+    \      \"snapshots_taken\": %d,\n\
+    \      \"snapshots_complete\": %d,\n\
+    \      \"archived_rounds\": %d,\n\
+    \      \"wall_s\": %.3f,\n\
+    \      \"events_per_sec\": %.0f,\n\
+    \      \"snapshots_per_sec\": %.2f,\n\
+    \      \"peak_rss_kb\": %d\n\
+    \    }"
+    p.Scale.lp_label p.Scale.lp_switches p.Scale.lp_hosts p.Scale.lp_units
+    p.Scale.lp_shards p.Scale.lp_flows p.Scale.lp_events
+    p.Scale.lp_snapshots_taken p.Scale.lp_snapshots_complete
+    p.Scale.lp_archived_rounds p.Scale.lp_wall_s p.Scale.lp_events_per_sec
+    p.Scale.lp_snapshots_per_sec p.Scale.lp_peak_rss_kb
+
+let large_scale_json (r : Scale.large_result) =
+  Printf.sprintf
+    "  \"large_scale\": {\n\
+    \    \"digest_identical\": %b,\n\
+    \    \"archive_identical\": %b,\n\
+    \    \"points\": [\n%s\n    ]\n\
+    \  }"
+    r.Scale.lr_digest_identical r.Scale.lr_archive_identical
+    (String.concat ",\n"
+       (List.map
+          (fun p -> "    " ^ large_point_entry p)
+          r.Scale.lr_points))
+
+let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~large =
   let metrics_json =
     let buf = Buffer.create 512 in
     Metrics.add_json buf serial.metrics;
@@ -309,6 +360,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead =
     \  \"packets_per_sec\": %.0f,\n\
     \  \"events_per_sec\": %.0f,\n\
     \  \"snapshots_per_sec\": %.1f,\n\
+    \  \"peak_rss_kb\": %d,\n\
     \  \"trace_overhead\": {\n\
     \    \"disabled_ns_per_site\": %.3f,\n\
     \    \"sites_estimate\": %d,\n\
@@ -317,15 +369,18 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead =
     \  },\n\
     \  \"metrics\": %s,\n\
     \  \"speedup_curve\": [\n%s\n  ],\n\
-    \  \"chaos\": [\n%s\n  ]\n\
+    \  \"chaos\": [\n%s\n  ],\n\
+     %s\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
     serial.events serial.snapshots_taken serial.snapshots_complete
     serial.packets_per_sec serial.events_per_sec serial.snapshots_per_sec
+    serial.peak_rss_kb
     overhead.ns_per_site overhead.sites overhead.frac overhead_budget
     metrics_json
     (String.concat ",\n" (List.map (speedup_entry ~base) sharded))
     (String.concat ",\n" (List.map chaos_entry chaos))
+    (large_scale_json large)
 
 let () =
   let quick =
@@ -343,10 +398,14 @@ let () =
   let base = List.hd sweep in
   let chaos = run_chaos ~quick in
   let overhead = trace_overhead ~serial in
+  (* Datacenter-scale sweep: quick mode runs the ~1k-switch Clos point
+     only (the CI scale-smoke configuration); full mode adds the k=56
+     and k=90 fat trees — 10,125 switches on the last point. *)
+  let large = Scale.fig11_large ~quick ~seed:61 () in
   let json =
     to_json
       ~mode:(if quick then "quick" else "full")
-      ~serial ~base ~sharded:sweep ~chaos ~overhead
+      ~serial ~base ~sharded:sweep ~chaos ~overhead ~large
   in
   let oc = open_out !out in
   output_string oc json;
@@ -384,7 +443,7 @@ let () =
   end;
   check_speedup_gate ~base sweep;
   List.iter
-    (fun (p : Chaos.point) ->
+    (fun ((p : Chaos.point), _) ->
       Printf.printf
         "  chaos i=%.2f: complete %.0f%% | consistent %.0f%% | retries/snap %.2f | false-consistent %d\n"
         p.Chaos.intensity
@@ -394,8 +453,28 @@ let () =
     chaos;
   (* A snapshot certified wrong by the auditor is a protocol safety bug:
      fail loudly, same as a sharded divergence. *)
-  if Chaos.has_false_consistent chaos then begin
+  if Chaos.has_false_consistent (List.map fst chaos) then begin
     prerr_endline "macro: chaos audit found a false-consistent snapshot";
+    exit 1
+  end;
+  List.iter
+    (fun (p : Scale.large_point) ->
+      Printf.printf
+        "  scale %s: %d switches | %d units | %d flows | %.2fs wall | %.0f events/s | %.2f snaps/s | peak RSS %.1f MB\n"
+        p.Scale.lp_label p.Scale.lp_switches p.Scale.lp_units p.Scale.lp_flows
+        p.Scale.lp_wall_s p.Scale.lp_events_per_sec p.Scale.lp_snapshots_per_sec
+        (float_of_int p.Scale.lp_peak_rss_kb /. 1024.))
+    large.Scale.lr_points;
+  (* The big points are single measurements; the control Clos at 1 and 2
+     shards is what makes them trustworthy. Divergence in either the run
+     digest or the streamed archive bytes is a correctness bug. *)
+  if not large.Scale.lr_digest_identical then begin
+    prerr_endline "macro: large-scale control run diverged across shard counts";
+    exit 1
+  end;
+  if not large.Scale.lr_archive_identical then begin
+    prerr_endline
+      "macro: large-scale streamed archives differ across shard counts";
     exit 1
   end;
   Printf.printf

@@ -26,6 +26,7 @@ let mk_unit ~cfg ~n_neighbors =
     ~id:(Unit_id.ingress ~switch:0 ~port:0)
     ~cfg ~n_neighbors ~counter:(Counter.packet_count ())
     ~notify:(fun _ -> ())
+    ()
 
 let mk_packet sid =
   let p =

@@ -36,16 +36,27 @@ type t = {
 
 let create ~channel_state ?(max_sid = 255) ?(wraparound = true) ~units ~report () =
   let mk spec =
-    let included = Array.make spec.n_neighbors true in
-    included.(0) <- false;
-    List.iter
-      (fun n ->
-        if n >= 0 && n < spec.n_neighbors then included.(n) <- false)
-      spec.excluded_neighbors;
+    (* Last Seen shadows and the inclusion mask only drive the
+       channel-state completion rule; without channel state a unit
+       completes on its own ID alone, so skip the two O(n_neighbors)
+       arrays — at datacenter scale they dominate control-plane memory
+       (an egress unit has one neighbor per (in-port, CoS) pair). *)
+    let included, ctrl_last_seen =
+      if not channel_state then ([||], [||])
+      else begin
+        let included = Array.make spec.n_neighbors true in
+        included.(0) <- false;
+        List.iter
+          (fun n ->
+            if n >= 0 && n < spec.n_neighbors then included.(n) <- false)
+          spec.excluded_neighbors;
+        (included, Array.make spec.n_neighbors 0)
+      end
+    in
     {
       spec;
       ctrl_sid = 0;
-      ctrl_last_seen = Array.make spec.n_neighbors 0;
+      ctrl_last_seen;
       included;
       last_read = 0;
       inconsistent = Hashtbl.create 16;
@@ -200,7 +211,7 @@ let on_notify t ~now (n : Notification.t) =
   let sid_progress = handle_sid_update t u ~now ~new_sid in
   let ls_progress =
     match (n.neighbor, n.new_last_seen) with
-    | Some nbr, Some w ->
+    | Some nbr, Some w when t.channel_state ->
         let new_ls = unwrap t ~reference:u.ctrl_last_seen.(nbr) w in
         handle_ls_update t u ~now ~neighbor:nbr ~new_ls
     | _, _ -> false
@@ -225,7 +236,8 @@ let poll t ~now =
 
 let exclude_neighbor t ~now uid neighbor =
   let u = ustate t uid in
-  if neighbor >= 0 && neighbor < u.spec.n_neighbors && u.included.(neighbor) then begin
+  if neighbor >= 0 && neighbor < Array.length u.included && u.included.(neighbor)
+  then begin
     u.included.(neighbor) <- false;
     (* The minimum may have just jumped forward: finalize what it covers. *)
     if t.channel_state then try_read_cs t u ~now
@@ -233,7 +245,8 @@ let exclude_neighbor t ~now uid neighbor =
 
 let is_excluded t uid neighbor =
   let u = ustate t uid in
-  neighbor >= 0 && neighbor < u.spec.n_neighbors && not u.included.(neighbor)
+  neighbor >= 0 && neighbor < u.spec.n_neighbors
+  && (neighbor >= Array.length u.included || not u.included.(neighbor))
 
 let ctrl_sid t uid = (ustate t uid).ctrl_sid
 let finished_through t uid = (ustate t uid).last_read

@@ -1,10 +1,15 @@
+(* Snapshot values and channel state are dense in sid — [save_snapshots]
+   fills every id in [old sid + 1, upto] — so they live in flat growable
+   float arrays indexed by sid instead of hashtables: [snap_vals.(i)] is
+   valid exactly for 1 <= i <= sid, and a range save is one [Array.fill]
+   (bulk blit) instead of per-id hash inserts. *)
 type t = {
   n_neighbors : int;
   channel_state : bool;
   mutable sid : int;
   mutable state : float;
-  snaps : (int, float) Hashtbl.t;  (* sid -> saved local state *)
-  channels : (int, float) Hashtbl.t;  (* sid -> accumulated channel state *)
+  mutable snap_vals : float array;  (* sid -> saved local state; valid [1, sid] *)
+  mutable channels : float array;  (* sid -> accumulated channel state *)
   last_seen_arr : int array;
 }
 
@@ -15,8 +20,8 @@ let create ~n_neighbors ~channel_state =
     channel_state;
     sid = 0;
     state = 0.;
-    snaps = Hashtbl.create 64;
-    channels = Hashtbl.create 64;
+    snap_vals = Array.make 64 0.;
+    channels = Array.make 64 0.;
     last_seen_arr = Array.make n_neighbors 0;
   }
 
@@ -24,16 +29,28 @@ let sid t = t.sid
 let state t = t.state
 let set_state t v = t.state <- v
 
+let ensure_capacity t upto =
+  let cap = Array.length t.snap_vals in
+  if upto >= cap then begin
+    let ncap = ref (cap * 2) in
+    while upto >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nv = Array.make !ncap 0. and nc = Array.make !ncap 0. in
+    Array.blit t.snap_vals 0 nv 0 cap;
+    Array.blit t.channels 0 nc 0 cap;
+    t.snap_vals <- nv;
+    t.channels <- nc
+  end
+
 let save_snapshots t ~upto =
   (* "for i <- sid + 1 to pkt.sid do snaps[i] <- state" *)
-  for i = t.sid + 1 to upto do
-    Hashtbl.replace t.snaps i t.state
-  done;
+  ensure_capacity t upto;
+  Array.fill t.snap_vals (t.sid + 1) (upto - t.sid) t.state;
   t.sid <- upto
 
 let add_channel t ~sid ~contribution =
-  let cur = Option.value ~default:0. (Hashtbl.find_opt t.channels sid) in
-  Hashtbl.replace t.channels sid (cur +. contribution)
+  t.channels.(sid) <- t.channels.(sid) +. contribution
 
 let on_receive t ~sender ~pkt_sid ~contribution =
   if pkt_sid > t.sid then save_snapshots t ~upto:pkt_sid
@@ -51,10 +68,11 @@ let on_receive t ~sender ~pkt_sid ~contribution =
 
 let initiate t ~sid = if sid > t.sid then save_snapshots t ~upto:sid
 
-let snapshot_value t ~sid = Hashtbl.find_opt t.snaps sid
+let snapshot_value t ~sid =
+  if sid >= 1 && sid <= t.sid then Some t.snap_vals.(sid) else None
 
 let channel_state_of t ~sid =
-  Option.value ~default:0. (Hashtbl.find_opt t.channels sid)
+  if sid >= 1 && sid <= t.sid then t.channels.(sid) else 0.
 
 let last_seen t = Array.copy t.last_seen_arr
 

@@ -33,11 +33,13 @@ type t = {
   retry_timeout : Time.t;
   max_retries : int;
   max_outstanding : int;
+  retain : int option;  (* finished snapshots kept; None = all *)
   mutable devices : device list;
   mutable next_sid : int;
   mutable unit_owner : int Unit_id.Map.t;  (* unit -> device *)
   pending : (int, pending) Hashtbl.t;
   finished : (int, snapshot) Hashtbl.t;
+  finished_order : int Queue.t;  (* completion order, for eviction *)
   fire_times : (int, Time.t) Hashtbl.t;
   mutable callbacks : (snapshot -> unit) list;
   mutable retries : int;
@@ -51,18 +53,23 @@ let error_to_string = function
   | No_devices -> "no registered devices"
 
 let create ~engine ?(lead_time = Time.ms 1) ?(retry_timeout = Time.ms 50)
-    ?(max_retries = 5) ?(max_outstanding = 8) () =
+    ?(max_retries = 5) ?(max_outstanding = 8) ?retain () =
+  (match retain with
+  | Some n when n < 1 -> invalid_arg "Observer.create: retain must be >= 1"
+  | _ -> ());
   {
     engine;
     lead_time;
     retry_timeout;
     max_retries;
     max_outstanding;
+    retain;
     devices = [];
     next_sid = 1;
     unit_owner = Unit_id.Map.empty;
     pending = Hashtbl.create 32;
     finished = Hashtbl.create 256;
+    finished_order = Queue.create ();
     fire_times = Hashtbl.create 256;
     callbacks = [];
     retries = 0;
@@ -90,12 +97,27 @@ let to_snapshot p =
     timed_out = p.p_excluded;
   }
 
+let evict t =
+  match t.retain with
+  | None -> ()
+  | Some cap ->
+      while Queue.length t.finished_order > cap do
+        let old = Queue.pop t.finished_order in
+        Hashtbl.remove t.finished old;
+        Hashtbl.remove t.fire_times old
+      done
+
 let finish t p =
   if not p.p_done then begin
     p.p_done <- true;
     Hashtbl.remove t.pending p.p_sid;
     let snap = to_snapshot p in
     Hashtbl.replace t.finished p.p_sid snap;
+    Queue.push p.p_sid t.finished_order;
+    (* Evict before the callbacks run: a streaming archiver is the
+       retention mechanism once memory is capped, and the cap must hold
+       even if a callback allocates. *)
+    evict t;
     if Trace.enabled t.tr then
       Trace.emit t.tr ~at:(Engine.now t.engine)
         (Trace.Snap_done

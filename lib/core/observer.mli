@@ -37,12 +37,17 @@ val create :
   ?retry_timeout:Time.t ->
   ?max_retries:int ->
   ?max_outstanding:int ->
+  ?retain:int ->
   unit ->
   t
 (** [lead_time] is how far in the future snapshots are scheduled (default
     1 ms); [retry_timeout] how long to wait before re-initiating (default
     50 ms); [max_outstanding] caps concurrently outstanding snapshot IDs
-    (default 8) for wraparound safety. *)
+    (default 8) for wraparound safety. [retain] keeps only the last N
+    finished snapshots (>= 1) in memory, evicting older ones as new
+    snapshots complete — for long runs whose rounds are streamed to an
+    archive by the completion callback; default is to keep all. Evicted
+    sids lose {!result}/{!completed}/{!fire_time}/{!staleness}. *)
 
 val register_device : t -> device -> unit
 (** Devices must be registered before the snapshots that include them

@@ -20,30 +20,36 @@ let variant_wraparound =
 let variant_channel_state =
   { channel_state = true; wraparound = true; max_sid = 255; slot_count = 256 }
 
-type slot = {
-  mutable ghost : int;  (* unwrapped sid the slot holds *)
-  mutable written : bool;
-  mutable value : float;
-  mutable channel : float;
-}
-
 type tap_event =
   | Tap_data of { channel : int; pkt_ghost : int; size : int }
   | Tap_external of { size : int }
   | Tap_init of { ghost : int }
 
+(* Snapshot slots live flat in the arena, not as a record ring: slot [i]
+   is one int cell (the unwrapped sid the slot holds, -1 when the slot
+   was never written) plus two adjacent float cells (value, channel).
+   Validity collapses to a single compare — the ghost cell equals the
+   queried sid — because real sids are >= 1 and the init/reset fill is
+   -1, which matches nothing. *)
 type t = {
   uid : Unit_id.t;
   cfg : config;
   n_neighbors : int;
   counter : Counter.t;
   notify : Notification.t -> unit;
-  slots : slot array;
+  arena : Arena.t;
+  nslots : int;
+  ghost_base : int;  (* int plane: nslots cells *)
+  val_base : int;  (* float plane: 2 * nslots cells, (value, channel) pairs *)
+  slot_scratch : float array;  (* capture buffer for read_slot's blit *)
   mutable sid : int;  (* wrapped *)
   mutable ghost_sid : int;  (* unbounded *)
   last_seen_arr : int array;  (* wrapped; index 0 = CPU; empty w/o chnl state *)
   ghost_last_seen : int array;
-  neighbor_traffic : int array;  (* data packets seen per upstream channel *)
+  (* Data packets seen per upstream channel. Allocated on the first data
+     packet: a quiet unit (the common case at datacenter scale, where
+     egress units carry one entry per ingress port) costs nothing. *)
+  mutable neighbor_traffic_arr : int array;
   mutable fifo_violations : int;
   mutable notifications : int;
   mutable tap : (tap_event -> unit) option;
@@ -59,11 +65,19 @@ type t = {
   mutable last_out_ghost : int;
 }
 
-let create ~id ~cfg ~n_neighbors ~counter ~notify =
+let create ?arena ~id ~cfg ~n_neighbors ~counter ~notify () =
   if n_neighbors < 1 then invalid_arg "Snapshot_unit.create: need >= 1 neighbor";
   if cfg.wraparound && cfg.max_sid < 3 then
     invalid_arg "Snapshot_unit.create: max_sid must be >= 3";
   let nslots = if cfg.wraparound then cfg.max_sid + 1 else cfg.slot_count in
+  let arena =
+    match arena with
+    | Some a -> a
+    | None -> Arena.create ~int_capacity:nslots ~float_capacity:(2 * nslots) ()
+  in
+  let ghost_base = Arena.alloc_ints arena nslots in
+  Arena.fill_ints arena ~base:ghost_base ~len:nslots (-1);
+  let val_base = Arena.alloc_floats arena (2 * nslots) in
   let ls_size = if cfg.channel_state then n_neighbors else 0 in
   {
     uid = id;
@@ -71,14 +85,16 @@ let create ~id ~cfg ~n_neighbors ~counter ~notify =
     n_neighbors;
     counter;
     notify;
-    slots =
-      Array.init nslots (fun _ ->
-          { ghost = 0; written = false; value = 0.; channel = 0. });
+    arena;
+    nslots;
+    ghost_base;
+    val_base;
+    slot_scratch = Array.make 2 0.;
     sid = 0;
     ghost_sid = 0;
     last_seen_arr = Array.make (Stdlib.max ls_size 1) 0;
     ghost_last_seen = Array.make (Stdlib.max ls_size 1) 0;
-    neighbor_traffic = Array.make n_neighbors 0;
+    neighbor_traffic_arr = [||];
     fifo_violations = 0;
     notifications = 0;
     tap = None;
@@ -111,7 +127,7 @@ let last_seen t = if t.cfg.channel_state then Array.copy t.last_seen_arr else [|
 let fifo_violations t = t.fifo_violations
 let notifications_sent t = t.notifications
 
-let slot_index t ghost = ghost mod Array.length t.slots
+let slot_index t ghost = ghost mod t.nslots
 
 let wrap_of t ghost =
   if t.cfg.wraparound then Wrap.wrap ~max_sid:t.cfg.max_sid ghost else ghost
@@ -145,11 +161,10 @@ let emit t ~now ~former_sid ~neighbor ~former_ls ~new_ls =
    the hardware performs on an ID advance. Skipped intermediate IDs get no
    slot of their own — the control plane masks them (Fig. 7). *)
 let advance t ~now ~new_ghost ~depth ~via_init =
-  let s = t.slots.(slot_index t new_ghost) in
-  s.ghost <- new_ghost;
-  s.written <- true;
-  s.value <- t.counter.Counter.read ~now;
-  s.channel <- 0.;
+  let i = slot_index t new_ghost in
+  Arena.set_int t.arena (t.ghost_base + i) new_ghost;
+  Arena.set_float t.arena (t.val_base + (2 * i)) (Counter.read t.counter ~now);
+  Arena.set_float t.arena (t.val_base + (2 * i) + 1) 0.;
   let from_ghost = t.ghost_sid in
   t.ghost_sid <- new_ghost;
   t.sid <- wrap_of t new_ghost;
@@ -172,8 +187,11 @@ let advance t ~now ~new_ghost ~depth ~via_init =
    inconsistent by the control plane when the ID advanced past them. *)
 let add_in_flight t ~contribution =
   if t.ghost_sid > 0 then begin
-    let s = t.slots.(slot_index t t.ghost_sid) in
-    if s.written && s.ghost = t.ghost_sid then s.channel <- s.channel +. contribution
+    let i = slot_index t t.ghost_sid in
+    if Arena.get_int t.arena (t.ghost_base + i) = t.ghost_sid then begin
+      let c = t.val_base + (2 * i) + 1 in
+      Arena.set_float t.arena c (Arena.get_float t.arena c +. contribution)
+    end
   end
 
 (* Record the snapshot ID carried by a packet from [neighbor] into the
@@ -236,7 +254,7 @@ let snapshot_logic_data t ~now ~neighbor ~pkt_wrapped ~pkt_depth pkt =
     | Wrap.Older ->
         if t.cfg.channel_state then
           add_in_flight t
-            ~contribution:(t.counter.Counter.channel_contribution pkt);
+            ~contribution:(Counter.channel_contribution t.counter pkt);
         false
     | Wrap.Equal -> false
   in
@@ -266,6 +284,13 @@ let[@inline] note_marker_out t ~now =
         (Trace.Marker_out { u = t.tref; ghost = t.ghost_sid })
   end
 
+let[@inline] count_neighbor_traffic t ch =
+  if ch >= 0 && ch < t.n_neighbors then begin
+    if Array.length t.neighbor_traffic_arr = 0 then
+      t.neighbor_traffic_arr <- Array.make t.n_neighbors 0;
+    t.neighbor_traffic_arr.(ch) <- t.neighbor_traffic_arr.(ch) + 1
+  end
+
 let process_packet t ~now (pkt : Packet.t) =
   if not pkt.Packet.has_snap then begin
     (* Packet from a snapshot-oblivious neighbor (e.g. a host): counter
@@ -274,7 +299,7 @@ let process_packet t ~now (pkt : Packet.t) =
        information (its channel's completion is excluded by the control
        plane, §6 "Ensuring liveness"). *)
     tap_emit t (Tap_external { size = pkt.Packet.size });
-    t.counter.Counter.update ~now pkt;
+    Counter.update t.counter ~now pkt;
     Packet.set_snap ~depth:t.depth pkt ~sid:t.sid ~channel:0
       ~ghost_sid:t.ghost_sid;
     note_marker_out t ~now
@@ -285,8 +310,7 @@ let process_packet t ~now (pkt : Packet.t) =
     | Snapshot_header.Initiation ->
         invalid_arg "Snapshot_unit.process_packet: initiations use process_initiation"
     | Snapshot_header.Data -> ());
-    if hdr.channel >= 0 && hdr.channel < t.n_neighbors then
-      t.neighbor_traffic.(hdr.channel) <- t.neighbor_traffic.(hdr.channel) + 1;
+    count_neighbor_traffic t hdr.channel;
     (* The tap fires before any logic (and before header rewrite) so
        auditors see the ID the packet actually carried on the wire —
        ground truth that stays correct even when the logic below is
@@ -300,7 +324,7 @@ let process_packet t ~now (pkt : Packet.t) =
     if not t.ignore_packet_ids then
       snapshot_logic_data t ~now ~neighbor:hdr.channel ~pkt_wrapped:hdr.sid
         ~pkt_depth:hdr.depth pkt;
-    t.counter.Counter.update ~now pkt;
+    Counter.update t.counter ~now pkt;
     (* Rewrite: the packet now belongs to this unit's current epoch. *)
     hdr.sid <- t.sid;
     hdr.ghost_sid <- t.ghost_sid;
@@ -314,12 +338,20 @@ let process_initiation t ~now ~sid ~ghost_sid =
 
 type slot_read = { value : float option; channel : float }
 
+(* Control-plane capture: one compare on the ghost cell, then a
+   bounds-checked blit of the slot's (value, channel) pair out of the
+   float plane — never a field walk over a heap record. *)
 let read_slot t ~ghost_sid =
-  let s = t.slots.(slot_index t ghost_sid) in
-  if s.written && s.ghost = ghost_sid then { value = Some s.value; channel = s.channel }
+  let i = slot_index t ghost_sid in
+  if Arena.get_int t.arena (t.ghost_base + i) = ghost_sid then begin
+    Arena.blit_floats_to t.arena ~base:(t.val_base + (2 * i)) ~len:2 t.slot_scratch;
+    { value = Some t.slot_scratch.(0); channel = t.slot_scratch.(1) }
+  end
   else { value = None; channel = 0. }
 
-let neighbor_traffic t = Array.copy t.neighbor_traffic
+let neighbor_traffic t =
+  if Array.length t.neighbor_traffic_arr = 0 then Array.make t.n_neighbors 0
+  else Array.copy t.neighbor_traffic_arr
 
 let reset t =
   t.sid <- 0;
@@ -328,12 +360,8 @@ let reset t =
   t.last_out_ghost <- 0;
   Array.fill t.last_seen_arr 0 (Array.length t.last_seen_arr) 0;
   Array.fill t.ghost_last_seen 0 (Array.length t.ghost_last_seen) 0;
-  Array.fill t.neighbor_traffic 0 (Array.length t.neighbor_traffic) 0;
-  Array.iter
-    (fun s ->
-      s.ghost <- 0;
-      s.written <- false;
-      s.value <- 0.;
-      s.channel <- 0.)
-    t.slots;
-  t.counter.Counter.reset ()
+  if Array.length t.neighbor_traffic_arr > 0 then
+    Array.fill t.neighbor_traffic_arr 0 (Array.length t.neighbor_traffic_arr) 0;
+  Arena.fill_ints t.arena ~base:t.ghost_base ~len:t.nslots (-1);
+  Arena.fill_floats t.arena ~base:t.val_base ~len:(2 * t.nslots) 0.;
+  Counter.reset t.counter

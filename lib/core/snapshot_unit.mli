@@ -38,14 +38,18 @@ val variant_channel_state : config
 type t
 
 val create :
+  ?arena:Arena.t ->
   id:Unit_id.t ->
   cfg:config ->
   n_neighbors:int ->
   counter:Counter.t ->
   notify:(Notification.t -> unit) ->
+  unit ->
   t
 (** [n_neighbors] includes the control plane at index 0, so a unit with one
-    physical upstream passes 2. *)
+    physical upstream passes 2. The unit's snapshot slots are flat slices
+    of [arena] (a fresh private arena when omitted); pass the owning
+    shard's arena so all units of a domain share contiguous planes. *)
 
 val id : t -> Unit_id.t
 val cfg : t -> config

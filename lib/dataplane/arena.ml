@@ -1,0 +1,107 @@
+(* Two growable Bigarray planes (native ints, unboxed float64) plus
+   bump-pointer allocation. Growth reallocates the plane and blits, so
+   accessors must re-read the plane field on every call — slices are
+   stable offsets, the storage behind them is not. Bigarray keeps the
+   planes out of the OCaml heap entirely: the GC never scans them, and
+   a float read/write moves an unboxed value. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  mutable ints : ints;
+  mutable int_used : int;
+  mutable floats : floats;
+  mutable float_used : int;
+}
+
+let make_ints n : ints =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0;
+  a
+
+let make_floats n : floats =
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0.;
+  a
+
+let create ?(int_capacity = 1024) ?(float_capacity = 1024) () =
+  {
+    ints = make_ints (Stdlib.max 1 int_capacity);
+    int_used = 0;
+    floats = make_floats (Stdlib.max 1 float_capacity);
+    float_used = 0;
+  }
+
+let int_used t = t.int_used
+let float_used t = t.float_used
+
+let alloc_ints t n =
+  if n <= 0 then invalid_arg "Arena.alloc_ints: size must be positive";
+  let cap = Bigarray.Array1.dim t.ints in
+  if t.int_used + n > cap then begin
+    let ncap = ref (cap * 2) in
+    while t.int_used + n > !ncap do
+      ncap := !ncap * 2
+    done;
+    let na = make_ints !ncap in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub t.ints 0 t.int_used)
+      (Bigarray.Array1.sub na 0 t.int_used);
+    t.ints <- na
+  end;
+  let base = t.int_used in
+  t.int_used <- base + n;
+  base
+
+let alloc_floats t n =
+  if n <= 0 then invalid_arg "Arena.alloc_floats: size must be positive";
+  let cap = Bigarray.Array1.dim t.floats in
+  if t.float_used + n > cap then begin
+    let ncap = ref (cap * 2) in
+    while t.float_used + n > !ncap do
+      ncap := !ncap * 2
+    done;
+    let na = make_floats !ncap in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub t.floats 0 t.float_used)
+      (Bigarray.Array1.sub na 0 t.float_used);
+    t.floats <- na
+  end;
+  let base = t.float_used in
+  t.float_used <- base + n;
+  base
+
+(* Bigarray's own bounds check guards the plane; the extra check against
+   [used] (in the bulk ops) guards against reading into unallocated
+   tail cells of a grown plane. Single-cell accessors rely on the
+   Bigarray check alone: a slice offset is always < used by
+   construction, and the hot paths (counter updates) cannot afford a
+   second compare. *)
+
+let[@inline] get_int t i = Bigarray.Array1.get t.ints i
+let[@inline] set_int t i v = Bigarray.Array1.set t.ints i v
+let[@inline] get_float t i = Bigarray.Array1.get t.floats i
+let[@inline] set_float t i v = Bigarray.Array1.set t.floats i v
+
+let check_slice ~what ~used ~base ~len =
+  if base < 0 || len < 0 || base + len > used then
+    invalid_arg (Printf.sprintf "Arena.%s: slice [%d, %d) outside allocated %d"
+                   what base (base + len) used)
+
+let fill_ints t ~base ~len v =
+  check_slice ~what:"fill_ints" ~used:t.int_used ~base ~len;
+  if len > 0 then Bigarray.Array1.fill (Bigarray.Array1.sub t.ints base len) v
+
+let fill_floats t ~base ~len v =
+  check_slice ~what:"fill_floats" ~used:t.float_used ~base ~len;
+  if len > 0 then Bigarray.Array1.fill (Bigarray.Array1.sub t.floats base len) v
+
+let blit_floats_to t ~base ~len dst =
+  check_slice ~what:"blit_floats_to" ~used:t.float_used ~base ~len;
+  if len > Array.length dst then
+    invalid_arg "Arena.blit_floats_to: destination too small";
+  let plane = t.floats in
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst i (Bigarray.Array1.unsafe_get plane (base + i))
+  done

@@ -1,0 +1,58 @@
+(** Flat state arenas: shared [Bigarray] planes behind the data plane.
+
+    At datacenter scale the simulator's binding constraint is memory
+    layout, not CPU: one boxed [int array] per register and one
+    four-field record per snapshot slot cost a header, a pointer and a
+    cache miss apiece, multiplied by hundreds of thousands of processing
+    units. An arena packs that state into two shared planes — one of
+    native ints, one of unboxed 64-bit floats — and hands out {e slices}
+    (base offset + length). Entities keep only their slice coordinates;
+    the backing store is contiguous, pointer-free and invisible to the
+    GC's marker.
+
+    One arena is created per shard: every entity of a shard allocates
+    from its own domain's arena, so slices inherit domain locality and
+    the parallel backend touches no cross-domain cache lines on the hot
+    path. Allocation order within a shard is deterministic (it follows
+    entity construction order), and slices never move — the planes grow
+    by reallocate-and-blit, so callers must re-fetch the plane through
+    the arena record on every access (the accessors here do).
+
+    Arenas are single-writer like the entities they back: no
+    synchronization, same discipline as the rest of a shard's state. *)
+
+type t
+
+val create : ?int_capacity:int -> ?float_capacity:int -> unit -> t
+(** Fresh arena with pre-sized planes (defaults are small; planes grow
+    geometrically on demand). *)
+
+val alloc_ints : t -> int -> int
+(** [alloc_ints t n] reserves [n] zero-initialised int cells and returns
+    the slice's base offset. [n] must be positive. *)
+
+val alloc_floats : t -> int -> int
+(** [alloc_floats t n]: float-plane counterpart of {!alloc_ints}. *)
+
+val int_used : t -> int
+(** Int cells allocated so far (footprint accounting). *)
+
+val float_used : t -> int
+(** Float cells allocated so far. *)
+
+val get_int : t -> int -> int
+val set_int : t -> int -> int -> unit
+
+val get_float : t -> int -> float
+val set_float : t -> int -> float -> unit
+
+val fill_ints : t -> base:int -> len:int -> int -> unit
+(** Bulk store into an int slice — the arena equivalent of
+    [Array.fill], bounds-checked against the allocated region. *)
+
+val fill_floats : t -> base:int -> len:int -> float -> unit
+
+val blit_floats_to : t -> base:int -> len:int -> float array -> unit
+(** [blit_floats_to t ~base ~len dst] copies the slice into [dst.(0
+    .. len-1)] — the bounds-checked capture path used when a snapshot
+    round is streamed out. *)

@@ -1,126 +1,140 @@
 open Speedlight_sim
 open Speedlight_stats
 
-type t = {
-  kind : string;
-  update : now:Time.t -> Packet.t -> unit;
-  read : now:Time.t -> float;
-  channel_contribution : Packet.t -> float;
-  reset : unit -> unit;
+(* One constructor per metric, dispatched by match instead of through
+   five closure fields: a counter is now a two-word record whose hot
+   state (the registers) lives in the shared arena, and an update is a
+   branch plus an arena store instead of an indirect call through a
+   captured environment. *)
+type rate_state = {
+  bin : Time.t;
+  bin_s : float;
+  decay : float;
+  (* Hardware registers hold integers: the EWMA's resolution is one
+     packet per bin. Reads quantize accordingly, so a quiet port reads
+     exactly zero once the EWMA decays below half a packet per bin
+     instead of leaking an ever-decaying "time since last burst"
+     signal. *)
+  quantum : float;
+  mutable bin_start : int;
+  mutable count : int;
+  mutable ewma : float;
 }
 
-let packet_count () =
-  let reg = Register.create ~name:"pkt_count" ~size:1 in
-  {
-    kind = "pkt_count";
-    update = (fun ~now:_ _ -> Register.add reg 0 1);
-    read = (fun ~now:_ -> float_of_int (Register.read reg 0));
-    channel_contribution = (fun _ -> 1.);
-    reset = (fun () -> Register.reset reg);
-  }
+type fib_state = { reg : Register.t; mutable current : int }
 
-let byte_count () =
-  let reg = Register.create ~name:"byte_count" ~size:1 in
-  {
-    kind = "byte_count";
-    update = (fun ~now:_ (pkt : Packet.t) -> Register.add reg 0 pkt.size);
-    read = (fun ~now:_ -> float_of_int (Register.read reg 0));
-    channel_contribution = (fun (pkt : Packet.t) -> float_of_int pkt.size);
-    reset = (fun () -> Register.reset reg);
-  }
+type impl =
+  | Pkt_count of Register.t
+  | Byte_count of Register.t
+  | Queue_depth of (unit -> int)
+  | Ewma_inter of Ewma.Two_phase.t
+  | Ewma_rate of rate_state
+  | Sketch_flow of { sk : Sketch.t; tracked_flow : int }
+  | Const of float
+  | Fwd_version of fib_state
 
-let queue_depth ~read_depth =
-  {
-    kind = "queue_depth";
-    update = (fun ~now:_ _ -> ());
-    read = (fun ~now:_ -> float_of_int (read_depth ()));
-    channel_contribution = (fun _ -> 0.);
-    reset = (fun () -> ());
-  }
+type t = { kind : string; impl : impl }
+
+let kind t = t.kind
+
+let private_arena () = Arena.create ~int_capacity:1 ~float_capacity:1 ()
+
+let packet_count ?arena () =
+  let arena = match arena with Some a -> a | None -> private_arena () in
+  { kind = "pkt_count"; impl = Pkt_count (Register.create_in ~arena ~name:"pkt_count" ~size:1) }
+
+let byte_count ?arena () =
+  let arena = match arena with Some a -> a | None -> private_arena () in
+  { kind = "byte_count"; impl = Byte_count (Register.create_in ~arena ~name:"byte_count" ~size:1) }
+
+let queue_depth ~read_depth = { kind = "queue_depth"; impl = Queue_depth read_depth }
 
 let ewma_interarrival () =
-  let ew = Ewma.Two_phase.create () in
-  {
-    kind = "ewma_interarrival";
-    update = (fun ~now _ -> Ewma.Two_phase.on_packet ew ~now);
-    read = (fun ~now:_ -> Ewma.Two_phase.value ew);
-    channel_contribution = (fun _ -> 0.);
-    reset = (fun () -> Ewma.Two_phase.reset ew);
-  }
+  { kind = "ewma_interarrival"; impl = Ewma_inter (Ewma.Two_phase.create ()) }
 
 let ewma_rate ?(bin = Time.ms 1) ?(decay = 0.5) () =
   if bin <= 0 then invalid_arg "Counter.ewma_rate: bin must be positive";
   let bin_s = Time.to_sec bin in
-  let bin_start = ref 0 in
-  let count = ref 0 in
-  let ewma = ref 0. in
-  (* Hardware registers hold integers: the EWMA's resolution is one packet
-     per bin. Reads quantize accordingly, so a quiet port reads exactly
-     zero once the EWMA decays below half a packet per bin instead of
-     leaking an ever-decaying "time since last burst" signal. *)
-  let quantum = 1. /. bin_s in
-  (* Fold every bin that has fully elapsed by [now] into the EWMA; idle
-     bins contribute a rate of zero, so the value decays on a quiet port. *)
-  let advance_to now =
-    while now >= !bin_start + bin do
-      let rate = float_of_int !count /. bin_s in
-      ewma := (decay *. rate) +. ((1. -. decay) *. !ewma);
-      count := 0;
-      bin_start := !bin_start + bin
-    done
-  in
   {
     kind = "ewma_rate";
-    update =
-      (fun ~now _ ->
-        advance_to now;
-        incr count);
-    read =
-      (fun ~now ->
-        advance_to now;
-        Float.round (!ewma /. quantum) *. quantum);
-    channel_contribution = (fun _ -> 0.);
-    reset =
-      (fun () ->
-        bin_start := 0;
-        count := 0;
-        ewma := 0.);
+    impl =
+      Ewma_rate
+        { bin; bin_s; decay; quantum = 1. /. bin_s; bin_start = 0; count = 0; ewma = 0. };
   }
 
 let sketch_flow ?sketch ~tracked_flow () =
   let sk = match sketch with Some s -> s | None -> Sketch.create () in
-  {
-    kind = Printf.sprintf "sketch_flow(%d)" tracked_flow;
-    update =
-      (fun ~now:_ (pkt : Packet.t) -> Sketch.update sk ~flow_id:pkt.flow_id 1);
-    read = (fun ~now:_ -> float_of_int (Sketch.query sk ~flow_id:tracked_flow));
-    channel_contribution =
-      (fun (pkt : Packet.t) -> if pkt.flow_id = tracked_flow then 1. else 0.);
-    reset = (fun () -> Sketch.reset sk);
-  }
+  { kind = Printf.sprintf "sketch_flow(%d)" tracked_flow; impl = Sketch_flow { sk; tracked_flow } }
 
-let constant v =
-  {
-    kind = "constant";
-    update = (fun ~now:_ _ -> ());
-    read = (fun ~now:_ -> v);
-    channel_contribution = (fun _ -> 0.);
-    reset = (fun () -> ());
-  }
+let constant v = { kind = "constant"; impl = Const v }
 
-let forwarding_version () =
-  let reg = Register.create ~name:"fib_version" ~size:1 in
-  let current = ref 0 in
+let forwarding_version ?arena () =
+  let arena = match arena with Some a -> a | None -> private_arena () in
   let counter =
     {
       kind = "fib_version";
-      update = (fun ~now:_ _ -> Register.write reg 0 !current);
-      read = (fun ~now:_ -> float_of_int (Register.read reg 0));
-      channel_contribution = (fun _ -> 0.);
-      reset =
-        (fun () ->
-          current := 0;
-          Register.reset reg);
+      impl =
+        Fwd_version
+          { reg = Register.create_in ~arena ~name:"fib_version" ~size:1; current = 0 };
     }
   in
-  (counter, fun v -> current := v)
+  ( counter,
+    fun v ->
+      match counter.impl with
+      | Fwd_version r -> r.current <- v
+      | _ -> assert false )
+
+(* Fold every bin that has fully elapsed by [now] into the EWMA; idle
+   bins contribute a rate of zero, so the value decays on a quiet port. *)
+let rate_advance_to r now =
+  while now >= r.bin_start + r.bin do
+    let rate = float_of_int r.count /. r.bin_s in
+    r.ewma <- (r.decay *. rate) +. ((1. -. r.decay) *. r.ewma);
+    r.count <- 0;
+    r.bin_start <- r.bin_start + r.bin
+  done
+
+let update t ~now (pkt : Packet.t) =
+  match t.impl with
+  | Pkt_count reg -> Register.add reg 0 1
+  | Byte_count reg -> Register.add reg 0 pkt.size
+  | Queue_depth _ | Const _ -> ()
+  | Ewma_inter ew -> Ewma.Two_phase.on_packet ew ~now
+  | Ewma_rate r ->
+      rate_advance_to r now;
+      r.count <- r.count + 1
+  | Sketch_flow { sk; _ } -> Sketch.update sk ~flow_id:pkt.flow_id 1
+  | Fwd_version { reg; current } -> Register.write reg 0 current
+
+let read t ~now =
+  match t.impl with
+  | Pkt_count reg | Byte_count reg | Fwd_version { reg; _ } ->
+      float_of_int (Register.read reg 0)
+  | Queue_depth read_depth -> float_of_int (read_depth ())
+  | Const v -> v
+  | Ewma_inter ew -> Ewma.Two_phase.value ew
+  | Ewma_rate r ->
+      rate_advance_to r now;
+      Float.round (r.ewma /. r.quantum) *. r.quantum
+  | Sketch_flow { sk; tracked_flow } -> float_of_int (Sketch.query sk ~flow_id:tracked_flow)
+
+let channel_contribution t (pkt : Packet.t) =
+  match t.impl with
+  | Pkt_count _ -> 1.
+  | Byte_count _ -> float_of_int pkt.size
+  | Sketch_flow { tracked_flow; _ } -> if pkt.flow_id = tracked_flow then 1. else 0.
+  | Queue_depth _ | Ewma_inter _ | Ewma_rate _ | Const _ | Fwd_version _ -> 0.
+
+let reset t =
+  match t.impl with
+  | Pkt_count reg | Byte_count reg -> Register.reset reg
+  | Queue_depth _ | Const _ -> ()
+  | Ewma_inter ew -> Ewma.Two_phase.reset ew
+  | Ewma_rate r ->
+      r.bin_start <- 0;
+      r.count <- 0;
+      r.ewma <- 0.
+  | Sketch_flow { sk; _ } -> Sketch.reset sk
+  | Fwd_version fv ->
+      fv.current <- 0;
+      Register.reset fv.reg

@@ -7,22 +7,36 @@
     - the metric-specific channel-state contribution of an in-flight packet
       (§4.2: e.g. +1 per packet for a network-wide packet count; 0 for
       instantaneous metrics like queue depth where channel state is
-      meaningless). *)
+      meaningless).
+
+    Counters are variant-dispatched over flat state: the register-backed
+    metrics keep their cells in an {!Arena} plane (pass [?arena] to share
+    the shard's plane), so a counter costs two words of heap plus its
+    arena slice instead of a five-closure record. *)
 
 open Speedlight_sim
 
-type t = {
-  kind : string;  (** e.g. "pkt_count"; used in reports *)
-  update : now:Time.t -> Packet.t -> unit;
-  read : now:Time.t -> float;
-  channel_contribution : Packet.t -> float;
-  reset : unit -> unit;
-}
+type t
 
-val packet_count : unit -> t
+val kind : t -> string
+(** e.g. ["pkt_count"]; used in reports. *)
+
+val update : t -> now:Time.t -> Packet.t -> unit
+(** Applied to every forwarded packet. *)
+
+val read : t -> now:Time.t -> float
+(** Current value (what gets saved into a snapshot slot). *)
+
+val channel_contribution : t -> Packet.t -> float
+(** The in-flight contribution of one packet (0 for instantaneous
+    metrics). *)
+
+val reset : t -> unit
+
+val packet_count : ?arena:Arena.t -> unit -> t
 (** Per-unit packet counter; channel contribution 1 per in-flight packet. *)
 
-val byte_count : unit -> t
+val byte_count : ?arena:Arena.t -> unit -> t
 (** Per-unit byte counter; channel contribution = packet size. *)
 
 val queue_depth : read_depth:(unit -> int) -> t
@@ -53,7 +67,7 @@ val sketch_flow : ?sketch:Sketch.t -> tracked_flow:int -> unit -> t
 val constant : float -> t
 (** A counter that never changes — handy in unit tests. *)
 
-val forwarding_version : unit -> t * (int -> unit)
+val forwarding_version : ?arena:Arena.t -> unit -> t * (int -> unit)
 (** §10 "Measuring Forwarding State": the control plane tags FIB versions;
     passing packets store the version ID into unit state. Returns the
     counter and a setter invoked by the control plane when it installs a

@@ -1,34 +1,58 @@
-type t = { name : string; cells : int array; mutable accesses : int }
+type t = {
+  name : string;
+  arena : Arena.t;
+  base : int;
+  size : int;
+  mutable accesses : int;
+}
+
+let create_in ~arena ~name ~size =
+  if size <= 0 then invalid_arg "Register.create: size must be positive";
+  { name; arena; base = Arena.alloc_ints arena size; size; accesses = 0 }
 
 let create ~name ~size =
-  if size <= 0 then invalid_arg "Register.create: size must be positive";
-  { name; cells = Array.make size 0; accesses = 0 }
+  (* Standalone register: a private arena sized exactly for it. Entities
+     that share a plane use [create_in] instead. *)
+  create_in ~arena:(Arena.create ~int_capacity:size ~float_capacity:1 ()) ~name ~size
 
 let name t = t.name
-let size t = Array.length t.cells
+let size t = t.size
+
+let[@inline] check t i =
+  if i < 0 || i >= t.size then invalid_arg "Register: index out of bounds"
 
 let read t i =
+  check t i;
   t.accesses <- t.accesses + 1;
-  t.cells.(i)
+  Arena.get_int t.arena (t.base + i)
 
 let write t i v =
+  check t i;
   t.accesses <- t.accesses + 1;
-  t.cells.(i) <- v
+  Arena.set_int t.arena (t.base + i) v
 
 let add t i delta =
+  check t i;
   t.accesses <- t.accesses + 1;
-  t.cells.(i) <- t.cells.(i) + delta
+  Arena.set_int t.arena (t.base + i) (Arena.get_int t.arena (t.base + i) + delta)
 
 let read_modify_write t i f =
+  check t i;
   t.accesses <- t.accesses + 1;
-  let old = t.cells.(i) in
-  t.cells.(i) <- f old;
+  let old = Arena.get_int t.arena (t.base + i) in
+  Arena.set_int t.arena (t.base + i) (f old);
   old
 
+(* [fill] touches every cell, so it charges [size] accesses — the same
+   cost the control plane would pay writing cells one at a time. (It
+   used to charge 1 regardless of size, which made a width-64 table
+   wipe look cheaper than a single-cell write.) *)
 let fill t v =
-  Array.fill t.cells 0 (Array.length t.cells) v;
-  t.accesses <- t.accesses + 1
+  Arena.fill_ints t.arena ~base:t.base ~len:t.size v;
+  t.accesses <- t.accesses + t.size
 
 let reset t = fill t 0
 let access_count t = t.accesses
-let to_array t = Array.copy t.cells
+
+let to_array t =
+  Array.init t.size (fun i -> Arena.get_int t.arena (t.base + i))

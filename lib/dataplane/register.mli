@@ -2,15 +2,32 @@
 
     Speedlight's per-unit protocol state (snapshot ID, snapshot values,
     last-seen array) and its counters live in register arrays manipulated
-    by stateful ALUs. We model them as fixed-size integer arrays with
+    by stateful ALUs. We model them as fixed-size integer slices with
     explicit read/write/read-modify-write operations so that (a) state is
     confined to what hardware could hold and (b) accesses can be counted
-    for the resource model. *)
+    for the resource model.
+
+    A register is a slice of an {!Arena} int plane: entities created
+    with {!create_in} pack their cells into a shard-shared flat
+    [Bigarray] (no per-register heap block, no GC pressure), while
+    {!create} keeps the old standalone behavior for tests and one-off
+    registers.
+
+    {b Access accounting.} Every single-cell operation ({!read},
+    {!write}, {!add}, {!read_modify_write}) charges exactly one access.
+    {!fill} (and {!reset}, which is [fill 0]) touches every cell and
+    charges [size] accesses — the model's cost for a control-plane wipe
+    of the whole array. *)
 
 type t
 
 val create : name:string -> size:int -> t
-(** A register array of [size] cells initialised to 0. *)
+(** A register array of [size] cells initialised to 0, backed by its own
+    private arena. *)
+
+val create_in : arena:Arena.t -> name:string -> size:int -> t
+(** Same, but the cells are a slice of [arena]'s int plane — used by
+    per-shard entities so all hot state shares one contiguous store. *)
 
 val name : t -> string
 val size : t -> int
@@ -28,13 +45,15 @@ val read_modify_write : t -> int -> (int -> int) -> int
     stateful ALU exports to the packet). *)
 
 val fill : t -> int -> unit
-(** Set every cell (control-plane initialisation). *)
+(** Set every cell (control-plane initialisation). Charges [size]
+    accesses — one per cell written, consistent with the per-cell ops. *)
 
 val reset : t -> unit
-(** Zero all cells. *)
+(** Zero all cells ([fill t 0]; charges [size] accesses). *)
 
 val access_count : t -> int
-(** Number of read/write operations performed (resource accounting). *)
+(** Number of cell accesses performed (resource accounting): 1 per
+    single-cell operation, [size] per {!fill}/{!reset}. *)
 
 val to_array : t -> int array
 (** Snapshot of contents (copies; control-plane register reads). *)

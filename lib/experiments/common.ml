@@ -98,6 +98,36 @@ let all_egress_units net =
 
 let quick_scale ~quick n = if quick then Stdlib.max 5 (n / 4) else n
 
+(* Peak resident set of this process so far, from the kernel's VmHWM
+   high-water mark. Linux-only by construction (/proc); every other
+   platform reports [None] and the benches print -1. Note the value is
+   cumulative for the process: in a multi-stage bench each stage reads
+   the max over everything run before it. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let prefix = "VmHWM:" in
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if
+                  String.length line > String.length prefix
+                  && String.sub line 0 (String.length prefix) = prefix
+                then
+                  try
+                    Scanf.sscanf
+                      (String.sub line 6 (String.length line - 6))
+                      " %d" (fun kb -> Some kb)
+                  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+                else scan ()
+          in
+          scan ())
+
 let pp_header fmt title =
   let bar = String.make 72 '=' in
   Format.fprintf fmt "%s@.%s@.%s@." bar title bar

@@ -66,5 +66,11 @@ val all_egress_units : Net.t -> Unit_id.t list
 val quick_scale : quick:bool -> int -> int
 (** Shrink an iteration count in quick mode (divides by 4, min 5). *)
 
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process in kB ([VmHWM] from
+    [/proc/self/status]). Linux-only: [None] where /proc is missing.
+    Process-cumulative — it never decreases, so in a multi-stage bench
+    each reading covers everything executed before it. *)
+
 val pp_header : Format.formatter -> string -> unit
 (** Section banner used by the harness output. *)

@@ -178,6 +178,265 @@ let print_sharded fmt r =
     "identical=true means the sharded run's digest (all packet counts and@.";
   Format.fprintf fmt "snapshot reports) matches the serial run byte for byte@."
 
+(* ------------------------------------------------------------------ *)
+(* Datacenter scale: Fig. 11's operating point, run for real.
+
+   Fig. 11 *predicts* synchronization at thousands of switches from a
+   Monte-Carlo model because the testbed stopped at 4 switches. With
+   arena-backed flat unit state and a streaming archive writer the
+   simulator itself now reaches that regime: this sweep deploys the
+   full protocol on 1k / 4k / 10k-switch fat trees — the fabric family
+   Fig. 11 models — and reports each run's throughput and memory
+   envelope. The 1k-class point (k=32, 1,280 switches) also carries the
+   fan-out-scaled Terasort/PageRank/memcached workload mix; the 4k and
+   10k points (k=56 / k=90) are driven by initiations alone.
+
+   Snapshot pacing is sized to the control plane, not wished past it:
+   a radix-r switch hosts 2r snapshot units, each notifying its CP once
+   per snapshot, and the CP serves notifications at [notify_proc_time]
+   (110 us, the paper's measured per-notification cost that caps
+   Fig. 10's sustainable rate). A snapshot therefore needs ~2r x 110 us
+   of CP time at the biggest switch — ~7 ms at k=32, ~12 ms at k=56,
+   ~20 ms at k=90 — and the sweep's intervals sit just above those
+   service times, exactly how a real deployment would pace initiations.
+   (This is also why the old 992-leaf Clos point was replaced: its
+   fictional radix-992 spines would need ~218 ms of CP time per
+   snapshot, so no realistic initiation rate completes on it.)
+
+   Memory discipline: the wraparound (no-channel-state) variant with a
+   small sid modulus keeps per-unit arena slices tight, the observer
+   retains only the last two finished snapshots, and every completed
+   round streams straight to an on-disk archive — so peak RSS stays
+   bounded by the network size, not by the snapshot campaign length. *)
+
+module Store = Speedlight_store.Store
+module Apps = Speedlight_workload.Apps
+module Traffic = Speedlight_workload.Traffic
+
+type large_point = {
+  lp_label : string;
+  lp_switches : int;
+  lp_hosts : int;
+  lp_units : int;
+  lp_shards : int;
+  lp_flows : int;  (** flow ids issued by the workload (0 = initiation-only) *)
+  lp_events : int;
+  lp_snapshots_taken : int;
+  lp_snapshots_complete : int;
+  lp_archived_rounds : int;
+  lp_wall_s : float;
+  lp_events_per_sec : float;
+  lp_snapshots_per_sec : float;
+  lp_peak_rss_kb : int;  (** process VmHWM after the run; -1 if unavailable *)
+}
+
+type large_result = {
+  lr_points : large_point list;
+  lr_digest_identical : bool;
+      (** run digest equal at 1 and 2 shards on the small control Clos *)
+  lr_archive_identical : bool;
+      (** streamed archive bytes equal at 1 and 2 shards on the same run *)
+}
+
+(* Two snapshot-units per connected switch port; cheaper than
+   materializing [Net.all_unit_ids] at 10k switches. *)
+let unit_count topo =
+  let n = ref 0 in
+  Topology.iter_switch_ports topo (fun ~switch:_ ~port:_ _ -> incr n);
+  2 * !n
+
+let large_cfg ~retain ~seed =
+  let variant =
+    { Snapshot_unit.variant_wraparound with Snapshot_unit.max_sid = 15 }
+  in
+  let cfg =
+    Config.default |> Config.with_variant variant |> Config.with_seed seed
+  in
+  { cfg with Config.observer_retain = retain }
+
+let fresh_dir tag =
+  let f = Filename.temp_file ("sl-scale-" ^ tag) "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* One large point: build the fabric, attach the streaming writer, let
+   [traffic] (optional) load the network, fire [count] snapshots, and
+   measure the run loop. The writer streams to a throwaway /tmp archive
+   that is deleted after the round count is read — the point here is
+   the bounded-memory capture path, not the artifact. *)
+let run_large_point ~label ~topo ~n_hosts ~traffic ~start ~interval ~count
+    ~run_until ~seed ~shards () =
+  let cfg = large_cfg ~retain:(Some 2) ~seed in
+  let net = Net.create ~cfg ~shards topo in
+  let dir = fresh_dir label in
+  let w = Store.Writer.create ~dir () in
+  Store.Writer.attach w net;
+  let completes = ref 0 in
+  Observer.on_complete (Net.observer net) (fun s ->
+      if s.Observer.complete then incr completes);
+  let fids = Traffic.flow_ids () in
+  traffic ~net ~fids;
+  let t0 = Unix.gettimeofday () in
+  let sids = Common.take_snapshots net ~start ~interval ~count ~run_until in
+  let wall = Unix.gettimeofday () -. t0 in
+  let archived = Store.Writer.rounds_written w in
+  Store.Writer.close w;
+  rm_rf dir;
+  {
+    lp_label = label;
+    lp_switches = Topology.n_switches topo;
+    lp_hosts = n_hosts;
+    lp_units = unit_count topo;
+    lp_shards = shards;
+    lp_flows = Traffic.flows_issued fids;
+    lp_events = Net.events net;
+    lp_snapshots_taken = List.length sids;
+    lp_snapshots_complete = !completes;
+    lp_archived_rounds = archived;
+    lp_wall_s = wall;
+    lp_events_per_sec = float_of_int (Net.events net) /. wall;
+    lp_snapshots_per_sec = float_of_int !completes /. wall;
+    lp_peak_rss_kb = (match Common.peak_rss_kb () with Some k -> k | None -> -1);
+  }
+
+(* The 1k-class point: a k=32 fat tree (1,280 switches, 512 hosts)
+   running the fan-out-scaled Terasort/PageRank/memcached mix. In full
+   mode the mix issues close to a million flows over 120 ms of
+   simulated time; per-flow workload state stays O(1) throughout. *)
+let fat_tree_1k_point ~quick ~seed =
+  let ft = Topology.fat_tree ~k:32 ~hosts_per_edge:1 () in
+  let t_traffic = if quick then Time.ms 12 else Time.ms 120 in
+  let traffic ~net ~fids =
+    let p = Apps.Scaled.default_params ~hosts:ft.Topology.ft_hosts () in
+    let p =
+      {
+        p with
+        Apps.Scaled.fan_out = (if quick then 2 else 16);
+        round_period = Time.ms 1;
+      }
+    in
+    Apps.Scaled.mix ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+      ~send:(Common.sender net) ~fids ~until:t_traffic p
+  in
+  run_large_point ~label:"fat-tree-k32" ~topo:ft.Topology.ft_topo
+    ~n_hosts:(Array.length ft.Topology.ft_hosts)
+    ~traffic ~start:(Time.ms 5)
+    ~interval:(Time.ms (if quick then 8 else 12))
+    ~count:(if quick then 4 else 10)
+    ~run_until:
+      (Time.add t_traffic (Time.ms (if quick then 30 else 40)))
+    ~seed ~shards:1 ()
+
+(* The 4k and 10k points: k-ary fat trees with one representative host
+   per edge switch, driven by initiations alone (no channel state, so
+   snapshots complete without traffic) — the configuration whose
+   synchronization Fig. 11 extrapolates. [interval_ms] must clear the
+   biggest switch's per-snapshot CP service time, 2k x 110 us. *)
+let fat_tree_point ~k ~count ~interval_ms ~seed =
+  let ft = Topology.fat_tree ~k ~hosts_per_edge:1 () in
+  run_large_point
+    ~label:(Printf.sprintf "fat-tree-k%d" k)
+    ~topo:ft.Topology.ft_topo
+    ~n_hosts:(Array.length ft.Topology.ft_hosts)
+    ~traffic:(fun ~net:_ ~fids:_ -> ())
+    ~start:(Time.ms 5) ~interval:(Time.ms interval_ms) ~count
+    ~run_until:(Time.add (Time.ms 5) ((count + 3) * Time.ms interval_ms))
+    ~seed ~shards:1 ()
+
+(* Control experiment on a small Clos: the same seeded configuration at
+   1 and 2 shards must agree on the run digest (every observable) and
+   on the streamed archive bytes. This is the determinism oracle that
+   lets the big single-measurement points above be trusted. *)
+let small_clos_equivalence ~seed =
+  let run ~shards ~dir =
+    let c = Topology.clos2 ~leaves:8 ~spines:2 ~hosts_per_leaf:1 () in
+    let cfg = large_cfg ~retain:None ~seed in
+    let net = Net.create ~cfg ~shards c.Topology.c2_topo in
+    let w = Store.Writer.create ~dir () in
+    Store.Writer.attach w net;
+    let fids = Traffic.flow_ids () in
+    let p =
+      Apps.Scaled.default_params ~hosts:c.Topology.c2_hosts ~fan_out:2 ()
+    in
+    Apps.Scaled.mix ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+      ~send:(Common.sender net) ~fids ~until:(Time.ms 20) p;
+    let sids =
+      Common.take_snapshots net ~start:(Time.ms 4) ~interval:(Time.ms 4)
+        ~count:4 ~run_until:(Time.ms 40)
+    in
+    let digest = Common.run_digest net ~sids in
+    Store.Writer.close w;
+    digest
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let d1 = fresh_dir "eq1" and d2 = fresh_dir "eq2" in
+  let dig1 = run ~shards:1 ~dir:d1 in
+  let dig2 = run ~shards:2 ~dir:d2 in
+  let files d = Sys.readdir d |> Array.to_list |> List.sort String.compare in
+  let f1 = files d1 and f2 = files d2 in
+  let archive_identical =
+    f1 = f2
+    && List.for_all
+         (fun f ->
+           String.equal
+             (read_file (Filename.concat d1 f))
+             (read_file (Filename.concat d2 f)))
+         f1
+  in
+  rm_rf d1;
+  rm_rf d2;
+  (String.equal dig1 dig2, archive_identical)
+
+let fig11_large ?(quick = false) ?(seed = 61) () =
+  let digest_identical, archive_identical = small_clos_equivalence ~seed in
+  (* Points run smallest-first, sequenced explicitly: a list literal
+     would evaluate right-to-left, running the 10k-switch point first
+     and inflating every later point's cumulative VmHWM reading. The
+     compaction between points returns freed heap to the OS so each
+     reading approximates that point's own peak. *)
+  let points =
+    if quick then [ fat_tree_1k_point ~quick ~seed ]
+    else begin
+      let p1 = fat_tree_1k_point ~quick ~seed in
+      Gc.compact ();
+      let p2 = fat_tree_point ~k:56 ~count:4 ~interval_ms:16 ~seed in
+      Gc.compact ();
+      let p3 = fat_tree_point ~k:90 ~count:3 ~interval_ms:24 ~seed in
+      [ p1; p2; p3 ]
+    end
+  in
+  { lr_points = points; lr_digest_identical = digest_identical;
+    lr_archive_identical = archive_identical }
+
+let print_large fmt r =
+  Common.pp_header fmt
+    "Extension: datacenter scale — the Fig. 11 operating point, run for real";
+  Format.fprintf fmt "%14s %9s %7s %9s %10s %9s %8s %11s %8s %12s@." "fabric"
+    "switches" "hosts" "units" "flows" "events" "wall(s)" "events/s" "snaps/s"
+    "peakRSS(MB)";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%14s %9d %7d %9d %10d %9d %8.2f %11.0f %8.2f %12.1f@."
+        p.lp_label p.lp_switches p.lp_hosts p.lp_units p.lp_flows p.lp_events
+        p.lp_wall_s p.lp_events_per_sec p.lp_snapshots_per_sec
+        (float_of_int p.lp_peak_rss_kb /. 1024.))
+    r.lr_points;
+  Format.fprintf fmt
+    "@.control Clos 1-vs-2 shards: digest identical=%b, archive bytes \
+     identical=%b@."
+    r.lr_digest_identical r.lr_archive_identical
+
 let print fmt r =
   Common.pp_header fmt
     "Extension: real-protocol synchronization on fat trees vs Fig.11 prediction";

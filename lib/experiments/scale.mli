@@ -48,3 +48,51 @@ val run_sharded :
     interesting column is [sp_identical]. *)
 
 val print_sharded : Format.formatter -> sharded_result -> unit
+
+(** {2 Datacenter scale}
+
+    Fig. 11 extrapolates to thousands of switches with a Monte-Carlo
+    model; this sweep runs the full protocol there. Flat arena-backed
+    unit state, an eviction-capped observer and a streaming archive
+    writer keep peak memory bounded by network size rather than
+    campaign length. *)
+
+type large_point = {
+  lp_label : string;  (** e.g. ["fat-tree-k32"], ["fat-tree-k90"] *)
+  lp_switches : int;
+  lp_hosts : int;
+  lp_units : int;  (** snapshot units (two per connected port) *)
+  lp_shards : int;
+  lp_flows : int;  (** flow ids issued by the workload (0 = initiation-only) *)
+  lp_events : int;
+  lp_snapshots_taken : int;
+  lp_snapshots_complete : int;
+  lp_archived_rounds : int;  (** rounds streamed to the throwaway archive *)
+  lp_wall_s : float;
+  lp_events_per_sec : float;
+  lp_snapshots_per_sec : float;
+  lp_peak_rss_kb : int;
+      (** process [VmHWM] right after the run; -1 where /proc is missing *)
+}
+
+type large_result = {
+  lr_points : large_point list;
+  lr_digest_identical : bool;
+      (** run digest equal at 1 and 2 shards on the small control Clos *)
+  lr_archive_identical : bool;
+      (** streamed archive bytes equal at 1 and 2 shards on the same run *)
+}
+
+val fig11_large : ?quick:bool -> ?seed:int -> unit -> large_result
+(** The sweep: a k=32 fat tree (1,280 switches) under the
+    fan-out-scaled Terasort/PageRank/memcached mix (~1M flows in full
+    mode), then initiation-driven k=56 (3,920 switches) and k=90
+    (10,125 switches) fat trees, each paced just above its biggest
+    switch's per-snapshot control-plane service time (2k x 110 us).
+    Quick mode runs only the 1k-class point with a trimmed workload.
+    Every point streams completed rounds to a temporary archive and
+    reports throughput plus peak RSS; the result also carries a
+    1-vs-2-shard digest and archive byte-identity check on a small
+    control Clos. *)
+
+val print_large : Format.formatter -> large_result -> unit

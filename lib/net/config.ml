@@ -41,6 +41,7 @@ type t = {
   observer_lead_time : Time.t;
   observer_retry_timeout : Time.t;
   observer_max_retries : int;
+  observer_retain : int option;
   snapshot_disabled_switches : int list;
   seed : int;
 }
@@ -66,6 +67,7 @@ let default =
     observer_lead_time = Time.ms 1;
     observer_retry_timeout = Time.ms 50;
     observer_max_retries = 5;
+    observer_retain = None;
     snapshot_disabled_switches = [];
     seed = 42;
   }

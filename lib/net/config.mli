@@ -48,6 +48,11 @@ type t = {
   observer_lead_time : Time.t;  (** how far ahead snapshots are scheduled *)
   observer_retry_timeout : Time.t;
   observer_max_retries : int;
+  observer_retain : int option;
+      (** keep only the last N finished snapshots in observer memory
+          ([None] = keep all). Long scale runs stream completed rounds to
+          a {!Speedlight_store} writer anyway; retaining every finished
+          report map would make observer memory grow without bound. *)
   snapshot_disabled_switches : int list;  (** partial deployment (§10) *)
   seed : int;
 }

@@ -447,7 +447,8 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
   let obs =
     Observer.create ~engine:engine0 ~lead_time:cfg.Config.observer_lead_time
       ~retry_timeout:cfg.Config.observer_retry_timeout
-      ~max_retries:cfg.Config.observer_max_retries ()
+      ~max_retries:cfg.Config.observer_max_retries
+      ?retain:cfg.Config.observer_retain ()
   in
   let ptp = Ptp.create ~profile:cfg.Config.ptp ~rng:(Rng.split master_rng) engine0 in
   (* Stable source ids, assigned in fixed construction order so they are
@@ -590,7 +591,27 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       tracer = None;
     }
   in
-  let utilized = compute_utilized topo routing in
+  (* Channel-state exclusions (and the routing-utilization table behind
+     them) only matter when the variant collects channel state: without
+     it the CP tracker completes units on their own ID alone and never
+     consults the inclusion mask, so the O(hosts * switches * ports)
+     utilization sweep is pure waste at scale. *)
+  let channel_state = cfg.Config.unit_cfg.Snapshot_unit.channel_state in
+  let utilized = if channel_state then compute_utilized topo routing else [||] in
+  (* Flat data-plane state: one arena per shard keeps every resident
+     switch's registers and snapshot slots in two contiguous Bigarray
+     planes owned by that shard's domain. *)
+  let arenas = Array.init n_shards (fun _ -> Arena.create ()) in
+  (* Host attachment lookup, built once and shared by every switch. *)
+  let n_hosts = Topology.n_hosts topo in
+  let attach_sw_arr = Array.make n_hosts 0 in
+  let attach_port_arr = Array.make n_hosts 0 in
+  for h = 0 to n_hosts - 1 do
+    let s, p = Topology.host_attachment topo ~host:h in
+    attach_sw_arr.(h) <- s;
+    attach_port_arr.(h) <- p
+  done;
+  let host_attach = (attach_sw_arr, attach_port_arr) in
   (* Data planes. *)
   let sw_acc = ref [] in
   for s = 0 to n_sw - 1 do
@@ -641,8 +662,9 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       Packet.Gen.release t.pktgens.(shard) pkt
     in
     sw_acc :=
-      Switch.create ~id:s ~engine:eng ~rng:selector_rngs.(s) ~cfg ~topo ~routing
-        ~pktgen:t.pktgens.(shard) ~notify ~deliver_host ~enabled:(enabled s)
+      Switch.create ~arena:arenas.(shard) ~host_attach ~id:s ~engine:eng
+        ~rng:selector_rngs.(s) ~cfg ~topo ~routing ~pktgen:t.pktgens.(shard)
+        ~notify ~deliver_host ~enabled:(enabled s) ()
       :: !sw_acc
   done;
   t.switches <- Array.of_list (List.rev !sw_acc);
@@ -763,35 +785,39 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
              the upstream is a snapshot-enabled switch whose routing can
              send traffic this way. *)
           let ingress_excl =
-            match Topology.peer_of topo ~switch:s ~port:p with
-            | Some (Topology.Switch_port (s', p')) when enabled s' ->
-                let feeds =
-                  List.exists
-                    (fun dst ->
-                      Array.exists (fun q -> q = p')
-                        (Routing.candidates routing ~switch:s' ~dst_host:dst))
-                    (List.init (Topology.n_hosts topo) (fun h -> h))
-                in
-                if feeds then [] else [ 1 ]
-            | Some (Topology.Switch_port _) | Some (Topology.Host_port _) | None ->
-                [ 1 ]
+            if not channel_state then []
+            else
+              match Topology.peer_of topo ~switch:s ~port:p with
+              | Some (Topology.Switch_port (s', p')) when enabled s' ->
+                  let feeds =
+                    List.exists
+                      (fun dst ->
+                        Array.exists (fun q -> q = p')
+                          (Routing.candidates routing ~switch:s' ~dst_host:dst))
+                      (List.init (Topology.n_hosts topo) (fun h -> h))
+                  in
+                  if feeds then [] else [ 1 ]
+              | Some (Topology.Switch_port _) | Some (Topology.Host_port _)
+              | None ->
+                  [ 1 ]
           in
           (* Egress: internal channels from every (in port, CoS); excluded
              when the pair is not utilized by routing or the CoS is
              unused. *)
           let n_ports = Topology.ports topo s in
           let egress_excl = ref [] in
-          for inp = 0 to n_ports - 1 do
-            for cos = 0 to cos_levels - 1 do
-              let idx = 1 + (inp * cos_levels) + cos in
-              let used =
-                Hashtbl.mem utilized.(s) (inp, p)
-                && List.mem cos cfg.Config.used_cos
-                && Topology.peer_of topo ~switch:s ~port:inp <> None
-              in
-              if not used then egress_excl := idx :: !egress_excl
-            done
-          done;
+          if channel_state then
+            for inp = 0 to n_ports - 1 do
+              for cos = 0 to cos_levels - 1 do
+                let idx = 1 + (inp * cos_levels) + cos in
+                let used =
+                  Hashtbl.mem utilized.(s) (inp, p)
+                  && List.mem cos cfg.Config.used_cos
+                  && Topology.peer_of topo ~switch:s ~port:inp <> None
+                in
+                if not used then egress_excl := idx :: !egress_excl
+              done
+            done;
           [
             {
               Cp_tracker.uid = Snapshot_unit.id ing;
@@ -948,6 +974,16 @@ let run_until t deadline =
     let lookahead =
       match t.la_matrix with Some la -> la | None -> assert false
     in
+    (* Messages posted while no epoch driver was running — workload
+       registration calling [send] at construction time, or control
+       messages emitted between two [run_until] calls — sit in the
+       mailboxes where the first epoch's publish cannot see them: the
+       publish reads engine queues only, so a shard could compute a
+       bound past an in-flight arrival. Drain everything into the
+       engines first (single-threaded here, so this is race-free). *)
+    for j = 0 to t.n_shards - 1 do
+      drain_shard t j
+    done;
     let s =
       Shard.run_until ~on_epoch ~timed:t.timed_epochs ~engines:t.engines
         ~lookahead ~deadline
@@ -970,6 +1006,8 @@ let run_until t deadline =
         wall_ns = acc.Shard.wall_ns +. s.Shard.wall_ns;
         barrier_wait_ns = acc.Shard.barrier_wait_ns +. s.Shard.barrier_wait_ns;
         workers = s.Shard.workers;
+        queue_high_water =
+          Stdlib.max acc.Shard.queue_high_water s.Shard.queue_high_water;
       }
   end
 
@@ -1083,7 +1121,7 @@ let all_unit_ids t =
 
 let read_counter t uid =
   let u = unit_of t uid in
-  (Snapshot_unit.counter u).Counter.read ~now:(now t)
+  Counter.read (Snapshot_unit.counter u) ~now:(now t)
 
 let auto_exclude_idle t =
   Array.iter
@@ -1255,6 +1293,10 @@ let register_metrics t m =
   let reg name f = Metrics.register m name (fun () -> float_of_int (f ())) in
   reg "net.delivered" (fun () -> delivered t);
   reg "net.engine_events" (fun () -> events t);
+  reg "engine.queue_peak" (fun () ->
+      Array.fold_left
+        (fun acc e -> Stdlib.max acc (Engine.queue_high_water e))
+        0 t.engines);
   reg "net.queue_drops" (fun () -> total_queue_drops t);
   reg "net.fifo_violations" (fun () -> total_fifo_violations t);
   reg "net.notif_drops" (fun () -> total_notif_drops t);

@@ -74,15 +74,15 @@ type t = {
 
 let egress_neighbor_index_ ~cos_levels ~in_port ~cos = 1 + (in_port * cos_levels) + cos
 
-let make_counter (cfg : Config.t) ~read_depth ~register_fib =
+let make_counter (cfg : Config.t) ~arena ~read_depth ~register_fib =
   match cfg.counter with
-  | Config.Packet_count -> Counter.packet_count ()
-  | Config.Byte_count -> Counter.byte_count ()
+  | Config.Packet_count -> Counter.packet_count ~arena ()
+  | Config.Byte_count -> Counter.byte_count ~arena ()
   | Config.Queue_depth -> Counter.queue_depth ~read_depth
   | Config.Ewma_interarrival -> Counter.ewma_interarrival ()
   | Config.Ewma_rate bin_us -> Counter.ewma_rate ~bin:(Time.us bin_us) ()
   | Config.Fib_version ->
-      let c, set = Counter.forwarding_version () in
+      let c, set = Counter.forwarding_version ~arena () in
       register_fib set;
       c
   | Config.Sketch_flow tracked_flow -> Counter.sketch_flow ~tracked_flow ()
@@ -342,16 +342,29 @@ let set_wire_out t ~port f =
       invalid_arg "Switch.set_wire_out: port faces a host");
   ps.out <- f
 
-let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~deliver_host ~enabled =
+let create ?arena ?host_attach ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify
+    ~deliver_host ~enabled () =
   let n_ports = Topology.ports topo id in
-  let n_hosts = Topology.n_hosts topo in
-  let attach_sw = Array.make (Stdlib.max n_hosts 1) (-1) in
-  let attach_port = Array.make (Stdlib.max n_hosts 1) (-1) in
-  for h = 0 to n_hosts - 1 do
-    let sw, port = Topology.host_attachment topo ~host:h in
-    attach_sw.(h) <- sw;
-    attach_port.(h) <- port
-  done;
+  let arena =
+    match arena with Some a -> a | None -> Speedlight_dataplane.Arena.create ()
+  in
+  (* The host-attachment lookups are read-only and identical for every
+     switch; {!Net} builds them once and shares them ([host_attach]) so
+     the per-switch footprint stays O(ports), not O(hosts). *)
+  let attach_sw, attach_port =
+    match host_attach with
+    | Some (sw, port) -> (sw, port)
+    | None ->
+        let n_hosts = Topology.n_hosts topo in
+        let attach_sw = Array.make (Stdlib.max n_hosts 1) (-1) in
+        let attach_port = Array.make (Stdlib.max n_hosts 1) (-1) in
+        for h = 0 to n_hosts - 1 do
+          let sw, port = Topology.host_attachment topo ~host:h in
+          attach_sw.(h) <- sw;
+          attach_port.(h) <- port
+        done;
+        (attach_sw, attach_port)
+  in
   let t =
     {
       sw_id = id;
@@ -382,19 +395,19 @@ let create ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify ~deliver_host ~e
             ~capacity:cfg.Config.queue_capacity () in
         let read_depth () = Fifo_queue.depth queue in
         let ingress =
-          Snapshot_unit.create
+          Snapshot_unit.create ~arena
             ~id:(Unit_id.ingress ~switch:id ~port:p)
             ~cfg:cfg.Config.unit_cfg ~n_neighbors:2
-            ~counter:(make_counter cfg ~read_depth:(fun () -> 0) ~register_fib)
-            ~notify
+            ~counter:(make_counter cfg ~arena ~read_depth:(fun () -> 0) ~register_fib)
+            ~notify ()
         in
         let egress =
-          Snapshot_unit.create
+          Snapshot_unit.create ~arena
             ~id:(Unit_id.egress ~switch:id ~port:p)
             ~cfg:cfg.Config.unit_cfg
             ~n_neighbors:(1 + (n_ports * cfg.Config.cos_levels))
-            ~counter:(make_counter cfg ~read_depth ~register_fib)
-            ~notify
+            ~counter:(make_counter cfg ~arena ~read_depth ~register_fib)
+            ~notify ()
         in
         let ps =
           {

@@ -21,6 +21,8 @@ exception Wire_out_not_installed of { switch : int; port : int }
     rather than an anonymous [Failure]. *)
 
 val create :
+  ?arena:Arena.t ->
+  ?host_attach:int array * int array ->
   id:int ->
   engine:Engine.t ->
   rng:Rng.t ->
@@ -31,12 +33,19 @@ val create :
   notify:(Notification.t -> unit) ->
   deliver_host:(host:int -> Packet.t -> unit) ->
   enabled:bool ->
+  unit ->
   t
 (** [deliver_host] sinks packets that finished propagation on a host-facing
     port (snapshot header already stripped). [notify] receives raw
     data-plane notifications (the caller models the DP→CPU channel).
     Switch-facing ports do not deliver directly: install their hand-off
-    with {!set_wire_out} once every switch exists. *)
+    with {!set_wire_out} once every switch exists.
+
+    [arena] is the flat-state plane the switch's units and counters
+    allocate from — pass the owning shard's arena (a private one is
+    created when omitted). [host_attach] shares the network-wide
+    host→(switch, port) lookup arrays across switches; when omitted the
+    switch builds its own O(hosts) copy. *)
 
 val set_wire_out : t -> port:int -> (Packet.t -> arrival:Time.t -> unit) -> unit
 (** Install the outbound hand-off of a switch-facing port. The closure is

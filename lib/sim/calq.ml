@@ -83,6 +83,7 @@ type 'a t = {
   mutable far_max : int;  (* max key ever pushed to [far] since last empty *)
   mutable bucket_count : int;  (* elements currently in buckets *)
   mutable total : int;
+  mutable high_water : int;  (* max [total] ever reached; survives [clear] *)
 }
 
 let create ?(capacity = 16) ?(activate = default_activate) () =
@@ -108,10 +109,12 @@ let create ?(capacity = 16) ?(activate = default_activate) () =
     far_max = min_int;
     bucket_count = 0;
     total = 0;
+    high_water = 0;
   }
 
 let length t = t.total
 let is_empty t = t.total = 0
+let high_water t = t.high_water
 
 (* ------------------------------------------------------------------ *)
 (* The embedded near heap — heap.ml's implementation on t's fields.   *)
@@ -380,6 +383,7 @@ let deactivate_calendar t =
 
 let push t ~key ~seq v =
   t.total <- t.total + 1;
+  if t.total > t.high_water then t.high_water <- t.total;
   if not t.calendar then begin
     near_push t ~key ~seq v;
     if t.total >= t.activate then activate_calendar t

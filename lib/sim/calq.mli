@@ -14,6 +14,12 @@
 
 type 'a t
 
+val default_activate : int
+(** The population at which calendar mode engages when [create] is not
+    given an explicit [?activate] (65536). Exposed so harnesses can
+    report whether a run's queues ever came near the switch point — see
+    {!high_water}. *)
+
 val create : ?capacity:int -> ?activate:int -> unit -> 'a t
 (** [create ?capacity ?activate ()] pre-sizes the current-window heap
     for [capacity] elements. [activate] (default 65536, clamped >= 16)
@@ -25,6 +31,12 @@ val create : ?capacity:int -> ?activate:int -> unit -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val high_water : 'a t -> int
+(** Largest pending population the queue has ever held. Monotone over
+    the queue's lifetime (not reset by {!clear}); compare against
+    {!default_activate} to see how close a workload comes to calendar
+    mode. *)
 
 val push : 'a t -> key:int -> seq:int -> 'a -> unit
 (** Insert with primary key [key] (nonnegative) and tie-breaker [seq]. *)

@@ -168,6 +168,7 @@ let schedule_after t ~delay f =
 
 let cancel h = if h.h_ev.gen = h.h_gen then h.h_ev.cancelled <- true
 let pending t = Calq.length t.queue
+let queue_high_water t = Calq.high_water t.queue
 
 let step t =
   if Calq.is_empty t.queue then false

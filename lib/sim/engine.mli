@@ -70,6 +70,10 @@ val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     reaped). *)
 
+val queue_high_water : t -> int
+(** Largest pending-event population this engine's queue has ever held
+    (monotone since creation) — see {!Calq.high_water}. *)
+
 val processed : t -> int
 (** Total events executed (including cancelled ones reaped) since
     creation. *)

@@ -176,10 +176,18 @@ type stats = {
   wall_ns : float;
   barrier_wait_ns : float;
   workers : int;
+  queue_high_water : int;
 }
 
 let no_stats =
-  { epochs = 0; global_rounds = 0; wall_ns = 0.; barrier_wait_ns = 0.; workers = 0 }
+  {
+    epochs = 0;
+    global_rounds = 0;
+    wall_ns = 0.;
+    barrier_wait_ns = 0.;
+    workers = 0;
+    queue_high_water = 0;
+  }
 
 (* Published state lives in padded slots (one cache line per worker on
    64-bit) so the pre-barrier stores never contend. *)
@@ -386,4 +394,8 @@ let run_until ?(on_epoch = ignore) ?(timed = false) ~engines ~lookahead
     wall_ns;
     barrier_wait_ns = !barrier_wait_ns;
     workers = n;
+    queue_high_water =
+      Array.fold_left
+        (fun acc e -> Stdlib.max acc (Engine.queue_high_water e))
+        0 engines;
   }

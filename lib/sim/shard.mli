@@ -55,6 +55,10 @@ type stats = {
       (** total time workers spent inside barrier waits, summed over all
           workers; 0 unless [~timed:true] *)
   workers : int;
+  queue_high_water : int;
+      (** largest pending-event population any one shard's queue reached
+          during the run — compare against {!Calq.default_activate} to
+          see whether the calendar band engaged *)
 }
 
 val no_stats : stats

@@ -248,73 +248,11 @@ let add_staleness buf = function
   | None -> add_varint buf 0
   | Some s -> add_varint buf (s + 1)
 
-let round_flags r =
-  (if r.complete then fl_complete else 0)
-  lor if r.consistent then fl_consistent else 0
-
-let encode_full buf r =
-  add_varint buf r.sid;
-  add_varint buf r.fire_time;
-  add_staleness buf r.staleness;
-  Buffer.add_char buf (Char.chr (round_flags r));
-  add_varint buf (List.length r.timed_out);
-  List.iter (add_varint buf) r.timed_out;
-  add_varint buf (Array.length r.records);
-  Array.iter
-    (fun rc ->
-      let u = rc.r_uid in
-      add_varint buf u.Unit_id.switch;
-      add_varint buf u.Unit_id.port;
-      let bits =
-        (match u.Unit_id.dir with Unit_id.Egress -> rb_egress | Unit_id.Ingress -> 0)
-        lor (match rc.r_value with Some _ -> rb_has_value | None -> 0)
-        lor (if rc.r_consistent then rb_consistent else 0)
-        lor if rc.r_inferred then rb_inferred else 0
-      in
-      Buffer.add_char buf (Char.chr bits);
-      (match rc.r_value with
-      | Some v -> add_varint64 buf (Int64.bits_of_float v)
-      | None -> ());
-      add_varint64 buf (Int64.bits_of_float rc.r_channel))
-    r.records
+(* The encoders live in {!Writer} and work over its flat streaming
+   buffers; the decoder below is their inverse over in-memory rounds. *)
 
 let prev_value_bits prc =
   match prc.r_value with None -> 0L | Some v -> Int64.bits_of_float v
-
-let encode_delta buf ~(prev : round) r =
-  add_varint buf (r.sid - prev.sid);
-  add_varint buf (Time.sub r.fire_time prev.fire_time);
-  add_staleness buf r.staleness;
-  Buffer.add_char buf (Char.chr (round_flags r));
-  add_varint buf (List.length r.timed_out);
-  List.iter (add_varint buf) r.timed_out;
-  Array.iteri
-    (fun i rc ->
-      let prc = prev.records.(i) in
-      let bits =
-        (match rc.r_value with Some _ -> rb_has_value | None -> 0)
-        lor (if rc.r_consistent then rb_consistent else 0)
-        lor if rc.r_inferred then rb_inferred else 0
-      in
-      Buffer.add_char buf (Char.chr bits);
-      (match rc.r_value with
-      | Some v ->
-          add_varint64 buf (Int64.logxor (Int64.bits_of_float v) (prev_value_bits prc))
-      | None -> ());
-      add_varint64 buf
-        (Int64.logxor
-           (Int64.bits_of_float rc.r_channel)
-           (Int64.bits_of_float prc.r_channel)))
-    r.records
-
-let same_units a b =
-  Array.length a.records = Array.length b.records
-  && Array.for_all2 (fun x y -> Unit_id.equal x.r_uid y.r_uid) a.records b.records
-
-let delta_eligible ~prev r =
-  match prev with
-  | None -> false
-  | Some p -> r.sid > p.sid && Time.compare r.fire_time p.fire_time >= 0 && same_units p r
 
 (* --- decoding ----------------------------------------------------- *)
 
@@ -464,11 +402,40 @@ module Writer = struct
     mutable seg_off : int;
     mutable seg_entries : seg_entry list;  (* reversed *)
     mutable seg_count : int;
-    mutable prev : round option;
     mutable total : int;
     labels : (int, label) Hashtbl.t;
     mutable all_sids : int list;  (* reversed append order *)
     mutable closed : bool;
+    (* Streaming state: the round under construction. Records accumulate
+       in flat reused arrays — no per-record boxing, no map/list/array
+       copies — so a streamed round's transient footprint is a handful of
+       compact arrays reused for the whole run. *)
+    mutable st_active : bool;
+    mutable st_sid : int;
+    mutable st_fire : Time.t;
+    mutable st_staleness : Time.t option;
+    mutable st_complete : bool;
+    mutable st_consistent : bool;
+    mutable st_timed_out : int list;
+    mutable st_n : int;
+    mutable st_sw : int array;
+    mutable st_port : int array;
+    mutable st_flags : int array;  (* rb_* bits, incl. rb_egress *)
+    mutable st_value : float array;  (* meaningful iff rb_has_value *)
+    mutable st_channel : float array;
+    (* The previous round of the open segment (delta predecessor), same
+       flat shape; [pv_n < 0] means none (segment start). Swapped with
+       the st_ arrays at [end_round] — no copying. *)
+    mutable pv_sid : int;
+    mutable pv_fire : Time.t;
+    mutable pv_n : int;
+    mutable pv_sw : int array;
+    mutable pv_port : int array;
+    mutable pv_flags : int array;
+    mutable pv_value : float array;
+    mutable pv_channel : float array;
+    st_payload : Buffer.t;  (* reused encode scratch *)
+    st_frame : Buffer.t;  (* reused framing scratch *)
   }
 
   let rec mkdir_p dir =
@@ -497,7 +464,7 @@ module Writer = struct
     t.seg_off <- Buffer.length buf;
     t.seg_entries <- [];
     t.seg_count <- 0;
-    t.prev <- None
+    t.pv_n <- -1
 
   let create ?(segment_rounds = 32) ~dir () =
     if segment_rounds < 1 then invalid_arg "Store.Writer.create: segment_rounds >= 1";
@@ -515,11 +482,33 @@ module Writer = struct
         seg_off = 0;
         seg_entries = [];
         seg_count = 0;
-        prev = None;
         total = 0;
         labels = Hashtbl.create 64;
         all_sids = [];
         closed = false;
+        st_active = false;
+        st_sid = 0;
+        st_fire = Time.zero;
+        st_staleness = None;
+        st_complete = false;
+        st_consistent = false;
+        st_timed_out = [];
+        st_n = 0;
+        st_sw = Array.make 64 0;
+        st_port = Array.make 64 0;
+        st_flags = Array.make 64 0;
+        st_value = Array.make 64 0.;
+        st_channel = Array.make 64 0.;
+        pv_sid = 0;
+        pv_fire = Time.zero;
+        pv_n = -1;
+        pv_sw = Array.make 64 0;
+        pv_port = Array.make 64 0;
+        pv_flags = Array.make 64 0;
+        pv_value = Array.make 64 0.;
+        pv_channel = Array.make 64 0.;
+        st_payload = Buffer.create 512;
+        st_frame = Buffer.create 64;
       }
     in
     open_segment t;
@@ -556,45 +545,215 @@ module Writer = struct
         close_out oc;
         t.oc <- None
 
-  let append t r =
-    if t.closed then invalid_arg "Store.Writer.append: writer is closed";
+  (* --- streaming interface ---------------------------------------- *)
+
+  let begin_round t ~sid ~fire_time ~staleness ~complete ~consistent ~timed_out =
+    if t.closed then invalid_arg "Store.Writer.begin_round: writer is closed";
+    if t.st_active then
+      invalid_arg "Store.Writer.begin_round: previous round not ended";
     if t.oc = None then open_segment t;
+    t.st_active <- true;
+    t.st_sid <- sid;
+    t.st_fire <- fire_time;
+    t.st_staleness <- staleness;
+    t.st_complete <- complete;
+    t.st_consistent <- consistent;
+    t.st_timed_out <- timed_out;
+    t.st_n <- 0
+
+  let ensure_capacity t =
+    let cap = Array.length t.st_sw in
+    if t.st_n >= cap then begin
+      let cap' = 2 * cap in
+      let grow_i a = Array.append a (Array.make (cap' - cap) 0) in
+      let grow_f a = Array.append a (Array.make (cap' - cap) 0.) in
+      t.st_sw <- grow_i t.st_sw;
+      t.st_port <- grow_i t.st_port;
+      t.st_flags <- grow_i t.st_flags;
+      t.st_value <- grow_f t.st_value;
+      t.st_channel <- grow_f t.st_channel
+    end
+
+  let stream_record t ~uid ~value ~channel ~consistent ~inferred =
+    if not t.st_active then
+      invalid_arg "Store.Writer.stream_record: no open round";
+    ensure_capacity t;
+    let i = t.st_n in
+    t.st_sw.(i) <- uid.Unit_id.switch;
+    t.st_port.(i) <- uid.Unit_id.port;
+    t.st_flags.(i) <-
+      (match uid.Unit_id.dir with Unit_id.Egress -> rb_egress | Unit_id.Ingress -> 0)
+      lor (match value with Some _ -> rb_has_value | None -> 0)
+      lor (if consistent then rb_consistent else 0)
+      lor if inferred then rb_inferred else 0;
+    t.st_value.(i) <- (match value with Some v -> v | None -> 0.);
+    t.st_channel.(i) <- channel;
+    t.st_n <- i + 1
+
+  let st_round_flags t =
+    (if t.st_complete then fl_complete else 0)
+    lor if t.st_consistent then fl_consistent else 0
+
+  (* Same byte stream as [encode_full] over an equivalent record array. *)
+  let encode_full_flat buf t =
+    add_varint buf t.st_sid;
+    add_varint buf t.st_fire;
+    add_staleness buf t.st_staleness;
+    Buffer.add_char buf (Char.chr (st_round_flags t));
+    add_varint buf (List.length t.st_timed_out);
+    List.iter (add_varint buf) t.st_timed_out;
+    add_varint buf t.st_n;
+    for i = 0 to t.st_n - 1 do
+      add_varint buf t.st_sw.(i);
+      add_varint buf t.st_port.(i);
+      Buffer.add_char buf (Char.chr t.st_flags.(i));
+      if t.st_flags.(i) land rb_has_value <> 0 then
+        add_varint64 buf (Int64.bits_of_float t.st_value.(i));
+      add_varint64 buf (Int64.bits_of_float t.st_channel.(i))
+    done
+
+  (* Same byte stream as [encode_delta] against the previous round. *)
+  let encode_delta_flat buf t =
+    add_varint buf (t.st_sid - t.pv_sid);
+    add_varint buf (Time.sub t.st_fire t.pv_fire);
+    add_staleness buf t.st_staleness;
+    Buffer.add_char buf (Char.chr (st_round_flags t));
+    add_varint buf (List.length t.st_timed_out);
+    List.iter (add_varint buf) t.st_timed_out;
+    for i = 0 to t.st_n - 1 do
+      let bits =
+        t.st_flags.(i) land (rb_has_value lor rb_consistent lor rb_inferred)
+      in
+      Buffer.add_char buf (Char.chr bits);
+      let prev_bits =
+        if t.pv_flags.(i) land rb_has_value <> 0 then
+          Int64.bits_of_float t.pv_value.(i)
+        else 0L
+      in
+      if bits land rb_has_value <> 0 then
+        add_varint64 buf
+          (Int64.logxor (Int64.bits_of_float t.st_value.(i)) prev_bits);
+      add_varint64 buf
+        (Int64.logxor
+           (Int64.bits_of_float t.st_channel.(i))
+           (Int64.bits_of_float t.pv_channel.(i)))
+    done
+
+  let st_same_units t =
+    t.pv_n = t.st_n
+    &&
+    let ok = ref true in
+    (try
+       for i = 0 to t.st_n - 1 do
+         if
+           t.st_sw.(i) <> t.pv_sw.(i)
+           || t.st_port.(i) <> t.pv_port.(i)
+           || t.st_flags.(i) land rb_egress <> t.pv_flags.(i) land rb_egress
+         then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !ok
+
+  let end_round t =
+    if not t.st_active then invalid_arg "Store.Writer.end_round: no open round";
     let oc = Option.get t.oc in
-    let payload = Buffer.create 512 in
+    Buffer.clear t.st_payload;
     let tag =
-      if t.seg_count > 0 && delta_eligible ~prev:t.prev r then begin
-        encode_delta payload ~prev:(Option.get t.prev) r;
+      if
+        t.seg_count > 0 && t.pv_n >= 0 && t.st_sid > t.pv_sid
+        && Time.compare t.st_fire t.pv_fire >= 0
+        && st_same_units t
+      then begin
+        encode_delta_flat t.st_payload t;
         tag_delta
       end
       else begin
-        encode_full payload r;
+        encode_full_flat t.st_payload t;
         tag_full
       end
     in
-    let p = Buffer.contents payload in
-    let out = Buffer.create (String.length p + 12) in
+    let p = Buffer.contents t.st_payload in
+    let out = t.st_frame in
+    Buffer.clear out;
     Buffer.add_char out (Char.chr tag);
     add_varint out (String.length p);
     Buffer.add_string out p;
-    let crc = crc32_update (crc32 (String.make 1 (Char.chr tag)) 0 1) p 0 (String.length p) in
+    let crc =
+      crc32_update (crc32 (String.make 1 (Char.chr tag)) 0 1) p 0 (String.length p)
+    in
     add_u32le out crc;
     Buffer.output_buffer oc out;
     t.seg_entries <-
-      { e_sid = r.sid; e_off = t.seg_off; e_fire = r.fire_time } :: t.seg_entries;
+      { e_sid = t.st_sid; e_off = t.seg_off; e_fire = t.st_fire } :: t.seg_entries;
     t.seg_off <- t.seg_off + Buffer.length out;
     t.seg_count <- t.seg_count + 1;
-    t.prev <- Some r;
     t.total <- t.total + 1;
-    t.all_sids <- r.sid :: t.all_sids;
-    if r.label <> Unaudited then Hashtbl.replace t.labels r.sid r.label;
+    t.all_sids <- t.st_sid :: t.all_sids;
+    (* The round just written becomes the delta predecessor: swap the
+       flat buffers instead of copying. *)
+    let tmp_i = t.st_sw in
+    t.st_sw <- t.pv_sw;
+    t.pv_sw <- tmp_i;
+    let tmp_i = t.st_port in
+    t.st_port <- t.pv_port;
+    t.pv_port <- tmp_i;
+    let tmp_i = t.st_flags in
+    t.st_flags <- t.pv_flags;
+    t.pv_flags <- tmp_i;
+    let tmp_f = t.st_value in
+    t.st_value <- t.pv_value;
+    t.pv_value <- tmp_f;
+    let tmp_f = t.st_channel in
+    t.st_channel <- t.pv_channel;
+    t.pv_channel <- tmp_f;
+    t.pv_n <- t.st_n;
+    t.pv_sid <- t.st_sid;
+    t.pv_fire <- t.st_fire;
+    t.st_active <- false;
     if t.seg_count >= t.segment_rounds then begin
       finish_segment t;
       t.seg_idx <- t.seg_idx + 1
     end
 
+  (* [append] is the streaming interface driven from an in-memory round,
+     so both paths produce identical bytes by construction. *)
+  let append t r =
+    if t.closed then invalid_arg "Store.Writer.append: writer is closed";
+    begin_round t ~sid:r.sid ~fire_time:r.fire_time ~staleness:r.staleness
+      ~complete:r.complete ~consistent:r.consistent ~timed_out:r.timed_out;
+    Array.iter
+      (fun rc ->
+        stream_record t ~uid:rc.r_uid ~value:rc.r_value ~channel:rc.r_channel
+          ~consistent:rc.r_consistent ~inferred:rc.r_inferred)
+      r.records;
+    end_round t;
+    if r.label <> Unaudited then Hashtbl.replace t.labels r.sid r.label
+
+  let stream_snapshot t obs (snap : Observer.snapshot) =
+    begin_round t ~sid:snap.Observer.sid
+      ~fire_time:
+        (Option.value ~default:Time.zero
+           (Observer.fire_time obs ~sid:snap.Observer.sid))
+      ~staleness:(Observer.staleness obs ~sid:snap.Observer.sid)
+      ~complete:snap.Observer.complete ~consistent:snap.Observer.consistent
+      ~timed_out:snap.Observer.timed_out;
+    (* Map iteration is in increasing [Unit_id.compare] order — the same
+       order [round_of_snapshot] produces, which byte-identity relies
+       on. Each report is appended straight into the flat buffers: no
+       intermediate record list/array is ever built. *)
+    Unit_id.Map.iter
+      (fun uid (r : Report.t) ->
+        stream_record t ~uid ~value:r.Report.value ~channel:r.Report.channel
+          ~consistent:r.Report.consistent ~inferred:r.Report.inferred)
+      snap.Observer.reports;
+    end_round t
+
   let attach t net =
     let obs = Net.observer net in
-    Observer.on_complete obs (fun snap -> append t (round_of_snapshot obs snap))
+    Observer.on_complete obs (fun snap -> stream_snapshot t obs snap)
 
   let set_label t ~sid label =
     if t.closed then invalid_arg "Store.Writer.set_label: writer is closed";

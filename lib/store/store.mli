@@ -121,11 +121,55 @@ module Writer : sig
   (** Persist one round. Rounds are streamed to disk in append order;
       the footer index is written on {!close} (a crash before close
       loses only the footer, which {!Reader.open_archive} reports as
-      truncation). *)
+      truncation). Implemented on top of the streaming interface below,
+      so both paths produce byte-identical archives by construction. *)
+
+  (** {3 Streaming interface}
+
+      A round can be written without ever materializing a {!round}
+      value: open it with {!begin_round}, push each record with
+      {!stream_record} (in increasing {!Unit_id.compare} order — the
+      order the observer's report map iterates in), and seal it with
+      {!end_round}. Records accumulate in flat reused arrays and the
+      encoder writes from them directly, so archiving a round costs no
+      per-record allocation and its transient memory is a few compact
+      arrays reused across the whole run — at datacenter scale this is
+      the difference between O(units) boxed copies per round and none. *)
+
+  val begin_round :
+    t ->
+    sid:int ->
+    fire_time:Time.t ->
+    staleness:Time.t option ->
+    complete:bool ->
+    consistent:bool ->
+    timed_out:int list ->
+    unit
+  (** Start streaming a round. Raises [Invalid_argument] if the writer
+      is closed or a round is already open. *)
+
+  val stream_record :
+    t ->
+    uid:Unit_id.t ->
+    value:float option ->
+    channel:float ->
+    consistent:bool ->
+    inferred:bool ->
+    unit
+  (** Append one per-unit record to the open round. *)
+
+  val end_round : t -> unit
+  (** Seal and persist the open round: chooses full vs. delta encoding
+      against the segment's previous round exactly as {!append} does. *)
+
+  val stream_snapshot : t -> Observer.t -> Observer.snapshot -> unit
+  (** Stream one completed observer snapshot — the streaming equivalent
+      of [append t (round_of_snapshot obs snap)], without building the
+      intermediate round. *)
 
   val attach : t -> Net.t -> unit
   (** Subscribe to the net observer's completion callback so every
-      snapshot that completes from now on is appended automatically —
+      snapshot that completes from now on is streamed automatically —
       including those initiated by {!Speedlight_net.Monitor}. Attach
       before the run; call {!close} after. *)
 

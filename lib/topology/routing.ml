@@ -1,8 +1,28 @@
 open Speedlight_sim
 
+(* Routes are equal-cost shortest paths toward the destination host's
+   attachment switch, so the BFS result depends only on that switch —
+   every host behind the same edge switch shares one table. We compute
+   and memoize per *attachment switch*, not per host: [compute] is O(1)
+   plus a single validation BFS, and a datacenter-scale run that never
+   sends traffic toward a host never pays for its routes. Entries are
+   published through [Atomic.t] cells so concurrent shards racing on the
+   first query of an attachment switch each see either nothing (and
+   recompute the identical pure result) or a fully-initialized table. *)
+
+type per_attach = {
+  pa_cand : int array array;  (* [switch] -> sorted candidate ports *)
+  pa_dist : int array;  (* [switch] -> hops, incl. the final host hop *)
+}
+
 type t = {
-  cand : int array array array;  (* [switch].[host] -> ports *)
-  dist : int array array;  (* [switch].[host] -> hops *)
+  topo : Topology.t;
+  n_sw : int;
+  n_hosts : int;
+  attach_sw : int array;  (* [host] -> attachment switch *)
+  attach_port : int array;  (* [host] -> attachment port *)
+  by_attach : per_attach option Atomic.t array;  (* [attach switch] *)
+  singleton : int array array;  (* [port] -> [|port|], hash-consed *)
 }
 
 exception Host_unreachable of { host : int; switch : int }
@@ -15,48 +35,83 @@ let () =
              switch)
     | _ -> None)
 
+(* BFS over the switch graph from the attachment switch. [host] is only
+   for error reporting: after the validation BFS in [compute] proves the
+   switch graph connected, this cannot raise. *)
+let force t ~host asw =
+  match Atomic.get t.by_attach.(asw) with
+  | Some pa -> pa
+  | None ->
+      let d = Array.make t.n_sw max_int in
+      d.(asw) <- 0;
+      let q = Queue.create () in
+      Queue.push asw q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun (_, v, _) ->
+            if d.(v) = max_int then begin
+              d.(v) <- d.(u) + 1;
+              Queue.push v q
+            end)
+          (Topology.switch_neighbors t.topo u)
+      done;
+      let pa_cand = Array.make t.n_sw [||] in
+      let pa_dist = Array.make t.n_sw max_int in
+      for s = 0 to t.n_sw - 1 do
+        if d.(s) = max_int then raise (Host_unreachable { host; switch = s });
+        pa_dist.(s) <- d.(s) + 1 (* +1 for the final host hop *);
+        if s <> asw then begin
+          let next =
+            List.filter_map
+              (fun (p, v, _) -> if d.(v) = d.(s) - 1 then Some p else None)
+              (Topology.switch_neighbors t.topo s)
+          in
+          let arr = Array.of_list next in
+          Array.sort Int.compare arr;
+          pa_cand.(s) <- arr
+        end
+      done;
+      let pa = { pa_cand; pa_dist } in
+      Atomic.set t.by_attach.(asw) (Some pa);
+      pa
+
 let compute topo =
   let n_sw = Topology.n_switches topo in
-  let n_h = Topology.n_hosts topo in
-  let cand = Array.init n_sw (fun _ -> Array.make n_h [||]) in
-  let dist = Array.init n_sw (fun _ -> Array.make n_h max_int) in
-  for h = 0 to n_h - 1 do
-    let attach_sw, attach_port = Topology.host_attachment topo ~host:h in
-    (* BFS over the switch graph from the attachment switch. *)
-    let d = Array.make n_sw max_int in
-    d.(attach_sw) <- 0;
-    let q = Queue.create () in
-    Queue.push attach_sw q;
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      List.iter
-        (fun (_, v, _) ->
-          if d.(v) = max_int then begin
-            d.(v) <- d.(u) + 1;
-            Queue.push v q
-          end)
-        (Topology.switch_neighbors topo u)
-    done;
-    for s = 0 to n_sw - 1 do
-      if d.(s) = max_int then raise (Host_unreachable { host = h; switch = s });
-      dist.(s).(h) <- d.(s) + 1 (* +1 for the final host hop *);
-      if s = attach_sw then cand.(s).(h) <- [| attach_port |]
-      else begin
-        let next =
-          List.filter_map
-            (fun (p, v, _) -> if d.(v) = d.(s) - 1 then Some p else None)
-            (Topology.switch_neighbors topo s)
-        in
-        let arr = Array.of_list next in
-        Array.sort Int.compare arr;
-        cand.(s).(h) <- arr
-      end
-    done
+  let n_hosts = Topology.n_hosts topo in
+  let attach_sw = Array.make n_hosts 0 in
+  let attach_port = Array.make n_hosts 0 in
+  let max_port = ref (-1) in
+  for h = 0 to n_hosts - 1 do
+    let s, p = Topology.host_attachment topo ~host:h in
+    attach_sw.(h) <- s;
+    attach_port.(h) <- p;
+    if p > !max_port then max_port := p
   done;
-  { cand; dist }
+  let t =
+    {
+      topo;
+      n_sw;
+      n_hosts;
+      attach_sw;
+      attach_port;
+      by_attach = Array.init n_sw (fun _ -> Atomic.make None);
+      singleton = Array.init (!max_port + 1) (fun p -> [| p |]);
+    }
+  in
+  (* Validation: one BFS proves the switch graph connected (or raises the
+     typed error for the first host/switch pair, exactly as the old eager
+     per-host computation did). Every later [force] is then total. *)
+  if n_hosts > 0 && n_sw > 0 then ignore (force t ~host:0 attach_sw.(0));
+  t
 
-let candidates t ~switch ~dst_host = t.cand.(switch).(dst_host)
-let path_length t ~switch ~dst_host = t.dist.(switch).(dst_host)
+let candidates t ~switch ~dst_host =
+  let asw = t.attach_sw.(dst_host) in
+  if switch = asw then t.singleton.(t.attach_port.(dst_host))
+  else (force t ~host:dst_host asw).pa_cand.(switch)
+
+let path_length t ~switch ~dst_host =
+  (force t ~host:dst_host t.attach_sw.(dst_host)).pa_dist.(switch)
 
 type policy = Ecmp | Flowlet of { gap : Time.t }
 
@@ -117,10 +172,9 @@ module Selector = struct
      an empty port set — report both as the typed error rather than an
      anonymous out-of-bounds failure. *)
   let cand_for s table ~dst_host =
-    let row = table.cand.(s.switch) in
-    if dst_host < 0 || dst_host >= Array.length row then
+    if dst_host < 0 || dst_host >= table.n_hosts then
       raise (No_candidate_ports { switch = s.switch; dst_host })
-    else row.(dst_host)
+    else candidates table ~switch:s.switch ~dst_host
 
   let ecmp_pick s table ~dst_host ~flow_id =
     let c = cand_for s table ~dst_host in

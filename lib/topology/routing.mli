@@ -16,9 +16,14 @@ exception Host_unreachable of { host : int; switch : int }
     validation error surfaced before any simulation starts. *)
 
 val compute : Topology.t -> t
-(** Precompute, for every (switch, destination host), the set of ports on
-    equal-cost shortest paths. Raises {!Host_unreachable} if some host is
-    unreachable from some switch. *)
+(** Build the routing table. Candidate-port sets are equal-cost shortest
+    paths toward the destination's attachment switch, computed lazily —
+    one BFS per attachment switch, memoized and shared by every host
+    behind it — so construction is O(hosts) and destinations that never
+    see traffic never pay for routes. A single validation BFS still runs
+    eagerly: [compute] raises {!Host_unreachable} if the switch graph is
+    partitioned, before any simulation starts. Lazy entries are published
+    atomically, so concurrent queries from parallel shards are safe. *)
 
 val candidates : t -> switch:int -> dst_host:int -> int array
 (** The ECMP candidate port set (sorted, deterministic). *)

@@ -154,10 +154,14 @@ type fat_tree = {
   ft_hosts : int array;
 }
 
-let fat_tree ~k ?(host_link = default_host_link) ?(fabric_link = default_fabric_link) () =
+let fat_tree ~k ?hosts_per_edge ?(host_link = default_host_link)
+    ?(fabric_link = default_fabric_link) () =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
-  let b = Builder.create () in
   let half = k / 2 in
+  let hosts_per_edge = match hosts_per_edge with Some h -> h | None -> half in
+  if hosts_per_edge < 1 || hosts_per_edge > half then
+    invalid_arg "Topology.fat_tree: hosts_per_edge must be in [1, k/2]";
+  let b = Builder.create () in
   let pods = k in
   (* Edge and aggregation switches per pod: k/2 each; cores: (k/2)^2. *)
   let edge = Array.init (pods * half) (fun _ -> Builder.add_switch b ~n_ports:k) in
@@ -188,13 +192,16 @@ let fat_tree ~k ?(host_link = default_host_link) ?(fabric_link = default_fabric_
       done
     done
   done;
-  (* Hosts: k/2 per edge switch on ports [0, half). *)
-  let hosts = Array.make (pods * half * half) (-1) in
+  (* Hosts: [hosts_per_edge] (default k/2) per edge switch on ports
+     [0, hosts_per_edge). At datacenter scale one representative host
+     per edge keeps the protocol surface (every switch, every fabric
+     port) while dropping the O(k^3/4) host population. *)
+  let hosts = Array.make (pods * half * hosts_per_edge) (-1) in
   Array.iteri
     (fun ei e ->
-      for hp = 0 to half - 1 do
+      for hp = 0 to hosts_per_edge - 1 do
         let h = Builder.add_host b in
-        hosts.((ei * half) + hp) <- h;
+        hosts.((ei * hosts_per_edge) + hp) <- h;
         Builder.attach_host b ~spec:host_link ~host:h ~switch:e ~port:hp
       done)
     edge;
@@ -205,4 +212,30 @@ let fat_tree ~k ?(host_link = default_host_link) ?(fabric_link = default_fabric_
     ft_aggregation = Array.to_list agg;
     ft_core = Array.to_list core;
     ft_hosts = hosts;
+  }
+
+type clos2 = {
+  c2_topo : t;
+  c2_leaves : int array;
+  c2_spines : int array;
+  c2_hosts : int array;  (* leaf-major: hosts of leaf l start at l * hosts_per_leaf *)
+}
+
+(* A 2-tier (leaf-spine) Clos at configurable radix: every leaf connects
+   to every spine, so the spine port count is the leaf count. Same
+   wiring discipline as [leaf_spine] (which keeps its small defaults for
+   the testbed experiments); this entry point exists for the large-scale
+   sweeps, where leaf counts in the hundreds put the spine radix into
+   the hundreds as well. *)
+let clos2 ?(leaves = 64) ?(spines = 4) ?(hosts_per_leaf = 1)
+    ?(host_link = default_host_link) ?(fabric_link = default_fabric_link) () =
+  if leaves < 1 || spines < 1 then
+    invalid_arg "Topology.clos2: need leaves >= 1 and spines >= 1";
+  if hosts_per_leaf < 1 then invalid_arg "Topology.clos2: need hosts_per_leaf >= 1";
+  let ls = leaf_spine ~leaves ~spines ~hosts_per_leaf ~host_link ~fabric_link () in
+  {
+    c2_topo = ls.topo;
+    c2_leaves = Array.of_list ls.leaf_switches;
+    c2_spines = Array.of_list ls.spine_switches;
+    c2_hosts = ls.host_of_server;
   }

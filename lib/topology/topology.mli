@@ -104,6 +104,37 @@ type fat_tree = {
   ft_hosts : int array;
 }
 
-val fat_tree : k:int -> ?host_link:link_spec -> ?fabric_link:link_spec -> unit -> fat_tree
-(** A k-ary fat tree ([k] even): [5k^2/4] switches, [k^3/4] hosts. Used by
-    the scalability experiments. *)
+val fat_tree :
+  k:int ->
+  ?hosts_per_edge:int ->
+  ?host_link:link_spec ->
+  ?fabric_link:link_spec ->
+  unit ->
+  fat_tree
+(** A k-ary fat tree ([k] even): [5k^2/4] switches and [hosts_per_edge]
+    hosts per edge switch — default [k/2], i.e. [k^3/4] hosts total. The
+    datacenter-scale sweeps pass [~hosts_per_edge:1]: the switch graph
+    (which is what the protocol exercises) is unchanged, while host
+    population drops from cubic to quadratic in [k]. Used by the
+    scalability experiments. *)
+
+type clos2 = {
+  c2_topo : t;
+  c2_leaves : int array;
+  c2_spines : int array;
+  c2_hosts : int array;
+      (** leaf-major: hosts of leaf [l] start at [l * hosts_per_leaf] *)
+}
+
+val clos2 :
+  ?leaves:int ->
+  ?spines:int ->
+  ?hosts_per_leaf:int ->
+  ?host_link:link_spec ->
+  ?fabric_link:link_spec ->
+  unit ->
+  clos2
+(** A 2-tier Clos (every leaf wired to every spine, spine radix = leaf
+    count) at configurable scale — defaults 64 leaves x 4 spines, one
+    host per leaf. The large-scale experiments push leaf counts into the
+    hundreds; {!leaf_spine} keeps the paper-testbed defaults. *)

@@ -195,3 +195,161 @@ module Uniform = struct
           hosts)
       hosts
 end
+
+module Scaled = struct
+  (* Datacenter-scale variants of the three testbed applications. The
+     small generators above launch O(hosts^2) flows per round (all-to-all
+     shuffles, full-mesh supersteps, fan-out to every server), which is
+     the right shape at testbed size and unusable at thousands of hosts.
+     Here each source talks to a bounded, freshly drawn [fan_out] of
+     partners per round, so a round costs O(hosts * fan_out) flows and
+     the live state is one timer closure per source plus one O(1)
+     [Traffic.send_flow] counter per active flow — millions of flows
+     over a run are then just time, not memory. *)
+
+  type params = {
+    hosts : int array;  (* participating host ids *)
+    fan_out : int;  (* partners per source per round *)
+    round_period : Time.t;  (* mean inter-round gap *)
+    flow_pkts_min : int;
+    flow_pkts_max : int;
+    pkt_size : int;
+    intra_gap : Dist.t;
+  }
+
+  let default_params ~hosts ?(fan_out = 4) () =
+    {
+      hosts;
+      fan_out;
+      round_period = Time.ms 2;
+      flow_pkts_min = 8;
+      flow_pkts_max = 24;
+      pkt_size = 1500;
+      intra_gap = Dist.exponential ~mean:25_000.;
+    }
+
+  (* A partner different from [hosts.(i)], drawn with a single RNG call:
+     offset into the other n-1 indices. *)
+  let partner rng (hosts : int array) i =
+    let n = Array.length hosts in
+    hosts.((i + 1 + Rng.int_in rng 0 (n - 2)) mod n)
+
+  let check p name =
+    if Array.length p.hosts < 2 then
+      invalid_arg (name ^ ": need at least two hosts");
+    if p.fan_out < 1 then invalid_arg (name ^ ": fan_out must be >= 1")
+
+  (* Terasort shuffle, fan-out-scaled: every host is both mapper and
+     reducer; each wave it streams one partition to [fan_out] reducers
+     drawn fresh, with the stagger of real map-task completions. *)
+  let terasort ~engine ~rng ~send ~fids ~until p =
+    check p "Apps.Scaled.terasort";
+    let source i =
+      let rec wave () =
+        if Engine.now engine < until then begin
+          for _ = 1 to p.fan_out do
+            let dst = partner rng p.hosts i in
+            let n_pkts = Rng.int_in rng p.flow_pkts_min p.flow_pkts_max in
+            let stagger = Time.of_ns_float (Rng.float rng 200_000.) in
+            ignore
+              (Engine.schedule_after engine ~delay:stagger (fun () ->
+                   Traffic.send_flow ~engine ~rng ~send ~src:p.hosts.(i) ~dst
+                     ~flow_id:(Traffic.next_flow fids) ~n_pkts
+                     ~pkt_size:p.pkt_size ~gap:p.intra_gap ()))
+          done;
+          let d =
+            Dist.sample (Dist.exponential ~mean:(float_of_int p.round_period)) rng
+          in
+          ignore
+            (Engine.schedule_after engine
+               ~delay:(Time.of_ns_float (Float.max 1. d))
+               wave)
+        end
+      in
+      wave ()
+    in
+    Array.iteri (fun i _ -> source i) p.hosts
+
+  (* PageRank supersteps, fan-out-scaled: one global BSP timer; at each
+     boundary every worker bursts to [fan_out] fresh peers nearly
+     simultaneously — the synchronized pulse survives the sparsity. *)
+  let pagerank ~engine ~rng ~send ~fids ~until p =
+    check p "Apps.Scaled.pagerank";
+    let rec superstep () =
+      if Engine.now engine < until then begin
+        Array.iteri
+          (fun i src ->
+            let skew = Time.of_ns_float (Rng.float rng 150_000.) in
+            for _ = 1 to p.fan_out do
+              let dst = partner rng p.hosts i in
+              let n_pkts = Rng.int_in rng p.flow_pkts_min p.flow_pkts_max in
+              ignore
+                (Engine.schedule_after engine ~delay:skew (fun () ->
+                     Traffic.send_flow ~engine ~rng ~send ~src ~dst
+                       ~flow_id:(Traffic.next_flow fids) ~n_pkts
+                       ~pkt_size:p.pkt_size ~gap:p.intra_gap ()))
+            done)
+          p.hosts;
+        let d =
+          Dist.sample (Dist.exponential ~mean:(float_of_int p.round_period)) rng
+        in
+        ignore
+          (Engine.schedule_after engine
+             ~delay:(Time.of_ns_float (Float.max 100_000. d))
+             superstep)
+      end
+    in
+    superstep ()
+
+  (* Memcached multi-gets, fan-out-scaled: each client multi-gets from
+     [fan_out] fresh servers; short requests, incast responses. *)
+  let memcached ~engine ~rng ~send ~fids ~until p =
+    check p "Apps.Scaled.memcached";
+    let client i =
+      let rec loop () =
+        if Engine.now engine < until then begin
+          for _ = 1 to p.fan_out do
+            let server = partner rng p.hosts i in
+            send ~src:p.hosts.(i) ~dst:server ~size:100
+              ~flow_id:(Traffic.next_flow fids);
+            let service =
+              Time.of_ns_float
+                (Float.max 1. (Dist.sample (Dist.exponential ~mean:100_000.) rng))
+            in
+            let client_host = p.hosts.(i) in
+            ignore
+              (Engine.schedule_after engine ~delay:service (fun () ->
+                   Traffic.send_flow ~engine ~rng ~send ~src:server
+                     ~dst:client_host ~flow_id:(Traffic.next_flow fids)
+                     ~n_pkts:3 ~pkt_size:p.pkt_size
+                     ~gap:(Dist.exponential ~mean:15_000.) ()))
+          done;
+          let d =
+            Dist.sample (Dist.exponential ~mean:(float_of_int p.round_period)) rng
+          in
+          ignore
+            (Engine.schedule_after engine
+               ~delay:(Time.of_ns_float (Float.max 1. d))
+               (fun () -> loop ()))
+        end
+      in
+      loop ()
+    in
+    Array.iteri (fun i _ -> client i) p.hosts
+
+  (* The datacenter mix: hosts split into thirds, one per application —
+     shuffle elephants, BSP pulses and RPC mice sharing the fabric. *)
+  let mix ~engine ~rng ~send ~fids ~until p =
+    check p "Apps.Scaled.mix";
+    let n = Array.length p.hosts in
+    let third = Stdlib.max 2 (n / 3) in
+    let slice lo hi = Array.sub p.hosts lo (Stdlib.min hi n - lo) in
+    let part1 = slice 0 third in
+    let part2 = if n >= 2 * third then slice third (2 * third) else [||] in
+    let part3 = if n > 2 * third then slice (2 * third) n else [||] in
+    terasort ~engine ~rng ~send ~fids ~until { p with hosts = part1 };
+    if Array.length part2 >= 2 then
+      pagerank ~engine ~rng ~send ~fids ~until { p with hosts = part2 };
+    if Array.length part3 >= 2 then
+      memcached ~engine ~rng ~send ~fids ~until { p with hosts = part3 }
+end

@@ -92,6 +92,78 @@ module Memcache : sig
     unit
 end
 
+module Scaled : sig
+  (** Datacenter-scale variants of the three applications.
+
+      The testbed generators above launch O(hosts^2) flows per round
+      (all-to-all shuffles, full-mesh supersteps), which matches the
+      6-server testbed and melts at thousands of hosts. Here each
+      source talks to a bounded, freshly drawn [fan_out] of partners
+      per round — O(hosts * fan_out) flows per round, one timer closure
+      of live state per source, and O(1) state per in-flight flow — so
+      runs accumulate millions of flows without the flow count ever
+      being resident. *)
+
+  type params = {
+    hosts : int array;  (** participating host ids *)
+    fan_out : int;  (** partners per source per round *)
+    round_period : Time.t;  (** mean inter-round gap *)
+    flow_pkts_min : int;
+    flow_pkts_max : int;
+    pkt_size : int;
+    intra_gap : Dist.t;
+  }
+
+  val default_params : hosts:int array -> ?fan_out:int -> unit -> params
+  (** 2 ms rounds, fan-out 4, 8–24 packet flows of 1500 B, ~25 µs gaps —
+      dense enough to exercise every fabric link at Clos scale without
+      saturating the calendar queue. *)
+
+  val terasort :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+  (** Shuffle waves: per wave each host streams a partition to [fan_out]
+      fresh reducers with map-task stagger. *)
+
+  val pagerank :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+  (** BSP supersteps: one global timer; at each boundary every worker
+      bursts to [fan_out] fresh peers nearly simultaneously. *)
+
+  val memcached :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+  (** Multi-gets: small requests to [fan_out] fresh servers, short incast
+      responses after an exponential service delay. *)
+
+  val mix :
+    engine:Engine.t ->
+    rng:Rng.t ->
+    send:Traffic.send ->
+    fids:Traffic.flow_ids ->
+    until:Time.t ->
+    params ->
+    unit
+  (** The datacenter mix: hosts split into thirds running terasort,
+      pagerank and memcached side by side. *)
+end
+
 module Uniform : sig
   (** Poisson all-to-all background traffic, for tests and smoke runs. *)
 

@@ -11,6 +11,8 @@ let next_flow f =
   f.next <- id + 1;
   id
 
+let flows_issued f = f.next - 1_000_000
+
 let send_flow ~engine ~rng ~send ~src ~dst ~flow_id ~n_pkts ~pkt_size ~gap
     ?(on_done = fun () -> ()) () =
   (* One mutable counter + one recursive closure for the whole flow: the

@@ -14,6 +14,10 @@ type flow_ids
 val flow_ids : unit -> flow_ids
 val next_flow : flow_ids -> int
 
+val flows_issued : flow_ids -> int
+(** How many flow ids this source has handed out — the flow count a
+    scale report quotes. *)
+
 val send_flow :
   engine:Engine.t ->
   rng:Rng.t ->

@@ -150,6 +150,7 @@ let mk_unit ?(cfg = Snapshot_unit.variant_channel_state) ?(n_neighbors = 3)
       ~id:(Unit_id.ingress ~switch:0 ~port:0)
       ~cfg ~n_neighbors ~counter
       ~notify:(fun n -> notifs := n :: !notifs)
+      ()
   in
   (u, notifs)
 
@@ -305,7 +306,8 @@ let differential_test ~wraparound =
         ( Snapshot_unit.create
             ~id:(Unit_id.egress ~switch:0 ~port:0)
             ~cfg ~n_neighbors:(k + 1) ~counter
-            ~notify:(fun _ -> ()),
+            ~notify:(fun _ -> ())
+            (),
           () )
       in
       let ideal = Ideal_unit.create ~n_neighbors:k ~channel_state:true in
@@ -389,6 +391,7 @@ let mk_tracked ?(channel_state = true) ?(n_neighbors = 3) ?(excluded = []) () =
          else Snapshot_unit.variant_wraparound)
       ~n_neighbors ~counter
       ~notify:(fun n -> Queue.push n notifs)
+      ()
   in
   let reports = ref [] in
   let access =

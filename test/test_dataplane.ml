@@ -90,6 +90,21 @@ let test_register_accounting () =
   Register.write r 0 1;
   Alcotest.(check int) "accesses counted" (before + 2) (Register.access_count r)
 
+(* [fill]/[reset] touch every cell, so they charge [size] accesses —
+   not 1 — and the values really land in all cells. *)
+let test_register_fill_accounting () =
+  let r = Register.create ~name:"wide" ~size:8 in
+  let before = Register.access_count r in
+  Register.fill r 7;
+  Alcotest.(check int) "fill charges size" (before + 8) (Register.access_count r);
+  Alcotest.(check (array int)) "fill writes every cell" (Array.make 8 7)
+    (Register.to_array r);
+  Register.reset r;
+  Alcotest.(check int) "reset charges size" (before + 16)
+    (Register.access_count r);
+  Alcotest.(check (array int)) "reset zeroes every cell" (Array.make 8 0)
+    (Register.to_array r)
+
 let test_register_bad_size () =
   Alcotest.(check bool) "zero size rejected" true
     (try
@@ -166,37 +181,37 @@ let test_queue_capacity_property =
 let test_counter_packet_count () =
   let c = Counter.packet_count () in
   let p = mk_packet () in
-  c.Counter.update ~now:0 p;
-  c.Counter.update ~now:10 p;
-  check_float 1e-9 "counts" 2. (c.Counter.read ~now:10);
-  check_float 1e-9 "channel contribution" 1. (c.Counter.channel_contribution p);
-  c.Counter.reset ();
-  check_float 1e-9 "reset" 0. (c.Counter.read ~now:20)
+  Counter.update c ~now:0 p;
+  Counter.update c ~now:10 p;
+  check_float 1e-9 "counts" 2. (Counter.read c ~now:10);
+  check_float 1e-9 "channel contribution" 1. (Counter.channel_contribution c p);
+  Counter.reset c;
+  check_float 1e-9 "reset" 0. (Counter.read c ~now:20)
 
 let test_counter_byte_count () =
   let c = Counter.byte_count () in
-  c.Counter.update ~now:0 (mk_packet ~size:100 ());
-  c.Counter.update ~now:0 (mk_packet ~size:200 ());
-  check_float 1e-9 "bytes" 300. (c.Counter.read ~now:0);
+  Counter.update c ~now:0 (mk_packet ~size:100 ());
+  Counter.update c ~now:0 (mk_packet ~size:200 ());
+  check_float 1e-9 "bytes" 300. (Counter.read c ~now:0);
   check_float 1e-9 "channel = size" 100.
-    (c.Counter.channel_contribution (mk_packet ~size:100 ()))
+    (Counter.channel_contribution c (mk_packet ~size:100 ()))
 
 let test_counter_queue_depth () =
   let depth = ref 7 in
   let c = Counter.queue_depth ~read_depth:(fun () -> !depth) in
-  check_float 1e-9 "reads queue" 7. (c.Counter.read ~now:0);
+  check_float 1e-9 "reads queue" 7. (Counter.read c ~now:0);
   depth := 3;
-  check_float 1e-9 "tracks queue" 3. (c.Counter.read ~now:0);
+  check_float 1e-9 "tracks queue" 3. (Counter.read c ~now:0);
   check_float 1e-9 "no channel state" 0.
-    (c.Counter.channel_contribution (mk_packet ()))
+    (Counter.channel_contribution c (mk_packet ()))
 
 let test_counter_ewma_interarrival () =
   let c = Counter.ewma_interarrival () in
   let p = mk_packet () in
   for i = 0 to 100 do
-    c.Counter.update ~now:(i * 500) p
+    Counter.update c ~now:(i * 500) p
   done;
-  let v = c.Counter.read ~now:(101 * 500) in
+  let v = Counter.read c ~now:(101 * 500) in
   Alcotest.(check bool) "tracks 500ns spacing" true (Float.abs (v -. 500.) < 30.)
 
 let test_counter_ewma_rate_tracks () =
@@ -204,31 +219,31 @@ let test_counter_ewma_rate_tracks () =
   let p = mk_packet () in
   (* 10 packets per 100us bin = 100k pps. *)
   for i = 0 to 999 do
-    c.Counter.update ~now:(i * 10_000) p
+    Counter.update c ~now:(i * 10_000) p
   done;
-  let v = c.Counter.read ~now:(1000 * 10_000) in
+  let v = Counter.read c ~now:(1000 * 10_000) in
   Alcotest.(check bool) "rate ~100k pps" true (Float.abs (v -. 100_000.) < 5_000.)
 
 let test_counter_ewma_rate_decays () =
   let c = Counter.ewma_rate ~bin:(Time.us 100) ~decay:0.5 () in
   let p = mk_packet () in
   for i = 0 to 999 do
-    c.Counter.update ~now:(i * 10_000) p
+    Counter.update c ~now:(i * 10_000) p
   done;
-  let busy = c.Counter.read ~now:(1000 * 10_000) in
+  let busy = Counter.read c ~now:(1000 * 10_000) in
   (* After 2 ms of silence (20 bins) the EWMA must have decayed hard. *)
-  let idle = c.Counter.read ~now:((1000 * 10_000) + Time.ms 2) in
+  let idle = Counter.read c ~now:((1000 * 10_000) + Time.ms 2) in
   Alcotest.(check bool) "idle port decays" true (idle < busy /. 100.)
 
 let test_counter_fib_version () =
   let c, set_version = Counter.forwarding_version () in
   let p = mk_packet () in
-  c.Counter.update ~now:0 p;
-  check_float 1e-9 "initial version" 0. (c.Counter.read ~now:0);
+  Counter.update c ~now:0 p;
+  check_float 1e-9 "initial version" 0. (Counter.read c ~now:0);
   set_version 3;
-  check_float 1e-9 "not yet stored" 0. (c.Counter.read ~now:0);
-  c.Counter.update ~now:1 p;
-  check_float 1e-9 "stored by passing packet" 3. (c.Counter.read ~now:1)
+  check_float 1e-9 "not yet stored" 0. (Counter.read c ~now:0);
+  Counter.update c ~now:1 p;
+  check_float 1e-9 "stored by passing packet" 3. (Counter.read c ~now:1)
 
 (* ------------------------------------------------------------------ *)
 (* Unit_id *)
@@ -272,6 +287,7 @@ let () =
         [
           Alcotest.test_case "ops" `Quick test_register_ops;
           Alcotest.test_case "accounting" `Quick test_register_accounting;
+          Alcotest.test_case "fill accounting" `Quick test_register_fill_accounting;
           Alcotest.test_case "bad size" `Quick test_register_bad_size;
         ] );
       ( "fifo_queue",

@@ -67,16 +67,16 @@ let test_sketch_counter () =
     Packet.create ~uid:0 ~flow_id:flow ~src_host:0 ~dst_host:1 ~size:100 ~created:0 ()
   in
   for _ = 1 to 7 do
-    c.Counter.update ~now:0 (mk 42)
+    Counter.update c ~now:0 (mk 42)
   done;
   for _ = 1 to 3 do
-    c.Counter.update ~now:0 (mk 5)
+    Counter.update c ~now:0 (mk 5)
   done;
-  Alcotest.(check (float 1e-9)) "tracked flow estimate" 7. (c.Counter.read ~now:0);
+  Alcotest.(check (float 1e-9)) "tracked flow estimate" 7. (Counter.read c ~now:0);
   Alcotest.(check (float 1e-9)) "tracked contributes channel state" 1.
-    (c.Counter.channel_contribution (mk 42));
+    (Counter.channel_contribution c (mk 42));
   Alcotest.(check (float 1e-9)) "others do not" 0.
-    (c.Counter.channel_contribution (mk 5))
+    (Counter.channel_contribution c (mk 5))
 
 let test_sketch_snapshot_integration () =
   (* Track one flow across the network with channel-state snapshots; the
@@ -350,6 +350,7 @@ let test_tracker_loss_recovery_equivalence =
             ~cfg:Snapshot_unit.variant_channel_state ~n_neighbors:3
             ~counter:(Counter.packet_count ())
             ~notify:(fun n -> Queue.push n notifs)
+            ()
         in
         let reports = ref [] in
         let access =

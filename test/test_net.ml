@@ -707,7 +707,7 @@ let test_wire_out_not_installed_typed () =
       ~topo ~routing ~pktgen
       ~notify:(fun _ -> ())
       ~deliver_host:(fun ~host:_ _ -> ())
-      ~enabled:true
+      ~enabled:true ()
   in
   let pkt =
     Packet.Gen.alloc pktgen ~flow_id:1 ~src_host ~dst_host ~size:200 ~cos:0

@@ -178,6 +178,47 @@ let test_shard_byte_identity () =
   Alcotest.(check bool) "different seed, different bytes" false
     (String.equal (List.assoc seg b1) (read_file (Filename.concat dir' seg)))
 
+(* The streaming path (attach: records flushed per unit as each snapshot
+   completes) must produce byte-for-byte what the batch path (append:
+   whole rounds handed over at the end) produces. *)
+let test_streaming_vs_append_identity () =
+  let dir_s = fresh_dir "stream" in
+  let net, sids, w = capture ~seed:7 ~dir:dir_s () in
+  Store.Writer.close w;
+  let dir_a = fresh_dir "append" in
+  let wa = Store.Writer.create ~dir:dir_a () in
+  List.iter (Store.Writer.append wa) (Store.rounds_of_net net ~sids);
+  Store.Writer.close wa;
+  Alcotest.(check (list string)) "same file set" (archive_files dir_s)
+    (archive_files dir_a);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " byte-identical") true
+        (String.equal
+           (read_file (Filename.concat dir_s f))
+           (read_file (Filename.concat dir_a f))))
+    (archive_files dir_s)
+
+(* Determinism digest on a small 2-tier Clos under the fan-out-scaled
+   workload mix: 1 and 2 shards must agree on every observable. The mix
+   includes a workload that sends at registration time (before the epoch
+   driver starts), which pins the pre-run mailbox drain. *)
+let test_clos_digest_shards () =
+  let digest shards =
+    let c = Topology.clos2 ~leaves:4 ~spines:2 ~hosts_per_leaf:2 () in
+    let cfg = Config.default |> Config.with_seed 11 in
+    let net = Net.create ~cfg ~shards c.Topology.c2_topo in
+    let p = Apps.Scaled.default_params ~hosts:c.Topology.c2_hosts ~fan_out:2 () in
+    Apps.Scaled.mix ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+      ~send:(Common.sender net) ~fids:(Traffic.flow_ids ()) ~until:(Time.ms 12) p;
+    let sids =
+      Common.take_snapshots net ~start:(Time.ms 4) ~interval:(Time.ms 4) ~count:3
+        ~run_until:(Time.ms 25)
+    in
+    Common.run_digest net ~sids
+  in
+  Alcotest.(check string) "1 vs 2 shards digest" (digest 1) (digest 2)
+
 (* ------------------------------------------------------------------ *)
 (* Damage detection *)
 
@@ -261,6 +302,10 @@ let () =
         [
           Alcotest.test_case "1/2/4 shards byte-identical" `Quick
             test_shard_byte_identity;
+          Alcotest.test_case "streaming = append, byte for byte" `Quick
+            test_streaming_vs_append_identity;
+          Alcotest.test_case "small Clos digest, 1 vs 2 shards" `Quick
+            test_clos_digest_shards;
         ] );
       ( "damage",
         [

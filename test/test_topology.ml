@@ -84,6 +84,81 @@ let test_fat_tree_counts () =
   Alcotest.(check int) "agg" 8 (List.length ft.Topology.ft_aggregation);
   Alcotest.(check int) "core" 4 (List.length ft.Topology.ft_core)
 
+(* Structural invariants at datacenter scale: the k=32 fat tree used by
+   the large-scale sweeps. Checked on the real object, not the closed
+   forms alone: tier sizes, per-tier port wiring, and link symmetry. *)
+let test_fat_tree_k32_invariants () =
+  let k = 32 in
+  let ft = Topology.fat_tree ~k ~hosts_per_edge:1 () in
+  let t = ft.Topology.ft_topo in
+  Alcotest.(check int) "switches = 5k^2/4" (5 * k * k / 4) (Topology.n_switches t);
+  Alcotest.(check int) "edge = k^2/2" (k * k / 2) (List.length ft.Topology.ft_edge);
+  Alcotest.(check int) "agg = k^2/2" (k * k / 2)
+    (List.length ft.Topology.ft_aggregation);
+  Alcotest.(check int) "core = (k/2)^2" (k * k / 4) (List.length ft.Topology.ft_core);
+  Alcotest.(check int) "hosts_per_edge:1 gives k^2/2 hosts" (k * k / 2)
+    (Topology.n_hosts t);
+  (* Wiring degrees: an edge switch sees 1 host + k/2 aggs; an agg sees
+     k/2 edges + k/2 cores; a core sees k pods' aggs. *)
+  let degree pred s =
+    let n = ref 0 in
+    for p = 0 to Topology.ports t s - 1 do
+      match Topology.peer_of t ~switch:s ~port:p with
+      | Some peer when pred peer -> incr n
+      | _ -> ()
+    done;
+    !n
+  in
+  let is_switch = function Topology.Switch_port _ -> true | _ -> false in
+  let is_host = function Topology.Host_port _ -> true | _ -> false in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "edge uplinks" (k / 2) (degree is_switch s);
+      Alcotest.(check int) "edge hosts" 1 (degree is_host s))
+    ft.Topology.ft_edge;
+  List.iter
+    (fun s -> Alcotest.(check int) "agg degree" k (degree is_switch s))
+    ft.Topology.ft_aggregation;
+  List.iter
+    (fun s -> Alcotest.(check int) "core degree" k (degree is_switch s))
+    ft.Topology.ft_core;
+  (* Every switch-switch link points back at its sender. *)
+  Topology.iter_switch_ports t (fun ~switch ~port peer ->
+      match peer with
+      | Topology.Switch_port (s', p') -> (
+          match Topology.peer_of t ~switch:s' ~port:p' with
+          | Some (Topology.Switch_port (s'', p'')) ->
+              if s'' <> switch || p'' <> port then
+                Alcotest.failf "asymmetric link %d:%d <-> %d:%d" switch port s' p'
+          | _ -> Alcotest.failf "dangling peer at %d:%d" s' p')
+      | _ -> ())
+
+(* 2-tier Clos reachability, via the routing layer the simulator actually
+   uses: every host is reachable from every leaf, local hosts in 1 hop,
+   remote in 3 (leaf-spine-leaf), and remote ECMP width = spine count. *)
+let test_clos2_reachability () =
+  let leaves = 6 and spines = 3 and hosts_per_leaf = 2 in
+  let c = Topology.clos2 ~leaves ~spines ~hosts_per_leaf () in
+  let t = c.Topology.c2_topo in
+  Alcotest.(check int) "switches" (leaves + spines) (Topology.n_switches t);
+  Alcotest.(check int) "hosts" (leaves * hosts_per_leaf) (Topology.n_hosts t);
+  let r = Routing.compute t in
+  Array.iter
+    (fun leaf ->
+      Array.iter
+        (fun h ->
+          let attach, _ = Topology.host_attachment t ~host:h in
+          let hops = Routing.path_length r ~switch:leaf ~dst_host:h in
+          if attach = leaf then
+            Alcotest.(check int) "local host: 1 hop" 1 hops
+          else begin
+            Alcotest.(check int) "remote host: leaf-spine-leaf" 3 hops;
+            Alcotest.(check int) "remote ECMP width = spines" spines
+              (Array.length (Routing.candidates r ~switch:leaf ~dst_host:h))
+          end)
+        c.Topology.c2_hosts)
+    c.Topology.c2_leaves
+
 let test_fat_tree_odd_k_rejected () =
   Alcotest.(check bool) "odd k rejected" true
     (try
@@ -321,6 +396,8 @@ let () =
       ( "fat_tree",
         [
           Alcotest.test_case "counts" `Quick test_fat_tree_counts;
+          Alcotest.test_case "k=32 invariants" `Quick test_fat_tree_k32_invariants;
+          Alcotest.test_case "clos2 reachability" `Quick test_clos2_reachability;
           Alcotest.test_case "odd k rejected" `Quick test_fat_tree_odd_k_rejected;
           Alcotest.test_case "ECMP width" `Quick test_fat_tree_routing_ecmp_width;
         ] );
