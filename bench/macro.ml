@@ -302,6 +302,35 @@ let chaos_entry ((p : Chaos.point), rss) =
      else p.Chaos.mean_staleness_us)
     p.Chaos.injected_drops p.Chaos.false_consistent rss
 
+(* Quick timed-update probe: the closed-loop Time4 campaign (both
+   transition scenarios under all three strategies plus the PTP-step
+   interaction). Tracks apply spread and transient loss across PRs; a
+   timed update the snapshot auditor does not certify atomic fails the
+   bench (a safety bug, not a perf number). *)
+let update_entry (p : Speedlight_experiments.Update.point) =
+  let module Upd = Speedlight_experiments.Update in
+  Printf.sprintf
+    "    {\n\
+    \      \"scenario\": %S,\n\
+    \      \"mode\": %S,\n\
+    \      \"clock_step\": %b,\n\
+    \      \"outcome\": %S,\n\
+    \      \"spread_us\": %.1f,\n\
+    \      \"ptp_err_us\": %.3f,\n\
+    \      \"transient_drops\": %d,\n\
+    \      \"loop_rounds\": %d,\n\
+    \      \"hole_rounds\": %d,\n\
+    \      \"mixed_rounds\": %d,\n\
+    \      \"rounds\": %d,\n\
+    \      \"fired\": %d,\n\
+    \      \"expired\": %d\n\
+    \    }"
+    p.Upd.pt_scenario p.Upd.pt_mode p.Upd.pt_clock_step p.Upd.pt_outcome
+    (if Float.is_nan p.Upd.pt_spread_us then -1. else p.Upd.pt_spread_us)
+    p.Upd.pt_ptp_err_us p.Upd.pt_transient_drops p.Upd.pt_loop_rounds
+    p.Upd.pt_hole_rounds p.Upd.pt_mixed p.Upd.pt_rounds p.Upd.pt_fired
+    p.Upd.pt_expired
+
 (* One point of the datacenter-scale sweep (Scale.fig11_large): flat
    arena state + streaming capture at 1k-10k switches. *)
 let large_point_entry (p : Scale.large_point) =
@@ -341,7 +370,7 @@ let large_scale_json (r : Scale.large_result) =
           (fun p -> "    " ^ large_point_entry p)
           r.Scale.lr_points))
 
-let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~large =
+let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large =
   let metrics_json =
     let buf = Buffer.create 512 in
     Metrics.add_json buf serial.metrics;
@@ -370,6 +399,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~large =
     \  \"metrics\": %s,\n\
     \  \"speedup_curve\": [\n%s\n  ],\n\
     \  \"chaos\": [\n%s\n  ],\n\
+    \  \"timed_updates\": [\n%s\n  ],\n\
      %s\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
@@ -380,6 +410,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~large =
     metrics_json
     (String.concat ",\n" (List.map (speedup_entry ~base) sharded))
     (String.concat ",\n" (List.map chaos_entry chaos))
+    (String.concat ",\n" (List.map update_entry updates))
     (large_scale_json large)
 
 let () =
@@ -397,6 +428,7 @@ let () =
   let sweep = List.map (fun d -> run ~quick ~fat_tree:true ~domains:d) [ 1; 2; 4; 8 ] in
   let base = List.hd sweep in
   let chaos = run_chaos ~quick in
+  let updates = Update.run ~quick ~seed:47 () in
   let overhead = trace_overhead ~serial in
   (* Datacenter-scale sweep: quick mode runs the ~1k-switch Clos point
      only (the CI scale-smoke configuration); full mode adds the k=56
@@ -405,7 +437,7 @@ let () =
   let json =
     to_json
       ~mode:(if quick then "quick" else "full")
-      ~serial ~base ~sharded:sweep ~chaos ~overhead ~large
+      ~serial ~base ~sharded:sweep ~chaos ~overhead ~updates ~large
   in
   let oc = open_out !out in
   output_string oc json;
@@ -455,6 +487,20 @@ let () =
      fail loudly, same as a sharded divergence. *)
   if Chaos.has_false_consistent (List.map fst chaos) then begin
     prerr_endline "macro: chaos audit found a false-consistent snapshot";
+    exit 1
+  end;
+  List.iter
+    (fun (p : Update.point) ->
+      Printf.printf
+        "  update %s/%s%s: %s | spread %.1f us | loss %d pkts\n"
+        p.Update.pt_scenario p.Update.pt_mode
+        (if p.Update.pt_clock_step then " (ptp step)" else "")
+        p.Update.pt_outcome p.Update.pt_spread_us p.Update.pt_transient_drops)
+    updates;
+  (* A timed update the snapshot auditor could not certify atomic is a
+     safety bug in the arming path: fail loudly. *)
+  if Update.has_timed_anomaly updates then begin
+    prerr_endline "macro: a timed update was not snapshot-certified atomic";
     exit 1
   end;
   List.iter

@@ -86,6 +86,15 @@ let run_chaos quick seed csv =
       failed := Chaos.has_false_consistent r);
   if !failed then exit 3
 
+let run_update quick seed shards csv =
+  let failed = ref false in
+  timed "update" (fun () ->
+      let r = Update.run ~quick ~shards ?seed () in
+      Update.print fmt r;
+      Option.iter (fun dir -> Export.update ~dir r) (ensure_dir csv);
+      failed := Update.has_timed_anomaly r);
+  if !failed then exit 3
+
 let run_scale quick seed csv =
   timed "scale" (fun () ->
       let r = Scale.run ~quick ?seed () in
@@ -146,6 +155,18 @@ let chaos_cmd =
         "Fault-injection sweep with an independent cut auditor; exits 3 if \
          any snapshot labeled consistent fails the audit")
     Term.(const run_chaos $ quick_arg $ seed_arg $ csv_arg)
+
+let update_cmd =
+  let shards_arg =
+    let doc = "Number of simulation shards (domains)." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Timed vs untimed forwarding updates, closed-loop on snapshots; \
+          exits 3 if any timed update is not snapshot-certified atomic")
+    Term.(const run_update $ quick_arg $ seed_arg $ shards_arg $ csv_arg)
 
 let scale_cmd =
   Cmd.v
@@ -211,7 +232,8 @@ let all_cmd =
     run_fig13 quick seed csv;
     run_ablations quick seed;
     run_scale quick seed csv;
-    run_chaos quick seed csv
+    run_chaos quick seed csv;
+    run_update quick seed 1 csv
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table/figure reproduction in sequence")
@@ -326,6 +348,6 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
-            ablations_cmd; scale_cmd; chaos_cmd; trace_cmd; archive_cmd;
-            query_cmd; all_cmd;
+            ablations_cmd; scale_cmd; chaos_cmd; update_cmd; trace_cmd;
+            archive_cmd; query_cmd; all_cmd;
           ]))

@@ -1,0 +1,185 @@
+(* Timed, consistent updates closed-loop on snapshots (DESIGN.md §12).
+
+   An ECMP re-weight swap on the paper testbed — leaf 0 carries its
+   cross-leaf aggregate via spine 0 and leaf 1 via spine 1, and the
+   update swaps the two — executed twice: untimed ([Immediate], each
+   switch applies when its flow-mod is delivered and installed) and
+   timed ([Timed], Time4-style: flow-mods installed ahead of time and
+   armed against each switch's local PTP clock). Each run is bracketed
+   with snapshot rounds carrying FIB-version counters, and the update
+   auditor walks the snapshotted version vectors through the transition
+   detectors to certify the transition [Atomic] — or catch it in flight.
+
+   Run with: dune exec examples/timed_update.exe *)
+
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_dataplane
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_query
+module U = Speedlight_update.Update
+module Clock = Speedlight_clock.Clock
+
+let port_toward topo ~sw ~peer =
+  let found = ref None in
+  for p = Topology.ports topo sw - 1 downto 0 do
+    match Topology.peer_of topo ~switch:sw ~port:p with
+    | Some (Topology.Switch_port (s', _)) when s' = peer -> found := Some p
+    | _ -> ()
+  done;
+  Option.get !found
+
+let hosts_of_leaf topo leaf =
+  List.filter
+    (fun h -> fst (Topology.host_attachment topo ~host:h) = leaf)
+    (List.init (Topology.n_hosts topo) Fun.id)
+
+let run strategy_of =
+  let cfg =
+    Config.default
+    |> Config.with_counter Config.Fib_version
+    |> Config.with_seed 7
+  in
+  let ls = Topology.leaf_spine () in
+  let net = Net.create ~cfg ls.Topology.topo in
+  let topo = Net.topology net in
+  let leaf0, leaf1 =
+    match ls.Topology.leaf_switches with
+    | a :: b :: _ -> (a, b)
+    | _ -> assert false
+  in
+  let spine0, spine1 =
+    match ls.Topology.spine_switches with
+    | a :: b :: _ -> (a, b)
+    | _ -> assert false
+  in
+  let h0 = hosts_of_leaf topo leaf0 and h1 = hosts_of_leaf topo leaf1 in
+  let pin_all dsts port = List.map (fun d -> (d, port)) dsts in
+
+  (* Initial state, FIB version 1 everywhere: each leaf's cross-leaf
+     aggregate pinned to "its" spine. *)
+  for s = 0 to Topology.n_switches topo - 1 do
+    let sw = Net.switch net s in
+    let pins =
+      if s = leaf0 then Some (pin_all h1 (port_toward topo ~sw:leaf0 ~peer:spine0))
+      else if s = leaf1 then Some (pin_all h0 (port_toward topo ~sw:leaf1 ~peer:spine1))
+      else None
+    in
+    match pins with
+    | Some routes ->
+        Switch.stage_update sw ~version:1 ~routes ~clear:false;
+        ignore (Switch.apply_pending_update sw)
+    | None -> Switch.set_fib_version sw 1
+  done;
+
+  (* Cross-leaf constant flows keep every probed channel utilized. *)
+  let engine = Net.engine net in
+  let t_end = Time.ms 32 in
+  List.iter
+    (fun (srcs, dsts) ->
+      List.iteri
+        (fun i src ->
+          let dst = List.nth dsts (i mod List.length dsts) in
+          let fid = Net.fresh_flow_id net in
+          let rec go at =
+            if at <= t_end then
+              ignore
+                (Engine.schedule engine ~at (fun () ->
+                     Net.send net ~flow_id:fid ~src ~dst ~size:1500 ();
+                     go (Time.add at (Time.us 50))))
+          in
+          go (Time.ms 1))
+        srcs)
+    [ (h0, h1); (h1, h0) ];
+  Net.schedule_global net ~at:(Time.ms 10) (fun () -> Net.auto_exclude_idle net);
+
+  (* Snapshot rounds every 2 ms bracketing the transition. *)
+  let sids = ref [] in
+  for k = 0 to 7 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 12) (k * Time.ms 2))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error Observer.Pacing_full -> ()
+           | Error e -> invalid_arg (Observer.error_to_string e)))
+  done;
+
+  (* Compile the swap and launch it at 15 ms; the timed trigger is 20 ms. *)
+  let upd = U.create net in
+  Net.run_until net (Time.ms 15);
+  let target =
+    U.Reweight
+      {
+        pins =
+          [
+            (leaf0, pin_all h1 (port_toward topo ~sw:leaf0 ~peer:spine1));
+            (leaf1, pin_all h0 (port_toward topo ~sw:leaf1 ~peer:spine0));
+          ];
+      }
+  in
+  let plan =
+    match U.compile ~net ~version:2 target with
+    | Ok p -> p
+    | Error e -> failwith (U.error_to_string e)
+  in
+  let trigger = Time.ms 20 in
+  let h =
+    match U.execute upd plan (strategy_of trigger) with
+    | Ok h -> h
+    | Error e -> failwith (U.error_to_string e)
+  in
+  Net.run_until net t_end;
+
+  (* Close the loop: audit the rounds' version vectors for transient
+     loops, blackholes and causal violations. *)
+  let probe s =
+    let port =
+      if s = leaf0 || s = leaf1 then
+        snd (Topology.host_attachment topo ~host:(List.hd (hosts_of_leaf topo s)))
+      else if s = spine0 then port_toward topo ~sw:spine0 ~peer:leaf0
+      else port_toward topo ~sw:spine1 ~peer:leaf1
+    in
+    Unit_id.ingress ~switch:s ~port
+  in
+  let q = Query.of_net net ~sids:(List.rev !sids) in
+  let switches = List.init (Topology.n_switches topo) Fun.id in
+  let au =
+    U.audit upd h ~probe ~switches ~hosts:(List.init (Topology.n_hosts topo) Fun.id) q
+  in
+  let ptp_err =
+    List.fold_left
+      (fun acc s ->
+        Float.max acc
+          (Float.abs
+             (Clock.error_at
+                (Control_plane.clock (Net.control_plane net s))
+                ~true_time:trigger)))
+      0. (U.targets h)
+  in
+  (h, au, ptp_err)
+
+let report name (h, (au : U.audit), ptp_err) =
+  Printf.printf "%-9s  applied=%d/%d  spread=%s  outcome=%s\n" name
+    (U.applied_count h)
+    (List.length (U.targets h))
+    (match U.spread h with
+    | Some s -> Printf.sprintf "%.1f us" (Time.to_us s)
+    | None -> "n/a")
+    (U.outcome_to_string au.U.au_outcome);
+  Printf.printf
+    "           rounds audited=%d  mixed-version=%d  worst PTP error at \
+     trigger=%.3f us\n"
+    au.U.au_rounds au.U.au_mixed (ptp_err /. 1e3)
+
+let () =
+  print_endline "ECMP re-weight swap, snapshot-audited:";
+  report "untimed" (run (fun _ -> U.Immediate));
+  report "timed" (run (fun at -> U.Timed { at }));
+  print_endline
+    "\nThe timed run's spread is bounded by PTP error + scheduling jitter;\n\
+     the untimed run pays command latency plus per-switch installation\n\
+     variance on the critical path, so its spread is orders of magnitude\n\
+     wider — exactly the window the transition detectors watch."

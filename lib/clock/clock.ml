@@ -5,10 +5,11 @@ type t = {
   mutable drift_ppm : float;
   mutable last_sync : Time.t;
   mutable holdover : bool;
+  mutable steps : int;
 }
 
 let create ?(offset_ns = 0.) ?(drift_ppm = 0.) () =
-  { offset_ns; drift_ppm; last_sync = Time.zero; holdover = false }
+  { offset_ns; drift_ppm; last_sync = Time.zero; holdover = false; steps = 0 }
 
 let error_at t ~true_time =
   let elapsed = float_of_int (Time.sub true_time t.last_sync) in
@@ -31,6 +32,10 @@ let apply_correction t ~true_time ~residual_ns =
 let set_drift_ppm t ppm = t.drift_ppm <- ppm
 let drift_ppm t = t.drift_ppm
 
-let step t ~delta_ns = t.offset_ns <- t.offset_ns +. delta_ns
+let step t ~delta_ns =
+  t.offset_ns <- t.offset_ns +. delta_ns;
+  t.steps <- t.steps + 1
+
+let steps t = t.steps
 let set_holdover t on = t.holdover <- on
 let holdover t = t.holdover

@@ -44,6 +44,12 @@ val step : t -> delta_ns:float -> unit
     PTP time-step fault (e.g. a grandmaster change). The error persists
     until the next successful synchronization round. *)
 
+val steps : t -> int
+(** How many {!step} faults have hit this clock since creation. Timed
+    triggers armed against the local clock re-check it at expiry; this
+    counter lets tests and experiments assert which runs actually raced a
+    step against an armed trigger. *)
+
 val set_holdover : t -> bool -> unit
 (** While in holdover, synchronization rounds are skipped ({!Ptp} checks
     this flag): the offset and drift at entry keep free-running, so error

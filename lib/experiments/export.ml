@@ -156,6 +156,37 @@ let chaos ~dir (r : Chaos.result) =
          ])
        r)
 
+let update ~dir (r : Update.result) =
+  write_rows
+    ~path:(dir / "timed_updates.csv")
+    ~header:
+      [
+        "scenario"; "mode"; "seed"; "clock_step"; "outcome"; "spread_us";
+        "ptp_err_us"; "transient_drops"; "delivered"; "loop_rounds";
+        "hole_rounds"; "mixed_rounds"; "rounds"; "armed"; "fired"; "expired";
+      ]
+    (List.map
+       (fun (p : Update.point) ->
+         [
+           p.Update.pt_scenario;
+           p.Update.pt_mode;
+           string_of_int p.Update.pt_seed;
+           string_of_bool p.Update.pt_clock_step;
+           p.Update.pt_outcome;
+           f p.Update.pt_spread_us;
+           f p.Update.pt_ptp_err_us;
+           string_of_int p.Update.pt_transient_drops;
+           string_of_int p.Update.pt_delivered;
+           string_of_int p.Update.pt_loop_rounds;
+           string_of_int p.Update.pt_hole_rounds;
+           string_of_int p.Update.pt_mixed;
+           string_of_int p.Update.pt_rounds;
+           string_of_int p.Update.pt_armed;
+           string_of_int p.Update.pt_fired;
+           string_of_int p.Update.pt_expired;
+         ])
+       r)
+
 let scale ~dir (r : Scale.result) =
   write_rows
     ~path:(dir / "scale_fat_tree_validation.csv")

@@ -21,6 +21,7 @@ val fig13 : dir:string -> Fig13.result -> unit
 val table1 : dir:string -> Table1.result -> unit
 val scale : dir:string -> Scale.result -> unit
 val chaos : dir:string -> Chaos.result -> unit
+val update : dir:string -> Update.result -> unit
 
 val chrome_trace : path:string -> Speedlight_trace.Trace.t -> unit
 (** Chrome [trace_event] JSON (loadable in chrome://tracing / Perfetto):

@@ -1,0 +1,450 @@
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_net
+open Speedlight_dataplane
+open Speedlight_topology
+open Speedlight_workload
+open Speedlight_faults
+module Clock = Speedlight_clock.Clock
+module U = Speedlight_update.Update
+module Query = Speedlight_query.Query
+
+(* Timed-update campaign (DESIGN.md §12): the Time4 comparison run
+   closed-loop on snapshots. Two transition scenarios on a 3-leaf /
+   2-spine pod, each driven under the three scheduling strategies:
+
+   - {e reweight}: ECMP re-weight swap. Leaf 0 pins its cross-pod
+     aggregate to spine 0 and leaf 1 to spine 1; the update swaps them.
+     Any window in which both leaves send through the same spine
+     oversubscribes one spine→leaf downlink, so the apply spread shows
+     up directly as queue-drop loss.
+   - {e reroute}: failure-repair release. The initial state is a detour
+     installed around a (since repaired) spine0→leaf1 link: spine 0
+     bounces leaf-1 traffic back through leaf 0, which carries it via
+     spine 1. The update releases both pins at once. If leaf 0 releases
+     first, its ECMP choice can hand traffic back to the still-pinned
+     spine 0 — a transient forwarding loop the snapshot auditor must
+     catch.
+
+   Each run brackets the update with snapshot rounds (FIB-version
+   counters) and classifies it with {!U.audit}; transient loss is the
+   queue-drop delta across the transition window. *)
+
+type scenario = Reweight_swap | Reroute_repair
+
+let scenario_name = function
+  | Reweight_swap -> "reweight"
+  | Reroute_repair -> "reroute"
+
+type mode = Untimed | Timed_mode | Staged_mode
+
+let mode_name = function
+  | Untimed -> "untimed"
+  | Timed_mode -> "timed"
+  | Staged_mode -> "staged"
+
+type point = {
+  pt_scenario : string;
+  pt_mode : string;
+  pt_seed : int;
+  pt_clock_step : bool;  (** a PTP step raced the armed trigger *)
+  pt_outcome : string;
+  pt_spread_us : float;  (** apply spread across targets; nan if <2 *)
+  pt_ptp_err_us : float;  (** worst |clock error| over targets at trigger *)
+  pt_transient_drops : int;  (** queue drops across the transition *)
+  pt_delivered : int;
+  pt_loop_rounds : int;  (** complete rounds whose cut shows a loop *)
+  pt_hole_rounds : int;
+  pt_mixed : int;  (** rounds that caught the transition in flight *)
+  pt_rounds : int;
+  pt_armed : int;
+  pt_fired : int;
+  pt_expired : int;
+  pt_clock_steps : int;
+  pt_digest : string;  (** {!Common.run_digest} — shard-equivalence oracle *)
+}
+
+type result = point list
+
+(* ------------------------------------------------------------------ *)
+(* Testbed: 3 leaves x 2 spines so two ingress leaves share a spine
+   downlink toward the third — the shape the Time4 swap needs. *)
+(* ------------------------------------------------------------------ *)
+
+let make_net ~cfg ~shards =
+  let ls =
+    Topology.leaf_spine ~leaves:3 ~spines:2 ~hosts_per_leaf:3
+      ~host_link:{ Topology.bandwidth_bps = 1e9; latency = Time.us 1 }
+      ~fabric_link:{ Topology.bandwidth_bps = 2e9; latency = Time.us 1 }
+      ()
+  in
+  (ls, Net.create ~cfg ~shards ls.Topology.topo)
+
+let hosts_of_leaf topo leaf =
+  List.filter
+    (fun h -> fst (Topology.host_attachment topo ~host:h) = leaf)
+    (List.init (Topology.n_hosts topo) Fun.id)
+
+let port_toward topo ~sw ~peer =
+  let found = ref None in
+  for p = Topology.ports topo sw - 1 downto 0 do
+    match Topology.peer_of topo ~switch:sw ~port:p with
+    | Some (Topology.Switch_port (s', _)) when s' = peer -> found := Some p
+    | _ -> ()
+  done;
+  match !found with
+  | Some p -> p
+  | None -> invalid_arg "Update.port_toward: not adjacent"
+
+(* Pre-run initial forwarding state: the listed pins, and FIB version 1
+   everywhere so the version vectors start uniform. *)
+let install_initial net pins =
+  let n_sw = Topology.n_switches (Net.topology net) in
+  for s = 0 to n_sw - 1 do
+    let sw = Net.switch net s in
+    match List.assoc_opt s pins with
+    | Some routes ->
+        Switch.stage_update sw ~version:1 ~routes ~clear:false;
+        ignore (Switch.apply_pending_update sw)
+    | None -> Switch.set_fib_version sw 1
+  done
+
+(* One pinned constant-rate flow, self-scheduling on shard 0. *)
+let constant_flow net ~src ~dst ~gap ~start ~until =
+  let engine = Net.engine net in
+  let fid = Net.fresh_flow_id net in
+  let rec go at =
+    if at <= until then
+      ignore
+        (Engine.schedule engine ~at (fun () ->
+             Net.send net ~flow_id:fid ~src ~dst ~size:1500 ();
+             go (Time.add at gap)))
+  in
+  go start
+
+type setup = {
+  su_target : U.target;
+  su_probe : int -> Unit_id.t;
+      (* per switch: an ingress unit on a channel the scenario's own
+         warm-up traffic utilizes, so it survives the idle-channel
+         exclusion and every complete round carries its FIB version *)
+}
+
+(* 1500 B every 25 µs = 0.48 Gbps per host: three hosts per leaf put
+   1.44 Gbps on a pinned uplink — under the 2 Gbps fabric alone, over it
+   (2.88 Gbps) the moment both leaves transit the same spine, while each
+   destination host receives two flows = 0.96 Gbps, inside its 1 Gbps
+   link. The transition window is therefore the only congested period. *)
+let heavy_gap = Time.us 25
+let light_gap = Time.us 50
+
+let setup_scenario scenario ls net ~t_end =
+  let topo = Net.topology net in
+  let leaf0, leaf1, leaf2 =
+    match ls.Topology.leaf_switches with
+    | a :: b :: c :: _ -> (a, b, c)
+    | _ -> invalid_arg "Update: need 3 leaves"
+  in
+  let spine0, spine1 =
+    match ls.Topology.spine_switches with
+    | a :: b :: _ -> (a, b)
+    | _ -> invalid_arg "Update: need 2 spines"
+  in
+  let h0 = hosts_of_leaf topo leaf0
+  and h1 = hosts_of_leaf topo leaf1
+  and h2 = hosts_of_leaf topo leaf2 in
+  let pin_all dsts port = List.map (fun d -> (d, port)) dsts in
+  let nth_dst dsts i = List.nth dsts (i mod List.length dsts) in
+  let host_port leaf =
+    match hosts_of_leaf topo leaf with
+    | h :: _ -> snd (Topology.host_attachment topo ~host:h)
+    | [] -> invalid_arg "Update: leaf without hosts"
+  in
+  let start = Time.ms 1 in
+  match scenario with
+  | Reweight_swap ->
+      (* leaf0 aggregate via spine0, leaf1's via spine1; swap them. *)
+      install_initial net
+        [
+          (leaf0, pin_all h2 (port_toward topo ~sw:leaf0 ~peer:spine0));
+          (leaf1, pin_all h2 (port_toward topo ~sw:leaf1 ~peer:spine1));
+        ];
+      List.iteri
+        (fun i src ->
+          constant_flow net ~src ~dst:(nth_dst h2 i) ~gap:heavy_gap ~start
+            ~until:t_end)
+        (h0 @ h1);
+      let probe s =
+        let port =
+          if s = leaf0 || s = leaf1 then host_port s
+          else if s = leaf2 then port_toward topo ~sw:leaf2 ~peer:spine0
+          else if s = spine0 then port_toward topo ~sw:spine0 ~peer:leaf0
+          else port_toward topo ~sw:s ~peer:leaf1
+        in
+        Unit_id.ingress ~switch:s ~port
+      in
+      {
+        su_target =
+          U.Reweight
+            {
+              pins =
+                [
+                  (leaf0, pin_all h2 (port_toward topo ~sw:leaf0 ~peer:spine1));
+                  (leaf1, pin_all h2 (port_toward topo ~sw:leaf1 ~peer:spine0));
+                ];
+            };
+        su_probe = probe;
+      }
+  | Reroute_repair ->
+      (* Detour era: spine0 cannot reach leaf1 directly (repaired since),
+         so it bounces leaf-1 traffic via leaf0, which carries its own
+         leaf-1 aggregate through spine1. leaf2 was steered into spine0
+         by the same operator action and stays pinned. The update
+         releases the two detour pins in one versioned step. *)
+      install_initial net
+        [
+          (spine0, pin_all h1 (port_toward topo ~sw:spine0 ~peer:leaf0));
+          (leaf0, pin_all h1 (port_toward topo ~sw:leaf0 ~peer:spine1));
+          (leaf2, pin_all h1 (port_toward topo ~sw:leaf2 ~peer:spine0));
+        ];
+      List.iteri
+        (fun i src ->
+          constant_flow net ~src ~dst:(nth_dst h1 i) ~gap:light_gap ~start
+            ~until:t_end)
+        (h0 @ h2);
+      let probe s =
+        let port =
+          if s = leaf0 || s = leaf2 then host_port s
+          else if s = leaf1 then port_toward topo ~sw:leaf1 ~peer:spine1
+          else if s = spine0 then port_toward topo ~sw:spine0 ~peer:leaf2
+          else port_toward topo ~sw:spine1 ~peer:leaf0
+        in
+        Unit_id.ingress ~switch:s ~port
+      in
+      {
+        su_target =
+          U.Reroute { pins = []; release = [ (leaf0, h1); (spine0, h1) ] };
+        su_probe = probe;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* One run *)
+(* ------------------------------------------------------------------ *)
+
+let run_point ?(quick = false) ?(shards = 1) ?(clock_step = false) ~seed
+    ~scenario ~mode () =
+  let cfg =
+    let c =
+      Config.default
+      |> Config.with_counter Config.Fib_version
+      |> Config.with_seed seed
+    in
+    (* Shallow buffers make the oversubscribed transition window visible
+       as loss within a few hundred microseconds of overlap. *)
+    { c with Config.queue_capacity = 32 }
+  in
+  let ls, net = make_net ~cfg ~shards in
+  let t_issue = Time.ms 30 in
+  let trigger = Time.ms 38 in
+  let t_end = Time.ms (if quick then 56 else 70) in
+  let su = setup_scenario scenario ls net ~t_end in
+  (* Light all-pairs background so fabric channels are utilized before
+     the idle-channel exclusion decides what snapshots wait on. *)
+  let hosts = Array.to_list ls.Topology.host_of_server in
+  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+    ~send:(Common.sender net) ~fids:(Traffic.flow_ids ()) ~hosts
+    ~rate_pps:400. ~pkt_size:1500 ~until:t_end;
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  (* A PTP time step racing the armed trigger: the chaos interaction the
+     arming logic must absorb (fire exactly once, early by the step). *)
+  let step_target = List.hd ls.Topology.leaf_switches in
+  let faults =
+    if clock_step then
+      Some
+        (Faults.install ~net
+           {
+             Faults.seed;
+             events =
+               [
+                 {
+                   Faults.at = Time.ms 34;
+                   action =
+                     (* backward: the armed trigger must re-arm and fire
+                        exactly once, late by the step *)
+                     Faults.Clock_step
+                       { switch = step_target; delta_ns = -300_000. };
+                 };
+               ];
+           })
+    else None
+  in
+  ignore faults;
+  (* Snapshot rounds bracketing the transition, every 2 ms; refused
+     attempts (pacing) are skipped, not fatal. *)
+  let sids = ref [] in
+  let count = if quick then 10 else 16 in
+  let engine = Net.engine net in
+  for k = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 22) (k * Time.ms 2))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error Observer.Pacing_full -> ()
+           | Error e -> invalid_arg (Observer.error_to_string e)))
+  done;
+  (* A wide installation-latency draw (0.5–6 ms) makes the untimed
+     baselines' spread — and its cost — unmistakable; timed mode is
+     insensitive to it by construction. *)
+  let upd = U.create ~proc_delay:(Dist.uniform ~lo:0.5e6 ~hi:6.0e6) net in
+  Net.run_until net t_issue;
+  let drops_before = Net.total_queue_drops net in
+  let plan =
+    match U.compile ~net ~version:2 su.su_target with
+    | Ok p -> p
+    | Error e -> invalid_arg (U.error_to_string e)
+  in
+  let strategy =
+    match mode with
+    | Untimed -> U.Immediate
+    | Timed_mode -> U.Timed { at = trigger }
+    | Staged_mode -> U.Staged { gap = Time.ms 2 }
+  in
+  let h =
+    match U.execute upd plan strategy with
+    | Ok h -> h
+    | Error e -> invalid_arg (U.error_to_string e)
+  in
+  Net.run_until net t_end;
+  let sids = List.rev !sids in
+  let q = Query.of_net net ~sids in
+  let topo = Net.topology net in
+  let switches = List.init (Topology.n_switches topo) Fun.id in
+  let au =
+    match mode with
+    | Staged_mode ->
+        U.audit upd h ~probe:su.su_probe ~switches ~hosts
+          ~rollout_order:(U.targets h) q
+    | _ -> U.audit upd h ~probe:su.su_probe ~switches ~hosts q
+  in
+  let count_pos l = List.length (List.filter (fun (_, n) -> n > 0) l) in
+  let ptp_err =
+    List.fold_left
+      (fun acc s ->
+        Float.max acc
+          (Float.abs
+             (Clock.error_at
+                (Control_plane.clock (Net.control_plane net s))
+                ~true_time:trigger)))
+      0. (U.targets h)
+  in
+  let clock_steps =
+    List.fold_left
+      (fun acc s ->
+        acc + Clock.steps (Control_plane.clock (Net.control_plane net s)))
+      0 switches
+  in
+  {
+    pt_scenario = scenario_name scenario;
+    pt_mode = mode_name mode;
+    pt_seed = seed;
+    pt_clock_step = clock_step;
+    pt_outcome = U.outcome_to_string au.U.au_outcome;
+    pt_spread_us =
+      (match U.spread h with
+      | Some s -> Time.to_us s
+      | None -> Float.nan);
+    pt_ptp_err_us = ptp_err /. 1e3;
+    pt_transient_drops = Net.total_queue_drops net - drops_before;
+    pt_delivered = Net.delivered net;
+    pt_loop_rounds = count_pos au.U.au_loops;
+    pt_hole_rounds = count_pos au.U.au_blackholes;
+    pt_mixed = au.U.au_mixed;
+    pt_rounds = au.U.au_rounds;
+    pt_armed = U.armed_total upd;
+    pt_fired = U.fired_total upd;
+    pt_expired = U.expired_total upd;
+    pt_clock_steps = clock_steps;
+    pt_digest = Common.run_digest net ~sids;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(quick = false) ?(shards = 1) ?(seed = 47) () =
+  let trials = if quick then 1 else 3 in
+  let tasks =
+    List.concat_map
+      (fun scenario ->
+        List.concat_map
+          (fun mode ->
+            List.init trials (fun k ->
+                fun () ->
+                 run_point ~quick ~shards ~seed:(seed + (7 * k)) ~scenario
+                   ~mode ()))
+          [ Untimed; Timed_mode; Staged_mode ])
+      [ Reweight_swap; Reroute_repair ]
+    @ [
+        (* the PTP-step chaos interaction, timed mode only *)
+        (fun () ->
+          run_point ~quick ~shards ~clock_step:true ~seed ~scenario:Reweight_swap
+            ~mode:Timed_mode ());
+      ]
+  in
+  Array.to_list
+    (Common.parallel_trials ~inner_domains:shards (Array.of_list tasks))
+
+let is_anomalous p =
+  p.pt_outcome <> "atomic"
+
+let has_timed_anomaly r =
+  List.exists (fun p -> p.pt_mode = "timed" && is_anomalous p) r
+
+let untimed_demonstrated_anomaly r =
+  List.exists (fun p -> p.pt_mode <> "timed" && is_anomalous p) r
+
+let mean_drops r ~scenario ~mode =
+  match
+    List.filter
+      (fun p ->
+        p.pt_scenario = scenario && p.pt_mode = mode && not p.pt_clock_step)
+      r
+  with
+  | [] -> Float.nan
+  | ps ->
+      List.fold_left (fun a p -> a +. float_of_int p.pt_transient_drops) 0. ps
+      /. float_of_int (List.length ps)
+
+let print fmt (r : result) =
+  Common.pp_header fmt
+    "Timed updates: apply spread, transient loss and snapshot-audited \
+     atomicity";
+  Format.fprintf fmt
+    "scenario   mode     seed  step  outcome                              \
+     spread(us)  ptp(us)  loss  loops/holes/mixed/rounds  fired@.";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt
+        "%-9s  %-7s  %4d  %4s  %-35s  %10.1f  %7.3f  %4d  %5d/%d/%d/%d  %10d@."
+        p.pt_scenario p.pt_mode p.pt_seed
+        (if p.pt_clock_step then "yes" else "no")
+        p.pt_outcome p.pt_spread_us p.pt_ptp_err_us p.pt_transient_drops
+        p.pt_loop_rounds p.pt_hole_rounds p.pt_mixed p.pt_rounds p.pt_fired)
+    r;
+  List.iter
+    (fun scenario ->
+      Format.fprintf fmt
+        "@.%s mean transient loss (pkts): untimed %.0f, staged %.0f, timed \
+         %.0f@."
+        scenario
+        (mean_drops r ~scenario ~mode:"untimed")
+        (mean_drops r ~scenario ~mode:"staged")
+        (mean_drops r ~scenario ~mode:"timed"))
+    [ "reweight"; "reroute" ];
+  if has_timed_anomaly r then
+    Format.fprintf fmt
+      "AUDIT FAILURE: a timed update was not snapshot-certified atomic@."
+  else
+    Format.fprintf fmt "audit: every timed update snapshot-certified atomic@."

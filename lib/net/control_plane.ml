@@ -175,6 +175,40 @@ let schedule_initiation t ~sid ~fire_at_local =
            if t.epoch = epoch then broadcast_initiation t ~sid))
   end
 
+let schedule_apply t ~fire_at_local ~expired apply =
+  (* Arm a pending-update trigger against the *local* PTP-disciplined
+     clock (Time4): the flow-mods are already staged on the switch, so
+     only local clock error — not cmd-channel delivery jitter — separates
+     this switch's application instant from its peers'. *)
+  if t.down then expired ()
+  else begin
+    let arm () =
+      let true_fire = Clock.true_time_of_local t.clk ~local:fire_at_local in
+      let jitter =
+        Time.of_ns_float
+          (Float.max 0. (Dist.sample t.cfg.Config.ptp.Ptp.sched_jitter t.rng))
+      in
+      Time.max (Engine.now t.engine) (Time.add true_fire jitter)
+    in
+    let epoch = t.epoch in
+    let rec fire () =
+      if t.epoch <> epoch || t.down then expired ()
+      else begin
+        let now = Engine.now t.engine in
+        if Clock.read t.clk ~true_time:now < fire_at_local then
+          (* A backward clock step landed between arm and fire: the local
+             deadline is in the future again. Re-arm at the recomputed
+             true instant — the trigger still fires exactly once, when
+             the local clock first reads the deadline. (A forward step
+             leaves the already-scheduled event in place: hardware timers
+             latch the wakeup at arm time.) *)
+          ignore (Engine.schedule t.engine ~at:(arm ()) fire)
+        else apply ()
+      end
+    in
+    ignore (Engine.schedule t.engine ~at:(arm ()) fire)
+  end
+
 let resend_initiation t ~sid =
   if not t.down then begin
     let jitter =

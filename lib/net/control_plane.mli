@@ -43,6 +43,16 @@ val schedule_initiation : t -> sid:int -> fire_at_local:Time.t -> unit
     [fire_at_local]: broadcast an initiation to every connected port's
     ingress unit (Fig. 6, path 3), with per-port CPU→ASIC latency. *)
 
+val schedule_apply :
+  t -> fire_at_local:Time.t -> expired:(unit -> unit) -> (unit -> unit) -> unit
+(** Arm a timed-update trigger (DESIGN.md §12): run [apply] when the local
+    clock first reads [fire_at_local] (plus the usual OS scheduling
+    jitter). If a clock-step fault lands between arm and fire the trigger
+    re-checks the local clock at expiry and re-arms when the deadline is
+    again in the future, so [apply] runs exactly once. [expired] is called
+    instead when the arm is invalidated — the CP is down at arm time, or a
+    crash bumps the process epoch before the trigger fires. *)
+
 val resend_initiation : t -> sid:int -> unit
 (** Immediately re-broadcast (liveness): safe because outdated and
     duplicate initiations are ignored by the data plane. *)

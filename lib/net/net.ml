@@ -175,6 +175,10 @@ type t = {
   mutable tr_emitters : (int * Trace.emitter) list;
   tr_nic_send : Trace.emitter array;  (* [host], NIC send/drop (hot path of {!send}) *)
   tr_epoch : Trace.emitter;  (* runtime epoch barriers, shard 0 *)
+  tr_update : Trace.emitter array;  (* [switch], update lifecycle events *)
+  (* Per-switch command posting (observer/controller -> CP), shared by
+     snapshot initiations and forwarding-update delivery. *)
+  mutable cmd_posts : ((unit -> unit) -> unit) array;
   mutable tracer : Trace.t option;
 }
 
@@ -550,6 +554,7 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
   let tr_rep_recv = Array.init n_sw (fun _ -> new_emitter 0) in
   let tr_obs = new_emitter 0 in
   let tr_epoch = new_emitter 0 in
+  let tr_update = Array.init n_sw (fun s -> new_emitter shard_of.(s)) in
   let t =
     {
       engines;
@@ -588,6 +593,8 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       tr_nic_send;
       tr_emitters = [];
       tr_epoch;
+      tr_update;
+      cmd_posts = [||];
       tracer = None;
     }
   in
@@ -867,34 +874,41 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       :: !cp_acc
   done;
   t.cps <- Array.of_list (List.rev !cp_acc);
+  (* Observer/controller -> CP command channel, one sender per switch:
+     fault hook and send trace on shard 0 (where the observer and the
+     update controller live), delivery on the CP's shard under the
+     switch's stable cmd source. Snapshot initiations and forwarding
+     flow-mods both ride this channel; they interleave deterministically
+     because sends happen in shard-0 event execution order. *)
+  t.cmd_posts <-
+    Array.init n_sw (fun s ->
+        let csrc = cmd_src.(s) and cshard = shard_of.(s) in
+        let cstr = tr_cmd_send.(s) and crtr = tr_cmd_recv.(s) in
+        let ceng = engines.(cshard) in
+        fun run ->
+          if ctl_fault_drops t.cmd_faults.(s) then begin
+            if Trace.enabled cstr then
+              Trace.emit cstr ~at:(Engine.now engine0)
+                (Trace.Chan_drop { ch = Trace.Cmd; sw = s; port = -1 })
+          end
+          else begin
+            let at = Time.add (Engine.now engine0) cfg.Config.cmd_latency in
+            if Trace.enabled cstr then
+              Trace.emit cstr ~at:(Engine.now engine0)
+                (Trace.Chan_send
+                   { ch = Trace.Cmd; sw = s; port = -1; arrival = at });
+            post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at (fun () ->
+                if Trace.enabled crtr then
+                  Trace.emit crtr ~at:(Engine.now ceng)
+                    (Trace.Chan_deliver { ch = Trace.Cmd; sw = s; port = -1 });
+                run ())
+          end);
   (* Register snapshot-enabled devices with the observer. Initiation and
      resend requests travel the observer -> CP command channel. *)
   for s = 0 to n_sw - 1 do
     if enabled s then begin
       let unit_ids = List.map Snapshot_unit.id (Switch.units t.switches.(s)) in
-      let csrc = cmd_src.(s) and cshard = shard_of.(s) in
-      let cstr = tr_cmd_send.(s) and crtr = tr_cmd_recv.(s) in
-      let ceng = engines.(cshard) in
-      let send_cmd run =
-        (* Observer -> CP command channel; fault hook on shard 0 (send
-           side, where the observer lives). *)
-        if ctl_fault_drops t.cmd_faults.(s) then begin
-          if Trace.enabled cstr then
-            Trace.emit cstr ~at:(Engine.now engine0)
-              (Trace.Chan_drop { ch = Trace.Cmd; sw = s; port = -1 })
-        end
-        else begin
-          let at = Time.add (Engine.now engine0) cfg.Config.cmd_latency in
-          if Trace.enabled cstr then
-            Trace.emit cstr ~at:(Engine.now engine0)
-              (Trace.Chan_send { ch = Trace.Cmd; sw = s; port = -1; arrival = at });
-          post_ctl t ~from_shard:0 ~shard:cshard ~src:csrc ~at (fun () ->
-              if Trace.enabled crtr then
-                Trace.emit crtr ~at:(Engine.now ceng)
-                  (Trace.Chan_deliver { ch = Trace.Cmd; sw = s; port = -1 });
-              run ())
-        end
-      in
+      let send_cmd = t.cmd_posts.(s) in
       Observer.register_device obs
         {
           Observer.device_id = s;
@@ -938,6 +952,14 @@ let cfg t = t.cfg
 let observer t = t.obs
 let switch t s = t.switches.(s)
 let control_plane t s = t.cps.(s)
+
+let post_cmd t ~switch run =
+  if switch < 0 || switch >= Array.length t.cmd_posts then
+    invalid_arg "Net.post_cmd: unknown switch";
+  t.cmd_posts.(switch) run
+
+let update_emitter t ~switch = t.tr_update.(switch)
+let switch_now t ~switch = Engine.now t.engines.(t.shard_of.(switch))
 let fresh_rng t = Rng.split t.master_rng
 
 let fresh_flow_id t =

@@ -99,6 +99,26 @@ val cfg : t -> Config.t
 val observer : t -> Observer.t
 val switch : t -> int -> Switch.t
 val control_plane : t -> int -> Control_plane.t
+
+val post_cmd : t -> switch:int -> (unit -> unit) -> unit
+(** Deliver a control command to [switch]'s CP over the observer→CP
+    command channel: subject to the channel's injected loss process and
+    [cmd_latency], traced as a [Cmd] send/deliver, and executed on the
+    switch's shard under its stable cmd source. Call from shard 0 (the
+    controller side) — this is how {!Speedlight_update} ships flow-mods.
+    Raises [Invalid_argument] on an out-of-range switch id. *)
+
+val update_emitter : t -> switch:int -> Speedlight_trace.Trace.emitter
+(** The per-switch trace emitter for forwarding-update lifecycle events
+    (staged/armed/fired/expired); attached with the rest by
+    {!attach_trace}. Emit only from the switch's own shard. *)
+
+val switch_now : t -> switch:int -> Time.t
+(** Current simulation time on the shard owning [switch] — the clock an
+    event running on that switch's shard should read. Only meaningful
+    from that shard (or between {!run_until} calls, when all engines
+    agree). *)
+
 val fresh_rng : t -> Rng.t
 (** An independent RNG stream seeded from the net's master stream. *)
 

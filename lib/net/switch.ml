@@ -13,6 +13,12 @@ let () =
              switch port)
     | _ -> None)
 
+type pending_update = {
+  pd_version : int;
+  pd_routes : (int * int) list;  (* (dst host, out port); port -1 = unpin *)
+  pd_clear : bool;  (* drop all existing pins before installing *)
+}
+
 type port_state = {
   port : int;
   ingress : Snapshot_unit.t;
@@ -64,6 +70,14 @@ type t = {
   snap_overhead : int;
   mutable fib_setters : (int -> unit) list;
   mutable route_override : (dst_host:int -> int option) option;
+  (* Forwarding pins installed by applied updates: dst host -> forced out
+     port. Allocated on first use so switches outside any update campaign
+     pay one load + branch in [forward_decision]. *)
+  mutable pins : (int, int) Hashtbl.t option;
+  (* A staged-but-not-applied forwarding update (flow-mods delivered over
+     the cmd channel ahead of their trigger time, Time4-style). *)
+  mutable pending : pending_update option;
+  mutable fib_version_now : int;
   mutable forwarded : int;
   (* While nothing subscribes to host deliveries, delivery timing is
      unobservable (the delivered count and packet recycling are all that
@@ -125,8 +139,53 @@ let egress_neighbor_index t ~in_port ~cos =
 let queue_depth t ~port = Fifo_queue.depth (port_state t port).queue
 let queue_drops t ~port = Fifo_queue.drops (port_state t port).queue
 let total_forwarded t = t.forwarded
-let set_fib_version t v = List.iter (fun set -> set v) t.fib_setters
+
+let set_fib_version t v =
+  t.fib_version_now <- v;
+  List.iter (fun set -> set v) t.fib_setters
+
+let fib_version t = t.fib_version_now
 let set_route_override t f = t.route_override <- f
+
+let stage_update t ~version ~routes ~clear =
+  t.pending <- Some { pd_version = version; pd_routes = routes; pd_clear = clear }
+
+let pending_update t =
+  match t.pending with
+  | None -> None
+  | Some p -> Some (p.pd_version, List.length p.pd_routes)
+
+let pin_table t =
+  match t.pins with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      t.pins <- Some tbl;
+      tbl
+
+let pinned_port t ~dst_host =
+  match t.pins with None -> None | Some tbl -> Hashtbl.find_opt tbl dst_host
+
+let apply_pending_update t =
+  match t.pending with
+  | None -> false
+  | Some p ->
+      t.pending <- None;
+      (match (p.pd_clear, t.pins) with
+      | true, Some tbl -> Hashtbl.reset tbl
+      | _ -> ());
+      List.iter
+        (fun (dst, port) ->
+          if port < 0 then (
+            match t.pins with
+            | Some tbl -> Hashtbl.remove tbl dst
+            | None -> ())
+          else Hashtbl.replace (pin_table t) dst port)
+        p.pd_routes;
+      set_fib_version t p.pd_version;
+      true
+
+let discard_pending_update t = t.pending <- None
 let set_eager_host_delivery t b = t.eager_host_delivery <- b
 
 (* Serialization time of a packet on a link, memoized on the port: the
@@ -260,13 +319,21 @@ let route_normal t ~dst_host ~flow_id ~size =
     Routing.Selector.select t.selector t.routing ~dst_host ~flow_id ~size
       ~now:(Engine.now t.engine)
 
+let route_after_pins t ~dst_host ~flow_id ~size =
+  match t.pins with
+  | None -> route_normal t ~dst_host ~flow_id ~size
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl dst_host with
+      | Some p -> p
+      | None -> route_normal t ~dst_host ~flow_id ~size)
+
 let forward_decision t ~dst_host ~flow_id ~size =
   match t.route_override with
   | Some f -> (
       match f ~dst_host with
       | Some p -> p
-      | None -> route_normal t ~dst_host ~flow_id ~size)
-  | None -> route_normal t ~dst_host ~flow_id ~size
+      | None -> route_after_pins t ~dst_host ~flow_id ~size)
+  | None -> route_after_pins t ~dst_host ~flow_id ~size
 
 let receive t ~port pkt =
   let ps = port_state t port in
@@ -379,6 +446,9 @@ let create ?arena ?host_attach ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~not
       deliver_host;
       fib_setters = [];
       route_override = None;
+      pins = None;
+      pending = None;
+      fib_version_now = 0;
       forwarded = 0;
       attach_sw;
       attach_port;

@@ -94,9 +94,41 @@ val set_fib_version : t -> int -> unit
 (** Install a new FIB "version" (only observable with the [Fib_version]
     counter, §10). *)
 
+val fib_version : t -> int
+(** The last version passed to {!set_fib_version} (0 before any). *)
+
 val set_route_override : t -> (dst_host:int -> int option) option -> unit
 (** Force the next-hop decision (used by the loop-detection example to
     inject bad forwarding state); [None] restores normal routing. *)
+
+(** {2 Pending forwarding updates}
+
+    A timed update (DESIGN.md §12) delivers flow-mods to the switch ahead
+    of their trigger time; they park here as the {e pending update} until
+    the trigger fires. Applying installs the routes as forwarding {e pins}
+    (dst host → forced out port, consulted between the route override and
+    normal routing) and bumps the FIB version in one step — the model's
+    stand-in for an atomic table swap. *)
+
+val stage_update :
+  t -> version:int -> routes:(int * int) list -> clear:bool -> unit
+(** Park a pending update: on application the FIB version becomes
+    [version] and each [(dst_host, port)] pair pins that destination to
+    that port ([port = -1] removes the pin instead). [clear] drops all
+    existing pins first. A second [stage_update] before application
+    replaces the first. *)
+
+val pending_update : t -> (int * int) option
+(** [(version, route count)] of the staged update, if any. *)
+
+val apply_pending_update : t -> bool
+(** Apply and clear the pending update; [false] if none was staged. *)
+
+val discard_pending_update : t -> unit
+(** Drop a staged update without applying it (cancelled trigger). *)
+
+val pinned_port : t -> dst_host:int -> int option
+(** The pin currently forcing [dst_host]'s next hop, if any. *)
 
 val set_eager_host_delivery : t -> bool -> unit
 (** While [true] (the default), host-bound packets are handed to the

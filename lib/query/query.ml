@@ -359,6 +359,52 @@ module Canned = struct
                switches) ))
       (complete_only t)
 
+  type hop = Deliver | Forward of int | No_route
+
+  (* Shared walker behind [loops] / [blackholes]: per complete round,
+     re-read the FIB version vector through the probe units and walk
+     every (start switch, destination host) pair through the
+     caller-supplied forwarding function. A walk that reaches [Deliver]
+     is clean; [No_route] is a blackhole; revisiting a switch is a loop.
+     The hop function sees only the round's version vector, so the
+     verdicts are about states the snapshot proves the network was
+     simultaneously in — the transition-audit primitive of DESIGN.md
+     §12. *)
+  let transition_walks ~probe ~switches ~hosts ~hop t =
+    List.map
+      (fun (r : Store.round) ->
+        let versions s =
+          match record_value r (probe s) with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        let loops = ref 0 and holes = ref 0 in
+        List.iter
+          (fun start ->
+            List.iter
+              (fun dst ->
+                let rec go visited sw =
+                  if List.mem sw visited then incr loops
+                  else
+                    match hop ~versions ~switch:sw ~dst_host:dst with
+                    | Deliver -> ()
+                    | No_route -> incr holes
+                    | Forward next -> go (sw :: visited) next
+                in
+                go [] start)
+              hosts)
+          switches;
+        (r.Store.sid, !loops, !holes))
+      (complete_only t)
+
+  let loops ~probe ~switches ~hosts ~hop t =
+    List.map (fun (sid, l, _) -> (sid, l))
+      (transition_walks ~probe ~switches ~hosts ~hop t)
+
+  let blackholes ~probe ~switches ~hosts ~hop t =
+    List.map (fun (sid, _, h) -> (sid, h))
+      (transition_walks ~probe ~switches ~hosts ~hop t)
+
   let causal_violations ~rollout_order ~probe t =
     let possible versions =
       let rec go prev = function

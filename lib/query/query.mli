@@ -206,6 +206,38 @@ module Canned : sig
       version vector that is not monotone along the rollout order — a
       state the network can never have been in (§2.2 Q4). *)
 
+  type hop = Deliver | Forward of int | No_route
+  (** One forwarding step under a hypothesized per-switch FIB version:
+      the packet is delivered here, handed to switch [Forward next], or
+      has no viable next hop. *)
+
+  val loops :
+    probe:(int -> Unit_id.t) ->
+    switches:int list ->
+    hosts:int list ->
+    hop:(versions:(int -> int) -> switch:int -> dst_host:int -> hop) ->
+    t ->
+    (int * int) list
+  (** Transition detector over per-round FIB version vectors (DESIGN.md
+      §12): for every complete snapshot, walk each (start switch in
+      [switches], destination host in [hosts]) pair through [hop] —
+      which models the forwarding tables each switch holds {e at its
+      snapshotted version} — and count the pairs whose walk revisits a
+      switch. Returns [(sid, looping pairs)] per round; a non-zero entry
+      proves the cut captured the network mid-transition in a state that
+      forwards traffic in a cycle. *)
+
+  val blackholes :
+    probe:(int -> Unit_id.t) ->
+    switches:int list ->
+    hosts:int list ->
+    hop:(versions:(int -> int) -> switch:int -> dst_host:int -> hop) ->
+    t ->
+    (int * int) list
+  (** Same walk as {!loops}, counting pairs whose walk dead-ends in
+      [No_route] — destinations transiently unreachable during the
+      update. *)
+
   type transit = {
     t_sid : int;
     t_fire : Time.t;

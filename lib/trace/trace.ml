@@ -29,6 +29,10 @@ type payload =
   | Cp_up of { sw : int }
   | Snap_request of { sid : int; fire_at : int }
   | Snap_done of { sid : int; complete : bool; consistent : bool }
+  | Update_staged of { sw : int; version : int; mods : int }
+  | Update_armed of { sw : int; version : int; fire_at : int }
+  | Update_fired of { sw : int; version : int }
+  | Update_expired of { sw : int; version : int }
   | Epoch of { shard : int; bound : int }
 
 let is_runtime = function Epoch _ -> true | _ -> false
@@ -49,6 +53,10 @@ let payload_name = function
   | Cp_up _ -> "cp_up"
   | Snap_request _ -> "snap_request"
   | Snap_done _ -> "snap_done"
+  | Update_staged _ -> "update_staged"
+  | Update_armed _ -> "update_armed"
+  | Update_fired _ -> "update_fired"
+  | Update_expired _ -> "update_expired"
   | Epoch _ -> "epoch"
 
 let unit_text u =
@@ -81,6 +89,13 @@ let payload_text = function
       Printf.sprintf "sid=%d fire_at=%d" sid fire_at
   | Snap_done { sid; complete; consistent } ->
       Printf.sprintf "sid=%d complete=%b consistent=%b" sid complete consistent
+  | Update_staged { sw; version; mods } ->
+      Printf.sprintf "sw=%d version=%d mods=%d" sw version mods
+  | Update_armed { sw; version; fire_at } ->
+      Printf.sprintf "sw=%d version=%d fire_at=%d" sw version fire_at
+  | Update_fired { sw; version } -> Printf.sprintf "sw=%d version=%d" sw version
+  | Update_expired { sw; version } ->
+      Printf.sprintf "sw=%d version=%d" sw version
   | Epoch { shard; bound } -> Printf.sprintf "shard=%d bound=%d" shard bound
 
 let pp_event fmt e =

@@ -75,6 +75,19 @@ type payload =
       (** The observer committed to initiating snapshot [sid]. *)
   | Snap_done of { sid : int; complete : bool; consistent : bool }
       (** The observer closed snapshot [sid]. *)
+  | Update_staged of { sw : int; version : int; mods : int }
+      (** A forwarding update's flow-mods reached switch [sw] over the cmd
+          channel and were parked as the pending update ([mods] route
+          entries, target FIB version [version]). *)
+  | Update_armed of { sw : int; version : int; fire_at : int }
+      (** Switch [sw]'s control plane armed a trigger for its pending
+          update at local-clock time [fire_at] (Time4-style). *)
+  | Update_fired of { sw : int; version : int }
+      (** The pending update was applied to the forwarding tables and the
+          FIB version bumped to [version]. *)
+  | Update_expired of { sw : int; version : int }
+      (** An armed trigger was invalidated before firing (control-plane
+          crash or explicit cancellation); the update did not apply. *)
   | Epoch of { shard : int; bound : int }
       (** Runtime: a BSP epoch barrier granting execution up to [bound]. *)
 

@@ -1,0 +1,514 @@
+open Speedlight_sim
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_store
+open Speedlight_query
+module Trace = Speedlight_trace.Trace
+module Metrics = Speedlight_trace.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Errors *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Empty_plan
+  | Unknown_switch of int
+  | Trigger_in_past of { at : Time.t; now : Time.t }
+
+let error_to_string = function
+  | Empty_plan -> "the target compiles to an empty plan"
+  | Unknown_switch s -> Printf.sprintf "unknown switch %d" s
+  | Trigger_in_past { at; now } ->
+      Printf.sprintf "trigger time %d is not after the current time %d" at now
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+(* ------------------------------------------------------------------ *)
+
+type target =
+  | Reweight of { pins : (int * (int * int) list) list }
+  | Reroute of {
+      pins : (int * (int * int) list) list;
+      release : (int * int list) list;
+    }
+  | Drain_switch of int
+  | Drain_link of { switch : int; port : int }
+  | Undrain of int list
+
+type flow_mod = {
+  fm_switch : int;
+  fm_routes : (int * int) list;
+  fm_clear : bool;
+}
+
+type plan = { p_version : int; p_mods : flow_mod list }
+
+let bad_switch ~n_sw ids = List.find_opt (fun s -> s < 0 || s >= n_sw) ids
+
+(* Re-pin every destination whose ECMP candidate set at [s] both touches
+   and can avoid the ports [avoid] selects; the detour is the
+   lowest-numbered avoiding candidate (deterministic). Destinations
+   attached locally never transit an uplink and need no pin. *)
+let drain_routes net ~s ~avoid =
+  let topo = Net.topology net and routing = Net.routing net in
+  let acc = ref [] in
+  for d = Topology.n_hosts topo - 1 downto 0 do
+    let asw, _ = Topology.host_attachment topo ~host:d in
+    if asw <> s then begin
+      let c = Routing.candidates routing ~switch:s ~dst_host:d in
+      let good = Array.to_list c |> List.filter (fun p -> not (avoid p)) in
+      let bad = Array.exists avoid c in
+      match (bad, good) with
+      | true, g :: rest -> acc := (d, List.fold_left Stdlib.min g rest) :: !acc
+      | _ -> ()
+    end
+  done;
+  !acc
+
+let compile ~net ~version target =
+  let n_sw = Topology.n_switches (Net.topology net) in
+  let finish mods =
+    let mods = List.filter (fun m -> m.fm_routes <> [] || m.fm_clear) mods in
+    if mods = [] then Error Empty_plan
+    else
+      match bad_switch ~n_sw (List.map (fun m -> m.fm_switch) mods) with
+      | Some s -> Error (Unknown_switch s)
+      | None -> Ok { p_version = version; p_mods = mods }
+  in
+  match target with
+  | Reweight { pins } ->
+      finish
+        (List.map
+           (fun (s, routes) ->
+             { fm_switch = s; fm_routes = routes; fm_clear = false })
+           pins)
+  | Reroute { pins; release } ->
+      (* One flow-mod per switch: installs and releases merge, so each
+         switch transitions in a single versioned step. *)
+      let tbl = Hashtbl.create 8 in
+      let add s route =
+        Hashtbl.replace tbl s
+          (route :: (try Hashtbl.find tbl s with Not_found -> []))
+      in
+      List.iter (fun (s, routes) -> List.iter (add s) routes) pins;
+      List.iter (fun (s, dsts) -> List.iter (fun d -> add s (d, -1)) dsts) release;
+      let order =
+        List.sort_uniq Stdlib.compare
+          (List.map fst pins @ List.map fst release)
+      in
+      finish
+        (List.map
+           (fun s ->
+             {
+               fm_switch = s;
+               fm_routes = List.rev (Hashtbl.find tbl s);
+               fm_clear = false;
+             })
+           order)
+  | Drain_switch sp ->
+      if sp < 0 || sp >= n_sw then Error (Unknown_switch sp)
+      else begin
+        let topo = Net.topology net in
+        let mods = ref [] in
+        for s = n_sw - 1 downto 0 do
+          if s <> sp then begin
+            let avoid p =
+              match Topology.peer_of topo ~switch:s ~port:p with
+              | Some (Topology.Switch_port (s', _)) -> s' = sp
+              | _ -> false
+            in
+            match drain_routes net ~s ~avoid with
+            | [] -> ()
+            | routes ->
+                mods :=
+                  { fm_switch = s; fm_routes = routes; fm_clear = false }
+                  :: !mods
+          end
+        done;
+        finish !mods
+      end
+  | Drain_link { switch; port } ->
+      if switch < 0 || switch >= n_sw then Error (Unknown_switch switch)
+      else
+        finish
+          [
+            {
+              fm_switch = switch;
+              fm_routes = drain_routes net ~s:switch ~avoid:(fun p -> p = port);
+              fm_clear = false;
+            };
+          ]
+  | Undrain switches ->
+      finish
+        (List.map
+           (fun s -> { fm_switch = s; fm_routes = []; fm_clear = true })
+           switches)
+
+(* ------------------------------------------------------------------ *)
+(* Controller *)
+(* ------------------------------------------------------------------ *)
+
+type strategy = Immediate | Timed of { at : Time.t } | Staged of { gap : Time.t }
+
+type handle = {
+  h_plan : plan;
+  h_strategy : strategy;
+  h_issued : Time.t;
+  (* Application instants, indexed by switch id. Each slot is written
+     only by the owning switch's shard and read after the run quiesces,
+     so sharded runs stay race-free and bit-identical. *)
+  h_applied : Time.t option array;
+  (* (switch, dst host) -> pinned port, before and after the update —
+     the forwarding states the transition detectors interpolate
+     between. *)
+  h_pre : (int * int, int) Hashtbl.t;
+  h_post : (int * int, int) Hashtbl.t;
+}
+
+type t = {
+  net : Net.t;
+  n_sw : int;
+  (* Software flow-mod installation latency — the per-switch processing
+     variance that sets the spread of delivery-applied (untimed)
+     updates. *)
+  proc_delay : Dist.t;
+  (* One stream per switch, drawn only from the owning switch's shard,
+     so sharded runs stay bit-identical. *)
+  proc_rng : Rng.t array;
+  (* Per-switch lifecycle counters (owner-shard writes, summed on read). *)
+  armed : int array;
+  fired : int array;
+  expired : int array;
+  mutable n_executed : int;
+  mutable last : handle option;
+}
+
+(* Hardware flow-mod installation is a milliseconds-scale software path
+   (rule compilation, TCAM shuffling); 0.5–3 ms is the conservative end
+   of published OpenFlow install latencies. *)
+let default_proc_delay = Dist.uniform ~lo:0.5e6 ~hi:3.0e6
+
+let create ?(proc_delay = default_proc_delay) net =
+  let n_sw = Topology.n_switches (Net.topology net) in
+  {
+    net;
+    n_sw;
+    proc_delay;
+    proc_rng = Array.init n_sw (fun _ -> Net.fresh_rng net);
+    armed = Array.make n_sw 0;
+    fired = Array.make n_sw 0;
+    expired = Array.make n_sw 0;
+    n_executed = 0;
+    last = None;
+  }
+
+let sum = Array.fold_left ( + ) 0
+let armed_total t = sum t.armed
+let fired_total t = sum t.fired
+let expired_total t = sum t.expired
+let executed t = t.n_executed
+
+let targets h = List.map (fun m -> m.fm_switch) h.h_plan.p_mods
+let applied_at h ~switch = h.h_applied.(switch)
+
+let applied_count h =
+  List.fold_left
+    (fun n s -> if h.h_applied.(s) <> None then n + 1 else n)
+    0 (targets h)
+
+let spread h =
+  let lo = ref Time.zero and hi = ref Time.zero and n = ref 0 in
+  List.iter
+    (fun s ->
+      match h.h_applied.(s) with
+      | Some at ->
+          if !n = 0 then begin
+            lo := at;
+            hi := at
+          end
+          else begin
+            lo := Time.min !lo at;
+            hi := Time.max !hi at
+          end;
+          incr n
+      | None -> ())
+    (targets h);
+  if !n >= 2 then Some (Time.sub !hi !lo) else None
+
+(* Pre-update pin state: every (switch, dst) pin currently installed.
+   O(switches * hosts) probes — updates are a control-plane-scale
+   operation, not a datacenter-sweep one. *)
+let capture_pins t =
+  let tbl = Hashtbl.create 64 in
+  let n_hosts = Topology.n_hosts (Net.topology t.net) in
+  for s = 0 to t.n_sw - 1 do
+    let sw = Net.switch t.net s in
+    for d = 0 to n_hosts - 1 do
+      match Switch.pinned_port sw ~dst_host:d with
+      | Some p -> Hashtbl.replace tbl (s, d) p
+      | None -> ()
+    done
+  done;
+  tbl
+
+let post_pins pre plan =
+  let tbl = Hashtbl.copy pre in
+  List.iter
+    (fun m ->
+      if m.fm_clear then
+        Hashtbl.iter (fun (s, d) _ -> if s = m.fm_switch then Hashtbl.remove tbl (s, d)) pre;
+      List.iter
+        (fun (d, p) ->
+          if p < 0 then Hashtbl.remove tbl (m.fm_switch, d)
+          else Hashtbl.replace tbl (m.fm_switch, d) p)
+        m.fm_routes)
+    plan.p_mods;
+  tbl
+
+(* Switch-shard side of one flow-mod. *)
+let stage t h (fm : flow_mod) =
+  let s = fm.fm_switch in
+  Switch.stage_update (Net.switch t.net s) ~version:h.h_plan.p_version
+    ~routes:fm.fm_routes ~clear:fm.fm_clear;
+  let e = Net.update_emitter t.net ~switch:s in
+  if Trace.enabled e then
+    Trace.emit e
+      ~at:(Net.switch_now t.net ~switch:s)
+      (Trace.Update_staged
+         {
+           sw = s;
+           version = h.h_plan.p_version;
+           mods = List.length fm.fm_routes;
+         })
+
+let apply_now t h s =
+  if Switch.apply_pending_update (Net.switch t.net s) then begin
+    let at = Net.switch_now t.net ~switch:s in
+    t.fired.(s) <- t.fired.(s) + 1;
+    h.h_applied.(s) <- Some at;
+    let e = Net.update_emitter t.net ~switch:s in
+    if Trace.enabled e then
+      Trace.emit e ~at
+        (Trace.Update_fired { sw = s; version = h.h_plan.p_version })
+  end
+
+(* Delivery-applied modes (Immediate / Staged) pay the switch's software
+   installation latency before the new rules take effect; the armed path
+   does not — the installation happened ahead of time and only the
+   version flip remains, which is the Time4 argument. *)
+let apply_after_install t h s =
+  let d =
+    Time.of_ns_float (Float.max 0. (Dist.sample t.proc_delay t.proc_rng.(s)))
+  in
+  if d <= Time.zero then apply_now t h s
+  else
+    Net.schedule_on_switch t.net ~switch:s
+      ~at:(Time.add (Net.switch_now t.net ~switch:s) d)
+      (fun () -> apply_now t h s)
+
+let execute t plan strategy =
+  let now = Net.now t.net in
+  if plan.p_mods = [] then Error Empty_plan
+  else
+    match bad_switch ~n_sw:t.n_sw (List.map (fun m -> m.fm_switch) plan.p_mods) with
+    | Some s -> Error (Unknown_switch s)
+    | None -> (
+        match strategy with
+        | Timed { at } when at <= now -> Error (Trigger_in_past { at; now })
+        | _ ->
+            let pre = capture_pins t in
+            let h =
+              {
+                h_plan = plan;
+                h_strategy = strategy;
+                h_issued = now;
+                h_applied = Array.make t.n_sw None;
+                h_pre = pre;
+                h_post = post_pins pre plan;
+              }
+            in
+            t.n_executed <- t.n_executed + 1;
+            t.last <- Some h;
+            (match strategy with
+            | Immediate ->
+                List.iter
+                  (fun fm ->
+                    Net.post_cmd t.net ~switch:fm.fm_switch (fun () ->
+                        stage t h fm;
+                        apply_after_install t h fm.fm_switch))
+                  plan.p_mods
+            | Timed { at } ->
+                List.iter
+                  (fun fm ->
+                    let s = fm.fm_switch in
+                    Net.post_cmd t.net ~switch:s (fun () ->
+                        stage t h fm;
+                        let e = Net.update_emitter t.net ~switch:s in
+                        t.armed.(s) <- t.armed.(s) + 1;
+                        if Trace.enabled e then
+                          Trace.emit e
+                            ~at:(Net.switch_now t.net ~switch:s)
+                            (Trace.Update_armed
+                               {
+                                 sw = s;
+                                 version = plan.p_version;
+                                 fire_at = at;
+                               });
+                        Control_plane.schedule_apply
+                          (Net.control_plane t.net s)
+                          ~fire_at_local:at
+                          ~expired:(fun () ->
+                            t.expired.(s) <- t.expired.(s) + 1;
+                            Switch.discard_pending_update (Net.switch t.net s);
+                            if Trace.enabled e then
+                              Trace.emit e
+                                ~at:(Net.switch_now t.net ~switch:s)
+                                (Trace.Update_expired
+                                   { sw = s; version = plan.p_version }))
+                          (fun () -> apply_now t h s)))
+                  plan.p_mods
+            | Staged { gap } ->
+                List.iteri
+                  (fun i fm ->
+                    Net.schedule_at_observer t.net
+                      ~at:(Time.add now (i * gap))
+                      (fun () ->
+                        Net.post_cmd t.net ~switch:fm.fm_switch (fun () ->
+                            stage t h fm;
+                            apply_after_install t h fm.fm_switch)))
+                  plan.p_mods);
+            Ok h)
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop audit *)
+(* ------------------------------------------------------------------ *)
+
+type span = { a_first : Time.t; a_last : Time.t; a_rounds : int }
+type outcome = Atomic | Transient_anomaly of span | Failed
+
+let outcome_to_string = function
+  | Atomic -> "atomic"
+  | Transient_anomaly { a_first; a_last; a_rounds } ->
+      Printf.sprintf "transient-anomaly(rounds=%d span=[%d,%d])" a_rounds
+        a_first a_last
+  | Failed -> "failed"
+
+type audit = {
+  au_outcome : outcome;
+  au_loops : (int * int) list;
+  au_blackholes : (int * int) list;
+  au_causal_bad : int;
+  au_rounds : int;
+  au_mixed : int;
+}
+
+let hop_model t h ~versions ~switch ~dst_host =
+  let pins =
+    if versions switch >= h.h_plan.p_version then h.h_post else h.h_pre
+  in
+  let topo = Net.topology t.net in
+  let follow p =
+    match Topology.peer_of topo ~switch ~port:p with
+    | Some (Topology.Switch_port (s', _)) -> Query.Canned.Forward s'
+    | Some (Topology.Host_port hh) ->
+        if hh = dst_host then Query.Canned.Deliver else Query.Canned.No_route
+    | None -> Query.Canned.No_route
+  in
+  match Hashtbl.find_opt pins (switch, dst_host) with
+  | Some p -> follow p
+  | None ->
+      let asw, _ = Topology.host_attachment topo ~host:dst_host in
+      if asw = switch then Query.Canned.Deliver
+      else
+        let c = Routing.candidates (Net.routing t.net) ~switch ~dst_host in
+        if Array.length c = 0 then Query.Canned.No_route else follow c.(0)
+
+let audit t h ~probe ~switches ~hosts ?(rollout_order = []) q =
+  let hop = hop_model t h in
+  let loops = Query.Canned.loops ~probe ~switches ~hosts ~hop q in
+  let holes = Query.Canned.blackholes ~probe ~switches ~hosts ~hop q in
+  let causal_bad =
+    match rollout_order with
+    | [] -> 0
+    | order -> fst (Query.Canned.causal_violations ~rollout_order:order ~probe q)
+  in
+  let complete =
+    List.filter (fun (r : Store.round) -> r.Store.complete) (Query.rounds q)
+  in
+  let fire_of sid =
+    match
+      List.find_opt (fun (r : Store.round) -> r.Store.sid = sid) complete
+    with
+    | Some r -> r.Store.fire_time
+    | None -> Time.zero
+  in
+  let version = h.h_plan.p_version in
+  let tg = targets h in
+  let mixed =
+    List.fold_left
+      (fun n (_, vv) ->
+        let post = Array.exists (fun v -> v >= version) vv in
+        let pre = Array.exists (fun v -> v < version) vv in
+        if post && pre then n + 1 else n)
+      0
+      (Query.Canned.version_vector ~probe ~switches:tg q)
+  in
+  let anomalous =
+    List.sort_uniq Stdlib.compare
+      (List.filter_map (fun (sid, n) -> if n > 0 then Some sid else None) loops
+      @ List.filter_map
+          (fun (sid, n) -> if n > 0 then Some sid else None)
+          holes)
+  in
+  let outcome =
+    if List.exists (fun s -> h.h_applied.(s) = None) tg then Failed
+    else
+      match anomalous with
+      | [] ->
+          if causal_bad > 0 then
+            let fires =
+              List.map (fun (r : Store.round) -> r.Store.fire_time) complete
+            in
+            let first =
+              match fires with [] -> Time.zero | f :: r -> List.fold_left Time.min f r
+            in
+            Transient_anomaly
+              {
+                a_first = first;
+                a_last = List.fold_left Time.max Time.zero fires;
+                a_rounds = causal_bad;
+              }
+          else Atomic
+      | first :: _ as sids ->
+          let last = List.nth sids (List.length sids - 1) in
+          Transient_anomaly
+            {
+              a_first = fire_of first;
+              a_last = fire_of last;
+              a_rounds = List.length sids;
+            }
+  in
+  {
+    au_outcome = outcome;
+    au_loops = loops;
+    au_blackholes = holes;
+    au_causal_bad = causal_bad;
+    au_rounds = List.length complete;
+    au_mixed = mixed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+(* ------------------------------------------------------------------ *)
+
+let register_metrics t m =
+  Metrics.register m "update.executed" (fun () -> float_of_int t.n_executed);
+  Metrics.register m "update.armed" (fun () -> float_of_int (armed_total t));
+  Metrics.register m "update.fired" (fun () -> float_of_int (fired_total t));
+  Metrics.register m "update.expired" (fun () ->
+      float_of_int (expired_total t));
+  Metrics.register m "update.spread_ns" (fun () ->
+      match t.last with
+      | Some h -> (
+          match spread h with Some s -> float_of_int s | None -> nan)
+      | None -> nan)

@@ -1,0 +1,185 @@
+(** Timed, consistent network updates, closed-loop on snapshots
+    (DESIGN.md §12).
+
+    The Time4 programme [Mizrahi & Moses] on Speedlight infrastructure:
+    a {e plan compiler} turns a target forwarding configuration into
+    per-switch flow-mods with a FIB-version bump; a {e scheduler} ships
+    them over the latency-bearing observer→CP command channel and — in
+    timed mode — arms them against each switch's local PTP-disciplined
+    clock, so clock error rather than delivery jitter sets the update
+    spread; and a {e closed loop} brackets the transition with snapshot
+    rounds and audits it with the {!Speedlight_query.Query.Canned}
+    transition detectors, classifying the update
+    [Atomic | Transient_anomaly | Failed]. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_net
+open Speedlight_query
+
+(** {2 Errors} *)
+
+type error =
+  | Empty_plan  (** the target compiles to no flow-mod at all *)
+  | Unknown_switch of int  (** a referenced switch id is out of range *)
+  | Trigger_in_past of { at : Time.t; now : Time.t }
+      (** a [Timed] deadline at or before the controller's current time *)
+
+val error_to_string : error -> string
+
+(** {2 Plans} *)
+
+type target =
+  | Reweight of { pins : (int * (int * int) list) list }
+      (** ECMP re-weighting: per [(switch, [(dst_host, out_port)])], pin
+          each destination's next hop (degenerate weights — the paper
+          testbed's flow-pinned ECMP). *)
+  | Reroute of {
+      pins : (int * (int * int) list) list;
+      release : (int * int list) list;
+          (** per [(switch, [dst_host])]: pins to remove *)
+    }
+      (** Failure re-route: install detour pins and/or release repaired
+          ones in a single versioned step. *)
+  | Drain_switch of int
+      (** Steer all traffic around one (transit) switch: every other
+          switch whose ECMP candidate set for some destination both
+          touches and can avoid the drained switch gets that destination
+          pinned to its lowest-numbered avoiding port. *)
+  | Drain_link of { switch : int; port : int }
+      (** Same, for a single directed link: only [switch]'s own
+          candidates are re-pinned away from [port]. *)
+  | Undrain of int list
+      (** Clear every pin on the listed switches — back to unconstrained
+          ECMP. *)
+
+type flow_mod = {
+  fm_switch : int;
+  fm_routes : (int * int) list;
+      (** [(dst_host, out_port)]; a negative port removes the pin *)
+  fm_clear : bool;  (** drop all existing pins before installing *)
+}
+
+type plan = { p_version : int; p_mods : flow_mod list }
+(** Applying a flow-mod installs its routes and bumps the switch's FIB
+    version to [p_version] in one step. *)
+
+val compile : net:Net.t -> version:int -> target -> (plan, error) result
+(** Compile a target configuration against the net's topology and
+    routing tables. Fails with [Unknown_switch] on any out-of-range
+    switch reference and [Empty_plan] when the target yields no
+    flow-mod (e.g. draining a switch nothing routes through). *)
+
+(** {2 Scheduling} *)
+
+type strategy =
+  | Immediate
+      (** Untimed baseline: each flow-mod applies when it is delivered
+          {e and installed}, so cmd-channel latency plus the per-switch
+          software installation delay set the spread. *)
+  | Timed of { at : Time.t }
+      (** Time4: flow-mods are delivered and installed ahead of time and
+          armed against each switch's {e local} clock reading [at]; only
+          the version flip remains at the trigger, so the spread is
+          bounded by PTP error plus scheduling jitter — installation
+          variance is paid off the critical path. *)
+  | Staged of { gap : Time.t }
+      (** Classic ordered two-phase baseline: flow-mods are {e sent} in
+          plan order, [gap] apart, and apply on delivery + installation. *)
+
+type t
+(** An update controller bound to one net (shard-0 side, like the
+    snapshot observer). *)
+
+val create : ?proc_delay:Dist.t -> Net.t -> t
+(** [proc_delay] models the software flow-mod installation latency a
+    switch pays between receiving a rule change and the change taking
+    effect (default uniform 0.5–3 ms, the conservative end of published
+    OpenFlow install latencies). [Immediate] and [Staged] updates apply
+    after it; [Timed] updates install on delivery and pay nothing at the
+    trigger. Drawn from per-switch streams on the owning shard, so runs
+    stay bit-identical across shard counts. *)
+
+type handle
+(** One in-flight (or completed) update: tracks which switches applied
+    and when, plus the pre/post pin state the transition detectors
+    model. *)
+
+val execute : t -> plan -> strategy -> (handle, error) result
+(** Validate and launch an update; call from shard 0 between (or
+    before) {!Net.run_until} calls, then advance the net past the
+    trigger. Degenerate schedules are rejected with a typed {!error}
+    before anything is sent. *)
+
+val targets : handle -> int list
+(** The plan's target switches, in plan order. *)
+
+val applied_at : handle -> switch:int -> Time.t option
+(** When the switch applied its flow-mod (true simulation time), if it
+    has. *)
+
+val applied_count : handle -> int
+
+val spread : handle -> Time.t option
+(** Latest minus earliest application instant across the plan's targets;
+    [None] unless at least two applied. *)
+
+(** {2 Closed-loop audit} *)
+
+type span = { a_first : Time.t; a_last : Time.t; a_rounds : int }
+(** Fire-time window and count of the anomalous snapshot rounds. *)
+
+type outcome = Atomic | Transient_anomaly of span | Failed
+
+val outcome_to_string : outcome -> string
+
+type audit = {
+  au_outcome : outcome;
+  au_loops : (int * int) list;  (** per complete round: looping pairs *)
+  au_blackholes : (int * int) list;  (** per complete round: dead pairs *)
+  au_causal_bad : int;  (** rounds violating the rollout order, if given *)
+  au_rounds : int;  (** complete rounds audited *)
+  au_mixed : int;
+      (** rounds whose version vector mixes pre- and post-update targets
+          — the cut caught the transition in flight (not by itself an
+          anomaly) *)
+}
+
+val hop_model :
+  t -> handle -> versions:(int -> int) -> switch:int -> dst_host:int ->
+  Query.Canned.hop
+(** The forwarding model the transition detectors walk: a switch whose
+    snapshotted FIB version has reached the plan's version forwards with
+    the post-update pins, otherwise with the pre-update pins; unpinned
+    destinations follow the static routing tables. *)
+
+val audit :
+  t ->
+  handle ->
+  probe:(int -> Unit_id.t) ->
+  switches:int list ->
+  hosts:int list ->
+  ?rollout_order:int list ->
+  Query.t ->
+  audit
+(** Audit the update against the snapshot rounds bracketing it:
+    {!Query.Canned.loops} and {!Query.Canned.blackholes} over the
+    version vectors read through [probe], plus
+    {!Query.Canned.causal_violations} along [rollout_order] when given
+    (a [Staged] update's plan order). [Failed] when some target switch
+    never applied; [Transient_anomaly] when any audited round shows a
+    loop, blackhole or causal violation; [Atomic] otherwise. *)
+
+(** {2 Metrics} *)
+
+val register_metrics : t -> Speedlight_trace.Metrics.t -> unit
+(** Register [update.executed], [update.armed], [update.fired],
+    [update.expired] counters and the [update.spread_ns] gauge (spread
+    of the most recently executed update, [nan] until measurable). *)
+
+(** {2 Introspection} *)
+
+val armed_total : t -> int
+val fired_total : t -> int
+val expired_total : t -> int
+val executed : t -> int

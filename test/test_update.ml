@@ -1,0 +1,542 @@
+(* Tests for the timed-update subsystem (lib/update): the plan compiler's
+   typed errors and drain logic, the arming semantics under PTP steps and
+   holdover (exactly once, bit-identical at any shard count), the
+   transition detectors on synthetic rounds with known answers, and the
+   closed-loop acceptance bar — timed updates snapshot-certified atomic
+   where the untimed baselines are caught mid-transition. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_faults
+open Speedlight_store
+open Speedlight_query
+open Speedlight_experiments
+module U = Speedlight_update.Update
+module Clock = Speedlight_clock.Clock
+module Metrics = Speedlight_trace.Metrics
+
+let leafs (ls : Topology.leaf_spine) =
+  match ls.Topology.leaf_switches with
+  | a :: b :: _ -> (a, b)
+  | _ -> assert false
+
+let port_toward topo ~sw ~peer =
+  let found = ref None in
+  for p = Topology.ports topo sw - 1 downto 0 do
+    match Topology.peer_of topo ~switch:sw ~port:p with
+    | Some (Topology.Switch_port (s', _)) when s' = peer -> found := Some p
+    | _ -> ()
+  done;
+  Option.get !found
+
+let cross_hosts topo ~not_on =
+  List.filter
+    (fun h -> fst (Topology.host_attachment topo ~host:h) <> not_on)
+    (List.init (Topology.n_hosts topo) Fun.id)
+
+(* A swap plan over the two leaves of the default testbed: leaf0 pins its
+   cross-leaf destinations to spine0's port, leaf1 to spine1's. *)
+let swap_target (ls : Topology.leaf_spine) net =
+  let topo = Net.topology net in
+  let leaf0, leaf1 = leafs ls in
+  let spine0, spine1 =
+    match ls.Topology.spine_switches with
+    | a :: b :: _ -> (a, b)
+    | _ -> assert false
+  in
+  let pins leaf spine =
+    List.map
+      (fun d -> (d, port_toward topo ~sw:leaf ~peer:spine))
+      (cross_hosts topo ~not_on:leaf)
+  in
+  U.Reweight { pins = [ (leaf0, pins leaf0 spine0); (leaf1, pins leaf1 spine1) ] }
+
+(* ------------------------------------------------------------------ *)
+(* Typed errors *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_empty_plan () =
+  let _, net = Common.make_testbed () in
+  (match U.compile ~net ~version:2 (U.Undrain []) with
+  | Error U.Empty_plan -> ()
+  | _ -> Alcotest.fail "Undrain [] must compile to Empty_plan");
+  (match U.compile ~net ~version:2 (U.Reweight { pins = [] }) with
+  | Error U.Empty_plan -> ()
+  | _ -> Alcotest.fail "empty Reweight must compile to Empty_plan");
+  let upd = U.create net in
+  match U.execute upd { U.p_version = 2; p_mods = [] } U.Immediate with
+  | Error U.Empty_plan -> ()
+  | _ -> Alcotest.fail "executing an empty plan must fail with Empty_plan"
+
+let test_error_unknown_switch () =
+  let _, net = Common.make_testbed () in
+  (match
+     U.compile ~net ~version:2 (U.Reweight { pins = [ (99, [ (0, 1) ]) ] })
+   with
+  | Error (U.Unknown_switch 99) -> ()
+  | _ -> Alcotest.fail "out-of-range pin switch must be rejected");
+  (match U.compile ~net ~version:2 (U.Drain_switch 42) with
+  | Error (U.Unknown_switch 42) -> ()
+  | _ -> Alcotest.fail "draining an unknown switch must be rejected");
+  let upd = U.create net in
+  let plan =
+    { U.p_version = 2; p_mods = [ { U.fm_switch = -1; fm_routes = [ (0, 1) ]; fm_clear = false } ] }
+  in
+  match U.execute upd plan U.Immediate with
+  | Error (U.Unknown_switch -1) -> ()
+  | _ -> Alcotest.fail "executing a plan against switch -1 must be rejected"
+
+let test_error_trigger_in_past () =
+  let ls, net = Common.make_testbed () in
+  Net.run_until net (Time.ms 1);
+  let upd = U.create net in
+  let plan =
+    match U.compile ~net ~version:2 (swap_target ls net) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  (match U.execute upd plan (U.Timed { at = Time.us 500 }) with
+  | Error (U.Trigger_in_past { at; now }) ->
+      Alcotest.(check int) "reported deadline" (Time.us 500) at;
+      Alcotest.(check int) "reported now" (Time.ms 1) now
+  | _ -> Alcotest.fail "a trigger at or before now must be rejected");
+  Alcotest.(check int) "nothing launched" 0 (U.executed upd)
+
+(* ------------------------------------------------------------------ *)
+(* Compiler *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_drain_switch () =
+  let ls, net = Common.make_testbed () in
+  let topo = Net.topology net in
+  let leaf0, leaf1 = leafs ls in
+  let spine0, spine1 =
+    match ls.Topology.spine_switches with
+    | a :: b :: _ -> (a, b)
+    | _ -> assert false
+  in
+  let plan =
+    match U.compile ~net ~version:3 (U.Drain_switch spine0) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  Alcotest.(check int) "version carried" 3 plan.U.p_version;
+  (* Both leaves transit spines for cross-leaf traffic, so both get a
+     flow-mod; every pinned port must face the other spine. *)
+  List.iter
+    (fun leaf ->
+      match
+        List.find_opt (fun m -> m.U.fm_switch = leaf) plan.U.p_mods
+      with
+      | None -> Alcotest.failf "leaf %d missing from the drain plan" leaf
+      | Some m ->
+          let away = port_toward topo ~sw:leaf ~peer:spine1 in
+          Alcotest.(check int)
+            "drains every cross-leaf destination"
+            (List.length (cross_hosts topo ~not_on:leaf))
+            (List.length m.U.fm_routes);
+          List.iter
+            (fun (_, p) ->
+              Alcotest.(check int) "pinned away from the drained spine" away p)
+            m.U.fm_routes)
+    [ leaf0; leaf1 ];
+  (* Undrain clears the pins again. *)
+  match U.compile ~net ~version:4 (U.Undrain [ leaf0; leaf1 ]) with
+  | Ok p ->
+      List.iter (fun m -> Alcotest.(check bool) "clear set" true m.U.fm_clear) p.U.p_mods
+  | Error e -> Alcotest.fail (U.error_to_string e)
+
+let test_compile_drain_link () =
+  let ls, net = Common.make_testbed () in
+  let topo = Net.topology net in
+  let leaf0, _ = leafs ls in
+  let up =
+    match ls.Topology.uplink_ports with
+    | (_, p :: _) :: _ -> p
+    | _ -> assert false
+  in
+  match U.compile ~net ~version:2 (U.Drain_link { switch = leaf0; port = up }) with
+  | Error e -> Alcotest.fail (U.error_to_string e)
+  | Ok p ->
+      Alcotest.(check int) "one switch touched" 1 (List.length p.U.p_mods);
+      let m = List.hd p.U.p_mods in
+      Alcotest.(check int) "on the named switch" leaf0 m.U.fm_switch;
+      Alcotest.(check int)
+        "every cross-leaf destination re-pinned"
+        (List.length (cross_hosts topo ~not_on:leaf0))
+        (List.length m.U.fm_routes);
+      List.iter
+        (fun (_, port) ->
+          if port = up then Alcotest.fail "a route still uses the drained port")
+        m.U.fm_routes
+
+(* ------------------------------------------------------------------ *)
+(* Arming semantics: PTP chaos between arm and fire, at any shard count *)
+(* ------------------------------------------------------------------ *)
+
+(* Issue a timed swap at 1 ms with trigger 6 ms, racing [events] against
+   the armed window; returns the per-switch apply times plus the run
+   digest, which the determinism test compares across shard counts. *)
+let timed_run ~shards ~events () =
+  let cfg = Config.default |> Config.with_seed 11 in
+  let ls, net = Common.make_testbed ~cfg ~shards () in
+  let upd = U.create ~proc_delay:(Dist.constant 0.) net in
+  if events <> [] then ignore (Faults.install ~net { Faults.seed = 11; events });
+  let plan =
+    match U.compile ~net ~version:2 (swap_target ls net) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  Net.run_until net (Time.ms 1);
+  let h =
+    match U.execute upd plan (U.Timed { at = Time.ms 6 }) with
+    | Ok h -> h
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  Net.run_until net (Time.ms 12);
+  let applied =
+    List.map (fun s -> (s, Option.get (U.applied_at h ~switch:s))) (U.targets h)
+  in
+  (net, upd, h, applied)
+
+let check_exactly_once upd h =
+  let n = List.length (U.targets h) in
+  Alcotest.(check int) "armed once per target" n (U.armed_total upd);
+  Alcotest.(check int) "fired exactly once per target" n (U.fired_total upd);
+  Alcotest.(check int) "nothing expired" 0 (U.expired_total upd)
+
+let test_clock_step_between_arm_and_fire () =
+  let ls, _ = Common.make_testbed () in
+  let leaf0, _ = leafs ls in
+  (* Backward step: the latched wakeup finds the local clock short of the
+     deadline and must re-arm — never fire twice, never expire. *)
+  let events =
+    [
+      {
+        Faults.at = Time.ms 3;
+        action = Faults.Clock_step { switch = leaf0; delta_ns = -200_000. };
+      };
+    ]
+  in
+  let net, upd, h, applied = timed_run ~shards:1 ~events () in
+  check_exactly_once upd h;
+  Alcotest.(check bool)
+    "the step actually raced the armed window" true
+    (Clock.steps (Control_plane.clock (Net.control_plane net leaf0)) > 0);
+  let t0 = List.assoc leaf0 applied in
+  let others = List.filter (fun (s, _) -> s <> leaf0) applied in
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool)
+        "stepped switch fires late by about the step" true
+        (Time.sub t0 t > Time.us 150 && Time.sub t0 t < Time.us 260))
+    others
+
+let test_holdover_between_arm_and_fire () =
+  let ls, _ = Common.make_testbed () in
+  let leaf0, _ = leafs ls in
+  let events =
+    [
+      {
+        Faults.at = Time.ms 2;
+        action = Faults.Clock_holdover { switch = leaf0; on = true };
+      };
+      {
+        Faults.at = Time.ms 9;
+        action = Faults.Clock_holdover { switch = leaf0; on = false };
+      };
+    ]
+  in
+  let _, upd, h, applied = timed_run ~shards:1 ~events () in
+  check_exactly_once upd h;
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool)
+        "fires near the trigger despite holdover" true
+        (Time.sub t (Time.ms 6) < Time.us 100))
+    applied
+
+let test_armed_fire_deterministic_across_shards () =
+  let events =
+    [
+      {
+        Faults.at = Time.ms 3;
+        action = Faults.Clock_step { switch = 0; delta_ns = -200_000. };
+      };
+    ]
+  in
+  let runs =
+    List.map
+      (fun shards ->
+        let net, upd, h, applied = timed_run ~shards ~events () in
+        check_exactly_once upd h;
+        (applied, Common.run_digest net ~sids:[]))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | (a1, d1) :: rest ->
+      List.iteri
+        (fun i (a, d) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "apply times identical (run %d)" (i + 2))
+            true (a = a1);
+          Alcotest.(check string)
+            (Printf.sprintf "run digest identical (run %d)" (i + 2))
+            d1 d)
+        rest
+  | [] -> assert false
+
+let test_expired_on_cp_crash () =
+  let ls, net = Common.make_testbed () in
+  let leaf0, _ = leafs ls in
+  let upd = U.create ~proc_delay:(Dist.constant 0.) net in
+  ignore
+    (Faults.install ~net
+       {
+         Faults.seed = 7;
+         events =
+           [ { Faults.at = Time.ms 3; action = Faults.Cp_crash { switch = leaf0 } } ];
+       });
+  let plan =
+    match U.compile ~net ~version:2 (swap_target ls net) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  Net.run_until net (Time.ms 1);
+  let h =
+    match U.execute upd plan (U.Timed { at = Time.ms 6 }) with
+    | Ok h -> h
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  Net.run_until net (Time.ms 12);
+  Alcotest.(check int) "crashed CP expired its trigger" 1 (U.expired_total upd);
+  Alcotest.(check bool) "crashed switch never applied" true
+    (U.applied_at h ~switch:leaf0 = None);
+  Alcotest.(check int) "the other switch fired" 1 (U.fired_total upd)
+
+(* ------------------------------------------------------------------ *)
+(* Transition detectors on synthetic rounds *)
+(* ------------------------------------------------------------------ *)
+
+let probe s = Unit_id.ingress ~switch:s ~port:0
+
+let mk_round ~sid ~fire ?(complete = true) versions =
+  {
+    Store.sid;
+    fire_time = fire;
+    staleness = None;
+    complete;
+    consistent = true;
+    timed_out = [];
+    label = Store.Unaudited;
+    records =
+      Array.of_list
+        (List.mapi
+           (fun s v ->
+             {
+               Store.r_uid = probe s;
+               r_value = Some (float_of_int v);
+               r_channel = 0.;
+               r_consistent = true;
+               r_inferred = false;
+             })
+           versions);
+  }
+
+(* Two-switch model keyed on snapshotted FIB versions: at version 1 the
+   state is consistent (0 delivers, 1 forwards to 0); a round that catches
+   0 at version 2 with 1 still at 1 shows the 0 -> 1 -> 0 loop; version 3
+   means the destination is unrouted. *)
+let hop ~versions ~switch ~dst_host:_ =
+  match versions switch with
+  | 1 -> if switch = 0 then Query.Canned.Deliver else Query.Canned.Forward 0
+  | 2 -> if switch = 0 then Query.Canned.Forward 1 else Query.Canned.Forward 0
+  | _ -> Query.Canned.No_route
+
+let test_canned_loops_and_blackholes () =
+  let q =
+    Query.of_rounds
+      [
+        mk_round ~sid:1 ~fire:(Time.ms 10) [ 1; 1 ];
+        mk_round ~sid:2 ~fire:(Time.ms 20) [ 2; 1 ];
+        mk_round ~sid:3 ~fire:(Time.ms 30) [ 3; 3 ];
+        mk_round ~sid:4 ~fire:(Time.ms 40) ~complete:false [ 2; 1 ];
+      ]
+  in
+  let switches = [ 0; 1 ] and hosts = [ 0 ] in
+  Alcotest.(check (list (pair int int)))
+    "loops per complete round"
+    [ (1, 0); (2, 2); (3, 0) ]
+    (Query.Canned.loops ~probe ~switches ~hosts ~hop q);
+  Alcotest.(check (list (pair int int)))
+    "blackholes per complete round"
+    [ (1, 0); (2, 0); (3, 2) ]
+    (Query.Canned.blackholes ~probe ~switches ~hosts ~hop q)
+
+(* ------------------------------------------------------------------ *)
+(* Spread: timed vs untimed *)
+(* ------------------------------------------------------------------ *)
+
+let test_timed_spread_beats_immediate () =
+  let spread_of strategy =
+    let cfg = Config.default |> Config.with_seed 23 in
+    let ls, net = Common.make_testbed ~cfg () in
+    let upd = U.create net in
+    let plan =
+      match U.compile ~net ~version:2 (swap_target ls net) with
+      | Ok p -> p
+      | Error e -> Alcotest.fail (U.error_to_string e)
+    in
+    Net.run_until net (Time.ms 1);
+    let h =
+      match U.execute upd plan strategy with
+      | Ok h -> h
+      | Error e -> Alcotest.fail (U.error_to_string e)
+    in
+    Net.run_until net (Time.ms 12);
+    match U.spread h with
+    | Some s -> s
+    | None -> Alcotest.fail "spread unmeasurable"
+  in
+  let timed = spread_of (U.Timed { at = Time.ms 6 }) in
+  let untimed = spread_of U.Immediate in
+  Alcotest.(check bool)
+    (Printf.sprintf "timed spread %d ns bounded by clock error + jitter" timed)
+    true (timed < Time.us 20);
+  Alcotest.(check bool)
+    (Printf.sprintf "untimed spread %d ns set by installation variance" untimed)
+    true
+    (untimed > 10 * timed && untimed > Time.us 100)
+
+(* ------------------------------------------------------------------ *)
+(* Closed loop and shard equivalence, through the experiment harness *)
+(* ------------------------------------------------------------------ *)
+
+let test_closed_loop_timed_atomic () =
+  let p =
+    Update.run_point ~quick:true ~seed:47 ~scenario:Update.Reweight_swap
+      ~mode:Update.Timed_mode ()
+  in
+  Alcotest.(check string) "timed reweight is atomic" "atomic" p.Update.pt_outcome;
+  Alcotest.(check int) "both targets fired" 2 p.Update.pt_fired;
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %.1f us within clock error + jitter"
+       p.Update.pt_spread_us)
+    true
+    (p.Update.pt_spread_us < 20.)
+
+let test_closed_loop_untimed_anomaly () =
+  let p =
+    Update.run_point ~quick:true ~seed:47 ~scenario:Update.Reroute_repair
+      ~mode:Update.Staged_mode ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "staged reroute caught mid-transition (%s)"
+       p.Update.pt_outcome)
+    true
+    (String.length p.Update.pt_outcome >= 9
+    && String.sub p.Update.pt_outcome 0 9 = "transient")
+
+let test_run_point_shard_equivalence () =
+  List.iter
+    (fun (scenario, mode) ->
+      let ps =
+        List.map
+          (fun shards ->
+            Update.run_point ~quick:true ~shards ~seed:47 ~scenario ~mode ())
+          [ 1; 2; 4 ]
+      in
+      match ps with
+      | p1 :: rest ->
+          List.iter
+            (fun p ->
+              Alcotest.(check string)
+                "run digest identical across shard counts" p1.Update.pt_digest
+                p.Update.pt_digest;
+              Alcotest.(check string)
+                "audit outcome identical across shard counts"
+                p1.Update.pt_outcome p.Update.pt_outcome)
+            rest
+      | [] -> assert false)
+    [
+      (Update.Reweight_swap, Update.Timed_mode);
+      (Update.Reroute_repair, Update.Staged_mode);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registration () =
+  let ls, net = Common.make_testbed () in
+  let upd = U.create ~proc_delay:(Dist.constant 0.) net in
+  let m = Metrics.create () in
+  U.register_metrics upd m;
+  let get name = List.assoc name (Metrics.snapshot m) in
+  Alcotest.(check (float 0.)) "no update yet" 0. (get "update.executed");
+  Alcotest.(check bool) "spread gauge starts nan" true
+    (Float.is_nan (get "update.spread_ns"));
+  let plan =
+    match U.compile ~net ~version:2 (swap_target ls net) with
+    | Ok p -> p
+    | Error e -> Alcotest.fail (U.error_to_string e)
+  in
+  Net.run_until net (Time.ms 1);
+  (match U.execute upd plan (U.Timed { at = Time.ms 6 }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (U.error_to_string e));
+  Net.run_until net (Time.ms 12);
+  Alcotest.(check (float 0.)) "executed" 1. (get "update.executed");
+  Alcotest.(check (float 0.)) "armed" 2. (get "update.armed");
+  Alcotest.(check (float 0.)) "fired" 2. (get "update.fired");
+  Alcotest.(check bool) "spread gauge measurable" true
+    (not (Float.is_nan (get "update.spread_ns")))
+
+let () =
+  Alcotest.run "update"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "empty plan" `Quick test_error_empty_plan;
+          Alcotest.test_case "unknown switch" `Quick test_error_unknown_switch;
+          Alcotest.test_case "trigger in past" `Quick test_error_trigger_in_past;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "drain switch" `Quick test_compile_drain_switch;
+          Alcotest.test_case "drain link" `Quick test_compile_drain_link;
+        ] );
+      ( "arming",
+        [
+          Alcotest.test_case "clock step between arm and fire" `Quick
+            test_clock_step_between_arm_and_fire;
+          Alcotest.test_case "holdover between arm and fire" `Quick
+            test_holdover_between_arm_and_fire;
+          Alcotest.test_case "deterministic at 1/2/4 shards" `Quick
+            test_armed_fire_deterministic_across_shards;
+          Alcotest.test_case "expired on CP crash" `Quick test_expired_on_cp_crash;
+        ] );
+      ( "detectors",
+        [
+          Alcotest.test_case "loops and blackholes" `Quick
+            test_canned_loops_and_blackholes;
+        ] );
+      ( "spread",
+        [
+          Alcotest.test_case "timed beats immediate" `Quick
+            test_timed_spread_beats_immediate;
+        ] );
+      ( "closed-loop",
+        [
+          Alcotest.test_case "timed reweight atomic" `Quick
+            test_closed_loop_timed_atomic;
+          Alcotest.test_case "untimed reroute anomalous" `Quick
+            test_closed_loop_untimed_anomaly;
+          Alcotest.test_case "shard equivalence" `Quick
+            test_run_point_shard_equivalence;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "registration" `Quick test_metrics_registration ] );
+    ]
