@@ -370,7 +370,31 @@ let large_scale_json (r : Scale.large_result) =
           (fun p -> "    " ^ large_point_entry p)
           r.Scale.lr_points))
 
-let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large =
+(* Quick fuzz probe: a deterministic seed-derived campaign batch with
+   the full oracle battery (DESIGN.md §14). Tracks fuzzing throughput
+   across PRs; any oracle failure on main fails the bench (a bug the
+   fuzzer found, not a perf number). *)
+let run_fuzz ~quick =
+  let module F = Speedlight_fuzz.Fuzz in
+  let count = if quick then 40 else 200 in
+  (F.run_campaigns ~seed:42 ~count (), count, rss_now ())
+
+let fuzz_json (s, count, rss) =
+  let module F = Speedlight_fuzz.Fuzz in
+  Printf.sprintf
+    "  \"fuzz\": {\n\
+    \    \"campaigns\": %d,\n\
+    \    \"failures\": %d,\n\
+    \    \"verdict_digest\": %S,\n\
+    \    \"wall_s\": %.3f,\n\
+    \    \"campaigns_per_min\": %.0f,\n\
+    \    \"peak_rss_kb\": %d\n\
+    \  }"
+    count
+    (List.length s.F.su_failures)
+    s.F.su_digest s.F.su_wall_s s.F.su_campaigns_per_min rss
+
+let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large ~fuzz =
   let metrics_json =
     let buf = Buffer.create 512 in
     Metrics.add_json buf serial.metrics;
@@ -400,6 +424,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large =
     \  \"speedup_curve\": [\n%s\n  ],\n\
     \  \"chaos\": [\n%s\n  ],\n\
     \  \"timed_updates\": [\n%s\n  ],\n\
+     %s,\n\
      %s\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
@@ -411,7 +436,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large =
     (String.concat ",\n" (List.map (speedup_entry ~base) sharded))
     (String.concat ",\n" (List.map chaos_entry chaos))
     (String.concat ",\n" (List.map update_entry updates))
-    (large_scale_json large)
+    (large_scale_json large) (fuzz_json fuzz)
 
 let () =
   let quick =
@@ -434,10 +459,11 @@ let () =
      only (the CI scale-smoke configuration); full mode adds the k=56
      and k=90 fat trees — 10,125 switches on the last point. *)
   let large = Scale.fig11_large ~quick ~seed:61 () in
+  let fuzz = run_fuzz ~quick in
   let json =
     to_json
       ~mode:(if quick then "quick" else "full")
-      ~serial ~base ~sharded:sweep ~chaos ~overhead ~updates ~large
+      ~serial ~base ~sharded:sweep ~chaos ~overhead ~updates ~large ~fuzz
   in
   let oc = open_out !out in
   output_string oc json;
@@ -523,6 +549,19 @@ let () =
       "macro: large-scale streamed archives differ across shard counts";
     exit 1
   end;
+  (let module F = Speedlight_fuzz.Fuzz in
+   let s, count, _ = fuzz in
+   Printf.printf
+     "  fuzz: %d campaigns | %d failure(s) | %.0f campaigns/min | digest %s\n"
+     count
+     (List.length s.F.su_failures)
+     s.F.su_campaigns_per_min s.F.su_digest;
+   (* An oracle failure on main is a real bug the fuzzer flushed out:
+      fail loudly, same as a false-consistent snapshot. *)
+   if s.F.su_failures <> [] then begin
+     prerr_endline "macro: fuzz campaign hit an oracle failure";
+     exit 1
+   end);
   Printf.printf
     "  trace overhead (disabled): %.2f ns/site x %d sites -> %.3f%% of wall (budget %.0f%%)\n"
     overhead.ns_per_site overhead.sites (100. *. overhead.frac)

@@ -340,6 +340,117 @@ let query_cmd =
           $(b,speedlight archive)")
     Term.(const run_query $ which_arg $ archive_arg $ certified_arg $ csv_arg)
 
+(* Randomized scenario fuzzing (DESIGN.md §14). [SPEEDLIGHT_FUZZ_BREAK=1]
+   deliberately breaks marker handling in every snapshot unit so the
+   oracle battery and the shrinker can be demonstrated end to end. *)
+
+let run_fuzz quick seed campaigns long out repro =
+  let module F = Speedlight_fuzz.Fuzz in
+  let break_marker =
+    match Sys.getenv_opt "SPEEDLIGHT_FUZZ_BREAK" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+  in
+  match repro with
+  | Some file -> (
+      let text =
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match F.of_string text with
+      | Error e ->
+          Format.fprintf fmt "error: %s: %s@." file e;
+          exit 2
+      | Ok sc -> (
+          Format.fprintf fmt "replaying %a@." F.pp_scenario sc;
+          match F.run_scenario ~break_marker sc with
+          | Ok stats ->
+              Format.fprintf fmt
+                "PASS: %d/%d snapshots taken, %d complete, %d certified, \
+                 digest %s@."
+                stats.F.rs_taken stats.F.rs_requested stats.F.rs_complete
+                stats.F.rs_certified stats.F.rs_digest
+          | Error f ->
+              Format.fprintf fmt "FAIL [%s]: %s@." (F.oracle_name f.F.f_oracle)
+                f.F.f_detail;
+              exit 3))
+  | None ->
+      let budget = if long then F.Long else F.Quick in
+      let count =
+        match campaigns with Some n -> n | None -> if long then 600 else 200
+      in
+      ignore quick;
+      let progress =
+        if Unix.isatty Unix.stderr then (fun i ->
+          if (i + 1) mod 50 = 0 then Printf.eprintf "  %d/%d campaigns\n%!" (i + 1) count)
+        else ignore
+      in
+      let s =
+        F.run_campaigns ~budget ~break_marker ~progress ~seed:(Option.value seed ~default:42)
+          ~count ()
+      in
+      Format.fprintf fmt
+        "fuzz: %d campaigns, %d failure(s), verdict digest %s, %.1fs wall \
+         (%.0f campaigns/min)@."
+        s.F.su_campaigns
+        (List.length s.F.su_failures)
+        s.F.su_digest s.F.su_wall_s s.F.su_campaigns_per_min;
+      List.iter
+        (fun cf ->
+          let sh = cf.F.cf_shrunk in
+          Format.fprintf fmt
+            "@.campaign %d FAILED [%s]: %s@.  original: %a@.  shrunk (%d \
+             step(s), %d attempt(s)): %a@.  shrunk failure: %s@."
+            cf.F.cf_index
+            (F.oracle_name cf.F.cf_failure.F.f_oracle)
+            cf.F.cf_failure.F.f_detail F.pp_scenario cf.F.cf_scenario
+            sh.F.sh_steps sh.F.sh_attempts F.pp_scenario sh.F.sh_scenario
+            sh.F.sh_failure.F.f_detail;
+          match ensure_dir (Some out) with
+          | None -> ()
+          | Some dir ->
+              let path =
+                Filename.concat dir (Printf.sprintf "repro-%d.txt" cf.F.cf_index)
+              in
+              let oc = open_out path in
+              output_string oc (F.to_string sh.F.sh_scenario);
+              close_out oc;
+              Format.fprintf fmt
+                "  reproducer: %s (replay with: speedlight fuzz --repro %s)@."
+                path path)
+        s.F.su_failures;
+      if s.F.su_failures <> [] then exit 3
+
+let fuzz_cmd =
+  let campaigns_arg =
+    let doc = "Number of seed-derived campaigns (default 200, 600 with --long)." in
+    Arg.(value & opt (some int) None & info [ "campaigns"; "n" ] ~doc ~docv:"N")
+  in
+  let long_arg =
+    let doc = "Larger scenario budget: bigger topologies, more rounds and chaos." in
+    Arg.(value & flag & info [ "long" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Directory for minimal-reproducer seed files (written on failure)." in
+    Arg.(value & opt string "fuzz-failures" & info [ "out"; "o" ] ~doc ~docv:"DIR")
+  in
+  let repro_arg =
+    let doc = "Replay a single reproducer seed file instead of running campaigns." in
+    Arg.(value & opt (some string) None & info [ "repro" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Randomized scenario fuzzing: seed-derived topology/workload/chaos \
+          scenarios checked against a fixed oracle battery, with automatic \
+          shrinking of failures to minimal reproducers")
+    Term.(
+      const run_fuzz $ quick_arg $ seed_arg $ campaigns_arg $ long_arg $ out_arg
+      $ repro_arg)
+
 let () =
   let doc = "Speedlight (Synchronized Network Snapshots, SIGCOMM'18) reproduction" in
   let info = Cmd.info "speedlight" ~version:"1.0.0" ~doc in
@@ -349,5 +460,5 @@ let () =
           [
             fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
             ablations_cmd; scale_cmd; chaos_cmd; update_cmd; trace_cmd;
-            archive_cmd; query_cmd; all_cmd;
+            archive_cmd; query_cmd; fuzz_cmd; all_cmd;
           ]))

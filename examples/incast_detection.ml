@@ -77,7 +77,12 @@ let () =
     ignore
       (Engine.schedule engine
          ~at:(Time.add (Time.ms 50) (i * Time.ms 2))
-         (fun () -> sids := Net.take_snapshot net () :: !sids))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error e ->
+               prerr_endline ("snapshot refused: " ^ Observer.error_to_string e);
+               exit 1))
   done;
   Engine.run_until engine (Time.ms 600);
 

@@ -47,7 +47,12 @@ let run_policy policy =
     ignore
       (Engine.schedule engine
          ~at:(Time.add (Time.ms 100) (i * Time.ms 15))
-         (fun () -> sids := Net.take_snapshot net () :: !sids))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error e ->
+               prerr_endline ("snapshot refused: " ^ Observer.error_to_string e);
+               exit 1))
   done;
   Engine.run_until engine (Time.ms 1200);
   (* Standard deviation of the uplink EWMAs, per snapshot and leaf —

@@ -44,7 +44,12 @@ let () =
     (fun at ->
       ignore
         (Engine.schedule engine ~at (fun () ->
-             sids := Net.take_snapshot net () :: !sids)))
+             match Net.try_take_snapshot net () with
+             | Ok sid -> sids := sid :: !sids
+             | Error e ->
+                 prerr_endline
+                   ("snapshot refused: " ^ Observer.error_to_string e);
+                 exit 1)))
     [ Time.ms 60; Time.ms 120; Time.ms 180 ];
   Engine.run_until engine (Time.ms 400);
 

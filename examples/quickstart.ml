@@ -41,7 +41,13 @@ let () =
   ignore
     (Engine.schedule engine ~at:(Time.ms 40) (fun () -> Net.auto_exclude_idle net));
   let sid = ref 0 in
-  ignore (Engine.schedule engine ~at:(Time.ms 50) (fun () -> sid := Net.take_snapshot net ()));
+  ignore
+    (Engine.schedule engine ~at:(Time.ms 50) (fun () ->
+         match Net.try_take_snapshot net () with
+         | Ok s -> sid := s
+         | Error e ->
+             prerr_endline ("snapshot refused: " ^ Observer.error_to_string e);
+             exit 1));
   Engine.run_until engine (Time.ms 300);
 
   (* 5. Read the assembled snapshot. *)

@@ -198,11 +198,6 @@ let try_take_snapshot t ?at () =
   Ok sid
   end
 
-let take_snapshot t ?at () =
-  match try_take_snapshot t ?at () with
-  | Ok sid -> sid
-  | Error e -> failwith ("Observer.take_snapshot: " ^ error_to_string e)
-
 let on_report t (r : Report.t) =
   match Hashtbl.find_opt t.pending r.sid with
   | None ->

@@ -69,10 +69,8 @@ val error_to_string : error -> string
 val try_take_snapshot : t -> ?at:Time.t -> unit -> (int, error) result
 (** Schedule the next snapshot: broadcasts initiation requests to all
     registered devices and returns the assigned snapshot ID. [at] defaults
-    to [now + lead_time]. *)
-
-val take_snapshot : t -> ?at:Time.t -> unit -> int
-(** {!try_take_snapshot}, raising [Failure] on error. *)
+    to [now + lead_time]. All error handling is the caller's: there is
+    deliberately no raising wrapper. *)
 
 val result : t -> sid:int -> snapshot option
 (** The assembled snapshot, if all expected units reported (or the

@@ -39,7 +39,14 @@ let take_snapshots net ~start ~interval ~count ~run_until =
     ignore
       (Engine.schedule engine
          ~at:(Time.add start (i * interval))
-         (fun () -> sids := Net.take_snapshot net () :: !sids))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error e ->
+               (* Experiment cadences are sized to the pacing window, so a
+                  refusal is a harness bug — fail the run loudly. *)
+               invalid_arg
+                 ("Common.take_snapshots: " ^ Observer.error_to_string e)))
   done;
   Net.run_until net run_until;
   List.rev !sids

@@ -1,0 +1,1047 @@
+open Speedlight_sim
+open Speedlight_core
+open Speedlight_dataplane
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_workload
+open Speedlight_faults
+open Speedlight_verify
+module Store = Speedlight_store.Store
+module Query = Speedlight_query.Query
+module U = Speedlight_update.Update
+module Common = Speedlight_experiments.Common
+
+(* ------------------------------------------------------------------ *)
+(* Scenario structure *)
+(* ------------------------------------------------------------------ *)
+
+type topo_spec =
+  | Leaf_spine of { leaves : int; spines : int; hosts_per_leaf : int }
+  | Fat_tree of { k : int; hosts_per_edge : int }
+  | Clos2 of { leaves : int; spines : int; hosts_per_leaf : int }
+
+type variant = Channel_state | Wraparound
+
+type workload =
+  | Uniform of { rate_pps : float; pkt_size : int }
+  | Pairs of { gap_us : int; pkt_size : int }
+  | Memcache
+
+type chaos_kind =
+  | Ck_link_flap of { sw : int; width : float }
+  | Ck_latency of { sw : int; width : float; factor : float }
+  | Ck_wire_loss of { sw : int; width : float; loss : float }
+  | Ck_nic_loss of { host : int; width : float; loss : float }
+  | Ck_cp_flap of { sw : int; width : float }
+  | Ck_clock_step of { sw : int; delta_ns : float }
+  | Ck_holdover of { sw : int; width : float }
+  | Ck_notify_loss of { sw : int; width : float; loss : float }
+  | Ck_saturation of { sw : int; width : float }
+
+type chaos_event = { ce_frac : float; ce_kind : chaos_kind }
+
+type update_step = {
+  up_spine : int;
+  up_kind : [ `Drain | `Undrain ];
+  up_strategy : [ `Immediate | `Timed | `Staged ];
+}
+
+type scenario = {
+  sc_seed : int;
+  sc_topo : topo_spec;
+  sc_variant : variant;
+  sc_workload : workload;
+  sc_chaos : chaos_event list;
+  sc_updates : update_step list;
+  sc_snap_start_ms : int;
+  sc_snap_interval_ms : int;
+  sc_snap_count : int;
+  sc_tail_ms : int;
+  sc_shards : int;
+}
+
+type budget = Quick | Long
+
+(* ------------------------------------------------------------------ *)
+(* Seed -> scenario derivation *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below draws from one RNG in a fixed order, so the mapping
+   seed -> scenario is pure. Sizes stay inside the CI budget: quick
+   campaigns finish in well under a second each. *)
+
+let draw_topo rng ~budget =
+  match Rng.int rng 10 with
+  | 0 | 1 when budget = Long ->
+      Fat_tree { k = 4; hosts_per_edge = 1 + Rng.int rng 2 }
+  | 0 -> Fat_tree { k = 4; hosts_per_edge = 1 }
+  | 1 | 2 | 3 ->
+      Clos2
+        {
+          leaves = 2 + Rng.int rng (if budget = Long then 5 else 3);
+          spines = 1 + Rng.int rng 2;
+          hosts_per_leaf = 1;
+        }
+  | _ ->
+      Leaf_spine
+        {
+          leaves = 2 + Rng.int rng (if budget = Long then 4 else 3);
+          spines = 1 + Rng.int rng (if budget = Long then 3 else 2);
+          hosts_per_leaf = 1 + Rng.int rng (if budget = Long then 3 else 2);
+        }
+
+let draw_workload rng ~budget =
+  match Rng.int rng 10 with
+  | 0 | 1 -> Memcache
+  | 2 | 3 | 4 ->
+      Pairs { gap_us = 30 + Rng.int rng 120; pkt_size = 400 + Rng.int rng 1100 }
+  | _ ->
+      let lo, hi = if budget = Long then (1_000., 8_000.) else (600., 3_000.) in
+      Uniform
+        {
+          rate_pps = lo +. Rng.float rng (hi -. lo);
+          pkt_size = 300 + Rng.int rng 1200;
+        }
+
+(* When update steps are drawn, chaos is restricted to data-plane and
+   clock faults: control-channel loss or CP crashes can time devices out
+   of a round, which would make the probed version vectors read 0 and
+   turn oracle (d) into noise. *)
+let draw_chaos_kind rng ~with_updates =
+  let width () = 0.1 +. Rng.float rng 0.4 in
+  let loss () = 0.2 +. Rng.float rng 0.5 in
+  let sw = Rng.int rng 64 and host = Rng.int rng 64 in
+  match Rng.int rng (if with_updates then 5 else 9) with
+  | 0 -> Ck_link_flap { sw; width = width () }
+  | 1 -> Ck_latency { sw; width = width (); factor = 1.5 +. Rng.float rng 3.5 }
+  | 2 -> Ck_wire_loss { sw; width = width (); loss = loss () }
+  | 3 -> Ck_nic_loss { host; width = width (); loss = loss () }
+  | 4 ->
+      Ck_clock_step
+        { sw; delta_ns = (if Rng.bool rng then 1. else -1.) *. (50. +. Rng.float rng 350.) }
+  | 5 -> Ck_cp_flap { sw; width = 0.05 +. Rng.float rng 0.15 }
+  | 6 -> Ck_holdover { sw; width = width () }
+  | 7 -> Ck_notify_loss { sw; width = width (); loss = loss () }
+  | _ -> Ck_saturation { sw; width = 0.05 +. Rng.float rng 0.2 }
+
+let draw_updates rng topo =
+  match topo with
+  | Leaf_spine { spines; _ } when spines >= 2 && Rng.int rng 4 = 0 ->
+      let strategy rng =
+        match Rng.int rng 3 with
+        | 0 -> `Immediate
+        | 1 -> `Timed
+        | _ -> `Staged
+      in
+      let drain = { up_spine = Rng.int rng spines; up_kind = `Drain; up_strategy = strategy rng } in
+      if Rng.bool rng then [ drain ]
+      else [ drain; { up_spine = 0; up_kind = `Undrain; up_strategy = strategy rng } ]
+  | _ -> []
+
+let of_seed ?(budget = Quick) seed =
+  let rng = Rng.create seed in
+  let sc_topo = draw_topo rng ~budget in
+  let sc_workload = draw_workload rng ~budget in
+  let sc_updates = draw_updates rng sc_topo in
+  let sc_variant = if Rng.int rng 3 = 0 then Wraparound else Channel_state in
+  let n_chaos = Rng.int rng (if budget = Long then 7 else 5) in
+  let sc_chaos =
+    List.init n_chaos (fun _ ->
+        let k = draw_chaos_kind rng ~with_updates:(sc_updates <> []) in
+        { ce_frac = Rng.float rng 0.9; ce_kind = k })
+  in
+  {
+    sc_seed = seed;
+    sc_topo;
+    sc_variant;
+    sc_workload;
+    sc_chaos;
+    sc_updates;
+    sc_snap_start_ms = 4 + Rng.int rng 4;
+    sc_snap_interval_ms = 3 + Rng.int rng 4;
+    sc_snap_count = (if budget = Long then 4 + Rng.int rng 6 else 2 + Rng.int rng 3);
+    sc_tail_ms = 200;
+    sc_shards = Rng.choose rng [| 1; 1; 2; 4 |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing / serialization *)
+(* ------------------------------------------------------------------ *)
+
+let topo_to_string = function
+  | Leaf_spine { leaves; spines; hosts_per_leaf } ->
+      Printf.sprintf "leaf_spine %d %d %d" leaves spines hosts_per_leaf
+  | Fat_tree { k; hosts_per_edge } -> Printf.sprintf "fat_tree %d %d" k hosts_per_edge
+  | Clos2 { leaves; spines; hosts_per_leaf } ->
+      Printf.sprintf "clos2 %d %d %d" leaves spines hosts_per_leaf
+
+let workload_to_string = function
+  | Uniform { rate_pps; pkt_size } -> Printf.sprintf "uniform %.17g %d" rate_pps pkt_size
+  | Pairs { gap_us; pkt_size } -> Printf.sprintf "pairs %d %d" gap_us pkt_size
+  | Memcache -> "memcache"
+
+let chaos_to_string e =
+  let f = e.ce_frac in
+  match e.ce_kind with
+  | Ck_link_flap { sw; width } -> Printf.sprintf "link_flap %d %.17g %.17g" sw f width
+  | Ck_latency { sw; width; factor } ->
+      Printf.sprintf "latency %d %.17g %.17g %.17g" sw f width factor
+  | Ck_wire_loss { sw; width; loss } ->
+      Printf.sprintf "wire_loss %d %.17g %.17g %.17g" sw f width loss
+  | Ck_nic_loss { host; width; loss } ->
+      Printf.sprintf "nic_loss %d %.17g %.17g %.17g" host f width loss
+  | Ck_cp_flap { sw; width } -> Printf.sprintf "cp_flap %d %.17g %.17g" sw f width
+  | Ck_clock_step { sw; delta_ns } -> Printf.sprintf "clock_step %d %.17g %.17g" sw f delta_ns
+  | Ck_holdover { sw; width } -> Printf.sprintf "holdover %d %.17g %.17g" sw f width
+  | Ck_notify_loss { sw; width; loss } ->
+      Printf.sprintf "notify_loss %d %.17g %.17g %.17g" sw f width loss
+  | Ck_saturation { sw; width } -> Printf.sprintf "saturation %d %.17g %.17g" sw f width
+
+let update_to_string u =
+  Printf.sprintf "%s %d %s"
+    (match u.up_kind with `Drain -> "drain" | `Undrain -> "undrain")
+    u.up_spine
+    (match u.up_strategy with
+    | `Immediate -> "immediate"
+    | `Timed -> "timed"
+    | `Staged -> "staged")
+
+let to_string sc =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "speedlight-fuzz-repro v1";
+  line "seed %d" sc.sc_seed;
+  line "topo %s" (topo_to_string sc.sc_topo);
+  line "variant %s" (match sc.sc_variant with Wraparound -> "wraparound" | Channel_state -> "channel_state");
+  line "workload %s" (workload_to_string sc.sc_workload);
+  line "snap %d %d %d %d" sc.sc_snap_start_ms sc.sc_snap_interval_ms sc.sc_snap_count sc.sc_tail_ms;
+  line "shards %d" sc.sc_shards;
+  List.iter (fun e -> line "chaos %s" (chaos_to_string e)) sc.sc_chaos;
+  List.iter (fun u -> line "update %s" (update_to_string u)) sc.sc_updates;
+  Buffer.contents b
+
+let pp_scenario fmt sc =
+  Format.fprintf fmt "seed=%d %s %s %s snaps=%d@%d+%dms shards=%d chaos=%d updates=%d"
+    sc.sc_seed (topo_to_string sc.sc_topo)
+    (match sc.sc_variant with Wraparound -> "wrap" | Channel_state -> "chan")
+    (workload_to_string sc.sc_workload)
+    sc.sc_snap_count sc.sc_snap_interval_ms sc.sc_snap_start_ms sc.sc_shards
+    (List.length sc.sc_chaos) (List.length sc.sc_updates)
+
+let of_string text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let int_of s = int_of_string_opt s and float_of s = float_of_string_opt s in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty repro file"
+  | header :: rest when header = "speedlight-fuzz-repro v1" -> (
+      let seed = ref None
+      and topo = ref None
+      and variant = ref Channel_state
+      and workload = ref None
+      and snap = ref None
+      and shards = ref 1
+      and chaos = ref []
+      and updates = ref []
+      and bad = ref None in
+      let fail l = if !bad = None then bad := Some l in
+      List.iter
+        (fun l ->
+          match String.split_on_char ' ' l |> List.filter (fun t -> t <> "") with
+          | [ "seed"; s ] -> (
+              match int_of s with Some v -> seed := Some v | None -> fail l)
+          | "topo" :: "leaf_spine" :: [ a; b; c ] -> (
+              match (int_of a, int_of b, int_of c) with
+              | Some leaves, Some spines, Some hosts_per_leaf ->
+                  topo := Some (Leaf_spine { leaves; spines; hosts_per_leaf })
+              | _ -> fail l)
+          | "topo" :: "fat_tree" :: [ a; b ] -> (
+              match (int_of a, int_of b) with
+              | Some k, Some hosts_per_edge -> topo := Some (Fat_tree { k; hosts_per_edge })
+              | _ -> fail l)
+          | "topo" :: "clos2" :: [ a; b; c ] -> (
+              match (int_of a, int_of b, int_of c) with
+              | Some leaves, Some spines, Some hosts_per_leaf ->
+                  topo := Some (Clos2 { leaves; spines; hosts_per_leaf })
+              | _ -> fail l)
+          | [ "variant"; "wraparound" ] -> variant := Wraparound
+          | [ "variant"; "channel_state" ] -> variant := Channel_state
+          | "workload" :: "uniform" :: [ a; b ] -> (
+              match (float_of a, int_of b) with
+              | Some rate_pps, Some pkt_size -> workload := Some (Uniform { rate_pps; pkt_size })
+              | _ -> fail l)
+          | "workload" :: "pairs" :: [ a; b ] -> (
+              match (int_of a, int_of b) with
+              | Some gap_us, Some pkt_size -> workload := Some (Pairs { gap_us; pkt_size })
+              | _ -> fail l)
+          | [ "workload"; "memcache" ] -> workload := Some Memcache
+          | "snap" :: [ a; b; c; d ] -> (
+              match (int_of a, int_of b, int_of c, int_of d) with
+              | Some s, Some i, Some n, Some t -> snap := Some (s, i, n, t)
+              | _ -> fail l)
+          | [ "shards"; s ] -> (
+              match int_of s with Some v -> shards := v | None -> fail l)
+          | "chaos" :: kind :: args -> (
+              let nums = List.map float_of args in
+              if List.exists (fun o -> o = None) nums then fail l
+              else
+                let nums = List.filter_map Fun.id nums in
+                let ev =
+                  match (kind, nums) with
+                  | "link_flap", [ sw; f; width ] ->
+                      Some { ce_frac = f; ce_kind = Ck_link_flap { sw = int_of_float sw; width } }
+                  | "latency", [ sw; f; width; factor ] ->
+                      Some { ce_frac = f; ce_kind = Ck_latency { sw = int_of_float sw; width; factor } }
+                  | "wire_loss", [ sw; f; width; loss ] ->
+                      Some { ce_frac = f; ce_kind = Ck_wire_loss { sw = int_of_float sw; width; loss } }
+                  | "nic_loss", [ host; f; width; loss ] ->
+                      Some { ce_frac = f; ce_kind = Ck_nic_loss { host = int_of_float host; width; loss } }
+                  | "cp_flap", [ sw; f; width ] ->
+                      Some { ce_frac = f; ce_kind = Ck_cp_flap { sw = int_of_float sw; width } }
+                  | "clock_step", [ sw; f; delta_ns ] ->
+                      Some { ce_frac = f; ce_kind = Ck_clock_step { sw = int_of_float sw; delta_ns } }
+                  | "holdover", [ sw; f; width ] ->
+                      Some { ce_frac = f; ce_kind = Ck_holdover { sw = int_of_float sw; width } }
+                  | "notify_loss", [ sw; f; width; loss ] ->
+                      Some { ce_frac = f; ce_kind = Ck_notify_loss { sw = int_of_float sw; width; loss } }
+                  | "saturation", [ sw; f; width ] ->
+                      Some { ce_frac = f; ce_kind = Ck_saturation { sw = int_of_float sw; width } }
+                  | _ -> None
+                in
+                match ev with Some e -> chaos := e :: !chaos | None -> fail l)
+          | "update" :: kind :: spine :: [ strat ] -> (
+              let k = match kind with "drain" -> Some `Drain | "undrain" -> Some `Undrain | _ -> None in
+              let s =
+                match strat with
+                | "immediate" -> Some `Immediate
+                | "timed" -> Some `Timed
+                | "staged" -> Some `Staged
+                | _ -> None
+              in
+              match (k, int_of spine, s) with
+              | Some up_kind, Some up_spine, Some up_strategy ->
+                  updates := { up_spine; up_kind; up_strategy } :: !updates
+              | _ -> fail l)
+          | _ -> fail l)
+        rest;
+      match (!bad, !seed, !topo, !workload, !snap) with
+      | Some l, _, _, _, _ -> err "unparseable line: %s" l
+      | _, None, _, _, _ -> err "missing 'seed' line"
+      | _, _, None, _, _ -> err "missing 'topo' line"
+      | _, _, _, None, _ -> err "missing 'workload' line"
+      | _, _, _, _, None -> err "missing 'snap' line"
+      | None, Some sc_seed, Some sc_topo, Some sc_workload, Some (st, iv, n, tail) ->
+          if not (List.mem !shards [ 1; 2; 4 ]) then err "shards must be 1, 2 or 4"
+          else
+            Ok
+              {
+                sc_seed;
+                sc_topo;
+                sc_variant = !variant;
+                sc_workload;
+                sc_chaos = List.rev !chaos;
+                sc_updates = List.rev !updates;
+                sc_snap_start_ms = st;
+                sc_snap_interval_ms = iv;
+                sc_snap_count = n;
+                sc_tail_ms = tail;
+                sc_shards = !shards;
+              })
+  | header :: _ -> err "bad header: %s" header
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+(* ------------------------------------------------------------------ *)
+
+type oracle =
+  | False_consistent_cut
+  | Digest_divergence
+  | Archive_roundtrip
+  | Query_invariant
+  | Uncaught_exn
+
+let oracle_name = function
+  | False_consistent_cut -> "false_consistent_cut"
+  | Digest_divergence -> "digest_divergence"
+  | Archive_roundtrip -> "archive_roundtrip"
+  | Query_invariant -> "query_invariant"
+  | Uncaught_exn -> "uncaught_exn"
+
+type failure = { f_oracle : oracle; f_detail : string }
+
+type run_stats = {
+  rs_requested : int;
+  rs_taken : int;
+  rs_complete : int;
+  rs_certified : int;
+  rs_false_consistent : int;
+  rs_delivered : int;
+  rs_faults_fired : int;
+  rs_updates_applied : int;
+  rs_digest : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scenario -> concrete run *)
+(* ------------------------------------------------------------------ *)
+
+let build_topo spec =
+  let host_link = { Topology.bandwidth_bps = 1e9; latency = Time.us 1 } in
+  let fabric_link = { Topology.bandwidth_bps = 4e9; latency = Time.us 1 } in
+  match spec with
+  | Leaf_spine { leaves; spines; hosts_per_leaf } ->
+      let ls = Topology.leaf_spine ~leaves ~spines ~hosts_per_leaf ~host_link ~fabric_link () in
+      (ls.Topology.topo, Some ls)
+  | Fat_tree { k; hosts_per_edge } ->
+      let ft = Topology.fat_tree ~k ~hosts_per_edge ~host_link ~fabric_link () in
+      (ft.Topology.ft_topo, None)
+  | Clos2 { leaves; spines; hosts_per_leaf } ->
+      let c = Topology.clos2 ~leaves ~spines ~hosts_per_leaf ~host_link ~fabric_link () in
+      (c.Topology.c2_topo, None)
+
+let first_fabric_port topo s =
+  let np = Topology.ports topo s in
+  let rec go p =
+    if p >= np then None
+    else
+      match Topology.peer_of topo ~switch:s ~port:p with
+      | Some (Topology.Switch_port _) -> Some p
+      | _ -> go (p + 1)
+  in
+  go 0
+
+(* Probe units for the query oracles: prefer a host-facing ingress (on
+   leaves every host sends, so these always survive idle-channel
+   exclusion), fall back to the first fabric-facing ingress. *)
+let probe_fn topo =
+  let n = Topology.n_switches topo in
+  let tbl =
+    Array.init n (fun s ->
+        let np = Topology.ports topo s in
+        let rec go p fabric =
+          if p >= np then fabric
+          else
+            match Topology.peer_of topo ~switch:s ~port:p with
+            | Some (Topology.Host_port _) -> Some p
+            | Some (Topology.Switch_port _) -> go (p + 1) (if fabric = None then Some p else fabric)
+            | None -> go (p + 1) fabric
+        in
+        let p = match go 0 None with Some p -> p | None -> 0 in
+        Unit_id.ingress ~switch:s ~port:p)
+  in
+  fun s -> tbl.(s)
+
+let clamp01 f = Float.max 0. (Float.min 1. f)
+
+let expand_chaos topo events ~t0 ~t_end =
+  let n_sw = Topology.n_switches topo and n_host = Topology.n_hosts topo in
+  let dur = Time.sub t_end t0 in
+  let at f = Time.add t0 (int_of_float (float_of_int dur *. clamp01 f)) in
+  let ge loss =
+    { Gilbert.p_good_to_bad = 0.05; p_bad_to_good = 0.25; loss_good = 0.; loss_bad = clamp01 loss }
+  in
+  List.concat_map
+    (fun e ->
+      let f0 = clamp01 e.ce_frac in
+      let upto w = f0 +. Float.max 0.02 w in
+      let ev frac action = { Faults.at = at frac; action } in
+      match e.ce_kind with
+      | Ck_link_flap { sw; width } -> (
+          let s = sw mod n_sw in
+          match first_fabric_port topo s with
+          | None -> []
+          | Some port ->
+              [
+                ev f0 (Faults.Link_down { switch = s; port });
+                ev (upto width) (Faults.Link_up { switch = s; port });
+              ])
+      | Ck_latency { sw; width; factor } -> (
+          let s = sw mod n_sw in
+          match first_fabric_port topo s with
+          | None -> []
+          | Some port ->
+              [
+                ev f0 (Faults.Link_latency { switch = s; port; factor = Float.max 1. factor });
+                ev (upto width) (Faults.Link_latency { switch = s; port; factor = 1. });
+              ])
+      | Ck_wire_loss { sw; width; loss } -> (
+          let s = sw mod n_sw in
+          match first_fabric_port topo s with
+          | None -> []
+          | Some port ->
+              [
+                ev f0 (Faults.Wire_loss { switch = s; port; ge = Some (ge loss) });
+                ev (upto width) (Faults.Wire_loss { switch = s; port; ge = None });
+              ])
+      | Ck_nic_loss { host; width; loss } ->
+          let h = host mod n_host in
+          [
+            ev f0 (Faults.Nic_loss { host = h; ge = Some (ge loss) });
+            ev (upto width) (Faults.Nic_loss { host = h; ge = None });
+          ]
+      | Ck_cp_flap { sw; width } ->
+          let s = sw mod n_sw in
+          [
+            ev f0 (Faults.Cp_crash { switch = s });
+            ev (upto width) (Faults.Cp_restart { switch = s });
+          ]
+      | Ck_clock_step { sw; delta_ns } ->
+          [ ev f0 (Faults.Clock_step { switch = sw mod n_sw; delta_ns }) ]
+      | Ck_holdover { sw; width } ->
+          let s = sw mod n_sw in
+          [
+            ev f0 (Faults.Clock_holdover { switch = s; on = true });
+            ev (upto width) (Faults.Clock_holdover { switch = s; on = false });
+          ]
+      | Ck_notify_loss { sw; width; loss } ->
+          let s = sw mod n_sw in
+          [
+            ev f0 (Faults.Notify_loss { switch = s; ge = Some (ge loss) });
+            ev (upto width) (Faults.Notify_loss { switch = s; ge = None });
+          ]
+      | Ck_saturation { sw; width } ->
+          let s = sw mod n_sw in
+          [
+            ev f0 (Faults.Notify_saturation { switch = s; capacity = Some 2 });
+            ev (upto width) (Faults.Notify_saturation { switch = s; capacity = None });
+          ])
+    events
+
+let install_workload sc net ~t_end =
+  let engine = Net.engine net in
+  let topo = Net.topology net in
+  let n_hosts = Topology.n_hosts topo in
+  let hosts = List.init n_hosts Fun.id in
+  match sc.sc_workload with
+  | Uniform { rate_pps; pkt_size } ->
+      Apps.Uniform.run ~engine ~rng:(Net.fresh_rng net) ~send:(Common.sender net)
+        ~fids:(Traffic.flow_ids ()) ~hosts ~rate_pps ~pkt_size ~until:t_end
+  | Pairs { gap_us; pkt_size } ->
+      let gap = Time.us (Stdlib.max 5 gap_us) in
+      for h = 0 to n_hosts - 1 do
+        let dst = (h + 1) mod n_hosts in
+        let fid = Net.fresh_flow_id net in
+        let rec go at =
+          if at <= t_end then
+            ignore
+              (Engine.schedule engine ~at (fun () ->
+                   Net.send net ~flow_id:fid ~src:h ~dst ~size:pkt_size ();
+                   go (Time.add at gap)))
+        in
+        go (Time.add (Time.ms 1) (Time.us (7 * h)))
+      done
+  | Memcache ->
+      let clients = List.filter (fun h -> h mod 2 = 0) hosts in
+      let servers = List.filter (fun h -> h mod 2 = 1) hosts in
+      Apps.Memcache.run ~engine ~rng:(Net.fresh_rng net) ~send:(Common.sender net)
+        ~fids:(Traffic.flow_ids ()) ~until:t_end
+        (Apps.Memcache.default_params ~clients ~servers)
+
+(* Worst-case wall-clock span of one update step's application, used to
+   sequence multi-step plans: the next step executes only after the
+   previous one is provably fully applied (cmd delivery < 1 ms, install
+   delay <= 2 ms, staged sends 4 ms apart). This harness-enforced gap is
+   what makes the cross-step causal oracle sound: a cut would need µs of
+   synchronization spread to straddle an ms-scale boundary. *)
+let step_span ~n_mods = function
+  | `Immediate -> Time.ms 4
+  | `Timed -> Time.ms 5
+  | `Staged -> Time.add (Time.ms 4) (Stdlib.max 0 (n_mods - 1) * Time.ms 4)
+
+let staged_gap = Time.ms 4
+
+type update_run = {
+  ur_step : update_step;
+  ur_version : int;
+  ur_handle : U.handle option;  (* None: step compiled to an empty plan *)
+}
+
+(* One full scenario execution. Returns everything the oracle battery
+   needs. [archive_dir]: stream rounds to disk (primary run only).
+   [audit]: attach the cut auditor (primary run only — it never changes
+   the run). *)
+let execute sc ~shards ~archive_dir ~with_audit ~break_marker =
+  let cfg =
+    Config.default
+    |> Config.with_variant
+         (match sc.sc_variant with
+         | Wraparound -> Snapshot_unit.variant_wraparound
+         | Channel_state -> Snapshot_unit.variant_channel_state)
+    |> Config.with_counter
+         (if sc.sc_updates <> [] then Config.Fib_version else Config.Packet_count)
+    |> Config.with_seed sc.sc_seed
+  in
+  let topo, _ls = build_topo sc.sc_topo in
+  let net = Net.create ~cfg ~shards topo in
+  let n_sw = Topology.n_switches topo in
+  let start = Time.ms sc.sc_snap_start_ms in
+  let interval = Time.ms (Stdlib.max 1 sc.sc_snap_interval_ms) in
+  let count = Stdlib.max 1 sc.sc_snap_count in
+  let snap_end = Time.add start (count * interval) in
+  let updates_span =
+    List.fold_left
+      (fun acc u -> Time.add acc (Time.add (step_span ~n_mods:n_sw u.up_strategy) (Time.ms 2)))
+      Time.zero sc.sc_updates
+  in
+  let traffic_end = Time.add (Time.add snap_end updates_span) (Time.ms 5) in
+  let t_end = Time.add traffic_end (Time.ms sc.sc_tail_ms) in
+  (* FIB versions start at 1 so a probe reading 0 unambiguously means
+     "missing" to the query oracles. *)
+  if sc.sc_updates <> [] then
+    for s = 0 to n_sw - 1 do
+      Switch.set_fib_version (Net.switch net s) 1
+    done;
+  install_workload sc net ~t_end:traffic_end;
+  Net.schedule_global net
+    ~at:(Time.ms (Stdlib.max 1 (sc.sc_snap_start_ms - 2)))
+    (fun () -> Net.auto_exclude_idle net);
+  let auditor = if with_audit then Some (Verify.attach net) else None in
+  if break_marker then
+    List.iter
+      (fun uid -> Snapshot_unit.set_ignore_packet_ids (Net.unit_of net uid) true)
+      (Net.all_unit_ids net);
+  let writer =
+    match archive_dir with
+    | None -> None
+    | Some dir ->
+        let w = Store.Writer.create ~segment_rounds:4 ~dir () in
+        Store.Writer.attach w net;
+        Some w
+  in
+  let fault_events = expand_chaos topo sc.sc_chaos ~t0:(Time.ms 2) ~t_end:traffic_end in
+  let faults = Faults.install ~net { Faults.seed = sc.sc_seed; events = fault_events } in
+  let sids = ref [] in
+  let engine = Net.engine net in
+  for k = 0 to count - 1 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add start (k * interval))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error Observer.Pacing_full -> ()
+           | Error e -> invalid_arg (Observer.error_to_string e)))
+  done;
+  (* Harness-sequenced update steps: run to each step's launch time,
+     execute, then run past its worst-case application span before the
+     next step (or the tail) begins. *)
+  let upd_runs =
+    if sc.sc_updates = [] then []
+    else begin
+      let upd = U.create ~proc_delay:(Dist.uniform ~lo:0.5e6 ~hi:2.0e6) net in
+      let launch = ref (Time.add start interval) in
+      List.mapi
+        (fun i step ->
+          Net.run_until net !launch;
+          let version = i + 2 in
+          let target =
+            match step.up_kind with
+            | `Drain ->
+                let spines =
+                  match sc.sc_topo with
+                  | Leaf_spine { spines; _ } -> spines
+                  | _ -> 1
+                in
+                let spine_ids =
+                  (* leaf-spine numbering: leaves first, then spines *)
+                  let leaves = n_sw - spines in
+                  List.init spines (fun j -> leaves + j)
+                in
+                U.Drain_switch (List.nth spine_ids (step.up_spine mod List.length spine_ids))
+            | `Undrain -> U.Undrain (List.init n_sw Fun.id)
+          in
+          let handle =
+            match U.compile ~net ~version target with
+            | Error _ -> None
+            | Ok plan -> (
+                let strategy =
+                  match step.up_strategy with
+                  | `Immediate -> U.Immediate
+                  | `Timed -> U.Timed { at = Time.add (Net.now net) (Time.ms 2) }
+                  | `Staged -> U.Staged { gap = staged_gap }
+                in
+                match U.execute upd plan strategy with
+                | Ok h -> Some h
+                | Error _ -> None)
+          in
+          let n_mods =
+            match handle with Some h -> List.length (U.targets h) | None -> 0
+          in
+          launch :=
+            Time.add !launch (Time.add (step_span ~n_mods step.up_strategy) (Time.ms 2));
+          { ur_step = step; ur_version = version; ur_handle = handle })
+        sc.sc_updates
+    end
+  in
+  Net.run_until net t_end;
+  let sids = List.rev !sids in
+  (net, sids, auditor, writer, faults, upd_runs, count)
+
+(* ------------------------------------------------------------------ *)
+(* The oracle battery *)
+(* ------------------------------------------------------------------ *)
+
+let fail oracle fmt = Printf.ksprintf (fun s -> Error { f_oracle = oracle; f_detail = s }) fmt
+
+let check_archive ~dir net ~sids ~(audit : Verify.audit) =
+  match Store.Reader.open_archive dir with
+  | Error e -> fail Archive_roundtrip "open: %s" (Store.error_to_string e)
+  | Ok reader ->
+      Fun.protect
+        ~finally:(fun () -> Store.Reader.close reader)
+        (fun () ->
+          let obs = Net.observer net in
+          let mem = Store.rounds_of_net net ~sids in
+          let strip (r : Store.round) = { r with Store.label = Store.Unaudited } in
+          let rec go = function
+            | [] -> Ok ()
+            | (r : Store.round) :: rest ->
+                if not (Observer.completed obs ~sid:r.Store.sid) then go rest
+                else
+                  (match Store.Reader.find reader ~sid:r.Store.sid with
+                  | None -> fail Archive_roundtrip "round %d missing from archive" r.Store.sid
+                  | Some disk ->
+                      if not (Store.equal_round (strip r) (strip disk)) then
+                        fail Archive_roundtrip "round %d differs after round-trip" r.Store.sid
+                      else
+                        let expect =
+                          match List.assoc_opt r.Store.sid audit.Verify.sids with
+                          | Some v -> Query.label_of_verdict v
+                          | None -> Store.Unaudited
+                        in
+                        let got = Store.Reader.label_of reader ~sid:r.Store.sid in
+                        if got <> expect then
+                          fail Archive_roundtrip "round %d: audit sidecar says %s, expected %s"
+                            r.Store.sid (Store.label_name got) (Store.label_name expect)
+                        else Ok ())
+                  |> function
+                  | Ok () -> go rest
+                  | e -> e
+          in
+          go mem)
+
+(* Oracle (d): probed vectors must be monotone per switch across rounds
+   (packet counters are cumulative; FIB versions only ever ratchet), and
+   harness-sequenced update steps can never appear reordered in a cut. *)
+let check_query_invariants net ~sids ~(audit : Verify.audit) ~upd_runs =
+  let topo = Net.topology net in
+  let n_sw = Topology.n_switches topo in
+  let probe = probe_fn topo in
+  let switches = List.init n_sw Fun.id in
+  let q = Query.of_net net ~sids in
+  let vv = Query.Canned.version_vector ~probe ~switches q in
+  (* d1: monotone per switch over non-zero readings (0 = missing probe). *)
+  let rec mono s prev = function
+    | [] -> Ok ()
+    | (sid, row) :: rest ->
+        let v = row.(s) in
+        if v > 0 && v < prev then
+          fail Query_invariant "switch %d: probed value fell %d -> %d at round %d" s prev v sid
+        else mono s (if v > 0 then v else prev) rest
+  in
+  let rec all_mono s =
+    if s >= n_sw then Ok ()
+    else match mono s 0 vv with Ok () -> all_mono (s + 1) | e -> e
+  in
+  let d1 = all_mono 0 in
+  if d1 <> Ok () then d1
+  else
+    let applied_runs = List.filter (fun u -> u.ur_handle <> None) upd_runs in
+    (* Every launched step must have fully applied by the end of the run
+       (chaos is restricted away from the control channels when updates
+       are drawn, so a shortfall is a real scheduling bug). *)
+    let rec fully = function
+      | [] -> Ok ()
+      | u :: rest -> (
+          match u.ur_handle with
+          | None -> fully rest
+          | Some h ->
+              if U.applied_count h < List.length (U.targets h) then
+                fail Query_invariant "update v%d applied on %d/%d targets" u.ur_version
+                  (U.applied_count h)
+                  (List.length (U.targets h))
+              else fully rest)
+    in
+    let d2a = fully applied_runs in
+    if d2a <> Ok () then d2a
+    else
+      (* d2: step k+1 visible in a cut implies step k fully applied in
+         that same cut (skip rounds with any missing probe). *)
+      let rec pairs = function
+        | u1 :: (u2 :: _ as rest) -> (
+            match (u1.ur_handle, u2.ur_handle) with
+            | Some h1, Some h2 -> (
+                let t1 = U.targets h1 and t2 = U.targets h2 in
+                let bad =
+                  List.find_opt
+                    (fun (_sid, row) ->
+                      let relevant = t1 @ t2 in
+                      if List.exists (fun s -> row.(s) = 0) relevant then false
+                      else
+                        let started2 = List.exists (fun s -> row.(s) >= u2.ur_version) t2 in
+                        let applied1 = List.for_all (fun s -> row.(s) >= u1.ur_version) t1 in
+                        started2 && not applied1)
+                    vv
+                in
+                match bad with
+                | Some (sid, _) ->
+                    fail Query_invariant
+                      "round %d shows step v%d before step v%d fully applied" sid u2.ur_version
+                      u1.ur_version
+                | None -> pairs rest)
+            | _ -> pairs rest)
+        | _ -> Ok ()
+      in
+      let d2 = pairs applied_runs in
+      if d2 <> Ok () then d2
+      else
+        (* d3: a lone staged step is applied strictly in plan order with
+           ms-scale gaps, so certified cuts can never violate the rollout
+           order. *)
+        match applied_runs with
+        | [ { ur_step = { up_strategy = `Staged; _ }; ur_handle = Some h; _ } ]
+          when List.length upd_runs = 1 ->
+            let q_cert = Query.certified_only (Query.apply_audit audit q) in
+            let bad, _total =
+              Query.Canned.causal_violations ~rollout_order:(U.targets h) ~probe q_cert
+            in
+            if bad > 0 then
+              fail Query_invariant "%d certified round(s) violate the staged rollout order" bad
+            else Ok ()
+        | _ -> Ok ()
+
+let temp_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "speedlight_fuzz_%d_%d" (Unix.getpid ()) !temp_counter)
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let run_scenario ?(break_marker = false) sc =
+  try
+    with_temp_dir (fun dir ->
+        let net, sids, auditor, writer, faults, upd_runs, requested =
+          execute sc ~shards:sc.sc_shards ~archive_dir:(Some dir) ~with_audit:true
+            ~break_marker
+        in
+        let auditor = Option.get auditor and writer = Option.get writer in
+        let audit = Verify.audit auditor ~sids in
+        Query.store_audit writer audit;
+        Store.Writer.close writer;
+        let digest = Common.run_digest net ~sids in
+        let fault_digest = Faults.digest faults in
+        (* a. the protocol must never mislabel a cut consistent. *)
+        (if audit.Verify.false_consistent <> [] then
+           fail False_consistent_cut "%d false-consistent round(s): %s"
+             (List.length audit.Verify.false_consistent)
+             (String.concat "," (List.map string_of_int audit.Verify.false_consistent))
+         else Ok ())
+        |> (function
+             | Error e -> Error e
+             | Ok () ->
+                 (* b. sharded and serial runs are the same run. *)
+                 if sc.sc_shards = 1 then Ok ()
+                 else begin
+                   let net1, sids1, _, _, faults1, _, _ =
+                     execute sc ~shards:1 ~archive_dir:None ~with_audit:false ~break_marker
+                   in
+                   if sids1 <> sids then
+                     fail Digest_divergence "snapshot ids diverge between %d shards and serial"
+                       sc.sc_shards
+                   else if Common.run_digest net1 ~sids:sids1 <> digest then
+                     fail Digest_divergence "run digest diverges between %d shards and serial"
+                       sc.sc_shards
+                   else if Faults.digest faults1 <> fault_digest then
+                     fail Digest_divergence "fault digest diverges between %d shards and serial"
+                       sc.sc_shards
+                   else Ok ()
+                 end)
+        |> (function
+             | Error e -> Error e
+             | Ok () -> check_archive ~dir net ~sids ~audit)
+        |> (function
+             | Error e -> Error e
+             | Ok () -> check_query_invariants net ~sids ~audit ~upd_runs)
+        |> function
+        | Error e -> Error e
+        | Ok () ->
+            let obs = Net.observer net in
+            let complete = List.filter (fun sid -> Observer.completed obs ~sid) sids in
+            Ok
+              {
+                rs_requested = requested;
+                rs_taken = List.length sids;
+                rs_complete = List.length complete;
+                rs_certified = List.length audit.Verify.certified;
+                rs_false_consistent = List.length audit.Verify.false_consistent;
+                rs_delivered = Net.delivered net;
+                rs_faults_fired = Faults.fired_count faults;
+                rs_updates_applied =
+                  List.length (List.filter (fun u -> u.ur_handle <> None) upd_runs);
+                rs_digest = digest;
+              })
+  with e ->
+    (* e. nothing may escape — any exception is itself an oracle failure. *)
+    Error { f_oracle = Uncaught_exn; f_detail = Printexc.to_string e }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+(* ------------------------------------------------------------------ *)
+
+type shrink_result = {
+  sh_scenario : scenario;
+  sh_failure : failure;
+  sh_steps : int;
+  sh_attempts : int;
+}
+
+let halve ~floor n = Stdlib.max floor (n / 2)
+
+let topo_candidates = function
+  | Leaf_spine { leaves; spines; hosts_per_leaf } ->
+      List.filter_map
+        (fun t -> if t = Leaf_spine { leaves; spines; hosts_per_leaf } then None else Some t)
+        [
+          Leaf_spine { leaves = halve ~floor:2 leaves; spines; hosts_per_leaf };
+          Leaf_spine { leaves; spines = halve ~floor:1 spines; hosts_per_leaf };
+          Leaf_spine { leaves; spines; hosts_per_leaf = halve ~floor:1 hosts_per_leaf };
+        ]
+  | Fat_tree { k; hosts_per_edge } ->
+      List.filter_map
+        (fun t -> if t = Fat_tree { k; hosts_per_edge } then None else Some t)
+        [ Fat_tree { k; hosts_per_edge = halve ~floor:1 hosts_per_edge } ]
+  | Clos2 { leaves; spines; hosts_per_leaf } ->
+      List.filter_map
+        (fun t -> if t = Clos2 { leaves; spines; hosts_per_leaf } then None else Some t)
+        [
+          Clos2 { leaves = halve ~floor:2 leaves; spines; hosts_per_leaf };
+          Clos2 { leaves; spines = halve ~floor:1 spines; hosts_per_leaf };
+          Clos2 { leaves; spines; hosts_per_leaf = halve ~floor:1 hosts_per_leaf };
+        ]
+
+let rec drop_nth n = function
+  | [] -> []
+  | _ :: rest when n = 0 -> rest
+  | x :: rest -> x :: drop_nth (n - 1) rest
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let candidates sc =
+  let chaos =
+    let n = List.length sc.sc_chaos in
+    let halves =
+      if n >= 2 then
+        [
+          { sc with sc_chaos = take (n / 2) sc.sc_chaos };
+          { sc with sc_chaos = List.filteri (fun i _ -> i >= n / 2) sc.sc_chaos };
+        ]
+      else []
+    in
+    let singles =
+      if n >= 1 && n <= 6 then List.init n (fun i -> { sc with sc_chaos = drop_nth i sc.sc_chaos })
+      else []
+    in
+    halves @ singles
+  in
+  let topo = List.map (fun t -> { sc with sc_topo = t }) (topo_candidates sc.sc_topo) in
+  let updates =
+    match sc.sc_updates with
+    | [] -> []
+    | [ _ ] -> [ { sc with sc_updates = [] } ]
+    | l -> [ { sc with sc_updates = take (List.length l - 1) l }; { sc with sc_updates = [] } ]
+  in
+  let snaps =
+    if sc.sc_snap_count > 1 then [ { sc with sc_snap_count = halve ~floor:1 sc.sc_snap_count } ]
+    else []
+  in
+  let shards = if sc.sc_shards > 1 then [ { sc with sc_shards = 1 } ] else [] in
+  chaos @ topo @ updates @ snaps @ shards
+
+let max_shrink_attempts = 60
+
+let shrink ?(break_marker = false) sc0 fail0 =
+  let attempts = ref 0 and steps = ref 0 in
+  let cur = ref sc0 and cur_fail = ref fail0 in
+  let progressed = ref true in
+  while !progressed && !attempts < max_shrink_attempts do
+    progressed := false;
+    (try
+       List.iter
+         (fun cand ->
+           if !attempts < max_shrink_attempts then begin
+             incr attempts;
+             match run_scenario ~break_marker cand with
+             | Error f when f.f_oracle = !cur_fail.f_oracle ->
+                 cur := cand;
+                 cur_fail := f;
+                 incr steps;
+                 progressed := true;
+                 raise Exit
+             | _ -> ()
+           end)
+         (candidates !cur)
+     with Exit -> ())
+  done;
+  { sh_scenario = !cur; sh_failure = !cur_fail; sh_steps = !steps; sh_attempts = !attempts }
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns *)
+(* ------------------------------------------------------------------ *)
+
+type campaign_failure = {
+  cf_index : int;
+  cf_scenario : scenario;
+  cf_failure : failure;
+  cf_shrunk : shrink_result;
+}
+
+type summary = {
+  su_campaigns : int;
+  su_failures : campaign_failure list;
+  su_digest : string;
+  su_wall_s : float;
+  su_campaigns_per_min : float;
+}
+
+(* SplitMix-style stream: campaign i's scenario seed, independent of how
+   many campaigns came before it. *)
+let campaign_seed ~seed i = (seed + (i * 0x9E3779B97F4A7C)) land 0x3FFFFFFFFFFFFFFF
+
+let run_campaigns ?(budget = Quick) ?(break_marker = false) ?(progress = ignore) ~seed ~count
+    () =
+  let t0 = Unix.gettimeofday () in
+  let verdicts = Buffer.create (count * 24) in
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let sc = of_seed ~budget (campaign_seed ~seed i) in
+    (match run_scenario ~break_marker sc with
+    | Ok stats -> Buffer.add_string verdicts (Printf.sprintf "%d:pass:%s\n" i stats.rs_digest)
+    | Error f ->
+        Buffer.add_string verdicts (Printf.sprintf "%d:fail:%s\n" i (oracle_name f.f_oracle));
+        let shrunk = shrink ~break_marker sc f in
+        failures :=
+          { cf_index = i; cf_scenario = sc; cf_failure = f; cf_shrunk = shrunk } :: !failures);
+    progress i
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    su_campaigns = count;
+    su_failures = List.rev !failures;
+    su_digest = Digest.to_hex (Digest.string (Buffer.contents verdicts));
+    su_wall_s = wall;
+    su_campaigns_per_min = (if wall > 0. then float_of_int count /. wall *. 60. else Float.nan);
+  }

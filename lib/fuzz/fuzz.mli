@@ -1,0 +1,169 @@
+(** FoundationDB-style randomized scenario fuzzer (DESIGN.md §14).
+
+    From a single 64-bit seed, derive a random scenario — topology ×
+    workload × chaos plan × optional timed-update plan × snapshot
+    cadence × shard count — run it, and check a fixed oracle battery:
+
+    - {b a.} the independent cut auditor ({!Speedlight_verify.Verify})
+      reports zero [False_consistent] labels;
+    - {b b.} the run digest is byte-identical at the drawn shard count
+      and serially (and the fault-injection digests agree);
+    - {b c.} the on-disk archive round-trips through
+      {!Speedlight_store.Store.Reader} with every CRC and the audit
+      sidecar intact;
+    - {b d.} canned query invariants hold: probed counter/version
+      vectors are monotone per unit across rounds, harness-sequenced
+      update steps never appear causally reordered in any cut, and
+      {!Speedlight_query.Query.Canned.causal_violations} is empty on
+      certified rounds of a staged first step;
+    - {b e.} no uncaught exception escapes the run.
+
+    On failure the scenario structure is shrunk — drop chaos events,
+    halve the topology, drop update steps, halve the snapshot cadence,
+    drop to one shard — re-checking after every step, and the minimal
+    reproducer serializes to a [speedlight fuzz --repro] seed file. *)
+
+(** {2 Scenarios} *)
+
+type topo_spec =
+  | Leaf_spine of { leaves : int; spines : int; hosts_per_leaf : int }
+  | Fat_tree of { k : int; hosts_per_edge : int }
+  | Clos2 of { leaves : int; spines : int; hosts_per_leaf : int }
+
+type variant = Channel_state | Wraparound
+
+type workload =
+  | Uniform of { rate_pps : float; pkt_size : int }
+      (** Poisson all-to-all at [rate_pps] per ordered pair *)
+  | Pairs of { gap_us : int; pkt_size : int }
+      (** every host streams to its ring successor at a constant gap *)
+  | Memcache  (** even hosts multi-get from odd hosts *)
+
+(** Chaos events, positioned as fractions of the fault window so they
+    stay meaningful as shrinking shortens the run. Entity indices are
+    taken modulo the (possibly shrunk) topology's entity counts. *)
+type chaos_kind =
+  | Ck_link_flap of { sw : int; width : float }
+  | Ck_latency of { sw : int; width : float; factor : float }
+  | Ck_wire_loss of { sw : int; width : float; loss : float }
+  | Ck_nic_loss of { host : int; width : float; loss : float }
+  | Ck_cp_flap of { sw : int; width : float }
+  | Ck_clock_step of { sw : int; delta_ns : float }
+  | Ck_holdover of { sw : int; width : float }
+  | Ck_notify_loss of { sw : int; width : float; loss : float }
+  | Ck_saturation of { sw : int; width : float }
+
+type chaos_event = { ce_frac : float; ce_kind : chaos_kind }
+
+type update_step = {
+  up_spine : int;  (** spine index (mod #spines) for the drain step *)
+  up_kind : [ `Drain | `Undrain ];
+  up_strategy : [ `Immediate | `Timed | `Staged ];
+}
+
+type scenario = {
+  sc_seed : int;
+  sc_topo : topo_spec;
+  sc_variant : variant;
+  sc_workload : workload;
+  sc_chaos : chaos_event list;
+  sc_updates : update_step list;
+      (** only on leaf-spine topologies with >= 2 spines *)
+  sc_snap_start_ms : int;
+  sc_snap_interval_ms : int;
+  sc_snap_count : int;
+  sc_tail_ms : int;  (** settle time after the last snapshot *)
+  sc_shards : int;  (** 1, 2 or 4 *)
+}
+
+type budget = Quick | Long
+
+val of_seed : ?budget:budget -> int -> scenario
+(** Pure derivation: equal seeds give equal scenarios. *)
+
+val pp_scenario : Format.formatter -> scenario -> unit
+
+val to_string : scenario -> string
+(** Serialize to the [--repro] seed-file format (line-oriented text). *)
+
+val of_string : string -> (scenario, string) result
+(** Parse a [--repro] seed file; [Error] describes the offending line. *)
+
+(** {2 Oracles} *)
+
+type oracle =
+  | False_consistent_cut
+  | Digest_divergence
+  | Archive_roundtrip
+  | Query_invariant
+  | Uncaught_exn
+
+val oracle_name : oracle -> string
+
+type failure = { f_oracle : oracle; f_detail : string }
+
+type run_stats = {
+  rs_requested : int;  (** snapshot attempts scheduled *)
+  rs_taken : int;  (** accepted by the pacing window *)
+  rs_complete : int;
+  rs_certified : int;
+  rs_false_consistent : int;
+  rs_delivered : int;
+  rs_faults_fired : int;
+  rs_updates_applied : int;
+  rs_digest : string;  (** {!Speedlight_experiments.Common.run_digest} *)
+}
+
+val run_scenario : ?break_marker:bool -> scenario -> (run_stats, failure) result
+(** Run the scenario and evaluate the oracle battery in order a–e.
+    [break_marker] suppresses marker handling in every snapshot unit
+    ({!Speedlight_core.Snapshot_unit.set_ignore_packet_ids}) — the
+    deliberately broken protocol used to test that the oracles and the
+    shrinker actually bite. *)
+
+(** {2 Shrinking} *)
+
+type shrink_result = {
+  sh_scenario : scenario;  (** the minimal reproducer *)
+  sh_failure : failure;  (** its failure (same oracle as the original) *)
+  sh_steps : int;  (** accepted shrink steps *)
+  sh_attempts : int;  (** scenarios executed while shrinking *)
+}
+
+val shrink : ?break_marker:bool -> scenario -> failure -> shrink_result
+(** Greedily minimize a failing scenario: a candidate is accepted iff it
+    still fails with the same oracle. Candidate order: drop chaos events
+    (halves, then singles), halve topology dimensions, drop update
+    steps, halve the snapshot count, then drop to one shard. *)
+
+(** {2 Campaigns} *)
+
+type campaign_failure = {
+  cf_index : int;
+  cf_scenario : scenario;
+  cf_failure : failure;
+  cf_shrunk : shrink_result;
+}
+
+type summary = {
+  su_campaigns : int;
+  su_failures : campaign_failure list;
+  su_digest : string;  (** per-campaign verdict digest (determinism check) *)
+  su_wall_s : float;
+  su_campaigns_per_min : float;
+}
+
+val campaign_seed : seed:int -> int -> int
+(** The derived seed of campaign [i] under master [seed]. *)
+
+val run_campaigns :
+  ?budget:budget ->
+  ?break_marker:bool ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Run [count] seed-derived campaigns. Deterministic: equal
+    [(seed, count, budget, break_marker)] give equal [su_digest].
+    [progress] is called with each finished campaign index. *)

@@ -134,13 +134,21 @@ let[@inline] ctl_fault_drops xf =
       end
       else false
 
+(* State that exists exactly when the net is sharded (n_shards > 1).
+   Bundling it in one option makes "sharded implies the lookahead matrix
+   exists" provable by construction: the sharded run path matches on
+   [par] itself instead of asserting after an [n_shards] comparison. *)
+type parallel = {
+  par_la : Shard.Lookahead.t;  (* directional lookahead matrix *)
+  par_report : Partition.report;
+}
+
 type t = {
   engines : Engine.t array;
   n_shards : int;
   shard_of : int array;  (* switch -> shard *)
-  lookahead : Time.t;  (* smallest matrix entry; 0 when n_shards = 1 *)
-  la_matrix : Shard.Lookahead.t option;  (* directional; sharded mode only *)
-  part_report : Partition.report option;  (* sharded mode only *)
+  lookahead : Time.t;  (* smallest matrix entry; 0 when serial *)
+  par : parallel option;  (* Some iff n_shards > 1 *)
   mutable shard_stats : Shard.stats;  (* accumulated over run_until calls *)
   mutable timed_epochs : bool;  (* measure barrier waits in sharded runs *)
   mailboxes : msg Mailbox.t array array;  (* [producer].[consumer] *)
@@ -420,22 +428,24 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
         ~edges:(switch_comm_edges topo) ~parts:shards
   in
   let n_shards = 1 + Array.fold_left Stdlib.max 0 shard_of in
-  let la_matrix =
-    if n_shards = 1 then None
-    else Some (compute_lookahead_matrix cfg topo ~shard_of ~n_shards ~edges)
-  in
-  let lookahead =
-    match la_matrix with
-    | None -> Time.zero
-    | Some la -> (
-        match Shard.Lookahead.min_value la with Some l -> l | None -> Time.zero)
-  in
-  let part_report =
+  let par =
     if n_shards = 1 then None
     else
       Some
-        (Partition.quality ~n_nodes:n_sw ~edges:(switch_comm_edges topo)
-           ~parts:n_shards ~assign:shard_of)
+        {
+          par_la = compute_lookahead_matrix cfg topo ~shard_of ~n_shards ~edges;
+          par_report =
+            Partition.quality ~n_nodes:n_sw ~edges:(switch_comm_edges topo)
+              ~parts:n_shards ~assign:shard_of;
+        }
+  in
+  let lookahead =
+    match par with
+    | None -> Time.zero
+    | Some { par_la; _ } -> (
+        match Shard.Lookahead.min_value par_la with
+        | Some l -> l
+        | None -> Time.zero)
   in
   (* Pre-size the event queues: steady state holds a few events per port. *)
   let engines = Array.init n_shards (fun _ -> Engine.create ~capacity:1024 ()) in
@@ -561,8 +571,7 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       n_shards;
       shard_of;
       lookahead;
-      la_matrix;
-      part_report;
+      par;
       shard_stats = Shard.no_stats;
       timed_epochs = false;
       mailboxes;
@@ -942,9 +951,9 @@ let engine t = t.engines.(0)
 let now t = Engine.now t.engines.(0)
 let n_shards t = t.n_shards
 let shard_of_switch t s = t.shard_of.(s)
-let lookahead t = if t.n_shards = 1 then None else Some t.lookahead
-let partition_report t = t.part_report
-let shard_stats t = if t.n_shards = 1 then None else Some t.shard_stats
+let lookahead t = Option.map (fun _ -> t.lookahead) t.par
+let partition_report t = Option.map (fun p -> p.par_report) t.par
+let shard_stats t = Option.map (fun _ -> t.shard_stats) t.par
 let set_epoch_timing t on = t.timed_epochs <- on
 let topology t = t.topo
 let routing t = t.routing
@@ -986,15 +995,13 @@ let schedule_global t ~at run =
   end
 
 let run_until t deadline =
-  if t.n_shards = 1 then Engine.run_until t.engines.(0) deadline
-  else begin
+  match t.par with
+  | None -> Engine.run_until t.engines.(0) deadline
+  | Some { par_la = lookahead; _ } ->
     let on_epoch =
       if Trace.enabled t.tr_epoch then (fun b ->
         Trace.emit t.tr_epoch ~at:b (Trace.Epoch { shard = 0; bound = b }))
       else ignore
-    in
-    let lookahead =
-      match t.la_matrix with Some la -> la | None -> assert false
     in
     (* Messages posted while no epoch driver was running — workload
        registration calling [send] at construction time, or control
@@ -1031,7 +1038,6 @@ let run_until t deadline =
         queue_high_water =
           Stdlib.max acc.Shard.queue_high_water s.Shard.queue_high_water;
       }
-  end
 
 let send t ?(cos = 0) ?flow_id ~src ~dst ~size () =
   if src = dst then invalid_arg "Net.send: src = dst";
@@ -1117,7 +1123,6 @@ let delivered t = Array.fold_left ( + ) 0 t.delivered
 let events t =
   Array.fold_left (fun acc e -> acc + Engine.processed e) 0 t.engines
 
-let take_snapshot t ?at () = Observer.take_snapshot t.obs ?at ()
 let try_take_snapshot t ?at () = Observer.try_take_snapshot t.obs ?at ()
 let result t ~sid = Observer.result t.obs ~sid
 

@@ -148,14 +148,12 @@ val events : t -> int
 
 (** {2 Snapshots} *)
 
-val take_snapshot : t -> ?at:Time.t -> unit -> int
+val try_take_snapshot : t -> ?at:Time.t -> unit -> (int, Observer.error) result
 (** Schedule a synchronized network snapshot via the observer; returns its
     snapshot ID. Results appear once the simulation advances past
-    completion; query with {!result}. Raises [Failure] on pacing overrun —
-    prefer {!try_take_snapshot} in harness code. *)
-
-val try_take_snapshot : t -> ?at:Time.t -> unit -> (int, Observer.error) result
-(** Non-raising variant of {!take_snapshot}. *)
+    completion; query with {!result}. [Error Pacing_full] means the
+    outstanding-snapshot window is full (wraparound safety) — callers
+    decide whether to skip, retry, or abort. *)
 
 val result : t -> sid:int -> Observer.snapshot option
 

@@ -4,12 +4,17 @@ open Speedlight_core
 open Speedlight_topology
 
 exception Wire_out_not_installed of { switch : int; port : int }
+exception Unexpected_switch_peer of { switch : int; port : int }
 
 let () =
   Printexc.register_printer (function
     | Wire_out_not_installed { switch; port } ->
         Some
           (Printf.sprintf "Switch.Wire_out_not_installed(switch=%d, port=%d)"
+             switch port)
+    | Unexpected_switch_peer { switch; port } ->
+        Some
+          (Printf.sprintf "Switch.Unexpected_switch_peer(switch=%d, port=%d)"
              switch port)
     | _ -> None)
 
@@ -293,7 +298,11 @@ let wire_arrive t ps =
       (* Remove the snapshot header before delivery to hosts (§5.1). *)
       Packet.clear_snap pkt;
       t.deliver_host ~host:h pkt
-  | Topology.Switch_port _ -> assert false
+  | Topology.Switch_port _ ->
+      (* [on_wire_arrive] is only scheduled for host-facing ports, so this
+         is a wiring bug (e.g. a hand-built [of_raw] topology whose peer
+         tables disagree). Report it as a typed error, not a bare assert. *)
+      raise (Unexpected_switch_peer { switch = t.sw_id; port = ps.port })
 
 let enqueue_egress t ~now ~in_port ~out_port pkt =
   let ps = port_state t out_port in

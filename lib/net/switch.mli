@@ -20,6 +20,12 @@ exception Wire_out_not_installed of { switch : int; port : int }
     it to its peer — a construction-order bug, reported as a typed error
     rather than an anonymous [Failure]. *)
 
+exception Unexpected_switch_peer of { switch : int; port : int }
+(** Raised when a host-delivery wire arrival finds the port's peer is a
+    switch port — a topology-wiring bug (e.g. a hand-built [of_raw] whose
+    peer tables disagree), reported as a typed error rather than a bare
+    assertion failure. *)
+
 val create :
   ?arena:Arena.t ->
   ?host_attach:int array * int array ->

@@ -75,17 +75,25 @@ let clamp_min lo d =
 
 let mixture parts =
   if parts = [] then invalid_arg "Dist.mixture: empty";
+  if List.exists (fun (w, _) -> w < 0.) parts then
+    invalid_arg "Dist.mixture: negative weight";
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. parts in
-  if total <= 0. then invalid_arg "Dist.mixture: non-positive total weight";
+  if not (total > 0.) then invalid_arg "Dist.mixture: non-positive total weight";
   let name =
     "mix(" ^ String.concat "," (List.map (fun (w, d) -> Printf.sprintf "%g*%s" w d.name) parts) ^ ")"
   in
+  (* Sampling walks the positive-weight components only, and the last one
+     owns the fall-through: if FP rounding lets [x] reach [total], the
+     final live component absorbs it instead of a [List.rev] rescan that
+     could land on a zero-weight tail element. *)
+  let live = List.filter (fun (w, _) -> w > 0.) parts in
   let sample rng =
     let x = Rng.float rng total in
     let rec pick acc = function
-      | [] -> (match List.rev parts with (_, d) :: _ -> d.sample rng | [] -> assert false)
+      | [] -> assert false (* [live] is non-empty: total > 0 *)
+      | [ (_, d) ] -> d.sample rng
       | (w, d) :: rest -> if x < acc +. w then d.sample rng else pick (acc +. w) rest
     in
-    pick 0. parts
+    pick 0. live
   in
   { name; sample }

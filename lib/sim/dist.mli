@@ -59,5 +59,7 @@ val clamp_min : float -> t -> t
 
 val mixture : (float * t) list -> t
 (** [mixture [(w1, d1); (w2, d2); ...]] samples [di] with probability
-    proportional to [wi]. Raises [Invalid_argument] on an empty list or
-    non-positive total weight. *)
+    proportional to [wi]. Zero-weight components are never selected, even
+    when FP rounding pushes the drawn point to the total weight. Raises
+    [Invalid_argument] on an empty list, a negative weight, or a total
+    weight that is not strictly positive (including NaN). *)

@@ -554,6 +554,11 @@ let report ~uid ~sid =
     completed_at = 0;
   }
 
+let take_snapshot_exn obs =
+  match Observer.try_take_snapshot obs () with
+  | Ok sid -> sid
+  | Error e -> Alcotest.fail ("snapshot refused: " ^ Observer.error_to_string e)
+
 let test_observer_assembly () =
   let engine = Engine.create () in
   let obs = Observer.create ~engine () in
@@ -563,7 +568,7 @@ let test_observer_assembly () =
   Observer.register_device obs dev;
   let completions = ref [] in
   Observer.on_complete obs (fun s -> completions := s :: !completions);
-  let sid = Observer.take_snapshot obs () in
+  let sid = take_snapshot_exn obs in
   Alcotest.(check int) "first sid is 1" 1 sid;
   Alcotest.(check int) "initiation broadcast" 1 (List.length fd.fd_initiations);
   Observer.on_report obs (report ~uid:u1 ~sid);
@@ -587,7 +592,7 @@ let test_observer_retry_and_exclusion () =
   let u1 = Unit_id.ingress ~switch:0 ~port:0 in
   let fd, dev = mk_fake_device 0 ~units:[ u1 ] in
   Observer.register_device obs dev;
-  let sid = Observer.take_snapshot obs () in
+  let sid = take_snapshot_exn obs in
   (* Never report: the observer must retry 3 times then exclude. *)
   Engine.run_until engine (Time.ms 200);
   Alcotest.(check int) "three resends" 3 (List.length fd.fd_resends);
@@ -605,7 +610,7 @@ let test_observer_no_spurious_retry () =
   let u1 = Unit_id.ingress ~switch:0 ~port:0 in
   let fd, dev = mk_fake_device 0 ~units:[ u1 ] in
   Observer.register_device obs dev;
-  let sid = Observer.take_snapshot obs () in
+  let sid = take_snapshot_exn obs in
   Observer.on_report obs (report ~uid:u1 ~sid);
   Engine.run_until engine (Time.ms 100);
   Alcotest.(check int) "no resend after completion" 0 (List.length fd.fd_resends)
@@ -616,13 +621,12 @@ let test_observer_pacing_cap () =
   let u1 = Unit_id.ingress ~switch:0 ~port:0 in
   let _, dev = mk_fake_device 0 ~units:[ u1 ] in
   Observer.register_device obs dev;
-  ignore (Observer.take_snapshot obs ());
-  ignore (Observer.take_snapshot obs ());
-  Alcotest.(check bool) "third raises (wraparound pacing)" true
-    (try
-       ignore (Observer.take_snapshot obs ());
-       false
-     with Failure _ -> true)
+  ignore (take_snapshot_exn obs);
+  ignore (take_snapshot_exn obs);
+  Alcotest.(check bool) "third refused (wraparound pacing)" true
+    (match Observer.try_take_snapshot obs () with
+    | Error Observer.Pacing_full -> true
+    | Ok _ | Error _ -> false)
 
 let test_observer_spurious_report_ignored () =
   let engine = Engine.create () in

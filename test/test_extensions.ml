@@ -108,7 +108,12 @@ let test_sketch_snapshot_integration () =
   background 800;
   ignore (Engine.schedule engine ~at:(Time.ms 20) (fun () -> Net.auto_exclude_idle net));
   let sid = ref 0 in
-  ignore (Engine.schedule engine ~at:(Time.ms 30) (fun () -> sid := Net.take_snapshot net ()));
+  ignore
+    (Engine.schedule engine ~at:(Time.ms 30) (fun () ->
+         match Net.try_take_snapshot net () with
+         | Ok s -> sid := s
+         | Error e ->
+             Alcotest.fail ("snapshot refused: " ^ Observer.error_to_string e)));
   Engine.run_until engine (Time.ms 300);
   match Net.result net ~sid:!sid with
   | Some snap ->

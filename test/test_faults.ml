@@ -173,7 +173,12 @@ let test_cp_crash_restart () =
     ignore
       (Engine.schedule engine
          ~at:(Time.add (Time.ms 20) (i * Time.ms 25))
-         (fun () -> sids := Net.take_snapshot net () :: !sids))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error e ->
+               Alcotest.fail
+                 ("snapshot refused: " ^ Observer.error_to_string e)))
   done;
   Net.run_until net (Time.ms 600);
   let cp = Net.control_plane net 0 in

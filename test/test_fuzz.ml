@@ -1,0 +1,166 @@
+(* Randomized scenario fuzzer: pure seed -> scenario derivation,
+   repro-file round-tripping, campaign determinism, and — with the
+   deliberately broken marker-suppression protocol — that the oracle
+   battery bites and the shrinker reduces failures to minimal
+   reproducers that replay to the same failure. *)
+
+module F = Speedlight_fuzz.Fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Derivation and serialization *)
+
+let test_of_seed_pure () =
+  List.iter
+    (fun seed ->
+      let a = F.of_seed seed and b = F.of_seed seed in
+      Alcotest.(check bool) "same seed, same scenario" true (a = b))
+    [ 0; 1; 42; 12345; max_int / 3 ];
+  let a = F.of_seed 1 and b = F.of_seed 2 in
+  Alcotest.(check bool) "different seeds differ" false (a = b)
+
+let test_roundtrip () =
+  for i = 0 to 99 do
+    let sc = F.of_seed (F.campaign_seed ~seed:11 i) in
+    match F.of_string (F.to_string sc) with
+    | Error e -> Alcotest.failf "round-trip parse error: %s" e
+    | Ok sc' ->
+        if sc' <> sc then
+          Alcotest.failf "round-trip changed the scenario:@.%s@.vs@.%s"
+            (F.to_string sc) (F.to_string sc')
+  done
+
+let test_of_string_errors () =
+  let bad s =
+    match F.of_string s with
+    | Ok _ -> Alcotest.failf "parsed invalid repro: %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "not-a-repro\nseed 1\n";
+  bad "speedlight-fuzz-repro v1\nseed 1\n";
+  (* missing topo/... *)
+  bad "speedlight-fuzz-repro v1\nseed 1\ntopo leaf_spine 2 1 1\nworkload memcache\nsnap 5 4 2 200\nshards 3\n";
+  bad
+    "speedlight-fuzz-repro v1\nseed x\ntopo leaf_spine 2 1 1\nworkload memcache\nsnap 5 4 2 200\n"
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns: all oracles pass on main, and verdicts are deterministic *)
+
+let test_campaigns_pass_and_deterministic () =
+  let run () = F.run_campaigns ~seed:42 ~count:12 () in
+  let a = run () in
+  List.iter
+    (fun cf ->
+      Alcotest.failf "campaign %d failed [%s]: %s" cf.F.cf_index
+        (F.oracle_name cf.F.cf_failure.F.f_oracle)
+        cf.F.cf_failure.F.f_detail)
+    a.F.su_failures;
+  let b = run () in
+  Alcotest.(check string) "verdict digest deterministic" a.F.su_digest b.F.su_digest;
+  Alcotest.(check int) "campaign count" 12 a.F.su_campaigns
+
+(* ------------------------------------------------------------------ *)
+(* Broken protocol: the oracles bite, the shrinker minimizes *)
+
+(* Scan seed-derived campaigns with marker handling suppressed in every
+   snapshot unit until the auditor catches a false-consistent cut. The
+   scan is deterministic; the bound only caps work if the derivation
+   ever changes the detection density. *)
+let find_broken_failure () =
+  let rec go i =
+    if i >= 60 then
+      Alcotest.fail "broken marker protocol survived 60 campaigns undetected"
+    else
+      let sc = F.of_seed (F.campaign_seed ~seed:7 i) in
+      match F.run_scenario ~break_marker:true sc with
+      | Ok _ -> go (i + 1)
+      | Error f -> (sc, f)
+  in
+  go 0
+
+let test_broken_marker_shrinks () =
+  let sc, f = find_broken_failure () in
+  Alcotest.(check string)
+    "broken marker is caught as a false-consistent cut" "false_consistent_cut"
+    (F.oracle_name f.F.f_oracle);
+  let sh = F.shrink ~break_marker:true sc f in
+  let m = sh.F.sh_scenario in
+  Alcotest.(check bool)
+    "shrunk failure keeps the oracle" true
+    (sh.F.sh_failure.F.f_oracle = f.F.f_oracle);
+  Alcotest.(check bool)
+    "at most one chaos event survives shrinking" true
+    (List.length m.F.sc_chaos <= 1);
+  Alcotest.(check bool)
+    "no update step survives shrinking" true (m.F.sc_updates = []);
+  (* Minimality: every topology-halving candidate of the reproducer
+     either is the reproducer itself (already at the floor) or no longer
+     reproduces — i.e. this is the smallest reproducing topology along
+     the shrinker's moves. *)
+  let smaller =
+    match m.F.sc_topo with
+    | F.Leaf_spine { leaves; spines; hosts_per_leaf } ->
+        [
+          F.Leaf_spine { leaves = max 2 (leaves / 2); spines; hosts_per_leaf };
+          F.Leaf_spine { leaves; spines = max 1 (spines / 2); hosts_per_leaf };
+          F.Leaf_spine { leaves; spines; hosts_per_leaf = max 1 (hosts_per_leaf / 2) };
+        ]
+    | F.Fat_tree { k; hosts_per_edge } ->
+        [ F.Fat_tree { k; hosts_per_edge = max 1 (hosts_per_edge / 2) } ]
+    | F.Clos2 { leaves; spines; hosts_per_leaf } ->
+        [
+          F.Clos2 { leaves = max 2 (leaves / 2); spines; hosts_per_leaf };
+          F.Clos2 { leaves; spines = max 1 (spines / 2); hosts_per_leaf };
+          F.Clos2 { leaves; spines; hosts_per_leaf = max 1 (hosts_per_leaf / 2) };
+        ]
+  in
+  List.iter
+    (fun t ->
+      if t <> m.F.sc_topo then
+        match F.run_scenario ~break_marker:true { m with F.sc_topo = t } with
+        | Error f' when f'.F.f_oracle = f.F.f_oracle ->
+            Alcotest.fail "a smaller topology still reproduces: not minimal"
+        | _ -> ())
+    smaller;
+  (* The reproducer round-trips through the seed-file format and replays
+     to the same failure. *)
+  match F.of_string (F.to_string m) with
+  | Error e -> Alcotest.failf "reproducer does not parse: %s" e
+  | Ok m' -> (
+      Alcotest.(check bool) "reproducer round-trips" true (m' = m);
+      match F.run_scenario ~break_marker:true m' with
+      | Ok _ -> Alcotest.fail "reproducer replayed clean"
+      | Error f' ->
+          Alcotest.(check string) "replay fails the same oracle"
+            (F.oracle_name f.F.f_oracle)
+            (F.oracle_name f'.F.f_oracle));
+  (* And without the broken protocol the same scenario passes: the
+     failure is the injected bug, not the scenario. *)
+  match F.run_scenario m with
+  | Ok _ -> ()
+  | Error f' ->
+      Alcotest.failf "reproducer fails even with markers intact [%s]: %s"
+        (F.oracle_name f'.F.f_oracle) f'.F.f_detail
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "derivation",
+        [
+          Alcotest.test_case "of_seed pure" `Quick test_of_seed_pure;
+          Alcotest.test_case "repro round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "pass and deterministic" `Quick
+            test_campaigns_pass_and_deterministic;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "broken marker shrinks to minimal repro" `Quick
+            test_broken_marker_shrinks;
+        ] );
+    ]

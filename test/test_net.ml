@@ -28,6 +28,11 @@ let start_uniform ?(rate = 4_000.) net ls ~until =
     ~hosts:(Array.to_list ls.Topology.host_of_server)
     ~rate_pps:rate ~pkt_size:1000 ~until
 
+let take_snapshot_exn net =
+  match Net.try_take_snapshot net () with
+  | Ok sid -> sid
+  | Error e -> Alcotest.fail ("snapshot refused: " ^ Observer.error_to_string e)
+
 let take_snapshots net ~start ~interval ~count ~run_until =
   let engine = Net.engine net in
   let sids = ref [] in
@@ -35,7 +40,7 @@ let take_snapshots net ~start ~interval ~count ~run_until =
     ignore
       (Engine.schedule engine
          ~at:(Time.add start (i * interval))
-         (fun () -> sids := Net.take_snapshot net () :: !sids))
+         (fun () -> sids := take_snapshot_exn net :: !sids))
   done;
   Engine.run_until engine run_until;
   List.rev !sids
@@ -174,7 +179,7 @@ let test_cs_liveness_via_marker_floods () =
   let sid = ref 0 in
   ignore
     (Engine.schedule (Net.engine net) ~at:(Time.ms 10) (fun () ->
-         sid := Net.take_snapshot net ()));
+         sid := take_snapshot_exn net));
   Engine.run_until (Net.engine net) (Time.ms 400);
   let s = snapshot_exn net !sid in
   Alcotest.(check bool) "complete via floods" true s.Observer.complete;
@@ -418,7 +423,7 @@ let loss_retry_run ~shards =
     ignore
       (Engine.schedule engine
          ~at:(Time.add (Time.ms 30) (i * Time.ms 40))
-         (fun () -> sids := Net.take_snapshot net () :: !sids))
+         (fun () -> sids := take_snapshot_exn net :: !sids))
   done;
   Net.run_until net (Time.ms 800);
   (net, List.rev !sids)
@@ -724,6 +729,51 @@ let test_wire_out_not_installed_typed () =
         | _ -> false)
   | exception Failure _ -> Alcotest.fail "untyped Failure"
 
+let test_unexpected_switch_peer_typed () =
+  (* The misdelivery guard in [Switch.wire_arrive] is a typed error with
+     a registered printer (regression: it was a bare [assert false],
+     which surfaced as an anonymous assertion failure far from the
+     wiring bug that caused it). *)
+  let e = Switch.Unexpected_switch_peer { switch = 3; port = 2 } in
+  Alcotest.(check string) "printer names the switch and port"
+    "Switch.Unexpected_switch_peer(switch=3, port=2)" (Printexc.to_string e);
+  try raise e with
+  | Switch.Unexpected_switch_peer { switch; port } ->
+      Alcotest.(check int) "switch field" 3 switch;
+      Alcotest.(check int) "port field" 2 port
+
+let test_parallel_accessors_coupled () =
+  (* The parallel-only state ([lookahead], [partition_report],
+     [shard_stats]) lives in one [par : parallel option] that is [Some]
+     exactly when the net is sharded — so the accessors can never
+     disagree about whether the run is parallel (regression: an
+     [assert false] on a missing lookahead matrix). *)
+  let ls = Topology.leaf_spine () in
+  List.iter
+    (fun shards ->
+      let net = Net.create ~cfg:Config.default ~shards ls.Topology.topo in
+      let expect_some = shards > 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "lookahead (shards=%d)" shards)
+        expect_some
+        (Net.lookahead net <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "partition report (shards=%d)" shards)
+        expect_some
+        (Net.partition_report net <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "shard stats (shards=%d)" shards)
+        expect_some
+        (Net.shard_stats net <> None);
+      (* An idle sharded run crosses the epoch machinery with an empty
+         calendar; it must terminate and leave the accessors coherent. *)
+      Net.run_until net (Time.ms 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "shard stats after run (shards=%d)" shards)
+        expect_some
+        (Net.shard_stats net <> None))
+    [ 1; 2 ]
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -765,6 +815,10 @@ let () =
           Alcotest.test_case "NIC serialization" `Quick test_nic_serializes;
           Alcotest.test_case "unwired port is a typed error" `Quick
             test_wire_out_not_installed_typed;
+          Alcotest.test_case "misdelivered wire packet is a typed error" `Quick
+            test_unexpected_switch_peer_typed;
+          Alcotest.test_case "parallel accessors agree with shard count" `Quick
+            test_parallel_accessors_coupled;
         ] );
       ( "metrics",
         [

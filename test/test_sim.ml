@@ -187,6 +187,41 @@ let test_dist_mixture_weights () =
   let frac = float_of_int !ones /. float_of_int n in
   Alcotest.(check bool) "mixture weight respected" true (Float.abs (frac -. 0.9) < 0.01)
 
+let test_dist_mixture_zero_weight_tail () =
+  (* A zero-weight component is never selected, even as the structural
+     fall-through of the sampling walk (regression: the walk fell
+     through to the last listed component, so a trailing zero-weight
+     entry could be sampled when rounding pushed the draw past the
+     cumulative sum). *)
+  let d =
+    Dist.mixture
+      [ (0.3, Dist.constant 1.); (0.7, Dist.constant 2.); (0., Dist.constant 99.) ]
+  in
+  let rng = Rng.create 17 in
+  for _ = 1 to 100_000 do
+    let x = Dist.sample d rng in
+    if x = 99. then Alcotest.fail "zero-weight component was sampled"
+  done;
+  (* Same with the zero weight in the middle. *)
+  let d =
+    Dist.mixture
+      [ (0.5, Dist.constant 1.); (0., Dist.constant 99.); (0.5, Dist.constant 2.) ]
+  in
+  for _ = 1 to 100_000 do
+    if Dist.sample d rng = 99. then Alcotest.fail "zero-weight component was sampled"
+  done
+
+let test_dist_mixture_validation () =
+  let invalid msg parts =
+    match Dist.mixture parts with
+    | _ -> Alcotest.failf "mixture accepted %s" msg
+    | exception Invalid_argument _ -> ()
+  in
+  invalid "an empty list" [];
+  invalid "a negative weight" [ (0.5, Dist.constant 1.); (-0.1, Dist.constant 2.) ];
+  invalid "an all-zero total" [ (0., Dist.constant 1.); (0., Dist.constant 2.) ];
+  invalid "a NaN total" [ (Float.nan, Dist.constant 1.) ]
+
 (* ------------------------------------------------------------------ *)
 (* Heap *)
 
@@ -848,6 +883,10 @@ let () =
           Alcotest.test_case "empirical empty" `Quick test_dist_empirical_empty;
           Alcotest.test_case "combinators" `Quick test_dist_combinators;
           Alcotest.test_case "mixture weights" `Quick test_dist_mixture_weights;
+          Alcotest.test_case "mixture zero-weight tail" `Quick
+            test_dist_mixture_zero_weight_tail;
+          Alcotest.test_case "mixture validation" `Quick
+            test_dist_mixture_validation;
           q test_dist_normal_pos_nonneg;
           q test_dist_pareto_minimum;
         ] );
