@@ -80,8 +80,10 @@ let run ~quick ~fat_tree ~domains =
   let rng = Net.fresh_rng net in
   let fids = Traffic.flow_ids () in
   let t_end = Time.ms sim_ms in
-  Apps.Uniform.run ~engine ~rng ~send:(Common.sender net) ~fids ~hosts
-    ~rate_pps ~pkt_size:1500 ~until:t_end;
+  (* [Speedlight_experiments.Apps] (the in-switch application campaign)
+     shadows the workload's traffic-generator [Apps]; qualify the latter. *)
+  Speedlight_workload.Apps.Uniform.run ~engine ~rng ~send:(Common.sender net)
+    ~fids ~hosts ~rate_pps ~pkt_size:1500 ~until:t_end;
   (* Channels the workload never exercises must be excluded or no
      snapshot can complete (§6); same warm-up step as fig9. Scheduled as
      a global action: it reads every switch at once. *)
@@ -370,6 +372,46 @@ let large_scale_json (r : Scale.large_result) =
           (fun p -> "    " ^ large_point_entry p)
           r.Scale.lr_points))
 
+(* Quick apps probe: the in-switch application campaign (DESIGN.md §15)
+   — PRECISION heavy hitters plus the NetChain replica chain, audited on
+   consistent cuts against the staggered-polling baseline. Tracks the
+   chain-consistency and heavy-hitter accuracy numbers across PRs; a
+   failed gate (a certified cut showing a violation on a healthy chain,
+   a missed replication fault, diverging shard digests, or the apps no
+   longer fitting the chip) fails the bench. *)
+let run_apps ~quick = (Apps.run ~quick (), rss_now ())
+
+let apps_json ((r : Apps.result), rss) =
+  Printf.sprintf
+    "  \"apps\": {\n\
+    \    \"healthy_rounds\": %d,\n\
+    \    \"healthy_certified\": %d,\n\
+    \    \"healthy_violated_rounds\": %d,\n\
+    \    \"healthy_in_flight_cells\": %d,\n\
+    \    \"faulty_certified\": %d,\n\
+    \    \"faulty_violated_rounds\": %d,\n\
+    \    \"faulty_skipped_applies\": %d,\n\
+    \    \"poll_tolerance\": %d,\n\
+    \    \"poll_healthy_strict_fp\": %d,\n\
+    \    \"poll_faulty_tolerant_hits\": %d,\n\
+    \    \"hh_precision\": %.3f,\n\
+    \    \"hh_recall\": %.3f,\n\
+    \    \"hh_replacements\": %d,\n\
+    \    \"shards_agree\": %b,\n\
+    \    \"fits_capacity\": %b,\n\
+    \    \"ok\": %b,\n\
+    \    \"peak_rss_kb\": %d\n\
+    \  }"
+    r.Apps.healthy.Apps.sd_rounds r.Apps.healthy.Apps.sd_certified
+    r.Apps.healthy.Apps.sd_violated_rounds
+    r.Apps.healthy.Apps.sd_in_flight_cells r.Apps.faulty.Apps.sd_certified
+    r.Apps.faulty.Apps.sd_violated_rounds
+    r.Apps.faulty.Apps.sd_skipped_applies r.Apps.poll_tolerance
+    r.Apps.poll_healthy.Apps.pl_strict_violations
+    r.Apps.poll_faulty.Apps.pl_tolerant_violations r.Apps.hh_precision
+    r.Apps.hh_recall r.Apps.hh_replacements r.Apps.shards_agree
+    r.Apps.fits_capacity r.Apps.ok rss
+
 (* Quick fuzz probe: a deterministic seed-derived campaign batch with
    the full oracle battery (DESIGN.md §14). Tracks fuzzing throughput
    across PRs; any oracle failure on main fails the bench (a bug the
@@ -394,7 +436,8 @@ let fuzz_json (s, count, rss) =
     (List.length s.F.su_failures)
     s.F.su_digest s.F.su_wall_s s.F.su_campaigns_per_min rss
 
-let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large ~fuzz =
+let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large ~apps
+    ~fuzz =
   let metrics_json =
     let buf = Buffer.create 512 in
     Metrics.add_json buf serial.metrics;
@@ -425,6 +468,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large ~fuzz 
     \  \"chaos\": [\n%s\n  ],\n\
     \  \"timed_updates\": [\n%s\n  ],\n\
      %s,\n\
+     %s,\n\
      %s\n\
      }\n"
     mode serial.sim_ms serial.wall_s serial.delivered serial.forwarded
@@ -436,7 +480,7 @@ let to_json ~mode ~serial ~base ~sharded ~chaos ~overhead ~updates ~large ~fuzz 
     (String.concat ",\n" (List.map (speedup_entry ~base) sharded))
     (String.concat ",\n" (List.map chaos_entry chaos))
     (String.concat ",\n" (List.map update_entry updates))
-    (large_scale_json large) (fuzz_json fuzz)
+    (large_scale_json large) (apps_json apps) (fuzz_json fuzz)
 
 let () =
   let quick =
@@ -459,11 +503,12 @@ let () =
      only (the CI scale-smoke configuration); full mode adds the k=56
      and k=90 fat trees — 10,125 switches on the last point. *)
   let large = Scale.fig11_large ~quick ~seed:61 () in
+  let apps = run_apps ~quick in
   let fuzz = run_fuzz ~quick in
   let json =
     to_json
       ~mode:(if quick then "quick" else "full")
-      ~serial ~base ~sharded:sweep ~chaos ~overhead ~updates ~large ~fuzz
+      ~serial ~base ~sharded:sweep ~chaos ~overhead ~updates ~large ~apps ~fuzz
   in
   let oc = open_out !out in
   output_string oc json;
@@ -549,6 +594,21 @@ let () =
       "macro: large-scale streamed archives differ across shard counts";
     exit 1
   end;
+  (let r, _ = apps in
+   Printf.printf
+     "  apps: chain healthy %d/%d certified (%d violated) | faulty flagged on \
+      %d cuts, tol-%d polling %d | HH p=%.2f r=%.2f | fits=%b | ok=%b\n"
+     r.Apps.healthy.Apps.sd_certified r.Apps.healthy.Apps.sd_rounds
+     r.Apps.healthy.Apps.sd_violated_rounds
+     r.Apps.faulty.Apps.sd_violated_rounds r.Apps.poll_tolerance
+     r.Apps.poll_faulty.Apps.pl_tolerant_violations r.Apps.hh_precision
+     r.Apps.hh_recall r.Apps.fits_capacity r.Apps.ok;
+   (* A failed apps gate is a correctness regression in the cut auditor
+      or the application pipelines, not a perf number: fail loudly. *)
+   if not r.Apps.ok then begin
+     prerr_endline "macro: apps campaign gate failed";
+     exit 1
+   end);
   (let module F = Speedlight_fuzz.Fuzz in
    let s, count, _ = fuzz in
    Printf.printf

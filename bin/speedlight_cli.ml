@@ -95,6 +95,14 @@ let run_update quick seed shards csv =
       failed := Update.has_timed_anomaly r);
   if !failed then exit 3
 
+let run_apps quick seed =
+  let failed = ref false in
+  timed "apps" (fun () ->
+      let r = Apps.run ~quick ?seed () in
+      Apps.print fmt r;
+      failed := not r.Apps.ok);
+  if !failed then exit 3
+
 let run_scale quick seed csv =
   timed "scale" (fun () ->
       let r = Scale.run ~quick ?seed () in
@@ -168,6 +176,15 @@ let update_cmd =
           exits 3 if any timed update is not snapshot-certified atomic")
     Term.(const run_update $ quick_arg $ seed_arg $ shards_arg $ csv_arg)
 
+let apps_cmd =
+  Cmd.v
+    (Cmd.info "apps"
+       ~doc:
+         "In-network apps (PRECISION heavy hitters + NetChain KV chain) \
+          audited on consistent cuts vs a polling baseline; exits 3 if any \
+          audit gate fails (including a chain violation on a certified cut)")
+    Term.(const run_apps $ quick_arg $ seed_arg)
+
 let scale_cmd =
   Cmd.v
     (Cmd.info "scale"
@@ -233,7 +250,8 @@ let all_cmd =
     run_ablations quick seed;
     run_scale quick seed csv;
     run_chaos quick seed csv;
-    run_update quick seed 1 csv
+    run_update quick seed 1 csv;
+    run_apps quick seed
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every table/figure reproduction in sequence")
@@ -459,6 +477,6 @@ let () =
        (Cmd.group info
           [
             fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd; table1_cmd;
-            ablations_cmd; scale_cmd; chaos_cmd; update_cmd; trace_cmd;
-            archive_cmd; query_cmd; fuzz_cmd; all_cmd;
+            ablations_cmd; scale_cmd; chaos_cmd; update_cmd; apps_cmd;
+            trace_cmd; archive_cmd; query_cmd; fuzz_cmd; all_cmd;
           ]))

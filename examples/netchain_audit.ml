@@ -1,0 +1,134 @@
+(* Auditing a NetChain replica chain on consistent cuts (DESIGN.md §15).
+
+   Three leaf switches run an in-switch chain-replicated KV store
+   (head -> middle -> tail); writes enter at the head and propagate as
+   in-band packets. The replication invariant, per key and adjacent
+   pair:
+
+     version(upstream) = version(downstream) + writes in flight between
+
+   A consistent cut captures all three register arrays AND the channel
+   state between the replicas at one causal instant, so the invariant is
+   checkable exactly: a write caught mid-chain shows up in the captured
+   channel state and explains the version skew. Register polling cannot
+   do this — it either false-positives on every in-flight write or,
+   with a tolerance wide enough to hide transit skew, misses real
+   faults of the same magnitude.
+
+   The demo runs the chain twice: healthy, then with one silently
+   dropped apply at the middle replica (a permanent off-by-one), and
+   classifies every (pair, key) cell of every certified cut.
+
+   Run with: dune exec examples/netchain_audit.exe *)
+
+open Speedlight_sim
+open Speedlight_topology
+open Speedlight_net
+open Speedlight_query
+module Verify = Speedlight_verify.Verify
+module Apps = Speedlight_apps.Apps
+module Netchain = Speedlight_apps.Netchain
+
+let keys = 2
+
+let run ~fault =
+  let ls = Topology.leaf_spine ~leaves:3 ~spines:2 ~hosts_per_leaf:2 () in
+  let replicas = ls.Topology.leaf_switches in
+  let cfg =
+    Config.default
+    |> Config.with_seed 11
+    |> Config.with_apps
+         { Apps.hh = None; chain = Some { Netchain.replicas; keys } }
+  in
+  (* Every chain register cell is its own snapshot unit, so the control
+     plane has more reports to ship per round; model the batched register
+     reads a real deployment would use. *)
+  let cfg = { cfg with Config.notify_proc_time = Time.us 25 } in
+  let net = Net.create ~cfg ls.Topology.topo in
+
+  (* Background traffic so the fabric channels see packets (idle channels
+     are excluded from the cut at 15 ms). *)
+  let engine = Net.engine net in
+  let t_end = Time.ms 48 in
+  let h = ls.Topology.host_of_server in
+  Array.iteri
+    (fun i src ->
+      let dst = h.((i + 2) mod Array.length h) in
+      let fid = Net.fresh_flow_id net in
+      let rec go at =
+        if at <= t_end then
+          ignore
+            (Engine.schedule engine ~at (fun () ->
+                 Net.send net ~flow_id:fid ~src ~dst ~size:500 ();
+                 go (Time.add at (Time.us 40))))
+      in
+      go (Time.ms 1))
+    h;
+
+  (* Client writes, one every 4 ms, entering at the chain head. *)
+  for i = 0 to 4 do
+    Net.chain_write net
+      ~at:(Time.ms (20 + (4 * i)))
+      ~key:(i mod keys) ~value:(100 + i)
+  done;
+
+  (* The fault: the middle replica silently loses its next apply. The
+     write lands at head and tail but not in the middle — from 34 ms on,
+     every cut shows the middle replica one version behind with no
+     in-flight packet to explain it. *)
+  (if fault then
+     let mid = List.nth replicas 1 in
+     Net.schedule_on_switch net ~switch:mid ~at:(Time.ms 34) (fun () ->
+         match Net.app_stage net ~switch:mid with
+         | Some st -> Option.iter Netchain.skip_next_apply (Apps.Stage.chain st)
+         | None -> ()));
+
+  Net.schedule_global net ~at:(Time.ms 15) (fun () -> Net.auto_exclude_idle net);
+  let auditor = Verify.attach net in
+  let sids = ref [] in
+  for k = 0 to 7 do
+    ignore
+      (Engine.schedule engine
+         ~at:(Time.add (Time.ms 20) (k * Time.ms 3))
+         (fun () ->
+           match Net.try_take_snapshot net () with
+           | Ok sid -> sids := sid :: !sids
+           | Error Speedlight_core.Observer.Pacing_full -> ()
+           | Error e ->
+               invalid_arg (Speedlight_core.Observer.error_to_string e)))
+  done;
+  Net.run_until net t_end;
+  let sids = List.rev !sids in
+  let audit = Verify.audit auditor ~sids in
+  let q =
+    Query.of_net net ~sids |> Query.apply_audit audit |> Query.certified_only
+  in
+  (Query.Canned.chain_consistency ~replicas ~keys q, List.length sids)
+
+let () =
+  List.iter
+    (fun (name, fault) ->
+      let checks, rounds = run ~fault in
+      Printf.printf "%s chain (%d snapshot rounds, %d certified):\n" name
+        rounds (List.length checks);
+      List.iter
+        (fun (c : Query.Canned.chain_check) ->
+          Printf.printf
+            "  cut %2d: settled %d | in-flight %d | violated %d%s\n"
+            c.Query.Canned.k_sid c.Query.Canned.k_consistent
+            c.Query.Canned.k_in_flight c.Query.Canned.k_violated
+            (match c.Query.Canned.k_worst with
+            | Some (up, down, key, v)
+              when v = Query.Canned.Violated || v = Query.Canned.In_flight_explained
+              ->
+                Printf.sprintf "  (worst: pair %d->%d key %d: %s)" up down key
+                  (Query.Canned.chain_verdict_name v)
+            | _ -> ""))
+        checks;
+      print_newline ())
+    [ ("healthy", false); ("faulty", true) ];
+  print_endline
+    "Every certified cut of the healthy run is either settled or explained\n\
+     by captured channel state; the faulty run shows an unexplained\n\
+     version skew on every cut after the dropped apply — the signature\n\
+     polling with a calibrated tolerance cannot distinguish from transit."

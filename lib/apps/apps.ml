@@ -1,0 +1,134 @@
+(** In-network application suite riding the snapshot machinery (DESIGN.md
+    §15): PRECISION-style heavy hitters and a NetChain-style replicated
+    KV chain, both registering their state as first-class
+    {!Speedlight_core.Snapshot_unit}s so every snapshot round carries a
+    consistent cut of the application state. *)
+
+open Speedlight_dataplane
+
+type config = {
+  hh : Precision.config option;
+  chain : Netchain.config option;
+}
+
+let default = { hh = Some Precision.default_config; chain = None }
+
+let validate (cfg : config) =
+  (match cfg.chain with
+  | Some c ->
+      if List.length c.Netchain.replicas < 2 then
+        invalid_arg "Apps: a chain needs at least two replicas";
+      if
+        List.sort_uniq Int.compare c.Netchain.replicas
+        |> List.length
+        <> List.length c.Netchain.replicas
+      then invalid_arg "Apps: duplicate chain replica switch"
+  | None -> ());
+  cfg
+
+(* What the switch's receive path does with the packet after the stage
+   ran: [extra_passes] extends the ingress pipeline occupancy (PRECISION
+   recirculation); [consume] kills the packet here (chain markers). *)
+type verdict = { extra_passes : int; consume : bool }
+
+let pass = { extra_passes = 0; consume = false }
+
+module Stage = struct
+  type t = {
+    hh : Precision.t option;
+    chain : Netchain.t option;
+  }
+
+  let create ?arena ~switch ~unit_cfg ~notify ~rng ~pktgen ~inject ~now ~ports
+      ~anchor_of (cfg : config) =
+    let cfg = validate cfg in
+    let hh =
+      Option.map
+        (fun c -> Precision.create ?arena ~switch ~unit_cfg ~notify ~rng ~ports c)
+        cfg.hh
+    in
+    let chain =
+      match cfg.chain with
+      | None -> None
+      | Some c ->
+          let replicas = Array.of_list c.Netchain.replicas in
+          let rec find i =
+            if i >= Array.length replicas then None
+            else if replicas.(i) = switch then Some i
+            else find (i + 1)
+          in
+          Option.map
+            (fun idx ->
+              let anchor = anchor_of replicas.(idx) in
+              let next_anchor =
+                if idx + 1 < Array.length replicas then anchor_of replicas.(idx + 1)
+                else -1
+              in
+              if anchor < 0 then
+                invalid_arg
+                  (Printf.sprintf
+                     "Apps: chain replica switch %d has no attached host"
+                     switch);
+              Netchain.create ?arena ~switch ~unit_cfg ~notify ~pktgen ~inject
+                ~now ~idx ~anchor ~next_anchor c)
+            (find 0)
+    in
+    { hh; chain }
+
+  let hh t = t.hh
+  let chain t = t.chain
+
+  let units t =
+    (match t.hh with Some p -> Precision.units p | None -> [])
+    @ (match t.chain with Some c -> Netchain.units c | None -> [])
+
+  (* (unit, excluded data neighbors) for the control-plane tracker. The
+     heavy-hitter cells never carry channel contributions (their state
+     has no in-flight component), so their single data channel is
+     structurally excludable and completion only needs the unit itself
+     to land on the ID. A chain replica with an upstream must wait for
+     the upstream's marker (channel 1); the head has no upstream. *)
+  let unit_specs t =
+    (match t.hh with
+    | Some p -> List.map (fun u -> (u, [ 1 ])) (Precision.units p)
+    | None -> [])
+    @
+    match t.chain with
+    | Some c ->
+        let excl = if Netchain.is_head c then [ 1 ] else [] in
+        List.map (fun u -> (u, excl)) (Netchain.units c)
+    | None -> []
+
+  let unit_of t (uid : Unit_id.t) =
+    match uid.Unit_id.dir with
+    | Unit_id.Ingress -> Option.bind t.hh (fun p -> Precision.unit_of p uid)
+    | Unit_id.Egress -> Option.bind t.chain (fun c -> Netchain.unit_of c uid)
+
+  let on_receive t ~now ~port (pkt : Packet.t) =
+    let extra =
+      match t.hh with Some p -> Precision.on_packet p ~now ~port pkt | None -> 0
+    in
+    match t.chain with
+    | None -> { extra_passes = extra; consume = false }
+    | Some c -> (
+        match Netchain.on_receive c ~now pkt with
+        | Netchain.Consume -> { extra_passes = extra; consume = true }
+        | Netchain.Not_mine | Netchain.Forward ->
+            { extra_passes = extra; consume = false })
+
+  let on_initiation t ~now ~sid ~ghost_sid =
+    (match t.hh with
+    | Some p -> Precision.on_initiation p ~now ~sid ~ghost_sid
+    | None -> ());
+    match t.chain with
+    | Some c -> Netchain.on_initiation c ~now ~sid ~ghost_sid
+    | None -> ()
+
+  let on_flood t =
+    match t.chain with Some c -> Netchain.on_flood c | None -> ()
+
+  let client_write t ~key ~value =
+    match t.chain with
+    | Some c -> Netchain.client_write c ~key ~value
+    | None -> invalid_arg "Apps.Stage.client_write: no chain on this switch"
+end

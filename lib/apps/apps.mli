@@ -1,0 +1,71 @@
+(** In-network application suite riding the snapshot machinery (DESIGN.md
+    §15).
+
+    Bundles {!Precision} heavy-hitter tables and a {!Netchain} KV chain
+    into one per-switch {e app stage} hooked into the switch pipeline:
+    packets run through it right after the port's ingress unit, and the
+    stage's own snapshot units are tracked by the same control plane,
+    notified through the same channels and audited by the same verifier
+    as the per-port units. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+
+type config = {
+  hh : Precision.config option;
+  chain : Netchain.config option;
+}
+
+val default : config
+(** Heavy hitters with {!Precision.default_config}, no chain. *)
+
+val validate : config -> config
+(** Raises [Invalid_argument] on chains with < 2 or duplicate replicas. *)
+
+type verdict = { extra_passes : int; consume : bool }
+(** What the switch does after the stage ran: extend the packet's
+    pipeline occupancy by [extra_passes] (PRECISION recirculation), or
+    [consume] it here (chain markers). *)
+
+val pass : verdict
+(** [{ extra_passes = 0; consume = false }]. *)
+
+module Stage : sig
+  type t
+
+  val create :
+    ?arena:Arena.t ->
+    switch:int ->
+    unit_cfg:Snapshot_unit.config ->
+    notify:(Notification.t -> unit) ->
+    rng:Rng.t ->
+    pktgen:Packet.Gen.t ->
+    inject:(Packet.t -> unit) ->
+    now:(unit -> Time.t) ->
+    ports:int list ->
+    anchor_of:(int -> int) ->
+    config ->
+    t
+  (** [anchor_of switch] resolves a chain replica's anchor host ([-1]
+      when the switch has none — an error for configured replicas);
+      [inject] feeds app-originated packets into the owning switch's
+      receive path. *)
+
+  val hh : t -> Precision.t option
+  val chain : t -> Netchain.t option
+  val units : t -> Snapshot_unit.t list
+
+  val unit_specs : t -> (Snapshot_unit.t * int list) list
+  (** Units with their excluded data-channel indices for the
+      control-plane tracker: heavy-hitter cells exclude their single
+      data channel (no channel-state component), chain heads exclude
+      the non-existent upstream, chain mids/tails keep it (completion
+      must wait for the upstream marker). *)
+
+  val unit_of : t -> Unit_id.t -> Snapshot_unit.t option
+  val on_receive : t -> now:Time.t -> port:int -> Packet.t -> verdict
+  val on_initiation : t -> now:Time.t -> sid:int -> ghost_sid:int -> unit
+  val on_flood : t -> unit
+  val client_write : t -> key:int -> value:int -> unit
+end

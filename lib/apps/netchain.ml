@@ -1,0 +1,218 @@
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+
+type config = { replicas : int list; keys : int }
+
+let default_config = { replicas = []; keys = 4 }
+
+(* In-band opcodes carried in [Packet.app_op]. *)
+let op_write = 1
+let op_marker = 2
+
+(* Flow id of in-band chain writes (visible to the heavy-hitter tables as
+   ordinary traffic); markers use flow -1 and are invisible to them. *)
+let write_flow_base = 1 lsl 20
+
+(* One replica's slice of the chain: a per-key (version, value) register
+   pair, one Snapshot_unit per key on an Egress virtual port
+   [app_port_base + key] whose snapshot value is the key's version.
+
+   Chain ops travel as ordinary packets addressed to the *next* replica's
+   anchor host; the replica's app stage intercepts packets addressed to
+   its own anchor. Every write increments the key's version by exactly
+   one at every replica, so on a consistent cut
+
+     version_up(k) = version_down(k) + channel_down(k)
+
+   holds per adjacent pair — [channel] being the in-flight contributions
+   the downstream unit accumulated from Older-stamped writes. *)
+
+type t = {
+  switch : int;
+  keys : int;
+  idx : int;  (* position in the chain; 0 = head *)
+  anchor : int;  (* this replica's anchor host *)
+  next_anchor : int;  (* -1 at the tail *)
+  version_reg : Register.t;
+  value_reg : Register.t;
+  units : Snapshot_unit.t array;  (* one per key *)
+  pktgen : Packet.Gen.t;
+  inject : Packet.t -> unit;  (* re-enter own switch via the anchor port *)
+  now : unit -> Time.t;
+  mutable skip_next_apply : bool;  (* fault knob: drop one register apply *)
+  mutable skipped_applies : int;
+  mutable applied : int;
+  mutable markers_sent : int;
+}
+
+let create ?arena ~switch ~unit_cfg ~notify ~pktgen ~inject ~now ~idx ~anchor
+    ~next_anchor (cfg : config) =
+  if cfg.keys <= 0 then invalid_arg "Netchain.create: keys must be positive";
+  let arena = match arena with Some a -> a | None -> Arena.create () in
+  let version_reg = Register.create_in ~arena ~name:"chain_version" ~size:cfg.keys in
+  let value_reg = Register.create_in ~arena ~name:"chain_value" ~size:cfg.keys in
+  let units =
+    Array.init cfg.keys (fun k ->
+        Snapshot_unit.create ~arena
+          ~id:(Unit_id.egress ~switch ~port:(Unit_id.app_port_base + k))
+          ~cfg:unit_cfg ~n_neighbors:2
+          ~counter:(Counter.app_cell ~kind:"chain_version" ~reg:version_reg ~idx:k)
+          ~notify ())
+  in
+  {
+    switch;
+    keys = cfg.keys;
+    idx;
+    anchor;
+    next_anchor;
+    version_reg;
+    value_reg;
+    units;
+    pktgen;
+    inject;
+    now;
+    skip_next_apply = false;
+    skipped_applies = 0;
+    applied = 0;
+    markers_sent = 0;
+  }
+
+let units t = Array.to_list t.units
+let is_head t = t.idx = 0
+let is_tail t = t.next_anchor < 0
+let applied t = t.applied
+let skipped_applies t = t.skipped_applies
+let markers_sent t = t.markers_sent
+let skip_next_apply t = t.skip_next_apply <- true
+
+let read t ~key = (Register.read t.version_reg key, Register.read t.value_reg key)
+
+let unit_of t (uid : Unit_id.t) =
+  let k = uid.Unit_id.port - Unit_id.app_port_base in
+  if uid.Unit_id.dir = Unit_id.Egress && k >= 0 && k < t.keys then Some t.units.(k)
+  else None
+
+(* The app-level overlay stamp: rewrite the packet's app snapshot fields
+   from the key unit's current protocol state — the chain's equivalent of
+   the per-port header rewrite. *)
+let stamp t ~key (pkt : Packet.t) =
+  let u = t.units.(key) in
+  pkt.Packet.has_app_snap <- true;
+  pkt.Packet.app_sid <- Snapshot_unit.current_sid u;
+  pkt.Packet.app_ghost <- Snapshot_unit.current_ghost_sid u;
+  pkt.Packet.app_depth <- Snapshot_unit.current_depth u
+
+(* Marker emission (the chain's Chandy–Lamport markers): a tiny packet
+   carrying only the app stamp, addressed to the next replica's anchor
+   and consumed by its stage on arrival. Emitted eagerly on every ID
+   advance and re-emitted on control-plane floods so the downstream
+   replica's Last Seen always catches up even on an idle chain. *)
+let emit_marker t ~key =
+  if t.next_anchor >= 0 then begin
+    let now = t.now () in
+    let pkt =
+      Packet.Gen.alloc t.pktgen ~flow_id:(-1) ~src_host:t.anchor
+        ~dst_host:t.next_anchor ~size:64 ~cos:0 ~created:now
+    in
+    pkt.Packet.app_op <- op_marker;
+    pkt.Packet.app_key <- key;
+    stamp t ~key pkt;
+    t.markers_sent <- t.markers_sent + 1;
+    t.inject pkt
+  end
+
+(* Apply one write to the local replica: version + 1, value overwritten.
+   Under the skip fault the register update is silently lost (modeling a
+   failed stateful-ALU write) while the packet still propagates — the
+   inconsistency a cut-consistent audit must catch. *)
+let apply t ~key ~value =
+  if t.skip_next_apply then begin
+    t.skip_next_apply <- false;
+    t.skipped_applies <- t.skipped_applies + 1;
+    false
+  end
+  else begin
+    Register.add t.version_reg key 1;
+    Register.write t.value_reg key value;
+    t.applied <- t.applied + 1;
+    true
+  end
+
+(* A client write enters at the head from a snapshot-oblivious host: no
+   app stamp to process, just a state change the auditor's tap must see. *)
+let client_write t ~key ~value =
+  if t.idx <> 0 then invalid_arg "Netchain.client_write: not the chain head";
+  if key < 0 || key >= t.keys then invalid_arg "Netchain.client_write: bad key";
+  let u = t.units.(key) in
+  let will_apply = not t.skip_next_apply in
+  Snapshot_unit.process_untagged u ~delta:(if will_apply then 1. else 0.);
+  ignore (apply t ~key ~value);
+  if t.next_anchor >= 0 then begin
+    let now = t.now () in
+    let pkt =
+      Packet.Gen.alloc t.pktgen ~flow_id:(write_flow_base + key)
+        ~src_host:t.anchor ~dst_host:t.next_anchor ~size:128 ~cos:0 ~created:now
+    in
+    pkt.Packet.app_op <- op_write;
+    pkt.Packet.app_key <- key;
+    pkt.Packet.app_value <- value;
+    pkt.Packet.app_version <- Register.read t.version_reg key;
+    stamp t ~key pkt;
+    t.inject pkt
+  end
+
+type verdict = Not_mine | Consume | Forward
+
+(* Intercept a packet the switch just ran through its ingress unit. Only
+   packets addressed to this replica's own anchor are chain traffic for
+   this hop; everything else (including chain packets in transit through
+   an intermediate switch) passes untouched. *)
+let on_receive t ~now (pkt : Packet.t) =
+  if pkt.Packet.app_op = 0 || pkt.Packet.dst_host <> t.anchor then Not_mine
+  else begin
+    let key = pkt.Packet.app_key in
+    if key < 0 || key >= t.keys then Not_mine
+    else begin
+      let u = t.units.(key) in
+      let before = Snapshot_unit.current_ghost_sid u in
+      let is_write = pkt.Packet.app_op = op_write in
+      let delta =
+        if is_write && not t.skip_next_apply then 1. else 0.
+      in
+      Snapshot_unit.process_tagged u ~now ~channel:1
+        ~pkt_wrapped:pkt.Packet.app_sid ~pkt_ghost:pkt.Packet.app_ghost
+        ~pkt_depth:pkt.Packet.app_depth
+        ~contribution:(if is_write then 1. else 0.)
+        ~delta;
+      if Snapshot_unit.current_ghost_sid u > before then emit_marker t ~key;
+      if not is_write then Consume
+      else begin
+        ignore (apply t ~key ~value:pkt.Packet.app_value);
+        if t.next_anchor >= 0 then begin
+          (* Rewrite the overlay stamp to this unit's (possibly just
+             advanced) ID and hand the write down the chain. *)
+          stamp t ~key pkt;
+          pkt.Packet.dst_host <- t.next_anchor;
+          Forward
+        end
+        else
+          (* Tail: the write completes; the packet proceeds to this
+             replica's own anchor host as the commit notification. *)
+          Forward
+      end
+    end
+  end
+
+let on_initiation t ~now ~sid ~ghost_sid =
+  Array.iteri
+    (fun key u ->
+      let before = Snapshot_unit.current_ghost_sid u in
+      Snapshot_unit.process_initiation u ~now ~sid ~ghost_sid;
+      if Snapshot_unit.current_ghost_sid u > before then emit_marker t ~key)
+    t.units
+
+let on_flood t =
+  for key = 0 to t.keys - 1 do
+    emit_marker t ~key
+  done

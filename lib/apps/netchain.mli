@@ -1,0 +1,86 @@
+(** NetChain-style replicated KV chain as a snapshot target.
+
+    A chain of replica switches (head → … → tail) stores a small KV
+    array in registers. Writes enter at the head from snapshot-oblivious
+    clients and travel the chain as in-band packets over the ordinary
+    latency-bearing wires, addressed hop by hop to the next replica's
+    {e anchor host}; each replica's app stage intercepts packets
+    addressed to its own anchor, applies them (version [+ 1], value
+    overwrite) and forwards them down.
+
+    Each key's version register is one {!Speedlight_core.Snapshot_unit}
+    per replica (an [Egress] virtual port [app_port_base + key]). Writes
+    carry the upstream unit's ID in the packet's app-stamp overlay
+    fields; marker packets propagate ID advances eagerly so downstream
+    Last Seen arrays catch up even when no writes are in flight. On a
+    consistent cut, [version_up(k) = version_down(k) + channel_down(k)]
+    for every adjacent replica pair — the invariant
+    {!Speedlight_query.Query.Canned.chain_consistency} audits. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+
+type config = { replicas : int list; keys : int }
+
+val default_config : config
+
+val op_write : int
+val op_marker : int
+(** [Packet.app_op] values of in-band chain traffic. *)
+
+val write_flow_base : int
+(** Flow id of key [k]'s writes is [write_flow_base + k]. *)
+
+type t
+
+val create :
+  ?arena:Arena.t ->
+  switch:int ->
+  unit_cfg:Snapshot_unit.config ->
+  notify:(Notification.t -> unit) ->
+  pktgen:Packet.Gen.t ->
+  inject:(Packet.t -> unit) ->
+  now:(unit -> Time.t) ->
+  idx:int ->
+  anchor:int ->
+  next_anchor:int ->
+  config ->
+  t
+(** One replica's slice. [inject] re-enters the owning switch's receive
+    path on the anchor port (chain packets are ordinary traffic);
+    [next_anchor] is [-1] at the tail. *)
+
+val units : t -> Snapshot_unit.t list
+val unit_of : t -> Unit_id.t -> Snapshot_unit.t option
+val is_head : t -> bool
+val is_tail : t -> bool
+
+val read : t -> key:int -> int * int
+(** Live [(version, value)] register read — what a polling baseline sees,
+    skew and all. *)
+
+val client_write : t -> key:int -> value:int -> unit
+(** Head-only entry point (raises elsewhere): apply locally and send the
+    write down the chain. *)
+
+type verdict = Not_mine | Consume | Forward
+
+val on_receive : t -> now:Time.t -> Packet.t -> verdict
+(** Intercept a received packet. [Consume] for markers addressed here,
+    [Forward] for applied writes (the packet's destination is rewritten
+    to the next hop, or left for the tail's own anchor), [Not_mine] for
+    everything else. *)
+
+val on_initiation : t -> now:Time.t -> sid:int -> ghost_sid:int -> unit
+val on_flood : t -> unit
+(** Re-emit markers for every key (control-plane liveness flood). *)
+
+val skip_next_apply : t -> unit
+(** Fault knob: silently lose the next register apply at this replica
+    while still forwarding the write — a real chain inconsistency the
+    snapshot-cut audit must detect and skew-tolerant polling misses. *)
+
+val applied : t -> int
+val skipped_applies : t -> int
+val markers_sent : t -> int

@@ -1,0 +1,208 @@
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+
+type config = { entries : int; recirc_passes : int }
+
+let default_config = { entries = 4; recirc_passes = 1 }
+
+(* Dense table layout: connected port -> slot, slot*entries + entry ->
+   register cell. Every entry owns two snapshot-visible cells (flow id,
+   count), each exposed as its own Snapshot_unit on an Ingress virtual
+   port:
+
+     app_port_base + ((slot * entries + entry) * 2) + cell
+
+   with cell 0 = flow, cell 1 = count. Flow cells store [flow_id + 1] so
+   0 can mean "empty". *)
+
+type t = {
+  switch : int;
+  cfg : config;
+  rng : Rng.t;
+  sketch : Sketch.t;
+  port_slot : int array;  (* physical port -> dense slot, -1 if none *)
+  n_slots : int;
+  flow_reg : Register.t;  (* n_slots * entries cells *)
+  count_reg : Register.t;
+  units : Snapshot_unit.t array;  (* 2 per entry, [flow; count] order *)
+  mutable replacements : int;
+}
+
+let vport t ~slot ~entry ~cell =
+  Unit_id.app_port_base + (((slot * t.cfg.entries) + entry) * 2) + cell
+
+let unit_index t ~slot ~entry ~cell = (((slot * t.cfg.entries) + entry) * 2) + cell
+
+let create ?arena ~switch ~unit_cfg ~notify ~rng ~ports (cfg : config) =
+  if cfg.entries <= 0 then invalid_arg "Precision.create: entries must be positive";
+  if cfg.recirc_passes < 0 then invalid_arg "Precision.create: negative recirc_passes";
+  let arena = match arena with Some a -> a | None -> Arena.create () in
+  let max_port = List.fold_left Stdlib.max (-1) ports in
+  let port_slot = Array.make (max_port + 1) (-1) in
+  List.iteri (fun i p -> port_slot.(p) <- i) ports;
+  let n_slots = List.length ports in
+  let cells = Stdlib.max 1 (n_slots * cfg.entries) in
+  let flow_reg = Register.create_in ~arena ~name:"hh_flow" ~size:cells in
+  let count_reg = Register.create_in ~arena ~name:"hh_count" ~size:cells in
+  let t =
+    {
+      switch;
+      cfg;
+      rng;
+      sketch = Sketch.create ~arena ~depth:2 ~width:256 ();
+      port_slot;
+      n_slots;
+      flow_reg;
+      count_reg;
+      units = [||];
+      replacements = 0;
+    }
+  in
+  let units =
+    Array.init (n_slots * cfg.entries * 2) (fun i ->
+        let cell = i land 1 in
+        let idx = i lsr 1 in
+        let slot = idx / cfg.entries and entry = idx mod cfg.entries in
+        let reg, kind =
+          if cell = 0 then (flow_reg, "hh_flow") else (count_reg, "hh_count")
+        in
+        Snapshot_unit.create ~arena
+          ~id:(Unit_id.ingress ~switch ~port:(vport t ~slot ~entry ~cell))
+          ~cfg:unit_cfg ~n_neighbors:2
+          ~counter:(Counter.app_cell ~kind ~reg ~idx)
+          ~notify ())
+  in
+  { t with units }
+
+let units t = Array.to_list t.units
+let replacements t = t.replacements
+let estimate t ~flow_id = Sketch.query t.sketch ~flow_id
+let sketch t = t.sketch
+
+let unit_of t (uid : Unit_id.t) =
+  let off = uid.Unit_id.port - Unit_id.app_port_base in
+  if uid.Unit_id.dir = Unit_id.Ingress && off >= 0 && off < Array.length t.units
+  then Some t.units.(off)
+  else None
+
+(* Admission outcome of one packet against its port's table (read-only). *)
+type outcome =
+  | Hit of int  (* entry with a matching flow *)
+  | Insert of int  (* empty entry claimed *)
+  | Replace of int * int  (* (entry, former stored flow key) *)
+  | Miss
+
+let admit t ~slot ~flow_id =
+  let base = slot * t.cfg.entries in
+  let key = flow_id + 1 in
+  let hit = ref (-1) and empty = ref (-1) in
+  for e = 0 to t.cfg.entries - 1 do
+    let stored = Register.read t.flow_reg (base + e) in
+    if stored = key then hit := e
+    else if stored = 0 && !empty < 0 then empty := e
+  done;
+  if !hit >= 0 then Hit !hit
+  else if !empty >= 0 then Insert !empty
+  else begin
+    (* PRECISION probabilistic recirculation: replace the minimum entry
+       with probability 1 / (min_count + 1); the admitted flow inherits
+       min_count + 1 (the sketch backs off the estimation error). *)
+    let min_e = ref 0 and min_c = ref max_int in
+    for e = 0 to t.cfg.entries - 1 do
+      let c = Register.read t.count_reg (base + e) in
+      if c < !min_c then begin
+        min_c := c;
+        min_e := e
+      end
+    done;
+    if Rng.int t.rng (!min_c + 1) = 0 then
+      Replace (!min_e, Register.read t.flow_reg (base + !min_e))
+    else Miss
+  end
+
+(* Run one packet through the port's table. [pkt] must already have been
+   processed by the port's ingress unit (its snapshot header rewritten to
+   the ingress unit's current ID) — the table cells ride that stamp, so a
+   cell's ID can never be ahead of it and the Older branch is
+   unreachable. Returns the number of extra pipeline passes the packet
+   consumed (recirculation). *)
+let on_packet t ~now ~port (pkt : Packet.t) =
+  if
+    pkt.Packet.flow_id < 0
+    || (not pkt.Packet.has_snap)
+    || port >= Array.length t.port_slot
+    || t.port_slot.(port) < 0
+  then 0
+  else begin
+    let slot = t.port_slot.(port) in
+    let flow_id = pkt.Packet.flow_id in
+    Sketch.update t.sketch ~flow_id 1;
+    let outcome = admit t ~slot ~flow_id in
+    let base = slot * t.cfg.entries in
+    let hdr = pkt.Packet.snap_hdr in
+    let wrapped = hdr.Snapshot_header.sid
+    and ghost = hdr.Snapshot_header.ghost_sid
+    and depth = hdr.Snapshot_header.depth in
+    let tag u ~delta =
+      Snapshot_unit.process_tagged u ~now ~channel:1 ~pkt_wrapped:wrapped
+        ~pkt_ghost:ghost ~pkt_depth:depth ~contribution:0. ~delta
+    in
+    (* Per-cell deltas of this packet, zero for untouched cells. *)
+    let flow_delta e =
+      match outcome with
+      | Insert e' when e' = e -> float_of_int (flow_id + 1)
+      | Replace (e', old) when e' = e -> float_of_int (flow_id + 1 - old)
+      | _ -> 0.
+    and count_delta e =
+      match outcome with
+      | (Hit e' | Insert e' | Replace (e', _)) when e' = e -> 1.
+      | _ -> 0.
+    in
+    let rep = t.units.(unit_index t ~slot ~entry:0 ~cell:0) in
+    if Snapshot_unit.current_sid rep <> wrapped then
+      (* Strictly newer stamp: the whole port's table advances in
+         lockstep, each cell recording its own (usually zero) delta. *)
+      for e = 0 to t.cfg.entries - 1 do
+        tag t.units.(unit_index t ~slot ~entry:e ~cell:0) ~delta:(flow_delta e);
+        tag t.units.(unit_index t ~slot ~entry:e ~cell:1) ~delta:(count_delta e)
+      done
+    else begin
+      (* Equal stamp (the dominant path): only the touched cells run the
+         snapshot logic — an untouched cell's state does not change, so
+         skipping it is observationally identical for the auditor. *)
+      match outcome with
+      | Miss -> ()
+      | Hit e -> tag t.units.(unit_index t ~slot ~entry:e ~cell:1) ~delta:1.
+      | Insert e | Replace (e, _) ->
+          tag t.units.(unit_index t ~slot ~entry:e ~cell:0) ~delta:(flow_delta e);
+          tag t.units.(unit_index t ~slot ~entry:e ~cell:1) ~delta:1.
+    end;
+    (* Mutations strictly after the snapshot logic (process_tagged
+       contract): an advancing stamp snapshots the pre-packet state. *)
+    (match outcome with
+    | Miss -> ()
+    | Hit e -> Register.add t.count_reg (base + e) 1
+    | Insert e ->
+        Register.write t.flow_reg (base + e) (flow_id + 1);
+        Register.write t.count_reg (base + e) 1
+    | Replace (e, _) ->
+        t.replacements <- t.replacements + 1;
+        Register.write t.flow_reg (base + e) (flow_id + 1);
+        Register.add t.count_reg (base + e) 1);
+    match outcome with Replace _ -> t.cfg.recirc_passes | _ -> 0
+  end
+
+let on_initiation t ~now ~sid ~ghost_sid =
+  Array.iter
+    (fun u -> Snapshot_unit.process_initiation u ~now ~sid ~ghost_sid)
+    t.units
+
+(* A cut-table readout straight from the live registers (tests). *)
+let table t ~port =
+  if port >= Array.length t.port_slot || t.port_slot.(port) < 0 then [||]
+  else begin
+    let base = t.port_slot.(port) * t.cfg.entries in
+    Array.init t.cfg.entries (fun e ->
+        (Register.read t.flow_reg (base + e) - 1, Register.read t.count_reg (base + e)))
+  end

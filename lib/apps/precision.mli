@@ -1,0 +1,65 @@
+(** PRECISION-style heavy-hitter tables as snapshot targets.
+
+    Per physical port, an exact-entry flow table of [entries]
+    (flow, count) pairs with probabilistic-recirculation admission: a
+    packet whose flow misses a full table evicts the minimum entry with
+    probability [1 / (min_count + 1)], paying [recirc_passes] extra
+    pipeline passes. A per-switch count-min {!Speedlight_dataplane.Sketch}
+    is the fallback estimator for evicted flows.
+
+    Every table cell is registered as its own
+    {!Speedlight_core.Snapshot_unit} on an [Ingress] virtual port
+    ([Unit_id.app_port_base]-offset), so each snapshot round carries the
+    whole table on the same consistent cut as the port counters. Cells
+    piggyback on the packet's regular snapshot header {e after} the
+    ingress rewrite; a cell's ID therefore never leads the stamp and the
+    in-flight branch is unreachable (table state has no channel
+    component). *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_core
+
+type config = { entries : int; recirc_passes : int }
+
+val default_config : config
+(** 4 entries per port, 1 extra pass per eviction. *)
+
+type t
+
+val create :
+  ?arena:Arena.t ->
+  switch:int ->
+  unit_cfg:Snapshot_unit.config ->
+  notify:(Notification.t -> unit) ->
+  rng:Rng.t ->
+  ports:int list ->
+  config ->
+  t
+(** [ports] are the switch's connected physical ports (one table each).
+    [rng] drives the admission coin flips — give every switch its own
+    split stream for sharded determinism. *)
+
+val units : t -> Snapshot_unit.t list
+(** All table cells, flow cell before count cell per entry. *)
+
+val unit_of : t -> Unit_id.t -> Snapshot_unit.t option
+
+val on_packet : t -> now:Time.t -> port:int -> Packet.t -> int
+(** Run one received packet through the port's table (the packet must
+    already carry the ingress-rewritten snapshot header). Returns the
+    extra pipeline passes consumed (0 unless an eviction happened). *)
+
+val on_initiation : t -> now:Time.t -> sid:int -> ghost_sid:int -> unit
+(** Control-plane initiation fan-in: advance every cell. *)
+
+val estimate : t -> flow_id:int -> int
+(** Fallback count-min estimate for a flow (never underestimates). *)
+
+val sketch : t -> Sketch.t
+val replacements : t -> int
+
+val table : t -> port:int -> (int * int) array
+(** Live [(flow_id, count)] readout of one port's table ([-1] flow =
+    empty entry) — tests and polling baselines; snapshots read the cells
+    through their units. *)

@@ -24,6 +24,13 @@ type tap_event =
   | Tap_data of { channel : int; pkt_ghost : int; size : int }
   | Tap_external of { size : int }
   | Tap_init of { ghost : int }
+  | Tap_app of {
+      channel : int;
+      pkt_ghost : int;
+      contribution : float;
+      delta : float;
+    }
+  | Tap_app_external of { delta : float }
 
 (* Snapshot slots live flat in the arena, not as a record ring: slot [i]
    is one int cell (the unwrapped sid the slot holds, -1 when the slot
@@ -123,6 +130,7 @@ let[@inline] tap_emit t ev =
   match t.tap with None -> () | Some f -> f ev
 let current_sid t = t.sid
 let current_ghost_sid t = t.ghost_sid
+let current_depth t = t.depth
 let last_seen t = if t.cfg.channel_state then Array.copy t.last_seen_arr else [||]
 let fifo_violations t = t.fifo_violations
 let notifications_sent t = t.notifications
@@ -331,6 +339,44 @@ let process_packet t ~now (pkt : Packet.t) =
     hdr.depth <- t.depth;
     note_marker_out t ~now
   end
+
+(* App-unit entry point (DESIGN.md §15): same snapshot logic as a data
+   packet, but the stamp arrives out of band (the app-level overlay
+   fields of the packet, rewritten only by the owning application) and
+   the channel contribution / state delta are computed by the app, not
+   by the unit's counter. No counter update and no header rewrite
+   happen here — the app mutates its own registers after this returns,
+   so a packet that advances the ID is post-snapshot, exactly like the
+   Fig. 3 ordering for port units. *)
+let process_tagged t ~now ~channel ~pkt_wrapped ~pkt_ghost ~pkt_depth
+    ~contribution ~delta =
+  count_neighbor_traffic t channel;
+  tap_emit t (Tap_app { channel; pkt_ghost; contribution; delta });
+  if not t.ignore_packet_ids then begin
+    let former_sid = t.sid in
+    let sid_changed =
+      match order_ids t pkt_wrapped t.sid with
+      | Wrap.Newer ->
+          let new_ghost = unwrap_vs t ~reference:t.ghost_sid pkt_wrapped in
+          if Trace.enabled t.tr then
+            Trace.emit t.tr ~at:now
+              (Trace.Marker_in
+                 { u = t.tref; wrapped = pkt_wrapped; ghost = new_ghost; channel });
+          advance t ~now ~new_ghost ~depth:(pkt_depth + 1) ~via_init:false;
+          true
+      | Wrap.Older ->
+          if t.cfg.channel_state then add_in_flight t ~contribution;
+          false
+      | Wrap.Equal -> false
+    in
+    finish_logic t ~now ~neighbor:channel ~pkt_wrapped ~former_sid ~sid_changed
+  end
+
+(* App-unit counterpart of the headerless branch of [process_packet]: a
+   state change caused by a snapshot-oblivious party (e.g. a chain
+   client's write arriving at the head). Carries no snapshot
+   information; the auditor still needs the delta. *)
+let process_untagged t ~delta = tap_emit t (Tap_app_external { delta })
 
 let process_initiation t ~now ~sid ~ghost_sid =
   tap_emit t (Tap_init { ghost = ghost_sid });

@@ -64,6 +64,11 @@ val current_sid : t -> int
 val current_ghost_sid : t -> int
 (** Unbounded counterpart (instrumentation / control-plane view). *)
 
+val current_depth : t -> int
+(** Marker-propagation depth at which the current ID was adopted (0 for a
+    control-plane initiation) — what an app unit stamps into the packet's
+    [app_depth] overlay field. *)
+
 val last_seen : t -> int array
 (** Wrapped Last Seen array copy (index 0 = control plane). Empty when
     channel state is disabled. *)
@@ -81,6 +86,29 @@ val process_initiation : t -> now:Time.t -> sid:int -> ghost_sid:int -> unit
     ingress unit of the same port): snapshot logic only — the counter
     update stage is skipped and the packet is never treated as in-flight
     (§6, "Synchronized snapshot initiation"). *)
+
+val process_tagged :
+  t ->
+  now:Time.t ->
+  channel:int ->
+  pkt_wrapped:int ->
+  pkt_ghost:int ->
+  pkt_depth:int ->
+  contribution:float ->
+  delta:float ->
+  unit
+(** App-unit entry point (DESIGN.md §15): run the snapshot logic against
+    an app-level stamp carried out of band (the packet's [app_sid] /
+    [app_ghost] / [app_depth] overlay fields), with the channel
+    contribution and the state delta supplied by the application instead
+    of the unit's counter. Performs no counter update and no snapshot
+    header rewrite; the caller must mutate app state only {e after} this
+    returns, so a stamp that advances the ID is post-snapshot. *)
+
+val process_untagged : t -> delta:float -> unit
+(** App-unit counterpart of the headerless-packet branch: record (for
+    the auditor's tap) a state change caused by a snapshot-oblivious
+    party. No snapshot logic runs. *)
 
 type slot_read = {
   value : float option;
@@ -121,6 +149,17 @@ type tap_event =
   | Tap_external of { size : int }
       (** headerless packet from a snapshot-oblivious neighbor (host) *)
   | Tap_init of { ghost : int }  (** control-plane initiation at this ID *)
+  | Tap_app of {
+      channel : int;
+      pkt_ghost : int;
+      contribution : float;
+      delta : float;
+    }
+      (** app-level stamp processed by {!process_tagged}: the unbounded ID
+          the stamp carried, the in-flight contribution the app computed,
+          and the state delta the app is about to apply *)
+  | Tap_app_external of { delta : float }
+      (** unstamped app state change ({!process_untagged}) *)
 
 val set_tap : t -> (tap_event -> unit) option -> unit
 (** Install (or remove) the boundary tap. The callback runs synchronously

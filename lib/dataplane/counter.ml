@@ -32,6 +32,11 @@ type impl =
   | Sketch_flow of { sk : Sketch.t; tracked_flow : int }
   | Const of float
   | Fwd_version of fib_state
+  (* One cell of an application-owned register (lib/apps): the app
+     mutates the cell itself; the counter only exposes it to the
+     snapshot machinery (read on ID advance, write-zero on reset).
+     Channel contributions are computed by the app, not here. *)
+  | App_cell of { reg : Register.t; idx : int }
 
 type t = { kind : string; impl : impl }
 
@@ -70,19 +75,18 @@ let constant v = { kind = "constant"; impl = Const v }
 
 let forwarding_version ?arena () =
   let arena = match arena with Some a -> a | None -> private_arena () in
-  let counter =
-    {
-      kind = "fib_version";
-      impl =
-        Fwd_version
-          { reg = Register.create_in ~arena ~name:"fib_version" ~size:1; current = 0 };
-    }
+  (* The setter closes over the fib state directly instead of
+     re-dispatching on [counter.impl] — no dead [assert false] branch,
+     and the pair cannot be torn apart by a refactor. *)
+  let st =
+    { reg = Register.create_in ~arena ~name:"fib_version" ~size:1; current = 0 }
   in
-  ( counter,
-    fun v ->
-      match counter.impl with
-      | Fwd_version r -> r.current <- v
-      | _ -> assert false )
+  ({ kind = "fib_version"; impl = Fwd_version st }, fun v -> st.current <- v)
+
+let app_cell ~kind ~reg ~idx =
+  if idx < 0 || idx >= Register.size reg then
+    invalid_arg "Counter.app_cell: index out of range";
+  { kind; impl = App_cell { reg; idx } }
 
 (* Fold every bin that has fully elapsed by [now] into the EWMA; idle
    bins contribute a rate of zero, so the value decays on a quiet port. *)
@@ -105,6 +109,7 @@ let update t ~now (pkt : Packet.t) =
       r.count <- r.count + 1
   | Sketch_flow { sk; _ } -> Sketch.update sk ~flow_id:pkt.flow_id 1
   | Fwd_version { reg; current } -> Register.write reg 0 current
+  | App_cell _ -> ()
 
 let read t ~now =
   match t.impl with
@@ -117,13 +122,16 @@ let read t ~now =
       rate_advance_to r now;
       Float.round (r.ewma /. r.quantum) *. r.quantum
   | Sketch_flow { sk; tracked_flow } -> float_of_int (Sketch.query sk ~flow_id:tracked_flow)
+  | App_cell { reg; idx } -> float_of_int (Register.read reg idx)
 
 let channel_contribution t (pkt : Packet.t) =
   match t.impl with
   | Pkt_count _ -> 1.
   | Byte_count _ -> float_of_int pkt.size
   | Sketch_flow { tracked_flow; _ } -> if pkt.flow_id = tracked_flow then 1. else 0.
-  | Queue_depth _ | Ewma_inter _ | Ewma_rate _ | Const _ | Fwd_version _ -> 0.
+  | Queue_depth _ | Ewma_inter _ | Ewma_rate _ | Const _ | Fwd_version _
+  | App_cell _ ->
+      0.
 
 let reset t =
   match t.impl with
@@ -138,3 +146,4 @@ let reset t =
   | Fwd_version fv ->
       fv.current <- 0;
       Register.reset fv.reg
+  | App_cell { reg; idx } -> Register.write reg idx 0

@@ -67,6 +67,14 @@ val sketch_flow : ?sketch:Sketch.t -> tracked_flow:int -> unit -> t
 val constant : float -> t
 (** A counter that never changes — handy in unit tests. *)
 
+val app_cell : kind:string -> reg:Register.t -> idx:int -> t
+(** One cell of an application-owned register (lib/apps): the app
+    mutates the cell itself through stateful-ALU operations; the counter
+    exposes it to the snapshot machinery. [update] is a no-op, the
+    channel contribution is 0 (app units account in-flight state through
+    {!Speedlight_core.Snapshot_unit.process_tagged}), [reset] zeroes the
+    cell. Raises [Invalid_argument] when [idx] is out of range. *)
+
 val forwarding_version : ?arena:Arena.t -> unit -> t * (int -> unit)
 (** §10 "Measuring Forwarding State": the control plane tags FIB versions;
     passing packets store the version ID into unit state. Returns the

@@ -11,6 +11,21 @@ type t = {
   mutable release_at : Time.t;
   mutable has_snap : bool;
   snap_hdr : Snapshot_header.t;
+  (* App-level Chandy–Lamport overlay (DESIGN.md §15): in-network
+     applications stamp their own snapshot ids on the packets they
+     originate or forward. Kept separate from [snap_hdr] because the
+     per-port units rewrite that header hop by hop — an app's
+     conservation argument needs stamps only its own units touch. *)
+  mutable has_app_snap : bool;
+  mutable app_sid : int;  (* wrapped app-unit sid *)
+  mutable app_ghost : int;
+  mutable app_depth : int;
+  (* In-band chain-op payload ([app_op] <> 0 iff present): opcode plus
+     the (key, value, version) triple of a NetChain write/marker. *)
+  mutable app_op : int;
+  mutable app_key : int;
+  mutable app_value : int;
+  mutable app_version : int;
 }
 
 let create ~uid ~flow_id ~src_host ~dst_host ~size ?(cos = 0) ~created () =
@@ -25,6 +40,14 @@ let create ~uid ~flow_id ~src_host ~dst_host ~size ?(cos = 0) ~created () =
     release_at = Time.zero;
     has_snap = false;
     snap_hdr = Snapshot_header.data ~sid:0 ~channel:0 ~ghost_sid:0 ();
+    has_app_snap = false;
+    app_sid = 0;
+    app_ghost = 0;
+    app_depth = 0;
+    app_op = 0;
+    app_key = 0;
+    app_value = 0;
+    app_version = 0;
   }
 
 (* Alias: [Gen] below defines its own [create]. *)
@@ -82,13 +105,17 @@ module Gen = struct
       p.created <- created;
       p.release_at <- Time.zero;
       p.has_snap <- false;
+      p.has_app_snap <- false;
+      p.app_op <- 0;
       p
     end
 
   let release t p =
     (* Defensive: stale header state must never leak into the packet's
-       next life. [alloc] resets [has_snap] again on reuse. *)
+       next life. [alloc] resets the flags again on reuse. *)
     p.has_snap <- false;
+    p.has_app_snap <- false;
+    p.app_op <- 0;
     let cap = Array.length t.free in
     if t.n_free = cap then begin
       let ncap = if cap = 0 then 64 else cap * 2 in

@@ -29,6 +29,19 @@ type t = {
   snap_hdr : Snapshot_header.t;
       (** the embedded header; contents are meaningful only while
           [has_snap] is true *)
+  mutable has_app_snap : bool;
+      (** an app-level snapshot stamp is attached (DESIGN.md §15); the
+          per-port units never touch these fields — only the app units
+          of the stamping application rewrite them *)
+  mutable app_sid : int;  (** wrapped app-unit sid *)
+  mutable app_ghost : int;  (** unbounded app-unit ghost sid *)
+  mutable app_depth : int;  (** app-unit wrap depth *)
+  mutable app_op : int;
+      (** in-band application opcode; 0 = no app payload. The chain app
+          uses {!Speedlight_apps.Netchain.op_write} / [op_marker]. *)
+  mutable app_key : int;  (** chain-op key; meaningful iff [app_op] <> 0 *)
+  mutable app_value : int;  (** chain-op value *)
+  mutable app_version : int;  (** chain-op per-key version *)
 }
 
 val create :

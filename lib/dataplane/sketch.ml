@@ -14,15 +14,15 @@ let hash ~row ~width key =
   let k = k * 0xC2B2AE35 in
   (k lxor (k lsr 16)) land max_int mod width
 
-let create ?(depth = 4) ?(width = 1024) () =
+let create ?arena ?(depth = 4) ?(width = 1024) () =
   if depth <= 0 || width <= 0 then invalid_arg "Sketch.create";
-  {
-    rows =
-      Array.init depth (fun i ->
-          Register.create ~name:(Printf.sprintf "cms_row%d" i) ~size:width);
-    width;
-    total = 0;
-  }
+  let make_row i =
+    let name = Printf.sprintf "cms_row%d" i in
+    match arena with
+    | Some arena -> Register.create_in ~arena ~name ~size:width
+    | None -> Register.create ~name ~size:width
+  in
+  { rows = Array.init depth make_row; width; total = 0 }
 
 let update t ~flow_id count =
   if count < 0 then invalid_arg "Sketch.update: negative count";

@@ -5,6 +5,9 @@ type t = { switch : int; port : int; dir : dir }
 let ingress ~switch ~port = { switch; port; dir = Ingress }
 let egress ~switch ~port = { switch; port; dir = Egress }
 
+let app_port_base = 4096
+let is_app t = t.port >= app_port_base
+
 let dir_int = function Ingress -> 0 | Egress -> 1
 
 let compare a b =

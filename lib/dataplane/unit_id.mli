@@ -9,6 +9,17 @@ type t = { switch : int; port : int; dir : dir }
 
 val ingress : switch:int -> port:int -> t
 val egress : switch:int -> port:int -> t
+
+val app_port_base : int
+(** Ports at or above this value are {e virtual}: they identify
+    application-owned units (lib/apps) rather than physical port
+    pipelines. By convention the PRECISION heavy-hitter cells use
+    [Ingress] virtual ports and the NetChain per-key units use [Egress]
+    virtual ports. *)
+
+val is_app : t -> bool
+(** [is_app t] is [t.port >= app_port_base]. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int

@@ -72,20 +72,19 @@ let run_single ~quick ~seed =
   (single, unreached)
 
 let run_initiator ?(quick = false) ?(seed = 21) () =
-  match
-    Common.parallel_trials
-      [|
-        (fun () -> (run_multi ~quick ~seed, 0));
-        (fun () -> run_single ~quick ~seed:(seed + 1));
-      |]
-  with
-  | [| (multi, _); (single, unreached) |] ->
-      {
-        multi_sync = Cdf.of_samples (Array.of_list multi);
-        single_sync = Cdf.of_samples (Array.of_list single);
-        single_unreached = unreached;
-      }
-  | _ -> assert false
+  let (multi, _), (single, unreached) =
+    Common.expect2
+      (Common.parallel_trials
+         [|
+           (fun () -> (run_multi ~quick ~seed, 0));
+           (fun () -> run_single ~quick ~seed:(seed + 1));
+         |])
+  in
+  {
+    multi_sync = Cdf.of_samples (Array.of_list multi);
+    single_sync = Cdf.of_samples (Array.of_list single);
+    single_unreached = unreached;
+  }
 
 type notif_result = {
   no_cs_per_snapshot : float;
@@ -122,20 +121,20 @@ let notifications_per_snapshot ~variant ~quick ~seed =
   float_of_int total /. float_of_int count
 
 let run_notifications ?(quick = false) ?(seed = 22) () =
-  match
-    Common.parallel_trials
-      [|
-        (fun () ->
-          notifications_per_snapshot ~variant:Snapshot_unit.variant_wraparound
-            ~quick ~seed);
-        (fun () ->
-          notifications_per_snapshot ~variant:Snapshot_unit.variant_channel_state
-            ~quick ~seed:(seed + 1));
-      |]
-  with
-  | [| no_cs; with_cs |] ->
-      { no_cs_per_snapshot = no_cs; with_cs_per_snapshot = with_cs }
-  | _ -> assert false
+  let no_cs, with_cs =
+    Common.expect2
+      (Common.parallel_trials
+         [|
+           (fun () ->
+             notifications_per_snapshot ~variant:Snapshot_unit.variant_wraparound
+               ~quick ~seed);
+           (fun () ->
+             notifications_per_snapshot
+               ~variant:Snapshot_unit.variant_channel_state ~quick
+               ~seed:(seed + 1));
+         |])
+  in
+  { no_cs_per_snapshot = no_cs; with_cs_per_snapshot = with_cs }
 
 type marker_overhead = {
   directed_channels : int;

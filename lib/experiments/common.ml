@@ -20,6 +20,18 @@ let make_testbed ?(scaled = true) ?(cfg = Config.default) ?(shards = 1) () =
 
 let sender net ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size ()
 
+exception Trial_arity of { expected : int; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Trial_arity { expected; got } ->
+        Some
+          (Printf.sprintf
+             "Speedlight_experiments.Common.Trial_arity: expected %d trial \
+              results, got %d"
+             expected got)
+    | _ -> None)
+
 let parallel_trials ?domains ?(inner_domains = 1) tasks =
   (* When each trial internally runs a sharded simulation with
      [inner_domains] domains, cap the trial-level parallelism so the
@@ -31,6 +43,17 @@ let parallel_trials ?domains ?(inner_domains = 1) tasks =
     Stdlib.max 1 (budget / Stdlib.max 1 inner_domains)
   in
   Pool.run ~domains tasks
+
+(* Typed destructuring of fixed-arity [parallel_trials] results: [Pool.run]
+   returns results in task order and preserves length, so a mismatch is a
+   harness bug — reported as {!Trial_arity}, not an anonymous assertion. *)
+let expect2 = function
+  | [| a; b |] -> (a, b)
+  | r -> raise (Trial_arity { expected = 2; got = Array.length r })
+
+let expect3 = function
+  | [| a; b; c |] -> (a, b, c)
+  | r -> raise (Trial_arity { expected = 3; got = Array.length r })
 
 let take_snapshots net ~start ~interval ~count ~run_until =
   let engine = Net.engine net in

@@ -24,6 +24,11 @@ val make_testbed :
 val sender : Net.t -> Speedlight_workload.Traffic.send
 (** Adapter from the workload generators to {!Net.send}. *)
 
+exception Trial_arity of { expected : int; got : int }
+(** A fixed-arity trial batch came back with the wrong number of results —
+    a harness bug (the pool preserves task order and length), reported as
+    a typed, printable error instead of a bare assertion failure. *)
+
 val parallel_trials :
   ?domains:int -> ?inner_domains:int -> (unit -> 'a) array -> 'a array
 (** Run independent trial thunks on the {!Pool} domain pool and return
@@ -37,6 +42,14 @@ val parallel_trials :
     internally (a sharded [Net.create ~shards]): trial-level parallelism
     is then capped at [budget / inner_domains] so the total stays within
     the pool budget ([SPEEDLIGHT_DOMAINS]) instead of oversubscribing. *)
+
+val expect2 : 'a array -> 'a * 'a
+(** Destructure a 2-trial {!parallel_trials} result.
+    Raises {!Trial_arity} on any other length. *)
+
+val expect3 : 'a array -> 'a * 'a * 'a
+(** Destructure a 3-trial {!parallel_trials} result.
+    Raises {!Trial_arity} on any other length. *)
 
 val take_snapshots :
   Net.t ->

@@ -118,15 +118,12 @@ let run ?(quick = false) ?(seed = 13) () =
   (* The two correlation matrices are pure O(n^2 * rounds) computations on
      already-collected series: crunch them as parallel trials. *)
   let snap_m, poll_m =
-    match
-      Common.parallel_trials
-        [|
-          (fun () -> build_matrix units (to_series snap_rows));
-          (fun () -> build_matrix units (to_series poll_rows));
-        |]
-    with
-    | [| s; p |] -> (s, p)
-    | _ -> assert false
+    Common.expect2
+      (Common.parallel_trials
+         [|
+           (fun () -> build_matrix units (to_series snap_rows));
+           (fun () -> build_matrix units (to_series poll_rows));
+         |])
   in
   (* Ground truths: same-leaf uplink egress pairs share ECMP paths; the
      master server's access port should correlate with nothing. *)

@@ -65,19 +65,19 @@ let run_polling ~quick ~seed =
 let run ?(quick = false) ?(seed = 9) () =
   (* The three campaigns are self-contained simulations with distinct
      seeds, so they run as parallel trials. *)
-  match
-    Common.parallel_trials
-      [|
-        (fun () ->
-          run_variant ~variant:Snapshot_unit.variant_wraparound ~quick ~seed);
-        (fun () ->
-          run_variant ~variant:Snapshot_unit.variant_channel_state ~quick
-            ~seed:(seed + 1));
-        (fun () -> run_polling ~quick ~seed:(seed + 2));
-      |]
-  with
-  | [| no_cs; with_cs; polling |] -> { no_cs; with_cs; polling }
-  | _ -> assert false
+  let no_cs, with_cs, polling =
+    Common.expect3
+      (Common.parallel_trials
+         [|
+           (fun () ->
+             run_variant ~variant:Snapshot_unit.variant_wraparound ~quick ~seed);
+           (fun () ->
+             run_variant ~variant:Snapshot_unit.variant_channel_state ~quick
+               ~seed:(seed + 1));
+           (fun () -> run_polling ~quick ~seed:(seed + 2));
+         |])
+  in
+  { no_cs; with_cs; polling }
 
 let print fmt r =
   Common.pp_header fmt

@@ -10,6 +10,9 @@ module Store = Speedlight_store.Store
 module Query = Speedlight_query.Query
 module U = Speedlight_update.Update
 module Common = Speedlight_experiments.Common
+module SApps = Speedlight_apps.Apps
+module Netchain = Speedlight_apps.Netchain
+module Precision = Speedlight_apps.Precision
 
 (* ------------------------------------------------------------------ *)
 (* Scenario structure *)
@@ -58,6 +61,7 @@ type scenario = {
   sc_snap_count : int;
   sc_tail_ms : int;
   sc_shards : int;
+  sc_apps : int;
 }
 
 type budget = Quick | Long
@@ -107,10 +111,24 @@ let draw_workload rng ~budget =
    clock faults: control-channel loss or CP crashes can time devices out
    of a round, which would make the probed version vectors read 0 and
    turn oracle (d) into noise. *)
-let draw_chaos_kind rng ~with_updates =
+let draw_chaos_kind rng ~with_updates ~with_apps =
   let width () = 0.1 +. Rng.float rng 0.4 in
   let loss () = 0.2 +. Rng.float rng 0.5 in
   let sw = Rng.int rng 64 and host = Rng.int rng 64 in
+  if with_apps then
+    (* Chain writes are in-band packets: a fault that can drop or
+       blackhole one (link flaps, wire loss) permanently skews the
+       replica versions and trips oracle (f) with no protocol bug.
+       Restrict to faults that bend time or host traffic, not the
+       fabric packets the chain rides on. *)
+    match Rng.int rng 4 with
+    | 0 -> Ck_latency { sw; width = width (); factor = 1.5 +. Rng.float rng 3.5 }
+    | 1 -> Ck_nic_loss { host; width = width (); loss = loss () }
+    | 2 ->
+        Ck_clock_step
+          { sw; delta_ns = (if Rng.bool rng then 1. else -1.) *. (50. +. Rng.float rng 350.) }
+    | _ -> Ck_holdover { sw; width = width () }
+  else
   match Rng.int rng (if with_updates then 5 else 9) with
   | 0 -> Ck_link_flap { sw; width = width () }
   | 1 -> Ck_latency { sw; width = width (); factor = 1.5 +. Rng.float rng 3.5 }
@@ -143,11 +161,29 @@ let of_seed ?(budget = Quick) seed =
   let sc_topo = draw_topo rng ~budget in
   let sc_workload = draw_workload rng ~budget in
   let sc_updates = draw_updates rng sc_topo in
-  let sc_variant = if Rng.int rng 3 = 0 then Wraparound else Channel_state in
+  (* In-switch apps dimension: ~1/4 of update-free scenarios schedule a
+     short NetChain write sequence (with a small PRECISION stage riding
+     along) and put oracle (f) in play. Never combined with update
+     plans: a rerouting transition can legitimately drop a chain write
+     in flight, which would break the replication invariant with no
+     protocol bug. *)
+  let apps_roll = Rng.int rng 4 and apps_n = 1 + Rng.int rng 3 in
+  let sc_apps = if sc_updates = [] && apps_roll = 0 then apps_n else 0 in
+  let variant_roll = Rng.int rng 3 in
+  (* The chain audit needs captured channel state to explain writes in
+     flight at a cut, so apps force the channel-state variant. *)
+  let sc_variant =
+    if sc_apps > 0 then Channel_state
+    else if variant_roll = 0 then Wraparound
+    else Channel_state
+  in
   let n_chaos = Rng.int rng (if budget = Long then 7 else 5) in
   let sc_chaos =
     List.init n_chaos (fun _ ->
-        let k = draw_chaos_kind rng ~with_updates:(sc_updates <> []) in
+        let k =
+          draw_chaos_kind rng ~with_updates:(sc_updates <> [])
+            ~with_apps:(sc_apps > 0)
+        in
         { ce_frac = Rng.float rng 0.9; ce_kind = k })
   in
   {
@@ -162,6 +198,7 @@ let of_seed ?(budget = Quick) seed =
     sc_snap_count = (if budget = Long then 4 + Rng.int rng 6 else 2 + Rng.int rng 3);
     sc_tail_ms = 200;
     sc_shards = Rng.choose rng [| 1; 1; 2; 4 |];
+    sc_apps;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -216,17 +253,19 @@ let to_string sc =
   line "workload %s" (workload_to_string sc.sc_workload);
   line "snap %d %d %d %d" sc.sc_snap_start_ms sc.sc_snap_interval_ms sc.sc_snap_count sc.sc_tail_ms;
   line "shards %d" sc.sc_shards;
+  if sc.sc_apps > 0 then line "apps %d" sc.sc_apps;
   List.iter (fun e -> line "chaos %s" (chaos_to_string e)) sc.sc_chaos;
   List.iter (fun u -> line "update %s" (update_to_string u)) sc.sc_updates;
   Buffer.contents b
 
 let pp_scenario fmt sc =
-  Format.fprintf fmt "seed=%d %s %s %s snaps=%d@%d+%dms shards=%d chaos=%d updates=%d"
+  Format.fprintf fmt
+    "seed=%d %s %s %s snaps=%d@%d+%dms shards=%d chaos=%d updates=%d apps=%d"
     sc.sc_seed (topo_to_string sc.sc_topo)
     (match sc.sc_variant with Wraparound -> "wrap" | Channel_state -> "chan")
     (workload_to_string sc.sc_workload)
     sc.sc_snap_count sc.sc_snap_interval_ms sc.sc_snap_start_ms sc.sc_shards
-    (List.length sc.sc_chaos) (List.length sc.sc_updates)
+    (List.length sc.sc_chaos) (List.length sc.sc_updates) sc.sc_apps
 
 let of_string text =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
@@ -245,6 +284,7 @@ let of_string text =
       and workload = ref None
       and snap = ref None
       and shards = ref 1
+      and apps = ref 0 (* absent in v1 repro files: no apps *)
       and chaos = ref []
       and updates = ref []
       and bad = ref None in
@@ -285,6 +325,10 @@ let of_string text =
               | _ -> fail l)
           | [ "shards"; s ] -> (
               match int_of s with Some v -> shards := v | None -> fail l)
+          | [ "apps"; s ] -> (
+              match int_of s with
+              | Some v when v >= 0 -> apps := v
+              | _ -> fail l)
           | "chaos" :: kind :: args -> (
               let nums = List.map float_of args in
               if List.exists (fun o -> o = None) nums then fail l
@@ -350,6 +394,7 @@ let of_string text =
                 sc_snap_count = n;
                 sc_tail_ms = tail;
                 sc_shards = !shards;
+                sc_apps = !apps;
               })
   | header :: _ -> err "bad header: %s" header
 
@@ -362,6 +407,7 @@ type oracle =
   | Digest_divergence
   | Archive_roundtrip
   | Query_invariant
+  | Chain_violation
   | Uncaught_exn
 
 let oracle_name = function
@@ -369,6 +415,7 @@ let oracle_name = function
   | Digest_divergence -> "digest_divergence"
   | Archive_roundtrip -> "archive_roundtrip"
   | Query_invariant -> "query_invariant"
+  | Chain_violation -> "chain_violation"
   | Uncaught_exn -> "uncaught_exn"
 
 type failure = { f_oracle : oracle; f_detail : string }
@@ -436,6 +483,27 @@ let probe_fn topo =
   fun s -> tbl.(s)
 
 let clamp01 f = Float.max 0. (Float.min 1. f)
+
+(* The NetChain replicas of a fuzzed topology: the first three switches
+   with hosts attached (leaves on every generated shape), in switch-id
+   order — the same list execute configures and oracle (f) audits. *)
+let app_keys = 2
+
+let chain_replicas_of topo =
+  let has_host s =
+    let np = Topology.ports topo s in
+    let rec go p =
+      p < np
+      &&
+      match Topology.peer_of topo ~switch:s ~port:p with
+      | Some (Topology.Host_port _) -> true
+      | _ -> go (p + 1)
+    in
+    go 0
+  in
+  List.init (Topology.n_switches topo) Fun.id
+  |> List.filter has_host
+  |> List.filteri (fun i _ -> i < 3)
 
 let expand_chaos topo events ~t0 ~t_end =
   let n_sw = Topology.n_switches topo and n_host = Topology.n_hosts topo in
@@ -565,17 +633,39 @@ type update_run = {
    [audit]: attach the cut auditor (primary run only — it never changes
    the run). *)
 let execute sc ~shards ~archive_dir ~with_audit ~break_marker =
+  let topo, _ls = build_topo sc.sc_topo in
+  let replicas = chain_replicas_of topo in
+  let apps_on = sc.sc_apps > 0 && List.length replicas >= 2 in
   let cfg =
     Config.default
     |> Config.with_variant
          (match sc.sc_variant with
-         | Wraparound -> Snapshot_unit.variant_wraparound
-         | Channel_state -> Snapshot_unit.variant_channel_state)
+         (* apps need channel state to explain in-flight writes; a
+            hand-edited repro asking for both gets channel state. *)
+         | Wraparound when not apps_on -> Snapshot_unit.variant_wraparound
+         | Wraparound | Channel_state -> Snapshot_unit.variant_channel_state)
     |> Config.with_counter
          (if sc.sc_updates <> [] then Config.Fib_version else Config.Packet_count)
     |> Config.with_seed sc.sc_seed
   in
-  let topo, _ls = build_topo sc.sc_topo in
+  let cfg =
+    if not apps_on then cfg
+    else
+      (* Every app table cell is its own snapshot unit, multiplying the
+         per-round notification volume; model the batched-DMA register
+         reads an app deployment would use (same as Experiments.Apps) so
+         rounds still complete at fuzzed cadences. *)
+      {
+        (cfg
+        |> Config.with_apps
+             {
+               SApps.hh = Some { Precision.entries = 2; recirc_passes = 1 };
+               chain = Some { Netchain.replicas; keys = app_keys };
+             })
+        with
+        Config.notify_proc_time = Time.us 25;
+      }
+  in
   let net = Net.create ~cfg ~shards topo in
   let n_sw = Topology.n_switches topo in
   let start = Time.ms sc.sc_snap_start_ms in
@@ -596,6 +686,14 @@ let execute sc ~shards ~archive_dir ~with_audit ~break_marker =
       Switch.set_fib_version (Net.switch net s) 1
     done;
   install_workload sc net ~t_end:traffic_end;
+  (* Chain writes enter at the head mid-interval, so cuts routinely
+     catch one in flight — the case channel state must explain. *)
+  if apps_on then
+    for i = 0 to sc.sc_apps - 1 do
+      Net.chain_write net
+        ~at:(Time.add start (Time.add (i * interval) (interval / 2)))
+        ~key:(i mod app_keys) ~value:(50 + i)
+    done;
   Net.schedule_global net
     ~at:(Time.ms (Stdlib.max 1 (sc.sc_snap_start_ms - 2)))
     (fun () -> Net.auto_exclude_idle net);
@@ -814,6 +912,25 @@ let check_query_invariants net ~sids ~(audit : Verify.audit) ~upd_runs =
             else Ok ()
         | _ -> Ok ()
 
+(* Oracle (f): on every certified cut the chain replication invariant
+   must hold exactly — adjacent-replica version skew is either zero or
+   explained by a write captured in the channel state. Chaos drawn
+   alongside apps never drops fabric packets, so a [Violated] cell means
+   the capture or audit path lost a write. *)
+let check_chain sc net ~sids ~(audit : Verify.audit) =
+  let replicas = chain_replicas_of (Net.topology net) in
+  if sc.sc_apps = 0 || List.length replicas < 2 then Ok ()
+  else
+    let q =
+      Query.of_net net ~sids |> Query.apply_audit audit |> Query.certified_only
+    in
+    let checks = Query.Canned.chain_consistency ~replicas ~keys:app_keys q in
+    match List.find_opt (fun c -> c.Query.Canned.k_violated > 0) checks with
+    | Some c ->
+        fail Chain_violation "certified round %d: %d violated chain cell(s)"
+          c.Query.Canned.k_sid c.Query.Canned.k_violated
+    | None -> Ok ()
+
 let temp_counter = ref 0
 
 let with_temp_dir f =
@@ -876,6 +993,9 @@ let run_scenario ?(break_marker = false) sc =
         |> (function
              | Error e -> Error e
              | Ok () -> check_query_invariants net ~sids ~audit ~upd_runs)
+        |> (function
+             | Error e -> Error e
+             | Ok () -> check_chain sc net ~sids ~audit)
         |> function
         | Error e -> Error e
         | Ok () ->
@@ -941,6 +1061,10 @@ let rec drop_nth n = function
 let take n l = List.filteri (fun i _ -> i < n) l
 
 let candidates sc =
+  (* Dropping the apps goes first: it removes the most simulation
+     machinery in one step, and any failure that survives without them
+     is a plain protocol bug, not an application-pipeline one. *)
+  let apps = if sc.sc_apps > 0 then [ { sc with sc_apps = 0 } ] else [] in
   let chaos =
     let n = List.length sc.sc_chaos in
     let halves =
@@ -969,7 +1093,7 @@ let candidates sc =
     else []
   in
   let shards = if sc.sc_shards > 1 then [ { sc with sc_shards = 1 } ] else [] in
-  chaos @ topo @ updates @ snaps @ shards
+  apps @ chaos @ topo @ updates @ snaps @ shards
 
 let max_shrink_attempts = 60
 

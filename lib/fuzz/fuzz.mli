@@ -16,12 +16,19 @@
       update steps never appear causally reordered in any cut, and
       {!Speedlight_query.Query.Canned.causal_violations} is empty on
       certified rounds of a staged first step;
-    - {b e.} no uncaught exception escapes the run.
+    - {b e.} no uncaught exception escapes the run;
+    - {b f.} when the scenario runs the in-switch app suite, every
+      certified cut satisfies the NetChain replication invariant: any
+      adjacent-replica version skew is explained by a write captured in
+      the channel state
+      ({!Speedlight_query.Query.Canned.chain_consistency} never returns
+      [Violated]).
 
-    On failure the scenario structure is shrunk — drop chaos events,
-    halve the topology, drop update steps, halve the snapshot cadence,
-    drop to one shard — re-checking after every step, and the minimal
-    reproducer serializes to a [speedlight fuzz --repro] seed file. *)
+    On failure the scenario structure is shrunk — drop the apps first,
+    then chaos events, halve the topology, drop update steps, halve the
+    snapshot cadence, drop to one shard — re-checking after every step,
+    and the minimal reproducer serializes to a [speedlight fuzz --repro]
+    seed file. *)
 
 (** {2 Scenarios} *)
 
@@ -74,6 +81,11 @@ type scenario = {
   sc_snap_count : int;
   sc_tail_ms : int;  (** settle time after the last snapshot *)
   sc_shards : int;  (** 1, 2 or 4 *)
+  sc_apps : int;
+      (** chain writes to schedule through the in-switch app suite
+          ({!Speedlight_apps}); 0 = no apps. Drawn only in update-free
+          scenarios, forces the channel-state variant, and restricts
+          chaos to faults that cannot drop a fabric packet. *)
 }
 
 type budget = Quick | Long
@@ -96,6 +108,9 @@ type oracle =
   | Digest_divergence
   | Archive_roundtrip
   | Query_invariant
+  | Chain_violation
+      (** oracle (f): a certified cut showed adjacent NetChain replicas
+          with a version skew not explained by captured channel state *)
   | Uncaught_exn
 
 val oracle_name : oracle -> string
@@ -132,9 +147,10 @@ type shrink_result = {
 
 val shrink : ?break_marker:bool -> scenario -> failure -> shrink_result
 (** Greedily minimize a failing scenario: a candidate is accepted iff it
-    still fails with the same oracle. Candidate order: drop chaos events
-    (halves, then singles), halve topology dimensions, drop update
-    steps, halve the snapshot count, then drop to one shard. *)
+    still fails with the same oracle. Candidate order: drop the apps,
+    drop chaos events (halves, then singles), halve topology dimensions,
+    drop update steps, halve the snapshot count, then drop to one
+    shard. *)
 
 (** {2 Campaigns} *)
 

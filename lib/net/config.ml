@@ -44,6 +44,7 @@ type t = {
   observer_retain : int option;
   snapshot_disabled_switches : int list;
   seed : int;
+  apps : Speedlight_apps.Apps.config option;
 }
 
 let default =
@@ -70,9 +71,11 @@ let default =
     observer_retain = None;
     snapshot_disabled_switches = [];
     seed = 42;
+    apps = None;
   }
 
 let with_variant unit_cfg t = { t with unit_cfg }
 let with_counter counter t = { t with counter }
 let with_policy lb_policy t = { t with lb_policy }
 let with_seed seed t = { t with seed }
+let with_apps apps t = { t with apps = Some apps }

@@ -55,6 +55,10 @@ type t = {
           report map would make observer memory grow without bound. *)
   snapshot_disabled_switches : int list;  (** partial deployment (§10) *)
   seed : int;
+  apps : Speedlight_apps.Apps.config option;
+      (** in-switch applications (heavy hitters, KV chain) whose state
+          rides the snapshot machinery — DESIGN.md §15. [None] leaves the
+          packet path byte-identical to an apps-free build. *)
 }
 
 val default : t
@@ -65,3 +69,4 @@ val with_variant : Snapshot_unit.config -> t -> t
 val with_counter : counter_kind -> t -> t
 val with_policy : Routing.policy -> t -> t
 val with_seed : int -> t -> t
+val with_apps : Speedlight_apps.Apps.config -> t -> t

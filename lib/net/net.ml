@@ -525,6 +525,13 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
   let notify_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
   let cp_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
   let clock_rngs = Array.init n_sw (fun _ -> Rng.split master_rng) in
+  (* App streams are split only when apps are configured, so an apps-free
+     run draws exactly the same streams as before the app subsystem
+     existed (digest stability across versions and configs). *)
+  let app_rngs =
+    if cfg.Config.apps = None then [||]
+    else Array.init n_sw (fun _ -> Rng.split master_rng)
+  in
   (* Trace emitters live in their own stable source-id space, assigned in
      fixed construction order (same discipline as [fresh_src]) so the ids
      — and hence the merged-trace digest — are identical at every shard
@@ -678,9 +685,10 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
       Packet.Gen.release t.pktgens.(shard) pkt
     in
     sw_acc :=
-      Switch.create ~arena:arenas.(shard) ~host_attach ~id:s ~engine:eng
-        ~rng:selector_rngs.(s) ~cfg ~topo ~routing ~pktgen:t.pktgens.(shard)
-        ~notify ~deliver_host ~enabled:(enabled s) ()
+      Switch.create ~arena:arenas.(shard) ~host_attach
+        ?app_rng:(if Array.length app_rngs = 0 then None else Some app_rngs.(s))
+        ~id:s ~engine:eng ~rng:selector_rngs.(s) ~cfg ~topo ~routing
+        ~pktgen:t.pktgens.(shard) ~notify ~deliver_host ~enabled:(enabled s) ()
       :: !sw_acc
   done;
   t.switches <- Array.of_list (List.rev !sw_acc);
@@ -849,6 +857,19 @@ let create ?(cfg = Config.default) ?(shards = 1) topo =
             };
           ])
         ports
+      (* App units join the same tracker with the exclusions their app
+         declared (heavy-hitter cells have no in-flight component and
+         exclude their data channel; chain mids/tails must wait for the
+         upstream replica's marker). *)
+      @ List.map
+          (fun (u, excl) ->
+            {
+              Cp_tracker.uid = Snapshot_unit.id u;
+              access = dp_access_of u;
+              n_neighbors = Snapshot_unit.n_neighbors u;
+              excluded_neighbors = (if channel_state then excl else []);
+            })
+          (Switch.app_unit_specs t.switches.(s))
     in
     let inject ~port ~sid_wrapped ~ghost_sid =
       Switch.inject_initiation t.switches.(s) ~port ~sid_wrapped ~ghost_sid
@@ -1156,14 +1177,20 @@ let auto_exclude_idle t =
       if Switch.enabled sw then
         List.iter
           (fun u ->
-            let traffic = Snapshot_unit.neighbor_traffic u in
             let uid = Snapshot_unit.id u in
-            let tr = Control_plane.tracker t.cps.(Switch.id sw) in
-            Array.iteri
-              (fun n count ->
-                if n > 0 && count = 0 then
-                  Cp_tracker.exclude_neighbor tr ~now:(now t) uid n)
-              traffic)
+            (* App units declare their own exclusions at construction;
+               traffic-based sweeps must not touch them (a chain
+               replica's upstream channel may be legitimately idle until
+               the first write, yet completion must wait for it). *)
+            if not (Unit_id.is_app uid) then begin
+              let traffic = Snapshot_unit.neighbor_traffic u in
+              let tr = Control_plane.tracker t.cps.(Switch.id sw) in
+              Array.iteri
+                (fun n count ->
+                  if n > 0 && count = 0 then
+                    Cp_tracker.exclude_neighbor tr ~now:(now t) uid n)
+                traffic
+            end)
           (Switch.units sw))
     t.switches
 
@@ -1255,6 +1282,28 @@ let restart_cp t ~switch = Control_plane.restart t.cps.(switch)
 
 let schedule_on_switch t ~switch ~at f =
   Engine.schedule_unit t.engines.(t.shard_of.(switch)) ~at f
+
+(* ------------------------------------------------------------------ *)
+(* In-switch applications (lib/apps)                                  *)
+
+let app_stage t ~switch = Switch.app_stage t.switches.(switch)
+
+let chain_head t =
+  match t.cfg.Config.apps with
+  | Some { Speedlight_apps.Apps.chain = Some c; _ } -> (
+      match c.Speedlight_apps.Netchain.replicas with
+      | head :: _ -> Some head
+      | [] -> None)
+  | _ -> None
+
+let chain_write t ~at ~key ~value =
+  match chain_head t with
+  | None -> invalid_arg "Net.chain_write: no chain configured"
+  | Some head ->
+      schedule_on_switch t ~switch:head ~at (fun () ->
+          match Switch.app_stage t.switches.(head) with
+          | Some st -> Speedlight_apps.Apps.Stage.client_write st ~key ~value
+          | None -> ())
 
 let schedule_at_observer t ~at f = Engine.schedule_unit t.engines.(0) ~at f
 

@@ -248,6 +248,24 @@ val schedule_on_switch : t -> switch:int -> at:Time.t -> (unit -> unit) -> unit
 val schedule_at_observer : t -> at:Time.t -> (unit -> unit) -> unit
 (** Schedule an anonymous event on shard 0 (observer / workload side). *)
 
+(** {2 In-switch applications} *)
+
+val app_stage : t -> switch:int -> Speedlight_apps.Apps.Stage.t option
+(** The application stage built into [switch] when [cfg.apps] configured
+    one (None for apps-free configs and snapshot-disabled switches).
+    Live reads of app registers ([Netchain.read], [Precision.table])
+    mutate nothing, but call them from the owning shard
+    ({!schedule_on_switch}) when the simulation is running. *)
+
+val chain_head : t -> int option
+(** The head replica of the configured KV chain, if [cfg.apps] has one. *)
+
+val chain_write : t -> at:Time.t -> key:int -> value:int -> unit
+(** Schedule a client write against the chain head: the head applies it
+    and emits an in-band write packet down the chain. Raises
+    [Invalid_argument] if no chain is configured. Call before
+    {!run_until}. *)
+
 type fault_drops = {
   fd_wire : int;
   fd_nic : int;

@@ -2,6 +2,7 @@ open Speedlight_sim
 open Speedlight_dataplane
 open Speedlight_core
 open Speedlight_topology
+module Apps = Speedlight_apps.Apps
 
 exception Wire_out_not_installed of { switch : int; port : int }
 exception Unexpected_switch_peer of { switch : int; port : int }
@@ -89,6 +90,10 @@ type t = {
      remain): deliver host-bound packets at transmit time and skip the
      propagation event. [Net.on_deliver] clears this. *)
   mutable eager_host_delivery : bool;
+  (* In-switch applications (heavy hitters, KV chain) hooked into the
+     receive path; [None] on apps-free configs and disabled switches,
+     leaving the packet path unchanged. *)
+  mutable app_stage : Apps.Stage.t option;
 }
 
 let egress_neighbor_index_ ~cos_levels ~in_port ~cos = 1 + (in_port * cos_levels) + cos
@@ -127,9 +132,17 @@ let egress_unit t ~port = (port_state t port).egress
 let unit_of t (uid : Unit_id.t) =
   if uid.Unit_id.switch <> t.sw_id then
     invalid_arg "Switch.unit_of: unit belongs to another switch";
-  match uid.Unit_id.dir with
-  | Unit_id.Ingress -> ingress_unit t ~port:uid.Unit_id.port
-  | Unit_id.Egress -> egress_unit t ~port:uid.Unit_id.port
+  if Unit_id.is_app uid then
+    match Option.bind t.app_stage (fun st -> Apps.Stage.unit_of st uid) with
+    | Some u -> u
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Switch %d: no app unit %s" t.sw_id
+             (Unit_id.to_string uid))
+  else
+    match uid.Unit_id.dir with
+    | Unit_id.Ingress -> ingress_unit t ~port:uid.Unit_id.port
+    | Unit_id.Egress -> egress_unit t ~port:uid.Unit_id.port
 
 let units t =
   List.concat_map
@@ -137,6 +150,12 @@ let units t =
       let ps = port_state t p in
       [ ps.ingress; ps.egress ])
     (connected_ports t)
+  @ (match t.app_stage with Some st -> Apps.Stage.units st | None -> [])
+
+let app_stage t = t.app_stage
+
+let app_unit_specs t =
+  match t.app_stage with Some st -> Apps.Stage.unit_specs st | None -> []
 
 let egress_neighbor_index t ~in_port ~cos =
   egress_neighbor_index_ ~cos_levels:t.cfg.Config.cos_levels ~in_port ~cos
@@ -304,7 +323,7 @@ let wire_arrive t ps =
          tables disagree). Report it as a typed error, not a bare assert. *)
       raise (Unexpected_switch_peer { switch = t.sw_id; port = ps.port })
 
-let enqueue_egress t ~now ~in_port ~out_port pkt =
+let enqueue_egress t ~now ~in_port ~out_port ?(extra_passes = 0) pkt =
   let ps = port_state t out_port in
   let cos =
     let c = pkt.Packet.cos and m = t.cfg.Config.cos_levels - 1 in
@@ -313,7 +332,10 @@ let enqueue_egress t ~now ~in_port ~out_port pkt =
   if t.enabled && pkt.Packet.has_snap then
     pkt.Packet.snap_hdr.Snapshot_header.channel <-
       egress_neighbor_index t ~in_port ~cos;
-  pkt.Packet.release_at <- now + t.cfg.Config.switch_latency;
+  (* Each extra pass (PRECISION recirculation) occupies the ingress
+     pipeline for another full traversal before the packet may
+     serialize. *)
+  pkt.Packet.release_at <- now + (t.cfg.Config.switch_latency * (1 + extra_passes));
   if Fifo_queue.push ps.queue ~cos pkt then begin
     if not ps.tx_scheduled then schedule_tx t ps
   end
@@ -353,16 +375,28 @@ let receive t ~port pkt =
     if pkt.Packet.has_snap then pkt.Packet.snap_hdr.Snapshot_header.channel <- 1;
     Snapshot_unit.process_packet ps.ingress ~now pkt
   end;
+  (* The app stage runs right after the port's ingress unit, on the
+     rewritten header: heavy-hitter admission (possibly recirculating the
+     packet), chain interception (possibly re-addressing or consuming
+     it). App-emitted packets re-enter [receive] on the anchor port — a
+     bounded recursion (markers never beget markers past the next hop). *)
+  let verdict =
+    match t.app_stage with
+    | None -> Apps.pass
+    | Some st -> Apps.Stage.on_receive st ~now ~port pkt
+  in
   (* Marker broadcasts (negative destination) are consumed here: they only
      exist to push snapshot IDs across otherwise idle channels (§6). *)
-  if pkt.Packet.dst_host >= 0 then begin
+  if verdict.Apps.consume || pkt.Packet.dst_host < 0 then
+    Packet.Gen.release t.pktgen pkt
+  else begin
     let out_port =
       forward_decision t ~dst_host:pkt.Packet.dst_host ~flow_id:pkt.Packet.flow_id
         ~size:pkt.Packet.size
     in
-    enqueue_egress t ~now ~in_port:port ~out_port pkt
+    enqueue_egress t ~now ~in_port:port ~out_port
+      ~extra_passes:verdict.Apps.extra_passes pkt
   end
-  else Packet.Gen.release t.pktgen pkt
 
 (* Control-plane broadcast injection (§6 "Ensuring liveness"): a marker
    packet enters each ingress unit and replicates to every other egress
@@ -399,13 +433,22 @@ let cp_broadcast t =
               enqueue_egress t ~now ~in_port:p ~out_port:q copy
             end)
           ports)
-      ports
+      ports;
+    (* Piggyback app-level liveness on the same flood: the chain re-emits
+       its markers so a downstream replica's Last Seen catches up even
+       when no writes are in flight. *)
+    match t.app_stage with Some st -> Apps.Stage.on_flood st | None -> ()
   end
 
 let inject_initiation t ~port ~sid_wrapped ~ghost_sid =
   let ps = port_state t port in
   let now = Engine.now t.engine in
   Snapshot_unit.process_initiation ps.ingress ~now ~sid:sid_wrapped ~ghost_sid;
+  (* App units are initiated alongside the first port's ingress unit;
+     repeats for the remaining ports are Equal no-ops. *)
+  (match t.app_stage with
+  | Some st -> Apps.Stage.on_initiation st ~now ~sid:sid_wrapped ~ghost_sid
+  | None -> ());
   Engine.schedule_after_unit t.engine ~delay:t.cfg.Config.switch_latency (fun () ->
       Snapshot_unit.process_initiation ps.egress ~now:(Engine.now t.engine)
         ~sid:sid_wrapped ~ghost_sid)
@@ -418,8 +461,8 @@ let set_wire_out t ~port f =
       invalid_arg "Switch.set_wire_out: port faces a host");
   ps.out <- f
 
-let create ?arena ?host_attach ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~notify
-    ~deliver_host ~enabled () =
+let create ?arena ?host_attach ?app_rng ~id ~engine ~rng ~cfg ~topo ~routing
+    ~pktgen ~notify ~deliver_host ~enabled () =
   let n_ports = Topology.ports topo id in
   let arena =
     match arena with Some a -> a | None -> Speedlight_dataplane.Arena.create ()
@@ -464,6 +507,7 @@ let create ?arena ?host_attach ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~not
       snap_overhead =
         Snapshot_header.overhead_bytes cfg.Config.unit_cfg.Snapshot_unit.channel_state;
       eager_host_delivery = true;
+      app_stage = None;
     }
   in
   let register_fib set = t.fib_setters <- set :: t.fib_setters in
@@ -513,4 +557,31 @@ let create ?arena ?host_attach ~id ~engine ~rng ~cfg ~topo ~routing ~pktgen ~not
         t.ports.(p) <- Some ps
     | _, _ -> ()
   done;
+  (match cfg.Config.apps with
+  | Some app_cfg when enabled ->
+      let app_rng =
+        match app_rng with Some r -> r | None -> Rng.create cfg.Config.seed
+      in
+      (* A chain replica's anchor is its lowest-numbered attached host;
+         app-emitted packets re-enter this switch through the anchor's
+         port, like any other host traffic. *)
+      let anchor_of sw =
+        let anchor = ref (-1) in
+        Array.iteri
+          (fun h s -> if s = sw && !anchor < 0 then anchor := h)
+          t.attach_sw;
+        !anchor
+      in
+      let inject pkt =
+        let anchor = anchor_of id in
+        if anchor < 0 then Packet.Gen.release t.pktgen pkt
+        else receive t ~port:t.attach_port.(anchor) pkt
+      in
+      t.app_stage <-
+        Some
+          (Apps.Stage.create ~arena ~switch:id
+             ~unit_cfg:cfg.Config.unit_cfg ~notify ~rng:app_rng ~pktgen ~inject
+             ~now:(fun () -> Engine.now engine)
+             ~ports:(connected_ports t) ~anchor_of app_cfg)
+  | _ -> ());
   t

@@ -29,6 +29,7 @@ exception Unexpected_switch_peer of { switch : int; port : int }
 val create :
   ?arena:Arena.t ->
   ?host_attach:int array * int array ->
+  ?app_rng:Rng.t ->
   id:int ->
   engine:Engine.t ->
   rng:Rng.t ->
@@ -51,7 +52,12 @@ val create :
     allocate from — pass the owning shard's arena (a private one is
     created when omitted). [host_attach] shares the network-wide
     host→(switch, port) lookup arrays across switches; when omitted the
-    switch builds its own O(hosts) copy. *)
+    switch builds its own O(hosts) copy.
+
+    When [cfg.apps] is set and the switch is snapshot-enabled, an
+    {!Speedlight_apps.Apps.Stage} is built into the receive path;
+    [app_rng] drives its stochastic choices (PRECISION admission) — pass
+    a per-switch split stream for sharded determinism. *)
 
 val set_wire_out : t -> port:int -> (Packet.t -> arrival:Time.t -> unit) -> unit
 (** Install the outbound hand-off of a switch-facing port. The closure is
@@ -83,10 +89,19 @@ val ingress_unit : t -> port:int -> Snapshot_unit.t
 val egress_unit : t -> port:int -> Snapshot_unit.t
 
 val unit_of : t -> Unit_id.t -> Snapshot_unit.t
-(** Lookup by id; raises [Invalid_argument] for other switches' units. *)
+(** Lookup by id; raises [Invalid_argument] for other switches' units.
+    Resolves app-unit ids ([Unit_id.is_app]) through the app stage. *)
 
 val units : t -> Snapshot_unit.t list
-(** All units of connected ports (ingress then egress, by port). *)
+(** All units of connected ports (ingress then egress, by port),
+    followed by the app stage's units when one is installed. *)
+
+val app_stage : t -> Speedlight_apps.Apps.Stage.t option
+(** The in-switch application stage, when [cfg.apps] configured one. *)
+
+val app_unit_specs : t -> (Snapshot_unit.t * int list) list
+(** App units with their excluded data-channel indices, for the
+    control-plane tracker ([] without an app stage). *)
 
 val egress_neighbor_index : t -> in_port:int -> cos:int -> int
 (** The Last Seen index an egress unit uses for the internal channel from

@@ -449,6 +449,150 @@ module Canned = struct
           t_exited = Option.value ~default:nan (consistent_record_value r exit_);
         })
       (complete_only t)
+
+  (* --- In-switch application audits (DESIGN.md §15) --------------- *)
+
+  type hh_accuracy = {
+    h_sid : int;
+    h_fire : Time.t;
+    h_reported : int list;  (** top-k flows by snapshotted count *)
+    h_precision : float;
+    h_recall : float;
+  }
+
+  (* HH table cells live at ingress app virtual ports: even offset from
+     [app_port_base] stores flow id + 1 (0 = empty), the next odd offset
+     the matching count. Counts for a flow are summed across every table
+     cell holding it (a flow crosses several switches; in a leaf-spine
+     every host pair crosses the same number of hops, so ranking is
+     preserved). *)
+  let heavy_hitters ~truth ~k t =
+    let truth_topk =
+      List.sort (fun (_, a) (_, b) -> compare b a) truth
+      |> List.filteri (fun i _ -> i < k)
+      |> List.map fst
+    in
+    List.map
+      (fun (r : Store.round) ->
+        let cells = Hashtbl.create 64 in
+        Array.iter
+          (fun (rc : Store.record) ->
+            let u = rc.Store.r_uid in
+            if Unit_id.is_app u && u.Unit_id.dir = Unit_id.Ingress then
+              let off = u.Unit_id.port - Unit_id.app_port_base in
+              match rc.Store.r_value with
+              | Some v ->
+                  Hashtbl.replace cells (u.Unit_id.switch, off) v
+              | None -> ())
+          r.Store.records;
+        let counts = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun (sw, off) v ->
+            if off land 1 = 0 && v > 0.5 then begin
+              let flow = int_of_float v - 1 in
+              let count =
+                Option.value ~default:0.
+                  (Hashtbl.find_opt cells (sw, off + 1))
+              in
+              let prev = Option.value ~default:0. (Hashtbl.find_opt counts flow) in
+              Hashtbl.replace counts flow (prev +. count)
+            end)
+          cells;
+        let reported =
+          Hashtbl.fold (fun f c acc -> (f, c) :: acc) counts []
+          |> List.sort (fun (fa, a) (fb, b) ->
+                 match compare b a with 0 -> compare fa fb | c -> c)
+          |> List.filteri (fun i _ -> i < k)
+          |> List.map fst
+        in
+        let hits =
+          List.length (List.filter (fun f -> List.mem f truth_topk) reported)
+        in
+        let ratio num den = if den = 0 then 1. else float_of_int num /. float_of_int den in
+        {
+          h_sid = r.Store.sid;
+          h_fire = r.Store.fire_time;
+          h_reported = reported;
+          h_precision = ratio hits (List.length reported);
+          h_recall = ratio hits (List.length truth_topk);
+        })
+      (rounds t)
+
+  type chain_verdict = Consistent | In_flight_explained | Violated
+
+  let chain_verdict_name = function
+    | Consistent -> "consistent"
+    | In_flight_explained -> "in-flight-explained"
+    | Violated -> "VIOLATED"
+
+  type chain_check = {
+    k_sid : int;
+    k_fire : Time.t;
+    k_consistent : int;
+    k_in_flight : int;
+    k_violated : int;
+    k_worst : (int * int * int * chain_verdict) option;
+  }
+
+  (* Replication invariant on a cut: along each adjacent (up, down)
+     replica pair and key, version_up = version_down + writes in flight
+     on the chain hop — the in-flight term being exactly the downstream
+     unit's captured channel state. A certified cut that still violates
+     this equation exposes a real replication fault (e.g. a skipped
+     apply), not snapshot skew. *)
+  let chain_consistency ~replicas ~keys t =
+    let unit_of_key sw k =
+      Unit_id.egress ~switch:sw ~port:(Unit_id.app_port_base + k)
+    in
+    let pairs =
+      let rec go = function
+        | up :: (down :: _ as rest) -> (up, down) :: go rest
+        | _ -> []
+      in
+      go replicas
+    in
+    List.map
+      (fun (r : Store.round) ->
+        let consistent = ref 0 and in_flight = ref 0 and violated = ref 0 in
+        let worst = ref None in
+        List.iter
+          (fun (up, down) ->
+            for key = 0 to keys - 1 do
+              let value uid = record_value r uid in
+              let channel uid =
+                Array.to_seq r.Store.records
+                |> Seq.find (fun rc -> Unit_id.equal rc.Store.r_uid uid)
+                |> fun o ->
+                Option.value ~default:0.
+                  (Option.map (fun rc -> rc.Store.r_channel) o)
+              in
+              match (value (unit_of_key up key), value (unit_of_key down key)) with
+              | Some vu, Some vd ->
+                  let chan = channel (unit_of_key down key) in
+                  let diff = vu -. (vd +. chan) in
+                  let verdict =
+                    if Float.abs diff < 0.5 then
+                      if chan > 0.5 then In_flight_explained else Consistent
+                    else Violated
+                  in
+                  (match verdict with
+                  | Consistent -> incr consistent
+                  | In_flight_explained -> incr in_flight
+                  | Violated ->
+                      incr violated;
+                      if !worst = None then worst := Some (up, down, key, verdict))
+              | _ -> ()
+            done)
+          pairs;
+        {
+          k_sid = r.Store.sid;
+          k_fire = r.Store.fire_time;
+          k_consistent = !consistent;
+          k_in_flight = !in_flight;
+          k_violated = !violated;
+          k_worst = !worst;
+        })
+      (rounds t)
 end
 
 (* ------------------------------------------------------------------ *)

@@ -249,6 +249,47 @@ module Canned : sig
   (** Per complete snapshot, a tracked flow's packet count at its entry
       and exit units (consistent values; [nan] when unavailable) — the
       per-flow conservation view of [examples/flow_tracking.ml]. *)
+
+  (** {3 In-switch application audits (DESIGN.md §15)} *)
+
+  type hh_accuracy = {
+    h_sid : int;
+    h_fire : Time.t;
+    h_reported : int list;  (** top-k flows by snapshotted count *)
+    h_precision : float;
+    h_recall : float;
+  }
+
+  val heavy_hitters : truth:(int * int) list -> k:int -> t -> hh_accuracy list
+  (** Per round, reassemble the PRECISION flow tables from the ingress
+      app-unit records ([Unit_id.is_app]), rank flows by total
+      snapshotted count, and score the top-[k] set against the top-[k]
+      of the ground-truth [(flow, sent packets)] list. Apply
+      {!certified_only} first to restrict to audited cuts. *)
+
+  type chain_verdict = Consistent | In_flight_explained | Violated
+
+  val chain_verdict_name : chain_verdict -> string
+
+  type chain_check = {
+    k_sid : int;
+    k_fire : Time.t;
+    k_consistent : int;  (** (pair, key) cells with settled equal versions *)
+    k_in_flight : int;  (** discrepancies exactly covered by channel state *)
+    k_violated : int;  (** replication-invariant violations *)
+    k_worst : (int * int * int * chain_verdict) option;
+        (** first violated [(up, down, key, verdict)], if any *)
+  }
+
+  val chain_consistency : replicas:int list -> keys:int -> t -> chain_check list
+  (** Per round, check the NetChain replication invariant on the cut:
+      for each adjacent (up, down) replica pair and key,
+      [version_up = version_down + in-flight writes on the hop], where
+      the in-flight term is the downstream app unit's captured channel
+      state. On a certified cut, [Violated] cells expose real
+      replication faults (e.g. a skipped apply), never snapshot skew —
+      the property a staggered register-polling baseline cannot
+      provide. *)
 end
 
 (** {2 Export} *)

@@ -51,6 +51,55 @@ let usage variant ~ports =
     tcam_kb = tcam64 -. (tcam_slope *. float_of_int (64 - ports));
   }
 
+(* --- In-switch application footprints (DESIGN.md §15) --------------- *)
+
+(* PRECISION heavy hitters: per port, [entries] exact-match cells of
+   (flow id, count) — two 32-bit registers each — plus one shared
+   count-min sketch (depth 2 x width 256 x 32 bit) as the eviction-loss
+   estimator. Compute resources are structural: match on flow id, read-
+   modify-write the count, track the minimum entry, draw the admission
+   coin, and bump the recirculation counter. *)
+let precision ~entries ~ports =
+  if entries < 1 then invalid_arg "Resource_model.precision: entries < 1";
+  if ports < 1 || ports > 64 then
+    invalid_arg "Resource_model.precision: ports must be in 1..64";
+  let table_bytes = float_of_int (entries * ports * 2 * 4) in
+  let sketch_bytes = float_of_int (2 * 256 * 4) in
+  {
+    stateless_alus = 4;
+    stateful_alus = 3;  (* flow array, count array, RNG/recirc state *)
+    logical_table_ids = 5;
+    gateways = 4;
+    stages = 4;
+    sram_kb = (table_bytes +. sketch_bytes) /. 1024.;
+    tcam_kb = 0.;  (* flow lookup is exact-match, SRAM-resident *)
+  }
+
+(* NetChain replica: two register arrays of [keys] 32-bit cells (version,
+   value), an address-match table, and the chain-forwarding rewrite. *)
+let netchain ~keys =
+  if keys < 1 then invalid_arg "Resource_model.netchain: keys < 1";
+  {
+    stateless_alus = 2;
+    stateful_alus = 2;  (* version array, value array *)
+    logical_table_ids = 3;
+    gateways = 2;
+    stages = 2;
+    sram_kb = float_of_int (keys * 2 * 4) /. 1024.;
+    tcam_kb = 0.;
+  }
+
+let add a b =
+  {
+    stateless_alus = a.stateless_alus + b.stateless_alus;
+    stateful_alus = a.stateful_alus + b.stateful_alus;
+    logical_table_ids = a.logical_table_ids + b.logical_table_ids;
+    gateways = a.gateways + b.gateways;
+    stages = a.stages + b.stages;
+    sram_kb = a.sram_kb +. b.sram_kb;
+    tcam_kb = a.tcam_kb +. b.tcam_kb;
+  }
+
 type capacity = {
   cap_stateless_alus : int;
   cap_stateful_alus : int;
@@ -75,6 +124,15 @@ let tofino_capacity =
     cap_sram_kb = 15_360.;
     cap_tcam_kb = 1_474.;
   }
+
+let fits u c =
+  u.stateless_alus <= c.cap_stateless_alus
+  && u.stateful_alus <= c.cap_stateful_alus
+  && u.logical_table_ids <= c.cap_logical_table_ids
+  && u.gateways <= c.cap_gateways
+  && u.stages <= c.cap_stages
+  && u.sram_kb <= c.cap_sram_kb
+  && u.tcam_kb <= c.cap_tcam_kb
 
 let max_utilization variant ~ports =
   let u = usage variant ~ports in

@@ -36,6 +36,19 @@ val usage : variant -> ports:int -> usage
 (** Resource usage for a snapshot configuration covering [ports] ports
     (1..64 — one Tofino processing engine, §7.1). *)
 
+val precision : entries:int -> ports:int -> usage
+(** Footprint of the PRECISION heavy-hitter stage (DESIGN.md §15): a
+    per-port exact-entry flow table of [entries] (flow id, count) register
+    pairs plus a shared count-min sketch as eviction-loss estimator. *)
+
+val netchain : keys:int -> usage
+(** Footprint of one NetChain replica: two [keys]-cell register arrays
+    (version, value) plus the address-match and chain-rewrite tables. *)
+
+val add : usage -> usage -> usage
+(** Component-wise sum — conservative composition (assumes no stage
+    sharing between the composed programs). *)
+
 type capacity = {
   cap_stateless_alus : int;
   cap_stateful_alus : int;
@@ -50,6 +63,10 @@ val tofino_capacity : capacity
 (** Approximate whole-chip Tofino-1 capacities (4 pipes of 12 stages),
     from public die analyses; used only to sanity-check the paper's
     "less than 25% of any dedicated resource" claim. *)
+
+val fits : usage -> capacity -> bool
+(** Whether a (composed) usage stays within a chip capacity on every
+    dedicated resource. *)
 
 val max_utilization : variant -> ports:int -> float
 (** The largest fraction of any single dedicated resource consumed — the

@@ -65,6 +65,20 @@ let on_tap t sh (ev : Snapshot_unit.tap_event) =
         sh.ghost <- ghost
       end;
       Ideal_unit.initiate sh.ideal ~sid:ghost
+  | Snapshot_unit.Tap_app { channel; pkt_ghost; contribution; delta } ->
+      (* App units replay exactly regardless of the deployment's counter
+         kind: the app itself declares its contribution and state delta,
+         so there is no opaque case. *)
+      if pkt_ghost > sh.ghost then begin
+        Hashtbl.replace sh.landed pkt_ghost ();
+        sh.ghost <- pkt_ghost
+      end;
+      ignore
+        (Ideal_unit.on_receive sh.ideal ~sender:channel ~pkt_sid:pkt_ghost
+           ~contribution);
+      Ideal_unit.set_state sh.ideal (Ideal_unit.state sh.ideal +. delta)
+  | Snapshot_unit.Tap_app_external { delta } ->
+      Ideal_unit.set_state sh.ideal (Ideal_unit.state sh.ideal +. delta)
 
 let attach net =
   let t =
@@ -148,7 +162,10 @@ let check_report t sh (r : Report.t) =
   let sid = r.Report.sid in
   let ideal_v = Ideal_unit.snapshot_value sh.ideal ~sid in
   let value_ok =
-    match t.replay with
+    (* App units are never opaque: their taps carry exact deltas, so the
+       value check applies even when the deployment's regular counter
+       kind does not replay. *)
+    match (if Unit_id.is_app sh.sh_uid then Per_packet else t.replay) with
     | Opaque -> Ok ()
     | Per_packet | Per_byte -> (
         match (r.Report.value, ideal_v) with

@@ -1,0 +1,371 @@
+(* Tests for the in-network application suite (lib/apps, DESIGN.md §15):
+   the NetChain replica chain end to end on audited cuts, PRECISION
+   heavy hitters, the count-min sketch fallback, the resource-model
+   footprints, and the typed trial-batch errors the experiment harness
+   reports. *)
+
+open Speedlight_sim
+open Speedlight_dataplane
+open Speedlight_topology
+open Speedlight_net
+module SApps = Speedlight_apps.Apps
+module Netchain = Speedlight_apps.Netchain
+module Precision = Speedlight_apps.Precision
+module Verify = Speedlight_verify.Verify
+module Query = Speedlight_query.Query
+module Resource_model = Speedlight_resources.Resource_model
+module Common = Speedlight_experiments.Common
+
+let keys = 2
+
+(* Three leaves run the chain; both apps are on so the HH cells and the
+   chain registers ride the same cuts. [notify_proc_time] models the
+   batched register reads an app deployment needs — app cells multiply
+   the per-round notification volume (see Experiments.Apps). *)
+let make_net ~seed ~shards =
+  let ls = Topology.leaf_spine ~leaves:3 ~spines:2 ~hosts_per_leaf:2 () in
+  let cfg =
+    Config.default
+    |> Config.with_seed seed
+    |> Config.with_apps
+         {
+           SApps.hh = Some { Precision.entries = 2; recirc_passes = 1 };
+           chain = Some { Netchain.replicas = ls.Topology.leaf_switches; keys };
+         }
+  in
+  let cfg = { cfg with Config.notify_proc_time = Time.us 25 } in
+  (ls, Net.create ~cfg ~shards ls.Topology.topo)
+
+(* Cross-leaf fixed-count flows; returns the exact per-flow ground truth
+   for the heavy-hitter score. *)
+let install_traffic ls net =
+  let topo = Net.topology net in
+  let hosts_of_leaf leaf =
+    List.filter
+      (fun h -> fst (Topology.host_attachment topo ~host:h) = leaf)
+      (List.init (Topology.n_hosts topo) Fun.id)
+  in
+  let groups = List.map hosts_of_leaf ls.Topology.leaf_switches in
+  let engine = Net.engine net in
+  (* Each flow's packets span the whole run (gap = window / count): a
+     channel that carries traffic before the idle-exclusion point but
+     dies afterwards would leave its units unable to complete any later
+     round. *)
+  let start = Time.ms 1 and window = Time.ms 39 in
+  List.mapi
+    (fun f count ->
+      let src = List.hd (List.nth groups (f mod 3)) in
+      let dst = List.hd (List.nth groups ((f + 1) mod 3)) in
+      let gap = Stdlib.max (Time.us 5) (window / count) in
+      let rec go at left =
+        if left > 0 then
+          ignore
+            (Engine.schedule engine ~at (fun () ->
+                 Net.send net ~flow_id:f ~src ~dst ~size:200 ();
+                 go (Time.add at gap) (left - 1)))
+      in
+      go (Time.add start (Time.us (3 * f))) count;
+      (f, count))
+    [ 600; 220; 80; 40; 20; 10 ]
+
+let chain_of net sw =
+  match Net.app_stage net ~switch:sw with
+  | Some st -> SApps.Stage.chain st
+  | None -> None
+
+(* One full scenario: traffic + chain writes + snapshot rounds, audited.
+   Returns the per-cut chain checks, the certified count, the HH scores
+   and the net (for register-level assertions). *)
+let run_scenario ?(seed = 91) ?(shards = 1) ?(fault = false) () =
+  let ls, net = make_net ~seed ~shards in
+  let replicas = ls.Topology.leaf_switches in
+  let truth = install_traffic ls net in
+  for i = 0 to 3 do
+    Net.chain_write net
+      ~at:(Time.ms (18 + (4 * i)))
+      ~key:(i mod keys) ~value:(100 + i)
+  done;
+  (if fault then
+     let mid = List.nth replicas 1 in
+     Net.schedule_on_switch net ~switch:mid ~at:(Time.ms 28) (fun () ->
+         match chain_of net mid with
+         | Some ch -> Netchain.skip_next_apply ch
+         | None -> ()));
+  Net.schedule_global net ~at:(Time.ms 12) (fun () -> Net.auto_exclude_idle net);
+  let auditor = Verify.attach net in
+  let sids =
+    Common.take_snapshots net ~start:(Time.ms 16) ~interval:(Time.ms 3) ~count:8
+      ~run_until:(Time.ms 42)
+  in
+  let audit = Verify.audit auditor ~sids in
+  let q =
+    Query.of_net net ~sids |> Query.apply_audit audit |> Query.certified_only
+  in
+  let checks = Query.Canned.chain_consistency ~replicas ~keys q in
+  let hh = Query.Canned.heavy_hitters ~truth ~k:2 q in
+  (net, ls, sids, audit, checks, hh)
+
+(* ------------------------------------------------------------------ *)
+(* NetChain *)
+
+let test_chain_end_to_end () =
+  let net, ls, sids, audit, checks, _ = run_scenario () in
+  let replicas = ls.Topology.leaf_switches in
+  Alcotest.(check int) "all rounds taken" 8 (List.length sids);
+  Alcotest.(check bool) "some rounds certified" true
+    (List.length audit.Verify.certified > 0);
+  Alcotest.(check int) "no false-consistent rounds" 0
+    (List.length audit.Verify.false_consistent);
+  (* After the run settles, every replica holds the last write per key. *)
+  List.iter
+    (fun sw ->
+      match chain_of net sw with
+      | None -> Alcotest.fail "replica has no chain stage"
+      | Some ch ->
+          for k = 0 to keys - 1 do
+            let version, value = Netchain.read ch ~key:k in
+            Alcotest.(check int)
+              (Printf.sprintf "sw %d key %d version" sw k)
+              2 version;
+            Alcotest.(check int)
+              (Printf.sprintf "sw %d key %d value" sw k)
+              (100 + k + 2) value
+          done)
+    replicas;
+  (* Every certified cut satisfies the replication invariant. *)
+  Alcotest.(check bool) "checks cover certified rounds" true (checks <> []);
+  List.iter
+    (fun (c : Query.Canned.chain_check) ->
+      Alcotest.(check int)
+        (Printf.sprintf "round %d violated cells" c.Query.Canned.k_sid)
+        0 c.Query.Canned.k_violated)
+    checks
+
+let test_chain_fault_flagged_on_cuts () =
+  let net, ls, _, _, checks, _ = run_scenario ~fault:true () in
+  let mid = List.nth ls.Topology.leaf_switches 1 in
+  (match chain_of net mid with
+  | Some ch ->
+      Alcotest.(check int) "the skip fault fired" 1 (Netchain.skipped_applies ch)
+  | None -> Alcotest.fail "no chain at mid");
+  let violated_rounds =
+    List.filter (fun c -> c.Query.Canned.k_violated > 0) checks
+  in
+  Alcotest.(check bool) "certified cuts flag the skipped apply" true
+    (violated_rounds <> []);
+  (* The off-by-one is permanent: once flagged, every later cut stays
+     flagged. *)
+  let rec suffix_flagged = function
+    | [] -> true
+    | (c : Query.Canned.chain_check) :: rest ->
+        if c.Query.Canned.k_violated > 0 then
+          List.for_all (fun c' -> c'.Query.Canned.k_violated > 0) rest
+        else suffix_flagged rest
+  in
+  Alcotest.(check bool) "violation is permanent" true (suffix_flagged checks)
+
+let test_chain_determinism_across_shards () =
+  let digest shards =
+    let net, _, sids, _, _, _ = run_scenario ~shards () in
+    Common.run_digest net ~sids
+  in
+  Alcotest.(check string) "1 vs 2 shards" (digest 1) (digest 2)
+
+let test_chain_write_requires_head () =
+  let _, net = make_net ~seed:5 ~shards:1 in
+  match Net.chain_head net with
+  | None -> Alcotest.fail "chain configured but no head"
+  | Some head -> (
+      match chain_of net head with
+      | None -> Alcotest.fail "no stage at head"
+      | Some ch -> Alcotest.(check bool) "head is head" true (Netchain.is_head ch))
+
+(* ------------------------------------------------------------------ *)
+(* PRECISION heavy hitters *)
+
+let test_hh_finds_top_flows () =
+  let _, _, _, _, _, hh = run_scenario () in
+  Alcotest.(check bool) "scored some certified rounds" true (hh <> []);
+  let last = List.nth hh (List.length hh - 1) in
+  Alcotest.(check bool) "top flow reported on the last cut" true
+    (List.mem 0 last.Query.Canned.h_reported);
+  Alcotest.(check bool) "recall above 0.5 on the last cut" true
+    (last.Query.Canned.h_recall >= 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Count-min sketch *)
+
+let pkt ~flow_id =
+  Packet.create ~uid:0 ~flow_id ~src_host:0 ~dst_host:1 ~size:100 ~created:0 ()
+
+let apply_updates sk l = List.iter (fun (f, w) -> Sketch.update sk ~flow_id:f w) l
+
+let true_counts l =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f, w) ->
+      Hashtbl.replace tbl f (w + Option.value ~default:0 (Hashtbl.find_opt tbl f)))
+    l;
+  tbl
+
+let updates_gen =
+  QCheck.(
+    small_list (pair (int_range 0 50) (int_range 1 100)))
+
+let qcheck_never_underestimates =
+  QCheck.Test.make ~name:"sketch query never underestimates" ~count:200
+    updates_gen (fun l ->
+      (* A deliberately tiny sketch so collisions actually happen. *)
+      let sk = Sketch.create ~depth:2 ~width:8 () in
+      apply_updates sk l;
+      let tbl = true_counts l in
+      Hashtbl.fold
+        (fun f c acc -> acc && Sketch.query sk ~flow_id:f >= c)
+        tbl true)
+
+let qcheck_total_exact =
+  QCheck.Test.make ~name:"sketch total is exact; reset clears" ~count:200
+    updates_gen (fun l ->
+      let sk = Sketch.create ~depth:3 ~width:16 () in
+      apply_updates sk l;
+      let sum = List.fold_left (fun a (_, w) -> a + w) 0 l in
+      let ok_total = Sketch.total sk = sum in
+      Sketch.reset sk;
+      ok_total && Sketch.total sk = 0
+      && List.for_all (fun (f, _) -> Sketch.query sk ~flow_id:f = 0) l)
+
+let qcheck_arena_matches_heap =
+  QCheck.Test.make ~name:"arena-backed sketch = heap-backed sketch" ~count:100
+    updates_gen (fun l ->
+      let arena = Arena.create ~int_capacity:(4 * 64) () in
+      let a = Sketch.create ~arena ~depth:4 ~width:64 () in
+      let h = Sketch.create ~depth:4 ~width:64 () in
+      apply_updates a l;
+      apply_updates h l;
+      List.for_all
+        (fun (f, _) -> Sketch.query a ~flow_id:f = Sketch.query h ~flow_id:f)
+        l
+      && Sketch.total a = Sketch.total h)
+
+let test_sketch_counter_integration () =
+  let sk = Sketch.create ~depth:2 ~width:32 () in
+  let c = Counter.sketch_flow ~sketch:sk ~tracked_flow:7 () in
+  for _ = 1 to 5 do
+    Counter.update c ~now:0 (pkt ~flow_id:7)
+  done;
+  Counter.update c ~now:0 (pkt ~flow_id:9);
+  Alcotest.(check bool) "tracked flow >= 5" true (Counter.read c ~now:0 >= 5.)
+
+(* ------------------------------------------------------------------ *)
+(* Resource model *)
+
+let test_apps_fit_tofino () =
+  let total =
+    Resource_model.add
+      (Resource_model.usage Resource_model.Channel_state ~ports:64)
+      (Resource_model.add
+         (Resource_model.precision ~entries:4 ~ports:64)
+         (Resource_model.netchain ~keys))
+  in
+  Alcotest.(check bool) "channel state + both apps fit at 64 ports" true
+    (Resource_model.fits total Resource_model.tofino_capacity)
+
+let test_add_is_componentwise () =
+  let p = Resource_model.precision ~entries:4 ~ports:64 in
+  let n = Resource_model.netchain ~keys:8 in
+  let s = Resource_model.add p n in
+  Alcotest.(check int) "stateful ALUs add" s.Resource_model.stateful_alus
+    (p.Resource_model.stateful_alus + n.Resource_model.stateful_alus);
+  Alcotest.(check (float 1e-6)) "SRAM adds" s.Resource_model.sram_kb
+    (p.Resource_model.sram_kb +. n.Resource_model.sram_kb)
+
+let test_fits_rejects_oversize () =
+  (* Blow past the chip's SRAM with an absurd table and the fit must
+     fail — [fits] is a real bound, not a constant. *)
+  let huge = Resource_model.precision ~entries:1_000_000 ~ports:64 in
+  Alcotest.(check bool) "oversize PRECISION rejected" false
+    (Resource_model.fits huge Resource_model.tofino_capacity);
+  Alcotest.(check bool) "apps footprints monotone in size" true
+    ((Resource_model.netchain ~keys:64).Resource_model.sram_kb
+    > (Resource_model.netchain ~keys:2).Resource_model.sram_kb)
+
+(* ------------------------------------------------------------------ *)
+(* Typed trial-batch errors (the former [assert false] dispatches) *)
+
+let test_expect2_expect3 () =
+  Alcotest.(check (pair int int)) "expect2" (1, 2) (Common.expect2 [| 1; 2 |]);
+  let a, b, c = Common.expect3 [| 4; 5; 6 |] in
+  Alcotest.(check (triple int int int)) "expect3" (4, 5, 6) (a, b, c)
+
+let test_trial_arity_raised_and_printable () =
+  (match Common.expect2 [| 1; 2; 3 |] with
+  | _ -> Alcotest.fail "expect2 accepted a 3-element batch"
+  | exception Common.Trial_arity { expected; got } ->
+      Alcotest.(check (pair int int)) "payload" (2, 3) (expected, got));
+  (* The registered printer renders the payload, not <abstr>. *)
+  let rendered =
+    Printexc.to_string (Common.Trial_arity { expected = 3; got = 1 })
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "printer names the exception" true
+    (contains rendered "Trial_arity");
+  Alcotest.(check bool) "printer shows arities" true
+    (contains rendered "3" && contains rendered "1")
+
+(* Counter regression for the rewritten dispatch: the forwarding-version
+   setter and its register stay paired — a stamped packet publishes the
+   latest set version. *)
+let test_forwarding_version_pairing () =
+  let c, set_version = Counter.forwarding_version () in
+  set_version 7;
+  Counter.update c ~now:0 (pkt ~flow_id:1);
+  Alcotest.(check (float 0.)) "reads the set version" 7. (Counter.read c ~now:0);
+  set_version 9;
+  Counter.update c ~now:0 (pkt ~flow_id:1);
+  Alcotest.(check (float 0.)) "tracks later sets" 9. (Counter.read c ~now:0)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "netchain",
+        [
+          Alcotest.test_case "end to end on audited cuts" `Quick
+            test_chain_end_to_end;
+          Alcotest.test_case "skip fault flagged on cuts" `Quick
+            test_chain_fault_flagged_on_cuts;
+          Alcotest.test_case "deterministic across shards" `Quick
+            test_chain_determinism_across_shards;
+          Alcotest.test_case "head resolution" `Quick test_chain_write_requires_head;
+        ] );
+      ( "precision",
+        [ Alcotest.test_case "finds top flows" `Quick test_hh_finds_top_flows ] );
+      ( "sketch",
+        [
+          q qcheck_never_underestimates;
+          q qcheck_total_exact;
+          q qcheck_arena_matches_heap;
+          Alcotest.test_case "counter integration" `Quick
+            test_sketch_counter_integration;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "apps fit tofino" `Quick test_apps_fit_tofino;
+          Alcotest.test_case "add componentwise" `Quick test_add_is_componentwise;
+          Alcotest.test_case "fits rejects oversize" `Quick
+            test_fits_rejects_oversize;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "expect2/expect3" `Quick test_expect2_expect3;
+          Alcotest.test_case "Trial_arity typed + printable" `Quick
+            test_trial_arity_raised_and_printable;
+          Alcotest.test_case "forwarding-version pairing" `Quick
+            test_forwarding_version_pairing;
+        ] );
+    ]

@@ -240,7 +240,7 @@ let test_label_of_verdict () =
 let test_certified_filter_on_real_run () =
   let cfg = Config.default |> Config.with_seed 7 in
   let ls, net = Common.make_testbed ~cfg () in
-  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+  Speedlight_workload.Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
     ~send:(Common.sender net) ~fids:(Traffic.flow_ids ())
     ~hosts:(Array.to_list ls.Topology.host_of_server) ~rate_pps:20_000.
     ~pkt_size:1500 ~until:(Time.ms 40);
@@ -277,9 +277,9 @@ let lb_run () =
   in
   let net = Net.create ~cfg ls.Topology.topo in
   let hosts = Array.to_list ls.Topology.host_of_server in
-  Apps.Hadoop.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+  Speedlight_workload.Apps.Hadoop.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
     ~send:(Common.sender net) ~fids:(Traffic.flow_ids ()) ~until:(Time.ms 300)
-    (Apps.Hadoop.default_params ~mappers:hosts ~reducers:hosts);
+    (Speedlight_workload.Apps.Hadoop.default_params ~mappers:hosts ~reducers:hosts);
   let sids =
     Common.take_snapshots net ~start:(Time.ms 100) ~interval:(Time.ms 10)
       ~count:20 ~run_until:(Time.ms 500)

@@ -45,7 +45,7 @@ let capture ?(shards = 1) ?(segment_rounds = 32) ~seed ~dir () =
   let host_link, fabric_link = Common.testbed_links ~scaled:true in
   let ls = Topology.leaf_spine ~host_link ~fabric_link () in
   let net = Net.create ~cfg ~shards ls.Topology.topo in
-  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+  Speedlight_workload.Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
     ~send:(Common.sender net) ~fids:(Traffic.flow_ids ())
     ~hosts:(Array.to_list ls.Topology.host_of_server) ~rate_pps:20_000.
     ~pkt_size:1500 ~until:(Time.ms 40);
@@ -208,8 +208,8 @@ let test_clos_digest_shards () =
     let c = Topology.clos2 ~leaves:4 ~spines:2 ~hosts_per_leaf:2 () in
     let cfg = Config.default |> Config.with_seed 11 in
     let net = Net.create ~cfg ~shards c.Topology.c2_topo in
-    let p = Apps.Scaled.default_params ~hosts:c.Topology.c2_hosts ~fan_out:2 () in
-    Apps.Scaled.mix ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
+    let p = Speedlight_workload.Apps.Scaled.default_params ~hosts:c.Topology.c2_hosts ~fan_out:2 () in
+    Speedlight_workload.Apps.Scaled.mix ~engine:(Net.engine net) ~rng:(Net.fresh_rng net)
       ~send:(Common.sender net) ~fids:(Traffic.flow_ids ()) ~until:(Time.ms 12) p;
     let sids =
       Common.take_snapshots net ~start:(Time.ms 4) ~interval:(Time.ms 4) ~count:3

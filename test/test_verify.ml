@@ -17,7 +17,7 @@ let make_testbed ?(cfg = Config.default) () =
 
 let start_uniform ?(rate = 4_000.) net (ls : Topology.leaf_spine) ~until =
   let send ~src ~dst ~size ~flow_id = Net.send net ~flow_id ~src ~dst ~size () in
-  Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net) ~send
+  Speedlight_workload.Apps.Uniform.run ~engine:(Net.engine net) ~rng:(Net.fresh_rng net) ~send
     ~fids:(Traffic.flow_ids ())
     ~hosts:(Array.to_list ls.Topology.host_of_server)
     ~rate_pps:rate ~pkt_size:1000 ~until
